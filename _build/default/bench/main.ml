@@ -1,0 +1,472 @@
+(* Benchmark harness.
+
+   The paper (a formal workshop abstract) contains no empirical tables or
+   figures; EXPERIMENTS.md defines the performance characterisation this
+   harness produces instead:
+
+   - B1 instances/*   : primitive synchronisation step across the four
+                        instance families (Lemmas 4-6 + Section 3.4)
+   - B2 translate/*   : cost of the Section 3.3 translations (derived put
+                        vs native operations, and the double translation)
+   - B3 compose/*     : composition-chain scaling (open problem, Section 5)
+   - B4 relational/*  : relational-lens view update vs table size
+   - B5 embedding/*   : deep (free monad) vs shallow (state monad) and
+                        functor vs record representations
+
+   Run with:  dune exec bench/main.exe  *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type person = { name : string; age : int }
+
+let name_lens : (person, string) Esm_lens.Lens.t =
+  Esm_lens.Lens.v ~name:"name"
+    ~get:(fun p -> p.name)
+    ~put:(fun p name -> { p with name })
+    ()
+
+let equal_person p1 p2 = String.equal p1.name p2.name && p1.age = p2.age
+
+module Name_bx = Esm_core.Of_lens.Make (struct
+  type s = person
+  type v = string
+
+  let lens = name_lens
+  let equal_s = equal_person
+end)
+
+let parity : (int, int) Esm_algbx.Algbx.t =
+  Esm_algbx.Algbx.v ~name:"parity"
+    ~consistent:(fun a b -> (a - b) mod 2 = 0)
+    ~fwd:(fun a b -> if (a - b) mod 2 = 0 then b else b + 1 - (2 * (b land 1)))
+    ~bwd:(fun a b -> if (a - b) mod 2 = 0 then a else a + 1 - (2 * (a land 1)))
+    ()
+
+module Parity_bx = Esm_core.Of_algebraic.Make (struct
+  type ta = int
+  type tb = int
+
+  let bx = parity
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+let double_iso : (int, int) Esm_symlens.Symlens.t =
+  Esm_symlens.Symlens.of_iso ~name:"double" (fun x -> 2 * x) (fun x -> x / 2)
+
+module Double_instance = (val Esm_symlens.Symlens.to_instance double_iso)
+
+module Double_put = Esm_core.Of_symmetric.Make (Double_instance) (struct
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+module Pair_bx = Esm_core.Pair_bx.Make (struct
+  type ta = int
+  type tb = int
+
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+let person0 = { name = "ada"; age = 36 }
+
+(* ------------------------------------------------------------------ *)
+(* B1: one synchronisation step (set_a then read get_b) per instance   *)
+(* ------------------------------------------------------------------ *)
+
+let b1_tests =
+  [
+    Test.make ~name:"of_lens(record field)"
+      (Staged.stage (fun () ->
+           let open Name_bx.Infix in
+           Name_bx.run
+             (Name_bx.set_a { name = "grace"; age = 1 } >> Name_bx.get_b)
+             person0));
+    Test.make ~name:"of_algebraic(parity)"
+      (Staged.stage (fun () ->
+           let open Parity_bx.Infix in
+           Parity_bx.run (Parity_bx.set_a 7 >> Parity_bx.get_b) (0, 0)));
+    Test.make ~name:"of_symmetric(iso)"
+      (Staged.stage
+         (let s0 = Double_put.initial ~seed_a:1 in
+          fun () -> Double_put.run (Double_put.put_ab 21) s0));
+    Test.make ~name:"pair(state on A*B)"
+      (Staged.stage (fun () ->
+           let open Pair_bx.Infix in
+           Pair_bx.run (Pair_bx.set_a 7 >> Pair_bx.get_b) (0, 0)));
+    Test.make ~name:"effectful(S4, with trace)"
+      (Staged.stage (fun () ->
+           let module E = Esm_core.Effectful.Paper_example in
+           let open E.Infix in
+           E.run (E.set_a 7 >> E.get_b) 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* B2: translation overhead (Section 3.3)                              *)
+(* ------------------------------------------------------------------ *)
+
+module Name_put_derived = Esm_core.Translate.Set_to_put_stateful (Name_bx)
+module Name_set_roundtrip =
+  Esm_core.Translate.Put_to_set_stateful (Name_put_derived)
+module Double_set_derived = Esm_core.Translate.Put_to_set_stateful (Double_put)
+
+let b2_tests =
+  [
+    Test.make ~name:"native set_a (set-bx)"
+      (Staged.stage (fun () ->
+           Name_bx.run (Name_bx.set_a { name = "grace"; age = 1 }) person0));
+    Test.make ~name:"derived put_ab (set2pp)"
+      (Staged.stage (fun () ->
+           Name_put_derived.run
+             (Name_put_derived.put_ab { name = "grace"; age = 1 })
+             person0));
+    Test.make ~name:"double-translated set_a (pp2set.set2pp)"
+      (Staged.stage (fun () ->
+           Name_set_roundtrip.run
+             (Name_set_roundtrip.set_a { name = "grace"; age = 1 })
+             person0));
+    Test.make ~name:"native put_ab (of_symmetric)"
+      (Staged.stage
+         (let s0 = Double_put.initial ~seed_a:1 in
+          fun () -> Double_put.run (Double_put.put_ab 21) s0));
+    Test.make ~name:"derived set_a (pp2set of of_symmetric)"
+      (Staged.stage
+         (let s0 = Double_put.initial ~seed_a:1 in
+          fun () -> Double_set_derived.run (Double_set_derived.set_a 21) s0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* B3: composition-chain scaling                                       *)
+(* ------------------------------------------------------------------ *)
+
+let incr_bx =
+  Esm_core.Concrete.of_lens (Esm_lens.Lens.of_iso ~name:"incr" succ pred)
+
+let chain_step n =
+  let packed =
+    Esm_core.Compose.chain_packed n
+      (Esm_core.Concrete.pack ~bx:incr_bx ~init:0 ~eq_state:Int.equal)
+  in
+  Test.make
+    ~name:(Printf.sprintf "chain n=%02d" n)
+    (Staged.stage (fun () ->
+         Esm_core.Program.observe packed
+           [ Esm_core.Program.Set_a 5; Esm_core.Program.Get_b ]))
+
+let b3_tests = List.map chain_step [ 1; 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* B4: relational-lens workloads vs table size                         *)
+(* ------------------------------------------------------------------ *)
+
+open Esm_relational
+
+let eng = Pred.(col "dept" = str "Engineering")
+let select_lens = Rlens.select eng
+
+let project_lens =
+  Rlens.project ~keep:[ "id"; "name"; "dept" ] ~key:[ "id" ]
+    Workload.employees_schema
+
+let relational_at size =
+  let table = Workload.employees ~seed:42 ~size in
+  let view = Esm_lens.Lens.get select_lens table in
+  let proj_view = Esm_lens.Lens.get project_lens table in
+  [
+    Test.make
+      ~name:(Printf.sprintf "select.get   n=%04d" size)
+      (Staged.stage (fun () -> Esm_lens.Lens.get select_lens table));
+    Test.make
+      ~name:(Printf.sprintf "select.put   n=%04d" size)
+      (Staged.stage (fun () -> Esm_lens.Lens.put select_lens table view));
+    Test.make
+      ~name:(Printf.sprintf "project.put  n=%04d" size)
+      (Staged.stage (fun () -> Esm_lens.Lens.put project_lens table proj_view));
+  ]
+
+let b4_tests = List.concat_map relational_at [ 64; 512; 4096 ]
+
+(* ------------------------------------------------------------------ *)
+(* B5: representation ablations                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Theory = Esm_monad.State_theory.Make (struct
+  type t = int
+end)
+
+let deep_term =
+  (* get; set (s+1); get; set (s'*2); return s' — built once. *)
+  Theory.Term.bind Theory.get (fun s ->
+      Theory.Term.bind (Theory.set (s + 1)) (fun () ->
+          Theory.Term.bind Theory.get (fun s' ->
+              Theory.Term.bind (Theory.set (s' * 2)) (fun () ->
+                  Theory.Term.return s'))))
+
+module Direct_state = Esm_monad.State.Make (struct
+  type t = int
+end)
+
+let shallow_prog =
+  Direct_state.bind Direct_state.get (fun s ->
+      Direct_state.bind (Direct_state.set (s + 1)) (fun () ->
+          Direct_state.bind Direct_state.get (fun s' ->
+              Direct_state.bind (Direct_state.set (s' * 2)) (fun () ->
+                  Direct_state.return s'))))
+
+let concrete_name = Esm_core.Concrete.of_lens name_lens
+
+let b5_tests =
+  [
+    Test.make ~name:"deep: free-monad term, interpreted"
+      (Staged.stage (fun () -> Theory.denote deep_term 17));
+    Test.make ~name:"shallow: state-monad program"
+      (Staged.stage (fun () -> Direct_state.run shallow_prog 17));
+    Test.make ~name:"functor rep: Of_lens set_b"
+      (Staged.stage (fun () -> Name_bx.run (Name_bx.set_b "grace") person0));
+    Test.make ~name:"record rep: Concrete set_b"
+      (Staged.stage (fun () ->
+           concrete_name.Esm_core.Concrete.set_b "grace" person0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* B6: wrapper overhead (journalled / undo / effectful vs raw)         *)
+(* ------------------------------------------------------------------ *)
+
+let raw_parity = Esm_core.Concrete.of_algebraic parity
+
+let journalled_parity =
+  Esm_core.Journal.journalled ~eq_a:Int.equal ~eq_b:Int.equal raw_parity
+
+let undoable_parity =
+  Esm_core.Journal.Undo.wrap ~eq_a:Int.equal ~eq_b:Int.equal raw_parity
+
+let b6_tests =
+  [
+    Test.make ~name:"raw concrete set_a"
+      (Staged.stage (fun () -> raw_parity.Esm_core.Concrete.set_a 7 (0, 0)));
+    Test.make ~name:"journalled set_a"
+      (Staged.stage
+         (let st = Esm_core.Journal.initial (0, 0) in
+          fun () -> journalled_parity.Esm_core.Concrete.set_a 7 st));
+    Test.make ~name:"undoable set_a"
+      (Staged.stage
+         (let st = Esm_core.Journal.Undo.initial (0, 0) in
+          fun () -> undoable_parity.Esm_core.Concrete.set_a 7 st));
+    Test.make ~name:"effectful set_a (trace)"
+      (Staged.stage (fun () ->
+           Esm_core.Effectful.Paper_example.run
+             (Esm_core.Effectful.Paper_example.set_a 7)
+             0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* B7: MDE synchronisation vs model size                               *)
+(* ------------------------------------------------------------------ *)
+
+open Esm_modelbx
+
+let class_mm =
+  Metamodel.v
+    [
+      {
+        Metamodel.cls_name = "Class";
+        attributes =
+          [ ("name", Metamodel.Tstr); ("abstract", Metamodel.Tbool); ("doc", Metamodel.Tstr) ];
+      };
+    ]
+
+let table_mm =
+  Metamodel.v
+    [
+      {
+        Metamodel.cls_name = "Table";
+        attributes =
+          [ ("name", Metamodel.Tstr); ("persistent", Metamodel.Tbool); ("engine", Metamodel.Tstr) ];
+      };
+    ]
+
+let mde_spec =
+  Mbx.v ~name:"class<->table" ~left_mm:class_mm ~right_mm:table_mm
+    [
+      {
+        Mbx.left_class = "Class";
+        right_class = "Table";
+        key = [ ("name", "name") ];
+        synced = [ ("abstract", "persistent") ];
+      };
+    ]
+
+let class_model_of_size n =
+  Model.of_objects
+    (List.init n (fun i ->
+         Model.obj ~id:(i + 1) ~cls:"Class"
+           [
+             ("name", Model.Vstr (Printf.sprintf "Class%03d" i));
+             ("abstract", Model.Vbool (i mod 2 = 0));
+             ("doc", Model.Vstr "d");
+           ]))
+
+let mde_at n =
+  let left = class_model_of_size n in
+  let right = Mbx.fwd mde_spec left Model.empty in
+  (* a one-object edit: flip one abstract flag *)
+  let edited =
+    match Model.objects left with
+    | o :: _ ->
+        Model.update left
+          (Model.set_attr o "abstract" (Model.Vbool false))
+    | [] -> left
+  in
+  [
+    Test.make
+      ~name:(Printf.sprintf "consistency check n=%03d" n)
+      (Staged.stage (fun () -> Mbx.consistent mde_spec left right));
+    Test.make
+      ~name:(Printf.sprintf "fwd after 1 edit    n=%03d" n)
+      (Staged.stage (fun () -> Mbx.fwd mde_spec edited right));
+    Test.make
+      ~name:(Printf.sprintf "diff 1-edit models  n=%03d" n)
+      (Staged.stage (fun () -> Diff.diff left edited));
+  ]
+
+let b7_tests = List.concat_map mde_at [ 8; 32; 128 ]
+
+(* ------------------------------------------------------------------ *)
+(* B8: surface-language machinery                                      *)
+(* ------------------------------------------------------------------ *)
+
+let compiled_view_lens =
+  Esm_relational.Query.lens_of_string ~schema:Workload.employees_schema
+    ~key:[ "id" ]
+    "employees | where dept = \"Engineering\" | select id, name"
+
+let handwritten_view_lens =
+  Esm_lens.Lens.(
+    Rlens.select eng
+    // Rlens.project ~keep:[ "id"; "name" ] ~key:[ "id" ]
+         Workload.employees_schema)
+
+let b8_table = Workload.employees ~seed:42 ~size:512
+let b8_view = Esm_lens.Lens.get compiled_view_lens b8_table
+
+let config_text =
+  String.concat "\n"
+    (List.init 200 (fun i ->
+         if i mod 5 = 0 then Printf.sprintf "# section %d" i
+         else Printf.sprintf "key%03d = value%03d" i i))
+
+let config_view = Esm_lens.Lens.get Esm_lens.Config_lens.bindings config_text
+
+let optimizer_cmd =
+  (* a set-heavy program the optimizer shrinks: repeated redundant sets *)
+  let rec build n acc =
+    if n = 0 then acc
+    else
+      build (n - 1)
+        (Esm_core.Command.Seq
+           ( Esm_core.Command.Set_a 3,
+             Esm_core.Command.Seq (Esm_core.Command.Set_a 3, acc) ))
+  in
+  build 16 Esm_core.Command.Skip
+
+let parity_concrete = Esm_core.Concrete.of_algebraic parity
+
+let optimized_cmd =
+  Esm_core.Command.optimize ~eq_a:Int.equal ~eq_b:Int.equal optimizer_cmd
+
+let b8_tests =
+  [
+    Test.make ~name:"compiled view lens put (n=512)"
+      (Staged.stage (fun () ->
+           Esm_lens.Lens.put compiled_view_lens b8_table b8_view));
+    Test.make ~name:"handwritten view lens put (n=512)"
+      (Staged.stage (fun () ->
+           Esm_lens.Lens.put handwritten_view_lens b8_table b8_view));
+    Test.make ~name:"config lens put (200 lines)"
+      (Staged.stage (fun () ->
+           Esm_lens.Lens.put Esm_lens.Config_lens.bindings config_text
+             config_view));
+    Test.make ~name:"command: exec unoptimized (32 sets)"
+      (Staged.stage (fun () ->
+           Esm_core.Command.exec parity_concrete optimizer_cmd (0, 0)));
+    Test.make ~name:"command: exec optimized"
+      (Staged.stage (fun () ->
+           Esm_core.Command.exec parity_concrete optimized_cmd (0, 0)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+
+let measure_one test =
+  let name = Test.Elt.name (List.hd (Test.elements test)) in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+  let est =
+    Hashtbl.fold
+      (fun _ v acc ->
+        match Analyze.OLS.estimates v with Some (t :: _) -> t | _ -> acc)
+      analyzed nan
+  in
+  (name, est)
+
+let run_group ~(header : string) ~(expectation : string) tests =
+  Fmt.pr "@.== %s ==@." header;
+  Fmt.pr "   expectation: %s@." expectation;
+  let results = List.map measure_one tests in
+  let baseline = match results with (_, t) :: _ -> t | [] -> nan in
+  List.iter
+    (fun (name, ns) ->
+      Fmt.pr "   %-42s %12.1f ns/run   (x%.2f)@." name ns (ns /. baseline))
+    results
+
+let () =
+  Fmt.pr "entangled-state-monads benchmark harness@.";
+  Fmt.pr
+    "(paper has no empirical evaluation; experiment ids follow EXPERIMENTS.md)@.";
+  run_group ~header:"B1: primitive sync step across instances"
+    ~expectation:
+      "all instance families within a small constant factor; effectful pays \
+       for the trace"
+    b1_tests;
+  run_group ~header:"B2: translation overhead (Lemmas 1-3)"
+    ~expectation:
+      "derived put ~ set + get; double translation adds no further cost"
+    b2_tests;
+  run_group ~header:"B3: composition chain scaling"
+    ~expectation:"cost grows linearly in chain length n" b3_tests;
+  run_group ~header:"B4: relational lens workloads"
+    ~expectation:
+      "get linear in table size; put O(n log n) (hashed key index + \
+       set-normalise)"
+    b4_tests;
+  run_group ~header:"B5: representation ablations"
+    ~expectation:
+      "shallow embedding faster than interpreted free-monad term; record and \
+       functor reps comparable"
+    b5_tests;
+  run_group ~header:"B6: witness-structure wrapper overhead"
+    ~expectation:
+      "journal/undo add a small constant (allocation); effectful adds the \
+       trace machinery"
+    b6_tests;
+  run_group ~header:"B7: MDE synchronisation vs model size"
+    ~expectation:
+      "consistency and restoration quadratic-ish in model size (nested \
+       partner scans); diff near-linear (indexed)"
+    b7_tests;
+  run_group ~header:"B8: surface-language machinery"
+    ~expectation:
+      "compiled view lens ~ handwritten; optimizer turns 32 redundant sets \
+       into 1"
+    b8_tests;
+  Fmt.pr "@.done.@."

@@ -1,0 +1,331 @@
+(* esm-demo: command-line driver for the entangled-state-monads library.
+
+   Subcommands:
+     laws   — smoke-check the bx laws across the built-in instances
+     sync   — interpret a ;-separated op script against a chosen instance
+     info   — print the instance inventory and the paper mapping  *)
+
+open Cmdliner
+open Esm_core
+
+(* ------------------------------------------------------------------ *)
+(* The built-in demo instances: int <-> int bx over various semantics  *)
+(* ------------------------------------------------------------------ *)
+
+let parity : (int, int) Esm_algbx.Algbx.t =
+  Esm_algbx.Algbx.v ~name:"parity"
+    ~consistent:(fun a b -> (a - b) mod 2 = 0)
+    ~fwd:(fun a b -> if (a - b) mod 2 = 0 then b else b + 1 - (2 * (b land 1)))
+    ~bwd:(fun a b -> if (a - b) mod 2 = 0 then a else a + 1 - (2 * (a land 1)))
+    ()
+
+let instances :
+    (string * (string * (int, int) Concrete.packed)) list =
+  [
+    ( "pair",
+      ( "independent pair state (Section 3.4): sets commute",
+        Concrete.pack
+          ~bx:(Concrete.pair () : (int, int, int * int) Concrete.set_bx)
+          ~init:(0, 0)
+          ~eq_state:Esm_laws.Equality.(pair int int) ) );
+    ( "parity",
+      ( "algebraic bx (Lemma 5): consistency = same parity",
+        Concrete.pack
+          ~bx:(Concrete.of_algebraic parity)
+          ~init:(0, 0)
+          ~eq_state:Esm_laws.Equality.(pair int int) ) );
+    ( "shift",
+      ( "symmetric-lens iso (Lemma 6): b = a + 100",
+        Concrete.packed_of_symlens ~seed_a:0 ~eq_a:Int.equal ~eq_b:Int.equal
+          (Esm_symlens.Symlens.of_iso ~name:"shift"
+             (fun x -> x + 100)
+             (fun x -> x - 100)) ) );
+    ( "journal",
+      ( "journalled parity bx: lawful but not overwriteable",
+        Concrete.pack
+          ~bx:
+            (Journal.journalled ~eq_a:Int.equal ~eq_b:Int.equal
+               (Concrete.of_algebraic parity))
+          ~init:(Journal.initial (0, 0))
+          ~eq_state:
+            (Journal.equal_state ~eq_a:Int.equal ~eq_b:Int.equal
+               ~eq_s:Esm_laws.Equality.(pair int int)) ) );
+  ]
+
+let instance_conv =
+  let parse s =
+    match List.assoc_opt s instances with
+    | Some _ -> Ok s
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown instance %S (expected: %s)" s
+               (String.concat ", " (List.map fst instances))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+(* ------------------------------------------------------------------ *)
+(* laws: sampled smoke checks via the Certify API                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_laws name (packed : (int, int) Concrete.packed) =
+  let values = [ -7; -2; 0; 1; 2; 9; 10 ] in
+  let report =
+    Certify.certify ~values_a:values ~values_b:values ~eq_a:Int.equal
+      ~eq_b:Int.equal ~show_a:string_of_int ~show_b:string_of_int packed
+  in
+  let mark law =
+    match
+      List.find_opt (fun v -> String.equal v.Certify.law law) report.Certify.verdicts
+    with
+    | Some v -> if v.Certify.holds then "yes" else "NO "
+    | None -> "?  "
+  in
+  Fmt.pr "  %-8s  GS:%s %s  SG:%s %s  SS(a):%s  commute:%s@." name
+    (mark "GS_a") (mark "GS_b") (mark "SG_a") (mark "SG_b") (mark "SS_a")
+    (mark "commute")
+
+let laws_cmd =
+  let run () =
+    Fmt.pr "set-bx law smoke check (sampled; see `dune runtest` for the full suites)@.";
+    Fmt.pr "  instance  (GS) set(get)=id     (SG) get(set v)=v  (SS) overwrite  sets commute@.";
+    List.iter (fun (name, (_, packed)) -> check_laws name packed) instances;
+    Fmt.pr
+      "@.reading: every instance is a lawful set-bx; only `pair` commutes \
+       (Section 3.4),@.and `journal` is not overwriteable (history is part \
+       of the hidden state).@."
+  in
+  Cmd.v (Cmd.info "laws" ~doc:"Smoke-check the set-bx laws on the built-in instances")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* sync: interpret an op script                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ops (s : string) : (int, int) Program.op list =
+  String.split_on_char ';' s
+  |> List.filter (fun x -> String.trim x <> "")
+  |> List.map (fun tok ->
+         let tok = String.trim tok in
+         match String.split_on_char '=' tok with
+         | [ "a" ] | [ "geta" ] -> Program.Get_a
+         | [ "b" ] | [ "getb" ] -> Program.Get_b
+         | [ "a"; v ] -> Program.Set_a (int_of_string (String.trim v))
+         | [ "b"; v ] -> Program.Set_b (int_of_string (String.trim v))
+         | _ -> failwith (Printf.sprintf "cannot parse op %S" tok))
+
+let sync_cmd =
+  let instance =
+    Arg.(
+      value
+      & opt instance_conv "parity"
+      & info [ "i"; "instance" ] ~docv:"NAME"
+          ~doc:"Instance to run against (pair, parity, shift, journal).")
+  in
+  let script =
+    Arg.(
+      value
+      & pos 0 string "a=3; getb; b=10; geta"
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "Semicolon-separated ops: a=N / b=N set a side, geta / getb read.")
+  in
+  let run name script =
+    let desc, packed = List.assoc name instances in
+    Fmt.pr "instance %s: %s@." name desc;
+    let ops = parse_ops script in
+    let obs = Program.observe packed ops in
+    List.iter2
+      (fun op ob ->
+        match (op, ob) with
+        | Program.Set_a v, Program.Did_set -> Fmt.pr "  set_a %-4d -> ()@." v
+        | Program.Set_b v, Program.Did_set -> Fmt.pr "  set_b %-4d -> ()@." v
+        | Program.Get_a, Program.Saw_a v -> Fmt.pr "  get_a      -> %d@." v
+        | Program.Get_b, Program.Saw_b v -> Fmt.pr "  get_b      -> %d@." v
+        | _ -> Fmt.pr "  (unexpected observation)@.")
+      ops obs
+  in
+  Cmd.v
+    (Cmd.info "sync"
+       ~doc:"Interpret a get/set script against a built-in bx instance")
+    Term.(const run $ instance $ script)
+
+(* ------------------------------------------------------------------ *)
+(* query: run the pipeline query language on the demo database         *)
+(* ------------------------------------------------------------------ *)
+
+let query_cmd =
+  let open Esm_relational in
+  let q_arg =
+    Arg.(
+      value
+      & pos 0 string "employees | where dept = \"Engineering\" | select id, name, salary"
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "Pipeline query over the demo tables `employees` and `depts`, \
+             e.g. 'employees | where salary < 60000 | select name'.")
+  in
+  let size =
+    Arg.(
+      value & opt int 12
+      & info [ "n"; "size" ] ~docv:"N" ~doc:"Rows in the demo employees table.")
+  in
+  let run q size =
+    let employees = Workload.employees ~seed:42 ~size in
+    let depts =
+      Table.of_lists
+        (Schema.make [ ("dept", Value.Tstr); ("floor", Value.Tint) ])
+        [
+          [ Value.Str "Engineering"; Value.Int 3 ];
+          [ Value.Str "Sales"; Value.Int 1 ];
+          [ Value.Str "Support"; Value.Int 2 ];
+          [ Value.Str "Finance"; Value.Int 4 ];
+          [ Value.Str "Ops"; Value.Int 5 ];
+        ]
+    in
+    let env = function
+      | "employees" -> employees
+      | "depts" -> depts
+      | name -> Table.errorf "unknown table %s (try employees or depts)" name
+    in
+    match Query.run env q with
+    | result ->
+        Fmt.pr "%s@." (Table.to_string result);
+        Fmt.pr "(%d rows)@." (Table.cardinality result)
+    | exception Query.Parse_error msg -> Fmt.epr "parse error: %s@." msg
+    | exception Table.Table_error msg -> Fmt.epr "error: %s@." msg
+    | exception Schema.Schema_error msg -> Fmt.epr "schema error: %s@." msg
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a pipeline query against the demo tables")
+    Term.(const run $ q_arg $ size)
+
+(* ------------------------------------------------------------------ *)
+(* view: compile a view definition to a lens and edit through it       *)
+(* ------------------------------------------------------------------ *)
+
+let view_cmd =
+  let open Esm_relational in
+  let q_arg =
+    Arg.(
+      value
+      & pos 0 string "employees | where dept = \"Engineering\" | select id, name"
+      & info [] ~docv:"VIEW"
+          ~doc:
+            "Single-base pipeline view definition over `employees` \
+             (where/select/rename stages only).")
+  in
+  let run q =
+    let employees = Workload.employees ~seed:42 ~size:8 in
+    match
+      Query.lens_of_string ~schema:Workload.employees_schema ~key:[ "id" ] q
+    with
+    | lens ->
+        let view = Esm_lens.Lens.get lens employees in
+        Fmt.pr "== stored table ==@.%s@.@." (Table.to_string employees);
+        Fmt.pr "== view ==@.%s@.@." (Table.to_string view);
+        (* demonstrate writing back: uppercase every name-ish column of
+           the first view row *)
+        (match Table.rows view with
+        | first :: _ ->
+            let vschema = Table.schema view in
+            let edited_row =
+              List.fold_left
+                (fun r (col, ty) ->
+                  match (ty, Row.get vschema r col) with
+                  | Value.Tstr, Value.Str s ->
+                      Row.set vschema r col
+                        (Value.Str (String.uppercase_ascii s))
+                  | _ -> r)
+                first (Schema.columns vschema)
+            in
+            let view' =
+              Table.insert (Table.delete view first) edited_row
+            in
+            let employees' = Esm_lens.Lens.put lens employees view' in
+            Fmt.pr
+              "== after editing the first view row (uppercased strings) and \
+               putting back ==@.%s@."
+              (Table.to_string employees');
+            Fmt.pr
+              "note: columns outside the view were recovered from the old \
+               store by key@."
+        | [] -> Fmt.pr "(empty view: nothing to write back)@.")
+    | exception Query.Parse_error msg -> Fmt.epr "parse error: %s@." msg
+    | exception Query.Not_updatable msg ->
+        Fmt.epr "view is not updatable: %s@." msg
+  in
+  Cmd.v
+    (Cmd.info "view"
+       ~doc:"Compile a view definition into a lens and demo a write-back")
+    Term.(const run $ q_arg)
+
+(* ------------------------------------------------------------------ *)
+(* quotient: bisimulation minimisation of the built-in instances       *)
+(* ------------------------------------------------------------------ *)
+
+let quotient_cmd =
+  let run () =
+    Fmt.pr
+      "bisimulation quotients over the alphabet {0..4} (see \
+       Esm_core.Minimize)@.";
+    Fmt.pr "  %-8s  %10s  %8s  %s@." "instance" "reachable" "classes"
+      "collapsed";
+    let values = [ 0; 1; 2; 3; 4 ] in
+    List.iter
+      (fun (name, (_, packed)) ->
+        let r =
+          Minimize.minimize ~max_states:4096 ~values_a:values
+            ~values_b:values ~eq_a:Int.equal ~eq_b:Int.equal packed
+        in
+        Fmt.pr "  %-8s  %10d  %8d  %s%s@." name r.Minimize.reachable
+          r.Minimize.classes
+          (if r.Minimize.reachable > r.Minimize.classes then "yes" else "no")
+          (if r.Minimize.complete then "" else "  (exploration truncated)"))
+      instances;
+    Fmt.pr
+      "@.reading: `journal` accumulates unbounded history, so its raw \
+       state space does not close;@.the others are finite, and any \
+       unobservable hidden structure collapses into the quotient.@."
+  in
+  Cmd.v
+    (Cmd.info "quotient"
+       ~doc:"Minimise the built-in instances by bisimulation")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run () =
+    Fmt.pr "entangled-state-monads: OCaml reproduction of 'Entangled State \
+            Monads' (BX 2014)@.@.";
+    Fmt.pr "paper construct        -> module@.";
+    List.iter
+      (fun (a, b) -> Fmt.pr "  %-20s -> %s@." a b)
+      [
+        ("set-bx (S3.1)", "Esm_core.Bx_intf.SET_BX");
+        ("put-bx (S3.2)", "Esm_core.Bx_intf.PUT_BX");
+        ("set2pp/pp2set (S3.3)", "Esm_core.Translate");
+        ("entanglement (S3.4)", "Esm_core.Pair_bx + Bx_laws.sets_commute");
+        ("Lemma 4 (lenses)", "Esm_core.Of_lens");
+        ("Lemma 5 (algebraic)", "Esm_core.Of_algebraic");
+        ("Lemma 6 (symmetric)", "Esm_core.Of_symmetric");
+        ("stateful bx (S4)", "Esm_core.Effectful");
+        ("composition (S5)", "Esm_core.Compose");
+        ("equivalence (S5)", "Esm_core.Equivalence");
+      ];
+    Fmt.pr "@.built-in demo instances for `esm-demo sync`:@.";
+    List.iter
+      (fun (name, (desc, _)) -> Fmt.pr "  %-8s %s@." name desc)
+      instances
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show the paper-to-module mapping") Term.(const run $ const ())
+
+let () =
+  let doc = "demos for the entangled-state-monads library" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "esm-demo" ~doc)
+          [ laws_cmd; sync_cmd; query_cmd; view_cmd; quotient_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/config_sync.ml: Config_lens Esm_core Esm_lens Fmt Lens List Option String

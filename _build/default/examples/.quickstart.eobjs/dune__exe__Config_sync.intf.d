@@ -1,0 +1,1 @@
+examples/config_sync.mli:

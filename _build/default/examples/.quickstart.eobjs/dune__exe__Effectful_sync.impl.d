@@ -1,0 +1,1 @@
+examples/effectful_sync.ml: Concrete Effectful Esm_core Esm_relational Fmt List Pred Rlens Table Value Workload

@@ -1,0 +1,1 @@
+examples/effectful_sync.mli:

@@ -1,0 +1,1 @@
+examples/mde_sync.ml: Diff Esm_core Esm_modelbx Fmt List Mbx Metamodel Model

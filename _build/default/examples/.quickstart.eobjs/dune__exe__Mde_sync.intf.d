@@ -1,0 +1,1 @@
+examples/mde_sync.mli:

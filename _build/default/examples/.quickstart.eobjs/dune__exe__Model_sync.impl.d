@@ -1,0 +1,1 @@
+examples/model_sync.ml: Esm_core Esm_symlens Fmt List Option String

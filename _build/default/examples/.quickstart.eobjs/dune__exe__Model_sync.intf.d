@@ -1,0 +1,1 @@
+examples/model_sync.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Esm_core Esm_lens Fmt

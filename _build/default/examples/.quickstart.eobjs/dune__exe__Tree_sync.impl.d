@@ -1,0 +1,1 @@
+examples/tree_sync.ml: Esm_core Esm_lens Fmt Lens Option Tree

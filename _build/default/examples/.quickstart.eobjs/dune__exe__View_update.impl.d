@@ -1,0 +1,1 @@
+examples/view_update.ml: Algebra Esm_core Esm_lens Esm_relational Fmt Pred Rlens Schema Table Value Workload

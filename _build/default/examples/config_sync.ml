@@ -1,0 +1,75 @@
+(* Config-file synchronisation through a textual lens.
+
+   The raw text of a config file (side A: comments, layout, everything)
+   kept in sync with its parsed bindings (side B) — a Boomerang/Augeas
+   style lens lifted into an entangled state monad.  Programs edit the
+   structured view; the hidden state quietly preserves every comment and
+   whitespace choice a human made in the file.  Run with:
+     dune exec examples/config_sync.exe  *)
+
+open Esm_lens
+
+let original =
+  "# service configuration -- managed in git, hand-tuned with love\n\
+   host = localhost\n\
+   port=5432\n\
+   \n\
+   ; flags follow\n\
+   \tdebug  =  true\n"
+
+module Bx = Esm_core.Of_lens.Make (struct
+  type s = string
+  type v = (string * string) list
+
+  let lens = Config_lens.bindings
+  let equal_s = String.equal
+end)
+
+let print_bindings kvs =
+  List.iter (fun (k, v) -> Fmt.pr "    %s -> %s@." k v) kvs
+
+let () =
+  Fmt.pr "== the file on disk (side A) ==@.%s@." original;
+
+  let open Bx.Syntax in
+  let session =
+    let* bindings = Bx.get_b in
+    Fmt.pr "== parsed bindings (side B) ==@.";
+    print_bindings bindings;
+
+    (* A deployment tool edits the STRUCTURE: new host, debug off,
+       a new timeout key. *)
+    let* () =
+      Bx.set_b
+        [
+          ("host", "db.prod.internal");
+          ("port", "5432");
+          ("debug", "false");
+          ("timeout", "30");
+        ]
+    in
+    let* text' = Bx.get_a in
+    Fmt.pr "@.== the file after the structured edit ==@.%s@." text';
+    Fmt.pr "note: both comments and the odd spacing around 'debug' survived@.";
+
+    (* A human edits the TEXT: adds a comment and tweaks a value. *)
+    let* () =
+      Bx.set_a (text' ^ "# added by hand\nretries = 5\n")
+    in
+    let* bindings' = Bx.get_b in
+    Fmt.pr "@.== bindings after the human edit ==@.";
+    print_bindings bindings';
+    Bx.return ()
+  in
+  let (), final = Bx.run session original in
+
+  (* Spot-check the laws on this very file. *)
+  let open Bx.Infix in
+  let (), same = Bx.run (Bx.get_b >>= Bx.set_b) final in
+  Fmt.pr "@.law check (GS): putting back unchanged bindings is a no-op: %b@."
+    (String.equal same final);
+
+  (* The focused per-key lens, for point edits. *)
+  let port = Config_lens.value_of "port" in
+  Fmt.pr "law check (focus): port = %s@."
+    (Option.value ~default:"?" (Lens.get port final))

@@ -1,0 +1,133 @@
+(* Model-driven engineering synchronisation — the paper's motivating
+   scenario: "In model driven development, such sources are usually
+   models; for example, UML models of a system to be developed."
+
+   A UML-ish class model and a persistence schema are related by a
+   QVT-R-lite correspondence spec (Esm_modelbx.Mbx).  The spec induces an
+   algebraic bx (Stevens style), which Lemma 5 turns into an entangled
+   state monad over consistent model pairs: editing either model through
+   the monad silently repairs the other, while each side's private data
+   (docs on classes, storage engines on tables) survives.  Run with:
+     dune exec examples/mde_sync.exe  *)
+
+open Esm_modelbx
+
+let class_mm =
+  Metamodel.v
+    [
+      {
+        Metamodel.cls_name = "Class";
+        attributes =
+          [ ("name", Metamodel.Tstr); ("abstract", Metamodel.Tbool); ("doc", Metamodel.Tstr) ];
+      };
+    ]
+
+let table_mm =
+  Metamodel.v
+    [
+      {
+        Metamodel.cls_name = "Table";
+        attributes =
+          [ ("name", Metamodel.Tstr); ("persistent", Metamodel.Tbool); ("engine", Metamodel.Tstr) ];
+      };
+    ]
+
+let spec =
+  Mbx.v ~name:"class<->table" ~left_mm:class_mm ~right_mm:table_mm
+    [
+      {
+        Mbx.left_class = "Class";
+        right_class = "Table";
+        key = [ ("name", "name") ];
+        synced = [ ("abstract", "persistent") ];
+      };
+    ]
+
+(* Lemma 5: entangled state monad over consistent (classes, tables)
+   pairs. *)
+module Bx = Esm_core.Of_algebraic.Make (struct
+  type ta = Model.t
+  type tb = Model.t
+
+  let bx = Mbx.to_algbx spec
+  let equal_a = Model.equal
+  let equal_b = Model.equal
+end)
+
+let () =
+  let classes =
+    Model.of_objects
+      [
+        Model.obj ~id:1 ~cls:"Class"
+          [ ("name", Model.Vstr "Order"); ("abstract", Model.Vbool false); ("doc", Model.Vstr "a customer order") ];
+        Model.obj ~id:2 ~cls:"Class"
+          [ ("name", Model.Vstr "Item"); ("abstract", Model.Vbool true); ("doc", Model.Vstr "line item") ];
+      ]
+  in
+  let tables = Mbx.fwd spec classes Model.empty in
+  Fmt.pr "== class model (side A) ==@.%s@." (Model.to_string classes);
+  Fmt.pr "== derived tables (side B) ==@.%s@." (Model.to_string tables);
+  Fmt.pr "consistent: %b | right conforms to its metamodel: %b@.@."
+    (Mbx.consistent spec classes tables)
+    (Metamodel.conforms table_mm tables);
+
+  let open Bx.Syntax in
+  let session =
+    (* The DBA tunes a table engine (private to the right model). *)
+    let* tables = Bx.get_b in
+    let order =
+      List.find
+        (fun o -> Model.attr o "name" = Some (Model.Vstr "Order"))
+        (Model.objects tables)
+    in
+    let* () =
+      Bx.set_b
+        (Model.update tables
+           (Model.set_attr order "engine" (Model.Vstr "innodb")))
+    in
+
+    (* The developer adds a class and deletes another — one set_a. *)
+    let* classes = Bx.get_a in
+    let classes' =
+      Model.add
+        (Model.remove classes 2)
+        (Model.obj ~id:3 ~cls:"Class"
+           [ ("name", Model.Vstr "Invoice"); ("abstract", Model.Vbool false); ("doc", Model.Vstr "billing") ])
+    in
+    let* () = Bx.set_a classes' in
+    let* tables' = Bx.get_b in
+    Fmt.pr "== after DBA engine tweak + developer class edit ==@.%s@."
+      (Model.to_string tables');
+    Fmt.pr
+      "note: Item table deleted, Invoice table created (defaults), Order \
+       kept its innodb engine@.@.";
+
+    (* Schema-first: DBA flips persistence on Invoice; the class model
+       follows. *)
+    let* tables = Bx.get_b in
+    let invoice =
+      List.find
+        (fun o -> Model.attr o "name" = Some (Model.Vstr "Invoice"))
+        (Model.objects tables)
+    in
+    let* () =
+      Bx.set_b
+        (Model.update tables
+           (Model.set_attr invoice "persistent" (Model.Vbool true)))
+    in
+    let* classes'' = Bx.get_a in
+    Fmt.pr "== class model after the schema-first edit ==@.%s@."
+      (Model.to_string classes'');
+    Fmt.pr "note: Invoice became abstract=true; Order kept its doc string@.";
+    Bx.return ()
+  in
+  let (), (final_classes, final_tables) = Bx.run session (classes, tables) in
+  Fmt.pr "@.final pair consistent: %b@."
+    (Mbx.consistent spec final_classes final_tables);
+
+  (* The edit scripts between the initial and final models, via the
+     model-diff substrate. *)
+  Fmt.pr "@.edit script on the class model:@.";
+  List.iter
+    (fun e -> Fmt.pr "  %a@." Diff.pp_edit e)
+    (Diff.diff classes final_classes)

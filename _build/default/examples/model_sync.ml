@@ -1,0 +1,133 @@
+(* Symmetric model synchronisation.
+
+   The genuinely symmetric case from model-driven development (the
+   paper's main motivation): a UML-ish class model and a SQL-ish schema
+   kept consistent, where EACH side owns data the other lacks — the class
+   model has documentation strings, the schema has column types.  Neither
+   is an abstraction of the other, so no asymmetric lens applies: we need
+   a symmetric lens with a complement, lifted to a put-bx over consistent
+   triples (Lemma 6).  Run with:  dune exec examples/model_sync.exe  *)
+
+(* Side A: class model — field names plus doc comments. *)
+type class_model = { class_name : string; fields : (string * string) list }
+(* (field, doc) *)
+
+(* Side B: table schema — column names plus SQL types. *)
+type table_schema = { table_name : string; columns : (string * string) list }
+(* (column, sql type) *)
+
+let equal_class m1 m2 = m1 = m2
+let equal_schema s1 s2 = s1 = s2
+
+(* The complement holds what synchronisation forgets: docs by field name
+   and SQL types by column name, so they can be restored when an edit
+   comes back from the other side. *)
+type complement = { docs : (string * string) list; types : (string * string) list }
+
+let lookup k l ~default = Option.value ~default (List.assoc_opt k l)
+
+let sync_lens : (class_model, table_schema) Esm_symlens.Symlens.t =
+  Esm_symlens.Symlens.v ~name:"class<->schema"
+    ~init:{ docs = []; types = [] }
+    ~put_r:(fun m c ->
+      (* class model changed: rebuild the schema, restoring known column
+         types from the complement, defaulting new columns to TEXT. *)
+      let columns =
+        List.map (fun (f, _) -> (f, lookup f c.types ~default:"TEXT")) m.fields
+      in
+      ( { table_name = String.lowercase_ascii m.class_name ^ "s"; columns },
+        {
+          docs = List.map (fun (f, d) -> (f, d)) m.fields;
+          types = columns;
+        } ))
+    ~put_l:(fun s c ->
+      (* schema changed: rebuild the class model, restoring known docs,
+         defaulting new fields to an empty doc. *)
+      let fields =
+        List.map (fun (col, _) -> (col, lookup col c.docs ~default:"")) s.columns
+      in
+      let class_name =
+        String.capitalize_ascii
+          (if String.length s.table_name > 1 && String.ends_with ~suffix:"s" s.table_name
+           then String.sub s.table_name 0 (String.length s.table_name - 1)
+           else s.table_name)
+      in
+      ( { class_name; fields },
+        { docs = fields; types = s.columns } ))
+    ~equal_c:(fun c1 c2 -> c1 = c2)
+    ()
+
+module I = (val Esm_symlens.Symlens.to_instance sync_lens)
+
+module Bx = Esm_core.Of_symmetric.Make (I) (struct
+  let equal_a = equal_class
+  let equal_b = equal_schema
+end)
+
+let pp_model m =
+  Fmt.pr "  class %s@." m.class_name;
+  List.iter (fun (f, d) -> Fmt.pr "    %-10s (* %s *)@." f d) m.fields
+
+let pp_schema s =
+  Fmt.pr "  CREATE TABLE %s (@." s.table_name;
+  List.iter (fun (c, ty) -> Fmt.pr "    %-10s %s,@." c ty) s.columns;
+  Fmt.pr "  );@."
+
+let () =
+  let model0 =
+    {
+      class_name = "Employee";
+      fields =
+        [ ("id", "primary key"); ("name", "legal name"); ("dept", "org unit") ];
+    }
+  in
+  let state0 = Bx.initial ~seed_a:model0 in
+  Fmt.pr "== initial class model (side A) ==@.";
+  pp_model model0;
+
+  let open Bx.Syntax in
+  let session =
+    let* schema = Bx.get_b in
+    Fmt.pr "@.== derived schema (side B) ==@.";
+    pp_schema schema;
+
+    (* DBA edits the schema: adds a typed column, changes a type. *)
+    let schema' =
+      {
+        schema with
+        columns =
+          [
+            ("id", "INTEGER");
+            ("name", "VARCHAR(80)");
+            ("dept", "TEXT");
+            ("salary", "DECIMAL");
+          ];
+      }
+    in
+    Fmt.pr "@.== DBA pushes a schema edit (put_ba) ==@.";
+    pp_schema schema';
+    let* model' = Bx.put_ba schema' in
+    Fmt.pr "@.== class model after round trip: docs SURVIVED, salary is new ==@.";
+    pp_model model';
+
+    (* Developer edits the model: renames nothing, documents salary,
+       drops dept. *)
+    let model'' =
+      {
+        model' with
+        fields =
+          [
+            ("id", "primary key");
+            ("name", "legal name");
+            ("salary", "gross, annual");
+          ];
+      }
+    in
+    Fmt.pr "@.== developer pushes a model edit (put_ab) ==@.";
+    let* schema'' = Bx.put_ab model'' in
+    Fmt.pr "== schema after round trip: column TYPES survived, dept dropped ==@.";
+    pp_schema schema'';
+    Bx.return ()
+  in
+  let (), final = Bx.run session state0 in
+  Fmt.pr "@.final state consistent: %b@." (Bx.consistent final)

@@ -1,0 +1,1 @@
+lib/algbx/algbx.ml: Esm_lens Printf

@@ -1,0 +1,1 @@
+lib/algbx/algbx.mli: Esm_lens

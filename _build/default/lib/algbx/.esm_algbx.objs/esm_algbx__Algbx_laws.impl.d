@@ -1,0 +1,1 @@
+lib/algbx/algbx_laws.ml: Algbx Esm_laws Fun QCheck

@@ -1,0 +1,1 @@
+lib/algbx/algbx_laws.mli: Algbx Esm_laws QCheck

@@ -1,0 +1,149 @@
+(** Algebraic bidirectional transformations in the style of Stevens
+    (SoSyM 2010) — reference [5] of the paper and the input to its Lemma 5.
+
+    An algebraic bx between ['a] and ['b] consists of a consistency
+    relation [R ⊆ A × B] (here a decidable predicate) and two consistency
+    restorers
+
+    - [fwd : 'a -> 'b -> 'b]  (the paper's [→R]: fix up B after A changed)
+    - [bwd : 'a -> 'b -> 'a]  (the paper's [←R]: fix up A after B changed)
+
+    required to satisfy
+
+    - (Correct)     [consistent a (fwd a b)]  (and symmetrically for bwd)
+    - (Hippocratic) [consistent a b] implies [fwd a b = b]  (and symm.)
+
+    and optionally
+
+    - (Undoable)    [consistent a b] implies [fwd a (fwd a' b) = b]
+      (and symmetrically).
+
+    Lemma 5 turns any algebraic bx into a set-bx over the state of
+    consistent pairs ({!Esm_core.Of_algebraic}); undoability yields
+    overwriteability. *)
+
+type ('a, 'b) t = {
+  name : string;
+  consistent : 'a -> 'b -> bool;
+  fwd : 'a -> 'b -> 'b;  (** restore consistency by changing the B side *)
+  bwd : 'a -> 'b -> 'a;  (** restore consistency by changing the A side *)
+}
+
+let v ?(name = "<algbx>") ~consistent ~fwd ~bwd () =
+  { name; consistent; fwd; bwd }
+
+let name t = t.name
+let consistent t a b = t.consistent a b
+let fwd t a b = t.fwd a b
+let bwd t a b = t.bwd a b
+
+(** Restore consistency starting from an arbitrary pair, by repairing the
+    B side. *)
+let repair_fwd t (a, b) = (a, t.fwd a b)
+
+(** Restore consistency starting from an arbitrary pair, by repairing the
+    A side. *)
+let repair_bwd t (a, b) = (t.bwd a b, b)
+
+(* ------------------------------------------------------------------ *)
+(* Constructions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Identity bx on a type with decidable equality: consistency is
+    equality, restoration is copying. *)
+let identity ~(eq : 'a -> 'a -> bool) : ('a, 'a) t =
+  {
+    name = "identity";
+    consistent = eq;
+    fwd = (fun a _ -> a);
+    bwd = (fun _ b -> b);
+  }
+
+(** Swap the two sides. *)
+let converse (t : ('a, 'b) t) : ('b, 'a) t =
+  {
+    name = "converse " ^ t.name;
+    consistent = (fun b a -> t.consistent a b);
+    fwd = (fun b a -> t.bwd a b);
+    bwd = (fun b a -> t.fwd a b);
+  }
+
+(** Componentwise product of two bx. *)
+let product (t1 : ('a1, 'b1) t) (t2 : ('a2, 'b2) t) :
+    ('a1 * 'a2, 'b1 * 'b2) t =
+  {
+    name = Printf.sprintf "(%s * %s)" t1.name t2.name;
+    consistent =
+      (fun (a1, a2) (b1, b2) -> t1.consistent a1 b1 && t2.consistent a2 b2);
+    fwd = (fun (a1, a2) (b1, b2) -> (t1.fwd a1 b1, t2.fwd a2 b2));
+    bwd = (fun (a1, a2) (b1, b2) -> (t1.bwd a1 b1, t2.bwd a2 b2));
+  }
+
+(** The trivial bx whose consistency relation is universally true: no
+    restoration is ever needed.  This is the algebraic-bx account of the
+    plain state monad on [A * B] from Section 3.4 of the paper. *)
+let trivial () : ('a, 'b) t =
+  {
+    name = "trivial";
+    consistent = (fun _ _ -> true);
+    fwd = (fun _ b -> b);
+    bwd = (fun a _ -> a);
+  }
+
+(** An algebraic bx from a well-behaved asymmetric lens: [a] is consistent
+    with [b] iff [get a = b]; [fwd] recomputes the view, [bwd] puts the
+    view back. *)
+let of_lens ~(eq_v : 'v -> 'v -> bool) (l : ('s, 'v) Esm_lens.Lens.t) :
+    ('s, 'v) t =
+  {
+    name = "of_lens " ^ Esm_lens.Lens.name l;
+    consistent = (fun s v -> eq_v (Esm_lens.Lens.get l s) v);
+    fwd = (fun s _ -> Esm_lens.Lens.get l s);
+    bwd = (fun s v -> Esm_lens.Lens.put l s v);
+  }
+
+(** Sequential composition through a middle type, given a function
+    [mid : 'a -> 'c -> 'b] choosing a witness... composition of relational
+    bx is not definable in general (the paper lists composition of
+    entangled state monads as an open problem); here we provide the
+    special case where the middle value is {e functionally determined}
+    from each side by [mid_of_a] and [mid_of_b], which covers compositions
+    of lens-like bx.  Laws are preserved when the determination functions
+    agree on consistent pairs ([consistent a b] in the composite means
+    there is a middle [m] with [consistent1 a m] and [consistent2 m b]). *)
+let compose_via ~(mid_of_a : 'a -> 'm) ~(mid_of_b : 'b -> 'm)
+    (t1 : ('a, 'm) t) (t2 : ('m, 'b) t) : ('a, 'b) t =
+  {
+    name = t1.name ^ " ; " ^ t2.name;
+    consistent =
+      (fun a b ->
+        let m = mid_of_a a in
+        t1.consistent a m && t2.consistent m b);
+    fwd =
+      (fun a b ->
+        let m = mid_of_a a in
+        t2.fwd m b);
+    bwd =
+      (fun a b ->
+        let m = mid_of_b b in
+        t1.bwd a m);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pointwise law checks (QCheck suites live in Algbx_laws)             *)
+(* ------------------------------------------------------------------ *)
+
+let correct_fwd_at t a b = t.consistent a (t.fwd a b)
+let correct_bwd_at t a b = t.consistent (t.bwd a b) b
+
+let hippocratic_fwd_at ~eq_b t a b =
+  (not (t.consistent a b)) || eq_b (t.fwd a b) b
+
+let hippocratic_bwd_at ~eq_a t a b =
+  (not (t.consistent a b)) || eq_a (t.bwd a b) a
+
+let undoable_fwd_at ~eq_b t a a' b =
+  (not (t.consistent a b)) || eq_b (t.fwd a (t.fwd a' b)) b
+
+let undoable_bwd_at ~eq_a t a b b' =
+  (not (t.consistent a b)) || eq_a (t.bwd (t.bwd a b') b) a

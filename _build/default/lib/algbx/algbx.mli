@@ -1,0 +1,86 @@
+(** Algebraic bidirectional transformations in the style of Stevens
+    (SoSyM 2010) — reference [5] of the paper and the input to its
+    Lemma 5.
+
+    An algebraic bx between ['a] and ['b] is a decidable consistency
+    relation together with two consistency restorers, required to satisfy
+
+    - (Correct)     [consistent a (fwd a b)] (and symmetrically for bwd)
+    - (Hippocratic) [consistent a b] implies [fwd a b = b] (and symm.)
+
+    and optionally
+
+    - (Undoable)    [consistent a b] implies [fwd a (fwd a' b) = b]
+      (and symmetrically).
+
+    Lemma 5 turns any algebraic bx into a set-bx over consistent pairs
+    ({!Esm_core.Of_algebraic}); undoability yields overwriteability. *)
+
+type ('a, 'b) t = {
+  name : string;
+  consistent : 'a -> 'b -> bool;
+  fwd : 'a -> 'b -> 'b;  (** the paper's [→R]: repair B after A changed *)
+  bwd : 'a -> 'b -> 'a;  (** the paper's [←R]: repair A after B changed *)
+}
+
+val v :
+  ?name:string ->
+  consistent:('a -> 'b -> bool) ->
+  fwd:('a -> 'b -> 'b) ->
+  bwd:('a -> 'b -> 'a) ->
+  unit ->
+  ('a, 'b) t
+
+val name : ('a, 'b) t -> string
+val consistent : ('a, 'b) t -> 'a -> 'b -> bool
+val fwd : ('a, 'b) t -> 'a -> 'b -> 'b
+val bwd : ('a, 'b) t -> 'a -> 'b -> 'a
+
+val repair_fwd : ('a, 'b) t -> 'a * 'b -> 'a * 'b
+(** Make an arbitrary pair consistent by repairing the B side. *)
+
+val repair_bwd : ('a, 'b) t -> 'a * 'b -> 'a * 'b
+(** Make an arbitrary pair consistent by repairing the A side. *)
+
+(** {1 Constructions} *)
+
+val identity : eq:('a -> 'a -> bool) -> ('a, 'a) t
+(** Consistency is equality; restoration is copying. *)
+
+val converse : ('a, 'b) t -> ('b, 'a) t
+(** Swap the two sides. *)
+
+val product : ('a1, 'b1) t -> ('a2, 'b2) t -> ('a1 * 'a2, 'b1 * 'b2) t
+(** Componentwise product. *)
+
+val trivial : unit -> ('a, 'b) t
+(** Universally-true consistency: no restoration ever needed.  The
+    algebraic-bx account of the plain state monad on [A * B] (paper,
+    Section 3.4). *)
+
+val of_lens : eq_v:('v -> 'v -> bool) -> ('s, 'v) Esm_lens.Lens.t -> ('s, 'v) t
+(** From a well-behaved asymmetric lens: [s] is consistent with [v] iff
+    [get s = v]. *)
+
+val compose_via :
+  mid_of_a:('a -> 'm) -> mid_of_b:('b -> 'm) ->
+  ('a, 'm) t -> ('m, 'b) t -> ('a, 'b) t
+(** Sequential composition in the special case where the middle value is
+    functionally determined from each side.  (General relational
+    composition is not definable — the paper lists composition as an
+    open problem.) *)
+
+(** {1 Pointwise law checks} (QCheck suites live in {!Algbx_laws}) *)
+
+val correct_fwd_at : ('a, 'b) t -> 'a -> 'b -> bool
+val correct_bwd_at : ('a, 'b) t -> 'a -> 'b -> bool
+val hippocratic_fwd_at : eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> 'a -> 'b -> bool
+val hippocratic_bwd_at : eq_a:('a -> 'a -> bool) -> ('a, 'b) t -> 'a -> 'b -> bool
+
+val undoable_fwd_at :
+  eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> 'a -> 'a -> 'b -> bool
+(** [undoable_fwd_at ~eq_b t a a' b]: assuming [consistent a b], check
+    [fwd a (fwd a' b) = b]. *)
+
+val undoable_bwd_at :
+  eq_a:('a -> 'a -> bool) -> ('a, 'b) t -> 'a -> 'b -> 'b -> bool

@@ -1,0 +1,62 @@
+(** QCheck law suites for algebraic bx: (Correct), (Hippocratic) and
+    (Undoable), each in both directions.
+
+    Hippocraticness and undoability are conditional on consistency, so a
+    naive generator may produce vacuously-true samples only.  Callers
+    therefore supply [gen_consistent], a generator of already-consistent
+    pairs (typically built by repairing arbitrary pairs with
+    {!Algbx.repair_fwd}). *)
+
+let default_count = 500
+
+let correct ?(count = default_count) ~name (t : ('a, 'b) Algbx.t)
+    ~(gen_a : 'a QCheck.arbitrary) ~(gen_b : 'b QCheck.arbitrary) :
+    QCheck.Test.t list =
+  [
+    QCheck.Test.make ~count ~name:(name ^ " (Correct fwd)")
+      (QCheck.pair gen_a gen_b)
+      (fun (a, b) -> Algbx.correct_fwd_at t a b);
+    QCheck.Test.make ~count ~name:(name ^ " (Correct bwd)")
+      (QCheck.pair gen_a gen_b)
+      (fun (a, b) -> Algbx.correct_bwd_at t a b);
+  ]
+
+let hippocratic ?(count = default_count) ~name (t : ('a, 'b) Algbx.t)
+    ~(gen_consistent : ('a * 'b) QCheck.arbitrary)
+    ~(eq_a : 'a Esm_laws.Equality.t) ~(eq_b : 'b Esm_laws.Equality.t) :
+    QCheck.Test.t list =
+  [
+    QCheck.Test.make ~count ~name:(name ^ " (Hippocratic fwd)")
+      gen_consistent
+      (fun (a, b) -> Algbx.hippocratic_fwd_at ~eq_b t a b);
+    QCheck.Test.make ~count ~name:(name ^ " (Hippocratic bwd)")
+      gen_consistent
+      (fun (a, b) -> Algbx.hippocratic_bwd_at ~eq_a t a b);
+  ]
+
+let undoable ?(count = default_count) ~name (t : ('a, 'b) Algbx.t)
+    ~(gen_consistent : ('a * 'b) QCheck.arbitrary)
+    ~(gen_a : 'a QCheck.arbitrary) ~(gen_b : 'b QCheck.arbitrary)
+    ~(eq_a : 'a Esm_laws.Equality.t) ~(eq_b : 'b Esm_laws.Equality.t) :
+    QCheck.Test.t list =
+  [
+    QCheck.Test.make ~count ~name:(name ^ " (Undoable fwd)")
+      (QCheck.pair gen_consistent gen_a)
+      (fun ((a, b), a') -> Algbx.undoable_fwd_at ~eq_b t a a' b);
+    QCheck.Test.make ~count ~name:(name ^ " (Undoable bwd)")
+      (QCheck.pair gen_consistent gen_b)
+      (fun ((a, b), b') -> Algbx.undoable_bwd_at ~eq_a t a b b');
+  ]
+
+(** (Correct) + (Hippocratic): the paper's requirements on an algebraic
+    bx. *)
+let well_behaved ?count ~name t ~gen_a ~gen_b ~gen_consistent ~eq_a ~eq_b :
+    QCheck.Test.t list =
+  correct ?count ~name t ~gen_a ~gen_b
+  @ hippocratic ?count ~name t ~gen_consistent ~eq_a ~eq_b
+
+(** A generator of consistent pairs obtained by repairing arbitrary
+    pairs. *)
+let gen_consistent_of (t : ('a, 'b) Algbx.t) (gen_a : 'a QCheck.arbitrary)
+    (gen_b : 'b QCheck.arbitrary) : ('a * 'b) QCheck.arbitrary =
+  QCheck.map ~rev:Fun.id (Algbx.repair_fwd t) (QCheck.pair gen_a gen_b)

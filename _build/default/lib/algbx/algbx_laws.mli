@@ -1,0 +1,52 @@
+(** QCheck law suites for algebraic bx: (Correct), (Hippocratic) and
+    (Undoable), each in both directions.  The conditional laws take a
+    generator of already-consistent pairs ({!gen_consistent_of} builds
+    one by repairing arbitrary pairs). *)
+
+val default_count : int
+
+val correct :
+  ?count:int ->
+  name:string ->
+  ('a, 'b) Algbx.t ->
+  gen_a:'a QCheck.arbitrary ->
+  gen_b:'b QCheck.arbitrary ->
+  QCheck.Test.t list
+
+val hippocratic :
+  ?count:int ->
+  name:string ->
+  ('a, 'b) Algbx.t ->
+  gen_consistent:('a * 'b) QCheck.arbitrary ->
+  eq_a:'a Esm_laws.Equality.t ->
+  eq_b:'b Esm_laws.Equality.t ->
+  QCheck.Test.t list
+
+val undoable :
+  ?count:int ->
+  name:string ->
+  ('a, 'b) Algbx.t ->
+  gen_consistent:('a * 'b) QCheck.arbitrary ->
+  gen_a:'a QCheck.arbitrary ->
+  gen_b:'b QCheck.arbitrary ->
+  eq_a:'a Esm_laws.Equality.t ->
+  eq_b:'b Esm_laws.Equality.t ->
+  QCheck.Test.t list
+
+val well_behaved :
+  ?count:int ->
+  name:string ->
+  ('a, 'b) Algbx.t ->
+  gen_a:'a QCheck.arbitrary ->
+  gen_b:'b QCheck.arbitrary ->
+  gen_consistent:('a * 'b) QCheck.arbitrary ->
+  eq_a:'a Esm_laws.Equality.t ->
+  eq_b:'b Esm_laws.Equality.t ->
+  QCheck.Test.t list
+(** (Correct) + (Hippocratic). *)
+
+val gen_consistent_of :
+  ('a, 'b) Algbx.t ->
+  'a QCheck.arbitrary ->
+  'b QCheck.arbitrary ->
+  ('a * 'b) QCheck.arbitrary

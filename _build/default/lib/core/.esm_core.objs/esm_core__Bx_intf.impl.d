@@ -1,0 +1,1 @@
+lib/core/bx_intf.ml: Esm_monad Monad_intf

@@ -1,0 +1,1 @@
+lib/core/bx_laws.ml: Bx_intf Esm_laws QCheck

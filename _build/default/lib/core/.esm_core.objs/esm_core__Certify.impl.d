@@ -1,0 +1,1 @@
+lib/core/certify.ml: Concrete Format List

@@ -1,0 +1,1 @@
+lib/core/certify.mli: Concrete Format

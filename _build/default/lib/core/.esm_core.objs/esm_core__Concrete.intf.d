@@ -1,0 +1,1 @@
+lib/core/concrete.mli: Esm_algbx Esm_lens Esm_symlens

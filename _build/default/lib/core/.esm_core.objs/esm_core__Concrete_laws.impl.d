@@ -1,0 +1,1 @@
+lib/core/concrete_laws.ml: Concrete QCheck

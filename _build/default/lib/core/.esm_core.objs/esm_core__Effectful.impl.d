@@ -1,0 +1,1 @@
+lib/core/effectful.ml: Bx_intf Concrete Esm_laws Esm_monad Fun Int

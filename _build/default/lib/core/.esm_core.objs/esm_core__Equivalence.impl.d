@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Concrete Gen List Program QCheck

@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Concrete Program QCheck

@@ -1,0 +1,1 @@
+lib/core/journal.ml: Concrete Esm_laws List

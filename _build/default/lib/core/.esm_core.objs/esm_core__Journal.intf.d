@@ -1,0 +1,1 @@
+lib/core/journal.mli: Concrete

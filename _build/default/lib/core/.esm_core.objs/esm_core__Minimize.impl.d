@@ -1,0 +1,1 @@
+lib/core/minimize.ml: Array Concrete Int List Queue

@@ -1,0 +1,1 @@
+lib/core/multiway.mli: Concrete

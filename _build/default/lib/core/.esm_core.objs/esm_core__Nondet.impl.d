@@ -1,0 +1,1 @@
+lib/core/nondet.ml: Bx_intf Esm_monad List

@@ -1,0 +1,1 @@
+lib/core/of_algebraic.ml: Bx_intf Esm_algbx Esm_monad

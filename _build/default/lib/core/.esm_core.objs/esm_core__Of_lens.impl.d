@@ -1,0 +1,1 @@
+lib/core/of_lens.ml: Bx_intf Esm_lens Esm_monad

@@ -1,0 +1,1 @@
+lib/core/of_symmetric.ml: Bx_intf Esm_monad Esm_symlens

@@ -1,0 +1,1 @@
+lib/core/pair_bx.ml: Bx_intf Esm_monad

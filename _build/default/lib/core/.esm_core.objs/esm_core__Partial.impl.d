@@ -1,0 +1,1 @@
+lib/core/partial.ml: Bx_intf Concrete Esm_monad Result Stdlib String

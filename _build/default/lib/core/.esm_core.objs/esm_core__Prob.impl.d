@@ -1,0 +1,1 @@
+lib/core/prob.ml: Bx_intf Esm_monad Float List

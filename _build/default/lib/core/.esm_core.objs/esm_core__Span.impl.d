@@ -1,0 +1,1 @@
+lib/core/span.ml: Bx_intf Concrete Esm_lens Esm_monad Printf

@@ -1,0 +1,1 @@
+lib/core/span.mli: Bx_intf Concrete Esm_lens

@@ -1,0 +1,1 @@
+lib/core/translate.ml: Bx_intf

@@ -1,0 +1,85 @@
+(** The two presentations of an entangled state monad (paper, Section 3).
+
+    A {e set-bx} between [a] and [b] (Section 3.1) is a monad [M] with
+
+    {v
+    get_a : M a          get_b : M b
+    set_a : a -> M ()    set_b : b -> M ()
+    v}
+
+    satisfying, on each side, the three laws (GG), (GS), (SG) — i.e. each
+    side is a lawful state-monad cell over the {e shared} monad — and
+    called {e overwriteable} if each side also satisfies (SS).
+
+    A {e put-bx} (Section 3.2) replaces the setters with
+
+    {v
+    put_ab : a -> M b    ("putBA" in the paper: set the A side,
+                           return the updated B view)
+    put_ba : b -> M a
+    v}
+
+    satisfying (GG), (GP), (PG1), (PG2) (and (PP) when overwriteable).
+
+    The two presentations are equivalent ({!Translate}, Lemmas 1–3).
+
+    The crucial point of the paper (Section 3.4): the laws do {e not}
+    require [set_a] and [set_b] to commute.  The two cells may share —
+    be entangled through — hidden state, so setting one side can change
+    the other (to restore consistency). *)
+
+open Esm_monad
+
+(** A set-bx: Section 3.1 of the paper. *)
+module type SET_BX = sig
+  type a
+  type b
+
+  include Monad_intf.S
+
+  val get_a : a t
+  val get_b : b t
+  val set_a : a -> unit t
+  val set_b : b -> unit t
+end
+
+(** A put-bx: Section 3.2 of the paper. *)
+module type PUT_BX = sig
+  type a
+  type b
+
+  include Monad_intf.S
+
+  val get_a : a t
+  val get_b : b t
+
+  val put_ab : a -> b t
+  (** The paper's [putBA]: install a new [a], observe the updated [b]. *)
+
+  val put_ba : b -> a t
+  (** The paper's [putAB]: install a new [b], observe the updated [a]. *)
+end
+
+(** The runnable refinement shared by every instance in this library: the
+    monad is (isomorphic to) a state monad over [state], possibly with
+    extra observable output folded into ['a result].  The [run] /
+    [equal_result] pair is what the law checkers consume; it matches
+    {!Esm_laws.Runnable.RUNNABLE} with [world := state]. *)
+module type STATEFUL = sig
+  type 'a t
+  type state
+  type 'a result
+
+  val run : 'a t -> state -> 'a result
+  val equal_result : ('a -> 'a -> bool) -> 'a result -> 'a result -> bool
+end
+
+module type STATEFUL_SET_BX = sig
+  include SET_BX
+  include STATEFUL with type 'a t := 'a t
+end
+
+module type STATEFUL_PUT_BX = sig
+  include PUT_BX
+  include STATEFUL with type 'a t := 'a t
+end

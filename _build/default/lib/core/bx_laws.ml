@@ -1,0 +1,195 @@
+(** QCheck law suites for set-bx and put-bx (paper, Sections 3.1–3.2).
+
+    The set-bx laws are, per side, exactly the cell laws of
+    {!Esm_laws.Cell_laws}; the functor {!Set_bx} instantiates that checker
+    twice over the shared state.  {!Put_bx} implements the put-bx laws
+    (GG), (GP), (PG1), (PG2) and (PP) directly.
+
+    Generators of states must produce {e valid} states for the instance —
+    e.g. consistent pairs for {!Of_algebraic}, consistent triples for
+    {!Of_symmetric}, aligned pairs for {!Compose} — since the paper's
+    constructions define the monads over those restricted state spaces. *)
+
+module Set_bx (T : Bx_intf.STATEFUL_SET_BX) = struct
+  module A_cell = Esm_laws.Cell_laws.Make (struct
+    type 'x t = 'x T.t
+    type world = T.state
+    type 'x result = 'x T.result
+    type value = T.a
+
+    let return = T.return
+    let bind = T.bind
+    let run = T.run
+    let equal_result = T.equal_result
+    let get = T.get_a
+    let set = T.set_a
+  end)
+
+  module B_cell = Esm_laws.Cell_laws.Make (struct
+    type 'x t = 'x T.t
+    type world = T.state
+    type 'x result = 'x T.result
+    type value = T.b
+
+    let return = T.return
+    let bind = T.bind
+    let run = T.run
+    let equal_result = T.equal_result
+    let get = T.get_b
+    let set = T.set_b
+  end)
+
+  type config = {
+    name : string;
+    count : int;
+    gen_state : T.state QCheck.arbitrary;
+    gen_a : T.a QCheck.arbitrary;
+    gen_b : T.b QCheck.arbitrary;
+    eq_a : T.a -> T.a -> bool;
+    eq_b : T.b -> T.b -> bool;
+  }
+
+  let config ?(count = 500) ~name ~gen_state ~gen_a ~gen_b ~eq_a ~eq_b () =
+    { name; count; gen_state; gen_a; gen_b; eq_a; eq_b }
+
+  let a_config cfg =
+    A_cell.config ~count:cfg.count ~name:(cfg.name ^ ".A")
+      ~gen_world:cfg.gen_state ~gen_value:cfg.gen_a ~eq_value:cfg.eq_a ()
+
+  let b_config cfg =
+    B_cell.config ~count:cfg.count ~name:(cfg.name ^ ".B")
+      ~gen_world:cfg.gen_state ~gen_value:cfg.gen_b ~eq_value:cfg.eq_b ()
+
+  (** (GG), (GS), (SG) on both sides: the set-bx laws. *)
+  let well_behaved cfg : QCheck.Test.t list =
+    A_cell.well_behaved (a_config cfg) @ B_cell.well_behaved (b_config cfg)
+
+  (** The set-bx laws plus (SS) on both sides. *)
+  let overwriteable cfg : QCheck.Test.t list =
+    A_cell.overwriteable (a_config cfg) @ B_cell.overwriteable (b_config cfg)
+
+  (** The Section 3.4 commutation law [set_a a >> set_b b = set_b b >>
+      set_a a] — {e not} required of a set-bx; holds for {!Pair_bx},
+      fails for genuinely entangled instances.  Exposed so tests can
+      assert both outcomes. *)
+  let sets_commute cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count
+      ~name:(cfg.name ^ " (set_a/set_b commute)")
+      (QCheck.triple cfg.gen_state cfg.gen_a cfg.gen_b)
+      (fun (s, a, b) ->
+        let open T.Infix in
+        T.equal_result Esm_laws.Equality.unit
+          (T.run (T.set_a a >> T.set_b b) s)
+          (T.run (T.set_b b >> T.set_a a) s))
+end
+
+module Put_bx (U : Bx_intf.STATEFUL_PUT_BX) = struct
+  open U.Infix
+
+  type config = {
+    name : string;
+    count : int;
+    gen_state : U.state QCheck.arbitrary;
+    gen_a : U.a QCheck.arbitrary;
+    gen_b : U.b QCheck.arbitrary;
+    eq_a : U.a -> U.a -> bool;
+    eq_b : U.b -> U.b -> bool;
+  }
+
+  let config ?(count = 500) ~name ~gen_state ~gen_a ~gen_b ~eq_a ~eq_b () =
+    { name; count; gen_state; gen_a; gen_b; eq_a; eq_b }
+
+  (* (GG) for a getter, at the universal continuation (see Cell_laws). *)
+  let gg_with (type v) ~label ~(eq : v -> v -> bool) (getter : v U.t) cfg :
+      QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count
+      ~name:(cfg.name ^ " (GG " ^ label ^ ")")
+      cfg.gen_state
+      (fun s ->
+        let lhs = getter >>= fun x -> getter >>= fun y -> U.return (x, y) in
+        let rhs = getter >>= fun x -> U.return (x, x) in
+        U.equal_result (Esm_laws.Equality.pair eq eq) (U.run lhs s)
+          (U.run rhs s))
+
+  let gg_a cfg = gg_with ~label:"get_a" ~eq:cfg.eq_a U.get_a cfg
+  let gg_b cfg = gg_with ~label:"get_b" ~eq:cfg.eq_b U.get_b cfg
+
+  (** (GP): [get_a >>= put_ab = get_b] (and mirrored). *)
+  let gp_a cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (GP a)")
+      cfg.gen_state
+      (fun s ->
+        U.equal_result cfg.eq_b
+          (U.run (U.get_a >>= U.put_ab) s)
+          (U.run U.get_b s))
+
+  let gp_b cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (GP b)")
+      cfg.gen_state
+      (fun s ->
+        U.equal_result cfg.eq_a
+          (U.run (U.get_b >>= U.put_ba) s)
+          (U.run U.get_a s))
+
+  (** (PG1): [put_ab a >> get_a = put_ab a >> return a] (and mirrored). *)
+  let pg1_a cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (PG1 a)")
+      (QCheck.pair cfg.gen_state cfg.gen_a)
+      (fun (s, a) ->
+        U.equal_result cfg.eq_a
+          (U.run (U.put_ab a >> U.get_a) s)
+          (U.run (U.put_ab a >> U.return a) s))
+
+  let pg1_b cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (PG1 b)")
+      (QCheck.pair cfg.gen_state cfg.gen_b)
+      (fun (s, b) ->
+        U.equal_result cfg.eq_b
+          (U.run (U.put_ba b >> U.get_b) s)
+          (U.run (U.put_ba b >> U.return b) s))
+
+  (** (PG2): [put_ab a >> get_b = put_ab a] (and mirrored). *)
+  let pg2_a cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (PG2 a)")
+      (QCheck.pair cfg.gen_state cfg.gen_a)
+      (fun (s, a) ->
+        U.equal_result cfg.eq_b
+          (U.run (U.put_ab a >> U.get_b) s)
+          (U.run (U.put_ab a) s))
+
+  let pg2_b cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (PG2 b)")
+      (QCheck.pair cfg.gen_state cfg.gen_b)
+      (fun (s, b) ->
+        U.equal_result cfg.eq_a
+          (U.run (U.put_ba b >> U.get_a) s)
+          (U.run (U.put_ba b) s))
+
+  (** (PP): [put_ab a >> put_ab a' = put_ab a'] (overwriteable only). *)
+  let pp_a cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (PP a)")
+      (QCheck.triple cfg.gen_state cfg.gen_a cfg.gen_a)
+      (fun (s, a, a') ->
+        U.equal_result cfg.eq_b
+          (U.run (U.put_ab a >> U.put_ab a') s)
+          (U.run (U.put_ab a') s))
+
+  let pp_b cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (PP b)")
+      (QCheck.triple cfg.gen_state cfg.gen_b cfg.gen_b)
+      (fun (s, b, b') ->
+        U.equal_result cfg.eq_a
+          (U.run (U.put_ba b >> U.put_ba b') s)
+          (U.run (U.put_ba b') s))
+
+  let well_behaved cfg : QCheck.Test.t list =
+    [
+      gg_a cfg; gg_b cfg;
+      gp_a cfg; gp_b cfg;
+      pg1_a cfg; pg1_b cfg;
+      pg2_a cfg; pg2_b cfg;
+    ]
+
+  let overwriteable cfg : QCheck.Test.t list =
+    well_behaved cfg @ [ pp_a cfg; pp_b cfg ]
+end

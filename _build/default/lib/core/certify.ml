@@ -1,0 +1,136 @@
+(** Programmatic law certification for packed bx — the "does my bx
+    satisfy the paper's laws?" entry point for downstream users, without
+    going through a test framework.
+
+    Laws are checked on sampled states reachable from the packed initial
+    state (random walks over the provided update values) together with
+    the supplied value samples.  The report records, per law, whether it
+    held on every sample and a counterexample description otherwise.
+
+    This is deliberately a {e sampling} certifier: "pass" means "no
+    violation found on the samples", exactly like the QCheck suites the
+    test directory runs with far more samples. *)
+
+type verdict = { law : string; holds : bool; counterexample : string option }
+
+type report = {
+  subject : string;
+  verdicts : verdict list;
+}
+
+let passed (r : report) : bool = List.for_all (fun v -> v.holds) r.verdicts
+
+let well_behaved_laws = [ "GS_a"; "GS_b"; "SG_a"; "SG_b" ]
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt "%s:@." r.subject;
+  List.iter
+    (fun v ->
+      Format.fprintf fmt "  %-10s %s%s@." v.law
+        (if v.holds then "ok" else "VIOLATED")
+        (match v.counterexample with
+        | Some c when not v.holds -> " at " ^ c
+        | _ -> ""))
+    r.verdicts
+
+(** Certify a packed set-bx against the set-bx laws (plus (SS) and the
+    §3.4 commutation law, reported informatively — they are not required
+    of a set-bx). *)
+let certify (type a b) ?(walk_length = 5) ?(walks = 40)
+    ~(values_a : a list) ~(values_b : b list) ~(eq_a : a -> a -> bool)
+    ~(eq_b : b -> b -> bool) ~(show_a : a -> string) ~(show_b : b -> string)
+    (packed : (a, b) Concrete.packed) : report =
+  match packed with
+  | Concrete.Packed (type s0) (p : (a, b, s0) Concrete.packed_repr) ->
+      let bx = p.Concrete.bx in
+      let eq_s = p.Concrete.eq_state in
+      (* deterministic pseudo-random walks from init *)
+      let all_updates =
+        List.map (fun v s -> bx.Concrete.set_a v s) values_a
+        @ List.map (fun v s -> bx.Concrete.set_b v s) values_b
+      in
+      let n_upd = List.length all_updates in
+      let states =
+        if n_upd = 0 then [ p.Concrete.init ]
+        else
+          List.init walks (fun w ->
+              let rec go s i seed =
+                if i >= walk_length then s
+                else
+                  let k = (seed * 1103515245 + 12345) land 0x3FFFFFFF in
+                  go ((List.nth all_updates (k mod n_upd)) s) (i + 1) k
+              in
+              go p.Concrete.init (w mod walk_length) (w + 1))
+      in
+      let first_failure check describe =
+        let rec go = function
+          | [] -> None
+          | x :: rest -> if check x then go rest else Some (describe x)
+        in
+        go
+      in
+      let with_values values items = List.concat_map (fun s -> List.map (fun v -> (s, v)) values) items in
+      let gs_a =
+        first_failure
+          (fun s -> eq_s (bx.Concrete.set_a (bx.Concrete.get_a s) s) s)
+          (fun s -> "state with get_a = " ^ show_a (bx.Concrete.get_a s))
+          states
+      in
+      let gs_b =
+        first_failure
+          (fun s -> eq_s (bx.Concrete.set_b (bx.Concrete.get_b s) s) s)
+          (fun s -> "state with get_b = " ^ show_b (bx.Concrete.get_b s))
+          states
+      in
+      let sg_a =
+        first_failure
+          (fun (s, v) -> eq_a (bx.Concrete.get_a (bx.Concrete.set_a v s)) v)
+          (fun (_, v) -> "set_a " ^ show_a v)
+          (with_values values_a states)
+      in
+      let sg_b =
+        first_failure
+          (fun (s, v) -> eq_b (bx.Concrete.get_b (bx.Concrete.set_b v s)) v)
+          (fun (_, v) -> "set_b " ^ show_b v)
+          (with_values values_b states)
+      in
+      let ss_a =
+        first_failure
+          (fun ((s, v), v') ->
+            eq_s
+              (bx.Concrete.set_a v' (bx.Concrete.set_a v s))
+              (bx.Concrete.set_a v' s))
+          (fun ((_, v), v') -> "set_a " ^ show_a v ^ "; set_a " ^ show_a v')
+          (with_values values_a (with_values values_a states))
+      in
+      let commute =
+        first_failure
+          (fun ((s, va), vb) ->
+            Concrete.sets_commute_at bx ~eq_state:eq_s va vb s)
+          (fun ((_, va), vb) ->
+            "set_a " ^ show_a va ^ " vs set_b " ^ show_b vb)
+          (with_values values_b (with_values values_a states))
+      in
+      let verdict law = function
+        | None -> { law; holds = true; counterexample = None }
+        | Some c -> { law; holds = false; counterexample = Some c }
+      in
+      {
+        subject = bx.Concrete.name;
+        verdicts =
+          [
+            verdict "GS_a" gs_a;
+            verdict "GS_b" gs_b;
+            verdict "SG_a" sg_a;
+            verdict "SG_b" sg_b;
+            verdict "SS_a" ss_a;
+            verdict "commute" commute;
+          ];
+      }
+
+(** Did the {e required} set-bx laws (GS/SG both sides) pass?  (SS) and
+    commutation are informative extras. *)
+let well_behaved (r : report) : bool =
+  List.for_all
+    (fun v -> (not (List.mem v.law well_behaved_laws)) || v.holds)
+    r.verdicts

@@ -1,0 +1,32 @@
+(** Programmatic law certification for packed bx: a sampling-based law
+    report without a test framework.  "Pass" means "no violation found
+    on the sampled reachable states and supplied values" — use the
+    QCheck suites ({!Bx_laws}, {!Concrete_laws}) for serious coverage. *)
+
+type verdict = { law : string; holds : bool; counterexample : string option }
+
+type report = { subject : string; verdicts : verdict list }
+
+val passed : report -> bool
+(** Every verdict holds (including the informative (SS)/commute rows). *)
+
+val well_behaved : report -> bool
+(** The required set-bx laws (GS/SG on both sides) hold; (SS) and
+    commutation are informative extras a set-bx may legitimately fail. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val certify :
+  ?walk_length:int ->
+  ?walks:int ->
+  values_a:'a list ->
+  values_b:'b list ->
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  show_a:('a -> string) ->
+  show_b:('b -> string) ->
+  ('a, 'b) Concrete.packed ->
+  report
+(** Check (GS), (SG) per side plus the informative (SS_a) and §3.4
+    commutation, on states reached by deterministic pseudo-random walks
+    from the packed initial state. *)

@@ -1,0 +1,181 @@
+(** A command language over entangled state monads, with a law-driven
+    optimizer.
+
+    Programs are built from sets, view-dependent modifications and
+    view-dependent branches.  The optimizer is a small abstract
+    interpretation tracking the {e known} current value of each view —
+    and its soundness argument is exactly the paper's algebra:
+
+    - (GS) justifies deleting a set of the already-current value;
+    - (SG) justifies constant-folding a read that follows a set (branch
+      selection, modify-to-set strengthening);
+    - {e entanglement} (the absence of the §3.4 commutation law) forces
+      the analysis to INVALIDATE its knowledge of the opposite view at
+      every set — an optimizer that assumed independence would be
+      unsound, and tests exhibit a concrete miscompilation on the parity
+      bx ({!optimize_commuting});
+    - (SS) justifies collapsing adjacent same-side sets, so that rewrite
+      is only available in {!optimize_overwriteable}.
+
+    [test/test_command.ml] property-checks each optimizer level against
+    direct execution on instances with exactly the matching laws. *)
+
+type ('a, 'b) t =
+  | Skip
+  | Seq of ('a, 'b) t * ('a, 'b) t
+  | Set_a of 'a
+  | Set_b of 'b
+  | Modify_a of ('a -> 'a)  (** [get_a >>= fun v -> set_a (f v)] *)
+  | Modify_b of ('b -> 'b)
+  | If_a of ('a -> bool) * ('a, 'b) t * ('a, 'b) t
+      (** branch on the current A view *)
+  | If_b of ('b -> bool) * ('a, 'b) t * ('a, 'b) t
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec (bx : ('a, 'b, 's) Concrete.set_bx) (cmd : ('a, 'b) t) (s : 's) :
+    's =
+  match cmd with
+  | Skip -> s
+  | Seq (c1, c2) -> exec bx c2 (exec bx c1 s)
+  | Set_a a -> bx.Concrete.set_a a s
+  | Set_b b -> bx.Concrete.set_b b s
+  | Modify_a f -> bx.Concrete.set_a (f (bx.Concrete.get_a s)) s
+  | Modify_b f -> bx.Concrete.set_b (f (bx.Concrete.get_b s)) s
+  | If_a (p, c1, c2) ->
+      if p (bx.Concrete.get_a s) then exec bx c1 s else exec bx c2 s
+  | If_b (p, c1, c2) ->
+      if p (bx.Concrete.get_b s) then exec bx c1 s else exec bx c2 s
+
+(** Number of bx operations a command performs in the worst case
+    (branches count the larger arm). *)
+let rec cost : ('a, 'b) t -> int = function
+  | Skip -> 0
+  | Seq (c1, c2) -> cost c1 + cost c2
+  | Set_a _ | Set_b _ -> 1
+  | Modify_a _ | Modify_b _ -> 2
+  | If_a (_, c1, c2) | If_b (_, c1, c2) -> 1 + max (cost c1) (cost c2)
+
+(* ------------------------------------------------------------------ *)
+(* The optimizer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type ('a, 'b) knowledge = { known_a : 'a option; known_b : 'b option }
+
+let nothing = { known_a = None; known_b = None }
+
+(** How much may be assumed about the instance:
+    - [`Any] — only the set-bx laws (GS/SG/GG);
+    - [`Overwriteable] — additionally (SS);
+    - [`Commuting] — additionally §3.4 commutation ([set_a]/[set_b]
+      independent); UNSOUND on entangled instances. *)
+type level = [ `Any | `Overwriteable | `Commuting ]
+
+let optimize_at (type a b) (level : level) ~(eq_a : a -> a -> bool)
+    ~(eq_b : b -> b -> bool) (cmd : (a, b) t) : (a, b) t =
+  let merge_known eq k1 k2 =
+    match (k1, k2) with
+    | Some x, Some y when eq x y -> Some x
+    | _ -> None
+  in
+  let seq c1 c2 =
+    match (c1, c2) with
+    | Skip, c | c, Skip -> c
+    | Set_a _, Set_a _ when level <> `Any -> c2 (* (SS) *)
+    | Set_b _, Set_b _ when level <> `Any -> c2
+    | _ -> Seq (c1, c2)
+  in
+  (* Returns the optimized command and the post-knowledge. *)
+  let rec go (k : (a, b) knowledge) : (a, b) t -> (a, b) t * (a, b) knowledge
+      = function
+    | Skip -> (Skip, k)
+    | Seq (c1, c2) ->
+        let c1', k1 = go k c1 in
+        let c2', k2 = go k1 c2 in
+        (seq c1' c2', k2)
+    | Set_a a -> (
+        match k.known_a with
+        | Some a0 when eq_a a a0 ->
+            (* (GS): setting the current value is the identity *)
+            (Skip, k)
+        | _ ->
+            ( Set_a a,
+              {
+                known_a = Some a;
+                (* entanglement: the write may have changed B — unless
+                   the instance is known commuting *)
+                known_b = (if level = `Commuting then k.known_b else None);
+              } ))
+    | Set_b b -> (
+        match k.known_b with
+        | Some b0 when eq_b b b0 -> (Skip, k)
+        | _ ->
+            ( Set_b b,
+              {
+                known_b = Some b;
+                known_a = (if level = `Commuting then k.known_a else None);
+              } ))
+    | Modify_a f -> (
+        match k.known_a with
+        | Some a0 ->
+            (* (SG) lets us fold the read; re-enter as a plain set so the
+               (GS)/(SS) rules above also apply to it *)
+            go k (Set_a (f a0))
+        | None ->
+            ( Modify_a f,
+              {
+                known_a = None;
+                known_b = (if level = `Commuting then k.known_b else None);
+              } ))
+    | Modify_b f -> (
+        match k.known_b with
+        | Some b0 -> go k (Set_b (f b0))
+        | None ->
+            ( Modify_b f,
+              {
+                known_b = None;
+                known_a = (if level = `Commuting then k.known_a else None);
+              } ))
+    | If_a (p, c1, c2) -> (
+        match k.known_a with
+        | Some a0 ->
+            (* (SG): the guard's read is statically known *)
+            go k (if p a0 then c1 else c2)
+        | None ->
+            let c1', k1 = go k c1 in
+            let c2', k2 = go k c2 in
+            ( If_a (p, c1', c2'),
+              {
+                known_a = merge_known eq_a k1.known_a k2.known_a;
+                known_b = merge_known eq_b k1.known_b k2.known_b;
+              } ))
+    | If_b (p, c1, c2) -> (
+        match k.known_b with
+        | Some b0 -> go k (if p b0 then c1 else c2)
+        | None ->
+            let c1', k1 = go k c1 in
+            let c2', k2 = go k c2 in
+            ( If_b (p, c1', c2'),
+              {
+                known_a = merge_known eq_a k1.known_a k2.known_a;
+                known_b = merge_known eq_b k1.known_b k2.known_b;
+              } ))
+  in
+  fst (go nothing cmd)
+
+(** Sound for every set-bx (uses only GS/SG and Skip elimination). *)
+let optimize ~eq_a ~eq_b cmd = optimize_at `Any ~eq_a ~eq_b cmd
+
+(** Additionally collapses adjacent same-side sets; sound exactly for
+    overwriteable instances. *)
+let optimize_overwriteable ~eq_a ~eq_b cmd =
+  optimize_at `Overwriteable ~eq_a ~eq_b cmd
+
+(** Additionally assumes [set_a]/[set_b] commute, retaining knowledge of
+    the opposite view across sets.  Sound for §3.4-style independent
+    instances; {e unsound} for entangled ones (tests exhibit the
+    miscompilation). *)
+let optimize_commuting ~eq_a ~eq_b cmd =
+  optimize_at `Commuting ~eq_a ~eq_b cmd

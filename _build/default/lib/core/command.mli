@@ -1,0 +1,48 @@
+(** A command language over entangled state monads, with a law-driven
+    optimizer: (GS) deletes sets of the already-current value, (SG)
+    constant-folds reads after sets, entanglement forces invalidation of
+    the opposite view's known value at every set, and (SS) — available
+    only at the overwriteable level — collapses adjacent same-side sets.
+    Each optimization level is property-tested sound exactly on the
+    instances with the matching laws. *)
+
+type ('a, 'b) t =
+  | Skip
+  | Seq of ('a, 'b) t * ('a, 'b) t
+  | Set_a of 'a
+  | Set_b of 'b
+  | Modify_a of ('a -> 'a)  (** [get_a >>= fun v -> set_a (f v)] *)
+  | Modify_b of ('b -> 'b)
+  | If_a of ('a -> bool) * ('a, 'b) t * ('a, 'b) t
+  | If_b of ('b -> bool) * ('a, 'b) t * ('a, 'b) t
+
+val exec : ('a, 'b, 's) Concrete.set_bx -> ('a, 'b) t -> 's -> 's
+
+val cost : ('a, 'b) t -> int
+(** Worst-case number of bx operations performed. *)
+
+(** Optimizer knowledge: the statically-known current value per view. *)
+type ('a, 'b) knowledge = { known_a : 'a option; known_b : 'b option }
+
+type level = [ `Any | `Overwriteable | `Commuting ]
+
+val optimize_at :
+  level ->
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) t ->
+  ('a, 'b) t
+
+val optimize :
+  eq_a:('a -> 'a -> bool) -> eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) t
+(** Sound for every set-bx. *)
+
+val optimize_overwriteable :
+  eq_a:('a -> 'a -> bool) -> eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) t
+(** Additionally collapses adjacent same-side sets ((SS)); sound exactly
+    for overwriteable instances. *)
+
+val optimize_commuting :
+  eq_a:('a -> 'a -> bool) -> eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) t
+(** Additionally assumes [set_a]/[set_b] commute; UNSOUND on entangled
+    instances (tests exhibit a concrete miscompilation). *)

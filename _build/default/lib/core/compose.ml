@@ -1,0 +1,94 @@
+(** Composition of entangled state monads — the other open problem in the
+    paper's conclusions ("the question of whether entangled state monads
+    can be composed seems nontrivial").
+
+    For the state-based instances in this library there is a natural
+    candidate: given [t1 : A <-> B] over state [s1] and [t2 : B <-> C]
+    over state [s2], take the composite state to be pairs [(x1, x2)] that
+    are {e aligned} — [t1.get_b x1 = t2.get_a x2] — and propagate updates
+    through the shared middle type:
+
+    {v
+    set_a a (x1, x2) = let x1' = t1.set_a a x1 in
+                       (x1', t2.set_a (t1.get_b x1') x2)
+    set_c c (x1, x2) = let x2' = t2.set_b c x2 in
+                       (t1.set_b (t2.get_a x2') x1, x2')
+    v}
+
+    On the aligned subset, the composite satisfies the set-bx laws
+    whenever both components do (property-tested in
+    [test/test_compose.ml]); on unaligned states law (GS) can fail, which
+    is precisely the subtlety the paper anticipates — composition demands
+    a restriction of the state space, mirroring how symmetric lenses must
+    be quotiented for composition to behave.
+
+    Overwriteability is also preserved: (SS) for the composite follows
+    from (SS) of each component pointwise. *)
+
+(** The alignment invariant of the composite state. *)
+let aligned ~(eq_mid : 'b -> 'b -> bool) (t1 : ('a, 'b, 's1) Concrete.set_bx)
+    (t2 : ('b, 'c, 's2) Concrete.set_bx) ((x1, x2) : 's1 * 's2) : bool =
+  eq_mid (t1.Concrete.get_b x1) (t2.Concrete.get_a x2)
+
+(** Force alignment by pushing the left component's B view into the right
+    component. *)
+let align (t1 : ('a, 'b, 's1) Concrete.set_bx)
+    (t2 : ('b, 'c, 's2) Concrete.set_bx) ((x1, x2) : 's1 * 's2) : 's1 * 's2 =
+  (x1, t2.Concrete.set_a (t1.Concrete.get_b x1) x2)
+
+(** Sequential composition.  The result is law-abiding on the
+    {!aligned} subset of ['s1 * 's2]; use {!align} to construct valid
+    initial states. *)
+let compose (t1 : ('a, 'b, 's1) Concrete.set_bx)
+    (t2 : ('b, 'c, 's2) Concrete.set_bx) : ('a, 'c, 's1 * 's2) Concrete.set_bx
+    =
+  {
+    Concrete.name = t1.Concrete.name ^ " ; " ^ t2.Concrete.name;
+    get_a = (fun (x1, _) -> t1.Concrete.get_a x1);
+    get_b = (fun (_, x2) -> t2.Concrete.get_b x2);
+    set_a =
+      (fun a (x1, x2) ->
+        let x1' = t1.Concrete.set_a a x1 in
+        (x1', t2.Concrete.set_a (t1.Concrete.get_b x1') x2));
+    set_b =
+      (fun c (x1, x2) ->
+        let x2' = t2.Concrete.set_b c x2 in
+        (t1.Concrete.set_b (t2.Concrete.get_a x2') x1, x2'));
+  }
+
+(** Infix composition. *)
+let ( >>> ) = compose
+
+(** Compose packed bx, aligning the initial states. *)
+let compose_packed (Concrete.Packed p1 : ('a, 'b) Concrete.packed)
+    (Concrete.Packed p2 : ('b, 'c) Concrete.packed) : ('a, 'c) Concrete.packed
+    =
+  let bx = compose p1.Concrete.bx p2.Concrete.bx in
+  let init = align p1.Concrete.bx p2.Concrete.bx (p1.Concrete.init, p2.Concrete.init) in
+  Concrete.Packed
+    {
+      bx;
+      init;
+      eq_state =
+        (fun (x1, x2) (y1, y2) ->
+          p1.Concrete.eq_state x1 y1 && p2.Concrete.eq_state x2 y2);
+    }
+
+(** The identity bx over a single value: unit for composition up to
+    observational equivalence. *)
+let identity () : ('a, 'a, 'a) Concrete.set_bx =
+  {
+    Concrete.name = "id";
+    get_a = Fun.id;
+    get_b = Fun.id;
+    set_a = (fun a _ -> a);
+    set_b = (fun a _ -> a);
+  }
+
+(** An n-fold chain of the same bx (used by the composition-scaling
+    benchmark).  [chain n t] has state ['s] nested [n] deep on the right:
+    since OCaml cannot express that type statically for dynamic [n], the
+    chain is built over packed bx. *)
+let rec chain_packed (n : int) (p : ('a, 'a) Concrete.packed) :
+    ('a, 'a) Concrete.packed =
+  if n <= 1 then p else compose_packed p (chain_packed (n - 1) p)

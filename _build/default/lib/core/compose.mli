@@ -1,0 +1,52 @@
+(** Composition of entangled state monads — one of the open problems in
+    the paper's conclusions.
+
+    For state-based instances there is a natural candidate: compose
+    [t1 : A <-> B] over [s1] with [t2 : B <-> C] over [s2] on the
+    {e aligned} pairs ([t1.get_b x1 = t2.get_a x2]), propagating updates
+    through the shared middle.  On the aligned subset the composite
+    satisfies the set-bx laws whenever both components do; off it, (GS)
+    genuinely fails — composition demands a restriction of the state
+    space, mirroring how symmetric lenses must be quotiented.  Both
+    facts are property-tested in [test/test_compose.ml]. *)
+
+val aligned :
+  eq_mid:('b -> 'b -> bool) ->
+  ('a, 'b, 's1) Concrete.set_bx ->
+  ('b, 'c, 's2) Concrete.set_bx ->
+  's1 * 's2 -> bool
+(** The alignment invariant of the composite state. *)
+
+val align :
+  ('a, 'b, 's1) Concrete.set_bx ->
+  ('b, 'c, 's2) Concrete.set_bx ->
+  's1 * 's2 -> 's1 * 's2
+(** Force alignment by pushing the left component's B view into the
+    right component. *)
+
+val compose :
+  ('a, 'b, 's1) Concrete.set_bx ->
+  ('b, 'c, 's2) Concrete.set_bx ->
+  ('a, 'c, 's1 * 's2) Concrete.set_bx
+(** Sequential composition; law-abiding on the {!aligned} subset.  Use
+    {!align} to construct valid initial states. *)
+
+val ( >>> ) :
+  ('a, 'b, 's1) Concrete.set_bx ->
+  ('b, 'c, 's2) Concrete.set_bx ->
+  ('a, 'c, 's1 * 's2) Concrete.set_bx
+(** Infix {!compose}. *)
+
+val compose_packed :
+  ('a, 'b) Concrete.packed ->
+  ('b, 'c) Concrete.packed ->
+  ('a, 'c) Concrete.packed
+(** Compose packed bx, aligning the initial states. *)
+
+val identity : unit -> ('a, 'a, 'a) Concrete.set_bx
+(** The identity bx over a single value: unit for composition up to
+    observational equivalence. *)
+
+val chain_packed : int -> ('a, 'a) Concrete.packed -> ('a, 'a) Concrete.packed
+(** [chain_packed n p]: n-fold self-composition (used by the
+    composition-scaling benchmark). *)

@@ -1,0 +1,197 @@
+(** First-class (record) representations of entangled state monads over an
+    explicit state type.
+
+    Every instance the paper constructs (Lemmas 4–6, Section 3.4,
+    Section 4) is a state monad over some concrete state; specialising the
+    abstract operations at that state monad turns a set-bx into four plain
+    functions, and a put-bx into two getters and two put functions.  This
+    module is the value-level mirror of the functor-level constructions in
+    {!Of_lens}, {!Of_algebraic}, {!Of_symmetric} and {!Translate}; tests
+    confirm the two levels agree observationally.
+
+    The record form is what composition ({!Compose}), observational
+    equivalence ({!Equivalence}) and the benchmarks manipulate, since it
+    allows whole bx to be built, paired and chained dynamically. *)
+
+(** A set-bx between ['a] and ['b] entangled through state ['s]. *)
+type ('a, 'b, 's) set_bx = {
+  name : string;
+  get_a : 's -> 'a;
+  get_b : 's -> 'b;
+  set_a : 'a -> 's -> 's;
+  set_b : 'b -> 's -> 's;
+}
+
+(** A put-bx between ['a] and ['b] entangled through state ['s]. *)
+type ('a, 'b, 's) put_bx = {
+  p_name : string;
+  p_get_a : 's -> 'a;
+  p_get_b : 's -> 'b;
+  put_ab : 'a -> 's -> 'b * 's;
+  put_ba : 'b -> 's -> 'a * 's;
+}
+
+(** A set-bx packaged with an initial state and state equality, hiding the
+    state type.  This is the form used to compare bx with {e different}
+    state representations ({!Equivalence}) and to drive examples. *)
+type ('a, 'b) packed = Packed : ('a, 'b, 's) packed_repr -> ('a, 'b) packed
+
+and ('a, 'b, 's) packed_repr = {
+  bx : ('a, 'b, 's) set_bx;
+  init : 's;
+  eq_state : 's -> 's -> bool;
+}
+
+let pack ~bx ~init ~eq_state = Packed { bx; init; eq_state }
+
+(* ------------------------------------------------------------------ *)
+(* The value-level translations of Section 3.3 (Lemmas 1-3)            *)
+(* ------------------------------------------------------------------ *)
+
+(** [set2pp]: derive a put-bx by setting then reading the opposite side. *)
+let set_to_put (t : ('a, 'b, 's) set_bx) : ('a, 'b, 's) put_bx =
+  {
+    p_name = t.name;
+    p_get_a = t.get_a;
+    p_get_b = t.get_b;
+    put_ab =
+      (fun a s ->
+        let s' = t.set_a a s in
+        (t.get_b s', s'));
+    put_ba =
+      (fun b s ->
+        let s' = t.set_b b s in
+        (t.get_a s', s'));
+  }
+
+(** [pp2set]: derive a set-bx by putting and discarding the returned
+    view. *)
+let put_to_set (u : ('a, 'b, 's) put_bx) : ('a, 'b, 's) set_bx =
+  {
+    name = u.p_name;
+    get_a = u.p_get_a;
+    get_b = u.p_get_b;
+    set_a = (fun a s -> snd (u.put_ab a s));
+    set_b = (fun b s -> snd (u.put_ba b s));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Instances (value level)                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Lemma 4: a well-behaved asymmetric lens gives a set-bx over the
+    source state; the A side is the identity lens, the B side goes
+    through [l]. *)
+let of_lens (l : ('s, 'v) Esm_lens.Lens.t) : ('s, 'v, 's) set_bx =
+  {
+    name = "of_lens " ^ Esm_lens.Lens.name l;
+    get_a = Fun.id;
+    get_b = Esm_lens.Lens.get l;
+    set_a = (fun a _ -> a);
+    set_b = (fun v s -> Esm_lens.Lens.put l s v);
+  }
+
+(** Lemma 5: an algebraic bx gives a set-bx over consistent pairs; each
+    setter repairs the opposite side with the matching restorer. *)
+let of_algebraic (t : ('a, 'b) Esm_algbx.Algbx.t) : ('a, 'b, 'a * 'b) set_bx =
+  {
+    name = "of_algebraic " ^ Esm_algbx.Algbx.name t;
+    get_a = fst;
+    get_b = snd;
+    set_a = (fun a' (_, b) -> (a', Esm_algbx.Algbx.fwd t a' b));
+    set_b = (fun b' (a, _) -> (Esm_algbx.Algbx.bwd t a b', b'));
+  }
+
+(** Section 3.4: the plain (non-entangled) state monad on [A * B]; the
+    special case of {!of_algebraic} for the universally-true consistency
+    relation.  Satisfies the extra commutation law
+    [set_a a >> set_b b = set_b b >> set_a a]. *)
+let pair () : ('a, 'b, 'a * 'b) set_bx =
+  {
+    name = "pair";
+    get_a = fst;
+    get_b = snd;
+    set_a = (fun a (_, b) -> (a, b));
+    set_b = (fun b (a, _) -> (a, b));
+  }
+
+(** Lemma 6 at the value level: a symmetric lens gives a put-bx over
+    consistent triples [(a, b, c)].  The state type mentions the lens's
+    complement, so this takes the module form ({!Esm_symlens.Symlens.INSTANCE});
+    {!packed_of_symlens} offers a fully first-class variant. *)
+let of_symlens_instance (type x y c0)
+    (module I : Esm_symlens.Symlens.INSTANCE
+      with type a = x
+       and type b = y
+       and type c = c0) : (x, y, x * y * c0) put_bx =
+  {
+    p_name = "of_symlens " ^ I.name;
+    p_get_a = (fun (a, _, _) -> a);
+    p_get_b = (fun (_, b, _) -> b);
+    put_ab =
+      (fun a' (_, _, c) ->
+        let b', c' = I.put_r a' c in
+        (b', (a', b', c')));
+    put_ba =
+      (fun b' (_, _, c) ->
+        let a', c' = I.put_l b' c in
+        (a', (a', b', c')));
+  }
+
+(** Lemma 6, fully first-class: hide the complement inside a {!packed}
+    set-bx.  The initial state is the consistent triple obtained by
+    pushing [seed_a] through the fresh lens. *)
+let packed_of_symlens (type x y) ~(seed_a : x) ~(eq_a : x -> x -> bool)
+    ~(eq_b : y -> y -> bool) (lens : (x, y) Esm_symlens.Symlens.t) :
+    (x, y) packed =
+  match lens with
+  | Esm_symlens.Symlens.Sym (type c0)
+      (l : (x, y, c0) Esm_symlens.Symlens.repr) ->
+      let module I = struct
+        type a = x
+        type b = y
+        type c = c0
+
+        let name = l.name
+        let init = l.init
+        let put_r = l.put_r
+        let put_l = l.put_l
+        let equal_c = l.equal_c
+      end in
+      let put = of_symlens_instance (module I) in
+      let b0, c0 = l.put_r seed_a l.init in
+      Packed
+        {
+          bx = put_to_set put;
+          init = (seed_a, b0, c0);
+          eq_state =
+            (fun (a1, b1, c1) (a2, b2, c2) ->
+              eq_a a1 a2 && eq_b b1 b2 && l.equal_c c1 c2);
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Modify the A side through a function (get-modify-set round trip). *)
+let update_a (t : ('a, 'b, 's) set_bx) (f : 'a -> 'a) (s : 's) : 's =
+  t.set_a (f (t.get_a s)) s
+
+let update_b (t : ('a, 'b, 's) set_bx) (f : 'b -> 'b) (s : 's) : 's =
+  t.set_b (f (t.get_b s)) s
+
+(** Swap the roles of A and B. *)
+let flip (t : ('a, 'b, 's) set_bx) : ('b, 'a, 's) set_bx =
+  {
+    name = "flip " ^ t.name;
+    get_a = t.get_b;
+    get_b = t.get_a;
+    set_a = t.set_b;
+    set_b = t.set_a;
+  }
+
+(** Does [set_a] commute with [set_b] at this state (Section 3.4)?  True
+    everywhere for {!pair}; generally false for entangled instances. *)
+let sets_commute_at (t : ('a, 'b, 's) set_bx) ~(eq_state : 's -> 's -> bool)
+    (a : 'a) (b : 'b) (s : 's) : bool =
+  eq_state (t.set_b b (t.set_a a s)) (t.set_a a (t.set_b b s))

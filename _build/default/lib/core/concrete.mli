@@ -1,0 +1,105 @@
+(** First-class (record) representations of entangled state monads over
+    an explicit state type.
+
+    Every instance the paper constructs (Lemmas 4–6, §3.4, §4) is a state
+    monad over some concrete state; specialising the abstract operations
+    at that state monad yields plain functions.  This module is the
+    value-level mirror of the functor-level constructions in {!Of_lens},
+    {!Of_algebraic}, {!Of_symmetric} and {!Translate}; tests confirm the
+    two levels agree observationally.  The record form is what
+    {!Compose}, {!Equivalence} and the benchmarks manipulate. *)
+
+(** A set-bx between ['a] and ['b] entangled through state ['s]. *)
+type ('a, 'b, 's) set_bx = {
+  name : string;
+  get_a : 's -> 'a;
+  get_b : 's -> 'b;
+  set_a : 'a -> 's -> 's;
+  set_b : 'b -> 's -> 's;
+}
+
+(** A put-bx between ['a] and ['b] entangled through state ['s]. *)
+type ('a, 'b, 's) put_bx = {
+  p_name : string;
+  p_get_a : 's -> 'a;
+  p_get_b : 's -> 'b;
+  put_ab : 'a -> 's -> 'b * 's;
+  put_ba : 'b -> 's -> 'a * 's;
+}
+
+(** A set-bx packaged with an initial state and state equality, hiding
+    the state type — the form used to compare bx with different hidden
+    state representations ({!Equivalence}). *)
+type ('a, 'b) packed = Packed : ('a, 'b, 's) packed_repr -> ('a, 'b) packed
+
+and ('a, 'b, 's) packed_repr = {
+  bx : ('a, 'b, 's) set_bx;
+  init : 's;
+  eq_state : 's -> 's -> bool;
+}
+
+val pack :
+  bx:('a, 'b, 's) set_bx ->
+  init:'s ->
+  eq_state:('s -> 's -> bool) ->
+  ('a, 'b) packed
+
+(** {1 The value-level translations of Section 3.3 (Lemmas 1–3)} *)
+
+val set_to_put : ('a, 'b, 's) set_bx -> ('a, 'b, 's) put_bx
+(** [set2pp]: derive a put-bx by setting then reading the opposite
+    side. *)
+
+val put_to_set : ('a, 'b, 's) put_bx -> ('a, 'b, 's) set_bx
+(** [pp2set]: derive a set-bx by putting and discarding the returned
+    view. *)
+
+(** {1 Instances (value level)} *)
+
+val of_lens : ('s, 'v) Esm_lens.Lens.t -> ('s, 'v, 's) set_bx
+(** Lemma 4: a well-behaved asymmetric lens gives a set-bx over the
+    source state. *)
+
+val of_algebraic : ('a, 'b) Esm_algbx.Algbx.t -> ('a, 'b, 'a * 'b) set_bx
+(** Lemma 5: an algebraic bx gives a set-bx over consistent pairs. *)
+
+val pair : unit -> ('a, 'b, 'a * 'b) set_bx
+(** Section 3.4: the plain (non-entangled) state monad on [A * B]; also
+    satisfies the commutation law [set_a a >> set_b b = set_b b >>
+    set_a a]. *)
+
+val of_symlens_instance :
+  (module Esm_symlens.Symlens.INSTANCE
+     with type a = 'x
+      and type b = 'y
+      and type c = 'c) ->
+  ('x, 'y, 'x * 'y * 'c) put_bx
+(** Lemma 6 at the value level: the state type mentions the complement,
+    so this takes the module form. *)
+
+val packed_of_symlens :
+  seed_a:'x ->
+  eq_a:('x -> 'x -> bool) ->
+  eq_b:('y -> 'y -> bool) ->
+  ('x, 'y) Esm_symlens.Symlens.t ->
+  ('x, 'y) packed
+(** Lemma 6, fully first-class: the complement is hidden inside a
+    {!packed} set-bx whose initial state pushes [seed_a] through the
+    fresh lens. *)
+
+(** {1 Helpers} *)
+
+val update_a : ('a, 'b, 's) set_bx -> ('a -> 'a) -> 's -> 's
+(** Modify the A side through a function (get-modify-set round trip). *)
+
+val update_b : ('a, 'b, 's) set_bx -> ('b -> 'b) -> 's -> 's
+
+val flip : ('a, 'b, 's) set_bx -> ('b, 'a, 's) set_bx
+(** Swap the roles of A and B. *)
+
+val sets_commute_at :
+  ('a, 'b, 's) set_bx ->
+  eq_state:('s -> 's -> bool) ->
+  'a -> 'b -> 's -> bool
+(** Does [set_a] commute with [set_b] at this state (Section 3.4)?  True
+    everywhere for {!pair}; generally false for entangled instances. *)

@@ -1,0 +1,108 @@
+(** Law suites for the record representation ({!Concrete.set_bx}).
+
+    At the record level the monadic laws specialise to first-order
+    equations — (GG) holds by construction since the getters are pure
+    projections, and the remaining laws become:
+
+    - (GS_a) [set_a (get_a s) s = s]                 (hippocraticness)
+    - (SG_a) [get_a (set_a a s) = a]                 (the set wins)
+    - (SS_a) [set_a a' (set_a a s) = set_a a' s]     (overwriteability)
+
+    (and mirrored on the B side).  Tests confirm these agree with the
+    monadic suites via the functor/record conversions. *)
+
+let default_count = 500
+
+type ('a, 'b, 's) config = {
+  name : string;
+  count : int;
+  gen_state : 's QCheck.arbitrary;
+  gen_a : 'a QCheck.arbitrary;
+  gen_b : 'b QCheck.arbitrary;
+  eq_a : 'a -> 'a -> bool;
+  eq_b : 'b -> 'b -> bool;
+  eq_state : 's -> 's -> bool;
+}
+
+let config ?(count = default_count) ~name ~gen_state ~gen_a ~gen_b ~eq_a
+    ~eq_b ~eq_state () =
+  { name; count; gen_state; gen_a; gen_b; eq_a; eq_b; eq_state }
+
+let gs_a cfg (t : ('a, 'b, 's) Concrete.set_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ ".A (GS)") cfg.gen_state
+    (fun s -> cfg.eq_state (t.Concrete.set_a (t.Concrete.get_a s) s) s)
+
+let gs_b cfg (t : ('a, 'b, 's) Concrete.set_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ ".B (GS)") cfg.gen_state
+    (fun s -> cfg.eq_state (t.Concrete.set_b (t.Concrete.get_b s) s) s)
+
+let sg_a cfg (t : ('a, 'b, 's) Concrete.set_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ ".A (SG)")
+    (QCheck.pair cfg.gen_state cfg.gen_a)
+    (fun (s, a) -> cfg.eq_a (t.Concrete.get_a (t.Concrete.set_a a s)) a)
+
+let sg_b cfg (t : ('a, 'b, 's) Concrete.set_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ ".B (SG)")
+    (QCheck.pair cfg.gen_state cfg.gen_b)
+    (fun (s, b) -> cfg.eq_b (t.Concrete.get_b (t.Concrete.set_b b s)) b)
+
+let ss_a cfg (t : ('a, 'b, 's) Concrete.set_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ ".A (SS)")
+    (QCheck.triple cfg.gen_state cfg.gen_a cfg.gen_a)
+    (fun (s, a, a') ->
+      cfg.eq_state
+        (t.Concrete.set_a a' (t.Concrete.set_a a s))
+        (t.Concrete.set_a a' s))
+
+let ss_b cfg (t : ('a, 'b, 's) Concrete.set_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ ".B (SS)")
+    (QCheck.triple cfg.gen_state cfg.gen_b cfg.gen_b)
+    (fun (s, b, b') ->
+      cfg.eq_state
+        (t.Concrete.set_b b' (t.Concrete.set_b b s))
+        (t.Concrete.set_b b' s))
+
+let well_behaved cfg t : QCheck.Test.t list =
+  [ gs_a cfg t; gs_b cfg t; sg_a cfg t; sg_b cfg t ]
+
+let overwriteable cfg t : QCheck.Test.t list =
+  well_behaved cfg t @ [ ss_a cfg t; ss_b cfg t ]
+
+(** Section 3.4 commutation at the record level. *)
+let sets_commute cfg (t : ('a, 'b, 's) Concrete.set_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count
+    ~name:(cfg.name ^ " (set_a/set_b commute)")
+    (QCheck.triple cfg.gen_state cfg.gen_a cfg.gen_b)
+    (fun (s, a, b) ->
+      Concrete.sets_commute_at t ~eq_state:cfg.eq_state a b s)
+
+(* Record-level put-bx laws. *)
+
+let put_gp_a cfg (u : ('a, 'b, 's) Concrete.put_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (GP a)") cfg.gen_state
+    (fun s ->
+      let b, s' = u.Concrete.put_ab (u.Concrete.p_get_a s) s in
+      cfg.eq_b b (u.Concrete.p_get_b s) && cfg.eq_state s' s)
+
+let put_gp_b cfg (u : ('a, 'b, 's) Concrete.put_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (GP b)") cfg.gen_state
+    (fun s ->
+      let a, s' = u.Concrete.put_ba (u.Concrete.p_get_b s) s in
+      cfg.eq_a a (u.Concrete.p_get_a s) && cfg.eq_state s' s)
+
+let put_pg_a cfg (u : ('a, 'b, 's) Concrete.put_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (PG1/PG2 a)")
+    (QCheck.pair cfg.gen_state cfg.gen_a)
+    (fun (s, a) ->
+      let b, s' = u.Concrete.put_ab a s in
+      cfg.eq_a (u.Concrete.p_get_a s') a && cfg.eq_b (u.Concrete.p_get_b s') b)
+
+let put_pg_b cfg (u : ('a, 'b, 's) Concrete.put_bx) : QCheck.Test.t =
+  QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (PG1/PG2 b)")
+    (QCheck.pair cfg.gen_state cfg.gen_b)
+    (fun (s, b) ->
+      let a, s' = u.Concrete.put_ba b s in
+      cfg.eq_b (u.Concrete.p_get_b s') b && cfg.eq_a (u.Concrete.p_get_a s') a)
+
+let put_well_behaved cfg u : QCheck.Test.t list =
+  [ put_gp_a cfg u; put_gp_b cfg u; put_pg_a cfg u; put_pg_b cfg u ]

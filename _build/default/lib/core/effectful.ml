@@ -1,0 +1,112 @@
+(** Section 4 of the paper: a stateful bx whose [set] operations perform
+    I/O side effects, and therefore cannot be a symmetric lens (or any of
+    the other pure formalisms).
+
+    The paper's monad is [M A = Integer -> IO (A * Integer)]; ours is the
+    state transformer over {!Esm_monad.Io_sim}, the pure simulated-IO
+    substitute (see DESIGN.md), which makes the effects observable: [run]
+    returns the output trace alongside value and state, and the law
+    checkers compare traces too.  The set-bx laws (GG), (GS), (SG) hold
+    {e including} the trace, because a message is printed only when the
+    state actually changes; (SS) fails observationally — two successive
+    changing sets print twice — so the instance is not overwriteable.
+
+    The paper notes "we should be able to add similar stateful behaviour
+    to any (symmetric) lens or algebraic bx following a similar pattern";
+    {!Make} implements exactly that generalisation: it wraps an arbitrary
+    concrete set-bx ({!Concrete.set_bx}) with change-announcing prints.
+    The paper's literal example — the trivial underlying bx on integers —
+    is {!Paper_example}. *)
+
+module Io = Esm_monad.Io_sim
+
+module Make (X : sig
+  type ta
+  type tb
+  type ts
+
+  val bx : (ta, tb, ts) Concrete.set_bx
+  val equal_a : ta -> ta -> bool
+  val equal_b : tb -> tb -> bool
+  val equal_s : ts -> ts -> bool
+
+  val message_a : string
+  (** printed when [set_a] actually changes the A view *)
+
+  val message_b : string
+end) : sig
+  include
+    Bx_intf.STATEFUL_SET_BX
+      with type a = X.ta
+       and type b = X.tb
+       and type state = X.ts
+       and type 'x result = ('x * X.ts) * string list
+
+  val trace : 'x t -> state -> string list
+  (** Just the output trace of a computation. *)
+end = struct
+  type a = X.ta
+  type b = X.tb
+  type state = X.ts
+
+  module M =
+    Esm_monad.State_t.Make
+      (struct
+        type t = X.ts
+      end)
+      (Io)
+
+  include (M : Esm_monad.Monad_intf.S with type 'x t = 'x M.t)
+
+  type 'x result = ('x * state) * string list
+
+  let run (ma : 'x t) (s : state) : 'x result = Io.run (ma s)
+
+  let equal_result eq ((x1, s1), tr1) ((x2, s2), tr2) =
+    eq x1 x2 && X.equal_s s1 s2 && Esm_laws.Equality.(list string) tr1 tr2
+
+  let trace ma s = snd (run ma s)
+
+  let get_a : a t = M.gets X.bx.Concrete.get_a
+  let get_b : b t = M.gets X.bx.Concrete.get_b
+
+  (* Print the change message only when the view actually changes, then
+     update the underlying state through the wrapped bx.  The
+     only-on-change guard is what keeps (GS) and (SG) valid at the level
+     of traces. *)
+  let set_a (a : a) : unit t =
+   fun s ->
+    let changed = not (X.equal_a (X.bx.Concrete.get_a s) a) in
+    Io.bind (Io.when_m changed (Io.print X.message_a)) (fun () ->
+        Io.return ((), X.bx.Concrete.set_a a s))
+
+  let set_b (b : b) : unit t =
+   fun s ->
+    let changed = not (X.equal_b (X.bx.Concrete.get_b s) b) in
+    Io.bind (Io.when_m changed (Io.print X.message_b)) (fun () ->
+        Io.return ((), X.bx.Concrete.set_b b s))
+end
+
+(** The paper's literal Section 4 example: integer state, trivial
+    underlying bx (both views are the whole state), messages
+    "Changed A" / "Changed B". *)
+module Paper_example = Make (struct
+  type ta = int
+  type tb = int
+  type ts = int
+
+  let bx : (int, int, int) Concrete.set_bx =
+    {
+      Concrete.name = "trivial-int";
+      get_a = Fun.id;
+      get_b = Fun.id;
+      set_a = (fun a _ -> a);
+      set_b = (fun b _ -> b);
+    }
+
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+  let equal_s = Int.equal
+  let message_a = "Changed A"
+  let message_b = "Changed B"
+end)

@@ -1,0 +1,54 @@
+(** Observational equivalence of entangled state monads — one of the open
+    problems the paper's conclusions raise ("We are currently
+    investigating the central issues of equivalence and composition").
+
+    Two packed set-bx (possibly with different hidden state types) are
+    {e observationally equivalent} when every program of get/set
+    operations yields the same observations from their initial states.
+    For the state-monad instances here, observations on all finite
+    programs determine the bx up to bisimulation of reachable states, so
+    property-testing over generated programs is a sound (and, on finite
+    value domains, exhaustive-in-the-limit) approximation.
+
+    This is the tool the test suite uses to validate Lemma 3 (the
+    set2pp/pp2set round trip is the identity) and the agreement between
+    functor-level and record-level constructions. *)
+
+(** Do the two packed bx agree on this particular program? *)
+let agree_on ~(eq_a : 'a -> 'a -> bool) ~(eq_b : 'b -> 'b -> bool)
+    (p1 : ('a, 'b) Concrete.packed) (p2 : ('a, 'b) Concrete.packed)
+    (ops : ('a, 'b) Program.op list) : bool =
+  let obs1 = Program.observe p1 ops in
+  let obs2 = Program.observe p2 ops in
+  List.length obs1 = List.length obs2
+  && List.for_all2 (Program.equal_observation ~eq_a ~eq_b) obs1 obs2
+
+(** Generator of programs over the given value generators. *)
+let gen_ops ?(max_length = 12) (gen_a : 'a QCheck.arbitrary)
+    (gen_b : 'b QCheck.arbitrary) : ('a, 'b) Program.op list QCheck.arbitrary
+    =
+  let open QCheck in
+  list_of_size
+    (Gen.int_bound max_length)
+    (oneof
+       [
+         always Program.Get_a;
+         always Program.Get_b;
+         map (fun a -> Program.Set_a a) gen_a;
+         map (fun b -> Program.Set_b b) gen_b;
+       ])
+
+(** QCheck test: the two bx are observationally equivalent. *)
+let test ?(count = 500) ?max_length ~name ~(eq_a : 'a -> 'a -> bool)
+    ~(eq_b : 'b -> 'b -> bool) ~(gen_a : 'a QCheck.arbitrary)
+    ~(gen_b : 'b QCheck.arbitrary) (p1 : ('a, 'b) Concrete.packed)
+    (p2 : ('a, 'b) Concrete.packed) : QCheck.Test.t =
+  QCheck.Test.make ~count ~name
+    (gen_ops ?max_length gen_a gen_b)
+    (agree_on ~eq_a ~eq_b p1 p2)
+
+(** One-shot boolean check over explicitly supplied programs (used by
+    examples and quick smoke tests). *)
+let equivalent_on ~eq_a ~eq_b p1 p2 (programs : ('a, 'b) Program.op list list)
+    : bool =
+  List.for_all (agree_on ~eq_a ~eq_b p1 p2) programs

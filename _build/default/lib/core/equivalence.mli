@@ -1,0 +1,43 @@
+(** Observational equivalence of entangled state monads — the other open
+    problem the paper's conclusions raise.
+
+    Two packed set-bx (possibly with different hidden state types) are
+    observationally equivalent when every program of get/set operations
+    yields the same observations from their initial states; testing over
+    generated programs approximates bisimulation of reachable states. *)
+
+val agree_on :
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) Concrete.packed ->
+  ('a, 'b) Concrete.packed ->
+  ('a, 'b) Program.op list -> bool
+(** Do the two bx produce the same observations on this program? *)
+
+val gen_ops :
+  ?max_length:int ->
+  'a QCheck.arbitrary ->
+  'b QCheck.arbitrary ->
+  ('a, 'b) Program.op list QCheck.arbitrary
+(** Generator of programs over the given value generators. *)
+
+val test :
+  ?count:int ->
+  ?max_length:int ->
+  name:string ->
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  gen_a:'a QCheck.arbitrary ->
+  gen_b:'b QCheck.arbitrary ->
+  ('a, 'b) Concrete.packed ->
+  ('a, 'b) Concrete.packed ->
+  QCheck.Test.t
+(** QCheck test asserting observational equivalence. *)
+
+val equivalent_on :
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) Concrete.packed ->
+  ('a, 'b) Concrete.packed ->
+  ('a, 'b) Program.op list list -> bool
+(** One-shot boolean check over explicitly supplied programs. *)

@@ -1,0 +1,109 @@
+(** A bx with a richer witness structure: every {e effective} update is
+    recorded in a journal carried inside the hidden state.
+
+    The paper's conclusions anticipate "bx with richer complements or
+    witness structures" being absorbed into the monad's hidden state; this
+    wrapper is a concrete demonstration.  Because only {e changing} sets
+    are journalled (like the change-triggered prints of Section 4), the
+    wrapped bx still satisfies (GG), (GS) and (SG) with the journal
+    included in state equality — but not (SS): overwriting leaves a longer
+    journal than writing once, so the wrapper is a natural example of a
+    lawful set-bx that is {e not} overwriteable even when the underlying
+    bx is. *)
+
+type ('a, 'b) edit = Edited_a of 'a | Edited_b of 'b
+
+let equal_edit ~eq_a ~eq_b e1 e2 =
+  match (e1, e2) with
+  | Edited_a a1, Edited_a a2 -> eq_a a1 a2
+  | Edited_b b1, Edited_b b2 -> eq_b b1 b2
+  | (Edited_a _ | Edited_b _), _ -> false
+
+(** The journalled state: underlying state plus the edit log, newest
+    first. *)
+type ('a, 'b, 's) state = { current : 's; log : ('a, 'b) edit list }
+
+let initial (s : 's) : ('a, 'b, 's) state = { current = s; log = [] }
+let history (st : ('a, 'b, 's) state) : ('a, 'b) edit list = List.rev st.log
+
+let equal_state ~eq_a ~eq_b ~eq_s st1 st2 =
+  eq_s st1.current st2.current
+  && Esm_laws.Equality.list (equal_edit ~eq_a ~eq_b) st1.log st2.log
+
+(** Wrap a concrete set-bx with change journalling. *)
+let journalled ~(eq_a : 'a -> 'a -> bool) ~(eq_b : 'b -> 'b -> bool)
+    (t : ('a, 'b, 's) Concrete.set_bx) :
+    ('a, 'b, ('a, 'b, 's) state) Concrete.set_bx =
+  {
+    Concrete.name = "journalled " ^ t.Concrete.name;
+    get_a = (fun st -> t.Concrete.get_a st.current);
+    get_b = (fun st -> t.Concrete.get_b st.current);
+    set_a =
+      (fun a st ->
+        if eq_a (t.Concrete.get_a st.current) a then st
+        else
+          {
+            current = t.Concrete.set_a a st.current;
+            log = Edited_a a :: st.log;
+          });
+    set_b =
+      (fun b st ->
+        if eq_b (t.Concrete.get_b st.current) b then st
+        else
+          {
+            current = t.Concrete.set_b b st.current;
+            log = Edited_b b :: st.log;
+          });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Undo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Checkpointing with undo: the hidden state additionally stacks every
+    {e prior} state that an effective update replaced, so synchronisation
+    history can be rolled back — witness structure put to work.  Like
+    {!journalled}, the wrapper preserves (GG)/(GS)/(SG) (no-op sets do
+    not checkpoint) and loses (SS). *)
+module Undo = struct
+  type ('s) state = { current : 's; past : 's list }
+
+  let initial (s : 's) : 's state = { current = s; past = [] }
+  let depth (st : 's state) : int = List.length st.past
+
+  let equal_state ~(eq_s : 's -> 's -> bool) (st1 : 's state)
+      (st2 : 's state) : bool =
+    eq_s st1.current st2.current
+    && Esm_laws.Equality.list eq_s st1.past st2.past
+
+  (** Roll back to the state before the most recent effective update. *)
+  let undo (st : 's state) : 's state option =
+    match st.past with
+    | [] -> None
+    | prev :: rest -> Some { current = prev; past = rest }
+
+  let wrap ~(eq_a : 'a -> 'a -> bool) ~(eq_b : 'b -> 'b -> bool)
+      (t : ('a, 'b, 's) Concrete.set_bx) :
+      ('a, 'b, 's state) Concrete.set_bx =
+    {
+      Concrete.name = "undoable " ^ t.Concrete.name;
+      get_a = (fun st -> t.Concrete.get_a st.current);
+      get_b = (fun st -> t.Concrete.get_b st.current);
+      set_a =
+        (fun a st ->
+          if eq_a (t.Concrete.get_a st.current) a then st
+          else
+            {
+              current = t.Concrete.set_a a st.current;
+              past = st.current :: st.past;
+            });
+      set_b =
+        (fun b st ->
+          if eq_b (t.Concrete.get_b st.current) b then st
+          else
+            {
+              current = t.Concrete.set_b b st.current;
+              past = st.current :: st.past;
+            });
+    }
+end

@@ -1,0 +1,62 @@
+(** A bx with a richer witness structure: every effective update is
+    recorded in a journal carried inside the hidden state — a concrete
+    instance of the paper's closing remark that "bx with richer
+    complements or witness structures" should be absorbed into the
+    monad's hidden state.
+
+    Only changing sets are journalled (like the change-triggered prints
+    of §4), so the wrapper still satisfies (GG), (GS), (SG) with the
+    journal included in state equality — but not (SS): overwriting
+    leaves a longer journal than writing once. *)
+
+type ('a, 'b) edit = Edited_a of 'a | Edited_b of 'b
+
+val equal_edit :
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) edit -> ('a, 'b) edit -> bool
+
+(** The journalled state: underlying state plus the edit log (newest
+    first internally). *)
+type ('a, 'b, 's) state = { current : 's; log : ('a, 'b) edit list }
+
+val initial : 's -> ('a, 'b, 's) state
+
+val history : ('a, 'b, 's) state -> ('a, 'b) edit list
+(** Effective edits, oldest first. *)
+
+val equal_state :
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  eq_s:('s -> 's -> bool) ->
+  ('a, 'b, 's) state -> ('a, 'b, 's) state -> bool
+
+val journalled :
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b, 's) Concrete.set_bx ->
+  ('a, 'b, ('a, 'b, 's) state) Concrete.set_bx
+(** Wrap a concrete set-bx with change journalling. *)
+
+(** Checkpointing with undo: stacks every prior state that an effective
+    update replaced.  Preserves (GG)/(GS)/(SG); loses (SS). *)
+module Undo : sig
+  type 's state = { current : 's; past : 's list }
+
+  val initial : 's -> 's state
+
+  val depth : 's state -> int
+  (** Number of undoable steps. *)
+
+  val equal_state : eq_s:('s -> 's -> bool) -> 's state -> 's state -> bool
+
+  val undo : 's state -> 's state option
+  (** Roll back the most recent effective update; [None] at the
+      beginning of history. *)
+
+  val wrap :
+    eq_a:('a -> 'a -> bool) ->
+    eq_b:('b -> 'b -> bool) ->
+    ('a, 'b, 's) Concrete.set_bx ->
+    ('a, 'b, 's state) Concrete.set_bx
+end

@@ -1,0 +1,199 @@
+(** Quotients of entangled state monads by observational equivalence.
+
+    The paper's conclusions: "Symmetric lenses are quotiented by an
+    equivalence relation in order for properties such as associativity of
+    composition to hold.  We expect something similar to be needed for
+    entangled state monads."  This module computes that quotient
+    effectively for bx whose reachable state space (under finite update
+    alphabets) is finite: explore the states reachable from the initial
+    one, then refine partitions Moore-style until blocks are stable under
+    every update, and rebuild the bx over the block indices.
+
+    The result is the minimal transition system bisimilar to the input —
+    hidden state that never influences any observation (junk counters,
+    dead complement, journal noise below the observation granularity)
+    collapses away.  Tests verify the quotient is observationally
+    equivalent to the input and that deliberately redundant state
+    disappears. *)
+
+type ('a, 'b) outcome = {
+  quotient : ('a, 'b) Concrete.packed;
+      (** the minimized bx (state type: block index) *)
+  reachable : int;  (** number of distinct states explored *)
+  classes : int;  (** number of equivalence classes after refinement *)
+  complete : bool;
+      (** false if exploration hit [max_states] before closing; the
+          quotient is then only valid for programs staying inside the
+          explored region *)
+}
+
+let minimize (type a b) ?(max_states = 2048) ~(values_a : a list)
+    ~(values_b : b list) ~(eq_a : a -> a -> bool) ~(eq_b : b -> b -> bool)
+    (packed : (a, b) Concrete.packed) : (a, b) outcome =
+  match packed with
+  | Concrete.Packed (type s0) (p : (a, b, s0) Concrete.packed_repr) ->
+      let bx = p.Concrete.bx in
+      let eq_state = p.Concrete.eq_state in
+      (* --- 1. explore the reachable states (BFS) ------------------- *)
+      let states : s0 array ref = ref (Array.make 0 p.Concrete.init) in
+      let count = ref 0 in
+      let find (s : s0) : int option =
+        let rec go i =
+          if i >= !count then None
+          else if eq_state !states.(i) s then Some i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let push (s : s0) : int =
+        if !count >= Array.length !states then begin
+          let bigger = Array.make (max 16 (2 * Array.length !states)) s in
+          Array.blit !states 0 bigger 0 !count;
+          states := bigger
+        end;
+        !states.(!count) <- s;
+        incr count;
+        !count - 1
+      in
+      let complete = ref true in
+      let queue = Queue.create () in
+      Queue.add (push p.Concrete.init) queue;
+      let successors (s : s0) : s0 list =
+        List.map (fun v -> bx.Concrete.set_a v s) values_a
+        @ List.map (fun v -> bx.Concrete.set_b v s) values_b
+      in
+      while not (Queue.is_empty queue) do
+        let i = Queue.pop queue in
+        List.iter
+          (fun s' ->
+            match find s' with
+            | Some _ -> ()
+            | None ->
+                if !count >= max_states then complete := false
+                else Queue.add (push s') queue)
+          (successors !states.(i))
+      done;
+      let n = !count in
+      let state i = !states.(i) in
+      (* transition tables: action k = index into values_a @ values_b *)
+      let actions =
+        List.map (fun v s -> bx.Concrete.set_a v s) values_a
+        @ List.map (fun v s -> bx.Concrete.set_b v s) values_b
+      in
+      let delta =
+        List.map
+          (fun act ->
+            Array.init n (fun i ->
+                match find (act (state i)) with
+                | Some j -> j
+                | None -> -1 (* outside the explored region *)))
+          actions
+      in
+      (* --- 2. initial partition: by observation -------------------- *)
+      let block = Array.make n 0 in
+      let assign_initial () =
+        let reps = ref [] in
+        Array.iteri
+          (fun i _ ->
+            let oa = bx.Concrete.get_a (state i) in
+            let ob = bx.Concrete.get_b (state i) in
+            let rec go = function
+              | [] ->
+                  let b = List.length !reps in
+                  reps := !reps @ [ (oa, ob) ];
+                  b
+              | (oa', ob') :: rest ->
+                  if eq_a oa oa' && eq_b ob ob' then
+                    List.length !reps - List.length rest - 1
+                  else go rest
+            in
+            block.(i) <- go !reps)
+          block;
+        List.length !reps
+      in
+      let blocks = ref (assign_initial ()) in
+      (* --- 3. Moore refinement -------------------------------------- *)
+      let signature i =
+        (block.(i), List.map (fun d -> if d.(i) < 0 then -1 else block.(d.(i))) delta)
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        let sigs = Array.init n signature in
+        let reps = ref [] in
+        let new_block = Array.make n 0 in
+        Array.iteri
+          (fun i _ ->
+            let rec go k = function
+              | [] ->
+                  reps := !reps @ [ sigs.(i) ];
+                  List.length !reps - 1
+              | sg :: rest -> if sg = sigs.(i) then k else go (k + 1) rest
+            in
+            new_block.(i) <- go 0 !reps)
+          new_block;
+        let nb = List.length !reps in
+        if nb <> !blocks then begin
+          blocks := nb;
+          Array.blit new_block 0 block 0 n;
+          changed := true
+        end
+      done;
+      (* --- 4. rebuild the bx over block representatives ------------ *)
+      let representative = Array.make !blocks 0 in
+      for i = n - 1 downto 0 do
+        representative.(block.(i)) <- i
+      done;
+      let lookup_a v =
+        let rec go k = function
+          | [] -> None
+          | v' :: _ when eq_a v v' -> Some k
+          | _ :: rest -> go (k + 1) rest
+        in
+        go 0 values_a
+      in
+      let lookup_b v =
+        let rec go k = function
+          | [] -> None
+          | v' :: _ when eq_b v v' -> Some k
+          | _ :: rest -> go (k + 1) rest
+        in
+        go 0 values_b
+      in
+      let n_a = List.length values_a in
+      let step_via_delta idx i =
+        let d = List.nth delta idx in
+        let j = d.(representative.(i)) in
+        if j < 0 then i (* outside the explored region: stay put *)
+        else block.(j)
+      in
+      let quotient_bx : (a, b, int) Concrete.set_bx =
+        {
+          Concrete.name = "minimize(" ^ bx.Concrete.name ^ ")";
+          get_a = (fun i -> bx.Concrete.get_a (state representative.(i)));
+          get_b = (fun i -> bx.Concrete.get_b (state representative.(i)));
+          set_a =
+            (fun v i ->
+              match lookup_a v with
+              | Some k -> step_via_delta k i
+              | None ->
+                  (* value outside the alphabet: fall back to the
+                     underlying bx and re-locate (best effort) *)
+                  let s' = bx.Concrete.set_a v (state representative.(i)) in
+                  (match find s' with Some j -> block.(j) | None -> i));
+          set_b =
+            (fun v i ->
+              match lookup_b v with
+              | Some k -> step_via_delta (n_a + k) i
+              | None ->
+                  let s' = bx.Concrete.set_b v (state representative.(i)) in
+                  (match find s' with Some j -> block.(j) | None -> i));
+        }
+      in
+      {
+        quotient =
+          Concrete.pack ~bx:quotient_bx ~init:block.(0) ~eq_state:Int.equal;
+        reachable = n;
+        classes = !blocks;
+        complete = !complete;
+      }

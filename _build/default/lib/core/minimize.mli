@@ -1,0 +1,28 @@
+(** Quotients of entangled state monads by observational equivalence —
+    the analogue of symmetric-lens quotienting the paper's conclusions
+    anticipate.
+
+    For a bx whose state space reachable from the packed initial state
+    (under finite update alphabets) is finite, {!minimize} explores that
+    space, refines partitions Moore-style until blocks are stable under
+    every update, and rebuilds the bx over block indices.  Hidden state
+    that never influences an observation collapses away. *)
+
+type ('a, 'b) outcome = {
+  quotient : ('a, 'b) Concrete.packed;
+      (** the minimized bx (state type: block index) *)
+  reachable : int;  (** distinct raw states explored *)
+  classes : int;  (** equivalence classes after refinement *)
+  complete : bool;
+      (** false if exploration hit [max_states] before closing; the
+          quotient is then only valid inside the explored region *)
+}
+
+val minimize :
+  ?max_states:int ->
+  values_a:'a list ->
+  values_b:'b list ->
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) Concrete.packed ->
+  ('a, 'b) outcome

@@ -1,0 +1,86 @@
+(** Multi-directional entanglement: three views over shared hidden state.
+
+    The paper's introduction allows bx "on only two information sources,
+    or several"; the formal development stops at two.  This module carries
+    the construction to three: a {e tri-bx} exposes views [A], [B], [C]
+    with a getter/setter pair each, every side a lawful state-monad cell
+    over the shared state, and all three entangled.
+
+    The canonical construction chains two concrete bx through a shared
+    middle type: given [t1 : A <-> B] over [s1] and [t2 : B <-> C] over
+    [s2], the composite state is the {!Compose.aligned} pairs, [B] is
+    readable directly, and a set on any side repairs the other two.  The
+    laws on all three sides hold on aligned states whenever [t1] and [t2]
+    are lawful (tested in [test_multiway.ml]). *)
+
+type ('a, 'b, 'c, 's) t = {
+  name : string;
+  get_a : 's -> 'a;
+  get_b : 's -> 'b;
+  get_c : 's -> 'c;
+  set_a : 'a -> 's -> 's;
+  set_b : 'b -> 's -> 's;
+  set_c : 'c -> 's -> 's;
+}
+
+(** Chain two binary bx sharing their middle type.  [set_b] pushes the
+    middle value outward into both components. *)
+let of_chain (t1 : ('a, 'b, 's1) Concrete.set_bx)
+    (t2 : ('b, 'c, 's2) Concrete.set_bx) : ('a, 'b, 'c, 's1 * 's2) t =
+  {
+    name = t1.Concrete.name ^ " >< " ^ t2.Concrete.name;
+    get_a = (fun (x1, _) -> t1.Concrete.get_a x1);
+    get_b = (fun (x1, _) -> t1.Concrete.get_b x1);
+    get_c = (fun (_, x2) -> t2.Concrete.get_b x2);
+    set_a =
+      (fun a (x1, x2) ->
+        let x1' = t1.Concrete.set_a a x1 in
+        (x1', t2.Concrete.set_a (t1.Concrete.get_b x1') x2));
+    set_b =
+      (fun b (x1, x2) ->
+        (t1.Concrete.set_b b x1, t2.Concrete.set_a b x2));
+    set_c =
+      (fun c (x1, x2) ->
+        let x2' = t2.Concrete.set_b c x2 in
+        (t1.Concrete.set_b (t2.Concrete.get_a x2') x1, x2'));
+  }
+
+(** Forget the middle view, recovering the binary composition of
+    {!Compose.compose} (observationally). *)
+let to_binary (m : ('a, 'b, 'c, 's) t) : ('a, 'c, 's) Concrete.set_bx =
+  {
+    Concrete.name = m.name;
+    get_a = m.get_a;
+    get_b = m.get_c;
+    set_a = m.set_a;
+    set_b = m.set_c;
+  }
+
+(** Project out each binary face of the tri-bx. *)
+let face_ab (m : ('a, 'b, 'c, 's) t) : ('a, 'b, 's) Concrete.set_bx =
+  {
+    Concrete.name = m.name ^ ".ab";
+    get_a = m.get_a;
+    get_b = m.get_b;
+    set_a = m.set_a;
+    set_b = m.set_b;
+  }
+
+let face_bc (m : ('a, 'b, 'c, 's) t) : ('b, 'c, 's) Concrete.set_bx =
+  {
+    Concrete.name = m.name ^ ".bc";
+    get_a = m.get_b;
+    get_b = m.get_c;
+    set_a = m.set_b;
+    set_b = m.set_c;
+  }
+
+(** Apply an operation to every view in turn (used by tests to exercise
+    entanglement among all three sides). *)
+type ('a, 'b, 'c) op = Set_a of 'a | Set_b of 'b | Set_c of 'c
+
+let apply (m : ('a, 'b, 'c, 's) t) (op : ('a, 'b, 'c) op) (s : 's) : 's =
+  match op with
+  | Set_a a -> m.set_a a s
+  | Set_b b -> m.set_b b s
+  | Set_c c -> m.set_c c s

@@ -1,0 +1,34 @@
+(** Multi-directional entanglement: three views over shared hidden state.
+
+    The paper's introduction allows bx over "two or more" sources; this
+    module carries the two-source formal development to three.  Every
+    side of a tri-bx is a lawful state-monad cell over the shared state,
+    and all three are entangled. *)
+
+type ('a, 'b, 'c, 's) t = {
+  name : string;
+  get_a : 's -> 'a;
+  get_b : 's -> 'b;
+  get_c : 's -> 'c;
+  set_a : 'a -> 's -> 's;
+  set_b : 'b -> 's -> 's;
+  set_c : 'c -> 's -> 's;
+}
+
+val of_chain :
+  ('a, 'b, 's1) Concrete.set_bx ->
+  ('b, 'c, 's2) Concrete.set_bx ->
+  ('a, 'b, 'c, 's1 * 's2) t
+(** Chain two binary bx sharing their middle type; lawful on
+    {!Compose.aligned} states. *)
+
+val to_binary : ('a, 'b, 'c, 's) t -> ('a, 'c, 's) Concrete.set_bx
+(** Forget the middle view (observationally {!Compose.compose}). *)
+
+val face_ab : ('a, 'b, 'c, 's) t -> ('a, 'b, 's) Concrete.set_bx
+val face_bc : ('a, 'b, 'c, 's) t -> ('b, 'c, 's) Concrete.set_bx
+
+(** An update on one of the three sides. *)
+type ('a, 'b, 'c) op = Set_a of 'a | Set_b of 'b | Set_c of 'c
+
+val apply : ('a, 'b, 'c, 's) t -> ('a, 'b, 'c) op -> 's -> 's

@@ -1,0 +1,99 @@
+(** Nondeterministic bidirectional transformations — one of the effects
+    the paper's conclusions propose reconciling with bidirectionality
+    ("effects such as I/O, nondeterminism, exceptions, or probabilistic
+    choice").
+
+    The monad is the state-and-nondeterminism stack
+    [M A = S -> (A * S) list]: a computation returns {e every} outcome.
+    The interesting instances are algebraic bx whose consistency
+    restorers are relations rather than functions — repairing after an
+    update may have several equally good answers (think: several minimal
+    ways to fix a database view).
+
+    The set-bx laws hold in the nondeterministic reading — equality of
+    computations is equality of {e outcome multisets} (we normalise by
+    sorting) — provided the choice functions are:
+
+    - {e correct}: every choice restores consistency, and
+    - {e hippocratic at the choice level}: when the pair is already
+      consistent no choice is offered and the state is kept.
+
+    The overwriteable law (SS) generally fails: two updates can explore
+    more branches than one. *)
+
+module Make (X : sig
+  type ta
+  type tb
+
+  val consistent : ta -> tb -> bool
+
+  val fwd_choices : ta -> tb -> tb list
+  (** Candidate repairs of the B side after the A side changed; consulted
+      only when [consistent] fails; must be non-empty and all results
+      consistent with the new A value. *)
+
+  val bwd_choices : ta -> tb -> ta list
+  val equal_a : ta -> ta -> bool
+  val equal_b : tb -> tb -> bool
+  val compare_state : (ta * tb) -> (ta * tb) -> int
+  (** Total order on states, used to normalise outcome lists. *)
+end) : sig
+  include
+    Bx_intf.STATEFUL_SET_BX
+      with type a = X.ta
+       and type b = X.tb
+       and type state = X.ta * X.tb
+       and type 'x t = X.ta * X.tb -> ('x * (X.ta * X.tb)) list
+       and type 'x result = ('x * (X.ta * X.tb)) list
+
+  val outcomes : 'x t -> state -> ('x * state) list
+  (** All outcomes, in normalised order. *)
+
+  val consistent : state -> bool
+end = struct
+  type a = X.ta
+  type b = X.tb
+  type state = X.ta * X.tb
+
+  include Esm_monad.Extend.Make (struct
+    type 'x t = state -> ('x * state) list
+
+    let return x s = [ (x, s) ]
+
+    let bind m f s =
+      List.concat_map (fun (x, s') -> f x s') (m s)
+  end)
+
+  type 'x result = ('x * state) list
+
+  let normalise outcomes =
+    List.sort_uniq
+      (fun (_, s1) (_, s2) -> X.compare_state s1 s2)
+      outcomes
+
+  let run (m : 'x t) (s : state) : 'x result = normalise (m s)
+
+  let equal_result eq r1 r2 =
+    List.length r1 = List.length r2
+    && List.for_all2
+         (fun (x1, (a1, b1)) (x2, (a2, b2)) ->
+           eq x1 x2 && X.equal_a a1 a2 && X.equal_b b1 b2)
+         r1 r2
+
+  let outcomes = run
+
+  let get_a : a t = fun (a, b) -> [ (a, (a, b)) ]
+  let get_b : b t = fun (a, b) -> [ (b, (a, b)) ]
+
+  let set_a (a' : a) : unit t =
+   fun (_, b) ->
+    if X.consistent a' b then [ ((), (a', b)) ]
+    else List.map (fun b' -> ((), (a', b'))) (X.fwd_choices a' b)
+
+  let set_b (b' : b) : unit t =
+   fun (a, _) ->
+    if X.consistent a b' then [ ((), (a, b')) ]
+    else List.map (fun a' -> ((), (a', b'))) (X.bwd_choices a b')
+
+  let consistent (a, b) = X.consistent a b
+end

@@ -1,0 +1,70 @@
+(** Lemma 5: every algebraic bx [(R, fwd, bwd)] induces a set-bx over the
+    state monad on consistent pairs:
+
+    {v
+    get_a    = fun (a, b) -> (a, (a, b))
+    get_b    = fun (a, b) -> (b, (a, b))
+    set_a a' = fun (_, b) -> ((), (a', fwd a' b))
+    set_b b' = fun (a, _) -> ((), (bwd a b', b'))
+    v}
+
+    (Correct) ensures the setters preserve consistency of the pair;
+    (Hippocratic) gives the (GS) laws.  If the bx is undoable the induced
+    set-bx is overwriteable.
+
+    The OCaml state type is all of ['a * 'b]; the consistent subset is an
+    invariant: {!consistent} decides membership, {!repair} projects into
+    it, and every operation maps consistent states to consistent states
+    (property-tested in [test/test_of_algebraic.ml]). *)
+
+module Make (X : sig
+  type ta
+  type tb
+
+  val bx : (ta, tb) Esm_algbx.Algbx.t
+  val equal_a : ta -> ta -> bool
+  val equal_b : tb -> tb -> bool
+end) : sig
+  include
+    Bx_intf.STATEFUL_SET_BX
+      with type a = X.ta
+       and type b = X.tb
+       and type state = X.ta * X.tb
+       and type 'x result = 'x * (X.ta * X.tb)
+
+  val consistent : state -> bool
+  (** Is this pair in the consistency relation [R]? *)
+
+  val repair : state -> state
+  (** Restore consistency by repairing the B side (used to build initial
+      states and test generators). *)
+end = struct
+  type a = X.ta
+  type b = X.tb
+  type state = X.ta * X.tb
+
+  module St = Esm_monad.State.Make (struct
+    type t = X.ta * X.tb
+  end)
+
+  include (St : Esm_monad.Monad_intf.S with type 'x t = 'x St.t)
+
+  type 'x result = 'x * state
+
+  let run = St.run
+
+  let equal_result eq (x1, (a1, b1)) (x2, (a2, b2)) =
+    eq x1 x2 && X.equal_a a1 a2 && X.equal_b b1 b2
+
+  let get_a : a t = St.gets fst
+  let get_b : b t = St.gets snd
+
+  let set_a (a' : a) : unit t =
+    St.modify (fun (_, b) -> (a', Esm_algbx.Algbx.fwd X.bx a' b))
+
+  let set_b (b' : b) : unit t =
+    St.modify (fun (a, _) -> (Esm_algbx.Algbx.bwd X.bx a b', b'))
+
+  let consistent (a, b) = Esm_algbx.Algbx.consistent X.bx a b
+  let repair = Esm_algbx.Algbx.repair_fwd X.bx
+end

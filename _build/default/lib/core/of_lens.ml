@@ -1,0 +1,49 @@
+(** Lemma 4: every well-behaved asymmetric lens [l : A <-> B] induces a
+    set-bx between [A] and [B] over the state monad on [A]:
+
+    {v
+    get_a   = fun a -> (a, a)              -- the identity-lens cell
+    get_b   = fun a -> (l.get a, a)        -- the view cell
+    set_a a' = fun _ -> ((), a')
+    set_b b' = fun a -> ((), l.put a b')
+    v}
+
+    The two cells read and write the {e same} underlying state — they are
+    entangled exactly as Section 2 of the paper describes.  If [l] is very
+    well-behaved (PutPut), the induced set-bx is overwriteable. *)
+
+module Make (X : sig
+  type s
+  type v
+
+  val lens : (s, v) Esm_lens.Lens.t
+  val equal_s : s -> s -> bool
+end) : sig
+  include
+    Bx_intf.STATEFUL_SET_BX
+      with type a = X.s
+       and type b = X.v
+       and type state = X.s
+       and type 'x result = 'x * X.s
+end = struct
+  type a = X.s
+  type b = X.v
+  type state = X.s
+
+  module St = Esm_monad.State.Make (struct
+    type t = X.s
+  end)
+
+  include (St : Esm_monad.Monad_intf.S with type 'x t = 'x St.t)
+
+  type 'x result = 'x * state
+
+  let run = St.run
+
+  let equal_result eq (x1, s1) (x2, s2) = eq x1 x2 && X.equal_s s1 s2
+
+  let get_a : a t = St.get
+  let get_b : b t = St.gets (Esm_lens.Lens.get X.lens)
+  let set_a (a : a) : unit t = St.set a
+  let set_b (v : b) : unit t = St.modify (fun s -> Esm_lens.Lens.put X.lens s v)
+end

@@ -1,0 +1,74 @@
+(** Lemma 6: every symmetric lens [(put_r, put_l)] with complement [C]
+    induces a put-bx over the state monad on consistent triples
+    [(a, b, c)]:
+
+    {v
+    get_a     = fun (a, b, c) -> (a, (a, b, c))
+    get_b     = fun (a, b, c) -> (b, (a, b, c))
+    put_ab a' = fun (_, _, c) -> let (b', c') = put_r a' c in (b', (a', b', c'))
+    put_ba b' = fun (_, _, c) -> let (a', c') = put_l b' c in (a', (a', b', c'))
+    v}
+
+    Consistency of a triple means [put_r a c = (b, c)] and
+    [put_l b c = (a, c)]; the symmetric-lens laws (PutRL)/(PutLR) make the
+    put operations preserve it, and the put-bx laws then follow.
+
+    The OCaml state type is all of [a * b * c]; consistency is an
+    invariant, decidable via {!consistent}, and {!initial} produces a
+    consistent triple by pushing a seed value through the fresh lens. *)
+
+module Make
+    (I : Esm_symlens.Symlens.INSTANCE)
+    (E : sig
+      val equal_a : I.a -> I.a -> bool
+      val equal_b : I.b -> I.b -> bool
+    end) : sig
+  include
+    Bx_intf.STATEFUL_PUT_BX
+      with type a = I.a
+       and type b = I.b
+       and type state = I.a * I.b * I.c
+       and type 'x result = 'x * (I.a * I.b * I.c)
+
+  val consistent : state -> bool
+  val initial : seed_a:I.a -> state
+end = struct
+  type a = I.a
+  type b = I.b
+  type state = I.a * I.b * I.c
+
+  module St = Esm_monad.State.Make (struct
+    type t = I.a * I.b * I.c
+  end)
+
+  include (St : Esm_monad.Monad_intf.S with type 'x t = 'x St.t)
+
+  type 'x result = 'x * state
+
+  let run = St.run
+
+  let equal_result eq (x1, (a1, b1, c1)) (x2, (a2, b2, c2)) =
+    eq x1 x2 && E.equal_a a1 a2 && E.equal_b b1 b2 && I.equal_c c1 c2
+
+  let get_a : a t = St.gets (fun (a, _, _) -> a)
+  let get_b : b t = St.gets (fun (_, b, _) -> b)
+
+  let put_ab (a' : a) : b t =
+   fun (_, _, c) ->
+    let b', c' = I.put_r a' c in
+    (b', (a', b', c'))
+
+  let put_ba (b' : b) : a t =
+   fun (_, _, c) ->
+    let a', c' = I.put_l b' c in
+    (a', (a', b', c'))
+
+  let consistent (a, b, c) =
+    let b', c1 = I.put_r a c in
+    let a', c2 = I.put_l b c in
+    E.equal_b b b' && I.equal_c c c1 && E.equal_a a a' && I.equal_c c c2
+
+  let initial ~seed_a =
+    let b0, c0 = I.put_r seed_a I.init in
+    (seed_a, b0, c0)
+end

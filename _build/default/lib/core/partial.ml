@@ -1,0 +1,84 @@
+(** Partial (exception-raising) bidirectional transformations — the
+    "exceptions" point in the paper's programme of combining effects with
+    bidirectionality (§5).
+
+    The monad is the state-and-failure stack
+    [M A = S -> (A * S, error) result]: an update may be {e rejected},
+    leaving no new state (the whole computation aborts, transaction
+    style).  The canonical source of rejection is a validator: a view
+    update that violates an invariant of the opposite side (e.g. a
+    relational view row that fails the selection predicate) fails instead
+    of corrupting the store.
+
+    The set-bx laws hold on valid states in the failure-aware reading —
+    both sides of each law produce the same [result], including failures —
+    because validators accept anything already readable from a valid
+    state: [set_a (get_a s)] revalidates a value the state itself
+    produced. *)
+
+type error = string
+
+module Make (X : sig
+  type ta
+  type tb
+  type ts
+
+  val bx : (ta, tb, ts) Concrete.set_bx
+
+  val validate_a : ta -> (unit, error) result
+  (** Precondition checked before [set_a]; must accept every value
+      [get_a] can produce on a valid state. *)
+
+  val validate_b : tb -> (unit, error) result
+  val equal_s : ts -> ts -> bool
+end) : sig
+  include
+    Bx_intf.STATEFUL_SET_BX
+      with type a = X.ta
+       and type b = X.tb
+       and type state = X.ts
+       and type 'x t = X.ts -> ('x * X.ts, error) result
+       and type 'x result = ('x * X.ts, error) Stdlib.result
+
+  val succeeds : 'x t -> state -> bool
+end = struct
+  type a = X.ta
+  type b = X.tb
+  type state = X.ts
+
+  include Esm_monad.Extend.Make (struct
+    type 'x t = state -> ('x * state, error) result
+
+    let return x s = Ok (x, s)
+
+    let bind m f s =
+      match m s with Error e -> Error e | Ok (x, s') -> f x s'
+  end)
+
+  type 'x result = ('x * state, error) Stdlib.result
+
+  let run (m : 'x t) (s : state) : 'x result = m s
+
+  let equal_result eq r1 r2 =
+    match (r1, r2) with
+    | Ok (x1, s1), Ok (x2, s2) -> eq x1 x2 && X.equal_s s1 s2
+    | Error e1, Error e2 -> String.equal e1 e2
+    | Ok _, Error _ | Error _, Ok _ -> false
+
+  let succeeds m s = Result.is_ok (m s)
+
+  let get_a : a t = fun s -> Ok (X.bx.Concrete.get_a s, s)
+  let get_b : b t = fun s -> Ok (X.bx.Concrete.get_b s, s)
+
+  let set_a (a : a) : unit t =
+   fun s ->
+    match X.validate_a a with
+    | Error e -> Error e
+    | Ok () -> Ok ((), X.bx.Concrete.set_a a s)
+
+  let set_b (b : b) : unit t =
+   fun s ->
+    match X.validate_b b with
+    | Error e -> Error e
+    | Ok () -> Ok ((), X.bx.Concrete.set_b b s)
+end

@@ -1,0 +1,94 @@
+(** Probabilistic bidirectional transformations — the "probabilistic
+    choice" entry in the paper's programme of effects (§5).
+
+    The monad is the state-and-distribution stack
+    [M A = S -> Dist (A * S)]: an update whose repair is ambiguous
+    resolves to a {e distribution} over repaired states.  This is the
+    quantitative refinement of {!Nondet}: instead of a set of minimal
+    repairs, a weighted preference among them.
+
+    The set-bx laws hold in the distribution reading — computations are
+    equal when they denote the same distribution after normalisation —
+    under the same conditions as {!Nondet}: repairs are consulted only
+    when consistency actually fails, and every weighted repair restores
+    consistency.  (SS) fails in general. *)
+
+module Dist = Esm_monad.Dist
+
+module Make (X : sig
+  type ta
+  type tb
+
+  val consistent : ta -> tb -> bool
+
+  val fwd_dist : ta -> tb -> tb Dist.t
+  (** Distribution over B-repairs after the A side changed; consulted
+      only when [consistent] fails; all outcomes must be consistent with
+      the new A value and the mass must be 1. *)
+
+  val bwd_dist : ta -> tb -> ta Dist.t
+  val equal_a : ta -> ta -> bool
+  val equal_b : tb -> tb -> bool
+  val compare_state : ta * tb -> ta * tb -> int
+end) : sig
+  include
+    Bx_intf.STATEFUL_SET_BX
+      with type a = X.ta
+       and type b = X.tb
+       and type state = X.ta * X.tb
+       and type 'x t = X.ta * X.tb -> ('x * (X.ta * X.tb)) Dist.t
+       and type 'x result = ('x * (X.ta * X.tb)) Dist.t
+
+  val distribution : 'x t -> state -> ('x * state) Dist.t
+  (** The normalised outcome distribution. *)
+
+  val consistent : state -> bool
+end = struct
+  type a = X.ta
+  type b = X.tb
+  type state = X.ta * X.tb
+
+  include Esm_monad.Extend.Make (struct
+    type 'x t = state -> ('x * state) Dist.t
+
+    let return x s = Dist.return (x, s)
+    let bind m f s = Dist.bind (m s) (fun (x, s') -> f x s')
+  end)
+
+  type 'x result = ('x * state) Dist.t
+
+  (* Outcomes are compared by state only: in the law equations both
+     sides return the same value at any given state, so this is sound
+     for our usage (and matches Nondet). *)
+  let compare_outcome (_, s1) (_, s2) = X.compare_state s1 s2
+
+  let run (m : 'x t) (s : state) : 'x result =
+    Dist.normalise ~compare_outcome (m s)
+
+  let equal_result eq r1 r2 =
+    let n1 = Dist.normalise ~compare_outcome r1 in
+    let n2 = Dist.normalise ~compare_outcome r2 in
+    List.length n1 = List.length n2
+    && List.for_all2
+         (fun ((x1, (a1, b1)), p) ((x2, (a2, b2)), q) ->
+           eq x1 x2 && X.equal_a a1 a2 && X.equal_b b1 b2
+           && Float.abs (p -. q) <= 1e-9)
+         n1 n2
+
+  let distribution = run
+
+  let get_a : a t = fun (a, b) -> Dist.return (a, (a, b))
+  let get_b : b t = fun (a, b) -> Dist.return (b, (a, b))
+
+  let set_a (a' : a) : unit t =
+   fun (_, b) ->
+    if X.consistent a' b then Dist.return ((), (a', b))
+    else Dist.map (fun b' -> ((), (a', b'))) (X.fwd_dist a' b)
+
+  let set_b (b' : b) : unit t =
+   fun (a, _) ->
+    if X.consistent a b' then Dist.return ((), (a, b'))
+    else Dist.map (fun a' -> ((), (a', b'))) (X.bwd_dist a b')
+
+  let consistent (a, b) = X.consistent a b
+end

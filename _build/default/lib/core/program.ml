@@ -1,0 +1,103 @@
+(** A first-order language of bx operations and its interpreters.
+
+    The paper's laws are equations between monadic computations; to test
+    them {e observationally} we need a way to quantify over computations.
+    This module provides the quantifiable fragment: finite sequences of
+    get/set (or get/put) operations.  A program's observation — the list
+    of values each operation returns, plus the final state — is a complete
+    invariant for the state-monad instances in this library, so two bx are
+    observationally equivalent iff they agree on all programs
+    ({!Equivalence}).
+
+    The law-based rewrites ({!simplify_sets}) let tests state theorems
+    like "adjacent redundant operations can be removed without changing
+    any observation". *)
+
+type ('a, 'b) op =
+  | Get_a
+  | Get_b
+  | Set_a of 'a
+  | Set_b of 'b
+
+type ('a, 'b) observation =
+  | Saw_a of 'a
+  | Saw_b of 'b
+  | Did_set
+
+let equal_op ~eq_a ~eq_b o1 o2 =
+  match (o1, o2) with
+  | Get_a, Get_a | Get_b, Get_b -> true
+  | Set_a a1, Set_a a2 -> eq_a a1 a2
+  | Set_b b1, Set_b b2 -> eq_b b1 b2
+  | (Get_a | Get_b | Set_a _ | Set_b _), _ -> false
+
+let equal_observation ~eq_a ~eq_b o1 o2 =
+  match (o1, o2) with
+  | Saw_a a1, Saw_a a2 -> eq_a a1 a2
+  | Saw_b b1, Saw_b b2 -> eq_b b1 b2
+  | Did_set, Did_set -> true
+  | (Saw_a _ | Saw_b _ | Did_set), _ -> false
+
+let pp_op pp_a pp_b fmt = function
+  | Get_a -> Format.fprintf fmt "get_a"
+  | Get_b -> Format.fprintf fmt "get_b"
+  | Set_a a -> Format.fprintf fmt "set_a %a" pp_a a
+  | Set_b b -> Format.fprintf fmt "set_b %a" pp_b b
+
+(** Run a program against a concrete set-bx, collecting one observation
+    per operation and the final state. *)
+let interp (t : ('a, 'b, 's) Concrete.set_bx) (ops : ('a, 'b) op list)
+    (s : 's) : ('a, 'b) observation list * 's =
+  let obs_rev, s' =
+    List.fold_left
+      (fun (acc, s) op ->
+        match op with
+        | Get_a -> (Saw_a (t.Concrete.get_a s) :: acc, s)
+        | Get_b -> (Saw_b (t.Concrete.get_b s) :: acc, s)
+        | Set_a a -> (Did_set :: acc, t.Concrete.set_a a s)
+        | Set_b b -> (Did_set :: acc, t.Concrete.set_b b s))
+      ([], s) ops
+  in
+  (List.rev obs_rev, s')
+
+(** Observations only, from a packed bx's initial state. *)
+let observe (Concrete.Packed p : ('a, 'b) Concrete.packed)
+    (ops : ('a, 'b) op list) : ('a, 'b) observation list =
+  fst (interp p.Concrete.bx ops p.Concrete.init)
+
+(* ------------------------------------------------------------------ *)
+(* Law-based program rewriting                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Remove operations that the {e overwriteable} set-bx laws make
+    redundant as state transformers: gets (which never change state) and
+    all but the last of consecutive sets to the same side (law (SS)).
+    The result has the same final state on every overwriteable bx —
+    property-tested in [test/test_program.ml]. *)
+let simplify_sets (ops : ('a, 'b) op list) : ('a, 'b) op list =
+  let rec go = function
+    | [] -> []
+    | (Get_a | Get_b) :: rest -> go rest
+    | Set_a _ :: (Set_a _ :: _ as rest) -> go rest
+    | Set_b _ :: (Set_b _ :: _ as rest) -> go rest
+    | op :: rest -> op :: go rest
+  in
+  (* Iterate to a fixpoint: removing gets can make sets adjacent. *)
+  let rec fix ops =
+    let ops' = go ops in
+    if List.length ops' = List.length ops then ops' else fix ops'
+  in
+  fix ops
+
+(** Insert a (GS)-redundant [get >>= set] round trip at position [i]:
+    on any set-bx this cannot change any observation made by the other
+    operations, nor the final state. *)
+let insert_get_set_roundtrip (t : ('a, 'b, 's) Concrete.set_bx) (s0 : 's)
+    (ops : ('a, 'b) op list) (i : int) : ('a, 'b) op list =
+  let i = if List.length ops = 0 then 0 else i mod (List.length ops + 1) in
+  let prefix = List.filteri (fun j _ -> j < i) ops in
+  let suffix = List.filteri (fun j _ -> j >= i) ops in
+  (* Replay the prefix to learn the state at the insertion point, then
+     materialise get_a >>= set_a as [Set_a (current value)]. *)
+  let _, s_mid = interp t prefix s0 in
+  prefix @ [ Set_a (t.Concrete.get_a s_mid) ] @ suffix

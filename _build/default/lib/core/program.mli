@@ -1,0 +1,54 @@
+(** A first-order language of bx operations and its interpreters.
+
+    The paper's laws are equations between monadic computations; to test
+    them observationally we quantify over the fragment that matters for
+    state monads: finite sequences of get/set operations.  A program's
+    observation — the value each operation returns plus the final state —
+    is a complete invariant for the instances in this library, so two bx
+    are observationally equivalent iff they agree on all programs
+    ({!Equivalence}). *)
+
+type ('a, 'b) op = Get_a | Get_b | Set_a of 'a | Set_b of 'b
+
+type ('a, 'b) observation = Saw_a of 'a | Saw_b of 'b | Did_set
+
+val equal_op :
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) op -> ('a, 'b) op -> bool
+
+val equal_observation :
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) observation -> ('a, 'b) observation -> bool
+
+val pp_op :
+  (Format.formatter -> 'a -> unit) ->
+  (Format.formatter -> 'b -> unit) ->
+  Format.formatter -> ('a, 'b) op -> unit
+
+val interp :
+  ('a, 'b, 's) Concrete.set_bx ->
+  ('a, 'b) op list -> 's ->
+  ('a, 'b) observation list * 's
+(** Run a program, collecting one observation per operation and the
+    final state. *)
+
+val observe :
+  ('a, 'b) Concrete.packed -> ('a, 'b) op list -> ('a, 'b) observation list
+(** Observations only, from the packed bx's initial state. *)
+
+(** {1 Law-based program rewriting} *)
+
+val simplify_sets : ('a, 'b) op list -> ('a, 'b) op list
+(** Remove operations that the overwriteable laws make redundant as
+    state transformers: all gets, and all but the last of consecutive
+    same-side sets (law (SS)).  Preserves the final state on every
+    overwriteable bx (property-tested). *)
+
+val insert_get_set_roundtrip :
+  ('a, 'b, 's) Concrete.set_bx -> 's ->
+  ('a, 'b) op list -> int -> ('a, 'b) op list
+(** Insert a (GS)-redundant [get >>= set] round trip at position [i mod
+    (length + 1)]; on any set-bx this changes neither the other
+    operations' observations nor the final state. *)

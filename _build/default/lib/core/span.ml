@@ -1,0 +1,106 @@
+(** Spans of asymmetric lenses as entangled state monads.
+
+    A {e span} is a common source type ['s] with a lens onto each leg:
+
+    {v
+            S
+           / \
+     left /   \ right
+         v     v
+         A     B
+    v}
+
+    This is the standard category-theoretic presentation of symmetric bx
+    built from asymmetric lenses, and it generalises the paper's Lemma 4:
+    [Of_lens] is exactly the span whose left leg is the identity lens.
+    The induced set-bx reads each view with the corresponding [get] and
+    writes it with the corresponding [put]; the two views are entangled
+    through the shared source.
+
+    Laws: if both legs are well-behaved lenses, the span is a lawful
+    set-bx ((GG), (GS), (SG) per side follow legwise from (GetPut) and
+    (PutGet)); if both legs are very well-behaved it is overwriteable.
+    Property-tested in [test/test_span.ml]. *)
+
+type ('a, 'b, 's) t = {
+  left : ('s, 'a) Esm_lens.Lens.t;
+  right : ('s, 'b) Esm_lens.Lens.t;
+}
+
+let v ~left ~right = { left; right }
+
+(** The induced concrete set-bx over the shared source. *)
+let to_set_bx (span : ('a, 'b, 's) t) : ('a, 'b, 's) Concrete.set_bx =
+  {
+    Concrete.name =
+      Printf.sprintf "span(%s, %s)"
+        (Esm_lens.Lens.name span.left)
+        (Esm_lens.Lens.name span.right);
+    get_a = Esm_lens.Lens.get span.left;
+    get_b = Esm_lens.Lens.get span.right;
+    set_a = (fun a s -> Esm_lens.Lens.put span.left s a);
+    set_b = (fun b s -> Esm_lens.Lens.put span.right s b);
+  }
+
+(** Lemma 4 as a degenerate span: identity left leg. *)
+let of_lens (l : ('s, 'v) Esm_lens.Lens.t) : ('s, 'v, 's) t =
+  { left = Esm_lens.Lens.id; right = l }
+
+(** Swap the legs. *)
+let flip (span : ('a, 'b, 's) t) : ('b, 'a, 's) t =
+  { left = span.right; right = span.left }
+
+(** Pre-compose both legs with a lens into the source: re-root the span
+    at a bigger source. *)
+let re_root (outer : ('t, 's) Esm_lens.Lens.t) (span : ('a, 'b, 's) t) :
+    ('a, 'b, 't) t =
+  {
+    left = Esm_lens.Lens.compose outer span.left;
+    right = Esm_lens.Lens.compose outer span.right;
+  }
+
+(** Tensor two spans: sources, and both view sides, pair up. *)
+let tensor (s1 : ('a1, 'b1, 't1) t) (s2 : ('a2, 'b2, 't2) t) :
+    ('a1 * 'a2, 'b1 * 'b2, 't1 * 't2) t =
+  {
+    left = Esm_lens.Lens.pair s1.left s2.left;
+    right = Esm_lens.Lens.pair s1.right s2.right;
+  }
+
+(** The functor form, for use with the monadic law suites. *)
+module Make (X : sig
+  type a
+  type b
+  type s
+
+  val span : (a, b, s) t
+  val equal_s : s -> s -> bool
+end) : sig
+  include
+    Bx_intf.STATEFUL_SET_BX
+      with type a = X.a
+       and type b = X.b
+       and type state = X.s
+       and type 'x result = 'x * X.s
+end = struct
+  type a = X.a
+  type b = X.b
+  type state = X.s
+
+  module St = Esm_monad.State.Make (struct
+    type t = X.s
+  end)
+
+  include (St : Esm_monad.Monad_intf.S with type 'x t = 'x St.t)
+
+  type 'x result = 'x * state
+
+  let run = St.run
+  let equal_result eq (x1, s1) (x2, s2) = eq x1 x2 && X.equal_s s1 s2
+
+  let bx = to_set_bx X.span
+  let get_a : a t = St.gets bx.Concrete.get_a
+  let get_b : b t = St.gets bx.Concrete.get_b
+  let set_a (a : a) : unit t = St.modify (bx.Concrete.set_a a)
+  let set_b (b : b) : unit t = St.modify (bx.Concrete.set_b b)
+end

@@ -1,0 +1,48 @@
+(** Spans of asymmetric lenses as entangled state monads: a common source
+    with a lens onto each leg.  Generalises the paper's Lemma 4
+    ({!Of_lens} is the identity-legged span).  If both legs are
+    well-behaved the span is a lawful set-bx; very well-behaved legs give
+    an overwriteable one.  Overlapping legs entangle the views; disjoint
+    legs recover §3.4 commutation. *)
+
+type ('a, 'b, 's) t = {
+  left : ('s, 'a) Esm_lens.Lens.t;
+  right : ('s, 'b) Esm_lens.Lens.t;
+}
+
+val v :
+  left:('s, 'a) Esm_lens.Lens.t ->
+  right:('s, 'b) Esm_lens.Lens.t ->
+  ('a, 'b, 's) t
+
+val to_set_bx : ('a, 'b, 's) t -> ('a, 'b, 's) Concrete.set_bx
+(** The induced concrete set-bx over the shared source. *)
+
+val of_lens : ('s, 'v) Esm_lens.Lens.t -> ('s, 'v, 's) t
+(** Lemma 4 as a degenerate span: identity left leg. *)
+
+val flip : ('a, 'b, 's) t -> ('b, 'a, 's) t
+
+val re_root : ('t, 's) Esm_lens.Lens.t -> ('a, 'b, 's) t -> ('a, 'b, 't) t
+(** Pre-compose both legs with a lens into the source. *)
+
+val tensor :
+  ('a1, 'b1, 't1) t -> ('a2, 'b2, 't2) t ->
+  ('a1 * 'a2, 'b1 * 'b2, 't1 * 't2) t
+
+(** The functor form, for the monadic law suites. *)
+module Make (X : sig
+  type a
+  type b
+  type s
+
+  val span : (a, b, s) t
+  val equal_s : s -> s -> bool
+end) : sig
+  include
+    Bx_intf.STATEFUL_SET_BX
+      with type a = X.a
+       and type b = X.b
+       and type state = X.s
+       and type 'x result = 'x * X.s
+end

@@ -1,0 +1,78 @@
+(** The translations between set-bx and put-bx (paper, Section 3.3).
+
+    Given a set-bx [t], [set2pp t] is the put-bx with
+
+    {v
+    put_ab a = set_a a >> get_b
+    put_ba b = set_b b >> get_a
+    v}
+
+    and given a put-bx [u], [pp2set u] is the set-bx with
+
+    {v
+    set_a a = put_ab a >> return ()
+    set_b b = put_ba b >> return ()
+    v}
+
+    Lemmas 1–3 state that these preserve the (overwriteable) laws and are
+    mutually inverse; the test suite [test/test_translate.ml] validates
+    all three lemmas extensionally on several instances. *)
+
+(** Lemma 1 (construction): [set2pp]. *)
+module Set_to_put (T : Bx_intf.SET_BX) :
+  Bx_intf.PUT_BX
+    with type a = T.a
+     and type b = T.b
+     and type 'x t = 'x T.t = struct
+  include T
+
+  let put_ab a = T.Infix.( >> ) (T.set_a a) T.get_b
+  let put_ba b = T.Infix.( >> ) (T.set_b b) T.get_a
+end
+
+(** Lemma 2 (construction): [pp2set]. *)
+module Put_to_set (U : Bx_intf.PUT_BX) :
+  Bx_intf.SET_BX
+    with type a = U.a
+     and type b = U.b
+     and type 'x t = 'x U.t = struct
+  include U
+
+  let set_a a = U.ignore_m (U.put_ab a)
+  let set_b b = U.ignore_m (U.put_ba b)
+end
+
+(** Stateful variants: the monad (hence [run]) is unchanged by the
+    translations, so these simply re-attach the runnable structure. *)
+
+module Set_to_put_stateful (T : Bx_intf.STATEFUL_SET_BX) :
+  Bx_intf.STATEFUL_PUT_BX
+    with type a = T.a
+     and type b = T.b
+     and type 'x t = 'x T.t
+     and type state = T.state
+     and type 'x result = 'x T.result = struct
+  include Set_to_put (T)
+
+  type state = T.state
+  type 'x result = 'x T.result
+
+  let run = T.run
+  let equal_result = T.equal_result
+end
+
+module Put_to_set_stateful (U : Bx_intf.STATEFUL_PUT_BX) :
+  Bx_intf.STATEFUL_SET_BX
+    with type a = U.a
+     and type b = U.b
+     and type 'x t = 'x U.t
+     and type state = U.state
+     and type 'x result = 'x U.result = struct
+  include Put_to_set (U)
+
+  type state = U.state
+  type 'x result = 'x U.result
+
+  let run = U.run
+  let equal_result = U.equal_result
+end

@@ -1,0 +1,1 @@
+lib/laws/cell_laws.ml: Equality QCheck Runnable

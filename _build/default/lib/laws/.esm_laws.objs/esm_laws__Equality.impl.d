@@ -1,0 +1,1 @@
+lib/laws/equality.ml: Bool Int List String

@@ -1,0 +1,1 @@
+lib/laws/equality.mli:

@@ -1,0 +1,1 @@
+lib/laws/monad_laws.ml: Equality QCheck Runnable

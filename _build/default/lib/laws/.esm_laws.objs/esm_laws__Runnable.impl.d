@@ -1,0 +1,1 @@
+lib/laws/runnable.ml:

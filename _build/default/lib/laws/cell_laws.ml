@@ -1,0 +1,72 @@
+(** Property-based checkers for the four laws of a single mutable cell
+    (paper, Section 2), applied to anything matching
+    {!Runnable.RUNNABLE_CELL}:
+
+    - (GG) [get >>= fun s -> get >>= fun s' -> k s s'  =  get >>= fun s -> k s s]
+    - (GS) [get >>= set  =  return ()]
+    - (SG) [set s >> get  =  set s >> return s]
+    - (SS) [set s >> set s'  =  set s']
+
+    The same functor checks the A-side and B-side laws of a set-bx
+    (Section 3.1), since each side is exactly a cell structure over the
+    shared entangled world.
+
+    For (GG) we check the law at the universal continuation
+    [k s s' = return (s, s')]: every other continuation factors through it
+    by a further [bind], and [bind] preserves extensional equality of
+    computations in all runnable monads considered here, so this single
+    instance implies the general law. *)
+
+module Make (C : Runnable.RUNNABLE_CELL) = struct
+  open C
+
+  type config = {
+    name : string;  (** prefix for test names, e.g. ["of_lens.A"] *)
+    count : int;
+    gen_world : world QCheck.arbitrary;
+    gen_value : value QCheck.arbitrary;
+    eq_value : value Equality.t;
+  }
+
+  let config ?(count = 500) ~name ~gen_world ~gen_value ~eq_value () =
+    { name; count; gen_world; gen_value; eq_value }
+
+  let ( >>= ) = bind
+  let ( >> ) ma mb = ma >>= fun _ -> mb
+
+  let gg cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (GG)") cfg.gen_world
+      (fun w ->
+        let lhs = get >>= fun s -> get >>= fun s' -> return (s, s') in
+        let rhs = get >>= fun s -> return (s, s) in
+        equal_result
+          (Equality.pair cfg.eq_value cfg.eq_value)
+          (run lhs w) (run rhs w))
+
+  let gs cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (GS)") cfg.gen_world
+      (fun w ->
+        equal_result Equality.unit (run (get >>= set) w) (run (return ()) w))
+
+  let sg cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (SG)")
+      (QCheck.pair cfg.gen_world cfg.gen_value)
+      (fun (w, s) ->
+        equal_result cfg.eq_value
+          (run (set s >> get) w)
+          (run (set s >> return s) w))
+
+  let ss cfg : QCheck.Test.t =
+    QCheck.Test.make ~count:cfg.count ~name:(cfg.name ^ " (SS)")
+      (QCheck.triple cfg.gen_world cfg.gen_value cfg.gen_value)
+      (fun (w, s, s') ->
+        equal_result Equality.unit
+          (run (set s >> set s') w)
+          (run (set s') w))
+
+  (** The three laws required of each side of a set-bx. *)
+  let well_behaved cfg : QCheck.Test.t list = [ gg cfg; gs cfg; sg cfg ]
+
+  (** The well-behaved laws plus (SS) — the "overwriteable" package. *)
+  let overwriteable cfg : QCheck.Test.t list = well_behaved cfg @ [ ss cfg ]
+end

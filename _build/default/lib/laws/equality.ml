@@ -1,0 +1,29 @@
+(** Equality-function combinators used when instantiating law checkers. *)
+
+type 'a t = 'a -> 'a -> bool
+
+let unit : unit t = fun () () -> true
+let int : int t = Int.equal
+let bool : bool t = Bool.equal
+let string : string t = String.equal
+let poly : 'a t = fun a b -> a = b
+
+let pair (eq_a : 'a t) (eq_b : 'b t) : ('a * 'b) t =
+ fun (a1, b1) (a2, b2) -> eq_a a1 a2 && eq_b b1 b2
+
+let triple (eq_a : 'a t) (eq_b : 'b t) (eq_c : 'c t) : ('a * 'b * 'c) t =
+ fun (a1, b1, c1) (a2, b2, c2) -> eq_a a1 a2 && eq_b b1 b2 && eq_c c1 c2
+
+let option (eq_a : 'a t) : 'a option t =
+ fun o1 o2 ->
+  match (o1, o2) with
+  | None, None -> true
+  | Some a1, Some a2 -> eq_a a1 a2
+  | None, Some _ | Some _, None -> false
+
+let list (eq_a : 'a t) : 'a list t =
+ fun l1 l2 ->
+  List.length l1 = List.length l2 && List.for_all2 eq_a l1 l2
+
+(** Equality up to a projection: compare the images. *)
+let by (f : 'a -> 'b) (eq_b : 'b t) : 'a t = fun a1 a2 -> eq_b (f a1) (f a2)

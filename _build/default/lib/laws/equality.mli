@@ -1,0 +1,19 @@
+(** Equality-function combinators used when instantiating law checkers. *)
+
+type 'a t = 'a -> 'a -> bool
+
+val unit : unit t
+val int : int t
+val bool : bool t
+val string : string t
+
+val poly : 'a t
+(** Structural equality; avoid on values containing closures. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val option : 'a t -> 'a option t
+val list : 'a t -> 'a list t
+
+val by : ('a -> 'b) -> 'b t -> 'a t
+(** Equality up to a projection: compare the images. *)

@@ -1,0 +1,43 @@
+(** Property-based checkers for the three monad laws of Section 2 of the
+    paper:
+
+    - left unit:  [return a >>= f  =  f a]
+    - right unit: [ma >>= return  =  ma]
+    - associativity: [ma >>= (fun a -> f a >>= g)  =  (ma >>= f) >>= g]
+
+    Equality of computations is read extensionally: both sides are [run]
+    against sampled worlds and the observable results compared. *)
+
+module Make (M : Runnable.RUNNABLE) = struct
+  let default_count = 500
+
+  let left_unit ?(count = default_count) ~name ~(gen_a : 'a QCheck.arbitrary)
+      ~(gen_world : M.world QCheck.arbitrary) ~(f : 'a -> 'b M.t)
+      ~(eq_b : 'b Equality.t) () : QCheck.Test.t =
+    QCheck.Test.make ~count ~name:(name ^ ": return a >>= f = f a")
+      (QCheck.pair gen_a gen_world)
+      (fun (a, w) ->
+        M.equal_result eq_b
+          (M.run (M.bind (M.return a) f) w)
+          (M.run (f a) w))
+
+  let right_unit ?(count = default_count) ~name
+      ~(gen_ma : 'a M.t QCheck.arbitrary)
+      ~(gen_world : M.world QCheck.arbitrary) ~(eq_a : 'a Equality.t) () :
+      QCheck.Test.t =
+    QCheck.Test.make ~count ~name:(name ^ ": ma >>= return = ma")
+      (QCheck.pair gen_ma gen_world)
+      (fun (ma, w) ->
+        M.equal_result eq_a (M.run (M.bind ma M.return) w) (M.run ma w))
+
+  let assoc ?(count = default_count) ~name ~(gen_ma : 'a M.t QCheck.arbitrary)
+      ~(gen_world : M.world QCheck.arbitrary) ~(f : 'a -> 'b M.t)
+      ~(g : 'b -> 'c M.t) ~(eq_c : 'c Equality.t) () : QCheck.Test.t =
+    QCheck.Test.make ~count
+      ~name:(name ^ ": (ma >>= f) >>= g = ma >>= (f >=> g)")
+      (QCheck.pair gen_ma gen_world)
+      (fun (ma, w) ->
+        M.equal_result eq_c
+          (M.run (M.bind (M.bind ma f) g) w)
+          (M.run (M.bind ma (fun a -> M.bind (f a) g)) w))
+end

@@ -1,0 +1,38 @@
+(** Signatures for "runnable" monads — monads whose computations can be
+    executed against a world (an initial state, an input queue, …) to yield
+    an observable result.
+
+    The paper's equational laws are universally quantified equations
+    between computations; executing both sides against sampled worlds and
+    comparing the observable results is the standard extensional reading,
+    and is exactly what the law checkers in this library do. *)
+
+(** A monad whose computations run against a [world] to an observable
+    ['a result].  Pure monads use [world = unit]. *)
+module type RUNNABLE = sig
+  type 'a t
+  type world
+  type 'a result
+
+  val return : 'a -> 'a t
+  val bind : 'a t -> ('a -> 'b t) -> 'b t
+  val run : 'a t -> world -> 'a result
+
+  val equal_result : ('a -> 'a -> bool) -> 'a result -> 'a result -> bool
+  (** Equality of observations, given equality of returned values.  The
+      implementor bakes in equality of whatever else the result carries
+      (final state, output trace, …). *)
+end
+
+(** A runnable monad exposing one updateable cell of type [value] — the
+    shape shared by the state monad itself and by {e each side} of a
+    set-bx (where [value] is [a] or [b] and [world] is the entangled
+    state). *)
+module type RUNNABLE_CELL = sig
+  include RUNNABLE
+
+  type value
+
+  val get : value t
+  val set : value -> unit t
+end

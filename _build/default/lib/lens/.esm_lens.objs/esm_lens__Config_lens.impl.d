@@ -1,0 +1,1 @@
+lib/lens/config_lens.ml: Lens List String

@@ -1,0 +1,1 @@
+lib/lens/delta_lens.ml: Lens List

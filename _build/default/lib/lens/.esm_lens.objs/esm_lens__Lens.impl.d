@@ -1,0 +1,1 @@
+lib/lens/lens.ml: Format Fun List Printf

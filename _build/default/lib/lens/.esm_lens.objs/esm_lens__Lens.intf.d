@@ -1,0 +1,1 @@
+lib/lens/lens.mli: Format

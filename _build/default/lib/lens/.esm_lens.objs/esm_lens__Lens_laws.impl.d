@@ -1,0 +1,1 @@
+lib/lens/lens_laws.ml: Esm_laws Lens QCheck

@@ -1,0 +1,1 @@
+lib/lens/lens_laws.mli: Esm_laws Lens QCheck

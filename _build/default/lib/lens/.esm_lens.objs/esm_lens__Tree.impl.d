@@ -1,0 +1,1 @@
+lib/lens/tree.ml: Format Lens List Option Printf String

@@ -1,0 +1,1 @@
+lib/lens/tree.mli: Format Lens

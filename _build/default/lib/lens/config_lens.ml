@@ -1,0 +1,159 @@
+(** A textual configuration-file lens, Boomerang/Augeas style: the source
+    is the raw text of a [key = value] config file (comments, blank lines
+    and per-line layout included); the view is just the list of bindings.
+    Editing the view and putting it back rewrites only the affected
+    values, preserving every comment and all untouched layout — the
+    "linguistic approach to the view-update problem" of the paper's
+    reference [1], on the file format everyone actually has.
+
+    Concretely a source line is one of
+
+    - a comment (first non-blank character ['#'] or [';']), kept verbatim;
+    - a blank line, kept verbatim;
+    - a binding [<indent>key<ws>=<ws>value], whose layout (indent and
+      whitespace around ['=']) is the line's complement.
+
+    [put] policy, given the updated bindings list:
+
+    - a binding line whose key is still present gets the (possibly new)
+      value, keeping its layout; the FIRST occurrence of each view key
+      consumes it, so duplicate keys update positionally;
+    - a binding line whose key disappeared from the view is deleted;
+    - view bindings left over are appended at the end as [key = value].
+
+    Laws: on sources and views with distinct keys (the usual config-file
+    discipline), (GetPut) holds exactly, and (PutGet) holds {e up to
+    binding order}: the file's line order belongs to the source's layout,
+    so the view is morally a finite map — compare views with an
+    order-insensitive equality.  (Augeas has the same semantics.)
+    Property-tested in [test/test_config_lens.ml], including a
+    shuffled-view case. *)
+
+type line =
+  | Verbatim of string  (** comment or blank line *)
+  | Binding of { indent : string; key : string; sep : string; value : string }
+      (** [<indent><key><sep><value>] where [sep] contains the ['='] *)
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t') s
+
+let parse_line (s : string) : line =
+  let trimmed = String.trim s in
+  if is_blank s then Verbatim s
+  else if trimmed.[0] = '#' || trimmed.[0] = ';' then Verbatim s
+  else
+    match String.index_opt s '=' with
+    | None -> Verbatim s (* not a binding: keep untouched *)
+    | Some eq ->
+        let raw_key = String.sub s 0 eq in
+        let key = String.trim raw_key in
+        if key = "" then Verbatim s
+        else
+          let indent_len =
+            let rec go i =
+              if i < String.length raw_key && (raw_key.[i] = ' ' || raw_key.[i] = '\t')
+              then go (i + 1)
+              else i
+            in
+            go 0
+          in
+          let indent = String.sub s 0 indent_len in
+          let raw_value = String.sub s (eq + 1) (String.length s - eq - 1) in
+          let value = String.trim raw_value in
+          (* sep = everything between the trimmed key and trimmed value *)
+          let key_end = indent_len + String.length key in
+          let value_start =
+            let rec go i =
+              if
+                i < String.length s
+                && (s.[i] = ' ' || s.[i] = '\t' || s.[i] = '=')
+              then go (i + 1)
+              else i
+            in
+            go key_end
+          in
+          Binding
+            {
+              indent;
+              key;
+              sep = String.sub s key_end (value_start - key_end);
+              value;
+            }
+
+let print_line = function
+  | Verbatim s -> s
+  | Binding { indent; key; sep; value } -> indent ^ key ^ sep ^ value
+
+let parse_text (text : string) : line list =
+  List.map parse_line (String.split_on_char '\n' text)
+
+let print_text (lines : line list) : string =
+  String.concat "\n" (List.map print_line lines)
+
+(** The lens from config text to its bindings. *)
+let bindings : (string, (string * string) list) Lens.t =
+  let get text =
+    List.filter_map
+      (function
+        | Binding { key; value; _ } -> Some (key, value)
+        | Verbatim _ -> None)
+      (parse_text text)
+  in
+  let put text view =
+    let lines = parse_text text in
+    (* Each view binding may be consumed once, in order, per key. *)
+    let remaining = ref view in
+    let consume key =
+      let rec go acc = function
+        | [] -> None
+        | (k, v) :: rest when String.equal k key ->
+            remaining := List.rev_append acc rest;
+            Some v
+        | kv :: rest -> go (kv :: acc) rest
+      in
+      go [] !remaining
+    in
+    let updated =
+      List.filter_map
+        (fun line ->
+          match line with
+          | Verbatim _ -> Some line
+          | Binding b -> (
+              match consume b.key with
+              | Some value -> Some (Binding { b with value })
+              | None -> None (* key deleted from the view *)))
+        lines
+    in
+    let fresh =
+      List.map
+        (fun (key, value) ->
+          Binding { indent = ""; key; sep = " = "; value })
+        !remaining
+    in
+    (* Avoid stacking blank trailing lines when appending. *)
+    let updated =
+      match (fresh, List.rev updated) with
+      | [], _ -> updated
+      | _, Verbatim "" :: rev_rest -> List.rev rev_rest @ fresh @ [ Verbatim "" ]
+      | _, _ -> updated @ fresh
+    in
+    print_text updated
+  in
+  Lens.v ~name:"config.bindings" ~get ~put ()
+
+(** Focus one key's value (string option: [None] = absent).  Built by
+    composing {!bindings} with an option-valued assoc lens. *)
+let value_of (key : string) : (string, string option) Lens.t =
+  let assoc_opt : ((string * string) list, string option) Lens.t =
+    Lens.v ~name:("assoc? " ^ key)
+      ~get:(fun kvs -> List.assoc_opt key kvs)
+      ~put:(fun kvs -> function
+        | None -> List.filter (fun (k, _) -> not (String.equal k key)) kvs
+        | Some v ->
+            if List.mem_assoc key kvs then
+              List.map
+                (fun (k, v0) -> if String.equal k key then (k, v) else (k, v0))
+                kvs
+            else kvs @ [ (key, v) ])
+      ()
+  in
+  Lens.with_name ("config[" ^ key ^ "]") (Lens.compose bindings assoc_opt)

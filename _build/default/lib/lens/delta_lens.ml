@@ -1,0 +1,215 @@
+(** Delta lenses (Diskin, Xiong, Czarnecki; "From state- to delta-based
+    bidirectional model transformations", 2011): the update-propagating
+    refinement of asymmetric lenses.
+
+    Where a state-based lens sees only the {e new} view value, a delta
+    lens sees the {e edit} that produced it, and translates view edits
+    into source edits.  Deltas are modelled as a monoid acting on states
+    ({!module-type:ACTION}); a delta lens between two actions is a [get]
+    on states plus a [dput] on deltas satisfying
+
+    - (DPutId)   [dput s id = id]
+    - (DPutGet)  [apply (get s) dv = get (apply s (dput s dv))]
+    - (DPutComp) [dput s (dv ; dv') =
+                  dput s dv ; dput (apply s (dput s dv)) dv']
+
+    i.e. [dput] is functorial: it preserves identities and composition
+    of edits.  {!of_lens} recovers a delta lens from a state-based lens
+    via "absolute" deltas (replace-with), and {!to_lens} forgets deltas
+    again; the paper's state-based world embeds in the delta-based one.
+
+    The laws are property-checked in [test/test_delta_lens.ml] for the
+    list-edit and model-edit instances. *)
+
+(** A monoid of deltas acting on a state set. *)
+module type ACTION = sig
+  type state
+  type delta
+
+  val id : delta
+  val compose : delta -> delta -> delta
+  (** [compose d d'] applies [d] first, then [d']. *)
+
+  val apply : state -> delta -> state
+  val equal_delta : delta -> delta -> bool
+  val equal_state : state -> state -> bool
+end
+
+(** A delta lens between a source action [S] and a view action [V]. *)
+module type S = sig
+  module Src : ACTION
+  module View : ACTION
+
+  val get : Src.state -> View.state
+
+  val dput : Src.state -> View.delta -> Src.delta
+  (** Translate a view edit into a source edit, relative to the current
+      source. *)
+end
+
+(** The action of "absolute" deltas: a delta is [None] (identity) or
+    [Some new_value] (replace).  This is how state-based lenses embed in
+    the delta world. *)
+module Absolute (X : sig
+  type t
+
+  val equal : t -> t -> bool
+end) : ACTION with type state = X.t and type delta = X.t option = struct
+  type state = X.t
+  type delta = X.t option
+
+  let id = None
+
+  let compose d d' = match d' with Some _ -> d' | None -> d
+
+  let apply s = function Some s' -> s' | None -> s
+
+  let equal_delta d1 d2 =
+    match (d1, d2) with
+    | None, None -> true
+    | Some x, Some y -> X.equal x y
+    | None, Some _ | Some _, None -> false
+
+  let equal_state = X.equal
+end
+
+(** Lists with positional edit scripts — the classic structured-delta
+    example. *)
+module List_edits (X : sig
+  type t
+
+  val equal : t -> t -> bool
+end) : sig
+  type edit = Insert of int * X.t | Delete of int | Replace of int * X.t
+
+  include ACTION with type state = X.t list and type delta = edit list
+
+  val apply_edit : X.t list -> edit -> X.t list
+end = struct
+  type edit = Insert of int * X.t | Delete of int | Replace of int * X.t
+
+  type state = X.t list
+  type delta = edit list
+
+  let id = []
+  let compose = ( @ )
+
+  (* Out-of-range positions clamp (insert) or no-op (delete/replace), so
+     [apply] is total. *)
+  let apply_edit (xs : X.t list) : edit -> X.t list = function
+    | Insert (i, x) ->
+        let i = max 0 (min i (List.length xs)) in
+        List.filteri (fun j _ -> j < i) xs
+        @ (x :: List.filteri (fun j _ -> j >= i) xs)
+    | Delete i -> List.filteri (fun j _ -> j <> i) xs
+    | Replace (i, x) -> List.mapi (fun j y -> if j = i then x else y) xs
+
+  let apply xs delta = List.fold_left apply_edit xs delta
+
+  let equal_edit e1 e2 =
+    match (e1, e2) with
+    | Insert (i1, x1), Insert (i2, x2) -> i1 = i2 && X.equal x1 x2
+    | Delete i1, Delete i2 -> i1 = i2
+    | Replace (i1, x1), Replace (i2, x2) -> i1 = i2 && X.equal x1 x2
+    | (Insert _ | Delete _ | Replace _), _ -> false
+
+  let equal_delta d1 d2 =
+    List.length d1 = List.length d2 && List.for_all2 equal_edit d1 d2
+
+  let equal_state s1 s2 =
+    List.length s1 = List.length s2 && List.for_all2 X.equal s1 s2
+end
+
+(** Embed a state-based lens as a delta lens over absolute deltas: a
+    view replacement becomes a source replacement through [put]. *)
+module Of_lens (X : sig
+  type s
+  type v
+
+  val lens : (s, v) Lens.t
+  val equal_s : s -> s -> bool
+  val equal_v : v -> v -> bool
+end) : sig
+  module Src : ACTION with type state = X.s and type delta = X.s option
+  module View : ACTION with type state = X.v and type delta = X.v option
+
+  val get : X.s -> X.v
+  val dput : X.s -> View.delta -> Src.delta
+end = struct
+  module Src = Absolute (struct
+    type t = X.s
+
+    let equal = X.equal_s
+  end)
+
+  module View = Absolute (struct
+    type t = X.v
+
+    let equal = X.equal_v
+  end)
+
+  let get = Lens.get X.lens
+
+  let dput (s : X.s) (dv : X.v option) : X.s option =
+    match dv with None -> None | Some v -> Some (Lens.put X.lens s v)
+end
+
+(** Forget deltas: a delta lens over absolute deltas is exactly a
+    state-based lens. *)
+let to_lens (type s v) ?(name = "of_delta")
+    (module D : S
+      with type Src.state = s
+       and type Src.delta = s option
+       and type View.state = v
+       and type View.delta = v option) : (s, v) Lens.t =
+  Lens.v ~name ~get:D.get
+    ~put:(fun s v -> D.Src.apply s (D.dput s (Some v)))
+    ()
+
+(** The delta lens mapping an element-wise lens over lists with
+    positional edits: inserts create sources with [create], deletes and
+    replaces translate positionally.  Functorial because edit
+    translation is positionwise. *)
+module List_map (X : sig
+  type s
+  type v
+
+  val lens : (s, v) Lens.t
+  val create : v -> s
+  val equal_s : s -> s -> bool
+  val equal_v : v -> v -> bool
+end) =
+struct
+  module Src = List_edits (struct
+    type t = X.s
+
+    let equal = X.equal_s
+  end)
+
+  module View = List_edits (struct
+    type t = X.v
+
+    let equal = X.equal_v
+  end)
+
+  let get (xs : X.s list) : X.v list = List.map (Lens.get X.lens) xs
+
+  let dput_edit (xs : X.s list) : View.edit -> Src.edit = function
+    | View.Insert (i, v) -> Src.Insert (i, X.create v)
+    | View.Delete i -> Src.Delete i
+    | View.Replace (i, v) -> (
+        match List.nth_opt xs i with
+        | Some s -> Src.Replace (i, Lens.put X.lens s v)
+        | None -> Src.Replace (i, X.create v))
+
+  let dput (xs : X.s list) (dv : View.delta) : Src.delta =
+    (* translate edit by edit, tracking the evolving source *)
+    let _, rev =
+      List.fold_left
+        (fun (xs, acc) ev ->
+          let es = dput_edit xs ev in
+          (Src.apply_edit xs es, es :: acc))
+        (xs, []) dv
+    in
+    List.rev rev
+end

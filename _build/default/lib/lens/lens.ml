@@ -1,0 +1,199 @@
+(** Asymmetric lenses (Foster et al., TOPLAS 2007), as used in Section 2 of
+    the paper: a lens [l] between source ['s] and view ['v] is a pair of
+    functions [get : 's -> 'v] and [put : 's -> 'v -> 's].
+
+    A lens is {e well-behaved} when
+
+    - (GetPut) [put s (get s) = s]
+    - (PutGet) [get (put s v) = v]
+
+    and {e very well-behaved} when additionally
+
+    - (PutPut) [put (put s v) v' = put s v']
+
+    Lemma 4 of the paper turns any well-behaved lens into a set-bx over
+    state ['s] (see {!Esm_core.Of_lens}); very-well-behaved lenses give
+    overwriteable set-bx.
+
+    Some combinators ([const], [assoc], tree lenses) are partial: their
+    [get] or [put] raises {!Shape_error} outside the intended source/view
+    domains.  Their laws hold on the documented domains, and the law
+    checkers in {!Lens_laws} are instantiated with generators that respect
+    those domains. *)
+
+exception Shape_error of string
+(** Raised by partial lenses applied outside their domain. *)
+
+let shape_errorf fmt = Format.kasprintf (fun s -> raise (Shape_error s)) fmt
+
+type ('s, 'v) t = {
+  name : string;
+  get : 's -> 'v;
+  put : 's -> 'v -> 's;
+}
+
+let v ?(name = "<lens>") ~get ~put () = { name; get; put }
+let name l = l.name
+let get l s = l.get s
+let put l s v = l.put s v
+
+(** [update l f s] modifies the view through the lens: a get-modify-put
+    round trip. *)
+let update l f s = l.put s (f (l.get s))
+
+(** Rename a lens (for diagnostics). *)
+let with_name name l = { l with name }
+
+(* ------------------------------------------------------------------ *)
+(* Primitive combinators                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** The identity lens between ['s] and ['s]: [get] reads the state and
+    [put] replaces it.  The paper uses it to exhibit the ordinary state
+    monad as the lens-induced one (Section 2). *)
+let id : ('s, 's) t = { name = "id"; get = Fun.id; put = (fun _ v -> v) }
+
+(** [compose outer inner] focuses through [outer] then [inner]:
+    [s --outer--> u --inner--> v].  Preserves (very) well-behavedness. *)
+let compose (outer : ('s, 'u) t) (inner : ('u, 'v) t) : ('s, 'v) t =
+  {
+    name = outer.name ^ " ; " ^ inner.name;
+    get = (fun s -> inner.get (outer.get s));
+    put = (fun s v -> outer.put s (inner.put (outer.get s) v));
+  }
+
+(** Infix [compose]. *)
+let ( // ) = compose
+
+(** View the first component of a pair. *)
+let fst_lens : ('a * 'b, 'a) t =
+  { name = "fst"; get = fst; put = (fun (_, b) a -> (a, b)) }
+
+(** View the second component of a pair. *)
+let snd_lens : ('a * 'b, 'b) t =
+  { name = "snd"; get = snd; put = (fun (a, _) b -> (a, b)) }
+
+(** Apply two lenses in parallel to the components of a pair. *)
+let pair (l1 : ('s1, 'v1) t) (l2 : ('s2, 'v2) t) : ('s1 * 's2, 'v1 * 'v2) t =
+  {
+    name = Printf.sprintf "(%s * %s)" l1.name l2.name;
+    get = (fun (s1, s2) -> (l1.get s1, l2.get s2));
+    put = (fun (s1, s2) (v1, v2) -> (l1.put s1 v1, l2.put s2 v2));
+  }
+
+(** A lens from a bijection.  Well-behaved (indeed very well-behaved) iff
+    [fwd] and [bwd] are mutually inverse. *)
+let of_iso ?(name = "iso") (fwd : 's -> 'v) (bwd : 'v -> 's) : ('s, 'v) t =
+  { name; get = fwd; put = (fun _ v -> bwd v) }
+
+(** The constant lens: the view is always [v0]; [put] only accepts [v0]
+    back (anything else raises {!Shape_error}).  Well-behaved on the view
+    domain [{v0}]. *)
+let const ?(eq = ( = )) ~(pp : 'v -> string) (v0 : 'v) : ('s, 'v) t =
+  {
+    name = "const";
+    get = (fun _ -> v0);
+    put =
+      (fun s v ->
+        if eq v v0 then s
+        else shape_errorf "const lens: cannot put view %s" (pp v));
+  }
+
+(** Swap the components of a pair (an iso lens). *)
+let swap : ('a * 'b, 'b * 'a) t =
+  {
+    name = "swap";
+    get = (fun (a, b) -> (b, a));
+    put = (fun _ (b, a) -> (a, b));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Container lenses                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Focus the value bound to [key] in an association list.  [get] raises
+    {!Shape_error} if the key is absent; [put] replaces the first binding,
+    or appends one if absent.  Well-behaved on sources containing the key
+    exactly once. *)
+let assoc ?(eq_key = ( = )) ~(pp_key : 'k -> string) (key : 'k) :
+    (('k * 'v) list, 'v) t =
+  let get s =
+    match List.find_opt (fun (k, _) -> eq_key k key) s with
+    | Some (_, v) -> v
+    | None -> shape_errorf "assoc lens: key %s not found" (pp_key key)
+  in
+  let put s v =
+    let rec replace = function
+      | [] -> [ (key, v) ]
+      | (k, _) :: rest when eq_key k key -> (key, v) :: rest
+      | binding :: rest -> binding :: replace rest
+    in
+    replace s
+  in
+  { name = "assoc"; get; put }
+
+(** Focus the head of a list.  [put] on an empty source creates a
+    singleton.  Well-behaved on non-empty sources. *)
+let head : ('a list, 'a) t =
+  {
+    name = "head";
+    get =
+      (function
+      | x :: _ -> x
+      | [] -> shape_errorf "head lens: empty list");
+    put = (fun s v -> match s with _ :: rest -> v :: rest | [] -> [ v ]);
+  }
+
+(** Map a lens over a list, pointwise.  When the new view is longer than
+    the source, fresh source elements are created with [create]; when
+    shorter, trailing source elements are dropped.  Very well-behaved when
+    the underlying lens is and [create] inverts [get] on fresh views. *)
+let list_map ~(create : 'v -> 's) (l : ('s, 'v) t) : ('s list, 'v list) t =
+  let rec put_list sources views =
+    match (sources, views) with
+    | _, [] -> []
+    | [], v :: vs -> create v :: put_list [] vs
+    | s :: ss, v :: vs -> l.put s v :: put_list ss vs
+  in
+  {
+    name = "list_map " ^ l.name;
+    get = List.map l.get;
+    put = put_list;
+  }
+
+(** Filter lens: the view is the sublist of elements satisfying [keep].
+    [put] splices the updated view back among the non-kept elements,
+    preserving their positions; surplus view elements are appended, and
+    missing ones cause the corresponding kept elements to be dropped.
+    Well-behaved on views whose elements all satisfy [keep]; [put] raises
+    {!Shape_error} otherwise. *)
+let filter ~(keep : 'a -> bool) : ('a list, 'a list) t =
+  let get s = List.filter keep s in
+  let put s view =
+    List.iter
+      (fun v ->
+        if not (keep v) then
+          shape_errorf "filter lens: view element fails the predicate")
+      view;
+    let rec splice source view =
+      match (source, view) with
+      | [], view -> view
+      | x :: rest, view when not (keep x) -> x :: splice rest view
+      | _ :: rest, [] -> splice rest []
+      | _ :: rest, v :: vs -> v :: splice rest vs
+    in
+    splice s view
+  in
+  { name = "filter"; get; put }
+
+(* ------------------------------------------------------------------ *)
+(* Law predicates (pointwise; see Lens_laws for the QCheck suites)     *)
+(* ------------------------------------------------------------------ *)
+
+let get_put_at ~eq_s (l : ('s, 'v) t) (s : 's) : bool = eq_s (l.put s (l.get s)) s
+
+let put_get_at ~eq_v (l : ('s, 'v) t) (s : 's) (v : 'v) : bool =
+  eq_v (l.get (l.put s v)) v
+
+let put_put_at ~eq_s (l : ('s, 'v) t) (s : 's) (v : 'v) (v' : 'v) : bool =
+  eq_s (l.put (l.put s v) v') (l.put s v')

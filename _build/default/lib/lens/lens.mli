@@ -1,0 +1,118 @@
+(** Asymmetric lenses (Foster et al., TOPLAS 2007), as used in Section 2
+    of the paper: a lens between source ['s] and view ['v] is a pair of
+    functions [get : 's -> 'v] and [put : 's -> 'v -> 's].
+
+    A lens is {e well-behaved} when
+
+    - (GetPut) [put s (get s) = s]
+    - (PutGet) [get (put s v) = v]
+
+    and {e very well-behaved} when additionally
+
+    - (PutPut) [put (put s v) v' = put s v'].
+
+    Lemma 4 of the paper turns any well-behaved lens into a set-bx over
+    state ['s] (see {!Esm_core.Of_lens}); very-well-behaved lenses give
+    overwriteable set-bx.
+
+    Some combinators ([const], [assoc], tree lenses) are partial: their
+    [get] or [put] raises {!Shape_error} outside the documented source or
+    view domains.  Their laws hold on those domains, and the law checkers
+    in {!Lens_laws} are instantiated with generators that respect them. *)
+
+exception Shape_error of string
+(** Raised by partial lenses applied outside their domain. *)
+
+val shape_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Shape_error} with a formatted message. *)
+
+type ('s, 'v) t = {
+  name : string;  (** diagnostic name, e.g. ["fst ; head"] *)
+  get : 's -> 'v;
+  put : 's -> 'v -> 's;
+}
+
+val v :
+  ?name:string -> get:('s -> 'v) -> put:('s -> 'v -> 's) -> unit -> ('s, 'v) t
+(** Build a lens from its two components. *)
+
+val name : ('s, 'v) t -> string
+val get : ('s, 'v) t -> 's -> 'v
+val put : ('s, 'v) t -> 's -> 'v -> 's
+
+val update : ('s, 'v) t -> ('v -> 'v) -> 's -> 's
+(** [update l f s] modifies the view through the lens: a get-modify-put
+    round trip. *)
+
+val with_name : string -> ('s, 'v) t -> ('s, 'v) t
+(** Rename a lens (for diagnostics). *)
+
+(** {1 Primitive combinators} *)
+
+val id : ('s, 's) t
+(** The identity lens: [get] reads the state, [put] replaces it.  The
+    paper uses it to exhibit the ordinary state monad as the lens-induced
+    one (Section 2). *)
+
+val compose : ('s, 'u) t -> ('u, 'v) t -> ('s, 'v) t
+(** [compose outer inner] focuses through [outer] then [inner].
+    Preserves (very) well-behavedness. *)
+
+val ( // ) : ('s, 'u) t -> ('u, 'v) t -> ('s, 'v) t
+(** Infix {!compose}. *)
+
+val fst_lens : ('a * 'b, 'a) t
+(** View the first component of a pair. *)
+
+val snd_lens : ('a * 'b, 'b) t
+(** View the second component of a pair. *)
+
+val pair : ('s1, 'v1) t -> ('s2, 'v2) t -> ('s1 * 's2, 'v1 * 'v2) t
+(** Apply two lenses in parallel to the components of a pair. *)
+
+val of_iso : ?name:string -> ('s -> 'v) -> ('v -> 's) -> ('s, 'v) t
+(** A lens from a bijection; very well-behaved iff the two functions are
+    mutually inverse. *)
+
+val const : ?eq:('v -> 'v -> bool) -> pp:('v -> string) -> 'v -> ('s, 'v) t
+(** The constant lens: the view is always the given value; [put] accepts
+    only that value back (anything else raises {!Shape_error}).
+    Well-behaved on the singleton view domain. *)
+
+val swap : ('a * 'b, 'b * 'a) t
+(** Swap the components of a pair (an iso lens). *)
+
+(** {1 Container lenses} *)
+
+val assoc :
+  ?eq_key:('k -> 'k -> bool) -> pp_key:('k -> string) -> 'k ->
+  (('k * 'v) list, 'v) t
+(** Focus the value bound to a key in an association list.  [get] raises
+    {!Shape_error} if the key is absent; [put] replaces the first
+    binding, or appends one.  Well-behaved on sources containing the key
+    exactly once. *)
+
+val head : ('a list, 'a) t
+(** Focus the head of a list; [put] on an empty source creates a
+    singleton.  Well-behaved on non-empty sources. *)
+
+val list_map : create:('v -> 's) -> ('s, 'v) t -> ('s list, 'v list) t
+(** Map a lens over a list pointwise.  Longer views create fresh sources
+    with [create]; shorter views drop trailing sources.  Well-behaved;
+    (PutPut) additionally requires equal-length successive views. *)
+
+val filter : keep:('a -> bool) -> ('a list, 'a list) t
+(** The view is the sublist satisfying [keep]; [put] splices the updated
+    view back among the non-kept elements.  Well-behaved on views whose
+    elements all satisfy [keep] ([put] raises {!Shape_error} otherwise). *)
+
+(** {1 Pointwise law predicates}
+
+    One-sample checks used by the QCheck suites in {!Lens_laws} and
+    directly by tests that exhibit specific (counter)examples. *)
+
+val get_put_at : eq_s:('s -> 's -> bool) -> ('s, 'v) t -> 's -> bool
+val put_get_at : eq_v:('v -> 'v -> bool) -> ('s, 'v) t -> 's -> 'v -> bool
+
+val put_put_at :
+  eq_s:('s -> 's -> bool) -> ('s, 'v) t -> 's -> 'v -> 'v -> bool

@@ -1,0 +1,38 @@
+(** QCheck law suites for asymmetric lenses: (GetPut), (PutGet), (PutPut).
+    Generators must respect the documented domain of partial lenses. *)
+
+let default_count = 500
+
+let get_put ?(count = default_count) ~name (l : ('s, 'v) Lens.t)
+    ~(gen_s : 's QCheck.arbitrary) ~(eq_s : 's Esm_laws.Equality.t) :
+    QCheck.Test.t =
+  QCheck.Test.make ~count ~name:(name ^ " (GetPut)") gen_s (fun s ->
+      Lens.get_put_at ~eq_s l s)
+
+let put_get ?(count = default_count) ~name (l : ('s, 'v) Lens.t)
+    ~(gen_s : 's QCheck.arbitrary) ~(gen_v : 'v QCheck.arbitrary)
+    ~(eq_v : 'v Esm_laws.Equality.t) : QCheck.Test.t =
+  QCheck.Test.make ~count ~name:(name ^ " (PutGet)")
+    (QCheck.pair gen_s gen_v)
+    (fun (s, v) -> Lens.put_get_at ~eq_v l s v)
+
+let put_put ?(count = default_count) ~name (l : ('s, 'v) Lens.t)
+    ~(gen_s : 's QCheck.arbitrary) ~(gen_v : 'v QCheck.arbitrary)
+    ~(eq_s : 's Esm_laws.Equality.t) : QCheck.Test.t =
+  QCheck.Test.make ~count ~name:(name ^ " (PutPut)")
+    (QCheck.triple gen_s gen_v gen_v)
+    (fun (s, v, v') -> Lens.put_put_at ~eq_s l s v v')
+
+(** (GetPut) + (PutGet). *)
+let well_behaved ?count ~name l ~gen_s ~gen_v ~eq_s ~eq_v :
+    QCheck.Test.t list =
+  [
+    get_put ?count ~name l ~gen_s ~eq_s;
+    put_get ?count ~name l ~gen_s ~gen_v ~eq_v;
+  ]
+
+(** (GetPut) + (PutGet) + (PutPut). *)
+let very_well_behaved ?count ~name l ~gen_s ~gen_v ~eq_s ~eq_v :
+    QCheck.Test.t list =
+  well_behaved ?count ~name l ~gen_s ~gen_v ~eq_s ~eq_v
+  @ [ put_put ?count ~name l ~gen_s ~gen_v ~eq_s ]

@@ -1,0 +1,53 @@
+(** QCheck law suites for asymmetric lenses: (GetPut), (PutGet),
+    (PutPut).  Generators must respect the documented domain of partial
+    lenses. *)
+
+val default_count : int
+
+val get_put :
+  ?count:int ->
+  name:string ->
+  ('s, 'v) Lens.t ->
+  gen_s:'s QCheck.arbitrary ->
+  eq_s:'s Esm_laws.Equality.t ->
+  QCheck.Test.t
+
+val put_get :
+  ?count:int ->
+  name:string ->
+  ('s, 'v) Lens.t ->
+  gen_s:'s QCheck.arbitrary ->
+  gen_v:'v QCheck.arbitrary ->
+  eq_v:'v Esm_laws.Equality.t ->
+  QCheck.Test.t
+
+val put_put :
+  ?count:int ->
+  name:string ->
+  ('s, 'v) Lens.t ->
+  gen_s:'s QCheck.arbitrary ->
+  gen_v:'v QCheck.arbitrary ->
+  eq_s:'s Esm_laws.Equality.t ->
+  QCheck.Test.t
+
+val well_behaved :
+  ?count:int ->
+  name:string ->
+  ('s, 'v) Lens.t ->
+  gen_s:'s QCheck.arbitrary ->
+  gen_v:'v QCheck.arbitrary ->
+  eq_s:'s Esm_laws.Equality.t ->
+  eq_v:'v Esm_laws.Equality.t ->
+  QCheck.Test.t list
+(** (GetPut) + (PutGet). *)
+
+val very_well_behaved :
+  ?count:int ->
+  name:string ->
+  ('s, 'v) Lens.t ->
+  gen_s:'s QCheck.arbitrary ->
+  gen_v:'v QCheck.arbitrary ->
+  eq_s:'s Esm_laws.Equality.t ->
+  eq_v:'v Esm_laws.Equality.t ->
+  QCheck.Test.t list
+(** (GetPut) + (PutGet) + (PutPut). *)

@@ -1,0 +1,207 @@
+(** Named-edge trees and tree lenses, after Foster et al.'s "Combinators
+    for bidirectional tree transformations" — reference [1] of the paper
+    and the origin of the asymmetric lenses it builds on.
+
+    A tree is a finite, ordered list of edges, each labelled with a string
+    and leading to a subtree.  Scalar values are encoded, as in the
+    original paper, as a single edge with no children: [value "x"] is the
+    tree [{"x" -> {}}]. *)
+
+type t = Node of (string * t) list
+
+let empty = Node []
+let node edges = Node edges
+let edges (Node es) = es
+
+(** Encode a scalar value. *)
+let value (s : string) : t = Node [ (s, empty) ]
+
+(** Decode a scalar value; raises {!Lens.Shape_error} on non-value trees. *)
+let to_value : t -> string = function
+  | Node [ (s, Node []) ] -> s
+  | Node _ -> Lens.shape_errorf "Tree.to_value: not a value tree"
+
+let rec equal (Node es1) (Node es2) =
+  List.length es1 = List.length es2
+  && List.for_all2
+       (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && equal t1 t2)
+       es1 es2
+
+let rec pp fmt (Node es) =
+  match es with
+  | [] -> Format.fprintf fmt "{}"
+  | _ ->
+      Format.fprintf fmt "{@[%a@]}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+           (fun fmt (n, t) ->
+             match t with
+             | Node [] -> Format.fprintf fmt "%s" n
+             | _ -> Format.fprintf fmt "%s -> %a" n pp t))
+        es
+
+let to_string t = Format.asprintf "%a" pp t
+
+let lookup name (Node es) : t option =
+  Option.map snd (List.find_opt (fun (n, _) -> String.equal n name) es)
+
+(** Replace or add the binding for [name]. *)
+let bind_edge name subtree (Node es) : t =
+  let rec go = function
+    | [] -> [ (name, subtree) ]
+    | (n, _) :: rest when String.equal n name -> (name, subtree) :: rest
+    | e :: rest -> e :: go rest
+  in
+  Node (go es)
+
+let remove_edge name (Node es) : t =
+  Node (List.filter (fun (n, _) -> not (String.equal n name)) es)
+
+let size t =
+  let rec go acc (Node es) =
+    List.fold_left (fun acc (_, child) -> go (acc + 1) child) acc es
+  in
+  go 1 t
+
+(* ------------------------------------------------------------------ *)
+(* Tree lenses.  All are (very) well-behaved on their documented source
+   and view domains; outside them, Shape_error is raised.               *)
+(* ------------------------------------------------------------------ *)
+
+(** [hoist n]: the source must be exactly [{n -> t}]; the view is [t].
+    Inverse of {!plunge}. *)
+let hoist (n : string) : (t, t) Lens.t =
+  Lens.v ~name:(Printf.sprintf "hoist %s" n)
+    ~get:(function
+      | Node [ (m, child) ] when String.equal m n -> child
+      | tree ->
+          Lens.shape_errorf "hoist %s: source %s is not a singleton %s-edge"
+            n (to_string tree) n)
+    ~put:(fun _ view -> Node [ (n, view) ])
+    ()
+
+(** [plunge n]: the view of [t] is [{n -> t}].  Inverse of {!hoist}. *)
+let plunge (n : string) : (t, t) Lens.t =
+  Lens.v ~name:(Printf.sprintf "plunge %s" n)
+    ~get:(fun tree -> Node [ (n, tree) ])
+    ~put:(fun _ -> function
+      | Node [ (m, child) ] when String.equal m n -> child
+      | view ->
+          Lens.shape_errorf "plunge %s: view %s is not a singleton %s-edge" n
+            (to_string view) n)
+    ()
+
+(** [rename m n] renames the outermost edge [m] to [n] (which must exist
+    and [n] must not). *)
+let rename (m : string) (n : string) : (t, t) Lens.t =
+  let swap_edge from_ to_ tree =
+    match lookup from_ tree with
+    | None ->
+        Lens.shape_errorf "rename %s %s: no %s edge in %s" m n from_
+          (to_string tree)
+    | Some _ ->
+        if Option.is_some (lookup to_ tree) then
+          Lens.shape_errorf "rename %s %s: %s already present" m n to_
+        else
+          Node
+            (List.map
+               (fun (k, v) ->
+                 if String.equal k from_ then (to_, v) else (k, v))
+               (edges tree))
+  in
+  Lens.v ~name:(Printf.sprintf "rename %s %s" m n)
+    ~get:(swap_edge m n)
+    ~put:(fun _ view -> swap_edge n m view)
+    ()
+
+(** [focus n ~default]: view the subtree under edge [n], forgetting the
+    rest of the tree; [put] restores the siblings from the old source (or
+    from [default] when putting into a source lacking the edge). *)
+let focus (n : string) ~(default : t) : (t, t) Lens.t =
+  Lens.v ~name:(Printf.sprintf "focus %s" n)
+    ~get:(fun tree ->
+      match lookup n tree with
+      | Some child -> child
+      | None ->
+          Lens.shape_errorf "focus %s: no such edge in %s" n (to_string tree))
+    ~put:(fun source view ->
+      let base =
+        match lookup n source with Some _ -> source | None -> default
+      in
+      bind_edge n view base)
+    ()
+
+(** [prune n ~default]: the view is the source with edge [n] deleted;
+    [put] restores [n] from the old source, or from [default] when the
+    source lacks it.  Well-behaved on views without an [n] edge. *)
+let prune (n : string) ~(default : t) : (t, t) Lens.t =
+  Lens.v ~name:(Printf.sprintf "prune %s" n)
+    ~get:(remove_edge n)
+    ~put:(fun source view ->
+      if Option.is_some (lookup n view) then
+        Lens.shape_errorf "prune %s: view already has the pruned edge" n;
+      let restored =
+        match lookup n source with Some child -> child | None -> default
+      in
+      (* Re-insert at the position the edge had in the source, so that
+         put (get s) restores s exactly; append when the source lacked
+         the edge. *)
+      let (Node ses) = source in
+      let position =
+        let rec find i = function
+          | [] -> None
+          | (m, _) :: _ when String.equal m n -> Some i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 ses
+      in
+      let (Node ves) = view in
+      let insert_at i =
+        let rec go i = function
+          | rest when i = 0 -> (n, restored) :: rest
+          | [] -> [ (n, restored) ]
+          | e :: rest -> e :: go (i - 1) rest
+        in
+        go i ves
+      in
+      match position with
+      | Some i -> Node (insert_at (min i (List.length ves)))
+      | None -> Node (ves @ [ (n, restored) ]))
+    ()
+
+(** [map l] applies the lens [l] to every immediate subtree, keeping edge
+    names.  [put] requires the view to bind exactly the same names in the
+    same order. *)
+let map (l : (t, t) Lens.t) : (t, t) Lens.t =
+  Lens.v ~name:("map " ^ Lens.name l)
+    ~get:(fun (Node es) -> Node (List.map (fun (n, c) -> (n, Lens.get l c)) es))
+    ~put:(fun (Node ses) (Node ves) ->
+      if
+        List.length ses <> List.length ves
+        || not
+             (List.for_all2 (fun (n1, _) (n2, _) -> String.equal n1 n2) ses
+                ves)
+      then Lens.shape_errorf "map: view edges do not match source edges";
+      Node
+        (List.map2 (fun (n, s) (_, v) -> (n, Lens.put l s v)) ses ves))
+    ()
+
+(** [at n l] applies lens [l] to the subtree under edge [n], leaving the
+    rest of the tree untouched.  Both [get] and [put] require the edge to
+    be present.  Preserves (very) well-behavedness of [l]. *)
+let at (n : string) (l : (t, t) Lens.t) : (t, t) Lens.t =
+  let subtree label tree =
+    match lookup label tree with
+    | Some child -> child
+    | None ->
+        Lens.shape_errorf "at %s: no such edge in %s" label (to_string tree)
+  in
+  Lens.v
+    ~name:(Printf.sprintf "at %s (%s)" n (Lens.name l))
+    ~get:(fun tree -> bind_edge n (Lens.get l (subtree n tree)) tree)
+    ~put:(fun source view ->
+      let old_child = subtree n source in
+      let new_child = Lens.put l old_child (subtree n view) in
+      (* The rest of the view replaces the rest of the source. *)
+      bind_edge n new_child view)
+    ()

@@ -1,0 +1,68 @@
+(** Named-edge trees and tree lenses, after Foster et al.'s "Combinators
+    for bidirectional tree transformations" — reference [1] of the paper.
+
+    A tree is a finite, ordered list of edges, each labelled with a
+    string and leading to a subtree.  Scalar values are encoded as a
+    single childless edge: [value "x"] is [{"x" -> {}}].
+
+    All lenses here are (very) well-behaved on their documented source
+    and view domains; outside them {!Lens.Shape_error} is raised. *)
+
+type t = Node of (string * t) list
+
+val empty : t
+val node : (string * t) list -> t
+
+val edges : t -> (string * t) list
+
+val value : string -> t
+(** Encode a scalar value. *)
+
+val to_value : t -> string
+(** Decode a scalar value; raises {!Lens.Shape_error} on non-value
+    trees. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val lookup : string -> t -> t option
+
+val bind_edge : string -> t -> t -> t
+(** Replace or add the binding for an edge name. *)
+
+val remove_edge : string -> t -> t
+
+val size : t -> int
+(** Number of nodes (the root counts as one). *)
+
+(** {1 Tree lenses} *)
+
+val hoist : string -> (t, t) Lens.t
+(** [hoist n]: the source must be exactly [{n -> t}]; the view is [t].
+    Inverse of {!plunge}. *)
+
+val plunge : string -> (t, t) Lens.t
+(** [plunge n]: the view of [t] is [{n -> t}].  Inverse of {!hoist}. *)
+
+val rename : string -> string -> (t, t) Lens.t
+(** [rename m n] renames the outermost edge [m] to [n]; [m] must exist
+    and [n] must not. *)
+
+val focus : string -> default:t -> (t, t) Lens.t
+(** [focus n ~default]: view the subtree under edge [n], forgetting the
+    rest; [put] restores the siblings from the old source ([default]
+    seeds sources lacking the edge). *)
+
+val prune : string -> default:t -> (t, t) Lens.t
+(** [prune n ~default]: the view is the source without edge [n]; [put]
+    restores the edge (at its original position) from the old source.
+    Well-behaved on sources containing the edge and views without it. *)
+
+val map : (t, t) Lens.t -> (t, t) Lens.t
+(** Apply a lens to every immediate subtree; the view must bind exactly
+    the same edge names in the same order. *)
+
+val at : string -> (t, t) Lens.t -> (t, t) Lens.t
+(** [at n l] applies [l] to the subtree under edge [n] only; the edge
+    must be present in both source and view. *)

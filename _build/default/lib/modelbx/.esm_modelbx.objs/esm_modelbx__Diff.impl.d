@@ -1,0 +1,1 @@
+lib/modelbx/diff.ml: Format Hashtbl List Model Option String

@@ -1,0 +1,1 @@
+lib/modelbx/diff.mli: Format Model

@@ -1,0 +1,1 @@
+lib/modelbx/mbx.ml: Esm_algbx List Metamodel Model Option String

@@ -1,0 +1,1 @@
+lib/modelbx/mbx.mli: Esm_algbx Metamodel Model

@@ -1,0 +1,1 @@
+lib/modelbx/metamodel.ml: Format List Model Option Printf String

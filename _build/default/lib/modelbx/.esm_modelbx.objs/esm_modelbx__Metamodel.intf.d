@@ -1,0 +1,1 @@
+lib/modelbx/metamodel.mli: Format Model

@@ -1,0 +1,1 @@
+lib/modelbx/model.ml: Bool Format Int List Option Printf String

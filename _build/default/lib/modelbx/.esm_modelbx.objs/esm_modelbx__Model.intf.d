@@ -1,0 +1,1 @@
+lib/modelbx/model.mli: Format

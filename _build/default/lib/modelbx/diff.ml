@@ -1,0 +1,97 @@
+(** Model differencing: compute and apply edit scripts between models.
+    The minimal-edit machinery MDE tools build on; also a convenient way
+    for tests to generate "nearby" models. *)
+
+type edit =
+  | Add_object of Model.obj
+  | Remove_object of Model.oid
+  | Set_attr of Model.oid * string * Model.value
+  | Remove_attr of Model.oid * string
+
+let pp_edit fmt = function
+  | Add_object o -> Format.fprintf fmt "add #%d:%s" o.Model.id o.Model.cls
+  | Remove_object id -> Format.fprintf fmt "remove #%d" id
+  | Set_attr (id, n, v) ->
+      Format.fprintf fmt "set #%d.%s = %s" id n (Model.value_to_string v)
+  | Remove_attr (id, n) -> Format.fprintf fmt "unset #%d.%s" id n
+
+let equal_edit e1 e2 =
+  match (e1, e2) with
+  | Add_object o1, Add_object o2 -> Model.equal_obj o1 o2
+  | Remove_object i1, Remove_object i2 -> i1 = i2
+  | Set_attr (i1, n1, v1), Set_attr (i2, n2, v2) ->
+      i1 = i2 && String.equal n1 n2 && Model.equal_value v1 v2
+  | Remove_attr (i1, n1), Remove_attr (i2, n2) ->
+      i1 = i2 && String.equal n1 n2
+  | (Add_object _ | Remove_object _ | Set_attr _ | Remove_attr _), _ -> false
+
+(** Edit script transforming [m_from] into [m_to]: removals, then
+    per-object attribute updates, then additions.  Id lookups go through
+    hash indices so the script is computed in (near-)linear time. *)
+let diff (m_from : Model.t) (m_to : Model.t) : edit list =
+  let index m =
+    let tbl = Hashtbl.create (max 16 (Model.size m)) in
+    List.iter (fun (o : Model.obj) -> Hashtbl.replace tbl o.Model.id o) (Model.objects m);
+    tbl
+  in
+  let from_index = index m_from and to_index = index m_to in
+  let removals =
+    List.filter_map
+      (fun (o : Model.obj) ->
+        if Hashtbl.mem to_index o.Model.id then None
+        else Some (Remove_object o.Model.id))
+      (Model.objects m_from)
+  in
+  let updates =
+    List.concat_map
+      (fun (o_to : Model.obj) ->
+        match Hashtbl.find_opt from_index o_to.Model.id with
+        | None -> []
+        | Some o_from when String.equal o_from.Model.cls o_to.Model.cls ->
+            let sets =
+              List.filter_map
+                (fun (n, v) ->
+                  match Model.attr o_from n with
+                  | Some v' when Model.equal_value v v' -> None
+                  | Some _ | None -> Some (Set_attr (o_to.Model.id, n, v)))
+                o_to.Model.attrs
+            in
+            let unsets =
+              List.filter_map
+                (fun (n, _) ->
+                  if Option.is_none (Model.attr o_to n) then
+                    Some (Remove_attr (o_to.Model.id, n))
+                  else None)
+                o_from.Model.attrs
+            in
+            sets @ unsets
+        | Some _ ->
+            (* class changed: replace wholesale *)
+            [ Remove_object o_to.Model.id; Add_object o_to ])
+      (Model.objects m_to)
+  in
+  let additions =
+    List.filter_map
+      (fun (o : Model.obj) ->
+        if Hashtbl.mem from_index o.Model.id then None else Some (Add_object o))
+      (Model.objects m_to)
+  in
+  removals @ updates @ additions
+
+let apply_edit (m : Model.t) : edit -> Model.t = function
+  | Add_object o -> Model.add m o
+  | Remove_object id -> Model.remove m id
+  | Set_attr (id, n, v) -> (
+      match Model.find m id with
+      | None -> Model.errorf "apply: no object %d" id
+      | Some o -> Model.update m (Model.set_attr o n v))
+  | Remove_attr (id, n) -> (
+      match Model.find m id with
+      | None -> Model.errorf "apply: no object %d" id
+      | Some o -> Model.update m (Model.remove_attr o n))
+
+let apply (m : Model.t) (edits : edit list) : Model.t =
+  List.fold_left apply_edit m edits
+
+(** Number of edits — a crude model distance. *)
+let distance (m1 : Model.t) (m2 : Model.t) : int = List.length (diff m1 m2)

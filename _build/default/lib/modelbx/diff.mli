@@ -1,0 +1,21 @@
+(** Model differencing: compute and apply edit scripts.  [apply m (diff
+    m m') = m'] exactly (property-tested). *)
+
+type edit =
+  | Add_object of Model.obj
+  | Remove_object of Model.oid
+  | Set_attr of Model.oid * string * Model.value
+  | Remove_attr of Model.oid * string
+
+val pp_edit : Format.formatter -> edit -> unit
+val equal_edit : edit -> edit -> bool
+
+val diff : Model.t -> Model.t -> edit list
+(** Edit script transforming the first model into the second (removals,
+    updates, additions; id lookups are hash-indexed). *)
+
+val apply_edit : Model.t -> edit -> Model.t
+val apply : Model.t -> edit list -> Model.t
+
+val distance : Model.t -> Model.t -> int
+(** Length of {!diff} — a crude model distance. *)

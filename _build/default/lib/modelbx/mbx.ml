@@ -1,0 +1,191 @@
+(** Model-to-model bidirectional transformations, QVT-R style — the
+    setting of Stevens' algebraic bx (reference [5] of the paper), which
+    Lemma 5 turns into an entangled state monad.
+
+    A {e correspondence} declares that objects of one class in the left
+    model relate to objects of another class in the right model: objects
+    correspond when their {e key} attributes agree, and corresponding
+    objects must also agree on the {e synced} attributes.  A {!spec} is
+    a set of correspondences; it induces
+
+    - a consistency relation on pairs of models, and
+    - forward/backward restorers that create, update and delete objects
+      on one side to match the other (attributes outside the
+      correspondence are preserved on surviving objects and defaulted on
+      created ones, per the target metamodel).
+
+    The restorers are Correct and Hippocratic by construction (checked
+    by property tests), so {!to_algbx} feeds directly into
+    {!Esm_core.Of_algebraic}: editing either model through the resulting
+    set-bx silently repairs the other — entanglement at MDE scale. *)
+
+type correspondence = {
+  left_class : string;
+  right_class : string;
+  key : (string * string) list;
+      (** (left attr, right attr) pairs identifying corresponding
+          objects; key values are required unique per side *)
+  synced : (string * string) list;
+      (** (left attr, right attr) pairs kept equal *)
+}
+
+type spec = {
+  name : string;
+  left_mm : Metamodel.t;
+  right_mm : Metamodel.t;
+  correspondences : correspondence list;
+}
+
+let v ?(name = "<mbx>") ~left_mm ~right_mm correspondences =
+  { name; left_mm; right_mm; correspondences }
+
+(* Key of an object on the chosen side: the list of key attribute
+   values, or None if any is missing. *)
+let key_of (side : [ `Left | `Right ]) (c : correspondence) (o : Model.obj) :
+    Model.value list option =
+  let names =
+    List.map (match side with `Left -> fst | `Right -> snd) c.key
+  in
+  let values = List.map (Model.attr o) names in
+  if List.for_all Option.is_some values then Some (List.map Option.get values)
+  else None
+
+let equal_key k1 k2 =
+  List.length k1 = List.length k2 && List.for_all2 Model.equal_value k1 k2
+
+let synced_values (side : [ `Left | `Right ]) (c : correspondence)
+    (o : Model.obj) : Model.value option list =
+  let names =
+    List.map (match side with `Left -> fst | `Right -> snd) c.synced
+  in
+  List.map (Model.attr o) names
+
+(* The partner of [o] in the opposite model, by key. *)
+let partner (side : [ `Left | `Right ]) (c : correspondence)
+    (o : Model.obj) (opposite : Model.t) : Model.obj option =
+  let opposite_side = match side with `Left -> `Right | `Right -> `Left in
+  let opposite_class =
+    match side with `Left -> c.right_class | `Right -> c.left_class
+  in
+  match key_of side c o with
+  | None -> None
+  | Some k ->
+      List.find_opt
+        (fun o' ->
+          match key_of opposite_side c o' with
+          | Some k' -> equal_key k k'
+          | None -> false)
+        (Model.of_class opposite opposite_class)
+
+(* One correspondence is consistent when the key-indexed objects match
+   both ways and synced attributes agree. *)
+let correspondence_consistent (c : correspondence) (left : Model.t)
+    (right : Model.t) : bool =
+  let check_side side model opposite =
+    List.for_all
+      (fun o ->
+        match partner side c o opposite with
+        | None -> false
+        | Some o' ->
+            let mine = synced_values side c o in
+            let theirs =
+              synced_values
+                (match side with `Left -> `Right | `Right -> `Left)
+                c o'
+            in
+            List.for_all2
+              (fun v v' ->
+                match (v, v') with
+                | Some v, Some v' -> Model.equal_value v v'
+                | _ -> false)
+              mine theirs)
+      (Model.of_class model
+         (match side with `Left -> c.left_class | `Right -> c.right_class))
+  in
+  check_side `Left left right && check_side `Right right left
+
+let consistent (spec : spec) (left : Model.t) (right : Model.t) : bool =
+  List.for_all
+    (fun c -> correspondence_consistent c left right)
+    spec.correspondences
+
+(* Restore the target model to match the source, for one correspondence:
+   update synced attrs on partnered objects, create missing partners
+   (fresh ids, defaults from the target metamodel), delete unmatched
+   target objects of the corresponded class. *)
+let restore_correspondence ~(source_side : [ `Left | `Right ]) (spec : spec)
+    (c : correspondence) (source : Model.t) (target : Model.t) : Model.t =
+  let target_side = match source_side with `Left -> `Right | `Right -> `Left in
+  let source_class, target_class, target_mm =
+    match source_side with
+    | `Left -> (c.left_class, c.right_class, spec.right_mm)
+    | `Right -> (c.right_class, c.left_class, spec.left_mm)
+  in
+  let source_objs = Model.of_class source source_class in
+  (* 1. delete target objects with no source partner *)
+  let target1 =
+    List.fold_left
+      (fun acc (o : Model.obj) ->
+        if
+          String.equal o.Model.cls target_class
+          && Option.is_none (partner target_side c o source)
+        then Model.remove acc o.Model.id
+        else acc)
+      target (Model.objects target)
+  in
+  (* 2. update or create a partner for each source object *)
+  List.fold_left
+    (fun acc (o : Model.obj) ->
+      match key_of source_side c o with
+      | None -> acc (* malformed source object: nothing to mirror *)
+      | Some k ->
+          let sync_onto (o' : Model.obj) : Model.obj =
+            List.fold_left2
+              (fun o' (ln, rn) v ->
+                let target_attr =
+                  match source_side with `Left -> rn | `Right -> ln
+                in
+                match v with
+                | Some v -> Model.set_attr o' target_attr v
+                | None -> o')
+              o' c.synced
+              (synced_values source_side c o)
+          in
+          let with_key (o' : Model.obj) : Model.obj =
+            List.fold_left2
+              (fun o' (ln, rn) v ->
+                let target_attr =
+                  match source_side with `Left -> rn | `Right -> ln
+                in
+                Model.set_attr o' target_attr v)
+              o' c.key k
+          in
+          (match partner source_side c o acc with
+          | Some existing -> Model.update acc (sync_onto existing)
+          | None ->
+              let fresh =
+                Metamodel.fresh_object target_mm ~cls:target_class
+                  ~id:(Model.next_id acc)
+              in
+              Model.add acc (sync_onto (with_key fresh))))
+    target1 source_objs
+
+let fwd (spec : spec) (left : Model.t) (right : Model.t) : Model.t =
+  if consistent spec left right then right
+  else
+    List.fold_left
+      (fun right c -> restore_correspondence ~source_side:`Left spec c left right)
+      right spec.correspondences
+
+let bwd (spec : spec) (left : Model.t) (right : Model.t) : Model.t =
+  if consistent spec left right then left
+  else
+    List.fold_left
+      (fun left c -> restore_correspondence ~source_side:`Right spec c right left)
+      left spec.correspondences
+
+(** The induced algebraic bx (feed into {!Esm_core.Of_algebraic} /
+    {!Esm_core.Concrete.of_algebraic} for the entangled state monad). *)
+let to_algbx (spec : spec) : (Model.t, Model.t) Esm_algbx.Algbx.t =
+  Esm_algbx.Algbx.v ~name:spec.name ~consistent:(consistent spec)
+    ~fwd:(fwd spec) ~bwd:(bwd spec) ()

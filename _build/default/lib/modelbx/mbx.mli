@@ -1,0 +1,43 @@
+(** Model-to-model bidirectional transformations, QVT-R style: a
+    correspondence spec induces a consistency relation and forward /
+    backward restorers — an algebraic bx in Stevens' sense, which the
+    paper's Lemma 5 turns into an entangled state monad over consistent
+    model pairs ({!Esm_core.Of_algebraic}).
+
+    Restorers are Correct and Hippocratic by construction, provided keys
+    are unique per side and correspondences target disjoint class pairs
+    (property-tested); they are generally {e not} undoable — deleted
+    objects lose their private attributes — so the induced set-bx is
+    lawful but not overwriteable. *)
+
+type correspondence = {
+  left_class : string;
+  right_class : string;
+  key : (string * string) list;
+      (** (left attr, right attr) pairs identifying corresponding
+          objects; key values must be unique per side *)
+  synced : (string * string) list;
+      (** (left attr, right attr) pairs kept equal *)
+}
+
+type spec
+
+val v :
+  ?name:string ->
+  left_mm:Metamodel.t ->
+  right_mm:Metamodel.t ->
+  correspondence list ->
+  spec
+
+val consistent : spec -> Model.t -> Model.t -> bool
+
+val fwd : spec -> Model.t -> Model.t -> Model.t
+(** Repair the right model to match the left: update synced attributes
+    of partnered objects, create missing partners (fresh ids, metamodel
+    defaults), delete unmatched corresponded objects.  Hippocratic: a
+    consistent pair is returned unchanged. *)
+
+val bwd : spec -> Model.t -> Model.t -> Model.t
+(** Symmetrically, repair the left model to match the right. *)
+
+val to_algbx : spec -> (Model.t, Model.t) Esm_algbx.Algbx.t

@@ -1,0 +1,112 @@
+(** Metamodels: class definitions that models conform to — the MDE
+    analogue of a database schema. *)
+
+type attr_ty =
+  | Tstr
+  | Tint
+  | Tbool
+  | Tref of string  (** reference to an instance of the named class *)
+
+let attr_ty_to_string = function
+  | Tstr -> "string"
+  | Tint -> "int"
+  | Tbool -> "bool"
+  | Tref c -> "ref " ^ c
+
+type class_def = {
+  cls_name : string;
+  attributes : (string * attr_ty) list;
+}
+
+type t = { class_defs : class_def list }
+
+exception Metamodel_error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Metamodel_error s)) fmt
+
+let v (class_defs : class_def list) : t =
+  let names = List.map (fun c -> c.cls_name) class_defs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then errorf "duplicate class definitions";
+  List.iter
+    (fun c ->
+      List.iter
+        (function
+          | _, Tref target when not (List.mem target names) ->
+              errorf "class %s references undefined class %s" c.cls_name
+                target
+          | _ -> ())
+        c.attributes)
+    class_defs;
+  { class_defs }
+
+let class_def (mm : t) (name : string) : class_def option =
+  List.find_opt (fun c -> String.equal c.cls_name name) mm.class_defs
+
+let class_names (mm : t) : string list =
+  List.map (fun c -> c.cls_name) mm.class_defs
+
+(** A default value of each attribute type (fresh objects created by
+    consistency restoration use these for attributes the other side does
+    not determine).  References default to [Vref 0] — the "null" id —
+    which conformance reports unless the attribute is set. *)
+let default_of_ty : attr_ty -> Model.value = function
+  | Tstr -> Model.Vstr ""
+  | Tint -> Model.Vint 0
+  | Tbool -> Model.Vbool false
+  | Tref _ -> Model.Vref 0
+
+let value_matches (m : Model.t) (ty : attr_ty) (v : Model.value) : bool =
+  match (ty, v) with
+  | Tstr, Model.Vstr _ | Tint, Model.Vint _ | Tbool, Model.Vbool _ -> true
+  | Tref target, Model.Vref id -> (
+      match Model.find m id with
+      | Some o -> String.equal o.Model.cls target
+      | None -> false)
+  | (Tstr | Tint | Tbool | Tref _), _ -> false
+
+(** Check conformance; returns the list of violations (empty = conforms). *)
+let check (mm : t) (m : Model.t) : string list =
+  List.concat_map
+    (fun (o : Model.obj) ->
+      match class_def mm o.Model.cls with
+      | None -> [ Printf.sprintf "object #%d has undefined class %s" o.Model.id o.Model.cls ]
+      | Some cd ->
+          let missing =
+            List.filter_map
+              (fun (n, _) ->
+                if Option.is_none (Model.attr o n) then
+                  Some (Printf.sprintf "object #%d misses attribute %s" o.Model.id n)
+                else None)
+              cd.attributes
+          in
+          let ill_typed =
+            List.filter_map
+              (fun (n, v) ->
+                match List.assoc_opt n cd.attributes with
+                | None ->
+                    Some
+                      (Printf.sprintf "object #%d has undeclared attribute %s"
+                         o.Model.id n)
+                | Some ty ->
+                    if value_matches m ty v then None
+                    else
+                      Some
+                        (Printf.sprintf
+                           "object #%d attribute %s is not a %s"
+                           o.Model.id n (attr_ty_to_string ty)))
+              o.Model.attrs
+          in
+          missing @ ill_typed)
+    (Model.objects m)
+
+let conforms (mm : t) (m : Model.t) : bool = check mm m = []
+
+(** A fresh, conformant object of the named class with default
+    attributes. *)
+let fresh_object (mm : t) ~(cls : string) ~(id : Model.oid) : Model.obj =
+  match class_def mm cls with
+  | None -> errorf "fresh_object: undefined class %s" cls
+  | Some cd ->
+      Model.obj ~id ~cls
+        (List.map (fun (n, ty) -> (n, default_of_ty ty)) cd.attributes)

@@ -1,0 +1,41 @@
+(** Metamodels: class definitions that models conform to — the MDE
+    analogue of a database schema. *)
+
+type attr_ty =
+  | Tstr
+  | Tint
+  | Tbool
+  | Tref of string  (** reference to an instance of the named class *)
+
+val attr_ty_to_string : attr_ty -> string
+
+type class_def = { cls_name : string; attributes : (string * attr_ty) list }
+
+type t
+
+exception Metamodel_error of string
+
+val errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val v : class_def list -> t
+(** Build a metamodel; rejects duplicate classes and references to
+    undefined classes. *)
+
+val class_def : t -> string -> class_def option
+val class_names : t -> string list
+
+val default_of_ty : attr_ty -> Model.value
+(** A default value of each attribute type (references default to the
+    null id 0). *)
+
+val value_matches : Model.t -> attr_ty -> Model.value -> bool
+(** Does the value inhabit the type, in the context of the model (for
+    reference targets)? *)
+
+val check : t -> Model.t -> string list
+(** Conformance violations; empty means the model conforms. *)
+
+val conforms : t -> Model.t -> bool
+
+val fresh_object : t -> cls:string -> id:Model.oid -> Model.obj
+(** A conformant object of the named class with default attributes. *)

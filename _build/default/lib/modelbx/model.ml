@@ -1,0 +1,127 @@
+(** Object models: the "models" of model-driven development that motivate
+    the paper ("UML models of a system to be developed ... we use the
+    term 'models' broadly").
+
+    A model is a set of typed objects; each object has a numeric
+    identity, a class name, and a record of attribute values (possibly
+    referencing other objects by id).  Models are kept in a canonical
+    form — objects sorted by id, attributes sorted by name — so
+    structural equality is model equality, which the bx law checkers
+    rely on. *)
+
+type oid = int
+
+type value =
+  | Vstr of string
+  | Vint of int
+  | Vbool of bool
+  | Vref of oid  (** reference to another object *)
+
+let equal_value v1 v2 =
+  match (v1, v2) with
+  | Vstr s1, Vstr s2 -> String.equal s1 s2
+  | Vint i1, Vint i2 -> Int.equal i1 i2
+  | Vbool b1, Vbool b2 -> Bool.equal b1 b2
+  | Vref r1, Vref r2 -> Int.equal r1 r2
+  | (Vstr _ | Vint _ | Vbool _ | Vref _), _ -> false
+
+let value_to_string = function
+  | Vstr s -> Printf.sprintf "%S" s
+  | Vint i -> string_of_int i
+  | Vbool b -> string_of_bool b
+  | Vref r -> Printf.sprintf "@%d" r
+
+type obj = {
+  id : oid;
+  cls : string;  (** class (metamodel type) name *)
+  attrs : (string * value) list;  (** sorted by attribute name *)
+}
+
+let obj ~id ~cls attrs =
+  {
+    id;
+    cls;
+    attrs = List.sort (fun (n1, _) (n2, _) -> String.compare n1 n2) attrs;
+  }
+
+let attr (o : obj) (name : string) : value option = List.assoc_opt name o.attrs
+
+let set_attr (o : obj) (name : string) (v : value) : obj =
+  let rec go = function
+    | [] -> [ (name, v) ]
+    | (n, _) :: rest when String.equal n name -> (name, v) :: rest
+    | binding :: rest -> binding :: go rest
+  in
+  { o with attrs = List.sort (fun (n1, _) (n2, _) -> String.compare n1 n2) (go o.attrs) }
+
+let remove_attr (o : obj) (name : string) : obj =
+  { o with attrs = List.filter (fun (n, _) -> not (String.equal n name)) o.attrs }
+
+let equal_obj o1 o2 =
+  o1.id = o2.id
+  && String.equal o1.cls o2.cls
+  && List.length o1.attrs = List.length o2.attrs
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && equal_value v1 v2)
+       o1.attrs o2.attrs
+
+type t = { objects : obj list (* sorted by id, unique *) }
+
+exception Model_error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Model_error s)) fmt
+
+let of_objects (objects : obj list) : t =
+  let sorted = List.sort (fun o1 o2 -> Int.compare o1.id o2.id) objects in
+  let rec check = function
+    | o1 :: (o2 :: _ as rest) ->
+        if o1.id = o2.id then errorf "duplicate object id %d" o1.id
+        else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  { objects = sorted }
+
+let empty : t = { objects = [] }
+let objects (m : t) : obj list = m.objects
+let size (m : t) : int = List.length m.objects
+let find (m : t) (id : oid) : obj option = List.find_opt (fun o -> o.id = id) m.objects
+
+let mem (m : t) (id : oid) : bool = Option.is_some (find m id)
+
+let add (m : t) (o : obj) : t =
+  if mem m o.id then errorf "add: object %d already present" o.id
+  else of_objects (o :: m.objects)
+
+let remove (m : t) (id : oid) : t =
+  { objects = List.filter (fun o -> o.id <> id) m.objects }
+
+(** Replace the object with the same id (which must exist). *)
+let update (m : t) (o : obj) : t =
+  if not (mem m o.id) then errorf "update: no object %d" o.id
+  else { objects = List.map (fun o' -> if o'.id = o.id then o else o') m.objects }
+
+let of_class (m : t) (cls : string) : obj list =
+  List.filter (fun o -> String.equal o.cls cls) m.objects
+
+let classes (m : t) : string list =
+  List.sort_uniq String.compare (List.map (fun o -> o.cls) m.objects)
+
+let next_id (m : t) : oid =
+  1 + List.fold_left (fun acc o -> max acc o.id) 0 m.objects
+
+let equal (m1 : t) (m2 : t) : bool =
+  List.length m1.objects = List.length m2.objects
+  && List.for_all2 equal_obj m1.objects m2.objects
+
+let pp fmt (m : t) =
+  List.iter
+    (fun o ->
+      Format.fprintf fmt "#%d : %s {%s}@." o.id o.cls
+        (String.concat "; "
+           (List.map
+              (fun (n, v) -> n ^ " = " ^ value_to_string v)
+              o.attrs)))
+    m.objects
+
+let to_string m = Format.asprintf "%a" pp m

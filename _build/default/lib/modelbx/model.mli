@@ -1,0 +1,59 @@
+(** Object models: the "models" of model-driven development that motivate
+    the paper.  A model is a set of typed objects with numeric ids, class
+    names and attribute records (possibly referencing other objects).
+    Models are canonical — objects sorted by id, attributes by name — so
+    structural equality is model equality. *)
+
+type oid = int
+
+type value = Vstr of string | Vint of int | Vbool of bool | Vref of oid
+
+val equal_value : value -> value -> bool
+val value_to_string : value -> string
+
+type obj = {
+  id : oid;
+  cls : string;
+  attrs : (string * value) list;  (** sorted by attribute name *)
+}
+
+val obj : id:oid -> cls:string -> (string * value) list -> obj
+(** Build an object (attributes are sorted). *)
+
+val attr : obj -> string -> value option
+val set_attr : obj -> string -> value -> obj
+val remove_attr : obj -> string -> obj
+val equal_obj : obj -> obj -> bool
+
+type t
+
+exception Model_error of string
+
+val errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val of_objects : obj list -> t
+(** Build a model; raises {!Model_error} on duplicate ids. *)
+
+val empty : t
+val objects : t -> obj list
+val size : t -> int
+val find : t -> oid -> obj option
+val mem : t -> oid -> bool
+
+val add : t -> obj -> t
+(** Raises {!Model_error} if the id is taken. *)
+
+val remove : t -> oid -> t
+
+val update : t -> obj -> t
+(** Replace the object with the same id (which must exist). *)
+
+val of_class : t -> string -> obj list
+val classes : t -> string list
+
+val next_id : t -> oid
+(** One past the largest id (1 on the empty model). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

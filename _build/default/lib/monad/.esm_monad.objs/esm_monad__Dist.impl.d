@@ -1,0 +1,1 @@
+lib/monad/dist.ml: Extend Float List Monad_intf

@@ -1,0 +1,1 @@
+lib/monad/extend.ml: Fun List Monad_intf

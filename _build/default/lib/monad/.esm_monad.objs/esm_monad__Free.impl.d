@@ -1,0 +1,1 @@
+lib/monad/free.ml: Extend Monad_intf

@@ -1,0 +1,1 @@
+lib/monad/identity.ml: Extend

@@ -1,0 +1,1 @@
+lib/monad/io_sim.mli: Monad_intf

@@ -1,0 +1,1 @@
+lib/monad/list_monad.ml: Extend List

@@ -1,0 +1,1 @@
+lib/monad/monad_intf.ml:

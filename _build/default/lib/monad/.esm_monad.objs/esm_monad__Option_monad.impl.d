@@ -1,0 +1,1 @@
+lib/monad/option_monad.ml: Extend

@@ -1,0 +1,1 @@
+lib/monad/option_t.ml: Extend Monad_intf

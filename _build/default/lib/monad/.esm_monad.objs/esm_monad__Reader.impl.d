@@ -1,0 +1,1 @@
+lib/monad/reader.ml: Extend Fun

@@ -1,0 +1,1 @@
+lib/monad/result_monad.ml: Extend String

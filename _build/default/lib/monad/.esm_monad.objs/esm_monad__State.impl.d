@@ -1,0 +1,1 @@
+lib/monad/state.ml: Extend

@@ -1,0 +1,1 @@
+lib/monad/state_t.ml: Extend Monad_intf

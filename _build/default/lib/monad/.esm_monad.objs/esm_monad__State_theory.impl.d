@@ -1,0 +1,1 @@
+lib/monad/state_theory.ml: Free Fun List State

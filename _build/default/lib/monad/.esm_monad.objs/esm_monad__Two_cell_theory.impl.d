@@ -1,0 +1,1 @@
+lib/monad/two_cell_theory.ml: Free Fun List

@@ -1,0 +1,1 @@
+lib/monad/writer.ml: Extend Monad_intf

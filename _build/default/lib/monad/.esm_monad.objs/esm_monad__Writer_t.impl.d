@@ -1,0 +1,1 @@
+lib/monad/writer_t.ml: Extend Monad_intf

@@ -1,0 +1,75 @@
+(** Finite probability distributions: the monad of probabilistic choice
+    the paper's conclusions name among the effects to reconcile with
+    bidirectionality.
+
+    A distribution is a finite list of weighted outcomes.  [bind]
+    multiplies weights along branches; {!normalise} merges duplicate
+    outcomes (given a total order) and drops zero-weight ones, so
+    distributions can be compared extensionally. *)
+
+type 'a t = ('a * float) list
+
+module Base = struct
+  type nonrec 'a t = 'a t
+
+  let return a = [ (a, 1.0) ]
+
+  let bind m f =
+    List.concat_map
+      (fun (a, p) -> List.map (fun (b, q) -> (b, p *. q)) (f a))
+      m
+end
+
+include (Extend.Make (Base) : Monad_intf.S with type 'a t := 'a t)
+
+(** The uniform distribution over a non-empty list. *)
+let uniform (xs : 'a list) : 'a t =
+  match xs with
+  | [] -> invalid_arg "Dist.uniform: empty support"
+  | _ ->
+      let p = 1.0 /. float_of_int (List.length xs) in
+      List.map (fun x -> (x, p)) xs
+
+(** Weighted choice; weights need not sum to 1 (they are renormalised by
+    {!normalise} on comparison). *)
+let weighted (xs : ('a * float) list) : 'a t = xs
+
+(** [choice p x y]: [x] with probability [p], [y] with [1 - p]. *)
+let choice (p : float) (x : 'a t) (y : 'a t) : 'a t =
+  List.map (fun (a, q) -> (a, p *. q)) x
+  @ List.map (fun (a, q) -> (a, (1.0 -. p) *. q)) y
+
+(** Merge equal outcomes, drop (near-)zero weights, sort by outcome. *)
+let normalise ~(compare_outcome : 'a -> 'a -> int) (m : 'a t) : 'a t =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare_outcome a b) m in
+  let rec merge = function
+    | [] -> []
+    | (a, p) :: (b, q) :: rest when compare_outcome a b = 0 ->
+        merge ((a, p +. q) :: rest)
+    | (a, p) :: rest -> (a, p) :: merge rest
+  in
+  List.filter (fun (_, p) -> p > 1e-12) (merge sorted)
+
+(** Total probability mass (1.0 for a proper distribution). *)
+let mass (m : 'a t) : float = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 m
+
+(** Probability assigned to outcomes satisfying the predicate. *)
+let prob (pred : 'a -> bool) (m : 'a t) : float =
+  List.fold_left (fun acc (a, p) -> if pred a then acc +. p else acc) 0.0 m
+
+(** Expected value under a valuation. *)
+let expect (f : 'a -> float) (m : 'a t) : float =
+  List.fold_left (fun acc (a, p) -> acc +. (p *. f a)) 0.0 m
+
+(** Extensional equality after normalisation, with a weight tolerance. *)
+let equal ~(compare_outcome : 'a -> 'a -> int) ?(eps = 1e-9) (m1 : 'a t)
+    (m2 : 'a t) : bool =
+  let n1 = normalise ~compare_outcome m1 in
+  let n2 = normalise ~compare_outcome m2 in
+  List.length n1 = List.length n2
+  && List.for_all2
+       (fun (a, p) (b, q) ->
+         compare_outcome a b = 0 && Float.abs (p -. q) <= eps)
+       n1 n2
+
+let support (m : 'a t) : 'a list = List.map fst m

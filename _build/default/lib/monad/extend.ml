@@ -1,0 +1,50 @@
+(** Derive the full monad API of {!Monad_intf.S} from a minimal
+    {!Monad_intf.MONAD}.  Every concrete monad in this library is built by
+    [include Extend.Make (struct ... end)]. *)
+
+module Make (M : Monad_intf.MONAD) : Monad_intf.S with type 'a t = 'a M.t =
+struct
+  include M
+
+  let map f ma = bind ma (fun a -> return (f a))
+  let join mma = bind mma Fun.id
+  let map2 f ma mb = bind ma (fun a -> bind mb (fun b -> return (f a b)))
+  let product ma mb = map2 (fun a b -> (a, b)) ma mb
+  let ignore_m ma = bind ma (fun _ -> return ())
+
+  let map_m f xs =
+    let cons_m x acc = bind (f x) (fun y -> bind acc (fun ys -> return (y :: ys))) in
+    List.fold_right cons_m xs (return [])
+
+  let sequence ms = map_m Fun.id ms
+
+  let iter_m f xs =
+    List.fold_left (fun acc x -> bind acc (fun () -> f x)) (return ()) xs
+
+  let sequence_unit ms = iter_m Fun.id ms
+
+  let fold_m f init xs =
+    List.fold_left (fun acc x -> bind acc (fun a -> f a x)) (return init) xs
+
+  let replicate_m n ma =
+    let rec go n = if n <= 0 then return [] else map2 List.cons ma (go (n - 1)) in
+    go n
+
+  let when_m c ma = if c then ma else return ()
+  let unless_m c ma = if c then return () else ma
+
+  module Infix = struct
+    let ( >>= ) = bind
+    let ( >>| ) ma f = map f ma
+    let ( >> ) ma mb = bind ma (fun _ -> mb)
+    let ( <*> ) mf ma = map2 (fun f a -> f a) mf ma
+  end
+
+  module Syntax = struct
+    let ( let* ) = bind
+    let ( let+ ) ma f = map f ma
+    let ( and+ ) = product
+  end
+
+  include Infix
+end

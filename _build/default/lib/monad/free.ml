@@ -1,0 +1,45 @@
+(** The free monad over a signature functor.
+
+    The paper's Section 2 recalls that state monads can be characterised by
+    an {e algebraic theory} of reads and writes (Plotkin–Power); the free
+    monad gives the term algebra of such a theory.  {!State_theory} builds
+    the single-cell theory on top of this module and proves (extensionally)
+    the normal-form theorem implied by the four cell laws. *)
+
+module Make (F : Monad_intf.FUNCTOR) = struct
+  type 'a t = Pure of 'a | Impure of 'a t F.t
+
+  module Base = struct
+    type nonrec 'a t = 'a t
+
+    let return a = Pure a
+
+    let rec bind m f =
+      match m with
+      | Pure a -> f a
+      | Impure x -> Impure (F.map (fun m' -> bind m' f) x)
+  end
+
+  include (Extend.Make (Base) : Monad_intf.S with type 'a t := 'a t)
+
+  (** Embed a single operation as a term. *)
+  let lift (op : 'a F.t) : 'a t = Impure (F.map (fun a -> Pure a) op)
+
+  (** Number of operation nodes in the term (size of the syntax tree along
+      the executed spine is not defined here — this is the full tree for
+      first-order signatures, and the spine length for HOAS ones only after
+      interpretation). *)
+  let rec depth_along (step : 'a t F.t -> 'a t) (m : 'a t) : int =
+    match m with Pure _ -> 0 | Impure x -> 1 + depth_along step (step x)
+
+  (** Interpret a term into a target monad via a handler, i.e. an
+      [F]-algebra over [M]-computations. *)
+  module Interpret (M : Monad_intf.MONAD) = struct
+    type handler = { handle : 'x. 'x M.t F.t -> 'x M.t }
+
+    let rec run (h : handler) (m : 'a t) : 'a M.t =
+      match m with
+      | Pure a -> M.return a
+      | Impure x -> h.handle (F.map (run h) x)
+  end
+end

@@ -1,0 +1,12 @@
+(** The identity monad: pure values, no effects.  The degenerate point of
+    the monad hierarchy; useful as the base of transformer stacks and as a
+    sanity baseline in tests and benchmarks. *)
+
+include Extend.Make (struct
+  type 'a t = 'a
+
+  let return a = a
+  let bind a f = f a
+end)
+
+let run (a : 'a t) : 'a = a

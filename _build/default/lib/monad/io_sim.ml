@@ -1,0 +1,42 @@
+(** Simulated I/O: the pure substitute for the paper's Haskell [IO].
+
+    Section 4 of the paper needs only [print : String -> IO ()] and monadic
+    sequencing.  We model the world as an input queue plus an output trace,
+    so that effectful bx become {e testable}: a test can assert exactly
+    which messages were printed, and in what order — something opaque real
+    I/O would not permit.  (See DESIGN.md, substitution table.) *)
+
+type world = { input : string list; output : string list (* reversed *) }
+
+let initial_world ?(input = []) () = { input; output = [] }
+
+include Extend.Make (struct
+  type 'a t = world -> 'a * world
+
+  let return a w = (a, w)
+
+  let bind ma f w =
+    let a, w' = ma w in
+    f a w'
+end)
+
+let print (msg : string) : unit t =
+ fun w -> ((), { w with output = msg :: w.output })
+
+let print_line (msg : string) : unit t = print (msg ^ "\n")
+
+(** Consume the next line of input, if any. *)
+let read_line : string option t =
+ fun w ->
+  match w.input with
+  | [] -> (None, w)
+  | line :: rest -> (Some line, { w with input = rest })
+
+(** [run ?input ma] executes [ma] against a fresh world and returns its
+    value together with the output trace in emission order. *)
+let run ?input (ma : 'a t) : 'a * string list =
+  let a, w = ma (initial_world ?input ()) in
+  (a, List.rev w.output)
+
+let trace ?input (ma : 'a t) : string list = snd (run ?input ma)
+let value ?input (ma : 'a t) : 'a = fst (run ?input ma)

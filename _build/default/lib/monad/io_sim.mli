@@ -1,0 +1,28 @@
+(** Simulated I/O: the pure substitute for the paper's Haskell [IO].
+
+    Section 4 of the paper needs only [print] and monadic sequencing.
+    The world is an input queue plus an output trace, so effectful bx
+    become testable: a test can assert exactly which messages were
+    printed, and in what order.  (See DESIGN.md, substitution table.) *)
+
+type world = { input : string list; output : string list (* reversed *) }
+
+val initial_world : ?input:string list -> unit -> world
+
+include Monad_intf.S with type 'a t = world -> 'a * world
+
+val print : string -> unit t
+(** Append a message to the output trace. *)
+
+val print_line : string -> unit t
+(** {!print} with a trailing newline. *)
+
+val read_line : string option t
+(** Consume the next line of input, if any. *)
+
+val run : ?input:string list -> 'a t -> 'a * string list
+(** Execute against a fresh world; the trace is returned in emission
+    order. *)
+
+val trace : ?input:string list -> 'a t -> string list
+val value : ?input:string list -> 'a t -> 'a

@@ -1,0 +1,19 @@
+(** The list monad: finite nondeterminism.  The paper's Section 2 uses it
+    as the introductory example of a monad ("non-deterministic computations
+    ... as functions [A -> List B]"); Section 5 proposes nondeterminism as
+    an effect to combine with bidirectionality. *)
+
+include Extend.Make (struct
+  type 'a t = 'a list
+
+  let return a = [ a ]
+  let bind ma f = List.concat_map f ma
+end)
+
+let zero () = []
+let plus = ( @ )
+let of_list xs = xs
+let run xs = xs
+
+(** All interleavings of choices from each list, i.e. the n-ary product. *)
+let choices (xss : 'a list list) : 'a list t = sequence xss

@@ -1,0 +1,135 @@
+(** Module signatures for the monad hierarchy used throughout the library.
+
+    The paper ("Entangled State Monads", BX 2014, Section 2) works with
+    monads in the Haskell style: a type constructor [M] with [return] and
+    [(>>=)] satisfying the three monad laws.  OCaml has no higher-kinded
+    type variables, so we follow the standard encoding: a monad is a module
+    matching {!module-type:MONAD}, and constructions parameterised by an
+    arbitrary monad are functors over that signature. *)
+
+(** A type constructor with a structure-preserving map. *)
+module type FUNCTOR = sig
+  type 'a t
+
+  val map : ('a -> 'b) -> 'a t -> 'b t
+  (** [map f x] applies [f] under the structure of [x].  Laws:
+      [map Fun.id = Fun.id] and [map (g % f) = map g % map f]. *)
+end
+
+(** An applicative functor: pure embedding plus lifted application. *)
+module type APPLICATIVE = sig
+  include FUNCTOR
+
+  val pure : 'a -> 'a t
+  (** [pure a] is the effect-free computation returning [a]. *)
+
+  val apply : ('a -> 'b) t -> 'a t -> 'b t
+  (** [apply ff fa] runs [ff], then [fa], and applies the results. *)
+end
+
+(** The minimal monad interface; everything else is derived by {!Extend}. *)
+module type MONAD = sig
+  type 'a t
+
+  val return : 'a -> 'a t
+  (** [return a] yields [a] with no effect.  Left and right unit for
+      {!bind}. *)
+
+  val bind : 'a t -> ('a -> 'b t) -> 'b t
+  (** [bind ma f] sequences [ma] before [f], feeding the produced value to
+      [f].  Associative. *)
+end
+
+(** Monads with failure and (left-biased or nondeterministic) choice. *)
+module type MONAD_PLUS = sig
+  include MONAD
+
+  val zero : unit -> 'a t
+  (** The failing computation; unit for {!plus}. *)
+
+  val plus : 'a t -> 'a t -> 'a t
+  (** Alternative composition. *)
+end
+
+(** A monoid; used to parameterise {!module:Writer}. *)
+module type MONOID = sig
+  type t
+
+  val empty : t
+  val combine : t -> t -> t
+end
+
+(** Infix operators shared by every extended monad. *)
+module type INFIX = sig
+  type 'a t
+
+  val ( >>= ) : 'a t -> ('a -> 'b t) -> 'b t
+  (** Alias of [bind]. *)
+
+  val ( >>| ) : 'a t -> ('a -> 'b) -> 'b t
+  (** Map, postfix style. *)
+
+  val ( >> ) : 'a t -> 'b t -> 'b t
+  (** Sequencing that discards the first result: the paper's
+      [ma >> mb = ma >>= fun _ -> mb]. *)
+
+  val ( <*> ) : ('a -> 'b) t -> 'a t -> 'b t
+  (** Applicative application. *)
+end
+
+(** [let]-operators for binding ([let*]) and mapping ([let+]/[and+]). *)
+module type LET_SYNTAX = sig
+  type 'a t
+
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+  val ( and+ ) : 'a t -> 'b t -> ('a * 'b) t
+end
+
+(** The full derived monad API produced by {!Extend}. *)
+module type S = sig
+  include MONAD
+
+  val map : ('a -> 'b) -> 'a t -> 'b t
+  val join : 'a t t -> 'a t
+  val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+  val product : 'a t -> 'b t -> ('a * 'b) t
+  val ignore_m : 'a t -> unit t
+
+  val sequence : 'a t list -> 'a list t
+  (** Run computations left to right, collecting the results. *)
+
+  val sequence_unit : unit t list -> unit t
+
+  val map_m : ('a -> 'b t) -> 'a list -> 'b list t
+  (** Effectful [List.map], left to right. *)
+
+  val iter_m : ('a -> unit t) -> 'a list -> unit t
+
+  val fold_m : ('acc -> 'a -> 'acc t) -> 'acc -> 'a list -> 'acc t
+  (** Effectful left fold. *)
+
+  val replicate_m : int -> 'a t -> 'a list t
+  (** [replicate_m n ma] runs [ma] [n] times, collecting the results. *)
+
+  val when_m : bool -> unit t -> unit t
+  (** [when_m c ma] runs [ma] iff [c]; otherwise does nothing.  Used to
+      express the paper's "only print when the state actually changes". *)
+
+  val unless_m : bool -> unit t -> unit t
+
+  module Infix : INFIX with type 'a t := 'a t
+  module Syntax : LET_SYNTAX with type 'a t := 'a t
+
+  include INFIX with type 'a t := 'a t
+end
+
+(** Extended monads that can [run] to a final observation; concrete state
+    monads refine this further with their state type. *)
+module type RUNNABLE = sig
+  include S
+
+  type 'a result
+
+  val run : 'a t -> 'a result
+end

@@ -1,0 +1,18 @@
+(** The option monad: computations that may fail without a reason.  The
+    simplest example (after identity) of an effect the paper proposes to
+    reconcile with bidirectionality ("exceptions", Section 5). *)
+
+include Extend.Make (struct
+  type 'a t = 'a option
+
+  let return a = Some a
+  let bind ma f = match ma with None -> None | Some a -> f a
+end)
+
+let zero () = None
+let plus ma mb = match ma with Some _ -> ma | None -> mb
+let fail = None
+
+let run ~default = function Some a -> a | None -> default
+
+let of_result = function Ok a -> Some a | Error _ -> None

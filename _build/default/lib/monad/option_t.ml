@@ -1,0 +1,22 @@
+(** The option monad transformer: [OptionT M A = M (A option)].  Adds
+    failure to any monad; used to combine partiality with state in tests of
+    effectful bx variants. *)
+
+module Make (M : Monad_intf.MONAD) = struct
+  include Extend.Make (struct
+    type 'a t = 'a option M.t
+
+    let return a = M.return (Some a)
+
+    let bind ma f =
+      M.bind ma (function None -> M.return None | Some a -> f a)
+  end)
+
+  let fail () : 'a t = M.return None
+  let lift (ma : 'a M.t) : 'a t = M.bind ma (fun a -> M.return (Some a))
+
+  let plus (ma : 'a t) (mb : 'a t) : 'a t =
+    M.bind ma (function Some _ as r -> M.return r | None -> mb)
+
+  let run (ma : 'a t) : 'a option M.t = ma
+end

@@ -1,0 +1,23 @@
+(** The reader monad: computations with access to an immutable
+    environment.  A state monad whose [set] has been removed; included for
+    completeness of the hierarchy and used in tests as a contrast case
+    (it satisfies (GG) but has no (GS)/(SG) structure). *)
+
+module Make (Env : sig
+  type t
+end) =
+struct
+  type env = Env.t
+
+  include Extend.Make (struct
+    type 'a t = Env.t -> 'a
+
+    let return a _ = a
+    let bind ma f env = f (ma env) env
+  end)
+
+  let ask : env t = Fun.id
+  let asks (f : env -> 'a) : 'a t = f
+  let local (f : env -> env) (ma : 'a t) : 'a t = fun env -> ma (f env)
+  let run (ma : 'a t) (env : env) : 'a = ma env
+end

@@ -1,0 +1,23 @@
+(** The result (exception) monad, parameterised by the error type.
+    Computations either succeed with a value or abort with an error. *)
+
+module Make (E : sig
+  type t
+end) =
+struct
+  type error = E.t
+
+  include Extend.Make (struct
+    type 'a t = ('a, E.t) result
+
+    let return a = Ok a
+    let bind ma f = match ma with Error e -> Error e | Ok a -> f a
+  end)
+
+  let fail e = Error e
+  let catch ma handler = match ma with Ok _ -> ma | Error e -> handler e
+  let run ~ok ~error = function Ok a -> ok a | Error e -> error e
+end
+
+(** Errors as strings: the common instantiation used by the examples. *)
+module String_error = Make (String)

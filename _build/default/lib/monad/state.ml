@@ -1,0 +1,29 @@
+(** The state monad [MS A = S -> A * S] of Section 2 of the paper, as a
+    functor over the state type, with the canonical [get]/[set] operations
+    satisfying the four laws (GG) (GS) (SG) (SS). *)
+
+module Make (S : sig
+  type t
+end) =
+struct
+  type state = S.t
+
+  include Extend.Make (struct
+    type 'a t = S.t -> 'a * S.t
+
+    let return a s = (a, s)
+
+    let bind ma f s =
+      let a, s' = ma s in
+      f a s'
+  end)
+
+  let get : state t = fun s -> (s, s)
+  let set (s' : state) : unit t = fun _ -> ((), s')
+  let gets (f : state -> 'a) : 'a t = fun s -> (f s, s)
+  let modify (f : state -> state) : unit t = fun s -> ((), f s)
+
+  let run (ma : 'a t) (s : state) : 'a * state = ma s
+  let eval (ma : 'a t) (s : state) : 'a = fst (ma s)
+  let exec (ma : 'a t) (s : state) : state = snd (ma s)
+end

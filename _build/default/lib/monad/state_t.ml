@@ -1,0 +1,33 @@
+(** The state monad transformer: [StateT S M A = S -> M (A * S)].
+
+    Section 4 of the paper builds its effectful bx over exactly this shape,
+    [M A = Integer -> IO (A, Integer)]; here the inner monad is arbitrary,
+    and {!Esm_core.Effectful} instantiates it with {!Io_sim}. *)
+
+module Make
+    (S : sig
+      type t
+    end)
+    (M : Monad_intf.MONAD) =
+struct
+  type state = S.t
+  type 'a inner = 'a M.t
+
+  include Extend.Make (struct
+    type 'a t = S.t -> ('a * S.t) M.t
+
+    let return a s = M.return (a, s)
+
+    let bind ma f s =
+      M.bind (ma s) (fun (a, s') -> f a s')
+  end)
+
+  let get : state t = fun s -> M.return (s, s)
+  let set (s' : state) : unit t = fun _ -> M.return ((), s')
+  let gets (f : state -> 'a) : 'a t = fun s -> M.return (f s, s)
+  let modify (f : state -> state) : unit t = fun s -> M.return ((), f s)
+
+  let lift (ma : 'a M.t) : 'a t = fun s -> M.bind ma (fun a -> M.return (a, s))
+
+  let run (ma : 'a t) (s : state) : ('a * state) M.t = ma s
+end

@@ -1,0 +1,80 @@
+(** The algebraic theory of a single mutable cell, as a free monad.
+
+    Section 2 of the paper recalls that a "state monad on [S]" can be taken
+    abstractly to be any monad with [get]/[set] satisfying the four laws
+
+    - (GG) [get >>= fun s -> get >>= fun s' -> k s s' = get >>= fun s -> k s s]
+    - (GS) [get >>= set = return ()]
+    - (SG) [set s >> get = set s >> return s]
+    - (SS) [set s >> set s' = set s']
+
+    Here we build the {e term algebra} of the theory — the free monad over
+    the Get/Set signature — together with its interpretation into the
+    concrete state monad [S -> A * S].  The four laws imply a normal-form
+    theorem: every closed term is equal (in the theory) to
+    [get >>= fun s -> set (next s) >> return (result s)] for some functions
+    [next] and [result]; {!canonical} computes that normal form and tests
+    confirm the term and its normal form are extensionally equal. *)
+
+module Make (S : sig
+  type t
+end) =
+struct
+  type state = S.t
+
+  (** The signature functor: one [Get] operation whose continuation
+      receives the current state, and one [Set] carrying the new state. *)
+  type 'k op = Get of (state -> 'k) | Set of state * 'k
+
+  module F = struct
+    type 'a t = 'a op
+
+    let map f = function
+      | Get k -> Get (fun s -> f (k s))
+      | Set (s, k) -> Set (s, f k)
+  end
+
+  module Term = Free.Make (F)
+
+  let get : state Term.t = Term.lift (Get Fun.id)
+  let set (s : state) : unit Term.t = Term.lift (Set (s, ()))
+
+  let gets (f : state -> 'a) : 'a Term.t = Term.bind get (fun s -> Term.return (f s))
+  let modify (f : state -> state) : unit Term.t = Term.bind get (fun s -> set (f s))
+
+  module St = State.Make (S)
+
+  (** Interpretation into the concrete state monad — the unique
+      theory-respecting homomorphism out of the term algebra. *)
+  let rec denote : 'a. 'a Term.t -> 'a St.t =
+    fun (type a) (m : a Term.t) (s : state) : (a * state) ->
+     match m with
+     | Term.Pure a -> (a, s)
+     | Term.Impure (Get k) -> denote (k s) s
+     | Term.Impure (Set (s', k)) -> denote k s'
+
+  (** Number of Get/Set operations performed along the execution path from
+      initial state [s]. *)
+  let rec ops_performed (m : 'a Term.t) (s : state) : int =
+    match m with
+    | Term.Pure _ -> 0
+    | Term.Impure (Get k) -> 1 + ops_performed (k s) s
+    | Term.Impure (Set (s', k)) -> 1 + ops_performed k s'
+
+  (** The normal form guaranteed by the four laws: one [get], one [set],
+      one [return].  Extensionally equal to the input term. *)
+  let canonical (m : 'a Term.t) : 'a Term.t =
+    Term.bind get (fun s ->
+        let a, s' = denote m s in
+        Term.bind (set s') (fun () -> Term.return a))
+
+  (** Extensional equality of two terms on the given sample states. *)
+  let equal_on ~eq_a ~eq_state (states : state list) (m1 : 'a Term.t)
+      (m2 : 'a Term.t) : bool =
+    List.for_all
+      (fun s ->
+        let a1, s1 = denote m1 s in
+        let a2, s2 = denote m2 s in
+        eq_a a1 a2 && eq_state s1 s2)
+      states
+end

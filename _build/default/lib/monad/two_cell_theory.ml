@@ -1,0 +1,109 @@
+(** The algebraic theory of TWO independent mutable cells.
+
+    Section 2 of the paper notes that "one may characterise state monads
+    with multiple memory cells in terms of an algebraic theory of reads
+    and writes, with seven equations" (Plotkin–Power).  This module
+    realises the two-cell case: the four single-cell laws per cell plus
+    the three commutation laws
+
+    - [get_a/get_b] commute,
+    - [set_a/set_b] commute,
+    - [set_a/get_b] (and [set_b/get_a]) commute.
+
+    The {e independent} two-cell theory is exactly what an entangled
+    state monad is {e not}: the paper's Section 3.4 observes that a
+    set-bx drops the commutation equations, freeing [set_a] to disturb
+    the B view.  Tests use this module to exhibit the boundary: free
+    two-cell terms normalise to a read-both/write-both form
+    ({!Make.canonical}), which is valid for {!Esm_core.Pair_bx} but
+    unsound for entangled instances. *)
+
+module Make (A : sig
+  type t
+end) (B : sig
+  type t
+end) =
+struct
+  type state = A.t * B.t
+
+  type 'k op =
+    | Get_a of (A.t -> 'k)
+    | Set_a of A.t * 'k
+    | Get_b of (B.t -> 'k)
+    | Set_b of B.t * 'k
+
+  module F = struct
+    type 'x t = 'x op
+
+    let map f = function
+      | Get_a k -> Get_a (fun a -> f (k a))
+      | Set_a (a, k) -> Set_a (a, f k)
+      | Get_b k -> Get_b (fun b -> f (k b))
+      | Set_b (b, k) -> Set_b (b, f k)
+  end
+
+  module Term = Free.Make (F)
+
+  let get_a : A.t Term.t = Term.lift (Get_a Fun.id)
+  let set_a (a : A.t) : unit Term.t = Term.lift (Set_a (a, ()))
+  let get_b : B.t Term.t = Term.lift (Get_b Fun.id)
+  let set_b (b : B.t) : unit Term.t = Term.lift (Set_b (b, ()))
+
+  (** Interpretation into the state monad on pairs — the independent
+      (non-entangled) semantics of Section 3.4. *)
+  let rec denote : 'x. 'x Term.t -> state -> 'x * state =
+    fun (type x) (m : x Term.t) ((a, b) as s : state) : (x * state) ->
+     match m with
+     | Term.Pure x -> (x, s)
+     | Term.Impure (Get_a k) -> denote (k a) s
+     | Term.Impure (Set_a (a', k)) -> denote k (a', b)
+     | Term.Impure (Get_b k) -> denote (k b) s
+     | Term.Impure (Set_b (b', k)) -> denote k (a, b')
+
+  (** Operations executed along the path from a given state. *)
+  let rec ops_performed (m : 'x Term.t) ((a, b) as s : state) : int =
+    match m with
+    | Term.Pure _ -> 0
+    | Term.Impure (Get_a k) -> 1 + ops_performed (k a) s
+    | Term.Impure (Set_a (a', k)) -> 1 + ops_performed k (a', b)
+    | Term.Impure (Get_b k) -> 1 + ops_performed (k b) s
+    | Term.Impure (Set_b (b', k)) -> 1 + ops_performed k (a, b')
+
+  (** The normal form the seven equations guarantee: read both cells,
+      write both cells once, return.  Extensionally equal to the input
+      term under {!denote}. *)
+  let canonical (m : 'x Term.t) : 'x Term.t =
+    Term.bind get_a (fun a ->
+        Term.bind get_b (fun b ->
+            let x, (a', b') = denote m (a, b) in
+            Term.bind (set_a a') (fun () ->
+                Term.bind (set_b b') (fun () -> Term.return x))))
+
+  let equal_on ~eq_x ~eq_a ~eq_b (states : state list) (m1 : 'x Term.t)
+      (m2 : 'x Term.t) : bool =
+    List.for_all
+      (fun s ->
+        let x1, (a1, b1) = denote m1 s in
+        let x2, (a2, b2) = denote m2 s in
+        eq_x x1 x2 && eq_a a1 a2 && eq_b b1 b2)
+      states
+
+  (** Interpret a free two-cell term against an {e entangled} semantics
+      instead: the four operations of an arbitrary set-bx over state
+      ['s] (passed as plain functions to keep this library independent
+      of [esm_core]).  Under this interpretation the commutation
+      equations — and hence {!canonical} — are unsound; tests exhibit
+      the discrepancy. *)
+  let denote_entangled ~(get_a : 's -> A.t) ~(set_a : A.t -> 's -> 's)
+      ~(get_b : 's -> B.t) ~(set_b : B.t -> 's -> 's) =
+    let rec go : 'x. 'x Term.t -> 's -> 'x * 's =
+      fun (type x) (m : x Term.t) (s : 's) : (x * 's) ->
+       match m with
+       | Term.Pure x -> (x, s)
+       | Term.Impure (Get_a k) -> go (k (get_a s)) s
+       | Term.Impure (Set_a (a', k)) -> go k (set_a a' s)
+       | Term.Impure (Get_b k) -> go (k (get_b s)) s
+       | Term.Impure (Set_b (b', k)) -> go k (set_b b' s)
+    in
+    go
+end

@@ -1,0 +1,30 @@
+(** The writer monad over a monoid: computations that accumulate output.
+    Used by {!Io_sim} (trace accumulation) and by the change-logging bx of
+    Section 4 of the paper. *)
+
+module Make (W : Monad_intf.MONOID) = struct
+  type output = W.t
+
+  include Extend.Make (struct
+    type 'a t = 'a * W.t
+
+    let return a = (a, W.empty)
+
+    let bind (a, w) f =
+      let b, w' = f a in
+      (b, W.combine w w')
+  end)
+
+  let tell (w : output) : unit t = ((), w)
+  let listen ((a, w) : 'a t) : ('a * output) t = ((a, w), w)
+  let censor (f : output -> output) ((a, w) : 'a t) : 'a t = (a, f w)
+  let run ((a, w) : 'a t) : 'a * output = (a, w)
+end
+
+(** Writer over lists (free monoid), the common case for traces. *)
+module Trace = Make (struct
+  type t = string list
+
+  let empty = []
+  let combine = ( @ )
+end)

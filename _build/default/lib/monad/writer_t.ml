@@ -1,0 +1,22 @@
+(** The writer monad transformer: [WriterT W M A = M (A * W)]. *)
+
+module Make
+    (W : Monad_intf.MONOID)
+    (M : Monad_intf.MONAD) =
+struct
+  type output = W.t
+
+  include Extend.Make (struct
+    type 'a t = ('a * W.t) M.t
+
+    let return a = M.return (a, W.empty)
+
+    let bind ma f =
+      M.bind ma (fun (a, w) ->
+          M.bind (f a) (fun (b, w') -> M.return (b, W.combine w w')))
+  end)
+
+  let tell (w : output) : unit t = M.return ((), w)
+  let lift (ma : 'a M.t) : 'a t = M.bind ma (fun a -> M.return (a, W.empty))
+  let run (ma : 'a t) : ('a * output) M.t = ma
+end

@@ -1,0 +1,1 @@
+lib/relational/algebra.pp.ml: Hashtbl List Option Pred Row Schema Table Value

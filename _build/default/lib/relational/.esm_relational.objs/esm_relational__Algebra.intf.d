@@ -1,0 +1,1 @@
+lib/relational/algebra.pp.mli: Pred Row Table

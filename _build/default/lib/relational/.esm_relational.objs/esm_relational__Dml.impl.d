@@ -1,0 +1,1 @@
+lib/relational/dml.pp.ml: Esm_lens Format List Pred Row String Table

@@ -1,0 +1,1 @@
+lib/relational/dml.pp.mli: Esm_lens Format Pred Row Table

@@ -1,0 +1,1 @@
+lib/relational/fd.pp.ml: Format Hashtbl List Row Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relational/fd.pp.mli: Format Row Table

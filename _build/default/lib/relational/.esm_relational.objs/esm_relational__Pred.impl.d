@@ -1,0 +1,1 @@
+lib/relational/pred.pp.ml: Format List Row Schema Value

@@ -1,0 +1,1 @@
+lib/relational/pred.pp.mli: Format Row Schema Value

@@ -1,0 +1,1 @@
+lib/relational/query.pp.ml: Algebra Buffer Esm_lens Format List Pred Rlens Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relational/rlens.pp.ml: Algebra Array Esm_lens Format Hashtbl Lens List Pred Printf Row Schema String Table Value

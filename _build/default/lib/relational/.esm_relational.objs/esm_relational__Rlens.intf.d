@@ -1,0 +1,1 @@
+lib/relational/rlens.pp.mli: Esm_lens Pred Schema Table

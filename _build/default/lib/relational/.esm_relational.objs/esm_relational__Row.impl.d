@@ -1,0 +1,1 @@
+lib/relational/row.pp.ml: Array Format Int List Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/row.pp.mli: Format Schema Value

@@ -1,0 +1,1 @@
+lib/relational/schema.pp.ml: Format List String Value

@@ -1,0 +1,1 @@
+lib/relational/table.pp.ml: Array Format List Row Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/table.pp.mli: Format Row Schema Value

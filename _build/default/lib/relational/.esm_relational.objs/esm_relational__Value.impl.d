@@ -1,0 +1,1 @@
+lib/relational/value.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/relational/value.pp.mli: Ppx_deriving_runtime

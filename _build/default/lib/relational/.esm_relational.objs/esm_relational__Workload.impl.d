@@ -1,0 +1,1 @@
+lib/relational/workload.pp.ml: Algebra List Pred Row Schema String Table Value

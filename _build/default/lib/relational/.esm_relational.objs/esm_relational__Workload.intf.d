@@ -1,0 +1,1 @@
+lib/relational/workload.pp.mli: Schema Table

@@ -1,0 +1,165 @@
+(** Relational algebra over {!Table}: selection, projection, renaming,
+    set operations, cartesian product and natural join. *)
+
+let select (p : Pred.t) (t : Table.t) : Table.t =
+  Table.filter (Pred.eval (Table.schema t) p) t
+
+let project (columns : string list) (t : Table.t) : Table.t =
+  let schema' = Schema.project (Table.schema t) columns in
+  Table.of_rows schema'
+    (List.map (Row.project (Table.schema t) columns) (Table.rows t))
+
+let rename (mapping : (string * string) list) (t : Table.t) : Table.t =
+  Table.of_rows (Schema.rename (Table.schema t) mapping) (Table.rows t)
+
+let check_same_schema op t1 t2 =
+  if not (Schema.equal (Table.schema t1) (Table.schema t2)) then
+    Table.errorf "%s: schema mismatch: %s vs %s" op
+      (Schema.to_string (Table.schema t1))
+      (Schema.to_string (Table.schema t2))
+
+let union (t1 : Table.t) (t2 : Table.t) : Table.t =
+  check_same_schema "union" t1 t2;
+  Table.of_rows (Table.schema t1) (Table.rows t1 @ Table.rows t2)
+
+let diff (t1 : Table.t) (t2 : Table.t) : Table.t =
+  check_same_schema "diff" t1 t2;
+  Table.filter (fun r -> not (Table.mem t2 r)) t1
+
+let inter (t1 : Table.t) (t2 : Table.t) : Table.t =
+  check_same_schema "inter" t1 t2;
+  Table.filter (Table.mem t2) t1
+
+let product (t1 : Table.t) (t2 : Table.t) : Table.t =
+  let schema' = Schema.concat (Table.schema t1) (Table.schema t2) in
+  Table.of_rows schema'
+    (List.concat_map
+       (fun r1 -> List.map (Row.concat r1) (Table.rows t2))
+       (Table.rows t1))
+
+(** Natural join: match rows agreeing on all shared columns; the result
+    schema is [t1]'s columns followed by [t2]'s non-shared columns. *)
+let join (t1 : Table.t) (t2 : Table.t) : Table.t =
+  let s1 = Table.schema t1 and s2 = Table.schema t2 in
+  let shared = Schema.shared s1 s2 in
+  let s2_rest =
+    List.filter
+      (fun n -> not (List.mem n shared))
+      (Schema.column_names s2)
+  in
+  let schema' =
+    Schema.make
+      (Schema.columns s1
+      @ List.map (fun n -> (n, Schema.ty_of s2 n)) s2_rest)
+  in
+  let key schema row = List.map (Row.get schema row) shared in
+  Table.of_rows schema'
+    (List.concat_map
+       (fun r1 ->
+         let k1 = key s1 r1 in
+         List.filter_map
+           (fun r2 ->
+             if List.for_all2 Value.equal k1 (key s2 r2) then
+               Some (Row.concat r1 (Row.project s2 s2_rest r2))
+             else None)
+           (Table.rows t2))
+       (Table.rows t1))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Aggregate functions for {!group_by}.  [Avg] uses integer division
+    (the value model has no floats). *)
+type aggregate =
+  | Count
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+let aggregate_ty (schema : Schema.t) : aggregate -> Value.ty = function
+  | Count -> Value.Tint
+  | Sum c | Avg c -> (
+      match Schema.ty_of schema c with
+      | Value.Tint -> Value.Tint
+      | ty ->
+          Table.errorf "aggregate: cannot sum column %s of type %s" c
+            (Value.type_to_string ty))
+  | Min c | Max c -> Schema.ty_of schema c
+
+let rec eval_aggregate (schema : Schema.t) (rows : Row.t list) :
+    aggregate -> Value.t = function
+  | Count -> Value.Int (List.length rows)
+  | Sum c ->
+      Value.Int
+        (List.fold_left
+           (fun acc r ->
+             match Row.get schema r c with
+             | Value.Int i -> acc + i
+             | v ->
+                 Table.errorf "sum: non-integer value %s" (Value.to_string v))
+           0 rows)
+  | Avg c -> (
+      match (rows, eval_aggregate schema rows (Sum c)) with
+      | [], _ -> Value.Int 0
+      | _, Value.Int total -> Value.Int (total / List.length rows)
+      | _, v -> v)
+  | Min c ->
+      List.fold_left
+        (fun acc r ->
+          let v = Row.get schema r c in
+          if Value.compare v acc < 0 then v else acc)
+        (Row.get schema (List.hd rows) c)
+        rows
+  | Max c ->
+      List.fold_left
+        (fun acc r ->
+          let v = Row.get schema r c in
+          if Value.compare v acc > 0 then v else acc)
+        (Row.get schema (List.hd rows) c)
+        rows
+
+(** [group_by ~keys ~aggs t]: one output row per distinct key tuple,
+    carrying the key columns followed by one column per named aggregate.
+    [Min]/[Max] require non-empty groups (guaranteed by construction). *)
+let group_by ~(keys : string list) ~(aggs : (string * aggregate) list)
+    (t : Table.t) : Table.t =
+  let schema = Table.schema t in
+  let out_schema =
+    Schema.make
+      (List.map (fun k -> (k, Schema.ty_of schema k)) keys
+      @ List.map (fun (n, agg) -> (n, aggregate_ty schema agg)) aggs)
+  in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = List.map (Row.get schema r) keys in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (r :: existing))
+    (Table.rows t);
+  let out_rows =
+    Hashtbl.fold
+      (fun key rows acc ->
+        Row.of_list
+          (key @ List.map (fun (_, agg) -> eval_aggregate schema rows agg) aggs)
+        :: acc)
+      groups []
+  in
+  Table.of_rows out_schema out_rows
+
+(** Rows sorted by the given columns (tables themselves are canonical
+    sets; use this for ordered presentation). *)
+let sort_rows ~(by : string list) ?(desc = false) (t : Table.t) : Row.t list =
+  let schema = Table.schema t in
+  let cmp r1 r2 =
+    let c =
+      List.fold_left
+        (fun acc col ->
+          if acc <> 0 then acc
+          else Value.compare (Row.get schema r1 col) (Row.get schema r2 col))
+        0 by
+    in
+    if desc then -c else c
+  in
+  List.sort cmp (Table.rows t)

@@ -1,0 +1,39 @@
+(** Relational algebra over {!Table}. *)
+
+val select : Pred.t -> Table.t -> Table.t
+val project : string list -> Table.t -> Table.t
+
+val rename : (string * string) list -> Table.t -> Table.t
+(** Rename columns per the (old, new) mapping. *)
+
+val union : Table.t -> Table.t -> Table.t
+(** Set union; schemas must be equal ({!Table.Table_error} otherwise). *)
+
+val diff : Table.t -> Table.t -> Table.t
+val inter : Table.t -> Table.t -> Table.t
+
+val product : Table.t -> Table.t -> Table.t
+(** Cartesian product; column names must be disjoint. *)
+
+val join : Table.t -> Table.t -> Table.t
+(** Natural join: rows agreeing on all shared columns; the result schema
+    is the left schema followed by the right-only columns. *)
+
+(** {1 Aggregation} *)
+
+(** Aggregate functions for {!group_by}; [Avg] uses integer division. *)
+type aggregate =
+  | Count
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+val group_by :
+  keys:string list -> aggs:(string * aggregate) list -> Table.t -> Table.t
+(** One output row per distinct key tuple: the key columns followed by
+    one column per named aggregate. *)
+
+val sort_rows : by:string list -> ?desc:bool -> Table.t -> Row.t list
+(** Rows sorted by the given columns, for ordered presentation (tables
+    themselves are canonical sets). *)

@@ -1,0 +1,58 @@
+(** Data-manipulation statements over tables, and their translation
+    through updatable views.
+
+    [apply] executes insert/delete/update statements against a table;
+    [through] is the view-update pattern the paper's database motivation
+    is about: run the statement {e on the view} of a lens, then push the
+    modified view back through [put] — the stored table absorbs the
+    change while everything outside the view is preserved.
+
+    Property tests in [test/test_dml.ml] include the classic view-update
+    correctness statement: for a select-lens view, running a
+    view-compatible statement through the view equals running it directly
+    on the store. *)
+
+type assignment = string * Pred.expr
+(** column := expression (evaluated against the pre-update row) *)
+
+type t =
+  | Insert of Row.t
+  | Delete of Pred.t
+  | Update of Pred.t * assignment list
+
+let pp fmt = function
+  | Insert r -> Format.fprintf fmt "insert %s" (Row.to_string r)
+  | Delete p -> Format.fprintf fmt "delete where %a" Pred.pp p
+  | Update (p, assigns) ->
+      Format.fprintf fmt "update set %s where %a"
+        (String.concat ", "
+           (List.map
+              (fun (c, e) -> Format.asprintf "%s = %a" c Pred.pp_expr e)
+              assigns))
+        Pred.pp p
+
+let apply (table : Table.t) (stmt : t) : Table.t =
+  let schema = Table.schema table in
+  match stmt with
+  | Insert r -> Table.insert table r
+  | Delete p -> Table.filter (fun r -> not (Pred.eval schema p r)) table
+  | Update (p, assigns) ->
+      Table.map schema
+        (fun r ->
+          if Pred.eval schema p r then
+            List.fold_left
+              (fun r' (c, e) ->
+                Row.set schema r' c (Pred.eval_expr schema r e))
+              r assigns
+          else r)
+        table
+
+let apply_all (table : Table.t) (stmts : t list) : Table.t =
+  List.fold_left apply table stmts
+
+(** Run a statement on the lens's view, then push the updated view back
+    into the source: the updatable-view reading of DML. *)
+let through (lens : (Table.t, Table.t) Esm_lens.Lens.t) (stmt : t)
+    (source : Table.t) : Table.t =
+  let view = Esm_lens.Lens.get lens source in
+  Esm_lens.Lens.put lens source (apply view stmt)

@@ -1,0 +1,21 @@
+(** Data-manipulation statements over tables, and their translation
+    through updatable views ([through]: run on the view, push back with
+    the lens's [put]). *)
+
+type assignment = string * Pred.expr
+(** column := expression (evaluated against the pre-update row) *)
+
+type t =
+  | Insert of Row.t
+  | Delete of Pred.t
+  | Update of Pred.t * assignment list
+
+val pp : Format.formatter -> t -> unit
+
+val apply : Table.t -> t -> Table.t
+val apply_all : Table.t -> t list -> Table.t
+
+val through :
+  (Table.t, Table.t) Esm_lens.Lens.t -> t -> Table.t -> Table.t
+(** Run the statement on the lens's view of the source, then put the
+    updated view back. *)

@@ -1,0 +1,89 @@
+(** Functional dependencies: the side conditions under which relational
+    lenses are well-behaved (Bohannon–Pierce–Vaughan type their lenses by
+    the FDs the source must satisfy; our {!Rlens.project} and
+    {!Rlens.join} state theirs informally — this module makes the
+    conditions checkable and generators verifiable).
+
+    An FD [X -> Y] holds in a table when any two rows agreeing on the
+    [X] columns also agree on the [Y] columns. *)
+
+type t = { determinant : string list; dependent : string list }
+
+let v determinant dependent = { determinant; dependent }
+
+let pp fmt fd =
+  Format.fprintf fmt "%s -> %s"
+    (String.concat "," fd.determinant)
+    (String.concat "," fd.dependent)
+
+let to_string fd = Format.asprintf "%a" pp fd
+
+(** Does the FD hold in the table?  O(n) with a hash index. *)
+let holds (fd : t) (table : Table.t) : bool =
+  let schema = Table.schema table in
+  let det r = List.map (Row.get schema r) fd.determinant in
+  let dep r = List.map (Row.get schema r) fd.dependent in
+  let seen = Hashtbl.create (max 16 (Table.cardinality table)) in
+  List.for_all
+    (fun r ->
+      let k = det r in
+      let d = dep r in
+      match Hashtbl.find_opt seen k with
+      | None ->
+          Hashtbl.add seen k d;
+          true
+      | Some d' -> List.for_all2 Value.equal d d')
+    (Table.rows table)
+
+let all_hold (fds : t list) (table : Table.t) : bool =
+  List.for_all (fun fd -> holds fd table) fds
+
+(** The rows violating the FD, paired up (first witness per key). *)
+let violations (fd : t) (table : Table.t) : (Row.t * Row.t) list =
+  let schema = Table.schema table in
+  let det r = List.map (Row.get schema r) fd.determinant in
+  let dep r = List.map (Row.get schema r) fd.dependent in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun r ->
+      let k = det r in
+      match Hashtbl.find_opt seen k with
+      | None ->
+          Hashtbl.add seen k r;
+          None
+      | Some r0 ->
+          if List.for_all2 Value.equal (dep r0) (dep r) then None
+          else Some (r0, r))
+    (Table.rows table)
+
+(** Is [columns] a key of the table (it determines every column)? *)
+let is_key (columns : string list) (table : Table.t) : bool =
+  holds
+    { determinant = columns; dependent = Schema.column_names (Table.schema table) }
+    table
+
+(** Keep, for each determinant value, only the first row in canonical
+    order — the cheapest way to force an FD onto generated data. *)
+let enforce (fd : t) (table : Table.t) : Table.t =
+  let schema = Table.schema table in
+  let det r = List.map (Row.get schema r) fd.determinant in
+  let seen = Hashtbl.create 16 in
+  Table.filter
+    (fun r ->
+      let k = det r in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    table
+
+(** Armstrong-style semantic implication over a set of sample tables:
+    [implied_by fds fd samples] is a cheap refutation check — it returns
+    false iff some sample satisfies all of [fds] but violates [fd].
+    (A sound "yes" would need the chase; samples give a practical
+    falsifier for tests.) *)
+let not_refuted_by ~(samples : Table.t list) (fds : t list) (fd : t) : bool =
+  List.for_all
+    (fun t -> if all_hold fds t then holds fd t else true)
+    samples

@@ -1,0 +1,30 @@
+(** Functional dependencies: the side conditions under which relational
+    lenses are well-behaved, made checkable and enforceable.
+
+    An FD [X -> Y] holds in a table when any two rows agreeing on the
+    [X] columns also agree on the [Y] columns. *)
+
+type t = { determinant : string list; dependent : string list }
+
+val v : string list -> string list -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val holds : t -> Table.t -> bool
+(** O(n), hash-indexed. *)
+
+val all_hold : t list -> Table.t -> bool
+
+val violations : t -> Table.t -> (Row.t * Row.t) list
+(** Pairs of rows witnessing each violation (first witness per key). *)
+
+val is_key : string list -> Table.t -> bool
+(** Do the columns determine every column of the table? *)
+
+val enforce : t -> Table.t -> Table.t
+(** Keep one row per determinant value (the first in canonical order) —
+    forces the FD onto generated data. *)
+
+val not_refuted_by : samples:Table.t list -> t list -> t -> bool
+(** Cheap semantic-implication falsifier: false iff some sample
+    satisfies all premise FDs but violates the conclusion. *)

@@ -1,0 +1,64 @@
+(** A small predicate language over rows, used by selections and by the
+    select lens.  Expressions reference columns by name or literal
+    values; predicates combine comparisons with boolean connectives. *)
+
+type expr = Col of string | Lit of Value.t
+
+type t =
+  | Const of bool
+  | Eq of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let eval_expr (schema : Schema.t) (row : Row.t) : expr -> Value.t = function
+  | Col name -> Row.get schema row name
+  | Lit v -> v
+
+let rec eval (schema : Schema.t) (p : t) (row : Row.t) : bool =
+  match p with
+  | Const b -> b
+  | Eq (e1, e2) ->
+      Value.equal (eval_expr schema row e1) (eval_expr schema row e2)
+  | Lt (e1, e2) ->
+      Value.compare (eval_expr schema row e1) (eval_expr schema row e2) < 0
+  | Le (e1, e2) ->
+      Value.compare (eval_expr schema row e1) (eval_expr schema row e2) <= 0
+  | And (p1, p2) -> eval schema p1 row && eval schema p2 row
+  | Or (p1, p2) -> eval schema p1 row || eval schema p2 row
+  | Not p -> not (eval schema p row)
+
+let rec columns_used : t -> string list = function
+  | Const _ -> []
+  | Eq (e1, e2) | Lt (e1, e2) | Le (e1, e2) ->
+      List.filter_map (function Col c -> Some c | Lit _ -> None) [ e1; e2 ]
+  | And (p1, p2) | Or (p1, p2) ->
+      columns_used p1 @ columns_used p2
+  | Not p -> columns_used p
+
+let rec pp fmt = function
+  | Const b -> Format.fprintf fmt "%b" b
+  | Eq (e1, e2) -> Format.fprintf fmt "%a = %a" pp_expr e1 pp_expr e2
+  | Lt (e1, e2) -> Format.fprintf fmt "%a < %a" pp_expr e1 pp_expr e2
+  | Le (e1, e2) -> Format.fprintf fmt "%a <= %a" pp_expr e1 pp_expr e2
+  | And (p1, p2) -> Format.fprintf fmt "(%a && %a)" pp p1 pp p2
+  | Or (p1, p2) -> Format.fprintf fmt "(%a || %a)" pp p1 pp p2
+  | Not p -> Format.fprintf fmt "!(%a)" pp p
+
+and pp_expr fmt = function
+  | Col c -> Format.fprintf fmt "%s" c
+  | Lit v -> Format.fprintf fmt "%s" (Value.to_string v)
+
+(* Convenience constructors. *)
+let col c = Col c
+let int i = Lit (Value.Int i)
+let str s = Lit (Value.Str s)
+let bool b = Lit (Value.Bool b)
+let ( = ) e1 e2 = Eq (e1, e2)
+let ( < ) e1 e2 = Lt (e1, e2)
+let ( <= ) e1 e2 = Le (e1, e2)
+let ( && ) p1 p2 = And (p1, p2)
+let ( || ) p1 p2 = Or (p1, p2)
+let not_ p = Not p

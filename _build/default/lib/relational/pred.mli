@@ -1,0 +1,37 @@
+(** A small predicate language over rows, used by selections and the
+    select lens. *)
+
+type expr = Col of string | Lit of Value.t
+
+type t =
+  | Const of bool
+  | Eq of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eval_expr : Schema.t -> Row.t -> expr -> Value.t
+val eval : Schema.t -> t -> Row.t -> bool
+
+val columns_used : t -> string list
+(** Column names referenced (with duplicates). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_expr : Format.formatter -> expr -> unit
+
+(** {1 Convenience constructors}
+
+    [Pred.(col "age" < int 40 && not_ (col "name" = str "bob"))] *)
+
+val col : string -> expr
+val int : int -> expr
+val str : string -> expr
+val bool : bool -> expr
+val ( = ) : expr -> expr -> t
+val ( < ) : expr -> expr -> t
+val ( <= ) : expr -> expr -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val not_ : t -> t

@@ -1,0 +1,397 @@
+(** A small pipeline query language over the relational substrate, with a
+    parser and pretty-printer.  Gives the examples and the CLI a textual
+    surface, and exercises the algebra end-to-end:
+
+    {v
+    employees | where dept = "Engineering" and salary < 70000
+              | select id, name
+              | rename name as who
+    employees join depts
+    (a union b) | where x <= 3
+    v}
+
+    Grammar (pipelines bind tighter than the infix set operators, which
+    associate to the left):
+
+    {v
+    query := term (("union" | "diff" | "join" | "product") term)*
+    term  := atom ("|" stage)*
+    atom  := IDENT | "(" query ")"
+    stage := "where" pred
+           | "select" IDENT ("," IDENT)*
+           | "rename" IDENT "as" IDENT ("," IDENT "as" IDENT)*
+    pred  := conj ("or" conj)* ; conj := neg ("and" neg)*
+    neg   := "not" neg | "(" pred ")" | expr ("=" | "<=" | "<") expr
+    expr  := IDENT | INT | STRING | "true" | "false"
+    v} *)
+
+type t =
+  | Base of string
+  | Where of Pred.t * t
+  | Project of string list * t
+  | Rename of (string * string) list * t
+  | Union of t * t
+  | Diff of t * t
+  | Join of t * t
+  | Product of t * t
+
+exception Parse_error of string
+
+let parse_errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate against an environment of named base tables. *)
+let rec eval (env : string -> Table.t) : t -> Table.t = function
+  | Base name -> env name
+  | Where (p, q) -> Algebra.select p (eval env q)
+  | Project (cols, q) -> Algebra.project cols (eval env q)
+  | Rename (mapping, q) -> Algebra.rename mapping (eval env q)
+  | Union (q1, q2) -> Algebra.union (eval env q1) (eval env q2)
+  | Diff (q1, q2) -> Algebra.diff (eval env q1) (eval env q2)
+  | Join (q1, q2) -> Algebra.join (eval env q1) (eval env q2)
+  | Product (q1, q2) -> Algebra.product (eval env q1) (eval env q2)
+
+(** Base tables referenced by the query. *)
+let rec bases : t -> string list = function
+  | Base name -> [ name ]
+  | Where (_, q) | Project (_, q) | Rename (_, q) -> bases q
+  | Union (q1, q2) | Diff (q1, q2) | Join (q1, q2) | Product (q1, q2) ->
+      bases q1 @ bases q2
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp fmt = function
+  | Base name -> Format.fprintf fmt "%s" name
+  | Where (p, q) -> Format.fprintf fmt "%a | where %a" pp_term q pp_pred p
+  | Project (cols, q) ->
+      Format.fprintf fmt "%a | select %s" pp_term q (String.concat ", " cols)
+  | Rename (mapping, q) ->
+      Format.fprintf fmt "%a | rename %s" pp_term q
+        (String.concat ", "
+           (List.map (fun (a, b) -> a ^ " as " ^ b) mapping))
+  | Union (q1, q2) -> Format.fprintf fmt "(%a) union (%a)" pp q1 pp q2
+  | Diff (q1, q2) -> Format.fprintf fmt "(%a) diff (%a)" pp q1 pp q2
+  | Join (q1, q2) -> Format.fprintf fmt "(%a) join (%a)" pp q1 pp q2
+  | Product (q1, q2) -> Format.fprintf fmt "(%a) product (%a)" pp q1 pp q2
+
+(* A pipeline stage binds tighter than the set operators, so a set-op
+   operand of a stage needs parentheses. *)
+and pp_term fmt q =
+  match q with
+  | Union _ | Diff _ | Join _ | Product _ -> Format.fprintf fmt "(%a)" pp q
+  | Base _ | Where _ | Project _ | Rename _ -> pp fmt q
+
+and pp_pred fmt (p : Pred.t) =
+  match p with
+  | Pred.Const b -> Format.fprintf fmt "%b" b
+  | Pred.Eq (e1, e2) -> Format.fprintf fmt "%a = %a" pp_expr e1 pp_expr e2
+  | Pred.Lt (e1, e2) -> Format.fprintf fmt "%a < %a" pp_expr e1 pp_expr e2
+  | Pred.Le (e1, e2) -> Format.fprintf fmt "%a <= %a" pp_expr e1 pp_expr e2
+  | Pred.And (p1, p2) -> Format.fprintf fmt "(%a and %a)" pp_pred p1 pp_pred p2
+  | Pred.Or (p1, p2) -> Format.fprintf fmt "(%a or %a)" pp_pred p1 pp_pred p2
+  | Pred.Not p -> Format.fprintf fmt "not (%a)" pp_pred p
+
+and pp_expr fmt = function
+  | Pred.Col c -> Format.fprintf fmt "%s" c
+  | Pred.Lit (Value.Int i) -> Format.fprintf fmt "%d" i
+  | Pred.Lit (Value.Str s) -> Format.fprintf fmt "%S" s
+  | Pred.Lit (Value.Bool b) -> Format.fprintf fmt "%b" b
+
+let to_string q = Format.asprintf "%a" pp q
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tstring of string
+  | Tpipe
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Teq
+  | Tlt
+  | Tle
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let lex (input : string) : token list =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '|' -> go (i + 1) (Tpipe :: acc)
+      | '(' -> go (i + 1) (Tlparen :: acc)
+      | ')' -> go (i + 1) (Trparen :: acc)
+      | ',' -> go (i + 1) (Tcomma :: acc)
+      | '=' -> go (i + 1) (Teq :: acc)
+      | '<' ->
+          if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Tle :: acc)
+          else go (i + 1) (Tlt :: acc)
+      | '"' ->
+          let rec scan j buf =
+            if j >= n then parse_errorf "unterminated string literal"
+            else if input.[j] = '"' then (j + 1, Buffer.contents buf)
+            else begin
+              Buffer.add_char buf input.[j];
+              scan (j + 1) buf
+            end
+          in
+          let j, s = scan (i + 1) (Buffer.create 8) in
+          go j (Tstring s :: acc)
+      | c when c = '-' || (c >= '0' && c <= '9') ->
+          let rec scan j =
+            if j < n && input.[j] >= '0' && input.[j] <= '9' then scan (j + 1)
+            else j
+          in
+          let j = scan (i + 1) in
+          go j (Tint (int_of_string (String.sub input i (j - i))) :: acc)
+      | c when is_ident_char c ->
+          let rec scan j = if j < n && is_ident_char input.[j] then scan (j + 1) else j in
+          let j = scan i in
+          go j (Tident (String.sub input i (j - i)) :: acc)
+      | c -> parse_errorf "unexpected character %C" c
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Parser (recursive descent over the token list)                      *)
+(* ------------------------------------------------------------------ *)
+
+let parse (input : string) : t =
+  let tokens = ref (lex input) in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () = match !tokens with [] -> () | _ :: rest -> tokens := rest in
+  let expect t what =
+    match peek () with
+    | Some t' when t' = t -> advance ()
+    | _ -> parse_errorf "expected %s" what
+  in
+  let ident what =
+    match peek () with
+    | Some (Tident s) ->
+        advance ();
+        s
+    | _ -> parse_errorf "expected %s" what
+  in
+  let parse_expr () : Pred.expr =
+    match peek () with
+    | Some (Tint i) ->
+        advance ();
+        Pred.Lit (Value.Int i)
+    | Some (Tstring s) ->
+        advance ();
+        Pred.Lit (Value.Str s)
+    | Some (Tident "true") ->
+        advance ();
+        Pred.Lit (Value.Bool true)
+    | Some (Tident "false") ->
+        advance ();
+        Pred.Lit (Value.Bool false)
+    | Some (Tident c) ->
+        advance ();
+        Pred.Col c
+    | _ -> parse_errorf "expected an expression"
+  in
+  let rec parse_neg () : Pred.t =
+    match peek () with
+    | Some (Tident "not") ->
+        advance ();
+        Pred.Not (parse_neg ())
+    | Some Tlparen ->
+        advance ();
+        let p = parse_pred () in
+        expect Trparen "')'";
+        p
+    | _ -> (
+        let e1 = parse_expr () in
+        match peek () with
+        | Some Teq ->
+            advance ();
+            Pred.Eq (e1, parse_expr ())
+        | Some Tle ->
+            advance ();
+            Pred.Le (e1, parse_expr ())
+        | Some Tlt ->
+            advance ();
+            Pred.Lt (e1, parse_expr ())
+        | _ -> parse_errorf "expected a comparison operator")
+  and parse_conj () : Pred.t =
+    let p = parse_neg () in
+    match peek () with
+    | Some (Tident "and") ->
+        advance ();
+        Pred.And (p, parse_conj ())
+    | _ -> p
+  and parse_pred () : Pred.t =
+    let p = parse_conj () in
+    match peek () with
+    | Some (Tident "or") ->
+        advance ();
+        Pred.Or (p, parse_pred ())
+    | _ -> p
+  in
+  let parse_columns () : string list =
+    let rec go acc =
+      let c = ident "a column name" in
+      match peek () with
+      | Some Tcomma ->
+          advance ();
+          go (c :: acc)
+      | _ -> List.rev (c :: acc)
+    in
+    go []
+  in
+  let parse_renames () : (string * string) list =
+    let rec go acc =
+      let a = ident "a column name" in
+      (match ident "'as'" with
+      | "as" -> ()
+      | _ -> parse_errorf "expected 'as'");
+      let b = ident "a column name" in
+      match peek () with
+      | Some Tcomma ->
+          advance ();
+          go ((a, b) :: acc)
+      | _ -> List.rev ((a, b) :: acc)
+    in
+    go []
+  in
+  let rec parse_query () : t =
+    let q = parse_term () in
+    parse_ops q
+  and parse_ops q =
+    match peek () with
+    | Some (Tident (("union" | "diff" | "join" | "product") as op)) ->
+        advance ();
+        let rhs = parse_term () in
+        let q' =
+          match op with
+          | "union" -> Union (q, rhs)
+          | "diff" -> Diff (q, rhs)
+          | "join" -> Join (q, rhs)
+          | _ -> Product (q, rhs)
+        in
+        parse_ops q'
+    | _ -> q
+  and parse_term () : t =
+    let q = parse_atom () in
+    parse_stages q
+  and parse_stages q =
+    match peek () with
+    | Some Tpipe -> (
+        advance ();
+        match ident "a stage (where/select/rename)" with
+        | "where" -> parse_stages (Where (parse_pred (), q))
+        | "select" -> parse_stages (Project (parse_columns (), q))
+        | "rename" -> parse_stages (Rename (parse_renames (), q))
+        | s -> parse_errorf "unknown stage %S" s)
+    | _ -> q
+  and parse_atom () : t =
+    match peek () with
+    | Some Tlparen ->
+        advance ();
+        let q = parse_query () in
+        expect Trparen "')'";
+        q
+    | Some (Tident name) ->
+        advance ();
+        Base name
+    | _ -> parse_errorf "expected a table name or '('"
+  in
+  let q = parse_query () in
+  (match peek () with
+  | None -> ()
+  | Some _ -> parse_errorf "trailing input after the query");
+  q
+
+(** Parse and evaluate in one step. *)
+let run (env : string -> Table.t) (input : string) : Table.t =
+  eval env (parse input)
+
+(* ------------------------------------------------------------------ *)
+(* Updatable views: compile a view definition into a relational lens   *)
+(* ------------------------------------------------------------------ *)
+
+exception Not_updatable of string
+
+let not_updatable fmt = Format.kasprintf (fun s -> raise (Not_updatable s)) fmt
+
+(** Compile a single-base pipeline query into a relational lens from the
+    base table to the view — the view-update problem, end to end: parse a
+    view definition, get a lens, feed it to {!Esm_core.Of_lens} and edit
+    the view through the entangled state monad.
+
+    Supported stages: [where] (select lens), [select] (project lens —
+    the key columns must survive the projection), [rename] (iso).  Set
+    operations are not updatable here and raise {!Not_updatable}.
+
+    [schema] is the base-table schema and [key] the columns that
+    identify rows (used by the project lens to restore dropped values,
+    and renamed along with everything else by [rename] stages). *)
+let to_lens ~(schema : Schema.t) ~(key : string list) (q : t) :
+    (Table.t, Table.t) Esm_lens.Lens.t =
+  (* Walk from the base outward, threading the current schema and the
+     current names of the key columns. *)
+  let rec go :
+      t -> (Table.t, Table.t) Esm_lens.Lens.t * Schema.t * string list =
+    function
+    | Base _ ->
+        (Esm_lens.Lens.with_name "base" Esm_lens.Lens.id, schema, key)
+    | Where (p, q) ->
+        let l, sch, key = go q in
+        List.iter
+          (fun c ->
+            if not (Schema.mem sch c) then
+              not_updatable "where: unknown column %s" c)
+          (Pred.columns_used p);
+        (Esm_lens.Lens.compose l (Rlens.select p), sch, key)
+    | Project (cols, q) ->
+        let l, sch, key = go q in
+        List.iter
+          (fun k ->
+            if not (List.mem k cols) then
+              not_updatable
+                "select: key column %s must be kept for the view to be \
+                 updatable"
+                k)
+          key;
+        ( Esm_lens.Lens.compose l (Rlens.project ~keep:cols ~key sch),
+          Schema.project sch cols,
+          key )
+    | Rename (mapping, q) ->
+        let l, sch, key = go q in
+        let rename_one n =
+          match List.assoc_opt n mapping with Some n' -> n' | None -> n
+        in
+        ( Esm_lens.Lens.compose l (Rlens.rename mapping),
+          Schema.rename sch mapping,
+          List.map rename_one key )
+    | Union _ -> not_updatable "union views are not updatable"
+    | Diff _ -> not_updatable "diff views are not updatable"
+    | Join _ ->
+        not_updatable
+          "join views over one base are not updatable (use Rlens.join on a \
+           pair of tables)"
+    | Product _ -> not_updatable "product views are not updatable"
+  in
+  let lens, _, _ = go q in
+  Esm_lens.Lens.with_name ("view: " ^ to_string q) lens
+
+(** Parse a view definition and compile it in one step. *)
+let lens_of_string ~schema ~key (input : string) :
+    (Table.t, Table.t) Esm_lens.Lens.t =
+  to_lens ~schema ~key (parse input)

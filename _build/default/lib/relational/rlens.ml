@@ -1,0 +1,188 @@
+(** Relational lenses: asymmetric lenses between tables, in the spirit of
+    Bohannon, Pierce & Vaughan's "Relational lenses" (PODS 2006).  These
+    are the database instantiation of the lenses the paper feeds into its
+    Lemma 4: composing them with {!Esm_core.Of_lens} gives an entangled
+    state monad whose A-side is the stored table and whose B-side is the
+    view.
+
+    Well-behavedness caveats (as in the relational-lenses literature):
+
+    - {!select} is very well-behaved provided the updated view only
+      contains rows satisfying the predicate ([put] raises
+      {!Esm_lens.Lens.Shape_error} otherwise).
+    - {!project} is well-behaved on sources satisfying the functional
+      dependency [key -> dropped columns]; [put] recovers dropped values
+      from the old source by key, falling back to per-type defaults.
+    - {!rename} is an isomorphism, hence very well-behaved.
+
+    The property suites in [test/test_rlens.ml] generate sources and views
+    inside those domains. *)
+
+open Esm_lens
+
+(** [select p]: the view is the subtable satisfying [p].  [put] keeps the
+    non-matching source rows and replaces the matching ones by the view. *)
+let select (p : Pred.t) : (Table.t, Table.t) Lens.t =
+  Lens.v
+    ~name:(Format.asprintf "select %a" Pred.pp p)
+    ~get:(Algebra.select p)
+    ~put:(fun source view ->
+      let schema = Table.schema source in
+      if not (Schema.equal schema (Table.schema view)) then
+        Lens.shape_errorf "select lens: view schema %s differs from source %s"
+          (Schema.to_string (Table.schema view))
+          (Schema.to_string schema);
+      List.iter
+        (fun r ->
+          if not (Pred.eval schema p r) then
+            Lens.shape_errorf
+              "select lens: view row %s violates the selection predicate"
+              (Row.to_string r))
+        (Table.rows view);
+      let untouched = Table.filter (fun r -> not (Pred.eval schema p r)) source in
+      Algebra.union untouched view)
+    ()
+
+(** [project ~keep ~key source_schema]: the view keeps columns [keep] (in
+    order); [key ⊆ keep] identifies rows.  [put] recovers each dropped
+    column of a view row from the source row with the same key, or from
+    the per-type default when the key is new. *)
+let project ~(keep : string list) ~(key : string list)
+    (source_schema : Schema.t) : (Table.t, Table.t) Lens.t =
+  if not (List.for_all (fun k -> List.mem k keep) key) then
+    Schema.errorf "project lens: key columns must be kept";
+  let view_schema = Schema.project source_schema keep in
+  (* Per-source-column recipe: copy from the view row, or recover a
+     dropped value from the old source row with the same key (falling
+     back to the per-type default). *)
+  let column_plan =
+    List.map
+      (fun (n, ty) ->
+        match
+          List.find_index (fun k -> String.equal k n) keep
+        with
+        | Some view_index -> `Kept view_index
+        | None ->
+            `Dropped (Schema.index source_schema n, Value.default_of_type ty))
+      (Schema.columns source_schema)
+  in
+  let view_key_indices = List.map (Schema.index view_schema) key in
+  let source_key_indices = List.map (Schema.index source_schema) key in
+  let put source view =
+    if not (Schema.equal (Table.schema view) view_schema) then
+      Lens.shape_errorf "project lens: view schema %s does not match %s"
+        (Schema.to_string (Table.schema view))
+        (Schema.to_string view_schema);
+    let old_by_key = Hashtbl.create (max 16 (Table.cardinality source)) in
+    List.iter
+      (fun r ->
+        Hashtbl.replace old_by_key
+          (List.map (fun i -> r.(i)) source_key_indices)
+          r)
+      (Table.rows source);
+    let restore view_row =
+      let k = List.map (fun i -> view_row.(i)) view_key_indices in
+      let recovered = Hashtbl.find_opt old_by_key k in
+      Row.of_list
+        (List.map
+           (function
+             | `Kept j -> view_row.(j)
+             | `Dropped (i, default) -> (
+                 match recovered with
+                 | Some old_row -> old_row.(i)
+                 | None -> default))
+           column_plan)
+    in
+    Table.of_rows source_schema (List.map restore (Table.rows view))
+  in
+  Lens.v
+    ~name:(Printf.sprintf "project [%s]" (String.concat "," keep))
+    ~get:(Algebra.project keep)
+    ~put ()
+
+(** [rename mapping]: bijective column renaming; an iso lens. *)
+let rename (mapping : (string * string) list) : (Table.t, Table.t) Lens.t =
+  let inverse = List.map (fun (a, b) -> (b, a)) mapping in
+  Lens.v
+    ~name:
+      (Printf.sprintf "rename [%s]"
+         (String.concat ","
+            (List.map (fun (a, b) -> a ^ ">" ^ b) mapping)))
+    ~get:(Algebra.rename mapping)
+    ~put:(fun _ view -> Algebra.rename inverse view)
+    ()
+
+(** [drop column ~key schema]: drop a single column (projection keeping
+    the rest). *)
+let drop (column : string) ~(key : string list) (schema : Schema.t) :
+    (Table.t, Table.t) Lens.t =
+  let keep =
+    List.filter
+      (fun n -> not (String.equal n column))
+      (Schema.column_names schema)
+  in
+  Lens.with_name (Printf.sprintf "drop %s" column)
+    (project ~keep ~key schema)
+
+(** [join ~left ~right]: the view is the natural join of two stored
+    tables; the source is the pair.  Put policy (a simplified
+    Bohannon-Pierce "join template"):
+
+    - the left table is replaced by the view's projection onto the left
+      schema;
+    - the right table keeps its rows for keys absent from the view and
+      takes the view's projection onto the right schema for keys present.
+
+    Well-behaved on sources where (i) the shared columns are a key of the
+    right table and (ii) every left row joins (no dangling left rows) —
+    the standard functional-dependency conditions for relational join
+    lenses.  [put] raises {!Esm_lens.Lens.Shape_error} if the view schema
+    does not match the join schema. *)
+let join ~(left : Schema.t) ~(right : Schema.t) :
+    (Table.t * Table.t, Table.t) Lens.t =
+  let shared = Schema.shared left right in
+  let right_rest =
+    List.filter
+      (fun n -> not (List.mem n shared))
+      (Schema.column_names right)
+  in
+  let join_schema =
+    Schema.make
+      (Schema.columns left
+      @ List.map (fun n -> (n, Schema.ty_of right n)) right_rest)
+  in
+  let key_of schema row = List.map (Row.get schema row) shared in
+  let put (_l, r) view =
+    if not (Schema.equal (Table.schema view) join_schema) then
+      Lens.shape_errorf "join lens: view schema %s does not match %s"
+        (Schema.to_string (Table.schema view))
+        (Schema.to_string join_schema);
+    let new_left =
+      Table.of_rows left
+        (List.map
+           (Row.project join_schema (Schema.column_names left))
+           (Table.rows view))
+    in
+    let view_keys = List.map (key_of join_schema) (Table.rows view) in
+    let untouched_right =
+      Table.filter
+        (fun row ->
+          not
+            (List.exists
+               (List.for_all2 Value.equal (key_of right row))
+               view_keys))
+        r
+    in
+    let new_right_rows =
+      List.map
+        (Row.project join_schema (Schema.column_names right))
+        (Table.rows view)
+    in
+    let new_right =
+      Algebra.union untouched_right (Table.of_rows right new_right_rows)
+    in
+    (new_left, new_right)
+  in
+  Lens.v ~name:"join"
+    ~get:(fun (l, r) -> Algebra.join l r)
+    ~put ()

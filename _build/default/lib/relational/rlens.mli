@@ -1,0 +1,38 @@
+(** Relational lenses: asymmetric lenses between tables, in the spirit of
+    Bohannon, Pierce & Vaughan's "Relational lenses" (PODS 2006).
+    Composing them with {!Esm_core.Of_lens} gives an entangled state
+    monad whose A side is the stored table and whose B side is the view.
+
+    Well-behavedness caveats (as in the relational-lenses literature) are
+    documented per lens; the property suites in [test/test_rlens.ml]
+    generate sources and views inside those domains. *)
+
+val select : Pred.t -> (Table.t, Table.t) Esm_lens.Lens.t
+(** The view is the subtable satisfying the predicate.  [put] keeps the
+    non-matching source rows and replaces the matching ones by the view;
+    it raises {!Esm_lens.Lens.Shape_error} if a view row violates the
+    predicate.  Very well-behaved on predicate-respecting views. *)
+
+val project :
+  keep:string list -> key:string list -> Schema.t ->
+  (Table.t, Table.t) Esm_lens.Lens.t
+(** The view keeps columns [keep] (in order); [key ⊆ keep] identifies
+    rows.  [put] recovers each dropped column from the old source row
+    with the same key (hashtable-indexed), defaulting for fresh keys.
+    Well-behaved on sources satisfying the FD [key -> dropped]. *)
+
+val rename : (string * string) list -> (Table.t, Table.t) Esm_lens.Lens.t
+(** Bijective column renaming; an iso, hence very well-behaved. *)
+
+val drop :
+  string -> key:string list -> Schema.t -> (Table.t, Table.t) Esm_lens.Lens.t
+(** Drop a single column (projection keeping the rest). *)
+
+val join :
+  left:Schema.t -> right:Schema.t ->
+  (Table.t * Table.t, Table.t) Esm_lens.Lens.t
+(** The view is the natural join of the two stored tables.  [put]
+    replaces the left table by the view's left projection and updates
+    the right table by key, keeping unjoined right rows.  Well-behaved
+    when the shared columns key the right table and every left row
+    joins. *)

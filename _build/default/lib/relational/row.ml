@@ -1,0 +1,49 @@
+(** Rows: flat arrays of values laid out according to a schema. *)
+
+type t = Value.t array
+
+let of_list (vs : Value.t list) : t = Array.of_list vs
+let to_list (r : t) : Value.t list = Array.to_list r
+
+let get (schema : Schema.t) (r : t) (column : string) : Value.t =
+  r.(Schema.index schema column)
+
+let set (schema : Schema.t) (r : t) (column : string) (v : Value.t) : t =
+  let r' = Array.copy r in
+  r'.(Schema.index schema column) <- v;
+  r'
+
+(** Does the row match the schema's arity and column types? *)
+let conforms (schema : Schema.t) (r : t) : bool =
+  Array.length r = Schema.arity schema
+  && List.for_all2
+       (fun (_, ty) v -> Value.equal_ty ty (Value.type_of v))
+       (Schema.columns schema) (to_list r)
+
+(** Restrict a row to the named columns, in the order given. *)
+let project (schema : Schema.t) (columns : string list) (r : t) : t =
+  Array.of_list (List.map (get schema r) columns)
+
+let concat (r1 : t) (r2 : t) : t = Array.append r1 r2
+
+let equal (r1 : t) (r2 : t) : bool =
+  Array.length r1 = Array.length r2
+  && Array.for_all2 Value.equal r1 r2
+
+let compare (r1 : t) (r2 : t) : int =
+  let c = Int.compare (Array.length r1) (Array.length r2) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length r1 then 0
+      else
+        let c = Value.compare r1.(i) r2.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let pp fmt (r : t) =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", " (List.map Value.to_string (to_list r)))
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,24 @@
+(** Rows: flat arrays of values laid out according to a schema. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+val get : Schema.t -> t -> string -> Value.t
+(** Value of the named column. *)
+
+val set : Schema.t -> t -> string -> Value.t -> t
+(** Non-destructive single-column update. *)
+
+val conforms : Schema.t -> t -> bool
+(** Does the row match the schema's arity and column types? *)
+
+val project : Schema.t -> string list -> t -> t
+(** Restrict a row to the named columns, in the order given. *)
+
+val concat : t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

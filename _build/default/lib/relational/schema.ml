@@ -1,0 +1,76 @@
+(** Table schemas: an ordered list of distinct, typed column names. *)
+
+exception Schema_error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
+
+type t = { columns : (string * Value.ty) list }
+
+let make columns =
+  let names = List.map fst columns in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    errorf "duplicate column names in schema [%s]" (String.concat "; " names);
+  { columns }
+
+let columns t = t.columns
+let column_names t = List.map fst t.columns
+let arity t = List.length t.columns
+let mem t name = List.mem_assoc name t.columns
+
+let ty_of t name =
+  match List.assoc_opt name t.columns with
+  | Some ty -> ty
+  | None -> errorf "no column %s" name
+
+(** Position of a column in the row layout. *)
+let index t name =
+  let rec go i = function
+    | [] -> errorf "no column %s" name
+    | (n, _) :: _ when String.equal n name -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.columns
+
+let equal t1 t2 =
+  List.length t1.columns = List.length t2.columns
+  && List.for_all2
+       (fun (n1, ty1) (n2, ty2) -> String.equal n1 n2 && Value.equal_ty ty1 ty2)
+       t1.columns t2.columns
+
+(** Keep only the named columns, in the order given. *)
+let project t names =
+  make (List.map (fun n -> (n, ty_of t n)) names)
+
+(** Rename columns according to [mapping] (old name, new name); columns
+    not mentioned keep their names. *)
+let rename t mapping =
+  let rename_one n =
+    match List.assoc_opt n mapping with Some n' -> n' | None -> n
+  in
+  make (List.map (fun (n, ty) -> (rename_one n, ty)) t.columns)
+
+(** Concatenation for cartesian product; column names must be disjoint. *)
+let concat t1 t2 =
+  make (t1.columns @ t2.columns)
+
+(** Columns common to both schemas (for natural join); their types must
+    agree. *)
+let shared t1 t2 =
+  List.filter_map
+    (fun (n, ty) ->
+      match List.assoc_opt n t2.columns with
+      | Some ty2 ->
+          if Value.equal_ty ty ty2 then Some n
+          else errorf "shared column %s has conflicting types" n
+      | None -> None)
+    t1.columns
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun (n, ty) -> n ^ ":" ^ Value.type_to_string ty)
+          t.columns))
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,42 @@
+(** Table schemas: an ordered list of distinct, typed column names. *)
+
+exception Schema_error of string
+
+val errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Schema_error} with a formatted message. *)
+
+type t
+
+val make : (string * Value.ty) list -> t
+(** Build a schema; raises {!Schema_error} on duplicate column names. *)
+
+val columns : t -> (string * Value.ty) list
+val column_names : t -> string list
+val arity : t -> int
+val mem : t -> string -> bool
+
+val ty_of : t -> string -> Value.ty
+(** Type of a column; raises {!Schema_error} if absent. *)
+
+val index : t -> string -> int
+(** Position of a column in the row layout; raises {!Schema_error} if
+    absent. *)
+
+val equal : t -> t -> bool
+
+val project : t -> string list -> t
+(** Keep only the named columns, in the order given. *)
+
+val rename : t -> (string * string) list -> t
+(** Rename columns per the (old, new) mapping; unmentioned columns keep
+    their names. *)
+
+val concat : t -> t -> t
+(** Concatenation for cartesian product; column names must be disjoint. *)
+
+val shared : t -> t -> string list
+(** Columns common to both schemas (for natural join); their types must
+    agree. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

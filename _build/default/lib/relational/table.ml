@@ -1,0 +1,82 @@
+(** Tables with set semantics: rows are kept sorted and deduplicated, so
+    structural equality of tables is relational equality. *)
+
+exception Table_error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Table_error s)) fmt
+
+type t = { schema : Schema.t; rows : Row.t list (* sorted, distinct *) }
+
+let normalise rows = List.sort_uniq Row.compare rows
+
+let of_rows (schema : Schema.t) (rows : Row.t list) : t =
+  List.iter
+    (fun r ->
+      if not (Row.conforms schema r) then
+        errorf "row %s does not conform to schema %s" (Row.to_string r)
+          (Schema.to_string schema))
+    rows;
+  { schema; rows = normalise rows }
+
+(** Build from value lists (convenience for examples and tests). *)
+let of_lists (schema : Schema.t) (rows : Value.t list list) : t =
+  of_rows schema (List.map Row.of_list rows)
+
+let empty (schema : Schema.t) : t = { schema; rows = [] }
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = List.length t.rows
+let mem t r = List.exists (Row.equal r) t.rows
+
+let insert t r =
+  if not (Row.conforms t.schema r) then
+    errorf "insert: row %s does not conform to schema %s" (Row.to_string r)
+      (Schema.to_string t.schema);
+  { t with rows = normalise (r :: t.rows) }
+
+let delete t r = { t with rows = List.filter (fun x -> not (Row.equal x r)) t.rows }
+
+let filter (keep : Row.t -> bool) t = { t with rows = List.filter keep t.rows }
+
+(** Map a per-row transformation; the result is renormalised under the new
+    schema. *)
+let map (schema' : Schema.t) (f : Row.t -> Row.t) t : t =
+  of_rows schema' (List.map f t.rows)
+
+let equal t1 t2 =
+  Schema.equal t1.schema t2.schema
+  && List.length t1.rows = List.length t2.rows
+  && List.for_all2 Row.equal t1.rows t2.rows
+
+let pp fmt t =
+  let widths =
+    List.mapi
+      (fun i (n, _) ->
+        List.fold_left
+          (fun w r -> max w (String.length (Value.to_string r.(i))))
+          (String.length n) t.rows)
+      (Schema.columns t.schema)
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let hline =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  Format.fprintf fmt "%s@\n" hline;
+  Format.fprintf fmt "|%s|@\n"
+    (String.concat "|"
+       (List.map2
+          (fun (n, _) w -> " " ^ pad n w ^ " ")
+          (Schema.columns t.schema) widths));
+  Format.fprintf fmt "%s@\n" hline;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "|%s|@\n"
+        (String.concat "|"
+           (List.mapi
+              (fun i w -> " " ^ pad (Value.to_string r.(i)) w ^ " ")
+              widths)))
+    t.rows;
+  Format.fprintf fmt "%s" hline
+
+let to_string t = Format.asprintf "%a" pp t

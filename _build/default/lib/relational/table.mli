@@ -1,0 +1,42 @@
+(** Tables with set semantics: rows are kept sorted and deduplicated, so
+    structural equality of tables is relational equality. *)
+
+exception Table_error of string
+
+val errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Table_error} with a formatted message. *)
+
+type t
+
+val of_rows : Schema.t -> Row.t list -> t
+(** Build a table; every row must conform to the schema (otherwise
+    {!Table_error}); rows are deduplicated and sorted. *)
+
+val of_lists : Schema.t -> Value.t list list -> t
+(** Convenience wrapper over {!of_rows}. *)
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+
+val rows : t -> Row.t list
+(** Rows in canonical (sorted) order. *)
+
+val cardinality : t -> int
+val mem : t -> Row.t -> bool
+
+val insert : t -> Row.t -> t
+(** Set insertion (idempotent); the row must conform to the schema. *)
+
+val delete : t -> Row.t -> t
+val filter : (Row.t -> bool) -> t -> t
+
+val map : Schema.t -> (Row.t -> Row.t) -> t -> t
+(** Per-row transformation; the result is renormalised under the new
+    schema. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** ASCII-art rendering with padded columns. *)
+
+val to_string : t -> string

@@ -1,0 +1,26 @@
+(** Atomic values stored in relational tables: the "database tables" the
+    paper's introduction names as a kind of model a bx synchronises. *)
+
+type t = Int of int | Str of string | Bool of bool
+[@@deriving eq, ord, show { with_path = false }]
+
+type ty = Tint | Tstr | Tbool [@@deriving eq, ord, show { with_path = false }]
+
+let type_of = function Int _ -> Tint | Str _ -> Tstr | Bool _ -> Tbool
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let type_to_string = function
+  | Tint -> "int"
+  | Tstr -> "string"
+  | Tbool -> "bool"
+
+(** A canonical default of each type, used by lenses that must invent
+    values for dropped columns. *)
+let default_of_type = function
+  | Tint -> Int 0
+  | Tstr -> Str ""
+  | Tbool -> Bool false

@@ -1,0 +1,15 @@
+(** Atomic values stored in relational tables: the "database tables" the
+    paper's introduction names as a kind of model a bx synchronises. *)
+
+type t = Int of int | Str of string | Bool of bool
+[@@deriving eq, ord, show]
+
+type ty = Tint | Tstr | Tbool [@@deriving eq, ord, show]
+
+val type_of : t -> ty
+val to_string : t -> string
+val type_to_string : ty -> string
+
+val default_of_type : ty -> t
+(** A canonical default of each type, used by lenses that must invent
+    values for dropped columns. *)

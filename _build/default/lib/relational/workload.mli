@@ -1,0 +1,21 @@
+(** Deterministic workload generation for benchmarks and examples,
+    driven by a seeded linear congruential generator so runs are
+    reproducible. *)
+
+type rng
+
+val rng : seed:int -> rng
+val next : rng -> int
+val int : rng -> int -> int
+val pick : rng -> 'a list -> 'a
+
+val employees_schema : Schema.t
+(** [(id:int, name:string, dept:string, salary:int, email:string)]. *)
+
+val employees : seed:int -> size:int -> Table.t
+(** An employees table with [size] rows and unique ids, satisfying the
+    functional dependency [id -> *]. *)
+
+val engineering_view : seed:int -> size:int -> Table.t
+(** A select+project view over {!employees}, used as updated views in
+    put benchmarks. *)

@@ -1,0 +1,1 @@
+lib/symlens/symlens.ml: Either Esm_laws Esm_lens List Printf

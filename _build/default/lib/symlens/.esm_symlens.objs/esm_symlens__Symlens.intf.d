@@ -1,0 +1,1 @@
+lib/symlens/symlens.mli: Either Esm_lens

@@ -1,0 +1,1 @@
+lib/symlens/symlens_laws.ml: Esm_laws Gen QCheck Symlens

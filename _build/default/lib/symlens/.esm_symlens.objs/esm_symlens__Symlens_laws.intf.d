@@ -1,0 +1,1 @@
+lib/symlens/symlens_laws.mli: Esm_laws QCheck Symlens

@@ -1,0 +1,371 @@
+(** Symmetric lenses (Hofmann, Pierce, Wagner; POPL 2011) — reference [2]
+    of the paper and the input to its Lemma 6.
+
+    A symmetric lens between ['a] and ['b] consists of a complement type
+    ['c], an initial complement, and two functions
+
+    - [put_r : 'a -> 'c -> 'b * 'c]
+    - [put_l : 'b -> 'c -> 'a * 'c]
+
+    satisfying
+
+    - (PutRL) [put_r a c = (b, c')] implies [put_l b c' = (a, c')]
+    - (PutLR) [put_l b c = (a, c')] implies [put_r a c' = (b, c')]
+
+    The complement type is existential: a first-class lens hides it behind
+    a GADT constructor.  An equality on complements is carried alongside so
+    that the laws (which assert complement stability) remain checkable.
+
+    {!to_instance} re-exposes the complement as a module, which is the form
+    consumed by {!Esm_core.Of_symmetric} (the paper's Lemma 6 needs the
+    complement visible to build the state monad over consistent triples). *)
+
+(** Module form: complement visible as an abstract type. *)
+module type INSTANCE = sig
+  type a
+  type b
+  type c
+
+  val name : string
+
+  val init : c
+  (** The "missing" complement used before any synchronisation. *)
+
+  val put_r : a -> c -> b * c
+  val put_l : b -> c -> a * c
+  val equal_c : c -> c -> bool
+end
+
+(** The visible-complement representation underlying the first-class
+    form. *)
+type ('a, 'b, 'c) repr = {
+  name : string;
+  init : 'c;
+  put_r : 'a -> 'c -> 'b * 'c;
+  put_l : 'b -> 'c -> 'a * 'c;
+  equal_c : 'c -> 'c -> bool;
+}
+
+(** First-class form: the complement is existentially quantified. *)
+type ('a, 'b) t = Sym : ('a, 'b, 'c) repr -> ('a, 'b) t
+
+let name (Sym l) = l.name
+
+let v ?(name = "<symlens>") ~init ~put_r ~put_l ~equal_c () =
+  Sym { name; init; put_r; put_l; equal_c }
+
+let to_instance (type x y) (sym : (x, y) t) :
+    (module INSTANCE with type a = x and type b = y) =
+  match sym with
+  | Sym (type c0) (l : (x, y, c0) repr) ->
+      (module struct
+        type a = x
+        type b = y
+        type c = c0
+
+        let name = l.name
+        let init = l.init
+        let put_r = l.put_r
+        let put_l = l.put_l
+        let equal_c = l.equal_c
+      end
+      : INSTANCE with type a = x and type b = y)
+
+let of_instance (type x y) (module I : INSTANCE with type a = x and type b = y)
+    : (x, y) t =
+  Sym
+    {
+      name = I.name;
+      init = I.init;
+      put_r = I.put_r;
+      put_l = I.put_l;
+      equal_c = I.equal_c;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Driving a symmetric lens: a pure synchroniser that hides the
+   complement behind a corecursive closure.                             *)
+(* ------------------------------------------------------------------ *)
+
+(** A running synchroniser: push an update in from either side and receive
+    the propagated value on the other side plus the next synchroniser. *)
+type ('a, 'b) sync = {
+  push_r : 'a -> 'b * ('a, 'b) sync;
+  push_l : 'b -> 'a * ('a, 'b) sync;
+}
+
+let start (Sym l : ('a, 'b) t) : ('a, 'b) sync =
+  let rec at c =
+    {
+      push_r =
+        (fun a ->
+          let b, c' = l.put_r a c in
+          (b, at c'));
+      push_l =
+        (fun b ->
+          let a, c' = l.put_l b c in
+          (a, at c'));
+    }
+  in
+  at l.init
+
+(* ------------------------------------------------------------------ *)
+(* Constructions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** The identity symmetric lens (trivial complement). *)
+let id () : ('a, 'a) t =
+  Sym
+    {
+      name = "id";
+      init = ();
+      put_r = (fun a () -> (a, ()));
+      put_l = (fun a () -> (a, ()));
+      equal_c = (fun () () -> true);
+    }
+
+(** Reverse the orientation. *)
+let inv (Sym l : ('a, 'b) t) : ('b, 'a) t =
+  Sym
+    {
+      name = "inv " ^ l.name;
+      init = l.init;
+      put_r = l.put_l;
+      put_l = l.put_r;
+      equal_c = l.equal_c;
+    }
+
+(** A symmetric lens from a bijection. *)
+let of_iso ?(name = "iso") (fwd : 'a -> 'b) (bwd : 'b -> 'a) : ('a, 'b) t =
+  Sym
+    {
+      name;
+      init = ();
+      put_r = (fun a () -> (fwd a, ()));
+      put_l = (fun b () -> (bwd b, ()));
+      equal_c = (fun () () -> true);
+    }
+
+(** Embed an asymmetric lens (HPW, Section 4 of their paper): the
+    complement remembers the last source, so [put_l] can use [Esm_lens.Lens.put];
+    [create] builds a source from scratch when the view arrives before any
+    source has been seen. *)
+let of_lens ?(name : string option) ~(create : 'v -> 's)
+    ~(eq_s : 's -> 's -> bool) (l : ('s, 'v) Esm_lens.Lens.t) : ('s, 'v) t =
+  let name = match name with Some n -> n | None -> "of_lens " ^ Esm_lens.Lens.name l in
+  Sym
+    {
+      name;
+      init = None;
+      put_r = (fun s _ -> (Esm_lens.Lens.get l s, Some s));
+      put_l =
+        (fun v c ->
+          let s =
+            match c with Some s -> Esm_lens.Lens.put l s v | None -> create v
+          in
+          (s, Some s));
+      equal_c = Esm_laws.Equality.option eq_s;
+    }
+
+(** The terminal lens into [unit]: the complement stores the whole ['a]
+    so that [put_l] can restore it. *)
+let term ~(default : 'a) ~(eq : 'a -> 'a -> bool) : ('a, unit) t =
+  Sym
+    {
+      name = "term";
+      init = default;
+      put_r = (fun a _ -> ((), a));
+      put_l = (fun () c -> (c, c));
+      equal_c = eq;
+    }
+
+(** The fully disconnected lens: updates on either side do not propagate;
+    the complement stores both current values. *)
+let disconnect ~(default_a : 'a) ~(default_b : 'b) ~(eq_a : 'a -> 'a -> bool)
+    ~(eq_b : 'b -> 'b -> bool) : ('a, 'b) t =
+  Sym
+    {
+      name = "disconnect";
+      init = (default_a, default_b);
+      put_r = (fun a (_, b) -> (b, (a, b)));
+      put_l = (fun b (a, _) -> (a, (a, b)));
+      equal_c = Esm_laws.Equality.pair eq_a eq_b;
+    }
+
+(** Sequential composition: complements pair up. *)
+let compose (Sym l1 : ('a, 'b) t) (Sym l2 : ('b, 'c) t) : ('a, 'c) t =
+  Sym
+    {
+      name = l1.name ^ " ; " ^ l2.name;
+      init = (l1.init, l2.init);
+      put_r =
+        (fun a (c1, c2) ->
+          let b, c1' = l1.put_r a c1 in
+          let x, c2' = l2.put_r b c2 in
+          (x, (c1', c2')));
+      put_l =
+        (fun x (c1, c2) ->
+          let b, c2' = l2.put_l x c2 in
+          let a, c1' = l1.put_l b c1 in
+          (a, (c1', c2')));
+      equal_c = Esm_laws.Equality.pair l1.equal_c l2.equal_c;
+    }
+
+(** Tensor product: synchronise two pairs componentwise. *)
+let tensor (Sym l1 : ('a1, 'b1) t) (Sym l2 : ('a2, 'b2) t) :
+    ('a1 * 'a2, 'b1 * 'b2) t =
+  Sym
+    {
+      name = Printf.sprintf "(%s (x) %s)" l1.name l2.name;
+      init = (l1.init, l2.init);
+      put_r =
+        (fun (a1, a2) (c1, c2) ->
+          let b1, c1' = l1.put_r a1 c1 in
+          let b2, c2' = l2.put_r a2 c2 in
+          ((b1, b2), (c1', c2')));
+      put_l =
+        (fun (b1, b2) (c1, c2) ->
+          let a1, c1' = l1.put_l b1 c1 in
+          let a2, c2' = l2.put_l b2 c2 in
+          ((a1, a2), (c1', c2')));
+      equal_c = Esm_laws.Equality.pair l1.equal_c l2.equal_c;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Observational runs (used by tests and by Symlens_laws)              *)
+(* ------------------------------------------------------------------ *)
+
+(** A single update pushed in from one side. *)
+type ('a, 'b) step = Push_r of 'a | Push_l of 'b
+
+(** Run a sequence of steps from the initial complement, collecting the
+    values that emerge on the opposite side. *)
+let run (lens : ('a, 'b) t) (steps : ('a, 'b) step list) :
+    ('a, 'b) step list =
+  let _, outputs =
+    List.fold_left
+      (fun (sync, acc) step ->
+        match step with
+        | Push_r a ->
+            let b, sync' = sync.push_r a in
+            (sync', Push_l b :: acc)
+        | Push_l b ->
+            let a, sync' = sync.push_l b in
+            (sync', Push_r a :: acc))
+      (start lens, []) steps
+  in
+  List.rev outputs
+
+let equal_step ~eq_a ~eq_b s1 s2 =
+  match (s1, s2) with
+  | Push_r a1, Push_r a2 -> eq_a a1 a2
+  | Push_l b1, Push_l b2 -> eq_b b1 b2
+  | Push_r _, Push_l _ | Push_l _, Push_r _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pointwise law checks (on complements reached by a given walk)       *)
+(* ------------------------------------------------------------------ *)
+
+(** Check (PutRL) at the complement reached from [init] by [steps], with
+    the fresh update [a]:
+    [put_r a c = (b, c')] must imply [put_l b c' = (a, c')]. *)
+let put_rl_at ~(eq_a : 'a -> 'a -> bool) (Sym l : ('a, 'b) t)
+    (steps : ('a, 'b) step list) (a : 'a) : bool =
+  let c =
+    List.fold_left
+      (fun c -> function
+        | Push_r a -> snd (l.put_r a c)
+        | Push_l b -> snd (l.put_l b c))
+      l.init steps
+  in
+  let b, c' = l.put_r a c in
+  let a', c'' = l.put_l b c' in
+  eq_a a a' && l.equal_c c' c''
+
+(** Check (PutLR) symmetrically. *)
+let put_lr_at ~(eq_b : 'b -> 'b -> bool) (Sym l : ('a, 'b) t)
+    (steps : ('a, 'b) step list) (b : 'b) : bool =
+  let c =
+    List.fold_left
+      (fun c -> function
+        | Push_r a -> snd (l.put_r a c)
+        | Push_l b -> snd (l.put_l b c))
+      l.init steps
+  in
+  let a, c' = l.put_l b c in
+  let b', c'' = l.put_r a c' in
+  eq_b b b' && l.equal_c c' c''
+
+(** Map a symmetric lens over lists, elementwise (HPW's list mapping
+    lens).  The complement is a list of element complements; when one
+    side grows, fresh elements run against the lens's initial complement;
+    when it shrinks, trailing complements are discarded.  (PutRL)/(PutLR)
+    hold because a re-pushed list has the same length as the one that
+    just emerged. *)
+let list_map (Sym l : ('a, 'b) t) : ('a list, 'b list) t =
+  let rec zip_with_init step xs cs =
+    match (xs, cs) with
+    | [], _ -> ([], [])
+    | x :: xs', c :: cs' ->
+        let y, c1 = step x c in
+        let ys, cs1 = zip_with_init step xs' cs' in
+        (y :: ys, c1 :: cs1)
+    | x :: xs', [] ->
+        let y, c1 = step x l.init in
+        let ys, cs1 = zip_with_init step xs' [] in
+        (y :: ys, c1 :: cs1)
+  in
+  Sym
+    {
+      name = "list_map " ^ l.name;
+      init = [];
+      put_r = (fun xs cs -> zip_with_init l.put_r xs cs);
+      put_l = (fun ys cs -> zip_with_init l.put_l ys cs);
+      equal_c = Esm_laws.Equality.list l.equal_c;
+    }
+
+(** Sum of two symmetric lenses: synchronise [Either] values, switching
+    lens by the constructor.  Both complements are retained so that
+    switching back and forth does not lose either side's memory. *)
+let sum (Sym l1 : ('a1, 'b1) t) (Sym l2 : ('a2, 'b2) t) :
+    (('a1, 'a2) Either.t, ('b1, 'b2) Either.t) t =
+  Sym
+    {
+      name = Printf.sprintf "(%s (+) %s)" l1.name l2.name;
+      init = (l1.init, l2.init);
+      put_r =
+        (fun x (c1, c2) ->
+          match x with
+          | Either.Left a ->
+              let b, c1' = l1.put_r a c1 in
+              (Either.Left b, (c1', c2))
+          | Either.Right a ->
+              let b, c2' = l2.put_r a c2 in
+              (Either.Right b, (c1, c2')));
+      put_l =
+        (fun y (c1, c2) ->
+          match y with
+          | Either.Left b ->
+              let a, c1' = l1.put_l b c1 in
+              (Either.Left a, (c1', c2))
+          | Either.Right b ->
+              let a, c2' = l2.put_l b c2 in
+              (Either.Right a, (c1, c2')));
+      equal_c = Esm_laws.Equality.pair l1.equal_c l2.equal_c;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Observational equivalence                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Do the two lenses produce the same outputs on this step sequence
+    (run from each lens's own initial complement)?  HPW quotient
+    symmetric lenses by exactly this observational equivalence so that
+    composition is associative and [id] is a unit; agreement on all
+    finite step sequences is the definition, and sampling sequences
+    gives the practical check ({!Symlens_laws} offers the QCheck
+    wrapper). *)
+let equivalent_on ~(eq_a : 'a -> 'a -> bool) ~(eq_b : 'b -> 'b -> bool)
+    (l1 : ('a, 'b) t) (l2 : ('a, 'b) t) (steps : ('a, 'b) step list) : bool =
+  Esm_laws.Equality.list (equal_step ~eq_a ~eq_b) (run l1 steps)
+    (run l2 steps)

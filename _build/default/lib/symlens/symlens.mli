@@ -1,0 +1,158 @@
+(** Symmetric lenses (Hofmann, Pierce, Wagner; POPL 2011) — reference [2]
+    of the paper and the input to its Lemma 6.
+
+    A symmetric lens between ['a] and ['b] consists of a complement type
+    ['c], an initial complement, and two propagation functions
+
+    - [put_r : 'a -> 'c -> 'b * 'c]
+    - [put_l : 'b -> 'c -> 'a * 'c]
+
+    satisfying
+
+    - (PutRL) [put_r a c = (b, c')] implies [put_l b c' = (a, c')]
+    - (PutLR) [put_l b c = (a, c')] implies [put_r a c' = (b, c')].
+
+    The complement type is existential in the first-class form; an
+    equality on complements travels with the lens so the laws (which
+    assert complement stability) remain checkable.  {!to_instance}
+    re-exposes the complement as a module, the form consumed by
+    {!Esm_core.Of_symmetric} (Lemma 6 needs the complement visible to
+    build the state monad over consistent triples). *)
+
+(** Module form: complement visible as an abstract type. *)
+module type INSTANCE = sig
+  type a
+  type b
+  type c
+
+  val name : string
+
+  val init : c
+  (** The "missing" complement used before any synchronisation. *)
+
+  val put_r : a -> c -> b * c
+  val put_l : b -> c -> a * c
+  val equal_c : c -> c -> bool
+end
+
+(** The visible-complement representation underlying the first-class
+    form. *)
+type ('a, 'b, 'c) repr = {
+  name : string;
+  init : 'c;
+  put_r : 'a -> 'c -> 'b * 'c;
+  put_l : 'b -> 'c -> 'a * 'c;
+  equal_c : 'c -> 'c -> bool;
+}
+
+(** First-class form: the complement is existentially quantified. *)
+type ('a, 'b) t = Sym : ('a, 'b, 'c) repr -> ('a, 'b) t
+
+val name : ('a, 'b) t -> string
+
+val v :
+  ?name:string ->
+  init:'c ->
+  put_r:('a -> 'c -> 'b * 'c) ->
+  put_l:('b -> 'c -> 'a * 'c) ->
+  equal_c:('c -> 'c -> bool) ->
+  unit ->
+  ('a, 'b) t
+
+val to_instance :
+  ('a, 'b) t -> (module INSTANCE with type a = 'a and type b = 'b)
+
+val of_instance :
+  (module INSTANCE with type a = 'a and type b = 'b) -> ('a, 'b) t
+
+(** {1 Driving a lens} *)
+
+(** A running synchroniser: push an update in from either side, receive
+    the propagated value and the next synchroniser.  Hides the
+    complement behind a corecursive closure. *)
+type ('a, 'b) sync = {
+  push_r : 'a -> 'b * ('a, 'b) sync;
+  push_l : 'b -> 'a * ('a, 'b) sync;
+}
+
+val start : ('a, 'b) t -> ('a, 'b) sync
+
+(** A single update pushed in from one side. *)
+type ('a, 'b) step = Push_r of 'a | Push_l of 'b
+
+val run : ('a, 'b) t -> ('a, 'b) step list -> ('a, 'b) step list
+(** Run a sequence of steps from the initial complement, collecting the
+    values that emerge on the opposite side (as opposite-tagged steps). *)
+
+val equal_step :
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) step -> ('a, 'b) step -> bool
+
+(** {1 Constructions} *)
+
+val id : unit -> ('a, 'a) t
+(** The identity lens (trivial complement). *)
+
+val inv : ('a, 'b) t -> ('b, 'a) t
+(** Reverse the orientation. *)
+
+val of_iso : ?name:string -> ('a -> 'b) -> ('b -> 'a) -> ('a, 'b) t
+(** A symmetric lens from a bijection. *)
+
+val of_lens :
+  ?name:string ->
+  create:('v -> 's) ->
+  eq_s:('s -> 's -> bool) ->
+  ('s, 'v) Esm_lens.Lens.t ->
+  ('s, 'v) t
+(** Embed an asymmetric lens: the complement remembers the last source;
+    [create] builds one when a view arrives before any source. *)
+
+val term : default:'a -> eq:('a -> 'a -> bool) -> ('a, unit) t
+(** The terminal lens into [unit]; the complement stores the whole
+    value so it can be restored. *)
+
+val disconnect :
+  default_a:'a ->
+  default_b:'b ->
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) t
+(** No propagation in either direction; the complement stores both
+    current values. *)
+
+val compose : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t
+(** Sequential composition; complements pair up. *)
+
+val tensor : ('a1, 'b1) t -> ('a2, 'b2) t -> ('a1 * 'a2, 'b1 * 'b2) t
+(** Componentwise synchronisation of pairs. *)
+
+val list_map : ('a, 'b) t -> ('a list, 'b list) t
+(** Elementwise synchronisation of lists; fresh elements run against the
+    initial complement, shrinking discards trailing complements. *)
+
+val sum :
+  ('a1, 'b1) t -> ('a2, 'b2) t ->
+  (('a1, 'a2) Either.t, ('b1, 'b2) Either.t) t
+(** Synchronise [Either] values, switching lens by constructor; both
+    complements are retained across switches. *)
+
+(** {1 Pointwise law checks}
+
+    Evaluated at the complement reached from [init] by a given walk;
+    used by the QCheck suites in {!Symlens_laws}. *)
+
+val put_rl_at :
+  eq_a:('a -> 'a -> bool) -> ('a, 'b) t -> ('a, 'b) step list -> 'a -> bool
+
+val put_lr_at :
+  eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) step list -> 'b -> bool
+
+val equivalent_on :
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) t -> ('a, 'b) t -> ('a, 'b) step list -> bool
+(** Observational agreement on one step sequence (run from each lens's
+    initial complement) — the equivalence HPW quotient by.  Sample
+    sequences (e.g. with {!Symlens_laws.gen_steps}) to test it. *)

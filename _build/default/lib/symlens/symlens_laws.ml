@@ -1,0 +1,50 @@
+(** QCheck law suites for symmetric lenses: (PutRL) and (PutLR).
+
+    The laws quantify over complements; we sample them by random walks —
+    a generated sequence of {!Symlens.step} updates applied from the
+    initial complement — so that only {e reachable} complements are
+    tested, matching HPW's treatment of lenses up to reachability. *)
+
+let default_count = 300
+
+let gen_steps (gen_a : 'a QCheck.arbitrary) (gen_b : 'b QCheck.arbitrary) :
+    ('a, 'b) Symlens.step list QCheck.arbitrary =
+  let open QCheck in
+  list_of_size (Gen.int_bound 8)
+    (oneof
+       [
+         map (fun a -> Symlens.Push_r a) gen_a;
+         map (fun b -> Symlens.Push_l b) gen_b;
+       ])
+
+let put_rl ?(count = default_count) ~name (lens : ('a, 'b) Symlens.t)
+    ~(gen_a : 'a QCheck.arbitrary) ~(gen_b : 'b QCheck.arbitrary)
+    ~(eq_a : 'a Esm_laws.Equality.t) : QCheck.Test.t =
+  QCheck.Test.make ~count ~name:(name ^ " (PutRL)")
+    (QCheck.pair (gen_steps gen_a gen_b) gen_a)
+    (fun (steps, a) -> Symlens.put_rl_at ~eq_a lens steps a)
+
+let put_lr ?(count = default_count) ~name (lens : ('a, 'b) Symlens.t)
+    ~(gen_a : 'a QCheck.arbitrary) ~(gen_b : 'b QCheck.arbitrary)
+    ~(eq_b : 'b Esm_laws.Equality.t) : QCheck.Test.t =
+  QCheck.Test.make ~count ~name:(name ^ " (PutLR)")
+    (QCheck.pair (gen_steps gen_a gen_b) gen_b)
+    (fun (steps, b) -> Symlens.put_lr_at ~eq_b lens steps b)
+
+(** Both laws. *)
+let well_behaved ?count ~name lens ~gen_a ~gen_b ~eq_a ~eq_b :
+    QCheck.Test.t list =
+  [
+    put_rl ?count ~name lens ~gen_a ~gen_b ~eq_a;
+    put_lr ?count ~name lens ~gen_a ~gen_b ~eq_b;
+  ]
+
+(** QCheck test for observational equivalence of two symmetric lenses:
+    agreement on sampled step sequences — the HPW quotient relation. *)
+let equivalence ?(count = default_count) ~name (l1 : ('a, 'b) Symlens.t)
+    (l2 : ('a, 'b) Symlens.t) ~(gen_a : 'a QCheck.arbitrary)
+    ~(gen_b : 'b QCheck.arbitrary) ~(eq_a : 'a Esm_laws.Equality.t)
+    ~(eq_b : 'b Esm_laws.Equality.t) : QCheck.Test.t =
+  QCheck.Test.make ~count ~name
+    (gen_steps gen_a gen_b)
+    (Symlens.equivalent_on ~eq_a ~eq_b l1 l2)

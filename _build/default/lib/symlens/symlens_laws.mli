@@ -1,0 +1,52 @@
+(** QCheck law suites for symmetric lenses: (PutRL) and (PutLR), sampled
+    over complements reached by random walks from the initial one. *)
+
+val default_count : int
+
+val gen_steps :
+  'a QCheck.arbitrary ->
+  'b QCheck.arbitrary ->
+  ('a, 'b) Symlens.step list QCheck.arbitrary
+(** Random walks used to sample reachable complements. *)
+
+val put_rl :
+  ?count:int ->
+  name:string ->
+  ('a, 'b) Symlens.t ->
+  gen_a:'a QCheck.arbitrary ->
+  gen_b:'b QCheck.arbitrary ->
+  eq_a:'a Esm_laws.Equality.t ->
+  QCheck.Test.t
+
+val put_lr :
+  ?count:int ->
+  name:string ->
+  ('a, 'b) Symlens.t ->
+  gen_a:'a QCheck.arbitrary ->
+  gen_b:'b QCheck.arbitrary ->
+  eq_b:'b Esm_laws.Equality.t ->
+  QCheck.Test.t
+
+val well_behaved :
+  ?count:int ->
+  name:string ->
+  ('a, 'b) Symlens.t ->
+  gen_a:'a QCheck.arbitrary ->
+  gen_b:'b QCheck.arbitrary ->
+  eq_a:'a Esm_laws.Equality.t ->
+  eq_b:'b Esm_laws.Equality.t ->
+  QCheck.Test.t list
+(** Both laws. *)
+
+val equivalence :
+  ?count:int ->
+  name:string ->
+  ('a, 'b) Symlens.t ->
+  ('a, 'b) Symlens.t ->
+  gen_a:'a QCheck.arbitrary ->
+  gen_b:'b QCheck.arbitrary ->
+  eq_a:'a Esm_laws.Equality.t ->
+  eq_b:'b Esm_laws.Equality.t ->
+  QCheck.Test.t
+(** Observational equivalence on sampled step sequences — the HPW
+    quotient relation. *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Algbx Esm_algbx Esm_lens Esm_symlens Int Lens QCheck String

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Esm_lens Esm_relational List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_algbx.ml: Alcotest Algbx Algbx_laws Esm_algbx Esm_laws Fixtures Helpers Int List QCheck

@@ -1,0 +1,1 @@
+test/test_certify.ml: Alcotest Certify Concrete Esm_core Esm_laws Fixtures Format Int List Option String

@@ -1,0 +1,1 @@
+test/test_command.ml: Alcotest Command Concrete Esm_core Esm_laws Fixtures Helpers Int Journal List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Compose Concrete Concrete_laws Either Equivalence Esm_core Esm_laws Esm_lens Fixtures Helpers Int Program QCheck String

@@ -1,0 +1,1 @@
+test/test_config_lens.ml: Alcotest Config_lens Esm_core Esm_lens Helpers Lens Lens_laws List QCheck String

@@ -1,0 +1,1 @@
+test/test_delta_lens.ml: Alcotest Delta_lens Esm_laws Esm_lens Fixtures Helpers Int Lens QCheck String

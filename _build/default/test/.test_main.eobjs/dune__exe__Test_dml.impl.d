@@ -1,0 +1,1 @@
+test/test_dml.ml: Alcotest Algebra Dml Esm_relational Helpers List Pred QCheck Rlens Row Table Value Workload

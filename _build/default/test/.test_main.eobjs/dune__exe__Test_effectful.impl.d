@@ -1,0 +1,1 @@
+test/test_effectful.ml: Alcotest Bx_laws Concrete Effectful Esm_core Fixtures Helpers Int List String

@@ -1,0 +1,1 @@
+test/test_entanglement.ml: Alcotest Bx_laws Esm_core Fixtures Helpers Int Of_algebraic Of_lens Pair_bx String

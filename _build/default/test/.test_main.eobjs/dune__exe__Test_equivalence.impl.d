@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Concrete Equivalence Esm_core Esm_laws Fixtures Helpers Int Of_lens Program String

@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Algebra Esm_lens Esm_relational Fd Helpers List Pred QCheck Rlens Schema Table Value Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Algebra Certify Concrete Dml Effectful Esm_core Esm_lens Esm_relational Helpers Journal List Pred Printf Program Query Row Table Value Workload

@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Concrete Concrete_laws Esm_core Esm_laws Fixtures Helpers Int Journal List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_lens.ml: Alcotest Esm_laws Esm_lens Fixtures Fun Helpers Int Lens Lens_laws List QCheck String

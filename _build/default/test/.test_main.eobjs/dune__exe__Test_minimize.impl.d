@@ -1,0 +1,1 @@
+test/test_minimize.ml: Alcotest Concrete Equivalence Esm_core Esm_laws Fixtures Helpers Int Minimize QCheck

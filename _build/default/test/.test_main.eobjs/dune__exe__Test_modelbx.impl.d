@@ -1,0 +1,1 @@
+test/test_modelbx.ml: Alcotest Diff Esm_algbx Esm_core Esm_modelbx Fun Helpers List Mbx Metamodel Model Option QCheck String

@@ -1,0 +1,1 @@
+test/test_multiway.ml: Alcotest Concrete Concrete_laws Esm_core Esm_laws Esm_lens Fixtures Helpers Multiway QCheck String

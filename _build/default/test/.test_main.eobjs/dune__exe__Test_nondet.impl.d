@@ -1,0 +1,1 @@
+test/test_nondet.ml: Alcotest Bx_laws Esm_core Helpers Int List Nondet QCheck

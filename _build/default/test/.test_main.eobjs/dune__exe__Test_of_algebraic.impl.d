@@ -1,0 +1,1 @@
+test/test_of_algebraic.ml: Alcotest Bx_laws Esm_algbx Esm_core Fixtures Helpers Int List Of_algebraic QCheck

@@ -1,0 +1,1 @@
+test/test_of_lens.ml: Alcotest Bx_laws Esm_core Esm_laws Esm_lens Esm_relational Fixtures Helpers Int List Of_lens QCheck String

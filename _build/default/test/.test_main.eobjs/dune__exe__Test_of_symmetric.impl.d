@@ -1,0 +1,1 @@
+test/test_of_symmetric.ml: Alcotest Bx_laws Either Esm_core Esm_laws Esm_symlens Fixtures Helpers Int List Of_symmetric Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_partial.ml: Alcotest Bx_laws Concrete Esm_core Esm_laws Fixtures Helpers Int Partial QCheck

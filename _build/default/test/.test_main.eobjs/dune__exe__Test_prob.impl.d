@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Bx_laws Esm_core Esm_monad Fixtures Float Helpers Int List Prob QCheck

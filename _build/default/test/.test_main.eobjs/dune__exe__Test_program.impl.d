@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Concrete Equivalence Esm_core Esm_laws Fixtures Helpers List Program QCheck

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Algebra Esm_lens Esm_relational Helpers List Pred QCheck Query Row Schema String Table Value Workload

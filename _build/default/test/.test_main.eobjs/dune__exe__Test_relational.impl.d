@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Esm_relational Helpers List Option Pred QCheck Row Schema String Table Value Workload

@@ -1,0 +1,1 @@
+test/test_rlens.ml: Alcotest Algebra Esm_laws Esm_lens Esm_relational Helpers Lens List Pred QCheck Rlens Row Schema Table Value Workload

@@ -1,0 +1,1 @@
+test/test_span.ml: Alcotest Bx_laws Concrete Equivalence Esm_core Esm_laws Esm_lens Fixtures Helpers Int QCheck Span String

@@ -1,0 +1,1 @@
+test/test_symlens.ml: Alcotest Either Esm_laws Esm_symlens Fixtures Helpers Int List QCheck String Symlens Symlens_laws

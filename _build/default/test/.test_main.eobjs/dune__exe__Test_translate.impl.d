@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Bx_laws Concrete Effectful Equivalence Esm_core Esm_laws Esm_symlens Fixtures Helpers Int List Of_algebraic Of_lens Of_symmetric Printf QCheck String Translate

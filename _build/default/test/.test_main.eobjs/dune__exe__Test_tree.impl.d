@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Esm_lens Helpers Lens Lens_laws List Option QCheck Tree

@@ -1,0 +1,1 @@
+test/test_two_cell.ml: Alcotest Esm_core Esm_monad Fixtures Helpers Int List QCheck String Term

@@ -1,0 +1,113 @@
+(** Shared example structures: lenses, algebraic bx and symmetric lenses
+    reused across the suites.  Each is annotated with the laws it is
+    known to satisfy (and tested accordingly). *)
+
+open Esm_lens
+open Esm_algbx
+
+(* ------------------------------------------------------------------ *)
+(* A record source for lens tests                                      *)
+(* ------------------------------------------------------------------ *)
+
+type person = { name : string; age : int; email : string }
+
+let equal_person p1 p2 =
+  String.equal p1.name p2.name && Int.equal p1.age p2.age
+  && String.equal p1.email p2.email
+
+let gen_person : person QCheck.arbitrary =
+  QCheck.map
+    (fun (name, age, email) -> { name; age; email })
+    (QCheck.triple QCheck.small_string QCheck.small_nat QCheck.small_string)
+
+(** Field lenses on [person]: all very well-behaved. *)
+let name_lens : (person, string) Lens.t =
+  Lens.v ~name:"person.name" ~get:(fun p -> p.name)
+    ~put:(fun p name -> { p with name })
+    ()
+
+let age_lens : (person, int) Lens.t =
+  Lens.v ~name:"person.age" ~get:(fun p -> p.age)
+    ~put:(fun p age -> { p with age })
+    ()
+
+(** A deliberately broken lens: [put] forgets the view (violates
+    PutGet). *)
+let broken_lens : (person, int) Lens.t =
+  Lens.v ~name:"broken" ~get:(fun p -> p.age) ~put:(fun p _ -> p) ()
+
+(** A well-behaved but NOT very-well-behaved lens: the source remembers
+    how many times the (changing) view was written.  (GetPut)/(PutGet)
+    hold; (PutPut) fails because two writes bump the counter twice. *)
+type counted = { value : int; writes : int }
+
+let equal_counted c1 c2 = c1.value = c2.value && c1.writes = c2.writes
+
+let gen_counted : counted QCheck.arbitrary =
+  QCheck.map
+    (fun (value, writes) -> { value; writes })
+    (QCheck.pair QCheck.small_signed_int QCheck.small_nat)
+
+let counted_lens : (counted, int) Lens.t =
+  Lens.v ~name:"counted" ~get:(fun c -> c.value)
+    ~put:(fun c v ->
+      if v = c.value then c else { value = v; writes = c.writes + 1 })
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic bx on integers: parity consistency                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Consistency: [a] and [b] have the same parity.
+
+    [parity_undoable] restores by overwriting b's parity bit, which is
+    undoable; [parity_sticky] restores by incrementing until consistent,
+    which is correct and hippocratic but NOT undoable. *)
+let parity_undoable : (int, int) Algbx.t =
+  Algbx.v ~name:"parity-undoable"
+    ~consistent:(fun a b -> (a - b) mod 2 = 0)
+    ~fwd:(fun a b -> if (a - b) mod 2 = 0 then b else b + 1 - (2 * (b land 1)))
+    ~bwd:(fun a b -> if (a - b) mod 2 = 0 then a else a + 1 - (2 * (a land 1)))
+    ()
+
+let parity_sticky : (int, int) Algbx.t =
+  Algbx.v ~name:"parity-sticky"
+    ~consistent:(fun a b -> (a - b) mod 2 = 0)
+    ~fwd:(fun a b -> if (a - b) mod 2 = 0 then b else b + 1)
+    ~bwd:(fun a b -> if (a - b) mod 2 = 0 then a else a + 1)
+    ()
+
+(** A broken algebraic bx: fwd ignores consistency (violates Correct). *)
+let broken_algbx : (int, int) Algbx.t =
+  Algbx.v ~name:"broken"
+    ~consistent:(fun a b -> a = b)
+    ~fwd:(fun _ b -> b)
+    ~bwd:(fun a _ -> a)
+    ()
+
+let gen_parity_consistent : (int * int) QCheck.arbitrary =
+  QCheck.map
+    (fun (a, d) -> (a, a + (2 * d)))
+    (QCheck.pair QCheck.small_signed_int QCheck.small_signed_int)
+
+(* ------------------------------------------------------------------ *)
+(* Symmetric lenses                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Celsius/Fahrenheit-ish integer iso (scaled to stay exact). *)
+let double_iso : (int, int) Esm_symlens.Symlens.t =
+  Esm_symlens.Symlens.of_iso ~name:"double" (fun c -> 2 * c) (fun f -> f / 2)
+
+(** Symmetric lens from the person.name field lens. *)
+let name_symlens : (person, string) Esm_symlens.Symlens.t =
+  Esm_symlens.Symlens.of_lens
+    ~create:(fun name -> { name; age = 0; email = "" })
+    ~eq_s:equal_person name_lens
+
+(** A deliberately broken symmetric lens: [put_l] drops the pushed value
+    (violates PutLR). *)
+let broken_symlens : (int, int) Esm_symlens.Symlens.t =
+  Esm_symlens.Symlens.v ~name:"broken" ~init:0
+    ~put_r:(fun a _ -> (a, a))
+    ~put_l:(fun _ c -> (c, c))
+    ~equal_c:Int.equal ()

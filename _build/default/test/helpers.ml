@@ -1,0 +1,33 @@
+(** Shared helpers for the test suite. *)
+
+(** Convert a list of QCheck tests into alcotest cases. *)
+let q (tests : QCheck.Test.t list) : unit Alcotest.test_case list =
+  List.map QCheck_alcotest.to_alcotest tests
+
+(** Assert that a QCheck law test FAILS — used by the negative tests that
+    confirm the law harness can detect broken structures. *)
+let expect_law_failure (name : string) (t : QCheck.Test.t) :
+    unit Alcotest.test_case =
+  Alcotest.test_case name `Quick (fun () ->
+      match QCheck.Test.check_exn t with
+      | () -> Alcotest.failf "%s: law unexpectedly held" name
+      | exception QCheck.Test.Test_fail (_, _) -> ())
+
+(* Common generators. *)
+
+let small_int : int QCheck.arbitrary = QCheck.small_signed_int
+let short_string : string QCheck.arbitrary = QCheck.small_string
+
+let pair_int_string : (int * string) QCheck.arbitrary =
+  QCheck.pair small_int short_string
+
+(* Alcotest testables. *)
+
+let tree : Esm_lens.Tree.t Alcotest.testable =
+  Alcotest.testable Esm_lens.Tree.pp Esm_lens.Tree.equal
+
+let table : Esm_relational.Table.t Alcotest.testable =
+  Alcotest.testable Esm_relational.Table.pp Esm_relational.Table.equal
+
+let value : Esm_relational.Value.t Alcotest.testable =
+  Alcotest.testable Esm_relational.Value.pp Esm_relational.Value.equal

@@ -1,0 +1,146 @@
+(** Tests for algebraic bx: unit behaviour, the (Correct)/(Hippocratic)/
+    (Undoable) laws for each construction, the undoable/non-undoable
+    parity pair from the fixtures, and negative detection. *)
+
+open Esm_algbx
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let unit_tests =
+  [
+    test "identity restores by copying" `Quick (fun () ->
+        let bx = Algbx.identity ~eq:Int.equal in
+        check Alcotest.int "fwd" 5 (Algbx.fwd bx 5 9);
+        check Alcotest.int "bwd" 9 (Algbx.bwd bx 5 9));
+    test "parity_undoable flips the parity bit" `Quick (fun () ->
+        check Alcotest.int "fwd fixes" 5 (Algbx.fwd Fixtures.parity_undoable 7 4);
+        check Alcotest.int "fwd keeps consistent" 4
+          (Algbx.fwd Fixtures.parity_undoable 6 4));
+    test "parity_sticky increments to fix" `Quick (fun () ->
+        check Alcotest.int "fwd" 5 (Algbx.fwd Fixtures.parity_sticky 7 4));
+    test "converse swaps restorers" `Quick (fun () ->
+        let bx = Algbx.converse Fixtures.parity_undoable in
+        check Alcotest.bool "consistency swapped" true
+          (Algbx.consistent bx 3 7));
+    test "product works componentwise" `Quick (fun () ->
+        let bx = Algbx.product (Algbx.identity ~eq:Int.equal) Fixtures.parity_undoable in
+        let b1, b2 = Algbx.fwd bx (1, 2) (9, 9) in
+        check Alcotest.int "copied" 1 b1;
+        check Alcotest.int "parity fixed" 8 b2);
+    test "repair_fwd yields a consistent pair" `Quick (fun () ->
+        let a, b = Algbx.repair_fwd Fixtures.parity_sticky (3, 8) in
+        check Alcotest.bool "consistent" true
+          (Algbx.consistent Fixtures.parity_sticky a b));
+    test "of_lens consistency is get-agreement" `Quick (fun () ->
+        let bx = Algbx.of_lens ~eq_v:Int.equal Fixtures.age_lens in
+        let p = Fixtures.{ name = "n"; age = 3; email = "e" } in
+        check Alcotest.bool "consistent" true (Algbx.consistent bx p 3);
+        check Alcotest.bool "inconsistent" false (Algbx.consistent bx p 4);
+        check Alcotest.int "bwd puts" 9 (Algbx.bwd bx p 9).Fixtures.age);
+    test "trivial never repairs" `Quick (fun () ->
+        let bx = Algbx.trivial () in
+        check Alcotest.int "fwd" 9 (Algbx.fwd bx 1 9);
+        check Alcotest.int "bwd" 1 (Algbx.bwd bx 1 9));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Laws                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_identity_consistent : (int * int) QCheck.arbitrary =
+  QCheck.map (fun a -> (a, a)) Helpers.small_int
+
+let law_tests =
+  List.concat
+    [
+      Algbx_laws.well_behaved ~name:"identity" (Algbx.identity ~eq:Int.equal)
+        ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int
+        ~gen_consistent:gen_identity_consistent ~eq_a:Int.equal
+        ~eq_b:Int.equal;
+      Algbx_laws.undoable ~name:"identity" (Algbx.identity ~eq:Int.equal)
+        ~gen_consistent:gen_identity_consistent ~gen_a:Helpers.small_int
+        ~gen_b:Helpers.small_int ~eq_a:Int.equal ~eq_b:Int.equal;
+      Algbx_laws.well_behaved ~name:"parity_undoable" Fixtures.parity_undoable
+        ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int
+        ~gen_consistent:Fixtures.gen_parity_consistent ~eq_a:Int.equal
+        ~eq_b:Int.equal;
+      Algbx_laws.undoable ~name:"parity_undoable" Fixtures.parity_undoable
+        ~gen_consistent:Fixtures.gen_parity_consistent
+        ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int ~eq_a:Int.equal
+        ~eq_b:Int.equal;
+      Algbx_laws.well_behaved ~name:"parity_sticky" Fixtures.parity_sticky
+        ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int
+        ~gen_consistent:Fixtures.gen_parity_consistent ~eq_a:Int.equal
+        ~eq_b:Int.equal;
+      Algbx_laws.well_behaved ~name:"converse parity"
+        (Algbx.converse Fixtures.parity_undoable) ~gen_a:Helpers.small_int
+        ~gen_b:Helpers.small_int
+        ~gen_consistent:
+          (QCheck.map (fun (a, b) -> (b, a)) Fixtures.gen_parity_consistent)
+        ~eq_a:Int.equal ~eq_b:Int.equal;
+      Algbx_laws.well_behaved ~name:"product id*parity"
+        (Algbx.product (Algbx.identity ~eq:Int.equal) Fixtures.parity_undoable)
+        ~gen_a:(QCheck.pair Helpers.small_int Helpers.small_int)
+        ~gen_b:(QCheck.pair Helpers.small_int Helpers.small_int)
+        ~gen_consistent:
+          (QCheck.map
+             (fun ((a, _), (p, p')) -> ((a, p), (a, p')))
+             (QCheck.pair gen_identity_consistent
+                Fixtures.gen_parity_consistent))
+        ~eq_a:Esm_laws.Equality.(pair int int)
+        ~eq_b:Esm_laws.Equality.(pair int int);
+      Algbx_laws.well_behaved ~name:"of_lens age"
+        (Algbx.of_lens ~eq_v:Int.equal Fixtures.age_lens)
+        ~gen_a:Fixtures.gen_person ~gen_b:Helpers.small_int
+        ~gen_consistent:
+          (QCheck.map (fun p -> (p, p.Fixtures.age)) Fixtures.gen_person)
+        ~eq_a:Fixtures.equal_person ~eq_b:Int.equal;
+      Algbx_laws.well_behaved ~name:"trivial" (Algbx.trivial ())
+        ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int
+        ~gen_consistent:(QCheck.pair Helpers.small_int Helpers.small_int)
+        ~eq_a:Int.equal ~eq_b:Int.equal;
+      Algbx_laws.undoable ~name:"trivial" (Algbx.trivial ())
+        ~gen_consistent:(QCheck.pair Helpers.small_int Helpers.small_int)
+        ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int ~eq_a:Int.equal
+        ~eq_b:Int.equal;
+      (* compose_via: parity_undoable ; parity_undoable with middle
+         functionally determined by each side's parity. *)
+      (let mid x = x land 1 in
+       let composed =
+         Algbx.compose_via ~mid_of_a:mid ~mid_of_b:mid
+           (Algbx.v ~name:"a-par"
+              ~consistent:(fun a m -> a land 1 = m)
+              ~fwd:(fun a _ -> a land 1)
+              ~bwd:(fun a m -> if a land 1 = m then a else a + 1)
+              ())
+           (Algbx.v ~name:"par-b"
+              ~consistent:(fun m b -> b land 1 = m)
+              ~fwd:(fun m b -> if b land 1 = m then b else b + 1)
+              ~bwd:(fun m _ -> m)
+              ())
+       in
+       Algbx_laws.well_behaved ~name:"compose_via parity" composed
+         ~gen_a:QCheck.small_nat ~gen_b:QCheck.small_nat
+         ~gen_consistent:
+           (QCheck.map
+              (fun (a, b) -> (a, (2 * b) + (a land 1)))
+              (QCheck.pair QCheck.small_nat QCheck.small_nat))
+         ~eq_a:Int.equal ~eq_b:Int.equal);
+    ]
+
+let negative_tests =
+  [
+    Helpers.expect_law_failure "broken algbx fails Correct"
+      (List.hd
+         (Algbx_laws.correct ~name:"broken" Fixtures.broken_algbx
+            ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int));
+    Helpers.expect_law_failure "parity_sticky fails Undoable"
+      (List.hd
+         (Algbx_laws.undoable ~name:"parity_sticky" Fixtures.parity_sticky
+            ~gen_consistent:Fixtures.gen_parity_consistent
+            ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int ~eq_a:Int.equal
+            ~eq_b:Int.equal));
+  ]
+
+let suite = unit_tests @ Helpers.q law_tests @ negative_tests

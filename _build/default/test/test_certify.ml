@@ -1,0 +1,80 @@
+(** The programmatic certification API: agrees with the QCheck suites on
+    lawful instances, pinpoints violated laws with counterexamples on
+    broken ones. *)
+
+open Esm_core
+
+let values = [ -3; 0; 1; 2; 7 ]
+
+let certify_int packed =
+  Certify.certify ~values_a:values ~values_b:values ~eq_a:Int.equal
+    ~eq_b:Int.equal ~show_a:string_of_int ~show_b:string_of_int packed
+
+let find law (r : Certify.report) =
+  List.find (fun v -> String.equal v.Certify.law law) r.Certify.verdicts
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let parity_report =
+  certify_int
+    (Concrete.pack ~bx:(Concrete.of_algebraic Fixtures.parity_undoable)
+       ~init:(0, 0)
+       ~eq_state:Esm_laws.Equality.(pair int int))
+
+let pair_report =
+  certify_int
+    (Concrete.pack
+       ~bx:(Concrete.pair () : (int, int, int * int) Concrete.set_bx)
+       ~init:(0, 0)
+       ~eq_state:Esm_laws.Equality.(pair int int))
+
+(* A broken bx: set_a drops the sign of the value. *)
+let broken_report =
+  certify_int
+    (Concrete.pack
+       ~bx:
+         {
+           Concrete.name = "broken-abs";
+           get_a = fst;
+           get_b = snd;
+           set_a = (fun a (_, b) -> (abs a, b));
+           set_b = (fun b (a, _) -> (a, b));
+         }
+       ~init:(0, 0)
+       ~eq_state:Esm_laws.Equality.(pair int int))
+
+let suite =
+  [
+    test "lawful instances are certified well-behaved" `Quick (fun () ->
+        check Alcotest.bool "parity" true (Certify.well_behaved parity_report);
+        check Alcotest.bool "pair" true (Certify.well_behaved pair_report));
+    test "overwriteability and commutation are reported per instance" `Quick
+      (fun () ->
+        check Alcotest.bool "parity SS" true (find "SS_a" parity_report).Certify.holds;
+        check Alcotest.bool "parity commute" false
+          (find "commute" parity_report).Certify.holds;
+        check Alcotest.bool "pair commute" true
+          (find "commute" pair_report).Certify.holds);
+    test "a broken bx fails exactly the violated law" `Quick (fun () ->
+        check Alcotest.bool "not well-behaved" false
+          (Certify.well_behaved broken_report);
+        let sg_a = find "SG_a" broken_report in
+        check Alcotest.bool "SG_a violated" false sg_a.Certify.holds;
+        check Alcotest.bool "counterexample reported" true
+          (Option.is_some sg_a.Certify.counterexample);
+        (* the other side is untouched and stays lawful *)
+        check Alcotest.bool "SG_b fine" true (find "SG_b" broken_report).Certify.holds);
+    test "pp_report renders every verdict" `Quick (fun () ->
+        let rendered = Format.asprintf "%a" Certify.pp_report parity_report in
+        let contains needle =
+          let nl = String.length needle and hl = String.length rendered in
+          let rec go i =
+            i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        List.iter
+          (fun law -> check Alcotest.bool law true (contains law))
+          [ "GS_a"; "GS_b"; "SG_a"; "SG_b"; "SS_a"; "commute" ]);
+  ]

@@ -1,0 +1,182 @@
+(** The command-language optimizer: each optimization level preserves
+    semantics exactly on the instances with the matching laws, and
+    miscompiles (detectably) on instances without them. *)
+
+open Esm_core
+
+let parity_bx = Concrete.of_algebraic Fixtures.parity_undoable
+let pair_bx : (int, int, int * int) Concrete.set_bx = Concrete.pair ()
+
+let journal_bx =
+  Journal.journalled ~eq_a:Int.equal ~eq_b:Int.equal parity_bx
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* A generator of commands over ints, with named functions/predicates
+   so counterexamples print readably.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fns = [ (fun x -> x + 1); (fun x -> x * 2); (fun _ -> 7); (fun x -> x) ]
+let preds = [ (fun x -> x > 0); (fun x -> x mod 2 = 0); (fun x -> x < 5) ]
+
+let gen_cmd : (int, int) Command.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Command.Skip;
+        map (fun a -> Command.Set_a a) small_signed_int;
+        map (fun b -> Command.Set_b b) small_signed_int;
+        map (fun i -> Command.Modify_a (List.nth fns (i mod 4))) small_nat;
+        map (fun i -> Command.Modify_b (List.nth fns (i mod 4))) small_nat;
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          (2, map2 (fun a b -> Command.Seq (a, b)) (go (depth - 1)) (go (depth - 1)));
+          ( 1,
+            map3
+              (fun i c1 c2 -> Command.If_a (List.nth preds (i mod 3), c1, c2))
+              small_nat (go (depth - 1)) (go (depth - 1)) );
+          ( 1,
+            map3
+              (fun i c1 c2 -> Command.If_b (List.nth preds (i mod 3), c1, c2))
+              small_nat (go (depth - 1)) (go (depth - 1)) );
+        ]
+  in
+  let rec print = function
+    | Command.Skip -> "skip"
+    | Command.Seq (a, b) -> print a ^ "; " ^ print b
+    | Command.Set_a a -> Printf.sprintf "set_a %d" a
+    | Command.Set_b b -> Printf.sprintf "set_b %d" b
+    | Command.Modify_a _ -> "modify_a <fn>"
+    | Command.Modify_b _ -> "modify_b <fn>"
+    | Command.If_a (_, c1, c2) ->
+        "if_a <p> {" ^ print c1 ^ "} {" ^ print c2 ^ "}"
+    | Command.If_b (_, c1, c2) ->
+        "if_b <p> {" ^ print c1 ^ "} {" ^ print c2 ^ "}"
+  in
+  QCheck.make ~print (go 3)
+
+let opt = Command.optimize ~eq_a:Int.equal ~eq_b:Int.equal
+let opt_ss = Command.optimize_overwriteable ~eq_a:Int.equal ~eq_b:Int.equal
+let opt_comm = Command.optimize_commuting ~eq_a:Int.equal ~eq_b:Int.equal
+
+let prop_tests =
+  [
+    (* Level `Any` is sound on EVERY lawful instance — including the
+       non-overwriteable journal. *)
+    QCheck.Test.make ~count:800
+      ~name:"optimize preserves semantics on the entangled parity bx"
+      (QCheck.pair gen_cmd Fixtures.gen_parity_consistent)
+      (fun (c, s) -> Command.exec parity_bx (opt c) s = Command.exec parity_bx c s);
+    QCheck.Test.make ~count:800
+      ~name:"optimize preserves semantics on the pair bx"
+      (QCheck.pair gen_cmd (QCheck.pair Helpers.small_int Helpers.small_int))
+      (fun (c, s) -> Command.exec pair_bx (opt c) s = Command.exec pair_bx c s);
+    QCheck.Test.make ~count:800
+      ~name:"optimize preserves semantics on the journalled bx (incl. history)"
+      (QCheck.pair gen_cmd Fixtures.gen_parity_consistent)
+      (fun (c, s0) ->
+        let st = Journal.initial s0 in
+        Journal.equal_state ~eq_a:Int.equal ~eq_b:Int.equal
+          ~eq_s:Esm_laws.Equality.(pair int int)
+          (Command.exec journal_bx (opt c) st)
+          (Command.exec journal_bx c st));
+    (* Level `Overwriteable` is sound on overwriteable instances... *)
+    QCheck.Test.make ~count:800
+      ~name:"optimize_overwriteable preserves semantics on parity"
+      (QCheck.pair gen_cmd Fixtures.gen_parity_consistent)
+      (fun (c, s) ->
+        Command.exec parity_bx (opt_ss c) s = Command.exec parity_bx c s);
+    (* Level `Commuting` is sound on the independent pair bx... *)
+    QCheck.Test.make ~count:800
+      ~name:"optimize_commuting preserves semantics on the pair bx"
+      (QCheck.pair gen_cmd (QCheck.pair Helpers.small_int Helpers.small_int))
+      (fun (c, s) ->
+        Command.exec pair_bx (opt_comm c) s = Command.exec pair_bx c s);
+    (* ...and never increases the worst-case operation count. *)
+    QCheck.Test.make ~count:800 ~name:"optimization never increases cost"
+      gen_cmd
+      (fun c ->
+        Command.cost (opt c) <= Command.cost c
+        && Command.cost (opt_ss c) <= Command.cost c);
+  ]
+
+let negative_tests =
+  [
+    (* (SS)-based collapsing miscompiles the journalled bx. *)
+    Helpers.expect_law_failure
+      "optimize_overwriteable is unsound on the journalled bx"
+      (QCheck.Test.make ~count:800 ~name:"(expected failure)"
+         (QCheck.pair gen_cmd Fixtures.gen_parity_consistent)
+         (fun (c, s0) ->
+           let st = Journal.initial s0 in
+           Journal.equal_state ~eq_a:Int.equal ~eq_b:Int.equal
+             ~eq_s:Esm_laws.Equality.(pair int int)
+             (Command.exec journal_bx (opt_ss c) st)
+             (Command.exec journal_bx c st)));
+    (* Assuming commutation miscompiles the entangled parity bx. *)
+    Helpers.expect_law_failure
+      "optimize_commuting is unsound on the entangled parity bx"
+      (QCheck.Test.make ~count:800 ~name:"(expected failure)"
+         (QCheck.pair gen_cmd Fixtures.gen_parity_consistent)
+         (fun (c, s) ->
+           Command.exec parity_bx (opt_comm c) s = Command.exec parity_bx c s));
+  ]
+
+let unit_tests =
+  [
+    test "GS: re-setting a known value is deleted" `Quick (fun () ->
+        match opt (Command.Seq (Command.Set_a 3, Command.Set_a 3)) with
+        | Command.Set_a 3 -> ()
+        | _ -> Alcotest.fail "expected a single set");
+    test "SG: a branch after a set is folded" `Quick (fun () ->
+        match
+          opt
+            (Command.Seq
+               ( Command.Set_a 4,
+                 Command.If_a ((fun x -> x > 0), Command.Set_b 1, Command.Set_b 2) ))
+        with
+        | Command.Seq (Command.Set_a 4, Command.Set_b 1) -> ()
+        | _ -> Alcotest.fail "expected the true branch");
+    test "entanglement: a set_b invalidates knowledge of A" `Quick (fun () ->
+        (* set_a 3; set_b 4; set_a 3 must NOT lose the second set_a at
+           level `Any`/`Overwriteable` (set_b 4 breaks parity with 3, so
+           the final set_a genuinely repairs) *)
+        let c =
+          Command.Seq
+            (Command.Set_a 3, Command.Seq (Command.Set_b 4, Command.Set_a 3))
+        in
+        let kept_second_set =
+          match opt c with
+          | Command.Seq (Command.Set_a 3, Command.Seq (Command.Set_b 4, Command.Set_a 3)) -> true
+          | _ -> false
+        in
+        check Alcotest.bool "conservative" true kept_second_set;
+        (* the commuting optimizer deletes it — and is wrong on parity *)
+        let miscompiled = opt_comm c in
+        check Alcotest.bool "commuting drops it" true
+          (Command.cost miscompiled < Command.cost c);
+        let direct = Command.exec parity_bx c (0, 0) in
+        let wrong = Command.exec parity_bx miscompiled (0, 0) in
+        check Alcotest.bool "observable miscompilation" false (direct = wrong));
+    test "SS: adjacent sets collapse only at the overwriteable level" `Quick
+      (fun () ->
+        let c = Command.Seq (Command.Set_a 1, Command.Set_a 2) in
+        check Alcotest.int "kept at `Any`" 2 (Command.cost (opt c));
+        check Alcotest.int "collapsed with (SS)" 1 (Command.cost (opt_ss c)));
+    test "modify after set becomes a constant set" `Quick (fun () ->
+        let c = Command.Seq (Command.Set_a 3, Command.Modify_a (fun x -> x * 2)) in
+        match opt_ss c with
+        | Command.Set_a 6 -> ()
+        | _ -> Alcotest.fail "expected set_a 6");
+  ]
+
+let suite = unit_tests @ Helpers.q prop_tests @ negative_tests

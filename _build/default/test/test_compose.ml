@@ -1,0 +1,199 @@
+(** Composition of entangled state monads (the paper's open problem,
+    Section 5), for the state-based instances via {!Esm_core.Compose}.
+
+    Checks: the composite satisfies the set-bx laws on ALIGNED states
+    (and overwriteability is preserved); identity is a unit up to
+    observational equivalence; composition is associative observationally;
+    and on unaligned states (GS) genuinely fails — the restriction of the
+    state space is necessary, as the paper anticipates. *)
+
+open Esm_core
+
+let name_bx = Concrete.of_lens Fixtures.name_lens
+let upper_bx =
+  Concrete.of_lens
+    (Esm_lens.Lens.of_iso ~name:"upper" String.uppercase_ascii
+       String.lowercase_ascii)
+
+(* person <-> name <-> NAME *)
+let composed = Compose.compose name_bx upper_bx
+
+let eq_pair = Esm_laws.Equality.pair Fixtures.equal_person String.equal
+
+(* Aligned states: (p, name p) with a lowercase name so the iso is exact. *)
+let gen_lower_person =
+  QCheck.map
+    (fun p -> Fixtures.{ p with name = String.lowercase_ascii p.name })
+    Fixtures.gen_person
+
+let gen_aligned : (Fixtures.person * string) QCheck.arbitrary =
+  QCheck.map (fun p -> (p, p.Fixtures.name)) gen_lower_person
+
+let gen_lower_string = QCheck.map String.lowercase_ascii Helpers.short_string
+let gen_upper_string = QCheck.map String.uppercase_ascii Helpers.short_string
+
+let cfg =
+  Concrete_laws.config ~name:"compose(name;upper)" ~gen_state:gen_aligned
+    ~gen_a:gen_lower_person ~gen_b:gen_upper_string
+    ~eq_a:Fixtures.equal_person ~eq_b:String.equal ~eq_state:eq_pair ()
+
+let law_tests =
+  Concrete_laws.overwriteable cfg composed
+  @ [
+      QCheck.Test.make ~count:500 ~name:"compose: alignment is preserved"
+        (QCheck.pair gen_aligned
+           (QCheck.oneof
+              [
+                QCheck.map Either.left gen_lower_person;
+                QCheck.map Either.right gen_upper_string;
+              ]))
+        (fun (s, upd) ->
+          let s' =
+            match upd with
+            | Either.Left a -> composed.Concrete.set_a a s
+            | Either.Right b -> composed.Concrete.set_b b s
+          in
+          Compose.aligned ~eq_mid:String.equal name_bx upper_bx s');
+    ]
+
+let negative_tests =
+  [
+    (* On UNALIGNED states (GS) fails: setting back the current A view
+       still repairs the right component. *)
+    Helpers.expect_law_failure "compose: (GS) fails off the aligned subset"
+      (Concrete_laws.gs_a
+         { cfg with gen_state = QCheck.pair gen_lower_person gen_upper_string }
+         composed);
+  ]
+
+(* Observational equivalences: unit and associativity. *)
+
+let packed_of bx init eq_state = Concrete.pack ~bx ~init ~eq_state
+
+let p0 = Fixtures.{ name = "ada"; age = 36; email = "a@x" }
+
+let equiv_tests =
+  [
+    Equivalence.test ~count:300 ~name:"compose: id is a left unit"
+      ~eq_a:Fixtures.equal_person ~eq_b:String.equal
+      ~gen_a:gen_lower_person ~gen_b:gen_lower_string
+      (packed_of name_bx p0 Fixtures.equal_person)
+      (packed_of
+         (Compose.compose (Compose.identity ()) name_bx)
+         (Compose.align (Compose.identity ()) name_bx (p0, p0))
+         (Esm_laws.Equality.pair Fixtures.equal_person Fixtures.equal_person));
+    Equivalence.test ~count:300 ~name:"compose: id is a right unit"
+      ~eq_a:Fixtures.equal_person ~eq_b:String.equal
+      ~gen_a:gen_lower_person ~gen_b:gen_lower_string
+      (packed_of name_bx p0 Fixtures.equal_person)
+      (packed_of
+         (Compose.compose name_bx (Compose.identity ()))
+         (Compose.align name_bx (Compose.identity ()) (p0, p0.Fixtures.name))
+         (Esm_laws.Equality.pair Fixtures.equal_person String.equal));
+    (let lower_iso_bx =
+       Concrete.of_lens
+         (Esm_lens.Lens.of_iso ~name:"lower" String.lowercase_ascii
+            String.uppercase_ascii)
+     in
+     let left_assoc =
+       Compose.compose (Compose.compose name_bx upper_bx) lower_iso_bx
+     in
+     let right_assoc =
+       Compose.compose name_bx (Compose.compose upper_bx lower_iso_bx)
+     in
+     let init_l =
+       ((p0, p0.Fixtures.name), String.uppercase_ascii p0.Fixtures.name)
+     in
+     let init_r =
+       (p0, (p0.Fixtures.name, String.uppercase_ascii p0.Fixtures.name))
+     in
+     Equivalence.test ~count:300
+       ~name:"compose: associativity (observational)"
+       ~eq_a:Fixtures.equal_person ~eq_b:String.equal
+       ~gen_a:gen_lower_person ~gen_b:gen_lower_string
+       (packed_of left_assoc init_l (fun _ _ -> true))
+       (packed_of right_assoc init_r (fun _ _ -> true)));
+  ]
+
+(* chain_packed: n-fold self-composition of an int iso. *)
+let incr_bx =
+  Concrete.of_lens (Esm_lens.Lens.of_iso ~name:"incr" succ pred)
+
+let chain_tests =
+  [
+    QCheck.Test.make ~count:200
+      ~name:"chain_packed n: get_b adds n, set_b subtracts n"
+      (QCheck.pair (QCheck.int_range 1 10) Helpers.small_int)
+      (fun (n, x) ->
+        let packed =
+          Compose.chain_packed n
+            (Concrete.pack ~bx:incr_bx ~init:0 ~eq_state:Int.equal)
+        in
+        match
+          Program.observe packed
+            [ Program.Set_a x; Program.Get_b; Program.Set_b x; Program.Get_a ]
+        with
+        | [ Program.Did_set; Program.Saw_b b; Program.Did_set; Program.Saw_a a ]
+          ->
+            b = x + n && a = x - n
+        | _ -> false);
+  ]
+
+(* Heterogeneous chain across instance FAMILIES: a lens-induced bx
+   composed with an algebraic-bx-induced bx.  person <-> age <-> clock
+   where the clock must agree with the age's parity. *)
+let hetero_tests =
+  let age_bx = Concrete.of_lens Fixtures.age_lens in
+  let parity_bx = Concrete.of_algebraic Fixtures.parity_undoable in
+  let chain = Compose.compose age_bx parity_bx in
+  let gen_hetero_state =
+    QCheck.map
+      (fun (p, d) ->
+        let p = Fixtures.{ p with age = abs p.age } in
+        (* aligned: parity state's A side = person's age *)
+        (p, (p.Fixtures.age, p.Fixtures.age + (2 * d))))
+      (QCheck.pair Fixtures.gen_person QCheck.small_nat)
+  in
+  Concrete_laws.well_behaved
+    (Concrete_laws.config ~name:"compose(lens;algebraic)"
+       ~gen_state:gen_hetero_state ~gen_a:Fixtures.gen_person
+       ~gen_b:Helpers.small_int ~eq_a:Fixtures.equal_person ~eq_b:Int.equal
+       ~eq_state:
+         (Esm_laws.Equality.pair Fixtures.equal_person
+            Esm_laws.Equality.(pair int int))
+       ())
+    chain
+  @ [
+      QCheck.Test.make ~count:300
+        ~name:"compose(lens;algebraic): updates propagate end to end"
+        (QCheck.pair gen_hetero_state Fixtures.gen_person)
+        (fun (s, p) ->
+          let s' = chain.Concrete.set_a p s in
+          (* the C view must be parity-consistent with the new age *)
+          (chain.Concrete.get_b s' - p.Fixtures.age) mod 2 = 0);
+    ]
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "composite propagates A edits to C" `Quick (fun () ->
+        let s = (p0, "ADA") in
+        let s' =
+          composed.Concrete.set_a Fixtures.{ p0 with name = "grace" } s
+        in
+        check string "C view" "GRACE" (composed.Concrete.get_b s'));
+    test_case "composite propagates C edits to A" `Quick (fun () ->
+        let s = (p0, "ADA") in
+        let s' = composed.Concrete.set_b "HOPPER" s in
+        check string "A view" "hopper"
+          (composed.Concrete.get_a s').Fixtures.name);
+    test_case "align fixes an inconsistent middle" `Quick (fun () ->
+        let s = Compose.align name_bx upper_bx (p0, "WRONG") in
+        check bool "aligned" true
+          (Compose.aligned ~eq_mid:String.equal name_bx upper_bx s));
+  ]
+
+let suite =
+  unit_tests
+  @ Helpers.q (law_tests @ hetero_tests @ equiv_tests @ chain_tests)
+  @ negative_tests

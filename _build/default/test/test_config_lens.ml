@@ -1,0 +1,205 @@
+(** The textual config-file lens: comment/layout preservation, the lens
+    laws on distinct-key sources, and the per-key focused lens — plus a
+    lift through Lemma 4 into an entangled state monad over raw text. *)
+
+open Esm_lens
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let sample =
+  "# database settings\n\
+   host = localhost\n\
+   port=5432\n\
+   \n\
+   ; feature flags\n\
+   \tdebug  =  true\n"
+
+let unit_tests =
+  [
+    test "get extracts bindings in order" `Quick (fun () ->
+        check
+          Alcotest.(list (pair string string))
+          "bindings"
+          [ ("host", "localhost"); ("port", "5432"); ("debug", "true") ]
+          (Lens.get Config_lens.bindings sample));
+    test "put preserves comments, blanks and layout" `Quick (fun () ->
+        let updated =
+          Lens.put Config_lens.bindings sample
+            [ ("host", "db.internal"); ("port", "5432"); ("debug", "false") ]
+        in
+        check Alcotest.string "text"
+          "# database settings\n\
+           host = db.internal\n\
+           port=5432\n\
+           \n\
+           ; feature flags\n\
+           \tdebug  =  false\n"
+          updated);
+    test "deleting a binding removes exactly its line" `Quick (fun () ->
+        let updated =
+          Lens.put Config_lens.bindings sample
+            [ ("host", "localhost"); ("debug", "true") ]
+        in
+        check Alcotest.bool "port gone" true
+          (not
+             (List.mem_assoc "port" (Lens.get Config_lens.bindings updated)));
+        check Alcotest.bool "comment survives" true
+          (String.length updated > 0
+          && Lens.get Config_lens.bindings updated
+             = [ ("host", "localhost"); ("debug", "true") ]));
+    test "new bindings are appended before the trailing newline" `Quick
+      (fun () ->
+        let updated =
+          Lens.put Config_lens.bindings sample
+            [
+              ("host", "localhost"); ("port", "5432"); ("debug", "true");
+              ("timeout", "30");
+            ]
+        in
+        check
+          Alcotest.(list (pair string string))
+          "appended"
+          [
+            ("host", "localhost"); ("port", "5432"); ("debug", "true");
+            ("timeout", "30");
+          ]
+          (Lens.get Config_lens.bindings updated);
+        check Alcotest.bool "still ends with newline" true
+          (String.length updated > 0
+          && updated.[String.length updated - 1] = '\n'));
+    test "non-binding lines without '=' are verbatim" `Quick (fun () ->
+        let text = "just some text\nkey = v\n" in
+        check
+          Alcotest.(list (pair string string))
+          "one binding" [ ("key", "v") ]
+          (Lens.get Config_lens.bindings text));
+    test "value_of focuses a single key" `Quick (fun () ->
+        let l = Config_lens.value_of "port" in
+        check Alcotest.(option string) "get" (Some "5432") (Lens.get l sample);
+        let updated = Lens.put l sample (Some "6543") in
+        check Alcotest.(option string) "updated" (Some "6543")
+          (Lens.get l updated);
+        check Alcotest.(option string) "others untouched" (Some "localhost")
+          (Lens.get (Config_lens.value_of "host") updated));
+    test "value_of None deletes the key" `Quick (fun () ->
+        let l = Config_lens.value_of "debug" in
+        let updated = Lens.put l sample None in
+        check Alcotest.(option string) "gone" None (Lens.get l updated));
+    test "value_of on an absent key appends" `Quick (fun () ->
+        let l = Config_lens.value_of "retries" in
+        let updated = Lens.put l sample (Some "3") in
+        check Alcotest.(option string) "added" (Some "3") (Lens.get l updated));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Laws on generated configs                                           *)
+(* ------------------------------------------------------------------ *)
+
+let keys_pool = [ "alpha"; "beta"; "gamma"; "delta" ]
+
+(* Sources: random interleavings of comments/blanks and distinct-key
+   bindings with varied layout. *)
+let gen_source : string QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(
+      let* n_keys = int_bound (List.length keys_pool) in
+      let keys = List.filteri (fun i _ -> i < n_keys) keys_pool in
+      let* values =
+        flatten_l
+          (List.map
+             (fun _ -> string_size ~gen:(char_range 'a' 'z') (int_bound 6))
+             keys)
+      in
+      let* decorations =
+        flatten_l
+          (List.map
+             (fun _ -> oneofl [ ""; "# note"; "; other"; "   " ])
+             keys)
+      in
+      let* spacey = flatten_l (List.map (fun _ -> bool) keys) in
+      let lines =
+        List.concat
+          (List.map2
+             (fun (k, v) (deco, sp) ->
+               let binding = if sp then k ^ " = " ^ v else k ^ "=" ^ v in
+               if deco = "" then [ binding ] else [ deco; binding ])
+             (List.combine keys values)
+             (List.combine decorations spacey))
+      in
+      return (String.concat "\n" lines))
+
+(* Views: distinct keys from the pool with fresh values. *)
+let gen_view : (string * string) list QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun kvs ->
+      String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))
+    QCheck.Gen.(
+      let* n_keys = int_bound (List.length keys_pool) in
+      let keys = List.filteri (fun i _ -> i < n_keys) keys_pool in
+      let* values =
+        flatten_l
+          (List.map
+             (fun _ -> string_size ~gen:(char_range 'a' 'z') (int_bound 6))
+             keys)
+      in
+      return (List.combine keys values))
+
+(* Views are morally maps: compare them order-insensitively. *)
+let eq_view_as_map kvs1 kvs2 =
+  let sort = List.sort compare in
+  sort kvs1 = sort kvs2
+
+let law_tests =
+  Lens_laws.well_behaved ~count:300 ~name:"config bindings"
+    Config_lens.bindings ~gen_s:gen_source ~gen_v:gen_view ~eq_s:String.equal
+    ~eq_v:eq_view_as_map
+  @ [
+      (* PutGet up to order even when the view arrives shuffled: the
+         file keeps ITS order, but no binding is lost or changed. *)
+      QCheck.Test.make ~count:300
+        ~name:"config bindings (PutGet up to order, shuffled views)"
+        (QCheck.pair gen_source gen_view)
+        (fun (s, v) ->
+          let shuffled = List.rev v in
+          eq_view_as_map
+            (Lens.get Config_lens.bindings
+               (Lens.put Config_lens.bindings s shuffled))
+            shuffled);
+    ]
+
+(* Lemma 4 on raw text: the config file and its bindings as an entangled
+   state monad. *)
+module Text_bx = Esm_core.Of_lens.Make (struct
+  type s = string
+  type v = (string * string) list
+
+  let lens = Config_lens.bindings
+  let equal_s = String.equal
+end)
+
+let monad_tests =
+  [
+    test "config text and bindings are entangled" `Quick (fun () ->
+        let open Text_bx.Infix in
+        let text', _ =
+          Text_bx.run
+            (Text_bx.set_b [ ("host", "prod"); ("port", "80") ]
+            >> Text_bx.get_a)
+            sample
+        in
+        check Alcotest.bool "comment preserved" true
+          (String.length text' > 0
+          &&
+          match String.index_opt text' '#' with
+          | Some _ -> true
+          | None -> false);
+        check
+          Alcotest.(list (pair string string))
+          "view agrees"
+          [ ("host", "prod"); ("port", "80") ]
+          (Lens.get Config_lens.bindings text'));
+  ]
+
+let suite = unit_tests @ monad_tests @ Helpers.q law_tests

@@ -1,0 +1,202 @@
+(** Delta lenses: action-monoid laws, the three functoriality laws
+    (DPutId / DPutGet / DPutComp) for the absolute-delta embedding and
+    the positional list-edit lens, and agreement between the delta and
+    state-based worlds. *)
+
+open Esm_lens
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+(* --- list edits ----------------------------------------------------- *)
+
+module Int_edits = Delta_lens.List_edits (struct
+  type t = int
+
+  let equal = Int.equal
+end)
+
+let gen_edit : Int_edits.edit QCheck.arbitrary =
+  QCheck.oneof
+    [
+      QCheck.map
+        (fun (i, x) -> Int_edits.Insert (i mod 6, x))
+        (QCheck.pair QCheck.small_nat Helpers.small_int);
+      QCheck.map (fun i -> Int_edits.Delete (i mod 6)) QCheck.small_nat;
+      QCheck.map
+        (fun (i, x) -> Int_edits.Replace (i mod 6, x))
+        (QCheck.pair QCheck.small_nat Helpers.small_int);
+    ]
+
+let gen_delta = QCheck.small_list gen_edit
+let gen_list = QCheck.small_list Helpers.small_int
+let eq_int_list = Esm_laws.Equality.(list int)
+
+let action_tests =
+  [
+    QCheck.Test.make ~count:300 ~name:"list edits: id acts trivially"
+      gen_list
+      (fun xs -> eq_int_list (Int_edits.apply xs Int_edits.id) xs);
+    QCheck.Test.make ~count:300
+      ~name:"list edits: compose = sequential application"
+      (QCheck.triple gen_list gen_delta gen_delta)
+      (fun (xs, d1, d2) ->
+        eq_int_list
+          (Int_edits.apply xs (Int_edits.compose d1 d2))
+          (Int_edits.apply (Int_edits.apply xs d1) d2));
+  ]
+
+let edit_unit_tests =
+  [
+    test "insert clamps out-of-range positions" `Quick (fun () ->
+        check Alcotest.(list int) "append" [ 1; 2; 9 ]
+          (Int_edits.apply_edit [ 1; 2 ] (Int_edits.Insert (99, 9)));
+        check Alcotest.(list int) "prepend" [ 9; 1; 2 ]
+          (Int_edits.apply_edit [ 1; 2 ] (Int_edits.Insert (0, 9))));
+    test "delete out of range is a no-op" `Quick (fun () ->
+        check Alcotest.(list int) "same" [ 1; 2 ]
+          (Int_edits.apply_edit [ 1; 2 ] (Int_edits.Delete 5)));
+    test "replace hits exactly one position" `Quick (fun () ->
+        check Alcotest.(list int) "mid" [ 1; 9; 3 ]
+          (Int_edits.apply_edit [ 1; 2; 3 ] (Int_edits.Replace (1, 9))));
+  ]
+
+(* --- absolute embedding of a state-based lens ----------------------- *)
+
+module Abs_name = Delta_lens.Of_lens (struct
+  type s = Fixtures.person
+  type v = string
+
+  let lens = Fixtures.name_lens
+  let equal_s = Fixtures.equal_person
+  let equal_v = String.equal
+end)
+
+let gen_vdelta : string option QCheck.arbitrary =
+  QCheck.option Helpers.short_string
+
+let absolute_law_tests =
+  [
+    QCheck.Test.make ~count:300 ~name:"absolute: (DPutId)"
+      Fixtures.gen_person
+      (fun s -> Abs_name.Src.equal_delta (Abs_name.dput s Abs_name.View.id) Abs_name.Src.id);
+    QCheck.Test.make ~count:300 ~name:"absolute: (DPutGet)"
+      (QCheck.pair Fixtures.gen_person gen_vdelta)
+      (fun (s, dv) ->
+        Abs_name.View.equal_state
+          (Abs_name.View.apply (Abs_name.get s) dv)
+          (Abs_name.get (Abs_name.Src.apply s (Abs_name.dput s dv))));
+    QCheck.Test.make ~count:300 ~name:"absolute: (DPutComp)"
+      (QCheck.triple Fixtures.gen_person gen_vdelta gen_vdelta)
+      (fun (s, dv, dv') ->
+        let ds = Abs_name.dput s dv in
+        let s_mid = Abs_name.Src.apply s ds in
+        Abs_name.Src.equal_delta
+          (Abs_name.dput s (Abs_name.View.compose dv dv'))
+          (Abs_name.Src.compose ds (Abs_name.dput s_mid dv')));
+  ]
+
+(* --- to_lens: forgetting deltas recovers the state-based lens ------- *)
+
+let forget_tests =
+  [
+    QCheck.Test.make ~count:300
+      ~name:"to_lens(Of_lens l) behaves exactly like l"
+      (QCheck.pair Fixtures.gen_person Helpers.short_string)
+      (fun (s, v) ->
+        let l' =
+          Delta_lens.to_lens
+            (module Abs_name : Delta_lens.S
+              with type Src.state = Fixtures.person
+               and type Src.delta = Fixtures.person option
+               and type View.state = string
+               and type View.delta = string option)
+        in
+        Fixtures.equal_person
+          (Lens.put l' s v)
+          (Lens.put Fixtures.name_lens s v)
+        && String.equal (Lens.get l' s) (Lens.get Fixtures.name_lens s));
+  ]
+
+(* --- positional list_map delta lens --------------------------------- *)
+
+module Dl_list = Delta_lens.List_map (struct
+  type s = int * string
+  type v = int
+
+  let lens = Lens.fst_lens
+  let create v = (v, "fresh")
+  let equal_s = Esm_laws.Equality.(pair int string)
+  let equal_v = Int.equal
+end)
+
+let gen_sources = QCheck.small_list Helpers.pair_int_string
+
+let gen_vedit : Dl_list.View.edit QCheck.arbitrary =
+  QCheck.oneof
+    [
+      QCheck.map
+        (fun (i, x) -> Dl_list.View.Insert (i mod 6, x))
+        (QCheck.pair QCheck.small_nat Helpers.small_int);
+      QCheck.map (fun i -> Dl_list.View.Delete (i mod 6)) QCheck.small_nat;
+      QCheck.map
+        (fun (i, x) -> Dl_list.View.Replace (i mod 6, x))
+        (QCheck.pair QCheck.small_nat Helpers.small_int);
+    ]
+
+let gen_vdelta_list = QCheck.small_list gen_vedit
+
+let list_map_law_tests =
+  [
+    QCheck.Test.make ~count:300 ~name:"list_map delta: (DPutId)"
+      gen_sources
+      (fun xs ->
+        Dl_list.Src.equal_delta (Dl_list.dput xs Dl_list.View.id)
+          Dl_list.Src.id);
+    QCheck.Test.make ~count:500 ~name:"list_map delta: (DPutGet)"
+      (QCheck.pair gen_sources gen_vdelta_list)
+      (fun (xs, dv) ->
+        Dl_list.View.equal_state
+          (Dl_list.View.apply (Dl_list.get xs) dv)
+          (Dl_list.get (Dl_list.Src.apply xs (Dl_list.dput xs dv))));
+    QCheck.Test.make ~count:500 ~name:"list_map delta: (DPutComp)"
+      (QCheck.triple gen_sources gen_vdelta_list gen_vdelta_list)
+      (fun (xs, dv, dv') ->
+        let ds = Dl_list.dput xs dv in
+        let xs_mid = Dl_list.Src.apply xs ds in
+        Dl_list.Src.equal_delta
+          (Dl_list.dput xs (Dl_list.View.compose dv dv'))
+          (Dl_list.Src.compose ds (Dl_list.dput xs_mid dv')));
+  ]
+
+(* Alignment: the whole point of delta lenses.  A view permutation-ish
+   edit (delete head) translates to deleting the matching SOURCE element,
+   something the state-based list_map lens cannot know. *)
+let alignment_tests =
+  [
+    test "deltas preserve alignment where states cannot" `Quick (fun () ->
+        let sources = [ (1, "one"); (2, "two"); (3, "three") ] in
+        (* view edit: delete the FIRST element *)
+        let ds = Dl_list.dput sources [ Dl_list.View.Delete 0 ] in
+        let sources' = Dl_list.Src.apply sources ds in
+        check
+          Alcotest.(list (pair int string))
+          "annotations follow their elements"
+          [ (2, "two"); (3, "three") ]
+          sources';
+        (* the state-based lens on the same update re-aligns by position
+           and mangles the annotations *)
+        let state_lens =
+          Lens.list_map ~create:(fun v -> (v, "fresh")) Lens.fst_lens
+        in
+        check
+          Alcotest.(list (pair int string))
+          "state-based put loses alignment"
+          [ (2, "one"); (3, "two") ]
+          (Lens.put state_lens sources [ 2; 3 ]));
+  ]
+
+let suite =
+  edit_unit_tests @ alignment_tests
+  @ Helpers.q
+      (action_tests @ absolute_law_tests @ forget_tests @ list_map_law_tests)

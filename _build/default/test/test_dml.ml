@@ -1,0 +1,133 @@
+(** DML statements and their translation through updatable views: direct
+    execution semantics, and the view-update correctness property — a
+    view-compatible statement run through the view coincides with running
+    it on the store directly. *)
+
+open Esm_relational
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let schema = Workload.employees_schema
+let eng = Pred.(col "dept" = str "Engineering")
+
+let t0 = Workload.employees ~seed:11 ~size:20
+
+let unit_tests =
+  [
+    test "insert adds a conforming row" `Quick (fun () ->
+        let r =
+          Row.of_list
+            [ Value.Int 999; Value.Str "zoe"; Value.Str "Ops"; Value.Int 1; Value.Str "z@x" ]
+        in
+        let t1 = Dml.apply t0 (Dml.Insert r) in
+        check Alcotest.int "one more" (Table.cardinality t0 + 1)
+          (Table.cardinality t1));
+    test "delete removes exactly the matching rows" `Quick (fun () ->
+        let t1 = Dml.apply t0 (Dml.Delete eng) in
+        check Alcotest.int "none left" 0
+          (Table.cardinality (Algebra.select eng t1));
+        check Alcotest.int "others untouched"
+          (Table.cardinality (Algebra.select Pred.(not_ eng) t0))
+          (Table.cardinality t1));
+    test "update rewrites matching rows with expressions" `Quick (fun () ->
+        let t1 =
+          Dml.apply t0
+            (Dml.Update (eng, [ ("salary", Pred.int 1) ]))
+        in
+        check Alcotest.bool "all engineering salaries set" true
+          (List.for_all
+             (fun r -> Row.get schema r "salary" = Value.Int 1)
+             (Table.rows (Algebra.select eng t1))));
+    test "update can copy a column through an expression" `Quick (fun () ->
+        let t1 =
+          Dml.apply t0
+            (Dml.Update (Pred.(Const true), [ ("email", Pred.col "name") ]))
+        in
+        check Alcotest.bool "email mirrors name" true
+          (List.for_all
+             (fun r ->
+               Value.equal (Row.get schema r "email") (Row.get schema r "name"))
+             (Table.rows t1)));
+    test "apply_all runs in order" `Quick (fun () ->
+        let t1 =
+          Dml.apply_all t0
+            [
+              Dml.Update (Pred.(Const true), [ ("dept", Pred.str "One") ]);
+              Dml.Delete Pred.(col "dept" = str "One");
+            ]
+        in
+        check Alcotest.int "everything deleted" 0 (Table.cardinality t1));
+  ]
+
+(* View-update correctness for select views. *)
+
+let select_lens = Rlens.select eng
+
+let gen_store =
+  QCheck.make ~print:Table.to_string
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 25 in
+      return (Workload.employees ~seed ~size))
+
+(* Statements that stay within the select view's domain (they only
+   touch engineering rows, and inserted rows satisfy the predicate). *)
+let gen_view_stmt : Dml.t QCheck.arbitrary =
+  QCheck.oneof
+    [
+      QCheck.map
+        (fun (i, n) ->
+          Dml.Insert
+            (Row.of_list
+               [
+                 Value.Int (1000 + i); Value.Str n; Value.Str "Engineering";
+                 Value.Int 1000; Value.Str (n ^ "@x");
+               ]))
+        (QCheck.pair QCheck.small_nat QCheck.small_string);
+      QCheck.map
+        (fun i -> Dml.Delete Pred.(col "id" = int i))
+        QCheck.small_nat;
+      QCheck.map
+        (fun i ->
+          Dml.Update
+            (Pred.(col "id" = int i), [ ("salary", Pred.int 42_000) ]))
+        QCheck.small_nat;
+    ]
+
+let prop_tests =
+  [
+    QCheck.Test.make ~count:300
+      ~name:"select view: DML through the view = DML on the store"
+      (QCheck.pair gen_store gen_view_stmt)
+      (fun (store, stmt) ->
+        (* restrict deletes/updates to view rows: predicates on id only
+           touch rows that may or may not be in the view; conjoin the
+           view predicate so the direct run matches the view run *)
+        let stmt_direct =
+          match stmt with
+          | Dml.Insert r -> Dml.Insert r
+          | Dml.Delete p -> Dml.Delete Pred.(p && eng)
+          | Dml.Update (p, a) -> Dml.Update (Pred.(p && eng), a)
+        in
+        Table.equal
+          (Dml.through select_lens stmt store)
+          (Dml.apply store stmt_direct));
+    QCheck.Test.make ~count:300
+      ~name:"project view: updates through the view preserve hidden columns"
+      (QCheck.pair gen_store QCheck.small_nat)
+      (fun (store, i) ->
+        let lens =
+          Rlens.project ~keep:[ "id"; "name" ] ~key:[ "id" ] schema
+        in
+        let stmt =
+          Dml.Update (Pred.(col "id" = int i), [ ("name", Pred.str "renamed") ])
+        in
+        let store' = Dml.through lens stmt store in
+        (* salaries never change through a name-only view edit *)
+        Table.equal
+          (Algebra.project [ "id"; "salary" ] store')
+          (Algebra.project [ "id"; "salary" ] store));
+  ]
+
+let suite = unit_tests @ Helpers.q prop_tests

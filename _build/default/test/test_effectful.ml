@@ -1,0 +1,95 @@
+(** Section 4: the effectful set-bx.  The paper's literal example
+    (integer state, "Changed A"/"Changed B" prints) plus the generalised
+    change-logging wrapper over a lens-induced bx.
+
+    The key subtlety the paper relies on: "the side-effects only occur
+    when the state is changed" — this is what keeps the set-bx laws valid
+    in the presence of I/O.  We verify the laws {e including traces}, the
+    exact trace content, and the failure of (SS) at the trace level. *)
+
+open Esm_core
+module E = Effectful.Paper_example
+module E_laws = Bx_laws.Set_bx (E)
+
+(* The generalised wrapper over the name lens. *)
+module Logged_name = Effectful.Make (struct
+  type ta = Fixtures.person
+  type tb = string
+  type ts = Fixtures.person
+
+  let bx = Concrete.of_lens Fixtures.name_lens
+  let equal_a = Fixtures.equal_person
+  let equal_b = String.equal
+  let equal_s = Fixtures.equal_person
+  let message_a = "Changed person"
+  let message_b = "Changed name"
+end)
+
+module Logged_laws = Bx_laws.Set_bx (Logged_name)
+
+let law_tests =
+  List.concat
+    [
+      E_laws.well_behaved
+        (E_laws.config ~name:"effectful(paper)" ~gen_state:Helpers.small_int
+           ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int ~eq_a:Int.equal
+           ~eq_b:Int.equal ());
+      Logged_laws.well_behaved
+        (Logged_laws.config ~name:"effectful(name lens)"
+           ~gen_state:Fixtures.gen_person ~gen_a:Fixtures.gen_person
+           ~gen_b:Helpers.short_string ~eq_a:Fixtures.equal_person
+           ~eq_b:String.equal ());
+    ]
+
+let negative_tests =
+  [
+    (* (SS) fails at the trace level: changing twice prints twice. *)
+    Helpers.expect_law_failure "effectful bx is not overwriteable (traces)"
+      (E_laws.A_cell.ss
+         (E_laws.A_cell.config ~name:"effectful.A"
+            ~gen_world:Helpers.small_int ~gen_value:Helpers.small_int
+            ~eq_value:Int.equal ()));
+  ]
+
+let trace = Alcotest.(list string)
+
+let unit_tests =
+  let open Alcotest in
+  let open E.Infix in
+  [
+    test_case "setting a different value prints" `Quick (fun () ->
+        check trace "one message" [ "Changed A" ] (E.trace (E.set_a 1) 0));
+    test_case "setting the current value is silent" `Quick (fun () ->
+        check trace "silent" [] (E.trace (E.set_a 5) 5));
+    test_case "the B side has its own message" `Quick (fun () ->
+        check trace "changed b" [ "Changed B" ] (E.trace (E.set_b 9) 0));
+    test_case "messages accumulate in program order" `Quick (fun () ->
+        check trace "both"
+          [ "Changed A"; "Changed B"; "Changed A" ]
+          (E.trace (E.set_a 1 >> E.set_b 2 >> E.set_a 3) 0));
+    test_case "get never prints" `Quick (fun () ->
+        check trace "silent" []
+          (E.trace (E.bind E.get_a (fun _ -> E.get_b)) 7));
+    test_case "paper example: both views are the shared state" `Quick
+      (fun () ->
+        let ((a, b), _state), _trace = E.run (E.product E.get_a E.get_b) 42 in
+        check int "a" 42 a;
+        check int "b" 42 b);
+    test_case "wrapper: view change logs, no-op set is silent" `Quick
+      (fun () ->
+        let p = Fixtures.{ name = "ada"; age = 1; email = "e" } in
+        check trace "change" [ "Changed name" ]
+          (Logged_name.trace (Logged_name.set_b "grace") p);
+        check trace "no-op" []
+          (Logged_name.trace (Logged_name.set_b "ada") p));
+    test_case "wrapper: set_b updates the underlying source" `Quick
+      (fun () ->
+        let p = Fixtures.{ name = "ada"; age = 1; email = "e" } in
+        let ((), p'), _ = Logged_name.run (Logged_name.set_b "grace") p in
+        check string "propagated" "grace" p'.Fixtures.name);
+    test_case "GS at trace level: get-then-set is completely silent" `Quick
+      (fun () ->
+        check trace "silent" [] (E.trace (E.bind E.get_a E.set_a) 13));
+  ]
+
+let suite = unit_tests @ Helpers.q law_tests @ negative_tests

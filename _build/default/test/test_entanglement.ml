@@ -1,0 +1,90 @@
+(** Section 3.4 (Entanglement): the pair state monad satisfies the extra
+    commutation law [set_a a >> set_b b = set_b b >> set_a a]; a genuine
+    entangled instance does not — setting one side changes the other to
+    restore consistency, so the order of sets matters. *)
+
+open Esm_core
+
+module Pair = Pair_bx.Make (struct
+  type ta = int
+  type tb = string
+
+  let equal_a = Int.equal
+  let equal_b = String.equal
+end)
+
+module Pair_laws = Bx_laws.Set_bx (Pair)
+
+module Parity = Of_algebraic.Make (struct
+  type ta = int
+  type tb = int
+
+  let bx = Fixtures.parity_undoable
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+module Parity_laws = Bx_laws.Set_bx (Parity)
+
+(* The name lens induces entanglement between a person and their name. *)
+module Name = Of_lens.Make (struct
+  type s = Fixtures.person
+  type v = string
+
+  let lens = Fixtures.name_lens
+  let equal_s = Fixtures.equal_person
+end)
+
+module Name_laws = Bx_laws.Set_bx (Name)
+
+let pair_cfg =
+  Pair_laws.config ~name:"pair"
+    ~gen_state:Helpers.pair_int_string ~gen_a:Helpers.small_int
+    ~gen_b:Helpers.short_string ~eq_a:Int.equal ~eq_b:String.equal ()
+
+let positive_tests =
+  (* The pair monad is an overwriteable set-bx AND commutes. *)
+  Pair_laws.overwriteable pair_cfg @ [ Pair_laws.sets_commute pair_cfg ]
+
+let negative_tests =
+  [
+    (* Entangled instances do NOT commute. *)
+    Helpers.expect_law_failure "of_algebraic(parity): sets do not commute"
+      (Parity_laws.sets_commute
+         (Parity_laws.config ~name:"parity"
+            ~gen_state:Fixtures.gen_parity_consistent
+            ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int ~eq_a:Int.equal
+            ~eq_b:Int.equal ()));
+    Helpers.expect_law_failure "of_lens(name): sets do not commute"
+      (Name_laws.sets_commute
+         (Name_laws.config ~name:"name" ~gen_state:Fixtures.gen_person
+            ~gen_a:Fixtures.gen_person ~gen_b:Helpers.short_string
+            ~eq_a:Fixtures.equal_person ~eq_b:String.equal ()));
+  ]
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "paper's witness: set order matters under entanglement" `Quick
+      (fun () ->
+        (* With the parity bx from (0, 0): set_a 1 then set_b 4 leaves
+           (5, 4)... setting B last repairs A; the other order repairs B.
+           The final states differ. *)
+        let open Parity.Infix in
+        let (), s_ab = Parity.run (Parity.set_a 1 >> Parity.set_b 4) (0, 0) in
+        let (), s_ba = Parity.run (Parity.set_b 4 >> Parity.set_a 1) (0, 0) in
+        check bool "different final states" false (s_ab = s_ba));
+    test_case "pair state monad: set order never matters" `Quick (fun () ->
+        let open Pair.Infix in
+        let (), s1 = Pair.run (Pair.set_a 1 >> Pair.set_b "x") (0, "") in
+        let (), s2 = Pair.run (Pair.set_b "x" >> Pair.set_a 1) (0, "") in
+        check bool "same" true (s1 = s2));
+    test_case "entanglement via lens: set_b rewrites the A view" `Quick
+      (fun () ->
+        let p = Fixtures.{ name = "ada"; age = 1; email = "e" } in
+        let open Name.Infix in
+        let a, _ = Name.run (Name.set_b "grace" >> Name.get_a) p in
+        check string "A sees the B write" "grace" a.Fixtures.name);
+  ]
+
+let suite = unit_tests @ Helpers.q positive_tests @ negative_tests

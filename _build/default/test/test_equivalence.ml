@@ -1,0 +1,94 @@
+(** Observational equivalence of entangled state monads: agreement of the
+    functor-level and record-level constructions, equivalence of bx with
+    different hidden state representations, and inequivalence of
+    genuinely different bx. *)
+
+open Esm_core
+
+let p0 = Fixtures.{ name = "ada"; age = 36; email = "a@x" }
+
+(* The same Lemma-4 bx, built two ways: the record constructor, and the
+   functor run through a record adapter. *)
+module Name_functor = Of_lens.Make (struct
+  type s = Fixtures.person
+  type v = string
+
+  let lens = Fixtures.name_lens
+  let equal_s = Fixtures.equal_person
+end)
+
+let functor_as_record : (Fixtures.person, string, Fixtures.person) Concrete.set_bx =
+  {
+    Concrete.name = "functor-adapter";
+    get_a = (fun s -> fst (Name_functor.run Name_functor.get_a s));
+    get_b = (fun s -> fst (Name_functor.run Name_functor.get_b s));
+    set_a = (fun a s -> snd (Name_functor.run (Name_functor.set_a a) s));
+    set_b = (fun b s -> snd (Name_functor.run (Name_functor.set_b b) s));
+  }
+
+(* The same synchronisation, as a symmetric lens over a DIFFERENT hidden
+   state (person * string * complement) — still observationally the same
+   bx. *)
+let name_via_symlens : (Fixtures.person, string) Concrete.packed =
+  Concrete.packed_of_symlens ~seed_a:p0 ~eq_a:Fixtures.equal_person
+    ~eq_b:String.equal Fixtures.name_symlens
+
+let record_packed =
+  Concrete.pack ~bx:(Concrete.of_lens Fixtures.name_lens) ~init:p0
+    ~eq_state:Fixtures.equal_person
+
+let functor_packed =
+  Concrete.pack ~bx:functor_as_record ~init:p0
+    ~eq_state:Fixtures.equal_person
+
+(* A pair bx and an entangled bx over the same value types: NOT
+   equivalent. *)
+let pair_packed =
+  Concrete.pack
+    ~bx:(Concrete.pair () : (int, int, int * int) Concrete.set_bx)
+    ~init:(0, 0)
+    ~eq_state:Esm_laws.Equality.(pair int int)
+
+let parity_packed =
+  Concrete.pack ~bx:(Concrete.of_algebraic Fixtures.parity_undoable)
+    ~init:(0, 0)
+    ~eq_state:Esm_laws.Equality.(pair int int)
+
+let equiv_tests =
+  [
+    Equivalence.test ~count:500
+      ~name:"functor and record constructions agree (Lemma 4)"
+      ~eq_a:Fixtures.equal_person ~eq_b:String.equal
+      ~gen_a:Fixtures.gen_person ~gen_b:Helpers.short_string record_packed
+      functor_packed;
+    Equivalence.test ~count:500
+      ~name:"lens bx and symlens bx with different hidden state coincide"
+      ~eq_a:Fixtures.equal_person ~eq_b:String.equal
+      ~gen_a:Fixtures.gen_person ~gen_b:Helpers.short_string record_packed
+      name_via_symlens;
+  ]
+
+let negative_tests =
+  [
+    Helpers.expect_law_failure "pair bx and parity bx are distinguishable"
+      (Equivalence.test ~count:500 ~name:"(expected to fail)" ~eq_a:Int.equal
+         ~eq_b:Int.equal ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int
+         pair_packed parity_packed);
+  ]
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "equivalent_on distinguishes with a witness program" `Quick
+      (fun () ->
+        (* set_a 1 entangles b in the parity bx but not in the pair bx. *)
+        let witness = [ Program.Set_a 1; Program.Get_b ] in
+        check bool "agree on empty" true
+          (Equivalence.equivalent_on ~eq_a:Int.equal ~eq_b:Int.equal
+             pair_packed parity_packed [ [] ]);
+        check bool "distinguished" false
+          (Equivalence.equivalent_on ~eq_a:Int.equal ~eq_b:Int.equal
+             pair_packed parity_packed [ witness ]));
+  ]
+
+let suite = unit_tests @ Helpers.q equiv_tests @ negative_tests

@@ -1,0 +1,91 @@
+(** Functional dependencies: the typing discipline of relational lenses
+    made checkable. *)
+
+open Esm_relational
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let schema =
+  Schema.make [ ("id", Value.Tint); ("dept", Value.Tstr); ("boss", Value.Tstr) ]
+
+let t_ok =
+  Table.of_lists schema
+    [
+      [ Value.Int 1; Value.Str "eng"; Value.Str "grace" ];
+      [ Value.Int 2; Value.Str "eng"; Value.Str "grace" ];
+      [ Value.Int 3; Value.Str "ops"; Value.Str "barbara" ];
+    ]
+
+let t_bad =
+  Table.of_lists schema
+    [
+      [ Value.Int 1; Value.Str "eng"; Value.Str "grace" ];
+      [ Value.Int 2; Value.Str "eng"; Value.Str "ada" ];
+    ]
+
+let dept_boss = Fd.v [ "dept" ] [ "boss" ]
+
+let unit_tests =
+  [
+    test "holds on a conforming table" `Quick (fun () ->
+        check Alcotest.bool "dept -> boss" true (Fd.holds dept_boss t_ok));
+    test "fails on a violating table" `Quick (fun () ->
+        check Alcotest.bool "violated" false (Fd.holds dept_boss t_bad);
+        check Alcotest.int "one violating pair" 1
+          (List.length (Fd.violations dept_boss t_bad)));
+    test "is_key recognises the id column" `Quick (fun () ->
+        check Alcotest.bool "id keys" true (Fd.is_key [ "id" ] t_ok);
+        check Alcotest.bool "dept does not" false (Fd.is_key [ "dept" ] t_ok));
+    test "enforce keeps one row per determinant" `Quick (fun () ->
+        let t' = Fd.enforce dept_boss t_bad in
+        check Alcotest.bool "now holds" true (Fd.holds dept_boss t');
+        check Alcotest.int "one eng row" 1
+          (Table.cardinality (Algebra.select Pred.(col "dept" = str "eng") t')));
+    test "not_refuted_by finds a falsifier" `Quick (fun () ->
+        (* id -> dept holds in both samples, but dept -> boss is refuted
+           by t_bad (which satisfies id -> dept). *)
+        check Alcotest.bool "refuted" false
+          (Fd.not_refuted_by
+             ~samples:[ t_ok; t_bad ]
+             [ Fd.v [ "id" ] [ "dept" ] ]
+             dept_boss));
+  ]
+
+let gen_table =
+  QCheck.make ~print:Table.to_string
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 30 in
+      return (Workload.employees ~seed ~size))
+
+let prop_tests =
+  [
+    QCheck.Test.make ~count:200
+      ~name:"the workload satisfies id -> everything (by construction)"
+      gen_table
+      (fun t -> Fd.is_key [ "id" ] t);
+    QCheck.Test.make ~count:200 ~name:"enforce establishes any FD" gen_table
+      (fun t ->
+        let fd = Fd.v [ "dept" ] [ "salary" ] in
+        Fd.holds fd (Fd.enforce fd t));
+    QCheck.Test.make ~count:200 ~name:"enforce is idempotent" gen_table
+      (fun t ->
+        let fd = Fd.v [ "dept" ] [ "name" ] in
+        let once = Fd.enforce fd t in
+        Table.equal once (Fd.enforce fd once));
+    QCheck.Test.make ~count:200
+      ~name:"FD-conforming tables make project very well-behaved" gen_table
+      (fun t ->
+        (* project keeps name; key name; the FD name -> * must hold for
+           the lens laws, so enforce it first and check GetPut. *)
+        let fd = Fd.v [ "name" ] [ "id"; "dept"; "salary"; "email" ] in
+        let t = Fd.enforce fd t in
+        let l =
+          Rlens.project ~keep:[ "name"; "salary" ] ~key:[ "name" ]
+            Workload.employees_schema
+        in
+        Table.equal (Esm_lens.Lens.put l t (Esm_lens.Lens.get l t)) t);
+  ]
+
+let suite = unit_tests @ Helpers.q prop_tests

@@ -1,0 +1,115 @@
+(** The journalled bx: a lawful set-bx with richer witness structure
+    (edit history in the hidden state), per the paper's conclusions.
+    Well-behaved — including the journal in state equality — but not
+    overwriteable. *)
+
+open Esm_core
+
+let base = Concrete.of_algebraic Fixtures.parity_undoable
+
+let journalled =
+  Journal.journalled ~eq_a:Int.equal ~eq_b:Int.equal base
+
+let eq_state =
+  Journal.equal_state ~eq_a:Int.equal ~eq_b:Int.equal
+    ~eq_s:Esm_laws.Equality.(pair int int)
+
+(* States reached by journaling a random walk from a consistent pair. *)
+let gen_state : (int, int, int * int) Journal.state QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun st -> Printf.sprintf "%d edits" (List.length st.Journal.log))
+    QCheck.Gen.(
+      let* s0 = Fixtures.gen_parity_consistent.QCheck.gen in
+      let* walk = list_size (int_bound 5) (pair bool small_signed_int) in
+      return
+        (List.fold_left
+           (fun st (side, v) ->
+             if side then journalled.Concrete.set_a v st
+             else journalled.Concrete.set_b v st)
+           (Journal.initial s0) walk))
+
+let cfg =
+  Concrete_laws.config ~name:"journalled(parity)" ~gen_state
+    ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int ~eq_a:Int.equal
+    ~eq_b:Int.equal ~eq_state ()
+
+let law_tests = Concrete_laws.well_behaved cfg journalled
+
+let negative_tests =
+  [
+    Helpers.expect_law_failure
+      "journalled bx is not overwriteable (history grows)"
+      (Concrete_laws.ss_a cfg journalled);
+  ]
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "history records effective edits in order" `Quick (fun () ->
+        let st =
+          Journal.initial (0, 0)
+          |> journalled.Concrete.set_a 2
+          |> journalled.Concrete.set_b 5
+          |> journalled.Concrete.set_b 5 (* no-op: not recorded *)
+        in
+        match Journal.history st with
+        | [ Journal.Edited_a 2; Journal.Edited_b 5 ] -> ()
+        | h -> Alcotest.failf "unexpected history of length %d" (List.length h));
+    test_case "no-op sets leave the state untouched" `Quick (fun () ->
+        let st = Journal.initial (4, 6) in
+        let st' = journalled.Concrete.set_a 4 st in
+        check bool "unchanged" true (eq_state st st'));
+    test_case "views ignore the journal" `Quick (fun () ->
+        let st = journalled.Concrete.set_a 8 (Journal.initial (1, 1)) in
+        check int "a view" 8 (journalled.Concrete.get_a st);
+        check bool "b repaired underneath" true
+          (journalled.Concrete.get_b st mod 2 = 0));
+  ]
+
+(* Wrappers stack: an effectful (trace-printing) bx OVER a journalled
+   bx — two layers of witness structure, still lawful. *)
+module Stacked = Esm_core.Effectful.Make (struct
+  type ta = int
+  type tb = int
+  type ts = (int, int, int * int) Journal.state
+
+  let bx = journalled
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+  let equal_s = eq_state
+  let message_a = "audit A"
+  let message_b = "audit B"
+end)
+
+module Stacked_laws = Esm_core.Bx_laws.Set_bx (Stacked)
+
+let stacked_tests =
+  Stacked_laws.well_behaved
+    (Stacked_laws.config ~count:200 ~name:"effectful(journalled(parity))"
+       ~gen_state:gen_state ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int
+       ~eq_a:Int.equal ~eq_b:Int.equal ())
+
+let stacked_unit_tests =
+  [
+    Alcotest.test_case "stacked wrappers: trace AND journal record a change"
+      `Quick
+      (fun () ->
+        let ((), st), trace =
+          Stacked.run (Stacked.set_a 2) (Journal.initial (0, 0))
+        in
+        Alcotest.(check (list string)) "trace" [ "audit A" ] trace;
+        Alcotest.(check int) "journal" 1 (List.length (Journal.history st)));
+    Alcotest.test_case "stacked wrappers: no-op is silent in both layers"
+      `Quick
+      (fun () ->
+        let ((), st), trace =
+          Stacked.run (Stacked.set_a 0) (Journal.initial (0, 0))
+        in
+        Alcotest.(check (list string)) "trace" [] trace;
+        Alcotest.(check int) "journal" 0 (List.length (Journal.history st)));
+  ]
+
+let suite =
+  unit_tests @ stacked_unit_tests
+  @ Helpers.q (law_tests @ stacked_tests)
+  @ negative_tests

@@ -1,0 +1,230 @@
+(** Tests for asymmetric lenses: unit behaviour of every combinator, the
+    lens laws (GetPut/PutGet/PutPut) for each, law preservation by
+    composition, and negative tests showing the harness rejects broken
+    lenses. *)
+
+open Esm_lens
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Unit behaviour                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let unit_tests =
+  [
+    test "id: get and put are trivial" `Quick (fun () ->
+        check Alcotest.int "get" 5 (Lens.get Lens.id 5);
+        check Alcotest.int "put" 9 (Lens.put Lens.id 5 9));
+    test "fst/snd focus pair components" `Quick (fun () ->
+        check Alcotest.int "fst get" 1 (Lens.get Lens.fst_lens (1, "x"));
+        check
+          Alcotest.(pair int string)
+          "fst put" (2, "x")
+          (Lens.put Lens.fst_lens (1, "x") 2);
+        check Alcotest.string "snd get" "x" (Lens.get Lens.snd_lens (1, "x")));
+    test "compose goes through the middle" `Quick (fun () ->
+        let l = Lens.(fst_lens // snd_lens) in
+        check Alcotest.string "get" "mid" (Lens.get l (((1, "mid"), 2.0)));
+        check
+          Alcotest.(pair (pair int string) (float 0.0))
+          "put"
+          ((1, "new"), 2.0)
+          (Lens.put l ((1, "mid"), 2.0) "new"));
+    test "pair applies lenses in parallel" `Quick (fun () ->
+        let l = Lens.pair Lens.fst_lens Lens.id in
+        check
+          Alcotest.(pair int string)
+          "get" (1, "b")
+          (Lens.get l ((1, 2), "b")));
+    test "update is get-modify-put" `Quick (fun () ->
+        check
+          Alcotest.(pair int string)
+          "bump" (6, "k")
+          (Lens.update Lens.fst_lens succ (5, "k")));
+    test "swap is an involution" `Quick (fun () ->
+        check
+          Alcotest.(pair int string)
+          "round trip" (1, "x")
+          (Lens.get Lens.swap (Lens.get Lens.swap ((1, "x") : int * string))));
+    test "const: putting the same view is identity" `Quick (fun () ->
+        let l = Lens.const ~pp:string_of_int 3 in
+        check Alcotest.int "get" 3 (Lens.get l 99);
+        check Alcotest.int "put same" 99 (Lens.put l 99 3));
+    test "const: putting a different view raises" `Quick (fun () ->
+        let l = Lens.const ~pp:string_of_int 3 in
+        Alcotest.check_raises "shape error"
+          (Lens.Shape_error "const lens: cannot put view 4") (fun () ->
+            ignore (Lens.put l 0 4)));
+    test "assoc focuses a key" `Quick (fun () ->
+        let l = Lens.assoc ~pp_key:Fun.id "b" in
+        check Alcotest.int "get" 2 (Lens.get l [ ("a", 1); ("b", 2) ]);
+        check
+          Alcotest.(list (pair string int))
+          "put replaces in place"
+          [ ("a", 1); ("b", 7) ]
+          (Lens.put l [ ("a", 1); ("b", 2) ] 7));
+    test "assoc appends a missing key on put" `Quick (fun () ->
+        let l = Lens.assoc ~pp_key:Fun.id "z" in
+        check
+          Alcotest.(list (pair string int))
+          "appended"
+          [ ("a", 1); ("z", 9) ]
+          (Lens.put l [ ("a", 1) ] 9));
+    test "head focuses the first element" `Quick (fun () ->
+        check Alcotest.int "get" 1 (Lens.get Lens.head [ 1; 2; 3 ]);
+        check
+          Alcotest.(list int)
+          "put" [ 9; 2; 3 ]
+          (Lens.put Lens.head [ 1; 2; 3 ] 9));
+    test "list_map: shorter view drops sources, longer creates" `Quick
+      (fun () ->
+        let l = Lens.list_map ~create:(fun v -> (v, "fresh")) Lens.fst_lens in
+        check
+          Alcotest.(list (pair int string))
+          "shorter"
+          [ (9, "a") ]
+          (Lens.put l [ (1, "a"); (2, "b") ] [ 9 ]);
+        check
+          Alcotest.(list (pair int string))
+          "longer"
+          [ (9, "a"); (8, "fresh") ]
+          (Lens.put l [ (1, "a") ] [ 9; 8 ]));
+    test "filter: put splices kept elements back in position" `Quick
+      (fun () ->
+        let l = Lens.filter ~keep:(fun x -> x mod 2 = 0) in
+        check Alcotest.(list int) "get" [ 2; 4 ] (Lens.get l [ 1; 2; 3; 4 ]);
+        check
+          Alcotest.(list int)
+          "put" [ 1; 20; 3; 40 ]
+          (Lens.put l [ 1; 2; 3; 4 ] [ 20; 40 ]));
+    test "filter: surplus view elements are appended" `Quick (fun () ->
+        let l = Lens.filter ~keep:(fun x -> x mod 2 = 0) in
+        check
+          Alcotest.(list int)
+          "put longer" [ 1; 20; 40; 60 ]
+          (Lens.put l [ 1; 2; 4 ] [ 20; 40; 60 ]));
+    test "filter: rejects a view element failing the predicate" `Quick
+      (fun () ->
+        let l = Lens.filter ~keep:(fun x -> x mod 2 = 0) in
+        Alcotest.check_raises "shape error"
+          (Lens.Shape_error "filter lens: view element fails the predicate")
+          (fun () -> ignore (Lens.put l [ 2 ] [ 3 ])));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Law suites                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let eq_int_list : int list -> int list -> bool = Esm_laws.Equality.(list int)
+
+let law_tests =
+  List.concat
+    [
+      Lens_laws.very_well_behaved ~name:"id" Lens.id ~gen_s:Helpers.small_int
+        ~gen_v:Helpers.small_int ~eq_s:Int.equal ~eq_v:Int.equal;
+      Lens_laws.very_well_behaved ~name:"fst" Lens.fst_lens
+        ~gen_s:Helpers.pair_int_string ~gen_v:Helpers.small_int
+        ~eq_s:Esm_laws.Equality.(pair int string)
+        ~eq_v:Int.equal;
+      Lens_laws.very_well_behaved ~name:"person.name" Fixtures.name_lens
+        ~gen_s:Fixtures.gen_person ~gen_v:Helpers.short_string
+        ~eq_s:Fixtures.equal_person ~eq_v:String.equal;
+      Lens_laws.very_well_behaved ~name:"compose fst;snd"
+        Lens.(fst_lens // snd_lens)
+        ~gen_s:(QCheck.pair Helpers.pair_int_string QCheck.bool)
+        ~gen_v:Helpers.short_string
+        ~eq_s:
+          Esm_laws.Equality.(pair (pair int string) bool)
+        ~eq_v:String.equal;
+      Lens_laws.very_well_behaved ~name:"pair(fst,id)"
+        (Lens.pair Lens.fst_lens Lens.id)
+        ~gen_s:(QCheck.pair Helpers.pair_int_string Helpers.small_int)
+        ~gen_v:(QCheck.pair Helpers.small_int Helpers.small_int)
+        ~eq_s:Esm_laws.Equality.(pair (pair int string) int)
+        ~eq_v:Esm_laws.Equality.(pair int int);
+      Lens_laws.very_well_behaved ~name:"iso negate"
+        (Lens.of_iso ~name:"neg" (fun x -> -x) (fun x -> -x))
+        ~gen_s:Helpers.small_int ~gen_v:Helpers.small_int ~eq_s:Int.equal
+        ~eq_v:Int.equal;
+      (* const: view generator restricted to the single legal view. *)
+      Lens_laws.very_well_behaved ~name:"const 3"
+        (Lens.const ~pp:string_of_int 3)
+        ~gen_s:Helpers.small_int
+        ~gen_v:(QCheck.always 3)
+        ~eq_s:Int.equal ~eq_v:Int.equal;
+      (* assoc: sources with the key present exactly once. *)
+      (let gen_s =
+         QCheck.map
+           (fun (v, rest) -> ("k", v) :: List.map (fun x -> ("o", x)) rest)
+           (QCheck.pair Helpers.small_int (QCheck.small_list Helpers.small_int))
+       in
+       Lens_laws.very_well_behaved ~name:"assoc k"
+         (Lens.assoc ~pp_key:Fun.id "k")
+         ~gen_s ~gen_v:Helpers.small_int
+         ~eq_s:Esm_laws.Equality.(list (pair string int))
+         ~eq_v:Int.equal);
+      (* head: non-empty sources. *)
+      (let gen_s =
+         QCheck.map
+           (fun (x, xs) -> x :: xs)
+           (QCheck.pair Helpers.small_int (QCheck.small_list Helpers.small_int))
+       in
+       Lens_laws.very_well_behaved ~name:"head" Lens.head ~gen_s
+         ~gen_v:Helpers.small_int ~eq_s:eq_int_list ~eq_v:Int.equal);
+      (* list_map over fst: well-behaved on arbitrary views; (PutPut)
+         additionally needs equal-length views (a shrinking view discards
+         source elements that a later longer view cannot recover). *)
+      Lens_laws.well_behaved ~name:"list_map fst"
+        (Lens.list_map ~create:(fun v -> (v, "fresh")) Lens.fst_lens)
+        ~gen_s:(QCheck.small_list Helpers.pair_int_string)
+        ~gen_v:(QCheck.small_list Helpers.small_int)
+        ~eq_s:Esm_laws.Equality.(list (pair int string))
+        ~eq_v:eq_int_list;
+      [
+        QCheck.Test.make ~count:300
+          ~name:"list_map fst (PutPut, equal-length views)"
+          (QCheck.pair
+             (QCheck.small_list Helpers.pair_int_string)
+             (QCheck.small_list (QCheck.pair Helpers.small_int Helpers.small_int)))
+          (fun (s, vv') ->
+            let v = List.map fst vv' and v' = List.map snd vv' in
+            let l =
+              Lens.list_map ~create:(fun x -> (x, "fresh")) Lens.fst_lens
+            in
+            Esm_laws.Equality.(list (pair int string))
+              (Lens.put l (Lens.put l s v) v')
+              (Lens.put l s v'));
+      ];
+      (* filter: views of even numbers only. *)
+      (let gen_v =
+         QCheck.map (List.map (fun x -> 2 * x))
+           (QCheck.small_list Helpers.small_int)
+       in
+       Lens_laws.well_behaved ~name:"filter even"
+         (Lens.filter ~keep:(fun x -> x mod 2 = 0))
+         ~gen_s:(QCheck.small_list Helpers.small_int)
+         ~gen_v ~eq_s:eq_int_list ~eq_v:eq_int_list);
+      (* counted: well-behaved but NOT very-well-behaved. *)
+      Lens_laws.well_behaved ~name:"counted" Fixtures.counted_lens
+        ~gen_s:Fixtures.gen_counted ~gen_v:Helpers.small_int
+        ~eq_s:Fixtures.equal_counted ~eq_v:Int.equal;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Negative tests: the harness detects broken and non-VWB lenses       *)
+(* ------------------------------------------------------------------ *)
+
+let negative_tests =
+  [
+    Helpers.expect_law_failure "broken lens fails PutGet"
+      (Lens_laws.put_get ~name:"broken" Fixtures.broken_lens
+         ~gen_s:Fixtures.gen_person ~gen_v:Helpers.small_int ~eq_v:Int.equal);
+    Helpers.expect_law_failure "counted lens fails PutPut"
+      (Lens_laws.put_put ~name:"counted" Fixtures.counted_lens
+         ~gen_s:Fixtures.gen_counted ~gen_v:Helpers.small_int
+         ~eq_s:Fixtures.equal_counted);
+  ]
+
+let suite = unit_tests @ Helpers.q law_tests @ negative_tests

@@ -1,0 +1,75 @@
+(** Quotienting entangled state monads by observational equivalence (the
+    paper's anticipated analogue of symmetric-lens quotienting): the
+    minimized bx is observationally equivalent to the original, redundant
+    hidden state collapses, and already-minimal systems stay put. *)
+
+open Esm_core
+
+let values = [ 0; 1; 2; 3 ]
+
+let parity_packed =
+  Concrete.pack ~bx:(Concrete.of_algebraic Fixtures.parity_undoable)
+    ~init:(0, 0)
+    ~eq_state:Esm_laws.Equality.(pair int int)
+
+(* The same parity bx with a junk counter in the hidden state: bumped by
+   every effective update, observable by nobody. *)
+let junky_bx : (int, int, (int * int) * int) Concrete.set_bx =
+  let base = Concrete.of_algebraic Fixtures.parity_undoable in
+  {
+    Concrete.name = "junky-parity";
+    get_a = (fun (s, _) -> base.Concrete.get_a s);
+    get_b = (fun (s, _) -> base.Concrete.get_b s);
+    set_a = (fun a (s, j) -> (base.Concrete.set_a a s, (j + 1) mod 7));
+    set_b = (fun b (s, j) -> (base.Concrete.set_b b s, (j + 3) mod 7));
+  }
+
+let junky_packed =
+  Concrete.pack ~bx:junky_bx
+    ~init:((0, 0), 0)
+    ~eq_state:Esm_laws.Equality.(pair (pair int int) int)
+
+let min_parity =
+  Minimize.minimize ~values_a:values ~values_b:values ~eq_a:Int.equal
+    ~eq_b:Int.equal parity_packed
+
+let min_junky =
+  Minimize.minimize ~values_a:values ~values_b:values ~eq_a:Int.equal
+    ~eq_b:Int.equal junky_packed
+
+let gen_value = QCheck.oneofl values
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "exploration closes on the finite alphabet" `Quick (fun () ->
+        check bool "parity complete" true min_parity.Minimize.complete;
+        check bool "junky complete" true min_junky.Minimize.complete);
+    test_case "junk state is strictly collapsed" `Quick (fun () ->
+        check bool "junky explores more states" true
+          (min_junky.Minimize.reachable > min_parity.Minimize.reachable);
+        check int "but the quotients coincide in size"
+          min_parity.Minimize.classes min_junky.Minimize.classes);
+    test_case "parity bx is already minimal" `Quick (fun () ->
+        (* every reachable (a, b) pair is observationally distinct *)
+        check int "classes = reachable" min_parity.Minimize.reachable
+          min_parity.Minimize.classes);
+  ]
+
+let equivalence_tests =
+  [
+    Equivalence.test ~count:400
+      ~name:"quotient of parity is observationally equivalent"
+      ~eq_a:Int.equal ~eq_b:Int.equal ~gen_a:gen_value ~gen_b:gen_value
+      parity_packed min_parity.Minimize.quotient;
+    Equivalence.test ~count:400
+      ~name:"quotient of junky-parity is observationally equivalent"
+      ~eq_a:Int.equal ~eq_b:Int.equal ~gen_a:gen_value ~gen_b:gen_value
+      junky_packed min_junky.Minimize.quotient;
+    Equivalence.test ~count:400
+      ~name:"junky-parity and plain parity share a quotient behaviour"
+      ~eq_a:Int.equal ~eq_b:Int.equal ~gen_a:gen_value ~gen_b:gen_value
+      min_parity.Minimize.quotient min_junky.Minimize.quotient;
+  ]
+
+let suite = unit_tests @ Helpers.q equivalence_tests

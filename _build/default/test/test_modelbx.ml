@@ -1,0 +1,302 @@
+(** Tests for the MDE substrate: object models, metamodel conformance,
+    diff/apply, and QVT-R-lite correspondences as algebraic bx — lifted
+    through Lemma 5 into an entangled state monad over model pairs. *)
+
+open Esm_modelbx
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let model_t : Model.t Alcotest.testable =
+  Alcotest.testable (fun fmt m -> Model.pp fmt m) Model.equal
+
+(* ------------------------------------------------------------------ *)
+(* Models                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let o1 = Model.obj ~id:1 ~cls:"Class" [ ("name", Model.Vstr "Order"); ("abstract", Model.Vbool false); ("doc", Model.Vstr "an order") ]
+let o2 = Model.obj ~id:2 ~cls:"Class" [ ("name", Model.Vstr "Item"); ("abstract", Model.Vbool true); ("doc", Model.Vstr "") ]
+let m12 = Model.of_objects [ o2; o1 ]
+
+let model_tests =
+  [
+    test "of_objects canonicalises order" `Quick (fun () ->
+        match Model.objects m12 with
+        | [ a; b ] ->
+            check Alcotest.int "first" 1 a.Model.id;
+            check Alcotest.int "second" 2 b.Model.id
+        | _ -> Alcotest.fail "expected two objects");
+    test "of_objects rejects duplicate ids" `Quick (fun () ->
+        match Model.of_objects [ o1; o1 ] with
+        | _ -> Alcotest.fail "expected Model_error"
+        | exception Model.Model_error _ -> ());
+    test "attrs are sorted so equality is canonical" `Quick (fun () ->
+        let a =
+          Model.obj ~id:7 ~cls:"C" [ ("z", Model.Vint 1); ("a", Model.Vint 2) ]
+        in
+        let b =
+          Model.obj ~id:7 ~cls:"C" [ ("a", Model.Vint 2); ("z", Model.Vint 1) ]
+        in
+        check Alcotest.bool "equal" true (Model.equal_obj a b));
+    test "update replaces in place" `Quick (fun () ->
+        let m' = Model.update m12 (Model.set_attr o1 "doc" (Model.Vstr "x")) in
+        check Alcotest.bool "doc updated" true
+          (match Model.attr (Option.get (Model.find m' 1)) "doc" with
+          | Some (Model.Vstr "x") -> true
+          | _ -> false));
+    test "next_id is one past the max" `Quick (fun () ->
+        check Alcotest.int "next" 3 (Model.next_id m12);
+        check Alcotest.int "empty" 1 (Model.next_id Model.empty));
+    test "of_class filters" `Quick (fun () ->
+        check Alcotest.int "classes" 2 (List.length (Model.of_class m12 "Class"));
+        check Alcotest.int "none" 0 (List.length (Model.of_class m12 "Other")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metamodels                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let class_mm =
+  Metamodel.v
+    [
+      {
+        Metamodel.cls_name = "Class";
+        attributes =
+          [ ("name", Metamodel.Tstr); ("abstract", Metamodel.Tbool); ("doc", Metamodel.Tstr) ];
+      };
+      {
+        Metamodel.cls_name = "Attr";
+        attributes =
+          [ ("name", Metamodel.Tstr); ("owner", Metamodel.Tref "Class") ];
+      };
+    ]
+
+let table_mm =
+  Metamodel.v
+    [
+      {
+        Metamodel.cls_name = "Table";
+        attributes =
+          [ ("name", Metamodel.Tstr); ("persistent", Metamodel.Tbool); ("engine", Metamodel.Tstr) ];
+      };
+    ]
+
+let metamodel_tests =
+  [
+    test "conforming model passes" `Quick (fun () ->
+        check Alcotest.(list string) "no violations" [] (Metamodel.check class_mm m12));
+    test "missing attribute is reported" `Quick (fun () ->
+        let bad = Model.of_objects [ Model.obj ~id:1 ~cls:"Class" [ ("name", Model.Vstr "X") ] ] in
+        check Alcotest.bool "violations" false (Metamodel.conforms class_mm bad));
+    test "dangling reference is reported" `Quick (fun () ->
+        let bad =
+          Model.of_objects
+            [
+              Model.obj ~id:1 ~cls:"Attr"
+                [ ("name", Model.Vstr "f"); ("owner", Model.Vref 99) ];
+            ]
+        in
+        check Alcotest.bool "violations" false (Metamodel.conforms class_mm bad));
+    test "reference to the right class passes" `Quick (fun () ->
+        let ok =
+          Model.of_objects
+            [
+              o1;
+              Model.obj ~id:5 ~cls:"Attr"
+                [ ("name", Model.Vstr "total"); ("owner", Model.Vref 1) ];
+            ]
+        in
+        check Alcotest.(list string) "no violations" [] (Metamodel.check class_mm ok));
+    test "undefined class in metamodel ref is rejected" `Quick (fun () ->
+        match
+          Metamodel.v
+            [ { Metamodel.cls_name = "X"; attributes = [ ("r", Metamodel.Tref "Nope") ] } ]
+        with
+        | _ -> Alcotest.fail "expected Metamodel_error"
+        | exception Metamodel.Metamodel_error _ -> ());
+    test "fresh_object conforms" `Quick (fun () ->
+        let o = Metamodel.fresh_object table_mm ~cls:"Table" ~id:4 in
+        check Alcotest.(list string) "no violations" []
+          (Metamodel.check table_mm (Model.of_objects [ o ])));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Diff / apply                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let names_pool = [ "Order"; "Item"; "User"; "Invoice"; "Line" ]
+
+(* Small conformant Class models with unique ids and unique names. *)
+let gen_class_model : Model.t QCheck.arbitrary =
+  QCheck.make
+    ~print:Model.to_string
+    QCheck.Gen.(
+      let* n = int_bound (List.length names_pool) in
+      let* flags = flatten_l (List.init n (fun _ -> bool)) in
+      let* docs = flatten_l (List.init n (fun _ -> string_size ~gen:(char_range 'a' 'z') (int_bound 5))) in
+      return
+        (Model.of_objects
+           (List.mapi
+              (fun i ((name, abstract), doc) ->
+                Model.obj ~id:(i + 1) ~cls:"Class"
+                  [
+                    ("name", Model.Vstr name);
+                    ("abstract", Model.Vbool abstract);
+                    ("doc", Model.Vstr doc);
+                  ])
+              (List.combine
+                 (List.combine (List.filteri (fun i _ -> i < n) names_pool) flags)
+                 docs))))
+
+let diff_tests =
+  [
+    QCheck.Test.make ~count:300 ~name:"diff/apply round trip"
+      (QCheck.pair gen_class_model gen_class_model)
+      (fun (m1, m2) -> Model.equal (Diff.apply m1 (Diff.diff m1 m2)) m2);
+    QCheck.Test.make ~count:300 ~name:"diff to self is empty"
+      gen_class_model
+      (fun m -> Diff.diff m m = []);
+    QCheck.Test.make ~count:300 ~name:"distance is symmetric in emptiness"
+      gen_class_model
+      (fun m -> (Diff.distance m m = 0) && Diff.distance Model.empty m = Model.size m);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Correspondences: Class <-> Table                                    *)
+(* ------------------------------------------------------------------ *)
+
+let spec =
+  Mbx.v ~name:"class<->table" ~left_mm:class_mm ~right_mm:table_mm
+    [
+      {
+        Mbx.left_class = "Class";
+        right_class = "Table";
+        key = [ ("name", "name") ];
+        synced = [ ("abstract", "persistent") ];
+      };
+    ]
+
+let bx = Mbx.to_algbx spec
+
+let gen_pair = QCheck.pair gen_class_model gen_class_model
+
+let gen_consistent : (Model.t * Model.t) QCheck.arbitrary =
+  QCheck.map
+    ~rev:Fun.id
+    (fun (left, seed_right) ->
+      (* make a consistent pair whose right side has non-default private
+         attributes where possible *)
+      let right = Mbx.fwd spec left seed_right in
+      (left, right))
+    gen_pair
+
+let algbx_law_tests =
+  List.concat
+    [
+      Esm_algbx.Algbx_laws.correct ~count:150 ~name:"mbx class<->table" bx
+        ~gen_a:gen_class_model ~gen_b:gen_class_model;
+      Esm_algbx.Algbx_laws.hippocratic ~count:150 ~name:"mbx class<->table" bx
+        ~gen_consistent ~eq_a:Model.equal ~eq_b:Model.equal;
+    ]
+
+(* Lemma 5 applied to the MDE bx: the entangled state monad over
+   consistent model pairs. *)
+module Mde_bx = Esm_core.Of_algebraic.Make (struct
+  type ta = Model.t
+  type tb = Model.t
+
+  let bx = bx
+  let equal_a = Model.equal
+  let equal_b = Model.equal
+end)
+
+module Mde_laws = Esm_core.Bx_laws.Set_bx (Mde_bx)
+
+let set_bx_law_tests =
+  Mde_laws.well_behaved
+    (Mde_laws.config ~count:100 ~name:"of_algebraic(mbx)"
+       ~gen_state:gen_consistent ~gen_a:gen_class_model
+       ~gen_b:(QCheck.map (fun (_, r) -> r) gen_consistent)
+       ~eq_a:Model.equal ~eq_b:Model.equal ())
+
+let scenario_tests =
+  [
+    test "editing the class model creates/updates/deletes tables" `Quick
+      (fun () ->
+        let left = m12 in
+        let right = Mbx.fwd spec left Model.empty in
+        check Alcotest.int "two tables" 2 (Model.size right);
+        (* rename Item -> Product on the left; sync *)
+        let left' =
+          Model.update left
+            (Model.set_attr o2 "name" (Model.Vstr "Product"))
+        in
+        let right' = Mbx.fwd spec left' right in
+        let names =
+          List.filter_map
+            (fun o -> match Model.attr o "name" with
+              | Some (Model.Vstr s) -> Some s
+              | _ -> None)
+            (Model.of_class right' "Table")
+        in
+        check
+          Alcotest.(slist string String.compare)
+          "tables follow" [ "Order"; "Product" ] names);
+    test "private attributes survive synchronisation" `Quick (fun () ->
+        let left = m12 in
+        let right0 = Mbx.fwd spec left Model.empty in
+        (* DBA sets a custom engine on the Order table *)
+        let order_table =
+          List.find
+            (fun o -> Model.attr o "name" = Some (Model.Vstr "Order"))
+            (Model.objects right0)
+        in
+        let right1 =
+          Model.update right0
+            (Model.set_attr order_table "engine" (Model.Vstr "innodb"))
+        in
+        (* developer flips abstract on the left; sync again *)
+        let left' =
+          Model.update left (Model.set_attr o1 "abstract" (Model.Vbool true))
+        in
+        let right2 = Mbx.fwd spec left' right1 in
+        let order_table' =
+          List.find
+            (fun o -> Model.attr o "name" = Some (Model.Vstr "Order"))
+            (Model.objects right2)
+        in
+        check Alcotest.bool "engine kept" true
+          (Model.attr order_table' "engine" = Some (Model.Vstr "innodb"));
+        check Alcotest.bool "persistent followed" true
+          (Model.attr order_table' "persistent" = Some (Model.Vbool true)));
+    test "bwd repairs the class model from the schema" `Quick (fun () ->
+        let left = m12 in
+        let right = Mbx.fwd spec left Model.empty in
+        (* drop the Item table; bwd must drop the Item class *)
+        let item_table =
+          List.find
+            (fun o -> Model.attr o "name" = Some (Model.Vstr "Item"))
+            (Model.objects right)
+        in
+        let right' = Model.remove right item_table.Model.id in
+        let left' = Mbx.bwd spec left right' in
+        check Alcotest.int "one class left" 1 (Model.size left');
+        (* the surviving class keeps its doc (private attribute) *)
+        let survivor = List.hd (Model.objects left') in
+        check Alcotest.bool "doc kept" true
+          (Model.attr survivor "doc" = Some (Model.Vstr "an order")));
+    test "restored models conform to their metamodels" `Quick (fun () ->
+        let right = Mbx.fwd spec m12 Model.empty in
+        check Alcotest.(list string) "right conforms" []
+          (Metamodel.check table_mm right));
+    test "fwd reaches a consistent pair" `Quick (fun () ->
+        let right = Mbx.fwd spec m12 Model.empty in
+        check Alcotest.bool "consistent" true (Mbx.consistent spec m12 right));
+  ]
+
+let _ = model_t
+
+let suite =
+  model_tests @ metamodel_tests
+  @ Helpers.q (diff_tests @ algbx_law_tests @ set_bx_law_tests)
+  @ scenario_tests

@@ -1,0 +1,483 @@
+(** Tests for the monad substrate: unit behaviour of every monad, the
+    three monad laws (property-based), the four state-cell laws for the
+    state monad and transformer stacks, and the free-monad/state-theory
+    normal-form results. *)
+
+open Esm_monad
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Identity, Option, Result, List: unit behaviour                      *)
+(* ------------------------------------------------------------------ *)
+
+let unit_tests =
+  [
+    test "identity: bind chains" `Quick (fun () ->
+        check Alcotest.int "run" 7
+          (Identity.run Identity.(bind (return 3) (fun x -> return (x + 4)))));
+    test "option: bind short-circuits" `Quick (fun () ->
+        check
+          Alcotest.(option int)
+          "none" None
+          (Option_monad.bind Option_monad.fail (fun x ->
+               Option_monad.return (x + 1))));
+    test "option: plus is left-biased" `Quick (fun () ->
+        check
+          Alcotest.(option int)
+          "left" (Some 1)
+          (Option_monad.plus (Some 1) (Some 2)));
+    test "result: catch recovers" `Quick (fun () ->
+        let module R = Result_monad.String_error in
+        check Alcotest.int "recovered" 42
+          (R.run
+             (R.catch (R.fail "boom") (fun _ -> R.return 42))
+             ~ok:Fun.id
+             ~error:(fun _ -> -1)));
+    test "list: bind is concat_map" `Quick (fun () ->
+        check
+          Alcotest.(list int)
+          "pairs" [ 10; 11; 20; 21 ]
+          (List_monad.bind [ 10; 20 ] (fun x -> [ x; x + 1 ])));
+    test "list: choices builds the n-ary product" `Quick (fun () ->
+        check Alcotest.int "count" 6
+          (List.length (List_monad.choices [ [ 1; 2 ]; [ 3; 4; 5 ] ])));
+    test "reader: local rescopes the environment" `Quick (fun () ->
+        let module R = Reader.Make (struct
+          type t = int
+        end) in
+        check Alcotest.int "doubled" 12
+          (R.run (R.local (fun e -> e * 2) R.ask) 6));
+    test "writer: tell accumulates in order" `Quick (fun () ->
+        let open Writer.Trace in
+        let _, log =
+          run (bind (tell [ "a" ]) (fun () -> tell [ "b" ]))
+        in
+        check Alcotest.(list string) "log" [ "a"; "b" ] log);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Derived combinators from Extend                                     *)
+(* ------------------------------------------------------------------ *)
+
+let derived_tests =
+  [
+    test "map_m collects left-to-right effects" `Quick (fun () ->
+        let open Writer.Trace in
+        let step x = bind (tell [ string_of_int x ]) (fun () -> return (x * x)) in
+        let squares, log = run (map_m step [ 1; 2; 3 ]) in
+        check Alcotest.(list int) "values" [ 1; 4; 9 ] squares;
+        check Alcotest.(list string) "order" [ "1"; "2"; "3" ] log);
+    test "fold_m threads the accumulator" `Quick (fun () ->
+        check
+          Alcotest.(option int)
+          "sum" (Some 10)
+          (Option_monad.fold_m (fun acc x -> Some (acc + x)) 0 [ 1; 2; 3; 4 ]));
+    test "replicate_m repeats the effect" `Quick (fun () ->
+        let module S = State.Make (struct
+          type t = int
+        end) in
+        let bump = S.bind S.get (fun n -> S.bind (S.set (n + 1)) (fun () -> S.return n)) in
+        let xs, final = S.run (S.replicate_m 4 bump) 0 in
+        check Alcotest.(list int) "values" [ 0; 1; 2; 3 ] xs;
+        check Alcotest.int "state" 4 final);
+    test "when_m gates the effect" `Quick (fun () ->
+        let _, log = Io_sim.run (Io_sim.when_m false (Io_sim.print "no")) in
+        check Alcotest.(list string) "silent" [] log);
+    test "sequence_unit runs all" `Quick (fun () ->
+        let _, log =
+          Io_sim.run
+            (Io_sim.sequence_unit [ Io_sim.print "x"; Io_sim.print "y" ])
+        in
+        check Alcotest.(list string) "both" [ "x"; "y" ] log);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Monad laws, property-based                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Option *)
+module Option_runnable = struct
+  type 'a t = 'a option
+  type world = unit
+  type 'a result = 'a option
+
+  let return = Option_monad.return
+  let bind = Option_monad.bind
+  let run ma () = ma
+  let equal_result eq = Esm_laws.Equality.option eq
+end
+
+module Option_laws = Esm_laws.Monad_laws.Make (Option_runnable)
+
+(* List *)
+module List_runnable = struct
+  type 'a t = 'a list
+  type world = unit
+  type 'a result = 'a list
+
+  let return = List_monad.return
+  let bind = List_monad.bind
+  let run ma () = ma
+  let equal_result eq = Esm_laws.Equality.list eq
+end
+
+module List_laws = Esm_laws.Monad_laws.Make (List_runnable)
+
+(* State on int *)
+module Int_state = State.Make (struct
+  type t = int
+end)
+
+module State_runnable = struct
+  type 'a t = 'a Int_state.t
+  type world = int
+  type 'a result = 'a * int
+
+  let return = Int_state.return
+  let bind = Int_state.bind
+  let run = Int_state.run
+  let equal_result eq (a1, s1) (a2, s2) = eq a1 a2 && Int.equal s1 s2
+end
+
+module State_laws = Esm_laws.Monad_laws.Make (State_runnable)
+
+(* Io_sim *)
+module Io_runnable = struct
+  type 'a t = 'a Io_sim.t
+  type world = unit
+  type 'a result = 'a * string list
+
+  let return = Io_sim.return
+  let bind = Io_sim.bind
+  let run ma () = Io_sim.run ma
+  let equal_result eq (a1, t1) (a2, t2) =
+    eq a1 a2 && Esm_laws.Equality.(list string) t1 t2
+end
+
+module Io_laws = Esm_laws.Monad_laws.Make (Io_runnable)
+
+let gen_unit_world = QCheck.unit
+
+let gen_state_comp : int Int_state.t QCheck.arbitrary =
+  QCheck.map
+    (fun (k, mode) ->
+      match mode mod 3 with
+      | 0 -> Int_state.return k
+      | 1 -> Int_state.bind Int_state.get (fun s -> Int_state.return (s + k))
+      | _ ->
+          Int_state.bind (Int_state.set k) (fun () ->
+              Int_state.bind Int_state.get (fun s -> Int_state.return (s * 2)))
+    )
+    (QCheck.pair QCheck.small_signed_int QCheck.small_nat)
+
+let gen_io_comp : int Io_sim.t QCheck.arbitrary =
+  QCheck.map
+    (fun (k, noisy) ->
+      if noisy then
+        Io_sim.bind (Io_sim.print (string_of_int k)) (fun () -> Io_sim.return k)
+      else Io_sim.return k)
+    (QCheck.pair QCheck.small_signed_int QCheck.bool)
+
+let monad_law_tests =
+  [
+    Option_laws.left_unit ~name:"option" ~gen_a:Helpers.small_int
+      ~gen_world:gen_unit_world
+      ~f:(fun x -> if x mod 3 = 0 then None else Some (x + 1))
+      ~eq_b:Int.equal ();
+    Option_laws.right_unit ~name:"option"
+      ~gen_ma:(QCheck.option Helpers.small_int) ~gen_world:gen_unit_world
+      ~eq_a:Int.equal ();
+    Option_laws.assoc ~name:"option" ~gen_ma:(QCheck.option Helpers.small_int)
+      ~gen_world:gen_unit_world
+      ~f:(fun x -> if x < 0 then None else Some (x * 2))
+      ~g:(fun x -> if x > 50 then None else Some (string_of_int x))
+      ~eq_c:String.equal ();
+    List_laws.left_unit ~name:"list" ~gen_a:Helpers.small_int
+      ~gen_world:gen_unit_world
+      ~f:(fun x -> [ x; x + 1 ])
+      ~eq_b:Int.equal ();
+    List_laws.right_unit ~name:"list"
+      ~gen_ma:(QCheck.small_list Helpers.small_int) ~gen_world:gen_unit_world
+      ~eq_a:Int.equal ();
+    List_laws.assoc ~name:"list" ~gen_ma:(QCheck.small_list Helpers.small_int)
+      ~gen_world:gen_unit_world
+      ~f:(fun x -> [ x; -x ])
+      ~g:(fun x -> if x >= 0 then [ x ] else [])
+      ~eq_c:Int.equal ();
+    State_laws.left_unit ~name:"state" ~gen_a:Helpers.small_int
+      ~gen_world:Helpers.small_int
+      ~f:(fun x -> Int_state.bind (Int_state.set x) (fun () -> Int_state.return x))
+      ~eq_b:Int.equal ();
+    State_laws.right_unit ~name:"state" ~gen_ma:gen_state_comp
+      ~gen_world:Helpers.small_int ~eq_a:Int.equal ();
+    State_laws.assoc ~name:"state" ~gen_ma:gen_state_comp
+      ~gen_world:Helpers.small_int
+      ~f:(fun x -> Int_state.bind (Int_state.set (x + 1)) (fun () -> Int_state.return x))
+      ~g:(fun x -> Int_state.gets (fun s -> s + x))
+      ~eq_c:Int.equal ();
+    Io_laws.left_unit ~name:"io_sim" ~gen_a:Helpers.small_int
+      ~gen_world:gen_unit_world
+      ~f:(fun x ->
+        Io_sim.bind (Io_sim.print "f") (fun () -> Io_sim.return (x + 1)))
+      ~eq_b:Int.equal ();
+    Io_laws.right_unit ~name:"io_sim" ~gen_ma:gen_io_comp
+      ~gen_world:gen_unit_world ~eq_a:Int.equal ();
+    Io_laws.assoc ~name:"io_sim" ~gen_ma:gen_io_comp
+      ~gen_world:gen_unit_world
+      ~f:(fun x -> Io_sim.bind (Io_sim.print "f") (fun () -> Io_sim.return x))
+      ~g:(fun x -> Io_sim.return (x * 2))
+      ~eq_c:Int.equal ();
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* State-cell laws for the state monad itself                          *)
+(* ------------------------------------------------------------------ *)
+
+module State_cell = Esm_laws.Cell_laws.Make (struct
+  include State_runnable
+
+  type value = int
+
+  let get = Int_state.get
+  let set = Int_state.set
+end)
+
+let state_cell_tests =
+  State_cell.overwriteable
+    (State_cell.config ~name:"state-monad" ~gen_world:Helpers.small_int
+       ~gen_value:Helpers.small_int ~eq_value:Int.equal ())
+
+(* StateT over Io_sim also forms a lawful cell (no printing involved). *)
+module Stio = State_t.Make (struct
+  type t = int
+end) (Io_sim)
+
+module Stio_cell = Esm_laws.Cell_laws.Make (struct
+  type 'a t = 'a Stio.t
+  type world = int
+  type 'a result = ('a * int) * string list
+  type value = int
+
+  let return = Stio.return
+  let bind = Stio.bind
+  let run ma s = Io_sim.run (ma s)
+  let equal_result eq ((a1, s1), t1) ((a2, s2), t2) =
+    eq a1 a2 && Int.equal s1 s2 && Esm_laws.Equality.(list string) t1 t2
+  let get = Stio.get
+  let set = Stio.set
+end)
+
+let stio_cell_tests =
+  Stio_cell.overwriteable
+    (Stio_cell.config ~name:"stateT-io_sim" ~gen_world:Helpers.small_int
+       ~gen_value:Helpers.small_int ~eq_value:Int.equal ())
+
+(* ------------------------------------------------------------------ *)
+(* Transformers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Wt = Writer_t.Make (struct
+  type t = string list
+
+  let empty = []
+  let combine = ( @ )
+end) (struct
+  type 'a t = 'a option
+
+  let return = Option_monad.return
+  let bind = Option_monad.bind
+end)
+
+module Ot = Option_t.Make (struct
+  type 'a t = 'a Int_state.t
+
+  let return = Int_state.return
+  let bind = Int_state.bind
+end)
+
+let transformer_tests =
+  let test = Alcotest.test_case in
+  [
+    test "writer_t: output threads through the inner monad" `Quick (fun () ->
+        let prog =
+          Wt.bind (Wt.tell [ "a" ]) (fun () ->
+              Wt.bind (Wt.lift (Some 5)) (fun x ->
+                  Wt.bind (Wt.tell [ "b" ]) (fun () -> Wt.return (x * 2))))
+        in
+        match Wt.run prog with
+        | Some (10, [ "a"; "b" ]) -> ()
+        | _ -> Alcotest.fail "unexpected");
+    test "writer_t: inner failure drops everything" `Quick (fun () ->
+        let prog = Wt.bind (Wt.tell [ "a" ]) (fun () -> Wt.lift None) in
+        Alcotest.(check bool) "none" true (Wt.run prog = None));
+    test "option_t: failure aborts but state survives up to it" `Quick
+      (fun () ->
+        let prog =
+          Ot.bind (Ot.lift (Int_state.set 9)) (fun () ->
+              Ot.bind (Ot.fail ()) (fun _ -> Ot.return 1))
+        in
+        let v, s = Int_state.run (Ot.run prog) 0 in
+        Alcotest.(check bool) "failed" true (v = None);
+        Alcotest.(check int) "state written before the failure" 9 s);
+    test "option_t: plus recovers" `Quick (fun () ->
+        let prog = Ot.plus (Ot.fail ()) (Ot.return 7) in
+        let v, _ = Int_state.run (Ot.run prog) 0 in
+        Alcotest.(check bool) "recovered" true (v = Some 7));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Io_sim behaviour                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let io_tests =
+  [
+    test "print order is preserved" `Quick (fun () ->
+        let _, log =
+          Io_sim.run
+            Io_sim.Infix.(Io_sim.print "1" >> Io_sim.print "2" >> Io_sim.print "3")
+        in
+        check Alcotest.(list string) "trace" [ "1"; "2"; "3" ] log);
+    test "read_line consumes the input queue" `Quick (fun () ->
+        let (l1, l2), _ =
+          Io_sim.run ~input:[ "a"; "b" ]
+            (Io_sim.product Io_sim.read_line Io_sim.read_line)
+        in
+        check Alcotest.(option string) "first" (Some "a") l1;
+        check Alcotest.(option string) "second" (Some "b") l2);
+    test "read_line on empty input yields None" `Quick (fun () ->
+        check
+          Alcotest.(option string)
+          "none" None
+          (Io_sim.value Io_sim.read_line));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Free monad and the state theory                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Theory = State_theory.Make (struct
+  type t = int
+end)
+
+let sample_states = [ -5; -1; 0; 1; 2; 17; 100 ]
+
+let term_equal ?(eq_a = ( = )) t1 t2 =
+  Theory.equal_on ~eq_a ~eq_state:Int.equal sample_states t1 t2
+
+let gen_term : int Theory.Term.t QCheck.arbitrary =
+  (* Random programs over get/set/arithmetic. *)
+  let open QCheck in
+  let open Theory in
+  map
+    (fun spec ->
+      List.fold_left
+        (fun acc instr ->
+          Term.bind acc (fun x ->
+              match instr mod 4 with
+              | 0 -> gets (fun s -> s + x)
+              | 1 -> Term.bind (set x) (fun () -> Term.return x)
+              | 2 -> modify (fun s -> s * 2) |> fun m -> Term.bind m (fun () -> Term.return x)
+              | _ -> Term.return (x + 1)))
+        (Term.return 1)
+        spec)
+    (small_list small_nat)
+
+let theory_tests =
+  [
+    test "get/set satisfy the four laws syntactically-normalised" `Quick
+      (fun () ->
+        let open Theory in
+        (* (GS) *)
+        Alcotest.(check bool)
+          "GS" true
+          (term_equal (Term.bind get set) (Term.return ()));
+        (* (SG) *)
+        Alcotest.(check bool)
+          "SG" true
+          (term_equal
+             (Term.bind (set 7) (fun () -> get))
+             (Term.bind (set 7) (fun () -> Term.return 7)));
+        (* (SS) *)
+        Alcotest.(check bool)
+          "SS" true
+          (term_equal
+             (Term.bind (set 1) (fun () -> set 2))
+             (set 2)));
+    test "denote interprets a small program" `Quick (fun () ->
+        let open Theory in
+        let prog =
+          Term.bind get (fun s ->
+              Term.bind (set (s * 10)) (fun () -> gets (fun s' -> s' + 1)))
+        in
+        let a, s = denote prog 4 in
+        check Alcotest.int "value" 41 a;
+        check Alcotest.int "state" 40 s);
+    test "ops_performed counts the executed spine" `Quick (fun () ->
+        let open Theory in
+        let prog = Term.bind get (fun s -> set (s + 1)) in
+        check Alcotest.int "two ops" 2 (ops_performed prog 0));
+    test "canonical has exactly two operations" `Quick (fun () ->
+        let open Theory in
+        let prog =
+          Term.bind get (fun _ ->
+              Term.bind (set 3) (fun () ->
+                  Term.bind get (fun s -> Term.bind (set (s + 1)) (fun () -> get))))
+        in
+        check Alcotest.int "original is longer" 5 (ops_performed prog 0);
+        check Alcotest.int "canonical is get;set" 2
+          (ops_performed (canonical prog) 0));
+  ]
+
+let theory_prop_tests =
+  [
+    QCheck.Test.make ~count:300
+      ~name:"state theory: every term equals its canonical normal form"
+      gen_term
+      (fun t -> term_equal ~eq_a:Int.equal t (Theory.canonical t));
+    QCheck.Test.make ~count:300
+      ~name:"state theory: canonical is idempotent up to equality" gen_term
+      (fun t ->
+        term_equal ~eq_a:Int.equal (Theory.canonical t)
+          (Theory.canonical (Theory.canonical t)));
+  ]
+
+(* Free monad interpreted into the list monad: a non-state handler. *)
+module Choice_sig = struct
+  type 'a t = Choose of 'a * 'a
+
+  let map f (Choose (l, r)) = Choose (f l, f r)
+end
+
+module Choice = Free.Make (Choice_sig)
+
+let free_tests =
+  [
+    test "free monad interprets into list nondeterminism" `Quick (fun () ->
+        let module I = Choice.Interpret (struct
+          type 'a t = 'a list
+
+          let return = List_monad.return
+          let bind = List_monad.bind
+        end) in
+        let handler =
+          { I.handle = (fun (Choice_sig.Choose (l, r)) -> l @ r) }
+        in
+        let coin = Choice.lift (Choice_sig.Choose (0, 1)) in
+        let two_coins =
+          Choice.bind coin (fun x ->
+              Choice.bind coin (fun y -> Choice.return ((2 * x) + y)))
+        in
+        check Alcotest.(list int) "all outcomes" [ 0; 1; 2; 3 ]
+          (I.run handler two_coins));
+  ]
+
+let suite =
+  unit_tests @ derived_tests
+  @ Helpers.q monad_law_tests
+  @ Helpers.q state_cell_tests
+  @ Helpers.q stio_cell_tests
+  @ transformer_tests @ io_tests @ theory_tests
+  @ Helpers.q theory_prop_tests
+  @ free_tests

@@ -1,0 +1,91 @@
+(** Multi-directional entanglement: three views over shared state.  Each
+    binary face of the tri-bx satisfies the set-bx laws on aligned
+    states, and a set on any one side is visible from the other two. *)
+
+open Esm_core
+
+let name_bx = Concrete.of_lens Fixtures.name_lens
+
+let upper_bx =
+  Concrete.of_lens
+    (Esm_lens.Lens.of_iso ~name:"upper" String.uppercase_ascii
+       String.lowercase_ascii)
+
+(* person <-> name <-> NAME, with all three views exposed. *)
+let tri = Multiway.of_chain name_bx upper_bx
+
+let p0 = Fixtures.{ name = "ada"; age = 36; email = "a@x" }
+
+let gen_lower_person =
+  QCheck.map
+    (fun p -> Fixtures.{ p with name = String.lowercase_ascii p.name })
+    Fixtures.gen_person
+
+let gen_aligned : (Fixtures.person * string) QCheck.arbitrary =
+  QCheck.map (fun p -> (p, p.Fixtures.name)) gen_lower_person
+
+let gen_lower = QCheck.map String.lowercase_ascii Helpers.short_string
+let gen_upper = QCheck.map String.uppercase_ascii Helpers.short_string
+let eq_state = Esm_laws.Equality.pair Fixtures.equal_person String.equal
+
+(* Laws on every face. *)
+
+let face_ab_tests =
+  Concrete_laws.overwriteable
+    (Concrete_laws.config ~name:"multiway.face_ab" ~gen_state:gen_aligned
+       ~gen_a:gen_lower_person ~gen_b:gen_lower ~eq_a:Fixtures.equal_person
+       ~eq_b:String.equal ~eq_state ())
+    (Multiway.face_ab tri)
+
+let face_bc_tests =
+  Concrete_laws.overwriteable
+    (Concrete_laws.config ~name:"multiway.face_bc" ~gen_state:gen_aligned
+       ~gen_a:gen_lower ~gen_b:gen_upper ~eq_a:String.equal
+       ~eq_b:String.equal ~eq_state ())
+    (Multiway.face_bc tri)
+
+let outer_tests =
+  Concrete_laws.overwriteable
+    (Concrete_laws.config ~name:"multiway.to_binary" ~gen_state:gen_aligned
+       ~gen_a:gen_lower_person ~gen_b:gen_upper ~eq_a:Fixtures.equal_person
+       ~eq_b:String.equal ~eq_state ())
+    (Multiway.to_binary tri)
+
+(* The middle view stays aligned with both ends after any update. *)
+let alignment_test =
+  QCheck.Test.make ~count:500 ~name:"multiway: all three views stay aligned"
+    (QCheck.pair gen_aligned
+       (QCheck.oneof
+          [
+            QCheck.map (fun p -> Multiway.Set_a p) gen_lower_person;
+            QCheck.map (fun b -> Multiway.Set_b b) gen_lower;
+            QCheck.map (fun c -> Multiway.Set_c c) gen_upper;
+          ]))
+    (fun (s, op) ->
+      let s' = Multiway.apply tri op s in
+      String.equal (tri.Multiway.get_b s')
+        (tri.Multiway.get_a s').Fixtures.name
+      && String.equal (tri.Multiway.get_c s')
+           (String.uppercase_ascii (tri.Multiway.get_b s')))
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "set_a reaches both b and c" `Quick (fun () ->
+        let s = (p0, "ada") in
+        let s' = tri.Multiway.set_a Fixtures.{ p0 with name = "grace" } s in
+        check string "b view" "grace" (tri.Multiway.get_b s');
+        check string "c view" "GRACE" (tri.Multiway.get_c s'));
+    test_case "set_b reaches both a and c" `Quick (fun () ->
+        let s' = tri.Multiway.set_b "hopper" (p0, "ada") in
+        check string "a view" "hopper" (tri.Multiway.get_a s').Fixtures.name;
+        check string "c view" "HOPPER" (tri.Multiway.get_c s'));
+    test_case "set_c reaches both a and b" `Quick (fun () ->
+        let s' = tri.Multiway.set_c "CURRY" (p0, "ada") in
+        check string "a view" "curry" (tri.Multiway.get_a s').Fixtures.name;
+        check string "b view" "curry" (tri.Multiway.get_b s'));
+  ]
+
+let suite =
+  unit_tests
+  @ Helpers.q (face_ab_tests @ face_bc_tests @ outer_tests @ [ alignment_test ])

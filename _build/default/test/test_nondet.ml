@@ -1,0 +1,83 @@
+(** Nondeterministic bx (paper §5: "effects such as ... nondeterminism"):
+    the set-bx laws in the outcome-multiset reading, hippocratic
+    single-outcome behaviour, consistency of every branch, and the
+    expected failure of (SS). *)
+
+open Esm_core
+
+(* Consistency: |a - b| <= 1.  Repairs offer every value within 1 of the
+   newly set side — three equally minimal candidates. *)
+module Near = Nondet.Make (struct
+  type ta = int
+  type tb = int
+
+  let consistent a b = abs (a - b) <= 1
+  let fwd_choices a _ = [ a - 1; a; a + 1 ]
+  let bwd_choices _ b = [ b - 1; b; b + 1 ]
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+  let compare_state = compare
+end)
+
+module Near_laws = Bx_laws.Set_bx (Near)
+
+let gen_consistent : (int * int) QCheck.arbitrary =
+  QCheck.map
+    (fun (a, d) -> (a, a + (d mod 2)))
+    (QCheck.pair Helpers.small_int QCheck.small_nat)
+
+let law_tests =
+  Near_laws.well_behaved
+    (Near_laws.config ~name:"nondet(near)" ~gen_state:gen_consistent
+       ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int ~eq_a:Int.equal
+       ~eq_b:Int.equal ())
+
+let invariant_tests =
+  [
+    QCheck.Test.make ~count:500
+      ~name:"nondet: every branch of set_a is consistent"
+      (QCheck.pair gen_consistent Helpers.small_int)
+      (fun (s, a) ->
+        List.for_all
+          (fun ((), s') -> Near.consistent s')
+          (Near.outcomes (Near.set_a a) s));
+    QCheck.Test.make ~count:500
+      ~name:"nondet: hippocratic sets have exactly one outcome"
+      gen_consistent
+      (fun s ->
+        List.length (Near.outcomes (Near.bind Near.get_a Near.set_a) s) = 1);
+    QCheck.Test.make ~count:500
+      ~name:"nondet: inconsistent set fans out to all minimal repairs"
+      (QCheck.pair gen_consistent Helpers.small_int)
+      (fun ((a0, b0), a) ->
+        let n = List.length (Near.outcomes (Near.set_a a) (a0, b0)) in
+        if abs (a - b0) <= 1 then n = 1 else n = 3);
+  ]
+
+let negative_tests =
+  [
+    Helpers.expect_law_failure "nondet bx is not overwriteable"
+      (Near_laws.A_cell.ss
+         (Near_laws.A_cell.config ~name:"near.A" ~gen_world:gen_consistent
+            ~gen_value:Helpers.small_int ~eq_value:Int.equal ()));
+  ]
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "set far away explores three repairs" `Quick (fun () ->
+        let outcomes = Near.outcomes (Near.set_a 10) (0, 0) in
+        check int "three branches" 3 (List.length outcomes);
+        check bool "all install a=10" true
+          (List.for_all (fun ((), (a, _)) -> a = 10) outcomes));
+    test_case "bind explores the branch product" `Quick (fun () ->
+        let open Near.Infix in
+        (* two fan-outs of 3, but states coincide after normalisation to
+           the second repair's neighbourhood *)
+        let outcomes = Near.outcomes (Near.set_a 10 >> Near.set_b 20) (0, 0) in
+        check int "three distinct final states" 3 (List.length outcomes);
+        check bool "all install b=20" true
+          (List.for_all (fun ((), (_, b)) -> b = 20) outcomes));
+  ]
+
+let suite = unit_tests @ Helpers.q (law_tests @ invariant_tests) @ negative_tests

@@ -1,0 +1,110 @@
+(** Lemma 5: an algebraic bx (Correct + Hippocratic) yields a set-bx over
+    the state of consistent pairs; an undoable bx yields an overwriteable
+    set-bx.
+
+    Validated for the undoable and non-undoable parity bx from the
+    fixtures, plus the identity bx.  Also checks the construction
+    preserves the consistency invariant. *)
+
+open Esm_core
+
+module Parity_bx = Of_algebraic.Make (struct
+  type ta = int
+  type tb = int
+
+  let bx = Fixtures.parity_undoable
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+module Parity_laws = Bx_laws.Set_bx (Parity_bx)
+
+module Sticky_bx = Of_algebraic.Make (struct
+  type ta = int
+  type tb = int
+
+  let bx = Fixtures.parity_sticky
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+module Sticky_laws = Bx_laws.Set_bx (Sticky_bx)
+
+module Id_bx = Of_algebraic.Make (struct
+  type ta = int
+  type tb = int
+
+  let bx = Esm_algbx.Algbx.identity ~eq:Int.equal
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+module Id_laws = Bx_laws.Set_bx (Id_bx)
+
+let gen_id_consistent = QCheck.map (fun a -> (a, a)) Helpers.small_int
+
+let law_tests =
+  List.concat
+    [
+      Parity_laws.overwriteable
+        (Parity_laws.config ~name:"of_algebraic(parity-undoable)"
+           ~gen_state:Fixtures.gen_parity_consistent ~gen_a:Helpers.small_int
+           ~gen_b:Helpers.small_int ~eq_a:Int.equal ~eq_b:Int.equal ());
+      Sticky_laws.well_behaved
+        (Sticky_laws.config ~name:"of_algebraic(parity-sticky)"
+           ~gen_state:Fixtures.gen_parity_consistent ~gen_a:Helpers.small_int
+           ~gen_b:Helpers.small_int ~eq_a:Int.equal ~eq_b:Int.equal ());
+      Id_laws.overwriteable
+        (Id_laws.config ~name:"of_algebraic(identity)"
+           ~gen_state:gen_id_consistent ~gen_a:Helpers.small_int
+           ~gen_b:Helpers.small_int ~eq_a:Int.equal ~eq_b:Int.equal ());
+    ]
+
+let invariant_tests =
+  [
+    QCheck.Test.make ~count:500
+      ~name:"of_algebraic: set_a preserves consistency"
+      (QCheck.pair Fixtures.gen_parity_consistent Helpers.small_int)
+      (fun (s, a) ->
+        Parity_bx.consistent (snd (Parity_bx.run (Parity_bx.set_a a) s)));
+    QCheck.Test.make ~count:500
+      ~name:"of_algebraic: set_b preserves consistency"
+      (QCheck.pair Fixtures.gen_parity_consistent Helpers.small_int)
+      (fun (s, b) ->
+        Parity_bx.consistent (snd (Parity_bx.run (Parity_bx.set_b b) s)));
+    QCheck.Test.make ~count:500 ~name:"of_algebraic: repair is consistent"
+      (QCheck.pair Helpers.small_int Helpers.small_int)
+      (fun s -> Parity_bx.consistent (Parity_bx.repair s));
+  ]
+
+let negative_tests =
+  [
+    (* Non-undoable bx: (SS) fails on the A side — re-setting A cannot
+       undo the damage the first set did to B. *)
+    Helpers.expect_law_failure "of_algebraic(parity-sticky) is not overwriteable"
+      (Sticky_laws.A_cell.ss
+         (Sticky_laws.A_cell.config ~name:"sticky.A"
+            ~gen_world:Fixtures.gen_parity_consistent
+            ~gen_value:Helpers.small_int ~eq_value:Int.equal ()));
+  ]
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "set_a repairs the B side" `Quick (fun () ->
+        (* state (2, 4); set_a 7 must flip b's parity: fwd 7 4 = 5. *)
+        let (), (a, b) = Parity_bx.run (Parity_bx.set_a 7) (2, 4) in
+        check int "a installed" 7 a;
+        check int "b repaired" 5 b);
+    test_case "set_b repairs the A side" `Quick (fun () ->
+        let (), (a, b) = Parity_bx.run (Parity_bx.set_b 9) (2, 4) in
+        check int "b installed" 9 b;
+        check int "a repaired" 3 a);
+    test_case "hippocratic: consistent set changes nothing else" `Quick
+      (fun () ->
+        let (), (a, b) = Parity_bx.run (Parity_bx.set_a 4) (2, 4) in
+        check int "a installed" 4 a;
+        check int "b untouched" 4 b);
+  ]
+
+let suite = unit_tests @ Helpers.q (law_tests @ invariant_tests) @ negative_tests

@@ -1,0 +1,174 @@
+(** Lemma 4: a well-behaved asymmetric lens yields a set-bx over the
+    source state; very-well-behaved lenses yield overwriteable set-bx.
+
+    Validated for: a record field lens (vwb), the pair fst lens (vwb), a
+    relational select lens over tables (vwb), and the counted lens (wb
+    but not vwb — the induced set-bx satisfies the laws but fails (SS),
+    confirming the "overwriteable" refinement is exactly (PutPut)). *)
+
+open Esm_core
+
+(* Instance 1: person.name field lens. *)
+module Name_bx = Of_lens.Make (struct
+  type s = Fixtures.person
+  type v = string
+
+  let lens = Fixtures.name_lens
+  let equal_s = Fixtures.equal_person
+end)
+
+module Name_laws = Bx_laws.Set_bx (Name_bx)
+
+(* Instance 2: fst lens on int * string. *)
+module Fst_bx = Of_lens.Make (struct
+  type s = int * string
+  type v = int
+
+  let lens = Esm_lens.Lens.fst_lens
+  let equal_s = Esm_laws.Equality.(pair int string)
+end)
+
+module Fst_laws = Bx_laws.Set_bx (Fst_bx)
+
+(* Instance 3: relational select lens — the database workload from the
+   paper's motivation. *)
+module Select_bx = Of_lens.Make (struct
+  type s = Esm_relational.Table.t
+  type v = Esm_relational.Table.t
+
+  let lens =
+    Esm_relational.Rlens.select
+      Esm_relational.Pred.(col "dept" = str "Engineering")
+
+  let equal_s = Esm_relational.Table.equal
+end)
+
+module Select_laws = Bx_laws.Set_bx (Select_bx)
+
+(* Instance 4: a TREE lens — the document workload from the paper's
+   motivation ("XML files, abstract syntax trees"). *)
+module Tree_bx = Of_lens.Make (struct
+  type s = Esm_lens.Tree.t
+  type v = Esm_lens.Tree.t
+
+  let lens = Esm_lens.Tree.prune "meta" ~default:Esm_lens.Tree.empty
+  let equal_s = Esm_lens.Tree.equal
+end)
+
+module Tree_laws = Bx_laws.Set_bx (Tree_bx)
+
+(* Instance 5: the counted lens — wb but not vwb. *)
+module Counted_bx = Of_lens.Make (struct
+  type s = Fixtures.counted
+  type v = int
+
+  let lens = Fixtures.counted_lens
+  let equal_s = Fixtures.equal_counted
+end)
+
+module Counted_laws = Bx_laws.Set_bx (Counted_bx)
+
+let gen_table =
+  QCheck.make ~print:Esm_relational.Table.to_string
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 20 in
+      return (Esm_relational.Workload.employees ~seed ~size))
+
+let gen_tree_small : Esm_lens.Tree.t QCheck.arbitrary =
+  QCheck.make ~print:Esm_lens.Tree.to_string
+    QCheck.Gen.(
+      let* n = int_bound 3 in
+      let labels = List.filteri (fun i _ -> i < n) [ "x"; "y"; "z" ] in
+      return
+        (Esm_lens.Tree.node
+           (List.map (fun l -> (l, Esm_lens.Tree.value l)) labels)))
+
+(* prune's domain: sources with the pruned edge, views without it. *)
+let gen_tree_with_meta =
+  QCheck.map
+    (fun t -> Esm_lens.Tree.bind_edge "meta" (Esm_lens.Tree.value "m") t)
+    gen_tree_small
+
+let gen_eng_view =
+  QCheck.map
+    (Esm_relational.Algebra.select
+       Esm_relational.Pred.(col "dept" = str "Engineering"))
+    gen_table
+
+let law_tests =
+  List.concat
+    [
+      Name_laws.overwriteable
+        (Name_laws.config ~name:"of_lens(person.name)"
+           ~gen_state:Fixtures.gen_person ~gen_a:Fixtures.gen_person
+           ~gen_b:Helpers.short_string ~eq_a:Fixtures.equal_person
+           ~eq_b:String.equal ());
+      Fst_laws.overwriteable
+        (Fst_laws.config ~name:"of_lens(fst)"
+           ~gen_state:Helpers.pair_int_string ~gen_a:Helpers.pair_int_string
+           ~gen_b:Helpers.small_int
+           ~eq_a:Esm_laws.Equality.(pair int string)
+           ~eq_b:Int.equal ());
+      Select_laws.overwriteable
+        (Select_laws.config ~count:60 ~name:"of_lens(rlens select)"
+           ~gen_state:gen_table ~gen_a:gen_table ~gen_b:gen_eng_view
+           ~eq_a:Esm_relational.Table.equal ~eq_b:Esm_relational.Table.equal
+           ());
+      Tree_laws.well_behaved
+        (Tree_laws.config ~count:150 ~name:"of_lens(tree prune)"
+           ~gen_state:gen_tree_with_meta ~gen_a:gen_tree_with_meta
+           ~gen_b:gen_tree_small ~eq_a:Esm_lens.Tree.equal
+           ~eq_b:Esm_lens.Tree.equal ());
+      (* wb lens: laws hold ... *)
+      Counted_laws.well_behaved
+        (Counted_laws.config ~name:"of_lens(counted)"
+           ~gen_state:Fixtures.gen_counted ~gen_a:Fixtures.gen_counted
+           ~gen_b:Helpers.small_int ~eq_a:Fixtures.equal_counted
+           ~eq_b:Int.equal ());
+    ]
+
+let negative_tests =
+  [
+    (* ... but (SS) on the B side fails: the counter distinguishes
+       overwrite-twice from write-once. *)
+    Helpers.expect_law_failure "of_lens(counted) is not overwriteable"
+      (Counted_laws.B_cell.ss
+         (Counted_laws.B_cell.config ~name:"of_lens(counted).B"
+            ~gen_world:Fixtures.gen_counted ~gen_value:Helpers.small_int
+            ~eq_value:Int.equal ()));
+  ]
+
+(* Direct behavioural checks of the paper's defining equations. *)
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "get_b reads through the lens" `Quick (fun () ->
+        let p = Fixtures.{ name = "ada"; age = 1; email = "e" } in
+        let name, p' = Name_bx.run Name_bx.get_b p in
+        check string "view" "ada" name;
+        check bool "state untouched" true (Fixtures.equal_person p p'));
+    test_case "set_b writes through the lens (entanglement!)" `Quick
+      (fun () ->
+        let p = Fixtures.{ name = "ada"; age = 1; email = "e" } in
+        let (), p' = Name_bx.run (Name_bx.set_b "grace") p in
+        check string "A side changed by a B set" "grace" p'.Fixtures.name;
+        check int "other fields kept" 1 p'.Fixtures.age);
+    test_case "set_a replaces the whole source" `Quick (fun () ->
+        let p = Fixtures.{ name = "a"; age = 1; email = "e" } in
+        let q = Fixtures.{ name = "b"; age = 2; email = "f" } in
+        let (), p' = Name_bx.run (Name_bx.set_a q) p in
+        check bool "replaced" true (Fixtures.equal_person q p'));
+    test_case "monadic pipeline: read, modify, read" `Quick (fun () ->
+        let open Name_bx.Syntax in
+        let prog =
+          let* n = Name_bx.get_b in
+          let* () = Name_bx.set_b (String.uppercase_ascii n) in
+          Name_bx.get_a
+        in
+        let p = Fixtures.{ name = "ada"; age = 1; email = "e" } in
+        let result, _ = Name_bx.run prog p in
+        check string "uppercased" "ADA" result.Fixtures.name);
+  ]
+
+let suite = unit_tests @ Helpers.q law_tests @ negative_tests

@@ -1,0 +1,202 @@
+(** Lemma 6: a symmetric lens yields a put-bx over the state of
+    consistent triples (a, b, c).
+
+    Validated for the of_lens-embedded field lens, an iso lens, a
+    composition, and a tensor — plus invariant preservation and the
+    behavioural reading of the put operations. *)
+
+open Esm_core
+
+(* Instance 1: person.name via of_lens embedding. *)
+module Name_instance = struct
+  include
+    (val Esm_symlens.Symlens.to_instance Fixtures.name_symlens
+      : Esm_symlens.Symlens.INSTANCE
+        with type a = Fixtures.person
+         and type b = string)
+end
+
+module Name_put = Of_symmetric.Make (Name_instance) (struct
+  let equal_a = Fixtures.equal_person
+  let equal_b = String.equal
+end)
+
+module Name_laws = Bx_laws.Put_bx (Name_put)
+
+(* Instance 2: the doubling iso. *)
+module Double_instance = struct
+  include
+    (val Esm_symlens.Symlens.to_instance Fixtures.double_iso
+      : Esm_symlens.Symlens.INSTANCE with type a = int and type b = int)
+end
+
+module Double_put = Of_symmetric.Make (Double_instance) (struct
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+module Double_laws = Bx_laws.Put_bx (Double_put)
+
+(* Instance 3: composition double ; double. *)
+module Quad_instance = struct
+  include
+    (val Esm_symlens.Symlens.to_instance
+           (Esm_symlens.Symlens.compose Fixtures.double_iso
+              Fixtures.double_iso)
+      : Esm_symlens.Symlens.INSTANCE with type a = int and type b = int)
+end
+
+module Quad_put = Of_symmetric.Make (Quad_instance) (struct
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+module Quad_laws = Bx_laws.Put_bx (Quad_put)
+
+(* Generators of consistent triples: reachable states only, built by
+   seeding with a value and replaying a random walk of puts. *)
+
+let gen_state_of (type a b c)
+    (module I : Esm_symlens.Symlens.INSTANCE
+      with type a = a
+       and type b = b
+       and type c = c) ~(seed : a QCheck.Gen.t) ~(moves_a : a QCheck.Gen.t)
+    ~(moves_b : b QCheck.Gen.t) ~(print : a * b * c -> string) :
+    (a * b * c) QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    let* a0 = seed in
+    let b0, c0 = I.put_r a0 I.init in
+    let* walk =
+      list_size (int_bound 6)
+        (oneof [ map Either.left moves_a; map Either.right moves_b ])
+    in
+    return
+      (List.fold_left
+         (fun (_, _, c) -> function
+           | Either.Left a' ->
+               let b', c' = I.put_r a' c in
+               (a', b', c')
+           | Either.Right b' ->
+               let a', c' = I.put_l b' c in
+               (a', b', c'))
+         (a0, b0, c0) walk)
+  in
+  QCheck.make ~print gen
+
+let gen_name_state =
+  gen_state_of
+    (module Name_instance)
+    ~seed:Fixtures.gen_person.QCheck.gen ~moves_a:Fixtures.gen_person.QCheck.gen
+    ~moves_b:Helpers.short_string.QCheck.gen
+    ~print:(fun (p, n, _) -> Printf.sprintf "(%s, %s, _)" p.Fixtures.name n)
+
+let gen_double_state =
+  gen_state_of
+    (module Double_instance)
+    ~seed:QCheck.Gen.small_int ~moves_a:QCheck.Gen.small_int
+    ~moves_b:(QCheck.Gen.map (fun x -> 2 * x) QCheck.Gen.small_int)
+    ~print:(fun (a, b, _) -> Printf.sprintf "(%d, %d, ())" a b)
+
+let gen_quad_state =
+  gen_state_of
+    (module Quad_instance)
+    ~seed:QCheck.Gen.small_int ~moves_a:QCheck.Gen.small_int
+    ~moves_b:(QCheck.Gen.map (fun x -> 4 * x) QCheck.Gen.small_int)
+    ~print:(fun (a, b, _) -> Printf.sprintf "(%d, %d, _)" a b)
+
+(* Instance 4: list_map through Lemma 6 — synchronised LISTS of people
+   and names over a list complement. *)
+module Lists_instance = struct
+  include
+    (val Esm_symlens.Symlens.to_instance
+           (Esm_symlens.Symlens.list_map Fixtures.name_symlens)
+      : Esm_symlens.Symlens.INSTANCE
+        with type a = Fixtures.person list
+         and type b = string list)
+end
+
+module Lists_put = Of_symmetric.Make (Lists_instance) (struct
+  let equal_a = Esm_laws.Equality.list Fixtures.equal_person
+  let equal_b = Esm_laws.Equality.list String.equal
+end)
+
+module Lists_laws = Bx_laws.Put_bx (Lists_put)
+
+let gen_lists_state =
+  gen_state_of
+    (module Lists_instance)
+    ~seed:(QCheck.Gen.small_list Fixtures.gen_person.QCheck.gen)
+    ~moves_a:(QCheck.Gen.small_list Fixtures.gen_person.QCheck.gen)
+    ~moves_b:(QCheck.Gen.small_list Helpers.short_string.QCheck.gen)
+    ~print:(fun (ps, ns, _) ->
+      Printf.sprintf "(%d people, %d names, _)" (List.length ps)
+        (List.length ns))
+
+let law_tests =
+  List.concat
+    [
+      Lists_laws.well_behaved
+        (Lists_laws.config ~count:150 ~name:"of_symmetric(list_map name)"
+           ~gen_state:gen_lists_state
+           ~gen_a:(QCheck.small_list Fixtures.gen_person)
+           ~gen_b:(QCheck.small_list Helpers.short_string)
+           ~eq_a:(Esm_laws.Equality.list Fixtures.equal_person)
+           ~eq_b:(Esm_laws.Equality.list String.equal)
+           ());
+      Name_laws.overwriteable
+        (Name_laws.config ~name:"of_symmetric(name)" ~gen_state:gen_name_state
+           ~gen_a:Fixtures.gen_person ~gen_b:Helpers.short_string
+           ~eq_a:Fixtures.equal_person ~eq_b:String.equal ());
+      Double_laws.overwriteable
+        (Double_laws.config ~name:"of_symmetric(double)"
+           ~gen_state:gen_double_state ~gen_a:Helpers.small_int
+           ~gen_b:(QCheck.map (fun x -> 2 * x) Helpers.small_int)
+           ~eq_a:Int.equal ~eq_b:Int.equal ());
+      Quad_laws.overwriteable
+        (Quad_laws.config ~name:"of_symmetric(double;double)"
+           ~gen_state:gen_quad_state ~gen_a:Helpers.small_int
+           ~gen_b:(QCheck.map (fun x -> 4 * x) Helpers.small_int)
+           ~eq_a:Int.equal ~eq_b:Int.equal ());
+    ]
+
+let invariant_tests =
+  [
+    QCheck.Test.make ~count:300
+      ~name:"of_symmetric: put_ab preserves consistency"
+      (QCheck.pair gen_name_state Fixtures.gen_person)
+      (fun (s, a) ->
+        Name_put.consistent (snd (Name_put.run (Name_put.put_ab a) s)));
+    QCheck.Test.make ~count:300
+      ~name:"of_symmetric: put_ba preserves consistency"
+      (QCheck.pair gen_name_state Helpers.short_string)
+      (fun (s, b) ->
+        Name_put.consistent (snd (Name_put.run (Name_put.put_ba b) s)));
+    QCheck.Test.make ~count:300 ~name:"of_symmetric: initial is consistent"
+      Fixtures.gen_person
+      (fun p -> Name_put.consistent (Name_put.initial ~seed_a:p));
+  ]
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "put_ab returns the propagated view" `Quick (fun () ->
+        let s = Double_put.initial ~seed_a:5 in
+        let b, _ = Double_put.run (Double_put.put_ab 21) s in
+        check int "doubled" 42 b);
+    test_case "put_ba pushes back through the complement" `Quick (fun () ->
+        let p0 = Fixtures.{ name = "ada"; age = 36; email = "a@x" } in
+        let s = Name_put.initial ~seed_a:p0 in
+        let p1, _ = Name_put.run (Name_put.put_ba "grace") s in
+        check string "name" "grace" p1.Fixtures.name;
+        check int "age preserved through complement" 36 p1.Fixtures.age);
+    test_case "get_a/get_b project the triple" `Quick (fun () ->
+        let s = Double_put.initial ~seed_a:3 in
+        let (a, b), _ =
+          Double_put.run (Double_put.product Double_put.get_a Double_put.get_b) s
+        in
+        check int "a" 3 a;
+        check int "b" 6 b);
+  ]
+
+let suite = unit_tests @ Helpers.q (law_tests @ invariant_tests)

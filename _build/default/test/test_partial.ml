@@ -1,0 +1,83 @@
+(** Partial (exception-raising) bx (paper §5: "effects such as ...
+    exceptions"): the set-bx laws in the failure-aware reading on valid
+    states, transactional abort behaviour, and rejection of invalid
+    updates. *)
+
+open Esm_core
+
+(* The parity bx, but only values in [0, 100] are admissible. *)
+module Guarded = Partial.Make (struct
+  type ta = int
+  type tb = int
+  type ts = int * int
+
+  let bx = Concrete.of_algebraic Fixtures.parity_undoable
+
+  let validate v =
+    if v < 0 then Error "negative"
+    else if v > 100 then Error "too large"
+    else Ok ()
+
+  let validate_a = validate
+  let validate_b = validate
+  let equal_s = Esm_laws.Equality.(pair int int)
+end)
+
+module Guarded_laws = Bx_laws.Set_bx (Guarded)
+
+(* Valid states: consistent pairs within [0, 100]. *)
+let gen_valid_state : (int * int) QCheck.arbitrary =
+  QCheck.map
+    (fun (a, bump) ->
+      let a = a mod 99 in
+      (a, a + (2 * (bump mod ((100 - a) / 2 + 1)))))
+    (QCheck.pair QCheck.small_nat QCheck.small_nat)
+
+let gen_valid_value : int QCheck.arbitrary =
+  QCheck.map (fun x -> x mod 101) QCheck.small_nat
+
+let law_tests =
+  Guarded_laws.overwriteable
+    (Guarded_laws.config ~name:"partial(guarded parity)"
+       ~gen_state:gen_valid_state ~gen_a:gen_valid_value
+       ~gen_b:gen_valid_value ~eq_a:Int.equal ~eq_b:Int.equal ())
+
+let prop_tests =
+  [
+    QCheck.Test.make ~count:500 ~name:"partial: valid updates succeed"
+      (QCheck.pair gen_valid_state gen_valid_value)
+      (fun (s, a) -> Guarded.succeeds (Guarded.set_a a) s);
+    QCheck.Test.make ~count:500 ~name:"partial: invalid updates fail"
+      (QCheck.pair gen_valid_state Helpers.small_int)
+      (fun (s, a) ->
+        let a = -1 - abs a in
+        not (Guarded.succeeds (Guarded.set_a a) s));
+    QCheck.Test.make ~count:500
+      ~name:"partial: failure aborts the whole computation (transactional)"
+      (QCheck.pair gen_valid_state gen_valid_value)
+      (fun (s, a) ->
+        let open Guarded.Infix in
+        (* a valid write before an invalid one leaves no trace *)
+        match Guarded.run (Guarded.set_a a >> Guarded.set_b (-5)) s with
+        | Error "negative" -> true
+        | Error _ | Ok _ -> false);
+  ]
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "reads always succeed on valid states" `Quick (fun () ->
+        match Guarded.run Guarded.get_a (4, 6) with
+        | Ok (4, (4, 6)) -> ()
+        | _ -> Alcotest.fail "unexpected");
+    test_case "error message survives bind" `Quick (fun () ->
+        match Guarded.run (Guarded.bind (Guarded.set_a 200) (fun () -> Guarded.get_b)) (0, 0) with
+        | Error "too large" -> ()
+        | _ -> Alcotest.fail "expected 'too large'");
+    test_case "repair still happens on accepted updates" `Quick (fun () ->
+        match Guarded.run (Guarded.set_a 7) (2, 4) with
+        | Ok ((), (7, 5)) -> ()
+        | _ -> Alcotest.fail "expected repaired state (7, 5)");
+  ]
+
+let suite = unit_tests @ Helpers.q (law_tests @ prop_tests)

@@ -1,0 +1,138 @@
+(** Probabilistic bx (paper §5: "probabilistic choice"): the Dist monad
+    itself, then the set-bx laws in the distribution reading, mass
+    conservation, and the expected weighting of repairs. *)
+
+open Esm_core
+module Dist = Esm_monad.Dist
+
+(* --- the Dist monad ------------------------------------------------ *)
+
+let deq = Dist.equal ~compare_outcome:Int.compare
+
+let dist_unit_tests =
+  let open Alcotest in
+  [
+    test_case "uniform splits mass equally" `Quick (fun () ->
+        let d = Dist.uniform [ 1; 2; 3; 4 ] in
+        check (float 1e-9) "p(even)" 0.5 (Dist.prob (fun x -> x mod 2 = 0) d));
+    test_case "bind multiplies along branches" `Quick (fun () ->
+        let coin = Dist.uniform [ 0; 1 ] in
+        let two = Dist.bind coin (fun x -> Dist.bind coin (fun y -> Dist.return (x + y))) in
+        check (float 1e-9) "p(sum=1)" 0.5 (Dist.prob (( = ) 1) two);
+        check (float 1e-9) "p(sum=2)" 0.25 (Dist.prob (( = ) 2) two));
+    test_case "normalise merges duplicate outcomes" `Quick (fun () ->
+        let d = Dist.weighted [ (1, 0.25); (1, 0.25); (2, 0.5) ] in
+        check int "two points" 2
+          (List.length (Dist.normalise ~compare_outcome:Int.compare d)));
+    test_case "choice mixes two distributions" `Quick (fun () ->
+        let d = Dist.choice 0.3 (Dist.return 1) (Dist.return 2) in
+        check (float 1e-9) "p(1)" 0.3 (Dist.prob (( = ) 1) d));
+    test_case "expect computes the mean" `Quick (fun () ->
+        check (float 1e-9) "mean" 2.5
+          (Dist.expect float_of_int (Dist.uniform [ 1; 2; 3; 4 ])));
+  ]
+
+let dist_law_tests =
+  [
+    QCheck.Test.make ~count:300 ~name:"dist: left unit"
+      Helpers.small_int
+      (fun x ->
+        let f y = Dist.uniform [ y; y + 1 ] in
+        deq (Dist.bind (Dist.return x) f) (f x));
+    QCheck.Test.make ~count:300 ~name:"dist: right unit"
+      (QCheck.small_list Helpers.small_int)
+      (fun xs ->
+        QCheck.assume (xs <> []);
+        let d = Dist.uniform xs in
+        deq (Dist.bind d Dist.return) d);
+    QCheck.Test.make ~count:300 ~name:"dist: associativity"
+      (QCheck.small_list Helpers.small_int)
+      (fun xs ->
+        QCheck.assume (xs <> []);
+        let d = Dist.uniform xs in
+        let f y = Dist.uniform [ y; -y ] in
+        let g y = Dist.return (y * 2) in
+        deq
+          (Dist.bind (Dist.bind d f) g)
+          (Dist.bind d (fun y -> Dist.bind (f y) g)));
+    QCheck.Test.make ~count:300 ~name:"dist: bind conserves mass"
+      (QCheck.small_list Helpers.small_int)
+      (fun xs ->
+        QCheck.assume (xs <> []);
+        let d = Dist.bind (Dist.uniform xs) (fun y -> Dist.uniform [ y; y + 1 ]) in
+        Float.abs (Dist.mass d -. 1.0) < 1e-9);
+  ]
+
+(* --- probabilistic bx ---------------------------------------------- *)
+
+(* Parity consistency; an inconsistent update repairs by +1 with
+   probability 0.7 and -1 with probability 0.3 (biased minimal repair). *)
+module Pbx = Prob.Make (struct
+  type ta = int
+  type tb = int
+
+  let consistent a b = (a - b) mod 2 = 0
+  let fwd_dist _ b = Dist.weighted [ (b + 1, 0.7); (b - 1, 0.3) ]
+  let bwd_dist a _ = Dist.weighted [ (a + 1, 0.7); (a - 1, 0.3) ]
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+  let compare_state = compare
+end)
+
+module Pbx_laws = Bx_laws.Set_bx (Pbx)
+
+let law_tests =
+  Pbx_laws.well_behaved
+    (Pbx_laws.config ~name:"prob(parity)"
+       ~gen_state:Fixtures.gen_parity_consistent ~gen_a:Helpers.small_int
+       ~gen_b:Helpers.small_int ~eq_a:Int.equal ~eq_b:Int.equal ())
+
+let prop_tests =
+  [
+    QCheck.Test.make ~count:500 ~name:"prob: set conserves probability mass"
+      (QCheck.pair Fixtures.gen_parity_consistent Helpers.small_int)
+      (fun (s, a) ->
+        Float.abs (Dist.mass (Pbx.distribution (Pbx.set_a a) s) -. 1.0)
+        < 1e-9);
+    QCheck.Test.make ~count:500 ~name:"prob: every outcome is consistent"
+      (QCheck.pair Fixtures.gen_parity_consistent Helpers.small_int)
+      (fun (s, a) ->
+        List.for_all
+          (fun (((), s'), _) -> Pbx.consistent s')
+          (Pbx.distribution (Pbx.set_a a) s));
+    QCheck.Test.make ~count:500
+      ~name:"prob: consistent updates are deterministic (hippocratic)"
+      Fixtures.gen_parity_consistent
+      (fun s ->
+        List.length (Pbx.distribution (Pbx.bind Pbx.get_a Pbx.set_a) s) = 1);
+  ]
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "inconsistent set splits 70/30" `Quick (fun () ->
+        let d = Pbx.distribution (Pbx.set_a 1) (0, 0) in
+        let p_b1 =
+          List.fold_left
+            (fun acc (((), (_, b)), p) -> if b = 1 then acc +. p else acc)
+            0.0 d
+        in
+        check (float 1e-9) "p(b=1)" 0.7 p_b1);
+    test_case "two biased sets compound the bias" `Quick (fun () ->
+        let open Pbx.Infix in
+        let d = Pbx.distribution (Pbx.set_a 1 >> Pbx.set_b 0) (0, 0) in
+        (* after set_a 1: b=1 w.p. .7, b=-1 w.p. .3 (both already make
+           (1, b) consistent with parity of 1); then set_b 0 is
+           inconsistent with a=1, so a repairs to 2 (.7) or 0 (.3). *)
+        let p_a2 =
+          List.fold_left
+            (fun acc (((), (a, _)), p) -> if a = 2 then acc +. p else acc)
+            0.0 d
+        in
+        check (float 1e-9) "p(a=2)" 0.7 p_a2);
+  ]
+
+let suite =
+  dist_unit_tests
+  @ Helpers.q (dist_law_tests @ law_tests @ prop_tests)
+  @ unit_tests

@@ -1,0 +1,107 @@
+(** The first-order program language: interpreter behaviour and the
+    law-derived program transformations (observational consequences of
+    the set-bx laws over whole programs, not just single equations). *)
+
+open Esm_core
+
+let name_bx = Concrete.of_lens Fixtures.name_lens
+let parity_bx = Concrete.of_algebraic Fixtures.parity_undoable
+let pair_bx : (int, string, int * string) Concrete.set_bx = Concrete.pair ()
+
+let p0 = Fixtures.{ name = "ada"; age = 36; email = "a@x" }
+
+let gen_ops_parity :
+    (int, int) Program.op list QCheck.arbitrary =
+  Equivalence.gen_ops Helpers.small_int Helpers.small_int
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "interp returns one observation per op" `Quick (fun () ->
+        let obs, s' =
+          Program.interp name_bx
+            [ Program.Get_b; Program.Set_b "grace"; Program.Get_a ]
+            p0
+        in
+        check int "three observations" 3 (List.length obs);
+        check string "final state" "grace" s'.Fixtures.name;
+        match obs with
+        | [ Program.Saw_b "ada"; Program.Did_set; Program.Saw_a p ] ->
+            check string "post-set view" "grace" p.Fixtures.name
+        | _ -> Alcotest.fail "unexpected observations");
+    test_case "simplify_sets drops gets and stacked sets" `Quick (fun () ->
+        let prog =
+          [
+            Program.Get_a;
+            Program.Set_a 1;
+            Program.Get_b;
+            Program.Set_a 2;
+            Program.Set_b 3;
+            Program.Set_b 4;
+          ]
+        in
+        match Program.simplify_sets prog with
+        | [ Program.Set_a 2; Program.Set_b 4 ] -> ()
+        | other ->
+            Alcotest.failf "unexpected: %d ops left" (List.length other));
+    test_case "observe runs from the packed initial state" `Quick (fun () ->
+        let packed =
+          Concrete.pack ~bx:pair_bx ~init:(7, "x")
+            ~eq_state:Esm_laws.Equality.(pair int string)
+        in
+        match Program.observe packed [ Program.Get_a; Program.Get_b ] with
+        | [ Program.Saw_a 7; Program.Saw_b "x" ] -> ()
+        | _ -> Alcotest.fail "unexpected");
+  ]
+
+let prop_tests =
+  [
+    (* On an overwriteable bx, simplify_sets preserves the final state. *)
+    QCheck.Test.make ~count:500
+      ~name:"simplify_sets preserves final state (overwriteable bx)"
+      (QCheck.pair Fixtures.gen_parity_consistent gen_ops_parity)
+      (fun (s0, ops) ->
+        let _, s1 = Program.interp parity_bx ops s0 in
+        let _, s2 = Program.interp parity_bx (Program.simplify_sets ops) s0 in
+        s1 = s2);
+    (* (GS) as a whole-program transformation: inserting get>>=set
+       anywhere changes nothing. *)
+    QCheck.Test.make ~count:500
+      ~name:"inserting a get/set round trip never changes observations"
+      (QCheck.triple Fixtures.gen_parity_consistent gen_ops_parity
+         QCheck.small_nat)
+      (fun (s0, ops, i) ->
+        let ops' = Program.insert_get_set_roundtrip parity_bx s0 ops i in
+        let obs, s1 = Program.interp parity_bx ops s0 in
+        let obs', s1' = Program.interp parity_bx ops' s0 in
+        (* The inserted op contributes one extra Did_set observation;
+           removing it must recover the original observation list. *)
+        let strip_nth n xs = List.filteri (fun j _ -> j <> n) xs in
+        let i = if ops = [] then 0 else i mod (List.length ops + 1) in
+        s1 = s1'
+        && List.length obs' = List.length obs + 1
+        && strip_nth i obs' = obs);
+    (* (SG) as a program law: a Get right after a Set sees the set value. *)
+    QCheck.Test.make ~count:500 ~name:"get after set observes the set value"
+      (QCheck.pair Fixtures.gen_parity_consistent Helpers.small_int)
+      (fun (s0, a) ->
+        match
+          Program.interp parity_bx [ Program.Set_a a; Program.Get_a ] s0
+        with
+        | [ Program.Did_set; Program.Saw_a a' ], _ -> a = a'
+        | _ -> false);
+    (* Program-level idempotence of set on the pair bx. *)
+    QCheck.Test.make ~count:500
+      ~name:"pair bx: duplicate sets collapse (SS at program level)"
+      (QCheck.triple
+         (QCheck.pair Helpers.small_int Helpers.short_string)
+         Helpers.small_int Helpers.small_int)
+      (fun (s0, a, a') ->
+        let _, s1 =
+          Program.interp pair_bx [ Program.Set_a a; Program.Set_a a' ] s0
+        in
+        let _, s2 = Program.interp pair_bx [ Program.Set_a a' ] s0 in
+        s1 = s2);
+  ]
+
+let suite = unit_tests @ Helpers.q prop_tests

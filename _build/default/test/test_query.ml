@@ -1,0 +1,281 @@
+(** The pipeline query language: lexer/parser behaviour, evaluation
+    against the relational algebra, pretty-print/re-parse round trips,
+    and error reporting. *)
+
+open Esm_relational
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let employees = Workload.employees ~seed:7 ~size:40
+
+let depts =
+  Table.of_lists
+    (Schema.make [ ("dept", Value.Tstr); ("floor", Value.Tint) ])
+    [
+      [ Value.Str "Engineering"; Value.Int 3 ];
+      [ Value.Str "Sales"; Value.Int 1 ];
+      [ Value.Str "Support"; Value.Int 2 ];
+      [ Value.Str "Finance"; Value.Int 4 ];
+      [ Value.Str "Ops"; Value.Int 5 ];
+    ]
+
+let env = function
+  | "employees" -> employees
+  | "depts" -> depts
+  | name -> Table.errorf "unknown table %s" name
+
+let unit_tests =
+  [
+    test "base table lookup" `Quick (fun () ->
+        check Helpers.table "same" employees (Query.run env "employees"));
+    test "where + select pipeline" `Quick (fun () ->
+        let result =
+          Query.run env
+            "employees | where dept = \"Engineering\" | select id, name"
+        in
+        check
+          Alcotest.(list string)
+          "columns" [ "id"; "name" ]
+          (Schema.column_names (Table.schema result));
+        check Helpers.table "matches the algebra"
+          (Algebra.project [ "id"; "name" ]
+             (Algebra.select Pred.(col "dept" = str "Engineering") employees))
+          result);
+    test "predicates: and/or/not, <, <=" `Quick (fun () ->
+        let q =
+          "employees | where (salary < 70000 and not dept = \"Sales\") or id <= 1"
+        in
+        check Helpers.table "matches the algebra"
+          (Algebra.select
+             Pred.(
+               (col "salary" < int 70_000 && not_ (col "dept" = str "Sales"))
+               || col "id" <= int 1)
+             employees)
+          (Query.run env q));
+    test "rename stage" `Quick (fun () ->
+        let result = Query.run env "employees | rename dept as team" in
+        check Alcotest.bool "renamed" true
+          (Schema.mem (Table.schema result) "team"));
+    test "join across tables" `Quick (fun () ->
+        let result = Query.run env "employees join depts" in
+        check Alcotest.bool "has floor" true
+          (Schema.mem (Table.schema result) "floor");
+        check Alcotest.int "row count preserved (dept fk total)"
+          (Table.cardinality employees)
+          (Table.cardinality result));
+    test "union / diff with parentheses" `Quick (fun () ->
+        let q =
+          "(employees | where dept = \"Sales\") union (employees | where not dept = \"Sales\")"
+        in
+        check Helpers.table "partition reassembles" employees (Query.run env q);
+        check Alcotest.int "diff empties" 0
+          (Table.cardinality (Query.run env "employees diff employees")));
+    test "bases collects referenced tables" `Quick (fun () ->
+        check
+          Alcotest.(slist string String.compare)
+          "both" [ "depts"; "employees" ]
+          (Query.bases (Query.parse "employees join depts")));
+    test "parse errors are reported" `Quick (fun () ->
+        List.iter
+          (fun bad ->
+            match Query.parse bad with
+            | _ -> Alcotest.failf "expected Parse_error for %S" bad
+            | exception Query.Parse_error _ -> ())
+          [
+            "";
+            "employees |";
+            "employees | frobnicate x";
+            "employees | where";
+            "employees | where dept =";
+            "(employees";
+            "employees | select";
+            "employees | rename dept";
+            "employees extra";
+            "employees | where dept ~ 3";
+          ]);
+    test "string literals keep spaces" `Quick (fun () ->
+        match Query.parse "t | where name = \"ada lovelace\"" with
+        | Query.Where (Pred.Eq (_, Pred.Lit (Value.Str "ada lovelace")), _) -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    test "negative integer literals" `Quick (fun () ->
+        match Query.parse "t | where id = -3" with
+        | Query.Where (Pred.Eq (_, Pred.Lit (Value.Int (-3))), _) -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+  ]
+
+(* Pretty-print / re-parse round trip over generated queries. *)
+
+let gen_pred : Pred.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map (fun i -> Pred.(col "id" = int i)) small_nat;
+        map (fun i -> Pred.(col "salary" < int i)) small_nat;
+        map (fun s -> Pred.(col "dept" = str s)) (string_size ~gen:(char_range 'a' 'z') (int_bound 6));
+        return Pred.(col "id" <= int 5);
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (1, map2 (fun p q -> Pred.And (p, q)) (go (depth - 1)) (go (depth - 1)));
+          (1, map2 (fun p q -> Pred.Or (p, q)) (go (depth - 1)) (go (depth - 1)));
+          (1, map (fun p -> Pred.Not p) (go (depth - 1)));
+        ]
+  in
+  go 2
+
+let gen_query : Query.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then return (Query.Base "employees")
+    else
+      frequency
+        [
+          (2, return (Query.Base "employees"));
+          (2, map2 (fun p q -> Query.Where (p, q)) gen_pred (go (depth - 1)));
+          ( 1,
+            map
+              (fun q -> Query.Project ([ "id"; "name" ], q))
+              (go (depth - 1)) );
+          ( 1,
+            map
+              (fun q -> Query.Rename ([ ("dept", "team") ], q))
+              (go (depth - 1)) );
+          (1, map2 (fun a b -> Query.Union (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (1, map2 (fun a b -> Query.Join (a, b)) (go (depth - 1)) (go (depth - 1)));
+        ]
+  in
+  QCheck.make ~print:Query.to_string (go 3)
+
+let prop_tests =
+  [
+    QCheck.Test.make ~count:500 ~name:"pretty-print then parse is identity"
+      gen_query
+      (fun q -> Query.parse (Query.to_string q) = q);
+    QCheck.Test.make ~count:200 ~name:"stacked wheres commute"
+      (QCheck.make gen_pred)
+      (fun p ->
+        let open Query in
+        let q1 = Where (p, Where (Pred.(col "id" <= int 20), Base "employees")) in
+        let q2 = Where (Pred.(col "id" <= int 20), Where (p, Base "employees")) in
+        Table.equal (eval env q1) (eval env q2));
+    QCheck.Test.make ~count:200
+      ~name:"generated queries evaluate without raising" gen_query
+      (fun q ->
+        match Query.eval env q with
+        | (_ : Table.t) -> true
+        | exception Table.Table_error _ ->
+            (* union/diff of schema-incompatible subqueries is a
+               legitimate evaluation-time error *)
+            true
+        | exception Schema.Schema_error _ -> true);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Updatable views: the query -> lens compiler                         *)
+(* ------------------------------------------------------------------ *)
+
+let schema = Workload.employees_schema
+
+let view_lens_tests =
+  [
+    test "lens_of_string compiles a select/project pipeline" `Quick
+      (fun () ->
+        let l =
+          Query.lens_of_string ~schema ~key:[ "id" ]
+            "employees | where dept = \"Engineering\" | select id, name"
+        in
+        check Helpers.table "get = eval"
+          (Query.run (fun _ -> employees)
+             "employees | where dept = \"Engineering\" | select id, name")
+          (Esm_lens.Lens.get l employees));
+    test "view edits write back through the compiled lens" `Quick (fun () ->
+        let l =
+          Query.lens_of_string ~schema ~key:[ "id" ]
+            "employees | where dept = \"Engineering\" | select id, name"
+        in
+        let view = Esm_lens.Lens.get l employees in
+        match Table.rows view with
+        | first :: _ ->
+            let view_schema = Table.schema view in
+            let renamed =
+              Table.insert
+                (Table.delete view first)
+                (Row.set view_schema first "name" (Value.Str "renamed!"))
+            in
+            let source' = Esm_lens.Lens.put l employees renamed in
+            let id = Row.get view_schema first "id" in
+            let updated =
+              List.find
+                (fun r -> Value.equal (Row.get schema r "id") id)
+                (Table.rows source')
+            in
+            check Helpers.value "name written back" (Value.Str "renamed!")
+              (Row.get schema updated "name");
+            (* dropped columns recovered from the old source *)
+            check Alcotest.bool "salary preserved" true
+              (Value.equal
+                 (Row.get schema updated "salary")
+                 (Row.get schema
+                    (List.find
+                       (fun r -> Value.equal (Row.get schema r "id") id)
+                       (Table.rows employees))
+                    "salary"))
+        | [] -> Alcotest.fail "expected a non-empty view");
+    test "rename stages rename the key too" `Quick (fun () ->
+        let l =
+          Query.lens_of_string ~schema ~key:[ "id" ]
+            "employees | rename id as pk | select pk, name"
+        in
+        check Alcotest.bool "get works" true
+          (Schema.mem (Table.schema (Esm_lens.Lens.get l employees)) "pk"));
+    test "projecting away the key is rejected" `Quick (fun () ->
+        match
+          Query.lens_of_string ~schema ~key:[ "id" ] "employees | select name"
+        with
+        | _ -> Alcotest.fail "expected Not_updatable"
+        | exception Query.Not_updatable _ -> ());
+    test "set-operation views are rejected" `Quick (fun () ->
+        match
+          Query.lens_of_string ~schema ~key:[ "id" ] "employees union employees"
+        with
+        | _ -> Alcotest.fail "expected Not_updatable"
+        | exception Query.Not_updatable _ -> ());
+    test "where on an unknown column is rejected" `Quick (fun () ->
+        match
+          Query.lens_of_string ~schema ~key:[ "id" ]
+            "employees | where nonsense = 3"
+        with
+        | _ -> Alcotest.fail "expected Not_updatable"
+        | exception Query.Not_updatable _ -> ());
+  ]
+
+(* The compiled view lens is well-behaved (on FD-respecting data), hence
+   an entangled state monad via Lemma 4. *)
+let gen_src =
+  QCheck.make ~print:Table.to_string
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 25 in
+      return (Workload.employees ~seed ~size))
+
+let compiled = 
+  Query.lens_of_string ~schema ~key:[ "id" ]
+    "employees | where dept = \"Engineering\" | select id, name, dept | rename name as who"
+
+let gen_view = QCheck.map (Esm_lens.Lens.get compiled) gen_src
+
+let view_lens_law_tests =
+  Esm_lens.Lens_laws.well_behaved ~count:100 ~name:"compiled view lens"
+    compiled ~gen_s:gen_src ~gen_v:gen_view ~eq_s:Table.equal
+    ~eq_v:Table.equal
+
+let suite =
+  unit_tests @ view_lens_tests
+  @ Helpers.q (prop_tests @ view_lens_law_tests)

@@ -1,0 +1,322 @@
+(** Tests for the relational substrate: values, schemas, rows, tables
+    (set semantics), the predicate language and the relational algebra. *)
+
+open Esm_relational
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let people_schema =
+  Schema.make [ ("id", Value.Tint); ("name", Value.Tstr); ("age", Value.Tint) ]
+
+let people =
+  Table.of_lists people_schema
+    [
+      [ Value.Int 1; Value.Str "ada"; Value.Int 36 ];
+      [ Value.Int 2; Value.Str "brian"; Value.Int 41 ];
+      [ Value.Int 3; Value.Str "carol"; Value.Int 36 ];
+    ]
+
+let dept_schema =
+  Schema.make [ ("id", Value.Tint); ("dept", Value.Tstr) ]
+
+let depts =
+  Table.of_lists dept_schema
+    [
+      [ Value.Int 1; Value.Str "eng" ];
+      [ Value.Int 2; Value.Str "ops" ];
+      [ Value.Int 9; Value.Str "sales" ];
+    ]
+
+let value_tests =
+  [
+    test "type_of classifies" `Quick (fun () ->
+        check Alcotest.bool "int" true
+          (Value.equal_ty (Value.type_of (Value.Int 3)) Value.Tint);
+        check Alcotest.bool "str" true
+          (Value.equal_ty (Value.type_of (Value.Str "x")) Value.Tstr));
+    test "compare orders within a type" `Quick (fun () ->
+        check Alcotest.bool "lt" true
+          (Value.compare (Value.Int 1) (Value.Int 2) < 0));
+    test "defaults have the right type" `Quick (fun () ->
+        List.iter
+          (fun ty ->
+            check Alcotest.bool "typed" true
+              (Value.equal_ty ty (Value.type_of (Value.default_of_type ty))))
+          [ Value.Tint; Value.Tstr; Value.Tbool ]);
+  ]
+
+let schema_tests =
+  [
+    test "make rejects duplicate columns" `Quick (fun () ->
+        match Schema.make [ ("x", Value.Tint); ("x", Value.Tstr) ] with
+        | _ -> Alcotest.fail "expected Schema_error"
+        | exception Schema.Schema_error _ -> ());
+    test "index finds positions" `Quick (fun () ->
+        check Alcotest.int "name" 1 (Schema.index people_schema "name"));
+    test "project keeps order given" `Quick (fun () ->
+        check
+          Alcotest.(list string)
+          "reordered" [ "age"; "id" ]
+          (Schema.column_names (Schema.project people_schema [ "age"; "id" ])));
+    test "rename maps mentioned columns only" `Quick (fun () ->
+        check
+          Alcotest.(list string)
+          "renamed" [ "pk"; "name"; "age" ]
+          (Schema.column_names
+             (Schema.rename people_schema [ ("id", "pk") ])));
+    test "shared requires matching types" `Quick (fun () ->
+        check
+          Alcotest.(list string)
+          "id shared" [ "id" ]
+          (Schema.shared people_schema dept_schema));
+  ]
+
+let row_tests =
+  [
+    test "get fetches by column name" `Quick (fun () ->
+        let r = Row.of_list [ Value.Int 7; Value.Str "x"; Value.Int 1 ] in
+        check Helpers.value "name" (Value.Str "x")
+          (Row.get people_schema r "name"));
+    test "set is non-destructive" `Quick (fun () ->
+        let r = Row.of_list [ Value.Int 7; Value.Str "x"; Value.Int 1 ] in
+        let r' = Row.set people_schema r "age" (Value.Int 9) in
+        check Helpers.value "updated" (Value.Int 9)
+          (Row.get people_schema r' "age");
+        check Helpers.value "original intact" (Value.Int 1)
+          (Row.get people_schema r "age"));
+    test "conforms checks arity and types" `Quick (fun () ->
+        check Alcotest.bool "bad arity" false
+          (Row.conforms people_schema (Row.of_list [ Value.Int 1 ]));
+        check Alcotest.bool "bad type" false
+          (Row.conforms people_schema
+             (Row.of_list [ Value.Str "x"; Value.Str "y"; Value.Int 1 ])));
+  ]
+
+let table_tests =
+  [
+    test "of_rows dedups and sorts (set semantics)" `Quick (fun () ->
+        let t =
+          Table.of_lists dept_schema
+            [
+              [ Value.Int 2; Value.Str "b" ];
+              [ Value.Int 1; Value.Str "a" ];
+              [ Value.Int 2; Value.Str "b" ];
+            ]
+        in
+        check Alcotest.int "two rows" 2 (Table.cardinality t));
+    test "of_rows rejects ill-typed rows" `Quick (fun () ->
+        match Table.of_lists dept_schema [ [ Value.Str "x"; Value.Str "y" ] ] with
+        | _ -> Alcotest.fail "expected Table_error"
+        | exception Table.Table_error _ -> ());
+    test "insert is idempotent on duplicates" `Quick (fun () ->
+        let r = Row.of_list [ Value.Int 1; Value.Str "eng" ] in
+        check Helpers.table "same" depts (Table.insert depts r));
+    test "delete removes exactly the row" `Quick (fun () ->
+        let r = Row.of_list [ Value.Int 9; Value.Str "sales" ] in
+        check Alcotest.int "one fewer" 2
+          (Table.cardinality (Table.delete depts r)));
+    test "pretty-printer renders all rows" `Quick (fun () ->
+        let rendered = Table.to_string depts in
+        check Alcotest.bool "mentions sales" true
+          (String.length rendered > 0
+          && Option.is_some
+               (String.index_opt rendered 's')));
+  ]
+
+let pred_tests =
+  [
+    test "comparison and connectives evaluate" `Quick (fun () ->
+        let r = Row.of_list [ Value.Int 1; Value.Str "ada"; Value.Int 36 ] in
+        let p = Pred.(col "age" = int 36 && not_ (col "name" = str "bob")) in
+        check Alcotest.bool "holds" true (Pred.eval people_schema p r));
+    test "lt/le compare values" `Quick (fun () ->
+        let r = Row.of_list [ Value.Int 1; Value.Str "ada"; Value.Int 36 ] in
+        check Alcotest.bool "lt" true
+          (Pred.eval people_schema Pred.(col "age" < int 40) r);
+        check Alcotest.bool "le" true
+          (Pred.eval people_schema Pred.(col "age" <= int 36) r));
+    test "columns_used collects references" `Quick (fun () ->
+        check
+          Alcotest.(slist string String.compare)
+          "cols" [ "age"; "name" ]
+          (Pred.columns_used Pred.(col "age" = int 1 || col "name" = str "x")));
+  ]
+
+let algebra_tests =
+  [
+    test "select filters by predicate" `Quick (fun () ->
+        let t = Algebra.select Pred.(col "age" = int 36) people in
+        check Alcotest.int "two rows" 2 (Table.cardinality t));
+    test "project drops and dedups" `Quick (fun () ->
+        let t = Algebra.project [ "age" ] people in
+        check Alcotest.int "ages dedup" 2 (Table.cardinality t));
+    test "rename preserves rows" `Quick (fun () ->
+        let t = Algebra.rename [ ("name", "who") ] people in
+        check Alcotest.int "same rows" 3 (Table.cardinality t);
+        check Alcotest.bool "col renamed" true
+          (Schema.mem (Table.schema t) "who"));
+    test "union / diff / inter respect set semantics" `Quick (fun () ->
+        let evens = Algebra.select Pred.(col "age" = int 36) people in
+        check Helpers.table "union is identity" people
+          (Algebra.union people evens);
+        check Alcotest.int "diff" 1
+          (Table.cardinality (Algebra.diff people evens));
+        check Helpers.table "inter" evens (Algebra.inter people evens));
+    test "product concatenates schemas" `Quick (fun () ->
+        let renamed = Algebra.rename [ ("id", "did") ] depts in
+        let t = Algebra.product people renamed in
+        check Alcotest.int "cartesian" 9 (Table.cardinality t);
+        check Alcotest.int "arity" 5 (Schema.arity (Table.schema t)));
+    test "natural join matches shared columns" `Quick (fun () ->
+        let t = Algebra.join people depts in
+        check Alcotest.int "two matches" 2 (Table.cardinality t);
+        check
+          Alcotest.(list string)
+          "schema" [ "id"; "name"; "age"; "dept" ]
+          (Schema.column_names (Table.schema t)));
+    test "join with no shared columns is the product" `Quick (fun () ->
+        let renamed = Algebra.rename [ ("id", "did"); ("dept", "d") ] depts in
+        check Alcotest.int "product size" 9
+          (Table.cardinality (Algebra.join people renamed)));
+  ]
+
+(* Property tests: algebraic identities. *)
+
+let gen_table : Table.t QCheck.arbitrary =
+  QCheck.make ~print:Table.to_string
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 30 in
+      return (Workload.employees ~seed ~size))
+
+let prop_tests =
+  [
+    QCheck.Test.make ~count:100 ~name:"select distributes over union"
+      (QCheck.pair gen_table gen_table)
+      (fun (t1, t2) ->
+        let p = Pred.(col "dept" = str "Engineering") in
+        Table.equal
+          (Algebra.select p (Algebra.union t1 t2))
+          (Algebra.union (Algebra.select p t1) (Algebra.select p t2)));
+    QCheck.Test.make ~count:100 ~name:"select is idempotent" gen_table
+      (fun t ->
+        let p = Pred.(col "salary" < int 70_000) in
+        let once = Algebra.select p t in
+        Table.equal once (Algebra.select p once));
+    QCheck.Test.make ~count:100 ~name:"projection is idempotent" gen_table
+      (fun t ->
+        let cols = [ "id"; "name" ] in
+        let once = Algebra.project cols t in
+        Table.equal once (Algebra.project cols once));
+    QCheck.Test.make ~count:100 ~name:"rename round-trips" gen_table (fun t ->
+        Table.equal t
+          (Algebra.rename
+             [ ("pk", "id") ]
+             (Algebra.rename [ ("id", "pk") ] t)));
+    QCheck.Test.make ~count:100
+      ~name:"join after disjoint split by selection recovers no extra rows"
+      gen_table
+      (fun t ->
+        let keyed = Algebra.project [ "id"; "name" ] t in
+        let rest = Algebra.project [ "id"; "dept"; "salary" ] t in
+        let joined = Algebra.join keyed rest in
+        (* ids are unique in the workload, so the join recovers exactly
+           the projection of t onto the union of the two column sets. *)
+        Table.equal
+          (Algebra.project [ "id"; "name"; "dept"; "salary" ] t)
+          joined);
+  ]
+
+let aggregate_tests =
+  [
+    test "group_by count per department" `Quick (fun () ->
+        let t =
+          Algebra.group_by ~keys:[ "age" ] ~aggs:[ ("n", Algebra.Count) ]
+            people
+        in
+        check Alcotest.int "two groups" 2 (Table.cardinality t);
+        let thirty_six =
+          List.find
+            (fun r -> Value.equal (Row.get (Table.schema t) r "age") (Value.Int 36))
+            (Table.rows t)
+        in
+        check Helpers.value "count" (Value.Int 2)
+          (Row.get (Table.schema t) thirty_six "n"));
+    test "group_by sum/avg/min/max" `Quick (fun () ->
+        let t =
+          Algebra.group_by ~keys:[]
+            ~aggs:
+              [
+                ("total", Algebra.Sum "age");
+                ("mean", Algebra.Avg "age");
+                ("young", Algebra.Min "age");
+                ("old", Algebra.Max "age");
+              ]
+            people
+        in
+        let r = List.hd (Table.rows t) in
+        let s = Table.schema t in
+        check Helpers.value "sum" (Value.Int 113) (Row.get s r "total");
+        check Helpers.value "avg" (Value.Int 37) (Row.get s r "mean");
+        check Helpers.value "min" (Value.Int 36) (Row.get s r "young");
+        check Helpers.value "max" (Value.Int 41) (Row.get s r "old"));
+    test "group_by rejects summing strings" `Quick (fun () ->
+        match
+          Algebra.group_by ~keys:[] ~aggs:[ ("x", Algebra.Sum "name") ] people
+        with
+        | _ -> Alcotest.fail "expected Table_error"
+        | exception Table.Table_error _ -> ());
+    test "sort_rows orders by the given columns" `Quick (fun () ->
+        let sorted = Algebra.sort_rows ~by:[ "age"; "name" ] people in
+        let first = List.hd sorted in
+        check Helpers.value "youngest first" (Value.Str "ada")
+          (Row.get people_schema first "name");
+        let sorted_desc = Algebra.sort_rows ~by:[ "age" ] ~desc:true people in
+        check Helpers.value "oldest first" (Value.Int 41)
+          (Row.get people_schema (List.hd sorted_desc) "age"));
+  ]
+
+let aggregate_prop_tests =
+  [
+    QCheck.Test.make ~count:100
+      ~name:"group_by Count sums to the table cardinality" gen_table
+      (fun t ->
+        let g =
+          Algebra.group_by ~keys:[ "dept" ] ~aggs:[ ("n", Algebra.Count) ] t
+        in
+        let total =
+          List.fold_left
+            (fun acc r ->
+              match Row.get (Table.schema g) r "n" with
+              | Value.Int n -> acc + n
+              | _ -> acc)
+            0 (Table.rows g)
+        in
+        total = Table.cardinality t);
+    QCheck.Test.make ~count:100
+      ~name:"Min <= Avg <= Max on every salary group" gen_table
+      (fun t ->
+        QCheck.assume (Table.cardinality t > 0);
+        let g =
+          Algebra.group_by ~keys:[ "dept" ]
+            ~aggs:
+              [
+                ("lo", Algebra.Min "salary");
+                ("mid", Algebra.Avg "salary");
+                ("hi", Algebra.Max "salary");
+              ]
+            t
+        in
+        List.for_all
+          (fun r ->
+            let s = Table.schema g in
+            Value.compare (Row.get s r "lo") (Row.get s r "mid") <= 0
+            && Value.compare (Row.get s r "mid") (Row.get s r "hi") <= 0)
+          (Table.rows g));
+  ]
+
+let suite =
+  value_tests @ schema_tests @ row_tests @ table_tests @ pred_tests
+  @ algebra_tests @ aggregate_tests
+  @ Helpers.q (prop_tests @ aggregate_prop_tests)

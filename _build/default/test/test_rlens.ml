@@ -1,0 +1,250 @@
+(** Tests for relational lenses: unit behaviour of each lens's [put]
+    policy, the lens laws on their documented domains (FD-respecting
+    tables), and composition of relational lenses. *)
+
+open Esm_relational
+open Esm_lens
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let schema = Workload.employees_schema
+let eng_pred = Pred.(col "dept" = str "Engineering")
+
+let t0 =
+  Table.of_lists schema
+    [
+      [ Value.Int 1; Value.Str "ada"; Value.Str "Engineering"; Value.Int 50_000; Value.Str "ada@x" ];
+      [ Value.Int 2; Value.Str "brian"; Value.Str "Sales"; Value.Int 45_000; Value.Str "brian@x" ];
+      [ Value.Int 3; Value.Str "carol"; Value.Str "Engineering"; Value.Int 55_000; Value.Str "carol@x" ];
+    ]
+
+let unit_tests =
+  [
+    test "select lens: get filters" `Quick (fun () ->
+        let l = Rlens.select eng_pred in
+        check Alcotest.int "two engineers" 2
+          (Table.cardinality (Lens.get l t0)));
+    test "select lens: put keeps unmatched rows and replaces matched" `Quick
+      (fun () ->
+        let l = Rlens.select eng_pred in
+        let view =
+          Table.of_lists schema
+            [
+              [ Value.Int 1; Value.Str "ada"; Value.Str "Engineering"; Value.Int 60_000; Value.Str "ada@x" ];
+            ]
+        in
+        let t1 = Lens.put l t0 view in
+        check Alcotest.int "brian survives, carol dropped" 2
+          (Table.cardinality t1);
+        check Helpers.table "get returns view" view (Lens.get l t1));
+    test "select lens: put rejects predicate-violating view rows" `Quick
+      (fun () ->
+        let l = Rlens.select eng_pred in
+        let bad =
+          Table.of_lists schema
+            [
+              [ Value.Int 9; Value.Str "zoe"; Value.Str "Sales"; Value.Int 1; Value.Str "z@x" ];
+            ]
+        in
+        match Lens.put l t0 bad with
+        | _ -> Alcotest.fail "expected Shape_error"
+        | exception Lens.Shape_error _ -> ());
+    test "project lens: get keeps the requested columns in order" `Quick
+      (fun () ->
+        let l = Rlens.project ~keep:[ "id"; "name" ] ~key:[ "id" ] schema in
+        let v = Lens.get l t0 in
+        check
+          Alcotest.(list string)
+          "columns" [ "id"; "name" ]
+          (Schema.column_names (Table.schema v)));
+    test "project lens: put recovers dropped columns by key" `Quick
+      (fun () ->
+        let l = Rlens.project ~keep:[ "id"; "name" ] ~key:[ "id" ] schema in
+        let view =
+          Table.of_lists
+            (Schema.project schema [ "id"; "name" ])
+            [
+              [ Value.Int 1; Value.Str "ada lovelace" ];
+              [ Value.Int 2; Value.Str "brian" ];
+            ]
+        in
+        let t1 = Lens.put l t0 view in
+        check Alcotest.int "two rows" 2 (Table.cardinality t1);
+        (* ada kept her salary through the rename *)
+        let ada =
+          List.find
+            (fun r -> Value.equal (Row.get schema r "id") (Value.Int 1))
+            (Table.rows t1)
+        in
+        check Helpers.value "salary recovered" (Value.Int 50_000)
+          (Row.get schema ada "salary");
+        check Helpers.value "name updated" (Value.Str "ada lovelace")
+          (Row.get schema ada "name"));
+    test "project lens: unknown keys get typed defaults" `Quick (fun () ->
+        let l = Rlens.project ~keep:[ "id"; "name" ] ~key:[ "id" ] schema in
+        let view =
+          Table.of_lists
+            (Schema.project schema [ "id"; "name" ])
+            [ [ Value.Int 99; Value.Str "newbie" ] ]
+        in
+        let t1 = Lens.put l t0 view in
+        let newbie = List.hd (Table.rows t1) in
+        check Helpers.value "default salary" (Value.Int 0)
+          (Row.get schema newbie "salary"));
+    test "project lens: key must be kept" `Quick (fun () ->
+        match Rlens.project ~keep:[ "name" ] ~key:[ "id" ] schema with
+        | _ -> Alcotest.fail "expected Schema_error"
+        | exception Schema.Schema_error _ -> ());
+    test "rename lens is invertible" `Quick (fun () ->
+        let l = Rlens.rename [ ("dept", "team") ] in
+        let v = Lens.get l t0 in
+        check Alcotest.bool "renamed" true (Schema.mem (Table.schema v) "team");
+        check Helpers.table "round trip" t0 (Lens.put l t0 v));
+    test "drop lens removes one column" `Quick (fun () ->
+        let l = Rlens.drop "email" ~key:[ "id" ] schema in
+        check Alcotest.int "arity" 4
+          (Schema.arity (Table.schema (Lens.get l t0))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Law suites on FD-respecting generated tables                        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_table : Table.t QCheck.arbitrary =
+  QCheck.make ~print:Table.to_string
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 25 in
+      return (Workload.employees ~seed ~size))
+
+(* Views for select: engineering-only tables. *)
+let gen_eng_view : Table.t QCheck.arbitrary =
+  QCheck.make ~print:Table.to_string
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 25 in
+      return (Algebra.select eng_pred (Workload.employees ~seed ~size)))
+
+(* Views for project id,name: key-unique projections. *)
+let gen_proj_view : Table.t QCheck.arbitrary =
+  QCheck.make ~print:Table.to_string
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 25 in
+      return (Algebra.project [ "id"; "name" ] (Workload.employees ~seed ~size)))
+
+let law_tests =
+  List.concat
+    [
+      Esm_lens.Lens_laws.very_well_behaved ~count:100 ~name:"rlens select"
+        (Rlens.select eng_pred) ~gen_s:gen_table ~gen_v:gen_eng_view
+        ~eq_s:Table.equal ~eq_v:Table.equal;
+      Esm_lens.Lens_laws.well_behaved ~count:100 ~name:"rlens project"
+        (Rlens.project ~keep:[ "id"; "name" ] ~key:[ "id" ] schema)
+        ~gen_s:gen_table ~gen_v:gen_proj_view ~eq_s:Table.equal
+        ~eq_v:Table.equal;
+      Esm_lens.Lens_laws.very_well_behaved ~count:100 ~name:"rlens rename"
+        (Rlens.rename [ ("dept", "team") ])
+        ~gen_s:gen_table
+        ~gen_v:
+          (QCheck.map (Algebra.rename [ ("dept", "team") ]) gen_table)
+        ~eq_s:Table.equal ~eq_v:Table.equal;
+      (* Composition: select then project — the classic view definition. *)
+      Esm_lens.Lens_laws.well_behaved ~count:100 ~name:"rlens select;project"
+        Lens.(
+          Rlens.select eng_pred
+          // Rlens.project ~keep:[ "id"; "name"; "dept" ] ~key:[ "id" ] schema)
+        ~gen_s:gen_table
+        ~gen_v:
+          (QCheck.map
+             (Algebra.project [ "id"; "name"; "dept" ])
+             gen_eng_view)
+        ~eq_s:Table.equal ~eq_v:Table.equal;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Join lens                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let people_schema =
+  Schema.make [ ("id", Value.Tint); ("name", Value.Tstr) ]
+
+let salary_schema =
+  Schema.make [ ("id", Value.Tint); ("salary", Value.Tint) ]
+
+let join_lens = Rlens.join ~left:people_schema ~right:salary_schema
+
+let join_unit_tests =
+  [
+    test "join lens: get is the natural join" `Quick (fun () ->
+        let l =
+          Table.of_lists people_schema
+            [ [ Value.Int 1; Value.Str "ada" ]; [ Value.Int 2; Value.Str "brian" ] ]
+        in
+        let r =
+          Table.of_lists salary_schema
+            [ [ Value.Int 1; Value.Int 50 ]; [ Value.Int 2; Value.Int 45 ] ]
+        in
+        let v = Lens.get join_lens (l, r) in
+        check Alcotest.int "two rows" 2 (Table.cardinality v);
+        check
+          Alcotest.(list string)
+          "schema" [ "id"; "name"; "salary" ]
+          (Schema.column_names (Table.schema v)));
+    test "join lens: put splits an edit into both tables" `Quick (fun () ->
+        let l = Table.of_lists people_schema [ [ Value.Int 1; Value.Str "ada" ] ] in
+        let r = Table.of_lists salary_schema [ [ Value.Int 1; Value.Int 50 ] ] in
+        let v' =
+          Table.of_lists
+            (Table.schema (Lens.get join_lens (l, r)))
+            [ [ Value.Int 1; Value.Str "ada lovelace"; Value.Int 60 ] ]
+        in
+        let l', r' = Lens.put join_lens (l, r) v' in
+        check Helpers.value "name in left" (Value.Str "ada lovelace")
+          (Row.get people_schema (List.hd (Table.rows l')) "name");
+        check Helpers.value "salary in right" (Value.Int 60)
+          (Row.get salary_schema (List.hd (Table.rows r')) "salary"));
+    test "join lens: unjoined right rows survive a put" `Quick (fun () ->
+        let l = Table.of_lists people_schema [ [ Value.Int 1; Value.Str "ada" ] ] in
+        let r =
+          Table.of_lists salary_schema
+            [ [ Value.Int 1; Value.Int 50 ]; [ Value.Int 9; Value.Int 1 ] ]
+        in
+        let v = Lens.get join_lens (l, r) in
+        let _, r' = Lens.put join_lens (l, r) v in
+        check Alcotest.int "id 9 kept" 2 (Table.cardinality r'));
+  ]
+
+(* FD-respecting generated sources: left rows all join; shared column is
+   a key of the right table. *)
+let gen_join_source : (Table.t * Table.t) QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun (l, r) -> Table.to_string l ^ "\n" ^ Table.to_string r)
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 20 in
+      let t = Workload.employees ~seed ~size in
+      let l = Algebra.project [ "id"; "name" ] t in
+      let r = Algebra.project [ "id"; "salary" ] t in
+      return (l, r))
+
+let gen_join_view : Table.t QCheck.arbitrary =
+  QCheck.make ~print:Table.to_string
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 20 in
+      let t = Workload.employees ~seed ~size in
+      return (Algebra.project [ "id"; "name"; "salary" ] t))
+
+let join_law_tests =
+  Esm_lens.Lens_laws.well_behaved ~count:100 ~name:"rlens join"
+    (Rlens.join
+       ~left:(Schema.make [ ("id", Value.Tint); ("name", Value.Tstr) ])
+       ~right:(Schema.make [ ("id", Value.Tint); ("salary", Value.Tint) ]))
+    ~gen_s:gen_join_source ~gen_v:gen_join_view
+    ~eq_s:(Esm_laws.Equality.pair Table.equal Table.equal)
+    ~eq_v:Table.equal
+
+let suite =
+  unit_tests @ join_unit_tests @ Helpers.q (law_tests @ join_law_tests)

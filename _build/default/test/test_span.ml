@@ -1,0 +1,130 @@
+(** Spans of lenses as entangled state monads: the span generalisation
+    of Lemma 4.  Laws hold legwise; overlapping legs produce genuine
+    entanglement; Of_lens coincides with the identity-legged span. *)
+
+open Esm_core
+
+(* Span with OVERLAPPING legs over a person source: the A view is
+   (name, age), the B view is (name, email) — both legs see the name, so
+   the two views are entangled through it. *)
+
+let name_age_lens : (Fixtures.person, string * int) Esm_lens.Lens.t =
+  Esm_lens.Lens.v ~name:"name*age"
+    ~get:(fun p -> (p.Fixtures.name, p.Fixtures.age))
+    ~put:(fun p (name, age) -> Fixtures.{ p with name; age })
+    ()
+
+let name_email_lens : (Fixtures.person, string * string) Esm_lens.Lens.t =
+  Esm_lens.Lens.v ~name:"name*email"
+    ~get:(fun p -> (p.Fixtures.name, p.Fixtures.email))
+    ~put:(fun p (name, email) -> Fixtures.{ p with name; email })
+    ()
+
+let overlap_span = Span.v ~left:name_age_lens ~right:name_email_lens
+
+module Overlap = Span.Make (struct
+  type a = string * int
+  type b = string * string
+  type s = Fixtures.person
+
+  let span = overlap_span
+  let equal_s = Fixtures.equal_person
+end)
+
+module Overlap_laws = Bx_laws.Set_bx (Overlap)
+
+let gen_name_age = QCheck.pair Helpers.short_string QCheck.small_nat
+let gen_name_email = QCheck.pair Helpers.short_string Helpers.short_string
+
+let law_tests =
+  Overlap_laws.overwriteable
+    (Overlap_laws.config ~name:"span(name*age, name*email)"
+       ~gen_state:Fixtures.gen_person ~gen_a:gen_name_age
+       ~gen_b:gen_name_email
+       ~eq_a:Esm_laws.Equality.(pair string int)
+       ~eq_b:Esm_laws.Equality.(pair string string)
+       ())
+
+let entanglement_tests =
+  [
+    (* The shared name makes set_a and set_b non-commuting. *)
+    Helpers.expect_law_failure "overlapping span: sets do not commute"
+      (Overlap_laws.sets_commute
+         (Overlap_laws.config ~name:"span-overlap"
+            ~gen_state:Fixtures.gen_person ~gen_a:gen_name_age
+            ~gen_b:gen_name_email
+            ~eq_a:Esm_laws.Equality.(pair string int)
+            ~eq_b:Esm_laws.Equality.(pair string string)
+            ()));
+  ]
+
+(* Disjoint legs (age | email) DO commute — spans recover the pair-like
+   behaviour of Section 3.4 exactly when the legs do not overlap. *)
+module Disjoint = Span.Make (struct
+  type a = int
+  type b = string
+  type s = Fixtures.person
+
+  let span = Span.v ~left:Fixtures.age_lens
+      ~right:(Esm_lens.Lens.v ~name:"email"
+                ~get:(fun p -> p.Fixtures.email)
+                ~put:(fun p email -> Fixtures.{ p with email })
+                ())
+
+  let equal_s = Fixtures.equal_person
+end)
+
+module Disjoint_laws = Bx_laws.Set_bx (Disjoint)
+
+let disjoint_cfg =
+  Disjoint_laws.config ~name:"span(age | email)"
+    ~gen_state:Fixtures.gen_person ~gen_a:QCheck.small_nat
+    ~gen_b:Helpers.short_string ~eq_a:Int.equal ~eq_b:String.equal ()
+
+let disjoint_tests =
+  Disjoint_laws.overwriteable disjoint_cfg
+  @ [ Disjoint_laws.sets_commute disjoint_cfg ]
+
+(* Of_lens = identity-legged span, observationally. *)
+let of_lens_agreement =
+  let p0 = Fixtures.{ name = "ada"; age = 36; email = "a@x" } in
+  Equivalence.test ~count:300
+    ~name:"Of_lens coincides with the identity-legged span"
+    ~eq_a:Fixtures.equal_person ~eq_b:String.equal ~gen_a:Fixtures.gen_person
+    ~gen_b:Helpers.short_string
+    (Concrete.pack ~bx:(Concrete.of_lens Fixtures.name_lens) ~init:p0
+       ~eq_state:Fixtures.equal_person)
+    (Concrete.pack
+       ~bx:(Span.to_set_bx (Span.of_lens Fixtures.name_lens))
+       ~init:p0 ~eq_state:Fixtures.equal_person)
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "overlapping views entangle through the shared field" `Quick
+      (fun () ->
+        let p = Fixtures.{ name = "ada"; age = 36; email = "a@x" } in
+        let open Overlap.Infix in
+        let (name, email), _ =
+          Overlap.run (Overlap.set_a ("grace", 40) >> Overlap.get_b) p
+        in
+        check string "B sees the A write" "grace" name;
+        check string "B-private field kept" "a@x" email);
+    test_case "re_root lifts a span through an outer lens" `Quick (fun () ->
+        let rooted = Span.re_root Esm_lens.Lens.fst_lens overlap_span in
+        let bx = Span.to_set_bx rooted in
+        let p = Fixtures.{ name = "ada"; age = 1; email = "e" } in
+        let name, _email = bx.Concrete.get_b (p, 9) in
+        check string "reads through fst" "ada" name);
+    test_case "tensor pairs two spans" `Quick (fun () ->
+        let t = Span.tensor overlap_span overlap_span in
+        let bx = Span.to_set_bx t in
+        let p = Fixtures.{ name = "x"; age = 1; email = "e" } in
+        let (a1, _), (a2, _) = bx.Concrete.get_a (p, p) in
+        check string "componentwise" a1 a2);
+  ]
+
+let suite =
+  unit_tests
+  @ Helpers.q (law_tests @ disjoint_tests @ [ of_lens_agreement ])
+  @ entanglement_tests

@@ -1,0 +1,242 @@
+(** Tests for symmetric lenses: unit behaviour of each construction, the
+    (PutRL)/(PutLR) laws on reachable complements, law preservation by
+    composition and tensor, and negative detection of a broken lens. *)
+
+open Esm_symlens
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let gen_even : int QCheck.arbitrary =
+  QCheck.map (fun x -> 2 * x) Helpers.small_int
+
+let unit_tests =
+  [
+    test "id propagates unchanged" `Quick (fun () ->
+        let sync = Symlens.start (Symlens.id ()) in
+        let b, sync = sync.Symlens.push_r 5 in
+        check Alcotest.int "right" 5 b;
+        let a, _ = sync.Symlens.push_l 9 in
+        check Alcotest.int "left" 9 a);
+    test "of_iso applies the bijection" `Quick (fun () ->
+        let sync = Symlens.start Fixtures.double_iso in
+        let b, sync = sync.Symlens.push_r 21 in
+        check Alcotest.int "doubled" 42 b;
+        let a, _ = sync.Symlens.push_l 10 in
+        check Alcotest.int "halved" 5 a);
+    test "of_lens: view edits preserve hidden source fields" `Quick
+      (fun () ->
+        let sync = Symlens.start Fixtures.name_symlens in
+        let p0 = Fixtures.{ name = "ada"; age = 36; email = "ada@x" } in
+        let name, sync = sync.Symlens.push_r p0 in
+        check Alcotest.string "projected" "ada" name;
+        let p1, _ = sync.Symlens.push_l "lovelace" in
+        check Alcotest.int "age kept" 36 p1.Fixtures.age;
+        check Alcotest.string "email kept" "ada@x" p1.Fixtures.email;
+        check Alcotest.string "name updated" "lovelace" p1.Fixtures.name);
+    test "of_lens: create is used before any source is seen" `Quick
+      (fun () ->
+        let sync = Symlens.start Fixtures.name_symlens in
+        let p, _ = sync.Symlens.push_l "fresh" in
+        check Alcotest.string "name" "fresh" p.Fixtures.name;
+        check Alcotest.int "default age" 0 p.Fixtures.age);
+    test "term forgets and restores" `Quick (fun () ->
+        let sync = Symlens.start (Symlens.term ~default:0 ~eq:Int.equal) in
+        let (), sync = sync.Symlens.push_r 42 in
+        let a, _ = sync.Symlens.push_l () in
+        check Alcotest.int "restored" 42 a);
+    test "disconnect does not propagate" `Quick (fun () ->
+        let lens =
+          Symlens.disconnect ~default_a:0 ~default_b:"o" ~eq_a:Int.equal
+            ~eq_b:String.equal
+        in
+        let sync = Symlens.start lens in
+        let b, sync = sync.Symlens.push_r 7 in
+        check Alcotest.string "b untouched" "o" b;
+        let a, _ = sync.Symlens.push_l "new" in
+        check Alcotest.int "a untouched" 7 a);
+    test "compose threads through the middle" `Quick (fun () ->
+        let lens = Symlens.compose Fixtures.double_iso Fixtures.double_iso in
+        let sync = Symlens.start lens in
+        let b, _ = sync.Symlens.push_r 3 in
+        check Alcotest.int "quadrupled" 12 b);
+    test "tensor synchronises componentwise" `Quick (fun () ->
+        let lens = Symlens.tensor Fixtures.double_iso (Symlens.id ()) in
+        let sync = Symlens.start lens in
+        let (b1, b2), _ = sync.Symlens.push_r (2, "s") in
+        check Alcotest.int "left component" 4 b1;
+        check Alcotest.string "right component" "s" b2);
+    test "inv swaps the directions" `Quick (fun () ->
+        let sync = Symlens.start (Symlens.inv Fixtures.double_iso) in
+        let b, _ = sync.Symlens.push_r 10 in
+        check Alcotest.int "halved" 5 b);
+    test "run collects opposite-side values" `Quick (fun () ->
+        let outputs =
+          Symlens.run Fixtures.double_iso
+            [ Symlens.Push_r 1; Symlens.Push_l 8; Symlens.Push_r 3 ]
+        in
+        check Alcotest.int "three outputs" 3 (List.length outputs);
+        match outputs with
+        | [ Symlens.Push_l 2; Symlens.Push_r 4; Symlens.Push_l 6 ] -> ()
+        | _ -> Alcotest.fail "unexpected outputs");
+    test "to_instance/of_instance round trip behaves identically" `Quick
+      (fun () ->
+        let lens' =
+          Symlens.of_instance (Symlens.to_instance Fixtures.double_iso)
+        in
+        let steps = [ Symlens.Push_r 2; Symlens.Push_l 6; Symlens.Push_r 5 ] in
+        let eq =
+          Esm_laws.Equality.list
+            (Symlens.equal_step ~eq_a:Int.equal ~eq_b:Int.equal)
+        in
+        check Alcotest.bool "same outputs" true
+          (eq
+             (Symlens.run Fixtures.double_iso steps)
+             (Symlens.run lens' steps)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Laws                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let law_tests =
+  List.concat
+    [
+      Symlens_laws.well_behaved ~name:"id" (Symlens.id ())
+        ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int ~eq_a:Int.equal
+        ~eq_b:Int.equal;
+      (* double_iso: B values live in the even integers. *)
+      Symlens_laws.well_behaved ~name:"double_iso" Fixtures.double_iso
+        ~gen_a:Helpers.small_int ~gen_b:gen_even ~eq_a:Int.equal
+        ~eq_b:Int.equal;
+      Symlens_laws.well_behaved ~name:"of_lens name" Fixtures.name_symlens
+        ~gen_a:Fixtures.gen_person ~gen_b:Helpers.short_string
+        ~eq_a:Fixtures.equal_person ~eq_b:String.equal;
+      Symlens_laws.well_behaved ~name:"term"
+        (Symlens.term ~default:0 ~eq:Int.equal)
+        ~gen_a:Helpers.small_int ~gen_b:QCheck.unit ~eq_a:Int.equal
+        ~eq_b:Esm_laws.Equality.unit;
+      Symlens_laws.well_behaved ~name:"disconnect"
+        (Symlens.disconnect ~default_a:0 ~default_b:"" ~eq_a:Int.equal
+           ~eq_b:String.equal)
+        ~gen_a:Helpers.small_int ~gen_b:Helpers.short_string ~eq_a:Int.equal
+        ~eq_b:String.equal;
+      Symlens_laws.well_behaved ~name:"compose double;double"
+        (Symlens.compose Fixtures.double_iso Fixtures.double_iso)
+        ~gen_a:Helpers.small_int
+        ~gen_b:(QCheck.map (fun x -> 4 * x) Helpers.small_int)
+        ~eq_a:Int.equal ~eq_b:Int.equal;
+      Symlens_laws.well_behaved ~name:"compose of_lens;iso"
+        (Symlens.compose Fixtures.name_symlens
+           (Symlens.of_iso String.uppercase_ascii String.lowercase_ascii))
+        ~gen_a:
+          (QCheck.map
+             (fun p -> Fixtures.{ p with name = String.lowercase_ascii p.name })
+             Fixtures.gen_person)
+        ~gen_b:(QCheck.map String.uppercase_ascii Helpers.short_string)
+        ~eq_a:Fixtures.equal_person ~eq_b:String.equal;
+      Symlens_laws.well_behaved ~name:"tensor"
+        (Symlens.tensor Fixtures.double_iso (Symlens.id ()))
+        ~gen_a:(QCheck.pair Helpers.small_int Helpers.short_string)
+        ~gen_b:(QCheck.pair gen_even Helpers.short_string)
+        ~eq_a:Esm_laws.Equality.(pair int string)
+        ~eq_b:Esm_laws.Equality.(pair int string);
+      Symlens_laws.well_behaved ~name:"inv double_iso"
+        (Symlens.inv Fixtures.double_iso) ~gen_a:gen_even
+        ~gen_b:Helpers.small_int ~eq_a:Int.equal ~eq_b:Int.equal;
+    ]
+
+let extension_law_tests =
+  List.concat
+    [
+      (* list_map: lists of persons synchronised with lists of names. *)
+      Symlens_laws.well_behaved ~name:"list_map of_lens"
+        (Symlens.list_map Fixtures.name_symlens)
+        ~gen_a:(QCheck.small_list Fixtures.gen_person)
+        ~gen_b:(QCheck.small_list Helpers.short_string)
+        ~eq_a:(Esm_laws.Equality.list Fixtures.equal_person)
+        ~eq_b:(Esm_laws.Equality.list String.equal);
+      (* sum: Either-tagged synchronisation. *)
+      Symlens_laws.well_behaved ~name:"sum double (+) id"
+        (Symlens.sum Fixtures.double_iso (Symlens.id ()))
+        ~gen_a:
+          (QCheck.oneof
+             [
+               QCheck.map Either.left Helpers.small_int;
+               QCheck.map Either.right Helpers.short_string;
+             ])
+        ~gen_b:
+          (QCheck.oneof
+             [
+               QCheck.map Either.left gen_even;
+               QCheck.map Either.right Helpers.short_string;
+             ])
+        ~eq_a:(fun x y -> x = y)
+        ~eq_b:(fun x y -> x = y);
+    ]
+
+let extension_unit_tests =
+  [
+    test "list_map synchronises elementwise and resizes" `Quick (fun () ->
+        let sync = Symlens.start (Symlens.list_map Fixtures.double_iso) in
+        let bs, sync = sync.Symlens.push_r [ 1; 2; 3 ] in
+        check Alcotest.(list int) "doubled" [ 2; 4; 6 ] bs;
+        let as_, _ = sync.Symlens.push_l [ 10; 20 ] in
+        check Alcotest.(list int) "halved, truncated" [ 5; 10 ] as_);
+    test "sum switches lens by constructor" `Quick (fun () ->
+        let lens = Symlens.sum Fixtures.double_iso (Symlens.id ()) in
+        let sync = Symlens.start lens in
+        let b, sync = sync.Symlens.push_r (Either.Left 4) in
+        check Alcotest.bool "left doubled" true (b = Either.Left 8);
+        let b', _ = sync.Symlens.push_r (Either.Right "s") in
+        check Alcotest.bool "right id" true (b' = Either.Right "s"));
+  ]
+
+(* HPW quotient: the equivalence that makes composition associative and
+   id a unit — checked observationally on sampled step sequences. *)
+let equivalence_tests =
+  [
+    Symlens_laws.equivalence ~name:"quotient: id ; l == l"
+      (Symlens.compose (Symlens.id ()) Fixtures.double_iso)
+      Fixtures.double_iso ~gen_a:Helpers.small_int ~gen_b:gen_even
+      ~eq_a:Int.equal ~eq_b:Int.equal;
+    Symlens_laws.equivalence ~name:"quotient: l ; id == l"
+      (Symlens.compose Fixtures.double_iso (Symlens.id ()))
+      Fixtures.double_iso ~gen_a:Helpers.small_int ~gen_b:gen_even
+      ~eq_a:Int.equal ~eq_b:Int.equal;
+    Symlens_laws.equivalence ~name:"quotient: composition associates"
+      (Symlens.compose
+         (Symlens.compose Fixtures.double_iso Fixtures.double_iso)
+         Fixtures.double_iso)
+      (Symlens.compose Fixtures.double_iso
+         (Symlens.compose Fixtures.double_iso Fixtures.double_iso))
+      ~gen_a:Helpers.small_int
+      ~gen_b:(QCheck.map (fun x -> 8 * x) Helpers.small_int)
+      ~eq_a:Int.equal ~eq_b:Int.equal;
+    Symlens_laws.equivalence ~name:"quotient: inv is an involution"
+      (Symlens.inv (Symlens.inv Fixtures.name_symlens))
+      Fixtures.name_symlens ~gen_a:Fixtures.gen_person
+      ~gen_b:Helpers.short_string ~eq_a:Fixtures.equal_person
+      ~eq_b:String.equal;
+  ]
+
+let quotient_negative_tests =
+  [
+    Helpers.expect_law_failure
+      "quotient distinguishes genuinely different lenses"
+      (Symlens_laws.equivalence ~name:"(expected failure)"
+         Fixtures.double_iso (Symlens.id ()) ~gen_a:Helpers.small_int
+         ~gen_b:Helpers.small_int ~eq_a:Int.equal ~eq_b:Int.equal);
+  ]
+
+let negative_tests =
+  [
+    Helpers.expect_law_failure "broken symlens fails PutLR"
+      (Symlens_laws.put_lr ~name:"broken" Fixtures.broken_symlens
+         ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int ~eq_b:Int.equal);
+  ]
+
+let suite =
+  unit_tests @ extension_unit_tests
+  @ Helpers.q (law_tests @ extension_law_tests @ equivalence_tests)
+  @ negative_tests @ quotient_negative_tests

@@ -1,0 +1,227 @@
+(** Lemmas 1–3 (Section 3.3): the translations between set-bx and put-bx.
+
+    - Lemma 1: [set2pp] of a lawful (overwriteable) set-bx is a lawful
+      (overwriteable) put-bx — checked by deriving a put-bx from each
+      set-bx instance and running the put-bx law suites.
+    - Lemma 2: [pp2set] of a lawful put-bx is a lawful set-bx — checked
+      by deriving a set-bx from the Lemma-6 put-bx and running the set-bx
+      suites.
+    - Lemma 3: the translations are mutually inverse — checked both at
+      the level of operations (extensional equality of
+      [pp2set(set2pp(t))] against [t]) and observationally over random
+      programs at the record level. *)
+
+open Esm_core
+
+(* --- Lemma 1: set2pp over the Lemma-4 instance ------------------- *)
+
+module Name_set = Of_lens.Make (struct
+  type s = Fixtures.person
+  type v = string
+
+  let lens = Fixtures.name_lens
+  let equal_s = Fixtures.equal_person
+end)
+
+module Name_put = Translate.Set_to_put_stateful (Name_set)
+module Name_put_laws = Bx_laws.Put_bx (Name_put)
+
+(* set2pp over the Lemma-5 instance (parity). *)
+module Parity_set = Of_algebraic.Make (struct
+  type ta = int
+  type tb = int
+
+  let bx = Fixtures.parity_undoable
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+module Parity_put = Translate.Set_to_put_stateful (Parity_set)
+module Parity_put_laws = Bx_laws.Put_bx (Parity_put)
+
+(* --- Lemma 2: pp2set over the Lemma-6 instance -------------------- *)
+
+module Double_instance = struct
+  include
+    (val Esm_symlens.Symlens.to_instance Fixtures.double_iso
+      : Esm_symlens.Symlens.INSTANCE with type a = int and type b = int)
+end
+
+module Double_put = Of_symmetric.Make (Double_instance) (struct
+  let equal_a = Int.equal
+  let equal_b = Int.equal
+end)
+
+module Double_set = Translate.Put_to_set_stateful (Double_put)
+module Double_set_laws = Bx_laws.Set_bx (Double_set)
+
+(* --- Lemma 3: round trips ----------------------------------------- *)
+
+module Name_rt = Translate.Put_to_set_stateful (Name_put)
+(* Name_rt = pp2set(set2pp(Name_set)): must agree with Name_set. *)
+
+module Double_rt = Translate.Set_to_put_stateful (Double_set)
+(* Double_rt = set2pp(pp2set(Double_put)): must agree with Double_put. *)
+
+let gen_double_state : (int * int * Double_instance.c) QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun (a, b, _) -> Printf.sprintf "(%d, %d, _)" a b)
+    QCheck.Gen.(
+      map
+        (fun a ->
+          let b, c = Double_instance.put_r a Double_instance.init in
+          (a, b, c))
+        small_int)
+
+let gen_even = QCheck.map (fun x -> 2 * x) Helpers.small_int
+
+let lemma1_tests =
+  List.concat
+    [
+      Name_put_laws.overwriteable
+        (Name_put_laws.config ~name:"set2pp(of_lens name)"
+           ~gen_state:Fixtures.gen_person ~gen_a:Fixtures.gen_person
+           ~gen_b:Helpers.short_string ~eq_a:Fixtures.equal_person
+           ~eq_b:String.equal ());
+      Parity_put_laws.overwriteable
+        (Parity_put_laws.config ~name:"set2pp(of_algebraic parity)"
+           ~gen_state:Fixtures.gen_parity_consistent ~gen_a:Helpers.small_int
+           ~gen_b:Helpers.small_int ~eq_a:Int.equal ~eq_b:Int.equal ());
+    ]
+
+let lemma2_tests =
+  Double_set_laws.overwriteable
+    (Double_set_laws.config ~name:"pp2set(of_symmetric double)"
+       ~gen_state:gen_double_state ~gen_a:Helpers.small_int ~gen_b:gen_even
+       ~eq_a:Int.equal ~eq_b:Int.equal ())
+
+(* Lemma 3a, functor level: extensional equality of all four operations
+   of pp2set(set2pp(t)) with t, on sampled states. *)
+let lemma3_functor_tests =
+  [
+    QCheck.Test.make ~count:500
+      ~name:"Lemma 3: pp2set(set2pp(t)) = t on all operations (of_lens)"
+      (QCheck.triple Fixtures.gen_person Fixtures.gen_person
+         Helpers.short_string)
+      (fun (s, a, b) ->
+        let eq_unit_run x y =
+          Name_set.equal_result Esm_laws.Equality.unit x y
+        in
+        Name_set.equal_result Fixtures.equal_person
+          (Name_rt.run Name_rt.get_a s)
+          (Name_set.run Name_set.get_a s)
+        && Name_set.equal_result String.equal
+             (Name_rt.run Name_rt.get_b s)
+             (Name_set.run Name_set.get_b s)
+        && eq_unit_run
+             (Name_rt.run (Name_rt.set_a a) s)
+             (Name_set.run (Name_set.set_a a) s)
+        && eq_unit_run
+             (Name_rt.run (Name_rt.set_b b) s)
+             (Name_set.run (Name_set.set_b b) s));
+    QCheck.Test.make ~count:500
+      ~name:"Lemma 3: set2pp(pp2set(u)) = u on all operations (of_symmetric)"
+      (QCheck.triple gen_double_state Helpers.small_int gen_even)
+      (fun (s, a, b) ->
+        Double_put.equal_result Int.equal
+          (Double_rt.run (Double_rt.put_ab a) s)
+          (Double_put.run (Double_put.put_ab a) s)
+        && Double_put.equal_result Int.equal
+             (Double_rt.run (Double_rt.put_ba b) s)
+             (Double_put.run (Double_put.put_ba b) s)
+        && Double_put.equal_result Int.equal
+             (Double_rt.run Double_rt.get_a s)
+             (Double_put.run Double_put.get_a s)
+        && Double_put.equal_result Int.equal
+             (Double_rt.run Double_rt.get_b s)
+             (Double_put.run Double_put.get_b s));
+  ]
+
+(* Lemma 3b, record level: observational equivalence over random
+   programs. *)
+let name_packed init =
+  Concrete.pack ~bx:(Concrete.of_lens Fixtures.name_lens) ~init
+    ~eq_state:Fixtures.equal_person
+
+let name_roundtrip_packed init =
+  Concrete.pack
+    ~bx:
+      (Concrete.put_to_set (Concrete.set_to_put (Concrete.of_lens Fixtures.name_lens)))
+    ~init ~eq_state:Fixtures.equal_person
+
+let p0 = Fixtures.{ name = "ada"; age = 36; email = "ada@x" }
+
+let lemma3_record_tests =
+  [
+    Equivalence.test ~count:500
+      ~name:"Lemma 3 (record level): pp2set . set2pp = id observationally"
+      ~eq_a:Fixtures.equal_person ~eq_b:String.equal
+      ~gen_a:Fixtures.gen_person ~gen_b:Helpers.short_string (name_packed p0)
+      (name_roundtrip_packed p0);
+  ]
+
+(* Lemma 1 at the effectful level: set2pp of the Section-4 instance is a
+   lawful put-bx INCLUDING traces. *)
+module Eff_put = Translate.Set_to_put_stateful (Effectful.Paper_example)
+module Eff_put_laws = Bx_laws.Put_bx (Eff_put)
+
+let effectful_lemma1_tests =
+  Eff_put_laws.well_behaved
+    (Eff_put_laws.config ~name:"set2pp(effectful)"
+       ~gen_state:Helpers.small_int ~gen_a:Helpers.small_int
+       ~gen_b:Helpers.small_int ~eq_a:Int.equal ~eq_b:Int.equal ())
+
+(* Lemma 1's overwriteable clause is tight: a NON-overwriteable set-bx
+   yields a put-bx failing (PP). *)
+module Counted_set = Of_lens.Make (struct
+  type s = Fixtures.counted
+  type v = int
+
+  let lens = Fixtures.counted_lens
+  let equal_s = Fixtures.equal_counted
+end)
+
+module Counted_put = Translate.Set_to_put_stateful (Counted_set)
+module Counted_put_laws = Bx_laws.Put_bx (Counted_put)
+
+let counted_cfg =
+  Counted_put_laws.config ~name:"set2pp(counted)"
+    ~gen_state:Fixtures.gen_counted ~gen_a:Fixtures.gen_counted
+    ~gen_b:Helpers.small_int ~eq_a:Fixtures.equal_counted ~eq_b:Int.equal ()
+
+let lemma1_tightness_tests =
+  Counted_put_laws.well_behaved counted_cfg
+
+let lemma1_negative_tests =
+  [
+    Helpers.expect_law_failure
+      "set2pp of a non-overwriteable set-bx fails (PP)"
+      (Counted_put_laws.pp_b counted_cfg);
+  ]
+
+(* The derived put really performs set-then-get. *)
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "set2pp: put_ab returns the updated opposite view" `Quick
+      (fun () ->
+        let b, (a', b') = Parity_put.run (Parity_put.put_ab 7) (2, 4) in
+        check int "returned view" 5 b;
+        check int "state a" 7 a';
+        check int "state b" 5 b');
+    test_case "pp2set: set discards the returned view" `Quick (fun () ->
+        let (), (a, b, _) =
+          Double_set.run (Double_set.set_a 10)
+            (let b0, c0 = Double_instance.put_r 1 Double_instance.init in
+             (1, b0, c0))
+        in
+        check int "a" 10 a;
+        check int "b propagated" 20 b);
+  ]
+
+let suite =
+  unit_tests
+  @ Helpers.q
+      (lemma1_tests @ effectful_lemma1_tests @ lemma1_tightness_tests
+     @ lemma2_tests @ lemma3_functor_tests @ lemma3_record_tests)
+  @ lemma1_negative_tests

@@ -1,0 +1,188 @@
+(** Tests for named-edge trees and the Foster-style tree lenses. *)
+
+open Esm_lens
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let t_ab =
+  Tree.node [ ("a", Tree.value "1"); ("b", Tree.value "2") ]
+
+let unit_tests =
+  [
+    test "value/to_value round trip" `Quick (fun () ->
+        check Alcotest.string "decode" "x" (Tree.to_value (Tree.value "x")));
+    test "to_value rejects non-values" `Quick (fun () ->
+        match Tree.to_value t_ab with
+        | _ -> Alcotest.fail "expected Shape_error"
+        | exception Lens.Shape_error _ -> ());
+    test "bind_edge replaces in place" `Quick (fun () ->
+        let t = Tree.bind_edge "a" (Tree.value "9") t_ab in
+        check Helpers.tree "updated"
+          (Tree.node [ ("a", Tree.value "9"); ("b", Tree.value "2") ])
+          t);
+    test "remove_edge deletes" `Quick (fun () ->
+        check Helpers.tree "removed"
+          (Tree.node [ ("b", Tree.value "2") ])
+          (Tree.remove_edge "a" t_ab));
+    test "size counts nodes" `Quick (fun () ->
+        check Alcotest.int "size" 5 (Tree.size t_ab));
+    test "hoist unwraps a singleton edge" `Quick (fun () ->
+        let src = Tree.node [ ("root", t_ab) ] in
+        check Helpers.tree "hoisted" t_ab (Lens.get (Tree.hoist "root") src));
+    test "hoist rejects multi-edge sources" `Quick (fun () ->
+        match Lens.get (Tree.hoist "a") t_ab with
+        | _ -> Alcotest.fail "expected Shape_error"
+        | exception Lens.Shape_error _ -> ());
+    test "plunge wraps under an edge" `Quick (fun () ->
+        check Helpers.tree "plunged"
+          (Tree.node [ ("w", t_ab) ])
+          (Lens.get (Tree.plunge "w") t_ab));
+    test "rename swaps the edge name" `Quick (fun () ->
+        check Helpers.tree "renamed"
+          (Tree.node [ ("z", Tree.value "1"); ("b", Tree.value "2") ])
+          (Lens.get (Tree.rename "a" "z") t_ab));
+    test "focus forgets siblings and put restores them" `Quick (fun () ->
+        let l = Tree.focus "a" ~default:Tree.empty in
+        check Helpers.tree "view" (Tree.value "1") (Lens.get l t_ab);
+        check Helpers.tree "put restores b"
+          (Tree.node [ ("a", Tree.value "9"); ("b", Tree.value "2") ])
+          (Lens.put l t_ab (Tree.value "9")));
+    test "prune removes and put restores from source" `Quick (fun () ->
+        let l = Tree.prune "b" ~default:(Tree.value "d") in
+        check Helpers.tree "view"
+          (Tree.node [ ("a", Tree.value "1") ])
+          (Lens.get l t_ab);
+        check Helpers.tree "put"
+          (Tree.node [ ("a", Tree.value "7"); ("b", Tree.value "2") ])
+          (Lens.put l t_ab (Tree.node [ ("a", Tree.value "7") ])));
+    test "prune falls back to the default for fresh sources" `Quick
+      (fun () ->
+        let l = Tree.prune "b" ~default:(Tree.value "d") in
+        check Helpers.tree "default restored"
+          (Tree.node [ ("x", Tree.empty); ("b", Tree.value "d") ])
+          (Lens.put l Tree.empty (Tree.node [ ("x", Tree.empty) ])));
+    test "map applies a lens to each child" `Quick (fun () ->
+        let l = Tree.map (Tree.plunge "v") in
+        check Helpers.tree "wrapped children"
+          (Tree.node
+             [
+               ("a", Tree.node [ ("v", Tree.value "1") ]);
+               ("b", Tree.node [ ("v", Tree.value "2") ]);
+             ])
+          (Lens.get l t_ab));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Law suites with generated trees                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_label = QCheck.Gen.oneofl [ "x"; "y"; "z"; "v" ]
+
+(* Random trees of bounded depth with distinct edge names per node. *)
+let gen_tree_sized : Tree.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then return Tree.empty
+    else
+      let* n = int_bound 3 in
+      let labels =
+        List.filteri (fun i _ -> i < n) [ "x"; "y"; "z"; "v" ]
+      in
+      let* children = flatten_l (List.map (fun _ -> go (depth - 1)) labels) in
+      return (Tree.node (List.combine labels children))
+  in
+  go 2
+
+let gen_tree : Tree.t QCheck.arbitrary =
+  QCheck.make ~print:Tree.to_string gen_tree_sized
+
+(* Sources shaped for each lens's domain. *)
+let gen_singleton_root : Tree.t QCheck.arbitrary =
+  QCheck.map (fun t -> Tree.node [ ("root", t) ]) gen_tree
+
+let gen_with_a : Tree.t QCheck.arbitrary =
+  QCheck.map
+    (fun (t, rest) -> Tree.bind_edge "a" t (Tree.remove_edge "a" rest))
+    (QCheck.pair gen_tree gen_tree)
+
+let gen_wrapped : Tree.t QCheck.arbitrary =
+  QCheck.map (fun t -> Tree.node [ ("w", t) ]) gen_tree
+
+let gen_without_b : Tree.t QCheck.arbitrary =
+  QCheck.map (Tree.remove_edge "b") gen_tree
+
+let law_tests =
+  List.concat
+    [
+      Lens_laws.very_well_behaved ~name:"hoist" (Tree.hoist "root")
+        ~gen_s:gen_singleton_root ~gen_v:gen_tree ~eq_s:Tree.equal
+        ~eq_v:Tree.equal;
+      Lens_laws.very_well_behaved ~name:"plunge" (Tree.plunge "w")
+        ~gen_s:gen_tree ~gen_v:gen_wrapped ~eq_s:Tree.equal ~eq_v:Tree.equal;
+      (* rename a->b on sources containing a and not b. *)
+      (let gen_s =
+         QCheck.map
+           (fun (t, rest) ->
+             Tree.bind_edge "a" t
+               (Tree.remove_edge "a" (Tree.remove_edge "b" rest)))
+           (QCheck.pair gen_tree gen_tree)
+       in
+       let gen_v =
+         QCheck.map
+           (fun (t, rest) ->
+             Tree.bind_edge "b" t
+               (Tree.remove_edge "a" (Tree.remove_edge "b" rest)))
+           (QCheck.pair gen_tree gen_tree)
+       in
+       Lens_laws.very_well_behaved ~name:"rename" (Tree.rename "a" "b")
+         ~gen_s ~gen_v ~eq_s:Tree.equal ~eq_v:Tree.equal);
+      Lens_laws.very_well_behaved ~name:"focus a"
+        (Tree.focus "a" ~default:Tree.empty)
+        ~gen_s:gen_with_a ~gen_v:gen_tree ~eq_s:Tree.equal ~eq_v:Tree.equal;
+      (* prune is well-behaved on sources that contain the pruned edge
+         (on edge-free sources GetPut would invent the default). *)
+      (let gen_s_with_b =
+         QCheck.map
+           (fun (t, rest) -> Tree.bind_edge "b" t rest)
+           (QCheck.pair gen_tree gen_tree)
+       in
+       Lens_laws.well_behaved ~name:"prune b"
+         (Tree.prune "b" ~default:(Tree.value "d"))
+         ~gen_s:gen_s_with_b ~gen_v:gen_without_b ~eq_s:Tree.equal
+         ~eq_v:Tree.equal);
+      (* hoist;plunge composition: identity on singleton-root sources. *)
+      Lens_laws.very_well_behaved ~name:"hoist;plunge"
+        Lens.(Tree.hoist "root" // Tree.plunge "root")
+        ~gen_s:gen_singleton_root ~gen_v:gen_singleton_root ~eq_s:Tree.equal
+        ~eq_v:Tree.equal;
+    ]
+
+let at_tests =
+  [
+    Alcotest.test_case "at applies a lens under one edge" `Quick (fun () ->
+        let l = Tree.at "a" (Tree.plunge "v") in
+        check Helpers.tree "wrapped"
+          (Tree.node
+             [
+               ("a", Tree.node [ ("v", Tree.value "1") ]);
+               ("b", Tree.value "2");
+             ])
+          (Lens.get l t_ab));
+  ]
+
+let at_law_tests =
+  (* at "a" (plunge "v"): sources containing edge a; views with the
+     wrapped child. *)
+  let wrap t =
+    Tree.bind_edge "a" (Tree.node [ ("v", Option.get (Tree.lookup "a" t)) ]) t
+  in
+  Lens_laws.very_well_behaved ~name:"at a (plunge v)"
+    (Tree.at "a" (Tree.plunge "v"))
+    ~gen_s:gen_with_a
+    ~gen_v:(QCheck.map wrap gen_with_a)
+    ~eq_s:Tree.equal ~eq_v:Tree.equal
+
+let _ = gen_label
+
+let suite = unit_tests @ at_tests @ Helpers.q (law_tests @ at_law_tests)

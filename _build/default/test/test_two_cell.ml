@@ -1,0 +1,143 @@
+(** The two-cell algebraic state theory (paper §2: "an algebraic theory
+    of reads and writes, with seven equations") and its boundary with
+    entanglement: the independent-cell normal form is valid for the pair
+    semantics but unsound for entangled semantics. *)
+
+module Theory = Esm_monad.Two_cell_theory.Make (struct
+  type t = int
+end) (struct
+  type t = string
+end)
+
+let states = [ (0, ""); (1, "x"); (-3, "abc"); (7, "x"); (42, "hello") ]
+
+let term_equal ?(eq_x = ( = )) t1 t2 =
+  Theory.equal_on ~eq_x ~eq_a:Int.equal ~eq_b:String.equal states t1 t2
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+open Theory
+
+let seven_laws_tests =
+  [
+    test "per-cell laws hold under the pair semantics" `Quick (fun () ->
+        (* (GS) for each cell *)
+        check Alcotest.bool "GS a" true
+          (term_equal (Term.bind get_a set_a) (Term.return ()));
+        check Alcotest.bool "GS b" true
+          (term_equal (Term.bind get_b set_b) (Term.return ()));
+        (* (SG) *)
+        check Alcotest.bool "SG a" true
+          (term_equal
+             (Term.bind (set_a 5) (fun () -> get_a))
+             (Term.bind (set_a 5) (fun () -> Term.return 5)));
+        (* (SS) *)
+        check Alcotest.bool "SS b" true
+          (term_equal
+             (Term.bind (set_b "u") (fun () -> set_b "v"))
+             (set_b "v")));
+    test "commutation laws hold under the pair semantics" `Quick (fun () ->
+        (* get_a/get_b commute *)
+        check Alcotest.bool "gets commute" true
+          (term_equal
+             (Term.bind get_a (fun a -> Term.bind get_b (fun b -> Term.return (a, b))))
+             (Term.bind get_b (fun b -> Term.bind get_a (fun a -> Term.return (a, b)))));
+        (* set_a/set_b commute *)
+        check Alcotest.bool "sets commute" true
+          (term_equal
+             (Term.bind (set_a 1) (fun () -> set_b "y"))
+             (Term.bind (set_b "y") (fun () -> set_a 1)));
+        (* set_a/get_b commute *)
+        check Alcotest.bool "set_a/get_b commute" true
+          (term_equal
+             (Term.bind (set_a 1) (fun () -> get_b))
+             (Term.bind get_b (fun b ->
+                  Term.bind (set_a 1) (fun () -> Term.return b)))));
+  ]
+
+(* Random two-cell programs. *)
+let gen_term : int Theory.Term.t QCheck.arbitrary =
+  QCheck.map
+    (fun spec ->
+      List.fold_left
+        (fun acc instr ->
+          Term.bind acc (fun x ->
+              match instr mod 5 with
+              | 0 -> Term.bind get_a (fun a -> Term.return (a + x))
+              | 1 -> Term.bind (set_a x) (fun () -> Term.return x)
+              | 2 ->
+                  Term.bind get_b (fun b ->
+                      Term.return (x + String.length b))
+              | 3 ->
+                  Term.bind (set_b (String.make (abs x mod 5) 'z')) (fun () ->
+                      Term.return x)
+              | _ -> Term.return (x * 2)))
+        (Term.return 1)
+        spec)
+    (QCheck.small_list QCheck.small_nat)
+
+let normal_form_tests =
+  [
+    QCheck.Test.make ~count:300
+      ~name:"two-cell: every term equals its read-both/write-both normal form"
+      gen_term
+      (fun t -> term_equal ~eq_x:Int.equal t (Theory.canonical t));
+    QCheck.Test.make ~count:300
+      ~name:"two-cell: canonical performs exactly four operations"
+      (QCheck.pair gen_term (QCheck.pair Helpers.small_int Helpers.short_string))
+      (fun (t, s) -> Theory.ops_performed (Theory.canonical t) s = 4);
+  ]
+
+(* The boundary with entanglement: interpret the same free terms against
+   the parity set-bx.  The per-term normal form is UNSOUND there. *)
+let parity_bx = Esm_core.Concrete.of_algebraic Fixtures.parity_undoable
+
+module Int_theory = Esm_monad.Two_cell_theory.Make (struct
+  type t = int
+end) (struct
+  type t = int
+end)
+
+let denote_parity m s =
+  Int_theory.denote_entangled
+    ~get_a:parity_bx.Esm_core.Concrete.get_a
+    ~set_a:parity_bx.Esm_core.Concrete.set_a
+    ~get_b:parity_bx.Esm_core.Concrete.get_b
+    ~set_b:parity_bx.Esm_core.Concrete.set_b m s
+
+let entanglement_boundary_tests =
+  [
+    test "single-cell laws survive the entangled interpretation" `Quick
+      (fun () ->
+        let open Int_theory in
+        (* (GS a): get_a >>= set_a = return () *)
+        let lhs = Term.bind get_a set_a in
+        List.iter
+          (fun s ->
+            let (), s1 = denote_parity lhs s in
+            Alcotest.(check (pair int int)) "GS" s s1)
+          [ (0, 0); (2, 4); (-1, 3) ]);
+    test "the independent normal form is UNSOUND under entanglement" `Quick
+      (fun () ->
+        let open Int_theory in
+        (* set_a 1 >> set_b 4 >> set_a 1 on the parity bx from (0,0)
+           ends in (1,5) — the final set_a repairs b.  Its two-cell
+           canonical form (which assumed the seven-equation independent
+           theory, in particular (SS) across the interleaved set_b)
+           collapses to set_a 1 >> set_b 4 and ends in (0,4).
+           Entanglement refuses the independent-cell theory — exactly
+           the paper's point in Section 3.4. *)
+        let prog =
+          Term.bind (set_a 1) (fun () ->
+              Term.bind (set_b 4) (fun () -> set_a 1))
+        in
+        let (), direct = denote_parity prog (0, 0) in
+        let (), collapsed = denote_parity (canonical prog) (0, 0) in
+        Alcotest.(check (pair int int)) "direct" (1, 5) direct;
+        Alcotest.(check bool) "normal form disagrees" false
+          (direct = collapsed));
+  ]
+
+let suite =
+  seven_laws_tests @ Helpers.q normal_form_tests @ entanglement_boundary_tests

@@ -1,0 +1,78 @@
+(** The undo wrapper: lawful set-bx (minus (SS)), with rollback through
+    the checkpointed witness structure. *)
+
+open Esm_core
+
+let base = Concrete.of_algebraic Fixtures.parity_undoable
+let wrapped = Journal.Undo.wrap ~eq_a:Int.equal ~eq_b:Int.equal base
+let eq_pair = Esm_laws.Equality.(pair int int)
+let eq_state = Journal.Undo.equal_state ~eq_s:eq_pair
+
+let gen_state : (int * int) Journal.Undo.state QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun st -> Printf.sprintf "depth %d" (Journal.Undo.depth st))
+    QCheck.Gen.(
+      let* s0 = Fixtures.gen_parity_consistent.QCheck.gen in
+      let* walk = list_size (int_bound 5) (pair bool small_signed_int) in
+      return
+        (List.fold_left
+           (fun st (side, v) ->
+             if side then wrapped.Concrete.set_a v st
+             else wrapped.Concrete.set_b v st)
+           (Journal.Undo.initial s0) walk))
+
+let cfg =
+  Concrete_laws.config ~name:"undo(parity)" ~gen_state
+    ~gen_a:Helpers.small_int ~gen_b:Helpers.small_int ~eq_a:Int.equal
+    ~eq_b:Int.equal ~eq_state ()
+
+let law_tests = Concrete_laws.well_behaved cfg wrapped
+
+let negative_tests =
+  [
+    Helpers.expect_law_failure "undo wrapper is not overwriteable"
+      (Concrete_laws.ss_a cfg wrapped);
+  ]
+
+let prop_tests =
+  [
+    QCheck.Test.make ~count:500 ~name:"undo reverts the last effective set"
+      (QCheck.pair gen_state Helpers.small_int)
+      (fun (st, a) ->
+        let st' = wrapped.Concrete.set_a a st in
+        if Journal.Undo.depth st' = Journal.Undo.depth st then
+          (* no-op set: nothing to undo beyond what was there *)
+          eq_state st st'
+        else
+          match Journal.Undo.undo st' with
+          | Some st'' -> eq_state st st''
+          | None -> false);
+    QCheck.Test.make ~count:500 ~name:"undoing to the bottom empties history"
+      gen_state
+      (fun st ->
+        let rec drain st =
+          match Journal.Undo.undo st with Some st' -> drain st' | None -> st
+        in
+        Journal.Undo.depth (drain st) = 0);
+  ]
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "depth counts effective updates only" `Quick (fun () ->
+        let st =
+          Journal.Undo.initial (0, 0)
+          |> wrapped.Concrete.set_a 2
+          |> wrapped.Concrete.set_a 2 (* no-op *)
+          |> wrapped.Concrete.set_b 5
+        in
+        check int "two checkpoints" 2 (Journal.Undo.depth st));
+    test_case "undo at the beginning returns None" `Quick (fun () ->
+        check bool "none" true
+          (Journal.Undo.undo (Journal.Undo.initial (0, 0)) = None));
+    test_case "views read the current state" `Quick (fun () ->
+        let st = wrapped.Concrete.set_a 8 (Journal.Undo.initial (1, 1)) in
+        check int "a" 8 (wrapped.Concrete.get_a st));
+  ]
+
+let suite = unit_tests @ Helpers.q (law_tests @ prop_tests) @ negative_tests
