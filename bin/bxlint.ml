@@ -1,0 +1,111 @@
+(* bxlint: static law-level analysis of the example bx pipelines.
+
+   For every entry of the example catalog (Esm_analysis.Catalog):
+
+   1. infer the law level from the construction pedigree (Law_infer);
+   2. lint each registered pipeline at its requested optimizer level,
+      reporting law-driven rewrites and erroring when a rewrite fires
+      above the level the pedigree justifies;
+   3. cross-check the static verdict against the sampling Certify
+      report — a static level strictly above what sampling supports
+      means the analyzer (or a pedigree claim) is wrong, and is
+      reported as an analyzer bug, loudly.
+
+   A built-in self-test additionally asserts that the known
+   optimize_unsafe_commuting miscompilation (test/test_command.ml) is
+   statically rejected, and that the same program on the genuinely
+   commuting pair bx is statically accepted.
+
+   Exit codes: 0 clean; 1 error-severity diagnostics or cross-check
+   failure; 2 self-test failure (analyzer bug).
+
+   Usage: bxlint [--json]  *)
+
+open Esm_analysis
+
+let selftest () : string list =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* the dynamic counterexample must be rejected statically *)
+  let miscompile = Catalog.known_miscompilation () in
+  if not (Lint.has_errors miscompile) then
+    fail
+      "known optimize_unsafe_commuting miscompilation (set_a 3; set_b 4; \
+       set_a 3 on parity) was NOT statically rejected";
+  (* ...and for the right reason: a commuting-only rewrite fires *)
+  if
+    not
+      (List.exists
+         (fun d ->
+           Lint.is_error d && Law_infer.leq `Commuting d.Lint.requires)
+         miscompile)
+  then
+    fail
+      "miscompilation rejection did not point at a commutation-requiring \
+       rewrite";
+  (* the same program on the genuinely commuting pair bx is fine *)
+  let on_pair =
+    let open Esm_core in
+    (Lint.check_level ~requested:`Commuting ~inferred:`Commuting
+       ~subject:"pair/commuting"
+    |> Option.to_list)
+    @ Lint.lint_command ~requested:`Commuting ~inferred:`Commuting
+        ~eq_a:Int.equal ~eq_b:Int.equal
+        Command.(Seq (Set_a 3, Seq (Set_b 4, Set_a 3)))
+  in
+  if Lint.has_errors on_pair then
+    fail "the same program on the commuting pair bx was wrongly rejected";
+  List.rev !failures
+
+let () =
+  let json = Array.exists (fun a -> a = "--json") Sys.argv in
+  let audits = Catalog.audit_all () in
+  let self_failures = selftest () in
+  let n_errors =
+    List.fold_left
+      (fun n a ->
+        n
+        + List.length
+            (List.concat_map
+               (fun p -> List.filter Lint.is_error p.Catalog.diagnostics)
+               a.Catalog.pipelines)
+        + if a.Catalog.cross_check_ok then 0 else 1)
+      0 audits
+  in
+  if json then (
+    let selftest_json =
+      Printf.sprintf {|{"ok":%b,"failures":[%s]}|} (self_failures = [])
+        (String.concat ","
+           (List.map
+              (fun s -> "\"" ^ Lint.json_escape s ^ "\"")
+              self_failures))
+    in
+    print_string
+      (Printf.sprintf {|{"audits":%s,"selftest":%s,"errors":%d}|}
+         (Catalog.audits_to_json audits)
+         selftest_json n_errors);
+    print_newline ())
+  else (
+    Format.printf
+      "bxlint: static law-level analysis over the example catalog@.@.";
+    List.iter
+      (fun a -> Format.printf "%a@." Catalog.pp_audit a)
+      audits;
+    (match self_failures with
+    | [] ->
+        Format.printf
+          "self-test: the known commuting miscompilation is statically \
+           rejected; the commuting pair program is accepted@."
+    | fs ->
+        List.iter (fun f -> Format.printf "ANALYZER BUG: %s@." f) fs);
+    List.iter
+      (fun a ->
+        if not a.Catalog.cross_check_ok then
+          Format.printf
+            "ANALYZER BUG: %s: static level %s refuted by sampling@."
+            a.Catalog.label
+            (Law_infer.to_string a.Catalog.inferred))
+      audits;
+    Format.printf "@.%d catalog entries, %d error(s)@." (List.length audits)
+      n_errors);
+  if self_failures <> [] then exit 2 else if n_errors > 0 then exit 1

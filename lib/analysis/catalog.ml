@@ -1,0 +1,490 @@
+(** The example catalog: the scenarios that the [examples/] directory and
+    [bin/esm_demo.ml] run interactively, re-exported as packed, pedigreed
+    bx together with representative command/op pipelines — the corpus
+    `bxlint` analyses and CI gates on.
+
+    Every entry carries the value samples and equalities needed to run
+    the sampling {!Esm_core.Certify} report, so each static verdict can
+    be cross-checked: a statically inferred level strictly above the
+    sampled observation means the {e analyzer} (or a pedigree claim) is
+    wrong, and the audit reports it loudly. *)
+
+open Esm_core
+
+type ('a, 'b) subject =
+  | Cmd of string * Law_infer.level * ('a, 'b) Command.t
+      (** a command pipeline and the optimizer level it is compiled at *)
+  | Prog of string * Law_infer.level * ('a, 'b) Program.op list
+      (** a first-order op script and the level its rewriter assumes *)
+
+type ('a, 'b) scenario = {
+  label : string;
+  description : string;
+  packed : ('a, 'b) Concrete.packed;
+  values_a : 'a list;
+  values_b : 'b list;
+  eq_a : 'a -> 'a -> bool;
+  eq_b : 'b -> 'b -> bool;
+  show_a : 'a -> string;
+  show_b : 'b -> string;
+  subjects : ('a, 'b) subject list;
+}
+
+type entry = Entry : ('a, 'b) scenario -> entry
+
+let entry_label (Entry s) = s.label
+
+(* ------------------------------------------------------------------ *)
+(* The instances (mirroring examples/ and bin/esm_demo.ml)             *)
+(* ------------------------------------------------------------------ *)
+
+let eq_int_pair (a1, b1) (a2, b2) = Int.equal a1 a2 && Int.equal b1 b2
+let int_values = [ -7; -2; 0; 1; 2; 9; 10 ]
+
+(** The parity algebraic bx of [examples/model_sync.ml] and the demo:
+    consistency is "same parity", restored undoably by flipping the
+    low bit. *)
+let parity : (int, int) Esm_algbx.Algbx.t =
+  Esm_algbx.Algbx.v ~name:"parity"
+    ~consistent:(fun a b -> (a - b) mod 2 = 0)
+    ~fwd:(fun a b -> if (a - b) mod 2 = 0 then b else b + 1 - (2 * (b land 1)))
+    ~bwd:(fun a b -> if (a - b) mod 2 = 0 then a else a + 1 - (2 * (a land 1)))
+    ()
+
+(** Parity restored by incrementing until consistent: correct and
+    hippocratic but {e not} undoable. *)
+let parity_sticky : (int, int) Esm_algbx.Algbx.t =
+  Esm_algbx.Algbx.v ~name:"parity-sticky"
+    ~consistent:(fun a b -> (a - b) mod 2 = 0)
+    ~fwd:(fun a b -> if (a - b) mod 2 = 0 then b else b + 1)
+    ~bwd:(fun a b -> if (a - b) mod 2 = 0 then a else a + 1)
+    ()
+
+(** The account/owner lens of [examples/quickstart.ml]. *)
+type account = { owner : string; balance : int }
+
+let equal_account a1 a2 =
+  String.equal a1.owner a2.owner && Int.equal a1.balance a2.balance
+
+let show_account a = Printf.sprintf "{owner=%s; balance=%d}" a.owner a.balance
+
+let owner_lens : (account, string) Esm_lens.Lens.t =
+  Esm_lens.Lens.v ~name:"owner"
+    ~get:(fun a -> a.owner)
+    ~put:(fun a owner -> { a with owner })
+    ()
+
+let shift_symlens : (int, int) Esm_symlens.Symlens.t =
+  Esm_symlens.Symlens.of_iso ~name:"shift"
+    (fun x -> x + 100)
+    (fun x -> x - 100)
+
+let show_bindings kvs =
+  "[" ^ String.concat "; " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs) ^ "]"
+
+let eq_bindings k1 k2 =
+  List.length k1 = List.length k2
+  && List.for_all2
+       (fun (a, x) (b, y) -> String.equal a b && String.equal x y)
+       k1 k2
+
+(* ------------------------------------------------------------------ *)
+(* The entries                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let all () : entry list =
+  [
+    Entry
+      {
+        label = "demo/pair";
+        description =
+          "the independent pair state monad of §3.4 (esm-demo `pair`)";
+        packed =
+          Concrete.packed_pair ~init:(0, 0) ~eq_state:eq_int_pair ();
+        values_a = int_values;
+        values_b = int_values;
+        eq_a = Int.equal;
+        eq_b = Int.equal;
+        show_a = string_of_int;
+        show_b = string_of_int;
+        subjects =
+          [
+            (* the pair bx really commutes, so compiling at `Commuting is
+               statically justified — including the rewrite that would
+               miscompile parity *)
+            Cmd
+              ( "independent-updates",
+                `Commuting,
+                Command.(Seq (Set_a 3, Seq (Set_b 4, Set_a 3))) );
+            Prog
+              ( "read-after-writes",
+                `Commuting,
+                Program.[ Set_a 1; Set_b 2; Get_a; Get_b ] );
+          ];
+      };
+    Entry
+      {
+        label = "model-sync/parity";
+        description =
+          "undoable parity algebraic bx (examples/model_sync.ml, Lemma 5)";
+        packed =
+          Concrete.packed_of_algebraic ~undoable:true ~init:(0, 0)
+            ~eq_state:eq_int_pair parity;
+        values_a = int_values;
+        values_b = int_values;
+        eq_a = Int.equal;
+        eq_b = Int.equal;
+        show_a = string_of_int;
+        show_b = string_of_int;
+        subjects =
+          [
+            (* same shape as the known miscompilation, but compiled at
+               the level the pedigree supports: the commuting-only
+               rewrite is reported as unavailable, not applied *)
+            Cmd
+              ( "interleaved-repair",
+                `Overwriteable,
+                Command.(Seq (Set_a 3, Seq (Set_b 4, Set_a 3))) );
+            Cmd
+              ( "overwrite-burst",
+                `Overwriteable,
+                Command.(Seq (Set_a 1, Seq (Set_a 2, Modify_a (fun x -> x + 1))))
+              );
+            Prog
+              ( "sync-script",
+                `Overwriteable,
+                Program.[ Set_a 3; Get_b; Set_b 10; Get_a ] );
+          ];
+      };
+    Entry
+      {
+        label = "demo/parity-sticky";
+        description =
+          "sticky parity: correct + hippocratic but not undoable (Lemma 5)";
+        packed =
+          Concrete.packed_of_algebraic ~undoable:false ~init:(0, 0)
+            ~eq_state:eq_int_pair parity_sticky;
+        values_a = int_values;
+        values_b = int_values;
+        eq_a = Int.equal;
+        eq_b = Int.equal;
+        show_a = string_of_int;
+        show_b = string_of_int;
+        subjects =
+          [
+            Cmd
+              ( "plain-sync",
+                `Set_bx,
+                Command.(Seq (Set_a 4, If_a ((fun x -> x > 0), Set_b 2, Set_b 1)))
+              );
+          ];
+      };
+    Entry
+      {
+        label = "quickstart/account-owner";
+        description =
+          "account/owner field lens (examples/quickstart.ml, Lemma 4; vwb)";
+        packed =
+          Concrete.packed_of_lens ~vwb:true
+            ~init:{ owner = "ada"; balance = 100 }
+            ~eq_state:equal_account owner_lens;
+        values_a =
+          [
+            { owner = "ada"; balance = 100 };
+            { owner = "grace"; balance = 5 };
+            { owner = "alan"; balance = 7 };
+          ];
+        values_b = [ "ada"; "grace"; "barbara" ];
+        eq_a = equal_account;
+        eq_b = String.equal;
+        show_a = show_account;
+        show_b = Fun.id;
+        subjects =
+          [
+            Cmd
+              ( "rename-twice",
+                `Overwriteable,
+                Command.(Seq (Set_b "grace", Set_b "barbara")) );
+          ];
+      };
+    Entry
+      {
+        label = "config-sync/bindings";
+        description =
+          "config text <-> parsed bindings (examples/config_sync.ml, Lemma \
+           4; wb only — (PutPut) is unclaimed)";
+        packed =
+          Concrete.packed_of_lens ~vwb:false ~init:"host = localhost\n"
+            ~eq_state:String.equal Esm_lens.Config_lens.bindings;
+        values_a = [ "host = localhost\n"; "# cfg\nport=5432\n"; "" ];
+        values_b =
+          [ [ ("host", "db.prod.internal") ]; [ ("port", "5432"); ("debug", "false") ]; [] ];
+        eq_a = String.equal;
+        eq_b = eq_bindings;
+        show_a = String.escaped;
+        show_b = show_bindings;
+        subjects =
+          [
+            Prog
+              ( "deploy-edit",
+                `Set_bx,
+                Program.
+                  [
+                    Get_b;
+                    Set_b [ ("host", "db.prod.internal"); ("debug", "false") ];
+                    Get_a;
+                  ] );
+          ];
+      };
+    Entry
+      {
+        label = "demo/shift-symlens";
+        description = "symmetric-lens iso b = a + 100 (esm-demo, Lemma 6)";
+        packed =
+          Concrete.packed_of_symlens ~seed_a:0 ~eq_a:Int.equal
+            ~eq_b:Int.equal shift_symlens;
+        values_a = int_values;
+        values_b = int_values;
+        eq_a = Int.equal;
+        eq_b = Int.equal;
+        show_a = string_of_int;
+        show_b = string_of_int;
+        subjects =
+          [
+            Prog
+              ("mirror-write", `Set_bx, Program.[ Set_a 1; Get_b; Set_b 7 ]);
+          ];
+      };
+    Entry
+      {
+        label = "demo/journalled-parity";
+        description =
+          "journalled parity bx: lawful but history makes (SS) fail \
+           (esm-demo `journal`)";
+        packed =
+          Concrete.pack_pedigreed
+            ~pedigree:
+              (Pedigree.Journalled
+                 (Pedigree.Of_algebraic { name = "parity"; undoable = true }))
+            ~bx:
+              (Journal.journalled ~eq_a:Int.equal ~eq_b:Int.equal
+                 (Concrete.of_algebraic parity))
+            ~init:(Journal.initial (0, 0))
+            ~eq_state:
+              (Journal.equal_state ~eq_a:Int.equal ~eq_b:Int.equal
+                 ~eq_s:eq_int_pair);
+        values_a = int_values;
+        values_b = int_values;
+        eq_a = Int.equal;
+        eq_b = Int.equal;
+        show_a = string_of_int;
+        show_b = string_of_int;
+        subjects =
+          [
+            (* only the always-sound rewrites may be requested here *)
+            Prog
+              ( "audited-sync",
+                `Set_bx,
+                Program.[ Set_a 3; Set_a 3; Get_b; Set_b 10 ] );
+          ];
+      };
+    Entry
+      {
+        label = "compose/pair-pair";
+        description =
+          "two independent pair bx composed through the shared middle view";
+        packed =
+          Compose.compose_packed
+            (Concrete.packed_pair ~init:(0, 0) ~eq_state:eq_int_pair ())
+            (Concrete.packed_pair ~init:(0, 0) ~eq_state:eq_int_pair ());
+        values_a = int_values;
+        values_b = int_values;
+        eq_a = Int.equal;
+        eq_b = Int.equal;
+        show_a = string_of_int;
+        show_b = string_of_int;
+        subjects =
+          [
+            Cmd
+              ( "cross-update",
+                `Commuting,
+                Command.(Seq (Set_a 5, Seq (Set_b 6, Modify_a (fun x -> x))))
+              );
+          ];
+      };
+    Entry
+      {
+        label = "compose/parity-shift";
+        description =
+          "undoable parity composed with the shift symlens: the meet drops \
+           to set-bx";
+        packed =
+          Compose.compose_packed
+            (Concrete.packed_of_algebraic ~undoable:true ~init:(0, 0)
+               ~eq_state:eq_int_pair parity)
+            (Concrete.packed_of_symlens ~seed_a:0 ~eq_a:Int.equal
+               ~eq_b:Int.equal shift_symlens);
+        values_a = int_values;
+        values_b = int_values;
+        eq_a = Int.equal;
+        eq_b = Int.equal;
+        show_a = string_of_int;
+        show_b = string_of_int;
+        subjects =
+          [
+            Prog
+              ("chained-sync", `Set_bx, Program.[ Set_a 2; Get_b; Set_b 103 ]);
+          ];
+      };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Auditing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type pipeline_result = {
+  subject : string;
+  requested : Law_infer.level;
+  diagnostics : Lint.diagnostic list;
+}
+
+type audit = {
+  label : string;
+  description : string;
+  pedigree : Pedigree.t;
+  inferred : Law_infer.level;
+  rationale : string;
+  observed : Law_infer.level option;
+      (** what the sampling {!Certify} report supports *)
+  cross_check_ok : bool;
+      (** static ≤ observed; [false] means the analyzer (or a pedigree
+          claim) is wrong — surfaced loudly by `bxlint` *)
+  certify : Certify.report;
+  pipelines : pipeline_result list;
+}
+
+let audit_entry (Entry s : entry) : audit =
+  let pedigree = Concrete.pedigree s.packed in
+  let inferred = Law_infer.level pedigree in
+  let certify =
+    Certify.certify ~values_a:s.values_a ~values_b:s.values_b ~eq_a:s.eq_a
+      ~eq_b:s.eq_b ~show_a:s.show_a ~show_b:s.show_b s.packed
+  in
+  let observed = Certify.observed_level certify in
+  let cross_check_ok =
+    Law_infer.consistent_with_observation ~static:inferred ~observed
+  in
+  let lint_subject subj =
+    match subj with
+    | Cmd (subject, requested, cmd) ->
+        let global =
+          Lint.check_level ~requested ~inferred ~subject
+          |> Option.to_list
+        in
+        {
+          subject;
+          requested;
+          diagnostics =
+            global
+            @ Lint.lint_command ~requested ~inferred ~eq_a:s.eq_a
+                ~eq_b:s.eq_b cmd;
+        }
+    | Prog (subject, requested, ops) ->
+        let global =
+          Lint.check_level ~requested ~inferred ~subject
+          |> Option.to_list
+        in
+        {
+          subject;
+          requested;
+          diagnostics =
+            global
+            @ Lint.lint_program ~requested ~inferred ~eq_a:s.eq_a
+                ~eq_b:s.eq_b ops;
+        }
+  in
+  {
+    label = s.label;
+    description = s.description;
+    pedigree;
+    inferred;
+    rationale = Law_infer.explain pedigree;
+    observed;
+    cross_check_ok;
+    certify;
+    pipelines = List.map lint_subject s.subjects;
+  }
+
+let audit_all () : audit list = List.map audit_entry (all ())
+
+let audit_has_errors (a : audit) : bool =
+  (not a.cross_check_ok)
+  || List.exists (fun p -> Lint.has_errors p.diagnostics) a.pipelines
+
+(* ------------------------------------------------------------------ *)
+(* The known miscompilation (the dynamic counterexample of
+   test/test_command.ml, rejected statically)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** The exact program [test/test_command.ml] shows
+    [optimize_unsafe_commuting] miscompiling on the entangled parity bx:
+    [set_a 3; set_b 4; set_a 3].  Linting it at the [`Commuting] level
+    against the parity pedigree must produce an error — the static
+    rejection of the dynamic counterexample. *)
+let known_miscompilation () : Lint.diagnostic list =
+  let pedigree = Pedigree.Of_algebraic { name = "parity"; undoable = true } in
+  let inferred = Law_infer.level pedigree in
+  let requested = `Commuting in
+  let cmd = Command.(Seq (Set_a 3, Seq (Set_b 4, Set_a 3))) in
+  (Lint.check_level ~requested ~inferred ~subject:"parity/commuting"
+  |> Option.to_list)
+  @ Lint.lint_command ~requested ~inferred ~eq_a:Int.equal ~eq_b:Int.equal cmd
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_audit fmt (a : audit) =
+  Format.fprintf fmt "%s — %s@." a.label a.description;
+  Format.fprintf fmt "  pedigree:  %s@." (Pedigree.to_string a.pedigree);
+  Format.fprintf fmt "  inferred:  %s@." (Law_infer.to_string a.inferred);
+  Format.fprintf fmt "  rationale: %s@." a.rationale;
+  Format.fprintf fmt "  sampled:   %s%s@."
+    (match a.observed with
+    | Some l -> Law_infer.to_string l
+    | None -> "UNLAWFUL (required set-bx law violated)")
+    (if a.cross_check_ok then "" else "  ** STATIC CLAIM REFUTED **");
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  pipeline %s (optimize at %s):@." p.subject
+        (Law_infer.to_string p.requested);
+      if p.diagnostics = [] then Format.fprintf fmt "    (clean)@."
+      else
+        List.iter
+          (fun d -> Format.fprintf fmt "    %a@." Lint.pp_diagnostic d)
+          p.diagnostics)
+    a.pipelines
+
+let audit_to_json (a : audit) : string =
+  let pipelines =
+    List.map
+      (fun p ->
+        Printf.sprintf {|{"subject":"%s","requested":"%s","diagnostics":%s}|}
+          (Lint.json_escape p.subject)
+          (Law_infer.to_string p.requested)
+          (Lint.diagnostics_to_json p.diagnostics))
+      a.pipelines
+  in
+  Printf.sprintf
+    {|{"label":"%s","pedigree":"%s","inferred":"%s","sampled":%s,"cross_check_ok":%b,"pipelines":[%s]}|}
+    (Lint.json_escape a.label)
+    (Lint.json_escape (Pedigree.to_string a.pedigree))
+    (Law_infer.to_string a.inferred)
+    (match a.observed with
+    | Some l -> Printf.sprintf "\"%s\"" (Law_infer.to_string l)
+    | None -> "null")
+    a.cross_check_ok
+    (String.concat "," pipelines)
+
+let audits_to_json (audits : audit list) : string =
+  "[" ^ String.concat "," (List.map audit_to_json audits) ^ "]"

@@ -1,0 +1,69 @@
+(** The example catalog: the [examples/] and [bin/esm_demo.ml] scenarios
+    re-exported as packed, pedigreed bx with representative pipelines —
+    the corpus `bxlint` analyses and CI gates on. *)
+
+open Esm_core
+
+type ('a, 'b) subject =
+  | Cmd of string * Law_infer.level * ('a, 'b) Command.t
+  | Prog of string * Law_infer.level * ('a, 'b) Program.op list
+
+type ('a, 'b) scenario = {
+  label : string;
+  description : string;
+  packed : ('a, 'b) Concrete.packed;
+  values_a : 'a list;
+  values_b : 'b list;
+  eq_a : 'a -> 'a -> bool;
+  eq_b : 'b -> 'b -> bool;
+  show_a : 'a -> string;
+  show_b : 'b -> string;
+  subjects : ('a, 'b) subject list;
+}
+
+type entry = Entry : ('a, 'b) scenario -> entry
+
+val entry_label : entry -> string
+
+val all : unit -> entry list
+(** Every registered scenario. *)
+
+(** {1 Auditing} *)
+
+type pipeline_result = {
+  subject : string;
+  requested : Law_infer.level;
+  diagnostics : Lint.diagnostic list;
+}
+
+type audit = {
+  label : string;
+  description : string;
+  pedigree : Pedigree.t;
+  inferred : Law_infer.level;
+  rationale : string;
+  observed : Law_infer.level option;
+  cross_check_ok : bool;
+      (** static ≤ sampled; [false] means the analyzer or a pedigree
+          claim is wrong *)
+  certify : Certify.report;
+  pipelines : pipeline_result list;
+}
+
+val audit_entry : entry -> audit
+(** Infer the level from the pedigree, sample with {!Certify}, cross
+    check, and lint every pipeline at its requested level. *)
+
+val audit_all : unit -> audit list
+val audit_has_errors : audit -> bool
+
+val known_miscompilation : unit -> Lint.diagnostic list
+(** Lint of the exact [set_a 3; set_b 4; set_a 3] program that
+    [test/test_command.ml] shows miscompiling under
+    [optimize_unsafe_commuting] on parity, at the [`Commuting] level.
+    Must contain error diagnostics — the static rejection of the dynamic
+    counterexample ([bxlint] fails its self-test otherwise). *)
+
+val pp_audit : Format.formatter -> audit -> unit
+val audit_to_json : audit -> string
+val audits_to_json : audit list -> string

@@ -1,0 +1,158 @@
+(** Static law-level inference: from construction provenance
+    ({!Esm_core.Pedigree}) to the strongest law level the paper's lemmas
+    guarantee — no sampling involved.
+
+    The level lattice is the total order
+
+    {v `Set_bx  ⊑  `Overwriteable  ⊑  `Commuting v}
+
+    mirroring {!Esm_core.Command.level} ([`Any]/[`Overwriteable]/
+    [`Commuting]): every packed instance satisfies the set-bx laws
+    (GG)/(GS)/(SG); overwriteable instances additionally satisfy (SS);
+    commuting instances additionally satisfy the §3.4 independence law
+    [set_a a >> set_b b = set_b b >> set_a a] (and (SS), which follows
+    from commutation together with (GS)/(SG) in the instances at hand —
+    the optimizer's [`Commuting] level assumes both).
+
+    Inference replays the paper's construction lemmas:
+
+    - Lemma 4: a well-behaved lens induces a lawful set-bx; (PutPut)
+      upgrades it to overwriteable.  A lens-induced bx is never inferred
+      commuting: side A overwrites the whole source, so
+      [set_a a >> set_b b ≠ set_b b >> set_a a] unless the lens is
+      degenerate.
+    - Lemma 5: an algebraic bx induces a lawful set-bx; undoable
+      restorers give (SS).
+    - Lemma 6: a symmetric lens induces a lawful set-bx; symmetric
+      lenses carry no (PutPut)-like law, so nothing more is claimed.
+    - §3.4: the independent pair state monad commutes.
+    - Composition takes the {e meet}: the composite construction of
+      {!Esm_core.Compose} preserves (SS) when both components have it,
+      and preserves commutation when both components commute (a
+      commuting component's [set] leaves its opposite view fixed, so the
+      propagated middle value is unchanged and the two outer writes act
+      on disjoint components of the aligned composite state).
+    - Journalling and effectful wrappers record every effective update
+      observably, so they force the level back down to [`Set_bx]
+      regardless of the base.
+    - [Opaque] is the bottom: only the set-bx laws may be assumed. *)
+
+open Esm_core
+
+type level = [ `Set_bx | `Overwriteable | `Commuting ]
+
+let rank : level -> int = function
+  | `Set_bx -> 0
+  | `Overwriteable -> 1
+  | `Commuting -> 2
+
+let compare (l1 : level) (l2 : level) : int = Int.compare (rank l1) (rank l2)
+let leq (l1 : level) (l2 : level) : bool = rank l1 <= rank l2
+let meet (l1 : level) (l2 : level) : level = if leq l1 l2 then l1 else l2
+
+let to_string : level -> string = function
+  | `Set_bx -> "set-bx"
+  | `Overwriteable -> "overwriteable"
+  | `Commuting -> "commuting"
+
+let pp fmt (l : level) = Format.pp_print_string fmt (to_string l)
+
+(** The optimizer level justified by a law level: [`Set_bx] only licenses
+    the always-sound rewrites. *)
+let to_command_level : level -> Command.level = function
+  | `Set_bx -> `Any
+  | `Overwriteable -> `Overwriteable
+  | `Commuting -> `Commuting
+
+(** The law level an optimizer level {e requires} of its target bx. *)
+let of_command_level : Command.level -> level = function
+  | `Any -> `Set_bx
+  | `Overwriteable -> `Overwriteable
+  | `Commuting -> `Commuting
+
+(* ------------------------------------------------------------------ *)
+(* Inference                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec level (p : Pedigree.t) : level =
+  match p with
+  | Pedigree.Of_lens { vwb; _ } -> if vwb then `Overwriteable else `Set_bx
+  | Pedigree.Of_algebraic { undoable; _ } ->
+      if undoable then `Overwriteable else `Set_bx
+  | Pedigree.Of_symmetric _ -> `Set_bx
+  | Pedigree.Pair -> `Commuting
+  | Pedigree.Identity -> `Overwriteable
+  | Pedigree.Compose (p1, p2) -> meet (level p1) (level p2)
+  | Pedigree.Flip p -> level p
+  | Pedigree.Journalled _ -> `Set_bx
+  | Pedigree.Effectful _ -> `Set_bx
+  | Pedigree.Opaque _ -> `Set_bx
+
+(** [level], with the applied lemma spelled out per node — the rationale
+    `bxlint` prints next to each verdict. *)
+let rec explain (p : Pedigree.t) : string =
+  let at p = to_string (level p) in
+  match p with
+  | Pedigree.Of_lens { name; vwb } ->
+      if vwb then
+        Printf.sprintf
+          "Lemma 4: lens %s claims (PutPut), so the induced bx is \
+           overwriteable"
+          name
+      else
+        Printf.sprintf
+          "Lemma 4: lens %s is well-behaved but not (PutPut), so only the \
+           set-bx laws hold"
+          name
+  | Pedigree.Of_algebraic { name; undoable } ->
+      if undoable then
+        Printf.sprintf
+          "Lemma 5: algebraic bx %s has undoable restorers, giving (SS)" name
+      else
+        Printf.sprintf
+          "Lemma 5: algebraic bx %s restores non-undoably, so only the \
+           set-bx laws hold"
+          name
+  | Pedigree.Of_symmetric { name } ->
+      Printf.sprintf
+        "Lemma 6: symmetric lens %s carries no (PutPut)-like law, so only \
+         the set-bx laws hold"
+        name
+  | Pedigree.Pair -> "§3.4: the independent pair state monad commutes"
+  | Pedigree.Identity ->
+      "identity bx: both sides write one cell — overwriteable, not commuting"
+  | Pedigree.Compose (p1, p2) ->
+      Printf.sprintf "composition takes the meet: %s ⊓ %s = %s; [%s] [%s]"
+        (at p1) (at p2)
+        (to_string (level p))
+        (explain p1) (explain p2)
+  | Pedigree.Flip p ->
+      Printf.sprintf "flip preserves the level (laws are side-symmetric): %s"
+        (explain p)
+  | Pedigree.Journalled p ->
+      Printf.sprintf
+        "journalling makes update history observable, destroying (SS) and \
+         commutation (base: %s)"
+        (explain p)
+  | Pedigree.Effectful { name } ->
+      Printf.sprintf
+        "§4: %s performs change-triggered I/O, destroying (SS)" name
+  | Pedigree.Opaque { name } ->
+      Printf.sprintf
+        "opaque construction %s: only the set-bx laws may be assumed" name
+
+(** Infer the level of a packed bx from its recorded pedigree. *)
+let of_packed (p : ('a, 'b) Concrete.packed) : level =
+  level (Concrete.pedigree p)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-check against sampling                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Is a static claim consistent with a sampling observation?  Sampling
+    only falsifies: the static level is refuted exactly when it lies
+    strictly above what the samples support ([None] = a required set-bx
+    law failed, refuting every level). *)
+let consistent_with_observation ~(static : level)
+    ~(observed : level option) : bool =
+  match observed with None -> false | Some o -> leq static o

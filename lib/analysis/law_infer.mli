@@ -1,0 +1,45 @@
+(** Static law-level inference from construction provenance.
+
+    Replays the paper's construction lemmas over a {!Esm_core.Pedigree}
+    tree to compute the strongest law level guaranteed by how a bx was
+    built — the static precondition for the optimizer levels of
+    {!Esm_core.Command}, replacing sampling-based confidence with a
+    lemma-backed verdict. *)
+
+open Esm_core
+
+(** The law-level lattice, a total order: every instance satisfies the
+    set-bx laws; [`Overwriteable] adds (SS); [`Commuting] adds §3.4
+    commutation. *)
+type level = [ `Set_bx | `Overwriteable | `Commuting ]
+
+val rank : level -> int
+val compare : level -> level -> int
+val leq : level -> level -> bool
+val meet : level -> level -> level
+val to_string : level -> string
+val pp : Format.formatter -> level -> unit
+
+val to_command_level : level -> Command.level
+(** The optimizer level a law level justifies. *)
+
+val of_command_level : Command.level -> level
+(** The law level an optimizer level requires of its target bx. *)
+
+val level : Pedigree.t -> level
+(** The paper's lemmas, replayed: Lemma 4 (wb lens ⇒ set-bx, vwb ⇒
+    overwriteable), Lemma 5 (undoable ⇒ overwriteable), Lemma 6 (set-bx
+    only), §3.4 pair ⇒ commuting, composition takes the meet, journalled
+    / effectful wrappers force [`Set_bx]. *)
+
+val explain : Pedigree.t -> string
+(** [level] with the applied lemma spelled out per pedigree node. *)
+
+val of_packed : ('a, 'b) Concrete.packed -> level
+(** Infer from the packed bx's recorded pedigree. *)
+
+val consistent_with_observation :
+  static:level -> observed:level option -> bool
+(** Cross-check a static claim against {!Esm_core.Certify.observed_level}:
+    sampling only falsifies, so the claim is refuted iff strictly above
+    the observation. *)

@@ -1,0 +1,474 @@
+(** Law-level lint: an abstract interpretation over the command language
+    ({!Esm_core.Command.t}) and the first-order op language
+    ({!Esm_core.Program.op}) that reports every law-driven rewrite
+    opportunity together with the {e minimum law level that justifies
+    it}, and checks those requirements against the level statically
+    inferred from the target bx's pedigree ({!Law_infer}).
+
+    The analysis runs the optimizer's own knowledge domain
+    ({!Esm_core.Command.knowledge}) twice in lockstep:
+
+    - [plain] propagates knowledge soundly for {e every} lawful set-bx —
+      a set invalidates the opposite view (entanglement);
+    - [comm] retains the opposite view across sets, which is valid only
+      under §3.4 commutation.
+
+    A rewrite enabled by [plain] requires only [`Set_bx]; one enabled
+    only by [comm] requires [`Commuting].  Same-side set collapses are
+    tracked syntactically: an unread set overwritten by a later
+    same-side set requires (SS) ([`Overwriteable]) if nothing wrote the
+    opposite side in between, and full commutation ([`Commuting]) if
+    something did — collapsing then reorders the writes.
+
+    Severity is decided against the two levels in play: [requested], the
+    level the optimizer will be run at, and [inferred], the level the
+    pedigree supports.  A rewrite that {e fires} (requires ≤ requested)
+    but is {e unsound} (requires > inferred) is an [Error] — the
+    optimizer at that level will miscompile this exact spot.  A sound
+    rewrite that fires is [Info]; a sound one the requested level leaves
+    on the table is a [Warning] (raise the level); an unjustifiable
+    opportunity that does not fire is [Info]. *)
+
+open Esm_core
+
+type side = A | B
+
+let side_name = function A -> "a" | B -> "b"
+
+type rule =
+  | Dead_set of side  (** (GS): setting a statically-known current value *)
+  | Foldable_read of side
+      (** (SG): a read (modify input, branch guard, get) whose value is
+          statically known *)
+  | Collapsible_set of side
+      (** (SS): an unread set overwritten by a later same-side set *)
+  | Reorder_collapse of side
+      (** a same-side collapse across opposite-side writes — requires
+          commutation to reorder first *)
+  | Level_mismatch
+      (** the requested optimizer level exceeds the inferred law level *)
+
+let rule_name = function
+  | Dead_set s -> "dead-set-" ^ side_name s
+  | Foldable_read s -> "foldable-read-" ^ side_name s
+  | Collapsible_set s -> "collapsible-set-" ^ side_name s
+  | Reorder_collapse s -> "reorder-collapse-" ^ side_name s
+  | Level_mismatch -> "level-mismatch"
+
+type severity = Info | Warning | Error
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+type diagnostic = {
+  rule : rule;
+  severity : severity;
+  requires : Law_infer.level;  (** minimum law level justifying the rewrite *)
+  at : int;  (** pre-order index of the flagged operation *)
+  message : string;
+}
+
+let is_error (d : diagnostic) = d.severity = Error
+let has_errors (ds : diagnostic list) = List.exists is_error ds
+
+let pp_diagnostic fmt (d : diagnostic) =
+  Format.fprintf fmt "%s: [%s] op %d: %s (requires %s)"
+    (severity_name d.severity) (rule_name d.rule) d.at d.message
+    (Law_infer.to_string d.requires)
+
+(* ------------------------------------------------------------------ *)
+(* Severity policy                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let decide_severity ~(requested : Law_infer.level)
+    ~(inferred : Law_infer.level) ~(requires : Law_infer.level) : severity =
+  let fires = Law_infer.leq requires requested in
+  let sound = Law_infer.leq requires inferred in
+  match (fires, sound) with
+  | true, false -> Error (* the optimizer WILL apply an unsound rewrite *)
+  | true, true -> Info (* will be applied, soundly *)
+  | false, true -> Warning (* sound but left on the table *)
+  | false, false -> Info (* would need laws the bx lacks; nothing fires *)
+
+(** The top-level precondition: asking for an optimizer level above what
+    the pedigree supports is an error even before any specific rewrite is
+    found. *)
+let check_level ~(requested : Law_infer.level)
+    ~(inferred : Law_infer.level) ~(subject : string) : diagnostic option =
+  if Law_infer.leq requested inferred then None
+  else
+    Some
+      {
+        rule = Level_mismatch;
+        severity = Error;
+        requires = requested;
+        at = -1;
+        message =
+          Printf.sprintf
+            "%s: optimizer level %s exceeds the level %s inferred from the \
+             pedigree"
+            subject
+            (Law_infer.to_string requested)
+            (Law_infer.to_string inferred);
+      }
+
+(* ------------------------------------------------------------------ *)
+(* The abstract domain                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** A pending (not yet read) same-side set: its op index, and whether the
+    opposite side has been written since. *)
+type pending = { at : int; crossed : bool }
+
+type ('a, 'b) st = {
+  plain : ('a, 'b) Command.knowledge;  (** sound for any lawful set-bx *)
+  comm : ('a, 'b) Command.knowledge;  (** valid only under commutation *)
+  pend_a : pending option;
+  pend_b : pending option;
+}
+
+let top = { plain = Command.nothing; comm = Command.nothing; pend_a = None; pend_b = None }
+
+let cross (p : pending option) : pending option =
+  Option.map (fun p -> { p with crossed = true }) p
+
+(* ------------------------------------------------------------------ *)
+(* Command lint                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let lint_command (type a b) ~(requested : Law_infer.level)
+    ~(inferred : Law_infer.level) ~(eq_a : a -> a -> bool)
+    ~(eq_b : b -> b -> bool) (cmd : (a, b) Command.t) : diagnostic list =
+  let diags = ref [] in
+  let emit rule requires at message =
+    let severity = decide_severity ~requested ~inferred ~requires in
+    diags := { rule; severity; requires; at; message } :: !diags
+  in
+  let merge eq k1 k2 =
+    match (k1, k2) with Some x, Some y when eq x y -> Some x | _ -> None
+  in
+  (* The transfer function for a set to side A (and mirrored for B),
+     shared by [Set_] and the fold-through of [Modify_]. *)
+  let set_a_transfer (st : (a, b) st) (i : int) (v : a) : (a, b) st =
+    (match st.pend_a with
+    | Some { at; crossed = false } ->
+        emit (Collapsible_set A) `Overwriteable at
+          (Printf.sprintf
+             "set_a at op %d is overwritten by the set_a at op %d before \
+              being read; (SS) collapses them"
+             at i)
+    | Some { at; crossed = true } ->
+        emit (Reorder_collapse A) `Commuting at
+          (Printf.sprintf
+             "set_a at op %d is overwritten by the set_a at op %d, but the \
+              opposite side was written in between; collapsing requires \
+              commutation"
+             at i)
+    | None -> ());
+    {
+      plain = { Command.known_a = Some v; known_b = None };
+      comm = { st.comm with Command.known_a = Some v };
+      pend_a = Some { at = i; crossed = false };
+      pend_b = cross st.pend_b;
+    }
+  in
+  let set_b_transfer (st : (a, b) st) (i : int) (v : b) : (a, b) st =
+    (match st.pend_b with
+    | Some { at; crossed = false } ->
+        emit (Collapsible_set B) `Overwriteable at
+          (Printf.sprintf
+             "set_b at op %d is overwritten by the set_b at op %d before \
+              being read; (SS) collapses them"
+             at i)
+    | Some { at; crossed = true } ->
+        emit (Reorder_collapse B) `Commuting at
+          (Printf.sprintf
+             "set_b at op %d is overwritten by the set_b at op %d, but the \
+              opposite side was written in between; collapsing requires \
+              commutation"
+             at i)
+    | None -> ());
+    {
+      plain = { Command.known_a = None; known_b = Some v };
+      comm = { st.comm with Command.known_b = Some v };
+      pend_a = cross st.pend_a;
+      pend_b = Some { at = i; crossed = false };
+    }
+  in
+  (* Pre-order walk; [i] is the index of the next operation. *)
+  let rec go (i : int) (st : (a, b) st) (cmd : (a, b) Command.t) :
+      int * (a, b) st =
+    match cmd with
+    | Command.Skip -> (i, st)
+    | Command.Seq (c1, c2) ->
+        let i, st = go i st c1 in
+        go i st c2
+    | Command.Set_a v -> (
+        match (st.plain.Command.known_a, st.comm.Command.known_a) with
+        | Some v0, _ when eq_a v v0 ->
+            emit (Dead_set A) `Set_bx i
+              "set_a of the already-current value; (GS) deletes it";
+            (i + 1, st)
+        | _, Some v0 when eq_a v v0 ->
+            emit (Dead_set A) `Commuting i
+              "set_a of a value current before the opposite-side set(s); \
+               deleting it requires commutation";
+            (i + 1, set_a_transfer st i v)
+        | _ -> (i + 1, set_a_transfer st i v))
+    | Command.Set_b v -> (
+        match (st.plain.Command.known_b, st.comm.Command.known_b) with
+        | Some v0, _ when eq_b v v0 ->
+            emit (Dead_set B) `Set_bx i
+              "set_b of the already-current value; (GS) deletes it";
+            (i + 1, st)
+        | _, Some v0 when eq_b v v0 ->
+            emit (Dead_set B) `Commuting i
+              "set_b of a value current before the opposite-side set(s); \
+               deleting it requires commutation";
+            (i + 1, set_b_transfer st i v)
+        | _ -> (i + 1, set_b_transfer st i v))
+    | Command.Modify_a f -> (
+        match (st.plain.Command.known_a, st.comm.Command.known_a) with
+        | Some v0, _ ->
+            emit (Foldable_read A) `Set_bx i
+              "modify_a reads a statically-known value; (SG) folds it to a \
+               constant set";
+            (* mirror the optimizer: the modify becomes [Set_a (f v0)] *)
+            (i + 1, set_a_transfer st i (f v0))
+        | None, Some v0 ->
+            emit (Foldable_read A) `Commuting i
+              "modify_a reads a value known only across opposite-side sets; \
+               folding it requires commutation";
+            let _ = f v0 in
+            ( i + 1,
+              {
+                plain = { Command.known_a = None; known_b = None };
+                comm = { st.comm with Command.known_a = Some (f v0) };
+                (* the modify both reads (clearing the pending set) and
+                   writes A; a modify is not collapsible by the
+                   optimizer, so it leaves no pending set of its own *)
+                pend_a = None;
+                pend_b = cross st.pend_b;
+              } )
+        | None, None ->
+            ( i + 1,
+              {
+                plain = { Command.known_a = None; known_b = None };
+                comm = { st.comm with Command.known_a = None };
+                pend_a = None;
+                pend_b = cross st.pend_b;
+              } ))
+    | Command.Modify_b f -> (
+        match (st.plain.Command.known_b, st.comm.Command.known_b) with
+        | Some v0, _ ->
+            emit (Foldable_read B) `Set_bx i
+              "modify_b reads a statically-known value; (SG) folds it to a \
+               constant set";
+            (i + 1, set_b_transfer st i (f v0))
+        | None, Some v0 ->
+            emit (Foldable_read B) `Commuting i
+              "modify_b reads a value known only across opposite-side sets; \
+               folding it requires commutation";
+            let _ = f v0 in
+            ( i + 1,
+              {
+                plain = { Command.known_a = None; known_b = None };
+                comm = { st.comm with Command.known_b = Some (f v0) };
+                pend_a = cross st.pend_a;
+                pend_b = None;
+              } )
+        | None, None ->
+            ( i + 1,
+              {
+                plain = { Command.known_a = None; known_b = None };
+                comm = { st.comm with Command.known_b = None };
+                pend_a = cross st.pend_a;
+                pend_b = None;
+              } ))
+    | Command.If_a (p, c1, c2) -> (
+        match (st.plain.Command.known_a, st.comm.Command.known_a) with
+        | Some v0, _ ->
+            emit (Foldable_read A) `Set_bx i
+              "if_a guard reads a statically-known value; (SG) selects the \
+               branch";
+            go (i + 1) st (if p v0 then c1 else c2)
+        | None, comm_known ->
+            (match comm_known with
+            | Some _ ->
+                emit (Foldable_read A) `Commuting i
+                  "if_a guard is known only across opposite-side sets; \
+                   folding the branch requires commutation"
+            | None -> ());
+            branch i { st with pend_a = None } c1 c2)
+    | Command.If_b (p, c1, c2) -> (
+        match (st.plain.Command.known_b, st.comm.Command.known_b) with
+        | Some v0, _ ->
+            emit (Foldable_read B) `Set_bx i
+              "if_b guard reads a statically-known value; (SG) selects the \
+               branch";
+            go (i + 1) st (if p v0 then c1 else c2)
+        | None, comm_known ->
+            (match comm_known with
+            | Some _ ->
+                emit (Foldable_read B) `Commuting i
+                  "if_b guard is known only across opposite-side sets; \
+                   folding the branch requires commutation"
+            | None -> ());
+            branch i { st with pend_b = None } c1 c2)
+  and branch (i : int) (st : (a, b) st) c1 c2 : int * (a, b) st =
+    (* Lint both arms from the guard's post-state; join knowledge
+       pointwise and drop pending sets — a collapse across an unfolded
+       branch boundary is not a rewrite the optimizer performs. *)
+    let st0 = { st with pend_a = None; pend_b = None } in
+    let i1, st1 = go (i + 1) st0 c1 in
+    let i2, st2 = go i1 st0 c2 in
+    ( i2,
+      {
+        plain =
+          {
+            Command.known_a =
+              merge eq_a st1.plain.Command.known_a st2.plain.Command.known_a;
+            known_b =
+              merge eq_b st1.plain.Command.known_b st2.plain.Command.known_b;
+          };
+        comm =
+          {
+            Command.known_a =
+              merge eq_a st1.comm.Command.known_a st2.comm.Command.known_a;
+            known_b =
+              merge eq_b st1.comm.Command.known_b st2.comm.Command.known_b;
+          };
+        pend_a = None;
+        pend_b = None;
+      } )
+  in
+  let _ = go 0 top cmd in
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Program (op-list) lint                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lint_program (type a b) ~(requested : Law_infer.level)
+    ~(inferred : Law_infer.level) ~(eq_a : a -> a -> bool)
+    ~(eq_b : b -> b -> bool) (ops : (a, b) Program.op list) : diagnostic list
+    =
+  let diags = ref [] in
+  let emit rule requires at message =
+    let severity = decide_severity ~requested ~inferred ~requires in
+    diags := { rule; severity; requires; at; message } :: !diags
+  in
+  let collapse_pending side (p : pending option) (i : int) =
+    match p with
+    | Some { at; crossed = false } ->
+        emit (Collapsible_set side) `Overwriteable at
+          (Printf.sprintf
+             "set_%s at op %d is overwritten by the set_%s at op %d before \
+              being read; (SS) collapses them"
+             (side_name side) at (side_name side) i)
+    | Some { at; crossed = true } ->
+        emit (Reorder_collapse side) `Commuting at
+          (Printf.sprintf
+             "set_%s at op %d is overwritten by the set_%s at op %d across \
+              opposite-side writes; collapsing requires commutation"
+             (side_name side) at (side_name side) i)
+    | None -> ()
+  in
+  let step (st : (a, b) st) (i : int) (op : (a, b) Program.op) : (a, b) st =
+    match op with
+    | Program.Get_a ->
+        (match (st.plain.Command.known_a, st.comm.Command.known_a) with
+        | Some _, _ ->
+            emit (Foldable_read A) `Set_bx i
+              "get_a returns a statically-known value; (SG) folds it"
+        | None, Some _ ->
+            emit (Foldable_read A) `Commuting i
+              "get_a returns a value known only across opposite-side sets; \
+               folding it requires commutation"
+        | None, None -> ());
+        { st with pend_a = None }
+    | Program.Get_b ->
+        (match (st.plain.Command.known_b, st.comm.Command.known_b) with
+        | Some _, _ ->
+            emit (Foldable_read B) `Set_bx i
+              "get_b returns a statically-known value; (SG) folds it"
+        | None, Some _ ->
+            emit (Foldable_read B) `Commuting i
+              "get_b returns a value known only across opposite-side sets; \
+               folding it requires commutation"
+        | None, None -> ());
+        { st with pend_b = None }
+    | Program.Set_a v -> (
+        match (st.plain.Command.known_a, st.comm.Command.known_a) with
+        | Some v0, _ when eq_a v v0 ->
+            emit (Dead_set A) `Set_bx i
+              "set_a of the already-current value; (GS) deletes it";
+            st
+        | plain_known, comm_known ->
+            (match (plain_known, comm_known) with
+            | _, Some v0 when eq_a v v0 ->
+                emit (Dead_set A) `Commuting i
+                  "set_a of a value current before the opposite-side \
+                   set(s); deleting it requires commutation"
+            | _ -> ());
+            collapse_pending A st.pend_a i;
+            {
+              plain = { Command.known_a = Some v; known_b = None };
+              comm = { st.comm with Command.known_a = Some v };
+              pend_a = Some { at = i; crossed = false };
+              pend_b = cross st.pend_b;
+            })
+    | Program.Set_b v -> (
+        match (st.plain.Command.known_b, st.comm.Command.known_b) with
+        | Some v0, _ when eq_b v v0 ->
+            emit (Dead_set B) `Set_bx i
+              "set_b of the already-current value; (GS) deletes it";
+            st
+        | plain_known, comm_known ->
+            (match (plain_known, comm_known) with
+            | _, Some v0 when eq_b v v0 ->
+                emit (Dead_set B) `Commuting i
+                  "set_b of a value current before the opposite-side \
+                   set(s); deleting it requires commutation"
+            | _ -> ());
+            collapse_pending B st.pend_b i;
+            {
+              plain = { Command.known_a = None; known_b = Some v };
+              comm = { st.comm with Command.known_b = Some v };
+              pend_a = cross st.pend_a;
+              pend_b = Some { at = i; crossed = false };
+            })
+  in
+  let _ = List.fold_left (fun (st, i) op -> (step st i op, i + 1)) (top, 0) ops in
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let diagnostic_to_json (d : diagnostic) : string =
+  Printf.sprintf
+    {|{"rule":"%s","severity":"%s","requires":"%s","at":%d,"message":"%s"}|}
+    (rule_name d.rule) (severity_name d.severity)
+    (Law_infer.to_string d.requires)
+    d.at (json_escape d.message)
+
+let diagnostics_to_json (ds : diagnostic list) : string =
+  "[" ^ String.concat "," (List.map diagnostic_to_json ds) ^ "]"

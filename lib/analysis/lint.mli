@@ -1,0 +1,82 @@
+(** Law-level lint over the command and op languages.
+
+    Reports every law-driven rewrite opportunity with the minimum law
+    level that justifies it, and grades each against the level the
+    optimizer is [requested] to run at and the level [inferred] from the
+    target bx's pedigree.  A rewrite that fires at the requested level
+    but is above the inferred level is an {e error}: the optimizer will
+    miscompile that exact operation. *)
+
+open Esm_core
+
+type side = A | B
+
+type rule =
+  | Dead_set of side  (** (GS): setting a statically-known current value *)
+  | Foldable_read of side  (** (SG): a read whose value is known *)
+  | Collapsible_set of side
+      (** (SS): an unread set overwritten by a later same-side set *)
+  | Reorder_collapse of side
+      (** same-side collapse across opposite-side writes — needs
+          commutation *)
+  | Level_mismatch
+      (** requested optimizer level exceeds the inferred law level *)
+
+val rule_name : rule -> string
+
+type severity = Info | Warning | Error
+
+val severity_name : severity -> string
+
+type diagnostic = {
+  rule : rule;
+  severity : severity;
+  requires : Law_infer.level;
+  at : int;  (** pre-order index of the flagged operation; -1 = global *)
+  message : string;
+}
+
+val is_error : diagnostic -> bool
+val has_errors : diagnostic list -> bool
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val decide_severity :
+  requested:Law_infer.level ->
+  inferred:Law_infer.level ->
+  requires:Law_infer.level ->
+  severity
+(** Error iff the rewrite fires (requires ≤ requested) but is unsound
+    (requires > inferred); Info if it fires soundly; Warning if sound but
+    not enabled at the requested level. *)
+
+val check_level :
+  requested:Law_infer.level ->
+  inferred:Law_infer.level ->
+  subject:string ->
+  diagnostic option
+(** The global precondition: [Some] error diagnostic iff the requested
+    optimizer level strictly exceeds the inferred law level. *)
+
+val lint_command :
+  requested:Law_infer.level ->
+  inferred:Law_infer.level ->
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) Command.t ->
+  diagnostic list
+(** Abstract interpretation of a command with the optimizer's knowledge
+    domain run twice (entanglement-sound and commutation-assuming),
+    reporting (GS)/(SG)/(SS)/reorder opportunities in pre-order. *)
+
+val lint_program :
+  requested:Law_infer.level ->
+  inferred:Law_infer.level ->
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) Program.op list ->
+  diagnostic list
+(** The same analysis over the first-order get/set op language. *)
+
+val json_escape : string -> string
+val diagnostic_to_json : diagnostic -> string
+val diagnostics_to_json : diagnostic list -> string

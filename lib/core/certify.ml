@@ -103,6 +103,15 @@ let certify (type a b) ?(walk_length = 5) ?(walks = 40)
           (fun ((_, v), v') -> "set_a " ^ show_a v ^ "; set_a " ^ show_a v')
           (with_values values_a (with_values values_a states))
       in
+      let ss_b =
+        first_failure
+          (fun ((s, v), v') ->
+            eq_s
+              (bx.Concrete.set_b v' (bx.Concrete.set_b v s))
+              (bx.Concrete.set_b v' s))
+          (fun ((_, v), v') -> "set_b " ^ show_b v ^ "; set_b " ^ show_b v')
+          (with_values values_b (with_values values_b states))
+      in
       let commute =
         first_failure
           (fun ((s, va), vb) ->
@@ -124,6 +133,7 @@ let certify (type a b) ?(walk_length = 5) ?(walks = 40)
             verdict "SG_a" sg_a;
             verdict "SG_b" sg_b;
             verdict "SS_a" ss_a;
+            verdict "SS_b" ss_b;
             verdict "commute" commute;
           ];
       }
@@ -134,3 +144,26 @@ let well_behaved (r : report) : bool =
   List.for_all
     (fun v -> (not (List.mem v.law well_behaved_laws)) || v.holds)
     r.verdicts
+
+(* ------------------------------------------------------------------ *)
+(* Cross-check hook for static law-level inference                     *)
+(* ------------------------------------------------------------------ *)
+
+(** The highest law level this sampling report is consistent with:
+    [None] if a required set-bx law was violated, otherwise the strongest
+    of [`Set_bx] ⊑ [`Overwriteable] ⊑ [`Commuting] whose extra laws all
+    held on the samples.  Because sampling can only {e falsify} laws, a
+    static level claimed by {!Esm_analysis.Law_infer} is refuted exactly
+    when it is strictly above this observation — the cross-check `bxlint`
+    performs on every catalog entry. *)
+let observed_level (r : report) :
+    [ `Set_bx | `Overwriteable | `Commuting ] option =
+  if not (well_behaved r) then None
+  else
+    let holds law =
+      List.exists (fun v -> String.equal v.law law && v.holds) r.verdicts
+    in
+    let ss = holds "SS_a" && holds "SS_b" in
+    if ss && holds "commute" then Some `Commuting
+    else if ss then Some `Overwriteable
+    else Some `Set_bx

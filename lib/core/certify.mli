@@ -14,6 +14,13 @@ val well_behaved : report -> bool
 (** The required set-bx laws (GS/SG on both sides) hold; (SS) and
     commutation are informative extras a set-bx may legitimately fail. *)
 
+val observed_level : report -> [ `Set_bx | `Overwriteable | `Commuting ] option
+(** The highest law level the sampled evidence is consistent with
+    ([None] if a required law failed).  Sampling only falsifies, so a
+    statically inferred level is refuted iff strictly above this — the
+    cross-check hook used by `bxlint` against
+    {!Esm_analysis.Law_infer.level}. *)
+
 val pp_report : Format.formatter -> report -> unit
 
 val certify :
@@ -27,6 +34,6 @@ val certify :
   show_b:('b -> string) ->
   ('a, 'b) Concrete.packed ->
   report
-(** Check (GS), (SG) per side plus the informative (SS_a) and §3.4
-    commutation, on states reached by deterministic pseudo-random walks
-    from the packed initial state. *)
+(** Check (GS), (SG) per side plus the informative (SS) per side and
+    §3.4 commutation, on states reached by deterministic pseudo-random
+    walks from the packed initial state. *)

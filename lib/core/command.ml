@@ -13,7 +13,7 @@
       the analysis to INVALIDATE its knowledge of the opposite view at
       every set — an optimizer that assumed independence would be
       unsound, and tests exhibit a concrete miscompilation on the parity
-      bx ({!optimize_commuting});
+      bx ({!optimize_unsafe_commuting});
     - (SS) justifies collapsing adjacent same-side sets, so that rewrite
       is only available in {!optimize_overwriteable}.
 
@@ -176,6 +176,11 @@ let optimize_overwriteable ~eq_a ~eq_b cmd =
 (** Additionally assumes [set_a]/[set_b] commute, retaining knowledge of
     the opposite view across sets.  Sound for §3.4-style independent
     instances; {e unsound} for entangled ones (tests exhibit the
-    miscompilation). *)
-let optimize_commuting ~eq_a ~eq_b cmd =
+    miscompilation).  Static precondition:
+    [Esm_analysis.Law_infer.level (Concrete.pedigree p) = `Commuting] —
+    run `bxlint` (or {!Esm_analysis.Lint}) to check it before reaching
+    for this level. *)
+let optimize_unsafe_commuting ~eq_a ~eq_b cmd =
   optimize_at `Commuting ~eq_a ~eq_b cmd
+
+let optimize_commuting = optimize_unsafe_commuting

@@ -24,6 +24,11 @@ val cost : ('a, 'b) t -> int
 (** Optimizer knowledge: the statically-known current value per view. *)
 type ('a, 'b) knowledge = { known_a : 'a option; known_b : 'b option }
 
+val nothing : ('a, 'b) knowledge
+(** The empty knowledge (both views unknown) — the abstract domain's top
+    element, also used by the {!Esm_analysis.Lint} abstract
+    interpreter. *)
+
 type level = [ `Any | `Overwriteable | `Commuting ]
 
 val optimize_at :
@@ -42,7 +47,20 @@ val optimize_overwriteable :
 (** Additionally collapses adjacent same-side sets ((SS)); sound exactly
     for overwriteable instances. *)
 
-val optimize_commuting :
+val optimize_unsafe_commuting :
   eq_a:('a -> 'a -> bool) -> eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) t
 (** Additionally assumes [set_a]/[set_b] commute; UNSOUND on entangled
-    instances (tests exhibit a concrete miscompilation). *)
+    instances (tests exhibit a concrete miscompilation).  Static
+    precondition: the target bx's inferred law level must be
+    [`Commuting] — i.e. [Esm_analysis.Law_infer.level (Concrete.pedigree
+    p) = `Commuting].  `bxlint` checks this precondition over the example
+    catalog and rejects programs optimized at a level above what their
+    bx's pedigree justifies. *)
+
+val optimize_commuting :
+  eq_a:('a -> 'a -> bool) -> eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) t
+[@@deprecated
+  "the name hides the commutation precondition; use \
+   optimize_unsafe_commuting, and check Esm_analysis.Law_infer.level = \
+   `Commuting first"]
+(** Rename-safe alias of {!optimize_unsafe_commuting}. *)

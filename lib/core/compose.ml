@@ -72,6 +72,7 @@ let compose_packed (Concrete.Packed p1 : ('a, 'b) Concrete.packed)
       eq_state =
         (fun (x1, x2) (y1, y2) ->
           p1.Concrete.eq_state x1 y1 && p2.Concrete.eq_state x2 y2);
+      pedigree = Pedigree.Compose (p1.Concrete.pedigree, p2.Concrete.pedigree);
     }
 
 (** The identity bx over a single value: unit for composition up to

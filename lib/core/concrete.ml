@@ -40,9 +40,23 @@ and ('a, 'b, 's) packed_repr = {
   bx : ('a, 'b, 's) set_bx;
   init : 's;
   eq_state : 's -> 's -> bool;
+  pedigree : Pedigree.t;
+      (** How this bx was constructed — the input to static law-level
+          inference ({!Esm_analysis.Law_infer}).  Defaults to
+          {!Pedigree.Opaque} when unknown. *)
 }
 
-let pack ~bx ~init ~eq_state = Packed { bx; init; eq_state }
+let pack ~bx ~init ~eq_state =
+  Packed { bx; init; eq_state; pedigree = Pedigree.opaque bx.name }
+
+let pack_pedigreed ~pedigree ~bx ~init ~eq_state =
+  Packed { bx; init; eq_state; pedigree }
+
+let pedigree (Packed p : ('a, 'b) packed) : Pedigree.t = p.pedigree
+
+let with_pedigree (pedigree : Pedigree.t) (Packed p : ('a, 'b) packed) :
+    ('a, 'b) packed =
+  Packed { p with pedigree }
 
 (* ------------------------------------------------------------------ *)
 (* The value-level translations of Section 3.3 (Lemmas 1-3)            *)
@@ -167,7 +181,36 @@ let packed_of_symlens (type x y) ~(seed_a : x) ~(eq_a : x -> x -> bool)
           eq_state =
             (fun (a1, b1, c1) (a2, b2, c2) ->
               eq_a a1 a2 && eq_b b1 b2 && l.equal_c c1 c2);
+          pedigree = Pedigree.Of_symmetric { name = l.name };
         }
+
+(* ------------------------------------------------------------------ *)
+(* Pedigreed packers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Pack a lens-induced bx (Lemma 4) with its pedigree.  [vwb] claims the
+    lens satisfies (PutPut) — the claim static analysis will rely on, and
+    `bxlint` cross-checks by sampling. *)
+let packed_of_lens ~(vwb : bool) ~(init : 's) ~(eq_state : 's -> 's -> bool)
+    (l : ('s, 'v) Esm_lens.Lens.t) : ('s, 'v) packed =
+  pack_pedigreed
+    ~pedigree:(Pedigree.Of_lens { name = Esm_lens.Lens.name l; vwb })
+    ~bx:(of_lens l) ~init ~eq_state
+
+(** Pack an algebraic-bx-induced bx (Lemma 5) with its pedigree.
+    [undoable] claims the restorers are undoable, which gives (SS). *)
+let packed_of_algebraic ~(undoable : bool) ~(init : 'a * 'b)
+    ~(eq_state : 'a * 'b -> 'a * 'b -> bool) (t : ('a, 'b) Esm_algbx.Algbx.t)
+    : ('a, 'b) packed =
+  pack_pedigreed
+    ~pedigree:
+      (Pedigree.Of_algebraic { name = Esm_algbx.Algbx.name t; undoable })
+    ~bx:(of_algebraic t) ~init ~eq_state
+
+(** Pack the §3.4 independent pair bx with its (commuting) pedigree. *)
+let packed_pair ~(init : 'a * 'b) ~(eq_state : 'a * 'b -> 'a * 'b -> bool) ()
+    : ('a, 'b) packed =
+  pack_pedigreed ~pedigree:Pedigree.Pair ~bx:(pair ()) ~init ~eq_state
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)

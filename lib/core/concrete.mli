@@ -36,6 +36,9 @@ and ('a, 'b, 's) packed_repr = {
   bx : ('a, 'b, 's) set_bx;
   init : 's;
   eq_state : 's -> 's -> bool;
+  pedigree : Pedigree.t;
+      (** How this bx was constructed — the input to static law-level
+          inference ({!Esm_analysis.Law_infer}). *)
 }
 
 val pack :
@@ -43,6 +46,23 @@ val pack :
   init:'s ->
   eq_state:('s -> 's -> bool) ->
   ('a, 'b) packed
+(** Pack with an {!Pedigree.Opaque} pedigree (unknown construction);
+    prefer {!pack_pedigreed} or the [packed_of_*] smart constructors so
+    static analysis can infer a law level above the set-bx floor. *)
+
+val pack_pedigreed :
+  pedigree:Pedigree.t ->
+  bx:('a, 'b, 's) set_bx ->
+  init:'s ->
+  eq_state:('s -> 's -> bool) ->
+  ('a, 'b) packed
+
+val pedigree : ('a, 'b) packed -> Pedigree.t
+(** The recorded construction provenance. *)
+
+val with_pedigree : Pedigree.t -> ('a, 'b) packed -> ('a, 'b) packed
+(** Override the recorded pedigree (e.g. after wrapping the underlying
+    bx in a way the packers cannot see). *)
 
 (** {1 The value-level translations of Section 3.3 (Lemmas 1–3)} *)
 
@@ -85,7 +105,36 @@ val packed_of_symlens :
   ('x, 'y) packed
 (** Lemma 6, fully first-class: the complement is hidden inside a
     {!packed} set-bx whose initial state pushes [seed_a] through the
-    fresh lens. *)
+    fresh lens.  Pedigree: {!Pedigree.Of_symmetric}. *)
+
+(** {1 Pedigreed packers}
+
+    Like {!pack}, but building the bx from a source construction and
+    recording the matching {!Pedigree.t} so static law-level inference
+    has something to work with. *)
+
+val packed_of_lens :
+  vwb:bool ->
+  init:'s ->
+  eq_state:('s -> 's -> bool) ->
+  ('s, 'v) Esm_lens.Lens.t ->
+  ('s, 'v) packed
+(** Lemma 4, packed.  [vwb] claims the lens satisfies (PutPut). *)
+
+val packed_of_algebraic :
+  undoable:bool ->
+  init:'a * 'b ->
+  eq_state:('a * 'b -> 'a * 'b -> bool) ->
+  ('a, 'b) Esm_algbx.Algbx.t ->
+  ('a, 'b) packed
+(** Lemma 5, packed.  [undoable] claims the restorers are undoable. *)
+
+val packed_pair :
+  init:'a * 'b ->
+  eq_state:('a * 'b -> 'a * 'b -> bool) ->
+  unit ->
+  ('a, 'b) packed
+(** §3.4, packed: the independent (commuting) pair bx. *)
 
 (** {1 Helpers} *)
 

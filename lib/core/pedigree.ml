@@ -1,0 +1,71 @@
+(** Construction provenance for packed bx.
+
+    The paper derives its law hierarchy {e constructively}: Lemma 4 says a
+    well-behaved lens induces a lawful set-bx (and a very well-behaved one
+    an overwriteable set-bx); Section 3.4 exhibits the plain state monad
+    on [A * B] as the commuting special case; Lemmas 5–6 cover algebraic
+    bx and symmetric lenses; wrappers such as {!Journal} deliberately
+    weaken (SS) by making history observable.  A pedigree records which of
+    those constructions produced a packed bx, so that a static analysis
+    ({!Esm_analysis.Law_infer}) can replay the lemmas and conclude which
+    laws hold — without sampling a single state.
+
+    Pedigrees are {e claims}: [Of_lens { vwb = true }] asserts the
+    underlying lens satisfies (PutPut).  The analysis is sound relative to
+    those claims, and `bxlint` cross-checks every static verdict against
+    the sampling {!Certify} report, so an over-claimed pedigree is
+    surfaced loudly rather than silently trusted. *)
+
+type t =
+  | Of_lens of { name : string; vwb : bool }
+      (** Lemma 4: induced by an asymmetric lens.  [vwb] claims (PutPut),
+          which upgrades the induced bx from lawful to overwriteable. *)
+  | Of_algebraic of { name : string; undoable : bool }
+      (** Lemma 5: induced by an algebraic bx over consistent pairs.
+          [undoable] claims the restorers are undoable, which gives
+          (SS). *)
+  | Of_symmetric of { name : string }
+      (** Lemma 6: induced by a symmetric lens over consistent triples.
+          Symmetric lenses carry no (PutPut)-style law, so only the plain
+          set-bx laws are claimed. *)
+  | Pair
+      (** Section 3.4: the independent state monad on [A * B]; sets
+          commute. *)
+  | Identity
+      (** The identity bx (unit of composition).  Both sides overwrite
+          the same single cell, so it is overwriteable but {e not}
+          commuting: [set_a a] then [set_b b] ends at [b], the reverse
+          order at [a]. *)
+  | Compose of t * t
+      (** Sequential composition through a shared middle view; laws are
+          the meet of the component laws. *)
+  | Flip of t  (** A and B swapped; laws are side-symmetric. *)
+  | Journalled of t
+      (** {!Journal.journalled} / {!Journal.Undo.wrap}: effective updates
+          are recorded in observable history, so (SS) and commutation are
+          destroyed no matter how lawful the base is. *)
+  | Effectful of { name : string }
+      (** Section 4: sets perform observable I/O; change-triggered output
+          destroys (SS). *)
+  | Opaque of { name : string }
+      (** Unknown construction — e.g. a hand-rolled record.  Nothing
+          beyond the basic set-bx laws may be assumed. *)
+
+let rec pp fmt = function
+  | Of_lens { name; vwb } ->
+      Format.fprintf fmt "of_lens[%s%s]" name (if vwb then ",vwb" else "")
+  | Of_algebraic { name; undoable } ->
+      Format.fprintf fmt "of_algebraic[%s%s]" name
+        (if undoable then ",undoable" else "")
+  | Of_symmetric { name } -> Format.fprintf fmt "of_symmetric[%s]" name
+  | Pair -> Format.fprintf fmt "pair"
+  | Identity -> Format.fprintf fmt "id"
+  | Compose (p, q) -> Format.fprintf fmt "(%a ; %a)" pp p pp q
+  | Flip p -> Format.fprintf fmt "flip(%a)" pp p
+  | Journalled p -> Format.fprintf fmt "journalled(%a)" pp p
+  | Effectful { name } -> Format.fprintf fmt "effectful[%s]" name
+  | Opaque { name } -> Format.fprintf fmt "opaque[%s]" name
+
+let to_string (p : t) : string = Format.asprintf "%a" pp p
+
+let opaque (name : string) : t = Opaque { name }

@@ -1,0 +1,37 @@
+(** Construction provenance for packed bx.
+
+    Records which of the paper's constructions (Lemmas 4–6, §3.4, §4,
+    composition, wrappers) produced a packed bx, so that
+    {!Esm_analysis.Law_infer} can replay the lemmas and infer statically
+    which law level the instance satisfies.  A pedigree is a {e claim}
+    about how the bx was built; `bxlint` cross-checks the inferred level
+    against the sampling {!Certify} report, surfacing over-claims. *)
+
+type t =
+  | Of_lens of { name : string; vwb : bool }
+      (** Lemma 4; [vwb] claims (PutPut), upgrading the induced bx to
+          overwriteable. *)
+  | Of_algebraic of { name : string; undoable : bool }
+      (** Lemma 5; [undoable] claims undoable restorers, giving (SS). *)
+  | Of_symmetric of { name : string }
+      (** Lemma 6; only the plain set-bx laws are claimed. *)
+  | Pair  (** §3.4: the independent state monad on [A * B]; commuting. *)
+  | Identity
+      (** The identity bx: overwriteable but not commuting (both sides
+          write the same cell). *)
+  | Compose of t * t
+      (** Sequential composition; laws are the meet of the components'. *)
+  | Flip of t  (** A and B swapped; laws are side-symmetric. *)
+  | Journalled of t
+      (** {!Journal} wrappers: observable history destroys (SS) and
+          commutation regardless of the base. *)
+  | Effectful of { name : string }
+      (** §4: change-triggered I/O destroys (SS). *)
+  | Opaque of { name : string }
+      (** Unknown construction; assume only the basic set-bx laws. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val opaque : string -> t
+(** [opaque name] — the pedigree of a bx of unknown construction. *)

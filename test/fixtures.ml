@@ -111,3 +111,67 @@ let broken_symlens : (int, int) Esm_symlens.Symlens.t =
     ~put_r:(fun a _ -> (a, a))
     ~put_l:(fun _ c -> (c, c))
     ~equal_c:Int.equal ()
+
+(* ------------------------------------------------------------------ *)
+(* Packed, pedigreed instances for the static-analysis suites          *)
+(* ------------------------------------------------------------------ *)
+
+open Esm_core
+
+let eq_int_pair (a1, b1) (a2, b2) = Int.equal a1 a2 && Int.equal b1 b2
+
+let packed_pair () : (int, int) Concrete.packed =
+  Concrete.packed_pair ~init:(0, 0) ~eq_state:eq_int_pair ()
+
+let packed_parity_undoable () : (int, int) Concrete.packed =
+  Concrete.packed_of_algebraic ~undoable:true ~init:(0, 0)
+    ~eq_state:eq_int_pair parity_undoable
+
+let packed_parity_sticky () : (int, int) Concrete.packed =
+  Concrete.packed_of_algebraic ~undoable:false ~init:(0, 0)
+    ~eq_state:eq_int_pair parity_sticky
+
+let p0 = { name = "ada"; age = 36; email = "ada@lovelace.example" }
+
+let packed_name_lens () : (person, string) Concrete.packed =
+  Concrete.packed_of_lens ~vwb:true ~init:p0 ~eq_state:equal_person name_lens
+
+let packed_counted_lens () : (counted, int) Concrete.packed =
+  Concrete.packed_of_lens ~vwb:false
+    ~init:{ value = 0; writes = 0 }
+    ~eq_state:equal_counted counted_lens
+
+let packed_double_iso () : (int, int) Concrete.packed =
+  Concrete.packed_of_symlens ~seed_a:0 ~eq_a:Int.equal ~eq_b:Int.equal
+    double_iso
+
+let packed_journalled_parity () : (int, int) Concrete.packed =
+  Concrete.pack_pedigreed
+    ~pedigree:
+      (Pedigree.Journalled
+         (Pedigree.Of_algebraic { name = "parity-undoable"; undoable = true }))
+    ~bx:
+      (Journal.journalled ~eq_a:Int.equal ~eq_b:Int.equal
+         (Concrete.of_algebraic parity_undoable))
+    ~init:(Journal.initial (0, 0))
+    ~eq_state:
+      (Journal.equal_state ~eq_a:Int.equal ~eq_b:Int.equal ~eq_s:eq_int_pair)
+
+let packed_identity () : (int, int) Concrete.packed =
+  Concrete.pack_pedigreed ~pedigree:Pedigree.Identity ~bx:(Compose.identity ())
+    ~init:0 ~eq_state:Int.equal
+
+let packed_parity_then_pair () : (int, int) Concrete.packed =
+  Compose.compose_packed (packed_parity_undoable ()) (packed_pair ())
+
+let packed_parity_twice () : (int, int) Concrete.packed =
+  Compose.compose_packed
+    (packed_parity_undoable ())
+    (packed_parity_undoable ())
+
+(** A deliberately over-claimed pedigree: [broken_lens] violates (PutGet),
+    yet the pedigree asserts a very-well-behaved lens.  The sampling
+    cross-check must refute the resulting static level. *)
+let packed_overclaimed_broken () : (person, int) Concrete.packed =
+  Concrete.packed_of_lens ~vwb:true ~init:p0 ~eq_state:equal_person
+    broken_lens

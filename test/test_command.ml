@@ -66,7 +66,7 @@ let gen_cmd : (int, int) Command.t QCheck.arbitrary =
 
 let opt = Command.optimize ~eq_a:Int.equal ~eq_b:Int.equal
 let opt_ss = Command.optimize_overwriteable ~eq_a:Int.equal ~eq_b:Int.equal
-let opt_comm = Command.optimize_commuting ~eq_a:Int.equal ~eq_b:Int.equal
+let opt_comm = Command.optimize_unsafe_commuting ~eq_a:Int.equal ~eq_b:Int.equal
 
 let prop_tests =
   [

@@ -1,0 +1,228 @@
+(** Static law-level inference (Esm_analysis.Law_infer) against the
+    sampling certifier: on every packed instance built from the shared
+    fixtures, the statically inferred level must never exceed what
+    Certify sampling supports — and where the fixture's laws are known
+    exactly, the two verdicts must coincide. *)
+
+open Esm_core
+open Esm_analysis
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let level : Law_infer.level Alcotest.testable =
+  Alcotest.testable Law_infer.pp (fun l1 l2 -> Law_infer.compare l1 l2 = 0)
+
+(* ------------------------------------------------------------------ *)
+(* The fixture instances, packed with their honest pedigrees            *)
+(* ------------------------------------------------------------------ *)
+
+type inst =
+  | Inst : {
+      label : string;
+      packed : ('a, 'b) Concrete.packed;
+      expected : Law_infer.level;
+          (** What the pedigree lemmas must infer. *)
+      exact : bool;
+          (** Whether sampling is expected to observe exactly [expected]
+              (true for fixtures whose law status is fully known; false
+              where the pedigree is legitimately conservative, e.g. a
+              symmetric lens that happens to sample overwriteable). *)
+      values_a : 'a list;
+      values_b : 'b list;
+      eq_a : 'a -> 'a -> bool;
+      eq_b : 'b -> 'b -> bool;
+      show_a : 'a -> string;
+      show_b : 'b -> string;
+    }
+      -> inst
+
+let ints = [ -3; 0; 1; 2; 7 ]
+
+let persons =
+  Fixtures.
+    [
+      { name = "ada"; age = 36; email = "ada@lovelace.example" };
+      { name = "emmy"; age = 53; email = "emmy@noether.example" };
+      { name = "kurt"; age = 71; email = "kurt@goedel.example" };
+    ]
+
+let show_person (p : Fixtures.person) =
+  Printf.sprintf "{name=%s; age=%d}" p.Fixtures.name p.Fixtures.age
+
+let int_inst ?(exact = true) ?(values_b = ints) label expected packed =
+  Inst
+    {
+      label;
+      packed;
+      expected;
+      exact;
+      values_a = ints;
+      values_b;
+      eq_a = Int.equal;
+      eq_b = Int.equal;
+      show_a = string_of_int;
+      show_b = string_of_int;
+    }
+
+let instances : inst list =
+  [
+    int_inst "pair (S3.4)" `Commuting (Fixtures.packed_pair ());
+    int_inst "parity-undoable (Lemma 5)" `Overwriteable
+      (Fixtures.packed_parity_undoable ());
+    int_inst "parity-sticky (Lemma 5, not undoable)" `Set_bx
+      (Fixtures.packed_parity_sticky ());
+    (* the doubling iso is only lawful on even views *)
+    int_inst "double iso (Lemma 6)" ~exact:false
+      ~values_b:[ -6; 0; 2; 4; 14 ] `Set_bx
+      (Fixtures.packed_double_iso ());
+    int_inst "journalled parity (journal breaks (SS))" `Set_bx
+      (Fixtures.packed_journalled_parity ());
+    int_inst "identity (overwriteable, one shared cell)" `Overwriteable
+      (Fixtures.packed_identity ());
+    (* the meet is conservative here: parity's entanglement is with the
+       hidden middle view, so the composite happens to sample commuting *)
+    int_inst "parity >>> pair (composition meet)" ~exact:false `Overwriteable
+      (Fixtures.packed_parity_then_pair ());
+    (* ...whereas chaining two parities surfaces the entanglement
+       end-to-end, and the meet is observed exactly *)
+    int_inst "parity >>> parity (composition meet, tight)" `Overwriteable
+      (Fixtures.packed_parity_twice ());
+    Inst
+      {
+        label = "person.name vwb lens (Lemma 4)";
+        packed = Fixtures.packed_name_lens ();
+        expected = `Overwriteable;
+        exact = true;
+        values_a = persons;
+        values_b = [ "grace"; "alan"; "ada" ];
+        eq_a = Fixtures.equal_person;
+        eq_b = String.equal;
+        show_a = show_person;
+        show_b = Fun.id;
+      };
+    Inst
+      {
+        label = "counted lens (wb, not vwb)";
+        packed = Fixtures.packed_counted_lens ();
+        expected = `Set_bx;
+        exact = true;
+        values_a =
+          Fixtures.
+            [
+              { value = 0; writes = 0 };
+              { value = 3; writes = 1 };
+              { value = -2; writes = 4 };
+            ];
+        values_b = ints;
+        eq_a = Fixtures.equal_counted;
+        eq_b = Int.equal;
+        show_a =
+          (fun c ->
+            Printf.sprintf "{value=%d; writes=%d}" c.Fixtures.value
+              c.Fixtures.writes);
+        show_b = string_of_int;
+      };
+  ]
+
+let certify_inst (Inst i) =
+  Certify.certify ~values_a:i.values_a ~values_b:i.values_b ~eq_a:i.eq_a
+    ~eq_b:i.eq_b ~show_a:i.show_a ~show_b:i.show_b i.packed
+
+let suite =
+  [
+    test "inferred level matches the lemma table on every fixture" `Quick
+      (fun () ->
+        List.iter
+          (fun (Inst i as inst) ->
+            ignore (certify_inst inst);
+            check level i.label i.expected (Law_infer.of_packed i.packed))
+          instances);
+    test "static level never exceeds the sampled level (cross-check)" `Quick
+      (fun () ->
+        List.iter
+          (fun (Inst i as inst) ->
+            let report = certify_inst inst in
+            let static = Law_infer.of_packed i.packed in
+            let observed = Certify.observed_level report in
+            check Alcotest.bool
+              (i.label ^ ": static <= sampled")
+              true
+              (Law_infer.consistent_with_observation ~static ~observed);
+            if i.exact then
+              check
+                (Alcotest.option level)
+                (i.label ^ ": sampling observes exactly the inferred level")
+                (Some i.expected) observed)
+          instances);
+    test "an over-claimed pedigree is refuted by sampling" `Quick (fun () ->
+        let packed = Fixtures.packed_overclaimed_broken () in
+        let report =
+          Certify.certify ~values_a:persons ~values_b:ints
+            ~eq_a:Fixtures.equal_person ~eq_b:Int.equal ~show_a:show_person
+            ~show_b:string_of_int packed
+        in
+        check
+          (Alcotest.option level)
+          "broken lens fails a required law" None
+          (Certify.observed_level report);
+        check Alcotest.bool "cross-check refutes the vwb claim" false
+          (Law_infer.consistent_with_observation
+             ~static:(Law_infer.of_packed packed)
+             ~observed:(Certify.observed_level report)));
+    test "lattice: meet is the minimum of the total order" `Quick (fun () ->
+        let all = [ `Set_bx; `Overwriteable; `Commuting ] in
+        List.iter
+          (fun l1 ->
+            List.iter
+              (fun l2 ->
+                let m = Law_infer.meet l1 l2 in
+                check Alcotest.bool "meet <= l1" true (Law_infer.leq m l1);
+                check Alcotest.bool "meet <= l2" true (Law_infer.leq m l2);
+                check Alcotest.bool "meet is one of the args" true
+                  (Law_infer.compare m l1 = 0 || Law_infer.compare m l2 = 0))
+              all)
+          all;
+        check level "commuting is top" `Commuting
+          (Law_infer.meet `Commuting `Commuting);
+        check level "set-bx is bottom" `Set_bx
+          (Law_infer.meet `Set_bx `Commuting));
+    test "wrappers and unknowns floor the level" `Quick (fun () ->
+        let parity =
+          Pedigree.Of_algebraic { name = "parity"; undoable = true }
+        in
+        check level "flip preserves" (Law_infer.level parity)
+          (Law_infer.level (Pedigree.Flip parity));
+        check level "journalling floors to set-bx" `Set_bx
+          (Law_infer.level (Pedigree.Journalled Pedigree.Pair));
+        check level "effectful floors to set-bx" `Set_bx
+          (Law_infer.level (Pedigree.Effectful { name = "logged" }));
+        check level "opaque floors to set-bx" `Set_bx
+          (Law_infer.level (Pedigree.opaque "unknown"));
+        check level "composition takes the meet" `Set_bx
+          (Law_infer.level
+             (Pedigree.Compose (Pedigree.Pair, Pedigree.opaque "unknown"))));
+    test "optimizer levels round-trip through law levels" `Quick (fun () ->
+        List.iter
+          (fun l ->
+            check level "of o to = id" l
+              (Law_infer.of_command_level (Law_infer.to_command_level l)))
+          [ `Set_bx; `Overwriteable; `Commuting ]);
+    test "the example catalog audits clean" `Quick (fun () ->
+        let audits = Catalog.audit_all () in
+        check Alcotest.bool "catalog is non-trivial" true
+          (List.length audits >= 5);
+        List.iter
+          (fun a ->
+            check Alcotest.bool
+              (a.Catalog.label ^ ": cross-check ok")
+              true a.Catalog.cross_check_ok;
+            List.iter
+              (fun p ->
+                check Alcotest.bool
+                  (a.Catalog.label ^ "/" ^ p.Catalog.subject ^ ": no errors")
+                  false
+                  (Lint.has_errors p.Catalog.diagnostics))
+              a.Catalog.pipelines)
+          audits);
+  ]

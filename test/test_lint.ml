@@ -1,0 +1,235 @@
+(** The law-level lint (Esm_analysis.Lint): every rule fires on a
+    minimal program and stays silent on the law-repaired version, the
+    known optimize_unsafe_commuting miscompilation from test_command.ml
+    is rejected statically exactly when it miscompiles dynamically, and
+    — property-tested — a lint pass with no errors means the commuting
+    optimizer is semantics-preserving on the entangled parity bx. *)
+
+open Esm_core
+open Esm_analysis
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let level : Law_infer.level Alcotest.testable =
+  Alcotest.testable Law_infer.pp (fun l1 l2 -> Law_infer.compare l1 l2 = 0)
+
+let lint_cmd ?(requested = `Commuting) ?(inferred = `Commuting) cmd =
+  Lint.lint_command ~requested ~inferred ~eq_a:Int.equal ~eq_b:Int.equal cmd
+
+let lint_ops ?(requested = `Commuting) ?(inferred = `Commuting) ops =
+  Lint.lint_program ~requested ~inferred ~eq_a:Int.equal ~eq_b:Int.equal ops
+
+let has rule ds = List.exists (fun d -> d.Lint.rule = rule) ds
+
+let requires_of rule ds =
+  List.filter_map
+    (fun d -> if d.Lint.rule = rule then Some d.Lint.requires else None)
+    ds
+
+let suite =
+  [
+    (* ---------------------- (GS) dead sets ----------------------- *)
+    test "dead-set fires on a re-set of the known value" `Quick (fun () ->
+        let ds = lint_cmd Command.(Seq (Set_a 3, Set_a 3)) in
+        check Alcotest.bool "fires" true (has (Lint.Dead_set Lint.A) ds);
+        check (Alcotest.list level) "requires only set-bx" [ `Set_bx ]
+          (requires_of (Lint.Dead_set Lint.A) ds);
+        let ds = lint_cmd Command.(Seq (Set_b 2, Set_b 2)) in
+        check Alcotest.bool "b side too" true (has (Lint.Dead_set Lint.B) ds));
+    test "dead-set is silent once the value changes" `Quick (fun () ->
+        let ds = lint_cmd Command.(Seq (Set_a 3, Set_a 4)) in
+        check Alcotest.bool "silent" false (has (Lint.Dead_set Lint.A) ds));
+    test "dead-set across an opposite-side write requires commutation" `Quick
+      (fun () ->
+        let ds = lint_cmd Command.(Seq (Set_a 3, Seq (Set_b 4, Set_a 3))) in
+        check (Alcotest.list level) "requires commuting" [ `Commuting ]
+          (requires_of (Lint.Dead_set Lint.A) ds);
+        let ds = lint_cmd Command.(Seq (Set_a 3, Seq (Set_b 4, Set_a 5))) in
+        check Alcotest.bool "silent once the value changes" false
+          (has (Lint.Dead_set Lint.A) ds));
+    (* --------------------- (SG) foldable reads ------------------- *)
+    test "foldable-read fires on reads of a known value" `Quick (fun () ->
+        let ds =
+          lint_cmd Command.(Seq (Set_a 4, Modify_a (fun x -> x + 1)))
+        in
+        check (Alcotest.list level) "modify folds at set-bx" [ `Set_bx ]
+          (requires_of (Lint.Foldable_read Lint.A) ds);
+        let ds =
+          lint_cmd
+            Command.(Seq (Set_a 4, If_a ((fun x -> x > 0), Skip, Skip)))
+        in
+        check Alcotest.bool "guard folds" true
+          (has (Lint.Foldable_read Lint.A) ds);
+        let ds = lint_ops Program.[ Set_b 3; Get_b ] in
+        check Alcotest.bool "get folds" true
+          (has (Lint.Foldable_read Lint.B) ds));
+    test "foldable-read is silent on an unknown value" `Quick (fun () ->
+        let ds = lint_cmd Command.(Modify_a (fun x -> x + 1)) in
+        check Alcotest.bool "modify of unknown" false
+          (has (Lint.Foldable_read Lint.A) ds);
+        let ds = lint_ops Program.[ Get_a ] in
+        check Alcotest.bool "get of unknown" false
+          (has (Lint.Foldable_read Lint.A) ds));
+    test "foldable-read across an opposite-side write requires commutation"
+      `Quick (fun () ->
+        let ds =
+          lint_cmd
+            Command.(Seq (Set_a 4, Seq (Set_b 9, Modify_a (fun x -> x + 1))))
+        in
+        check (Alcotest.list level) "requires commuting" [ `Commuting ]
+          (requires_of (Lint.Foldable_read Lint.A) ds);
+        let ds =
+          lint_cmd Command.(Seq (Set_a 4, Modify_a (fun x -> x + 1)))
+        in
+        check (Alcotest.list level) "repaired: no opposite write in between"
+          [ `Set_bx ]
+          (requires_of (Lint.Foldable_read Lint.A) ds));
+    (* ---------------------- (SS) collapses ----------------------- *)
+    test "collapsible-set fires on an unread overwritten set" `Quick
+      (fun () ->
+        let ds = lint_cmd Command.(Seq (Set_a 1, Set_a 2)) in
+        check (Alcotest.list level) "requires overwriteability"
+          [ `Overwriteable ]
+          (requires_of (Lint.Collapsible_set Lint.A) ds);
+        (match ds with
+        | d :: _ -> check Alcotest.int "flags the first set" 0 d.Lint.at
+        | [] -> Alcotest.fail "no diagnostics");
+        let ds = lint_ops Program.[ Set_a 1; Set_a 2 ] in
+        check Alcotest.bool "op language too" true
+          (has (Lint.Collapsible_set Lint.A) ds));
+    test "collapsible-set is silent when the first set is read" `Quick
+      (fun () ->
+        let ds = lint_ops Program.[ Set_a 1; Get_a; Set_a 2 ] in
+        check Alcotest.bool "read makes the set live" false
+          (has (Lint.Collapsible_set Lint.A) ds));
+    test "collapsible-set is silent across an unfolded branch" `Quick
+      (fun () ->
+        (* the optimizer never collapses across a branch it cannot fold,
+           so neither does the lint *)
+        let p x = x > 0 in
+        let ds =
+          lint_cmd Command.(Seq (If_a (p, Set_a 1, Set_a 1), Set_a 2)) in
+        check Alcotest.bool "no collapse claimed" false
+          (has (Lint.Collapsible_set Lint.A) ds));
+    test "reorder-collapse fires across opposite-side writes" `Quick
+      (fun () ->
+        let ds = lint_ops Program.[ Set_a 1; Set_b 5; Set_a 2 ] in
+        check (Alcotest.list level) "requires commutation" [ `Commuting ]
+          (requires_of (Lint.Reorder_collapse Lint.A) ds);
+        let ds = lint_ops Program.[ Set_a 1; Get_a; Set_b 5; Set_a 2 ] in
+        check Alcotest.bool "silent when the first set is read" false
+          (has (Lint.Reorder_collapse Lint.A) ds));
+    (* ---------------------- severity policy ---------------------- *)
+    test "severity: fires+unsound=error, fires+sound=info, else warn/info"
+      `Quick (fun () ->
+        let sev = Lint.decide_severity in
+        check Alcotest.string "miscompile" "error"
+          (Lint.severity_name
+             (sev ~requested:`Commuting ~inferred:`Overwriteable
+                ~requires:`Commuting));
+        check Alcotest.string "applied soundly" "info"
+          (Lint.severity_name
+             (sev ~requested:`Commuting ~inferred:`Commuting
+                ~requires:`Commuting));
+        check Alcotest.string "left on the table" "warning"
+          (Lint.severity_name
+             (sev ~requested:`Set_bx ~inferred:`Overwriteable
+                ~requires:`Overwriteable));
+        check Alcotest.string "not justifiable, not firing" "info"
+          (Lint.severity_name
+             (sev ~requested:`Overwriteable ~inferred:`Overwriteable
+                ~requires:`Commuting)));
+    test "level-mismatch is the global precondition" `Quick (fun () ->
+        (match
+           Lint.check_level ~requested:`Commuting ~inferred:`Set_bx
+             ~subject:"s"
+         with
+        | Some d ->
+            check Alcotest.bool "is an error" true (Lint.is_error d);
+            check Alcotest.bool "is the mismatch rule" true
+              (d.Lint.rule = Lint.Level_mismatch)
+        | None -> Alcotest.fail "mismatch not reported");
+        check Alcotest.bool "requested <= inferred is fine" true
+          (Lint.check_level ~requested:`Overwriteable ~inferred:`Commuting
+             ~subject:"s"
+          = None));
+    (* --------------- the known miscompilation, statically --------- *)
+    test "the optimize_commuting miscompilation is rejected statically"
+      `Quick (fun () ->
+        let ds = Catalog.known_miscompilation () in
+        check Alcotest.bool "has errors" true (Lint.has_errors ds);
+        check Alcotest.bool "points at a commutation-requiring rewrite" true
+          (List.exists
+             (fun d ->
+               Lint.is_error d
+               && Law_infer.compare d.Lint.requires `Commuting = 0
+               && d.Lint.rule <> Lint.Level_mismatch)
+             ds);
+        (* ...and it really is the dynamic counterexample: the commuting
+           optimizer changes the meaning of this exact program on
+           parity, while the inferred (overwriteable) level preserves
+           it. *)
+        let cmd = Command.(Seq (Set_a 3, Seq (Set_b 4, Set_a 3))) in
+        let bx = Concrete.of_algebraic Fixtures.parity_undoable in
+        let s0 = (0, 0) in
+        let opt_comm =
+          Command.optimize_unsafe_commuting ~eq_a:Int.equal ~eq_b:Int.equal
+        in
+        let opt_ss =
+          Command.optimize_overwriteable ~eq_a:Int.equal ~eq_b:Int.equal
+        in
+        check Alcotest.bool "commuting level miscompiles dynamically" false
+          (Command.exec bx (opt_comm cmd) s0 = Command.exec bx cmd s0);
+        check Alcotest.bool "inferred level is dynamically sound" true
+          (Command.exec bx (opt_ss cmd) s0 = Command.exec bx cmd s0);
+        let at_inferred =
+          lint_cmd ~requested:`Overwriteable ~inferred:`Overwriteable cmd
+        in
+        check Alcotest.bool "no errors at the inferred level" false
+          (Lint.has_errors at_inferred));
+    test "the same program on the commuting pair bx is accepted" `Quick
+      (fun () ->
+        let cmd = Command.(Seq (Set_a 3, Seq (Set_b 4, Set_a 3))) in
+        let ds = lint_cmd ~requested:`Commuting ~inferred:`Commuting cmd in
+        check Alcotest.bool "no errors" false (Lint.has_errors ds);
+        check Alcotest.bool "still reports the (sound) rewrites" true
+          (has (Lint.Dead_set Lint.A) ds));
+  ]
+  @ Helpers.q
+      [
+        (* The teeth of the analysis: if the lint reports NO errors for a
+           command at the `Commuting level against an `Overwriteable
+           pedigree, then running the commuting optimizer on that
+           command is in fact semantics-preserving on the entangled
+           parity bx.  (The converse need not hold — the lint is
+           conservative.) *)
+        QCheck.Test.make ~count:800
+          ~name:"lint-clean at `Commuting implies opt_commuting is safe"
+          (QCheck.pair Test_command.gen_cmd Fixtures.gen_parity_consistent)
+          (fun (c, s) ->
+            let ds =
+              lint_cmd ~requested:`Commuting ~inferred:`Overwriteable c
+            in
+            Lint.has_errors ds
+            ||
+            let bx = Concrete.of_algebraic Fixtures.parity_undoable in
+            Command.exec bx
+              (Command.optimize_unsafe_commuting ~eq_a:Int.equal
+                 ~eq_b:Int.equal c)
+              s
+            = Command.exec bx c s);
+        (* Running the optimizer at (or below) the inferred level never
+           produces an error diagnostic. *)
+        QCheck.Test.make ~count:400
+          ~name:"requested <= inferred yields no errors"
+          Test_command.gen_cmd
+          (fun c ->
+            (not
+               (Lint.has_errors
+                  (lint_cmd ~requested:`Overwriteable
+                     ~inferred:`Overwriteable c)))
+            && not
+                 (Lint.has_errors
+                    (lint_cmd ~requested:`Set_bx ~inferred:`Set_bx c)));
+      ]

@@ -34,5 +34,7 @@ let () =
       ("config lens", Test_config_lens.suite);
       ("dml", Test_dml.suite);
       ("command optimizer", Test_command.suite);
+      ("law inference", Test_law_infer.suite);
+      ("lint", Test_lint.suite);
       ("integration", Test_integration.suite);
     ]
