@@ -174,10 +174,28 @@ let project_lens =
   Rlens.project ~keep:[ "id"; "name"; "dept" ] ~key:[ "id" ]
     Workload.employees_schema
 
+let select_dlens = Rlens.dselect eng
+
+let project_dlens =
+  Rlens.dproject ~keep:[ "id"; "name"; "dept" ] ~key:[ "id" ]
+    Workload.employees_schema
+
 let relational_at size =
   let table = Workload.employees ~seed:42 ~size in
   let view = Esm_lens.Lens.get select_lens table in
   let proj_view = Esm_lens.Lens.get project_lens table in
+  (* one-row view deltas for the incremental path: a fresh hire *)
+  let hire =
+    Row.of_list
+      [
+        Value.Int 999_999;
+        Value.Str "fresh hire";
+        Value.Str "Engineering";
+        Value.Int 50_000;
+        Value.Str "hire@x";
+      ]
+  in
+  let hire_view = Row.project Workload.employees_schema [ "id"; "name"; "dept" ] hire in
   [
     Test.make
       ~name:(Printf.sprintf "select.get   n=%04d" size)
@@ -186,8 +204,16 @@ let relational_at size =
       ~name:(Printf.sprintf "select.put   n=%04d" size)
       (Staged.stage (fun () -> Esm_lens.Lens.put select_lens table view));
     Test.make
+      ~name:(Printf.sprintf "select.put_delta  n=%04d" size)
+      (Staged.stage (fun () ->
+           Rlens.put_delta select_dlens table [ Row_delta.Add hire ]));
+    Test.make
       ~name:(Printf.sprintf "project.put  n=%04d" size)
       (Staged.stage (fun () -> Esm_lens.Lens.put project_lens table proj_view));
+    Test.make
+      ~name:(Printf.sprintf "project.put_delta n=%04d" size)
+      (Staged.stage (fun () ->
+           Rlens.put_delta project_dlens table [ Row_delta.Add hire_view ]));
   ]
 
 let b4_tests = List.concat_map relational_at [ 64; 512; 4096 ]
@@ -331,6 +357,10 @@ let mde_at n =
       ~name:(Printf.sprintf "fwd after 1 edit    n=%03d" n)
       (Staged.stage (fun () -> Mbx.fwd mde_spec edited right));
     Test.make
+      ~name:(Printf.sprintf "fwd_delta 1 edit    n=%03d" n)
+      (Staged.stage (fun () ->
+           Mbx.fwd_delta mde_spec ~old_left:left edited right));
+    Test.make
       ~name:(Printf.sprintf "diff 1-edit models  n=%03d" n)
       (Staged.stage (fun () -> Diff.diff left edited));
   ]
@@ -419,54 +449,126 @@ let measure_one test =
   in
   (name, est)
 
-let run_group ~(header : string) ~(expectation : string) tests =
-  Fmt.pr "@.== %s ==@." header;
+(* Collected (experiment id, ns/run) pairs across all groups, for the
+   JSON emitter. *)
+let all_results : (string * float) list ref = ref []
+
+(* "B4" + "select.put   n=4096" -> "B4/select.put n=4096" (padding
+   collapsed so ids are stable across formatting tweaks). *)
+let experiment_id group name =
+  group ^ "/"
+  ^ String.concat " "
+      (List.filter (fun s -> s <> "") (String.split_on_char ' ' name))
+
+let run_group ~(id : string) ~(header : string) ~(expectation : string) tests =
+  Fmt.pr "@.== %s: %s ==@." id header;
   Fmt.pr "   expectation: %s@." expectation;
   let results = List.map measure_one tests in
   let baseline = match results with (_, t) :: _ -> t | [] -> nan in
   List.iter
     (fun (name, ns) ->
-      Fmt.pr "   %-42s %12.1f ns/run   (x%.2f)@." name ns (ns /. baseline))
+      Fmt.pr "   %-42s %12.1f ns/run   (x%.2f)@." name ns (ns /. baseline);
+      all_results := (experiment_id id name, ns) :: !all_results)
     results
 
+(* ------------------------------------------------------------------ *)
+(* JSON emission (--json): BENCH_PR2.json with the pre-PR baseline      *)
+(* ------------------------------------------------------------------ *)
+
+(* ns/run measured at the parent commit of this PR (same machine and
+   harness, before the indexed-storage/delta work), for the experiments
+   that work touches.  Kept verbatim so the before/after ratio is
+   recorded alongside every fresh run. *)
+let pre_pr_baseline =
+  [
+    ("B4/select.get n=0064", 1701.1);
+    ("B4/select.put n=0064", 9171.7);
+    ("B4/project.put n=0064", 16234.3);
+    ("B4/select.get n=0512", 14046.7);
+    ("B4/select.put n=0512", 76360.2);
+    ("B4/project.put n=0512", 159368.1);
+    ("B4/select.get n=4096", 113399.0);
+    ("B4/select.put n=4096", 765074.5);
+    ("B4/project.put n=4096", 1684741.5);
+    ("B7/consistency check n=008", 7506.5);
+    ("B7/fwd after 1 edit n=008", 8392.9);
+    ("B7/diff 1-edit models n=008", 2418.7);
+    ("B7/consistency check n=032", 84179.2);
+    ("B7/fwd after 1 edit n=032", 88820.9);
+    ("B7/diff 1-edit models n=032", 9207.0);
+    ("B7/consistency check n=128", 1234581.5);
+    ("B7/fwd after 1 edit n=128", 1377884.0);
+    ("B7/diff 1-edit models n=128", 38983.9);
+    ("B8/compiled view lens put (n=512)", 133687.3);
+    ("B8/handwritten view lens put (n=512)", 129060.2);
+  ]
+
+let json_number ns =
+  if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns
+
+let emit_json path =
+  let buf = Buffer.create 4096 in
+  let obj entries =
+    String.concat ",\n"
+      (List.map
+         (fun (k, ns) -> Printf.sprintf "    %S: %s" k (json_number ns))
+         entries)
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"pr\": 2,\n";
+  Buffer.add_string buf
+    "  \"unit\": \"ns/run\",\n  \"keys\": \"experiment id (group/test)\",\n";
+  Buffer.add_string buf "  \"baseline_pre_pr\": {\n";
+  Buffer.add_string buf (obj pre_pr_baseline);
+  Buffer.add_string buf "\n  },\n";
+  Buffer.add_string buf "  \"current\": {\n";
+  Buffer.add_string buf (obj (List.rev !all_results));
+  Buffer.add_string buf "\n  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "@.wrote %s@." path
+
 let () =
+  let json = Array.exists (String.equal "--json") Sys.argv in
   Fmt.pr "entangled-state-monads benchmark harness@.";
   Fmt.pr
     "(paper has no empirical evaluation; experiment ids follow EXPERIMENTS.md)@.";
-  run_group ~header:"B1: primitive sync step across instances"
+  run_group ~id:"B1" ~header:"primitive sync step across instances"
     ~expectation:
       "all instance families within a small constant factor; effectful pays \
        for the trace"
     b1_tests;
-  run_group ~header:"B2: translation overhead (Lemmas 1-3)"
+  run_group ~id:"B2" ~header:"translation overhead (Lemmas 1-3)"
     ~expectation:
       "derived put ~ set + get; double translation adds no further cost"
     b2_tests;
-  run_group ~header:"B3: composition chain scaling"
+  run_group ~id:"B3" ~header:"composition chain scaling"
     ~expectation:"cost grows linearly in chain length n" b3_tests;
-  run_group ~header:"B4: relational lens workloads"
+  run_group ~id:"B4" ~header:"relational lens workloads"
     ~expectation:
-      "get linear in table size; put O(n log n) (hashed key index + \
-       set-normalise)"
+      "get linear; put linear-ish on the shared sorted arrays (compiled \
+       predicates, memoized key index); put_delta flat in table size"
     b4_tests;
-  run_group ~header:"B5: representation ablations"
+  run_group ~id:"B5" ~header:"representation ablations"
     ~expectation:
       "shallow embedding faster than interpreted free-monad term; record and \
        functor reps comparable"
     b5_tests;
-  run_group ~header:"B6: witness-structure wrapper overhead"
+  run_group ~id:"B6" ~header:"witness-structure wrapper overhead"
     ~expectation:
       "journal/undo add a small constant (allocation); effectful adds the \
        trace machinery"
     b6_tests;
-  run_group ~header:"B7: MDE synchronisation vs model size"
+  run_group ~id:"B7" ~header:"MDE synchronisation vs model size"
     ~expectation:
-      "consistency and restoration quadratic-ish in model size (nested \
-       partner scans); diff near-linear (indexed)"
+      "consistency and restoration near-linear (indexed partner maps); \
+       fwd_delta ~ diff cost; diff near-linear (indexed)"
     b7_tests;
-  run_group ~header:"B8: surface-language machinery"
+  run_group ~id:"B8" ~header:"surface-language machinery"
     ~expectation:
       "compiled view lens ~ handwritten; optimizer turns 32 redundant sets \
        into 1"
     b8_tests;
+  if json then emit_json "BENCH_PR2.json";
   Fmt.pr "@.done.@."

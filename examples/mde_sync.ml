@@ -130,4 +130,25 @@ let () =
   Fmt.pr "@.edit script on the class model:@.";
   List.iter
     (fun e -> Fmt.pr "  %a@." Diff.pp_edit e)
-    (Diff.diff classes final_classes)
+    (Diff.diff classes final_classes);
+
+  (* Incremental propagation: one more developer edit travels to the
+     tables via fwd_delta — the diff's single Set_attr is mirrored onto
+     the partner table through the indexed partner map, instead of
+     re-restoring the whole right model. *)
+  let order =
+    List.find
+      (fun o -> Model.attr o "name" = Some (Model.Vstr "Order"))
+      (Model.objects final_classes)
+  in
+  let classes_edited =
+    Model.update final_classes
+      (Model.set_attr order "abstract" (Model.Vbool true))
+  in
+  let tables_inc =
+    Mbx.fwd_delta spec ~old_left:final_classes classes_edited final_tables
+  in
+  Fmt.pr "@.== tables after fwd_delta of one Set_attr ==@.%s@."
+    (Model.to_string tables_inc);
+  Fmt.pr "fwd_delta agrees with the full fwd: %b@."
+    (Model.equal tables_inc (Mbx.fwd spec classes_edited final_tables))

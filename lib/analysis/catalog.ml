@@ -88,6 +88,106 @@ let eq_bindings k1 k2 =
        (fun (a, x) (b, y) -> String.equal a b && String.equal x y)
        k1 k2
 
+(** The bookmarks-document lens of [examples/tree_sync.ml]: hide the
+    "meta" subtree, rename "bookmarks" to "links".  Both combinators are
+    very well behaved on their domains (Foster et al.), so the vwb claim
+    is justified — sources carry "bookmarks" and "meta" edges, views a
+    "links" edge and neither of the others. *)
+module Tree = Esm_lens.Tree
+
+let bookmarks_lens : (Tree.t, Tree.t) Esm_lens.Lens.t =
+  Esm_lens.Lens.(Tree.prune "meta" ~default:Tree.empty // Tree.rename "bookmarks" "links")
+
+let bookmarks_doc entries version =
+  Tree.node
+    [
+      ("bookmarks", Tree.node (List.map (fun (k, v) -> (k, Tree.value v)) entries));
+      ("meta", Tree.node [ ("version", Tree.value version) ]);
+    ]
+
+let links_view entries =
+  Tree.node
+    [ ("links", Tree.node (List.map (fun (k, v) -> (k, Tree.value v)) entries)) ]
+
+(** The class<->table correspondence of [examples/mde_sync.ml], packed
+    through [Mbx.to_algbx] and Lemma 5.  The restorers are correct and
+    hippocratic but {e not} undoable (a deleted partner object cannot be
+    resurrected with its private attributes), so [~undoable:false]. *)
+module Mbx = Esm_modelbx.Mbx
+module Model = Esm_modelbx.Model
+
+let class_table_spec =
+  Mbx.v ~name:"class<->table"
+    ~left_mm:
+      (Esm_modelbx.Metamodel.v
+         [
+           {
+             Esm_modelbx.Metamodel.cls_name = "Class";
+             attributes =
+               [
+                 ("name", Esm_modelbx.Metamodel.Tstr);
+                 ("abstract", Esm_modelbx.Metamodel.Tbool);
+                 ("doc", Esm_modelbx.Metamodel.Tstr);
+               ];
+           };
+         ])
+    ~right_mm:
+      (Esm_modelbx.Metamodel.v
+         [
+           {
+             Esm_modelbx.Metamodel.cls_name = "Table";
+             attributes =
+               [
+                 ("name", Esm_modelbx.Metamodel.Tstr);
+                 ("persistent", Esm_modelbx.Metamodel.Tbool);
+                 ("engine", Esm_modelbx.Metamodel.Tstr);
+               ];
+           };
+         ])
+    [
+      {
+        Mbx.left_class = "Class";
+        right_class = "Table";
+        key = [ ("name", "name") ];
+        synced = [ ("abstract", "persistent") ];
+      };
+    ]
+
+let class_model names =
+  Model.of_objects
+    (List.mapi
+       (fun i name ->
+         Model.obj ~id:(i + 1) ~cls:"Class"
+           [
+             ("name", Model.Vstr name);
+             ("abstract", Model.Vbool (i mod 2 = 0));
+             ("doc", Model.Vstr (name ^ " docs"));
+           ])
+       names)
+
+let table_model names =
+  Model.of_objects
+    (List.mapi
+       (fun i name ->
+         Model.obj ~id:(i + 1) ~cls:"Table"
+           [
+             ("name", Model.Vstr name);
+             ("persistent", Model.Vbool (i mod 2 = 1));
+             ("engine", Model.Vstr "innodb");
+           ])
+       names)
+
+(** The compiled engineering-roster pipeline of [examples/view_update.ml]:
+    a select+project relational lens over the employees table.  Only wb —
+    project's [put] loses hidden columns of rows absent from the
+    intermediate view, so (PutPut) is unclaimed. *)
+module Rel = Esm_relational
+
+let eng_view_lens : (Rel.Table.t, Rel.Table.t) Esm_lens.Lens.t =
+  Rel.Query.lens_of_string ~schema:Rel.Workload.employees_schema
+    ~key:[ "id" ]
+    {|employees | where dept = "Engineering" | select id, name, dept|}
+
 (* ------------------------------------------------------------------ *)
 (* The entries                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -334,6 +434,131 @@ let all () : entry list =
           [
             Prog
               ("chained-sync", `Set_bx, Program.[ Set_a 2; Get_b; Set_b 103 ]);
+          ];
+      };
+    Entry
+      {
+        label = "tree-sync/bookmarks";
+        description =
+          "bookmarks document vs meta-free renamed view (examples/tree_sync.ml, Lemma 4; vwb)";
+        packed =
+          Concrete.packed_of_lens ~vwb:true
+            ~init:(bookmarks_doc [ ("ocaml", "https://ocaml.org") ] "3")
+            ~eq_state:Tree.equal bookmarks_lens;
+        values_a =
+          [
+            bookmarks_doc [ ("ocaml", "https://ocaml.org") ] "3";
+            bookmarks_doc
+              [ ("bx", "http://bx-community.wikidot.com"); ("edbt", "https://edbt.org") ]
+              "4";
+            bookmarks_doc [] "1";
+          ];
+        values_b =
+          [
+            links_view [ ("ocaml", "https://ocaml.org") ];
+            links_view [ ("icfp", "https://icfpconference.org") ];
+            links_view [];
+          ];
+        eq_a = Tree.equal;
+        eq_b = Tree.equal;
+        show_a = Tree.to_string;
+        show_b = Tree.to_string;
+        subjects =
+          [
+            (* vwb justifies (SS): republishing the view twice keeps only
+               the last edit *)
+            Cmd
+              ( "republish-twice",
+                `Overwriteable,
+                Command.(
+                  Seq
+                    ( Set_b (links_view [ ("ocaml", "https://ocaml.org") ]),
+                      Set_b (links_view [ ("edbt", "https://edbt.org") ]) ))
+              );
+          ];
+      };
+    Entry
+      {
+        label = "mde-sync/class-table";
+        description =
+          "QVT-R-lite class<->table correspondence (examples/mde_sync.ml, \
+           Lemma 5; restorers not undoable)";
+        packed =
+          (let classes0 = class_model [ "Order"; "Item" ] in
+           Concrete.packed_of_algebraic ~undoable:false
+             ~init:(classes0, Mbx.fwd class_table_spec classes0 Model.empty)
+             ~eq_state:(fun (a1, b1) (a2, b2) ->
+               Model.equal a1 a2 && Model.equal b1 b2)
+             (Mbx.to_algbx class_table_spec));
+        values_a =
+          [
+            class_model [ "Order"; "Item" ];
+            class_model [ "Order"; "Invoice"; "Customer" ];
+            class_model [];
+          ];
+        values_b =
+          [
+            table_model [ "Order"; "Item" ];
+            table_model [ "Ledger" ];
+            table_model [];
+          ];
+        eq_a = Model.equal;
+        eq_b = Model.equal;
+        show_a = Model.to_string;
+        show_b = Model.to_string;
+        subjects =
+          [
+            Prog
+              ( "refactor-then-migrate",
+                `Set_bx,
+                Program.
+                  [
+                    Set_a (class_model [ "Order"; "Invoice"; "Customer" ]);
+                    Get_b;
+                    Set_b (table_model [ "Order"; "Item" ]);
+                    Get_a;
+                  ] );
+          ];
+      };
+    Entry
+      {
+        label = "relational/engineering-roster";
+        description =
+          "compiled where|select pipeline over employees \
+           (examples/view_update.ml, Lemma 4; wb only)";
+        packed =
+          Concrete.packed_of_lens ~vwb:false
+            ~init:(Rel.Workload.employees ~seed:3 ~size:8)
+            ~eq_state:Rel.Table.equal eng_view_lens;
+        values_a =
+          [
+            Rel.Workload.employees ~seed:1 ~size:6;
+            Rel.Workload.employees ~seed:7 ~size:10;
+            Rel.Workload.employees ~seed:2 ~size:0;
+          ];
+        values_b =
+          [
+            Rel.Workload.engineering_view ~seed:4 ~size:12;
+            Rel.Workload.engineering_view ~seed:9 ~size:20;
+            Rel.Workload.engineering_view ~seed:1 ~size:0;
+          ];
+        eq_a = Rel.Table.equal;
+        eq_b = Rel.Table.equal;
+        show_a = Rel.Table.to_string;
+        show_b = Rel.Table.to_string;
+        subjects =
+          [
+            (* wb only: request nothing beyond the always-sound rewrites *)
+            Cmd
+              ( "roster-refresh",
+                `Set_bx,
+                Command.(
+                  Seq
+                    ( Set_b (Rel.Workload.engineering_view ~seed:4 ~size:12),
+                      Seq
+                        ( Set_a (Rel.Workload.employees ~seed:7 ~size:10),
+                          Set_b (Rel.Workload.engineering_view ~seed:9 ~size:20)
+                        ) )) );
           ];
       };
   ]

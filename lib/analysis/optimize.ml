@@ -1,0 +1,14 @@
+open Esm_core
+
+let level_for (packed : ('a, 'b) Concrete.packed) : Command.level =
+  Law_infer.to_command_level (Law_infer.of_packed packed)
+
+let optimize_packed ?(cap : Law_infer.level option)
+    (packed : ('a, 'b) Concrete.packed) ~(eq_a : 'a -> 'a -> bool)
+    ~(eq_b : 'b -> 'b -> bool) (cmd : ('a, 'b) Command.t) : ('a, 'b) Command.t
+    =
+  let inferred = Law_infer.of_packed packed in
+  let chosen =
+    match cap with None -> inferred | Some c -> Law_infer.meet c inferred
+  in
+  Command.optimize_at (Law_infer.to_command_level chosen) ~eq_a ~eq_b cmd

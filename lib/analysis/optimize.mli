@@ -1,0 +1,28 @@
+(** Pedigree-directed command optimization.
+
+    The safe entry point to {!Esm_core.Command.optimize_at}: the rewrite
+    level is picked automatically from the packed bx's pedigree via
+    {!Law_infer.of_packed}, so the unsafe levels are unreachable unless
+    the construction lemmas justify them.  There is deliberately {e no}
+    parameter that raises the level above the inferred one — callers who
+    want to gamble must spell out
+    [Command.optimize_unsafe_commuting] themselves (and answer to
+    `bxlint`). *)
+
+open Esm_core
+
+val level_for : ('a, 'b) Concrete.packed -> Command.level
+(** The strongest optimizer level the packed bx's pedigree justifies
+    ([Law_infer.to_command_level (Law_infer.of_packed p)]). *)
+
+val optimize_packed :
+  ?cap:Law_infer.level ->
+  ('a, 'b) Concrete.packed ->
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) Command.t ->
+  ('a, 'b) Command.t
+(** [optimize_packed p ~eq_a ~eq_b cmd] rewrites [cmd] at
+    [level_for p].  [?cap] can only {e lower} the level (the meet of the
+    cap and the inferred level is used) — e.g. [~cap:`Set_bx] restricts
+    to the always-sound rewrites regardless of pedigree. *)

@@ -60,59 +60,119 @@ let synced_values (side : [ `Left | `Right ]) (c : correspondence)
   in
   List.map (Model.attr o) names
 
-(* The partner of [o] in the opposite model, by key. *)
-let partner (side : [ `Left | `Right ]) (c : correspondence)
-    (o : Model.obj) (opposite : Model.t) : Model.obj option =
-  let opposite_side = match side with `Left -> `Right | `Right -> `Left in
-  let opposite_class =
-    match side with `Left -> c.right_class | `Right -> c.left_class
+(* The indexed partner map of one correspondence side: key tuple ->
+   object, over the corresponded class.  Built in one pass; keys are
+   unique per side by the spec's precondition. *)
+let partner_map (side : [ `Left | `Right ]) (c : correspondence)
+    (m : Model.t) : (Model.value list, Model.obj) Hashtbl.t =
+  let cls = match side with `Left -> c.left_class | `Right -> c.right_class in
+  let objs = Model.of_class m cls in
+  let idx = Hashtbl.create (max 16 (List.length objs)) in
+  List.iter
+    (fun o ->
+      match key_of side c o with
+      | Some k -> Hashtbl.replace idx k o
+      | None -> ())
+    objs;
+  idx
+
+let synced_agree side c o o' =
+  let mine = synced_values side c o in
+  let theirs =
+    synced_values (match side with `Left -> `Right | `Right -> `Left) c o'
   in
-  match key_of side c o with
-  | None -> None
-  | Some k ->
-      List.find_opt
-        (fun o' ->
-          match key_of opposite_side c o' with
-          | Some k' -> equal_key k k'
-          | None -> false)
-        (Model.of_class opposite opposite_class)
+  List.for_all2
+    (fun v v' ->
+      match (v, v') with
+      | Some v, Some v' -> Model.equal_value v v'
+      | _ -> false)
+    mine theirs
 
 (* One correspondence is consistent when the key-indexed objects match
-   both ways and synced attributes agree. *)
+   both ways and synced attributes agree: two index builds and two
+   linear passes instead of nested partner scans. *)
 let correspondence_consistent (c : correspondence) (left : Model.t)
     (right : Model.t) : bool =
-  let check_side side model opposite =
+  let left_idx = partner_map `Left c left in
+  let right_idx = partner_map `Right c right in
+  let check_side side objs opposite_idx =
     List.for_all
       (fun o ->
-        match partner side c o opposite with
+        match key_of side c o with
         | None -> false
-        | Some o' ->
-            let mine = synced_values side c o in
-            let theirs =
-              synced_values
-                (match side with `Left -> `Right | `Right -> `Left)
-                c o'
-            in
-            List.for_all2
-              (fun v v' ->
-                match (v, v') with
-                | Some v, Some v' -> Model.equal_value v v'
-                | _ -> false)
-              mine theirs)
-      (Model.of_class model
-         (match side with `Left -> c.left_class | `Right -> c.right_class))
+        | Some k -> (
+            match Hashtbl.find_opt opposite_idx k with
+            | None -> false
+            | Some o' -> synced_agree side c o o'))
+      objs
   in
-  check_side `Left left right && check_side `Right right left
+  check_side `Left (Model.of_class left c.left_class) right_idx
+  && check_side `Right (Model.of_class right c.right_class) left_idx
 
 let consistent (spec : spec) (left : Model.t) (right : Model.t) : bool =
   List.for_all
     (fun c -> correspondence_consistent c left right)
     spec.correspondences
 
+(* Copy the source object's synced attribute values onto the target
+   object (missing source values leave the target attribute alone). *)
+let sync_onto ~(source_side : [ `Left | `Right ]) (c : correspondence)
+    (source_obj : Model.obj) (target_obj : Model.obj) : Model.obj =
+  List.fold_left2
+    (fun o' (ln, rn) v ->
+      let target_attr = match source_side with `Left -> rn | `Right -> ln in
+      match v with
+      | Some v -> Model.set_attr o' target_attr v
+      | None -> o')
+    target_obj c.synced
+    (synced_values source_side c source_obj)
+
+(* Stamp the source object's key onto the target side of a fresh
+   partner. *)
+let with_key ~(source_side : [ `Left | `Right ]) (c : correspondence)
+    (k : Model.value list) (target_obj : Model.obj) : Model.obj =
+  List.fold_left2
+    (fun o' (ln, rn) v ->
+      let target_attr = match source_side with `Left -> rn | `Right -> ln in
+      Model.set_attr o' target_attr v)
+    target_obj c.key k
+
+(* Update-or-create the partner of source object [o] in [acc].
+   [target_idx] is the partner map of [acc]'s corresponded class, kept
+   in sync across calls (keys are unique and syncing never rewrites a
+   target key, so entries only change on create).  Hippocratic at the
+   object level: an already-synced partner leaves [acc] untouched. *)
+let mirror_object ~(source_side : [ `Left | `Right ]) (c : correspondence)
+    ~(target_class : string) ~(target_mm : Metamodel.t)
+    (target_idx : (Model.value list, Model.obj) Hashtbl.t) (acc : Model.t)
+    (o : Model.obj) : Model.t =
+  match key_of source_side c o with
+  | None -> acc (* malformed source object: nothing to mirror *)
+  | Some k -> (
+      match Hashtbl.find_opt target_idx k with
+      | Some existing ->
+          let synced = sync_onto ~source_side c o existing in
+          if Model.equal_obj existing synced then acc
+          else begin
+            Hashtbl.replace target_idx k synced;
+            Model.update acc synced
+          end
+      | None ->
+          let fresh =
+            Metamodel.fresh_object target_mm ~cls:target_class
+              ~id:(Model.next_id acc)
+          in
+          let created =
+            sync_onto ~source_side c o (with_key ~source_side c k fresh)
+          in
+          Hashtbl.replace target_idx k created;
+          Model.add acc created)
+
 (* Restore the target model to match the source, for one correspondence:
    update synced attrs on partnered objects, create missing partners
    (fresh ids, defaults from the target metamodel), delete unmatched
-   target objects of the corresponded class. *)
+   target objects of the corresponded class.  Partner lookups go through
+   one-pass key indexes on each side. *)
 let restore_correspondence ~(source_side : [ `Left | `Right ]) (spec : spec)
     (c : correspondence) (source : Model.t) (target : Model.t) : Model.t =
   let target_side = match source_side with `Left -> `Right | `Right -> `Left in
@@ -122,52 +182,24 @@ let restore_correspondence ~(source_side : [ `Left | `Right ]) (spec : spec)
     | `Right -> (c.right_class, c.left_class, spec.left_mm)
   in
   let source_objs = Model.of_class source source_class in
+  let source_idx = partner_map source_side c source in
   (* 1. delete target objects with no source partner *)
   let target1 =
     List.fold_left
       (fun acc (o : Model.obj) ->
-        if
-          String.equal o.Model.cls target_class
-          && Option.is_none (partner target_side c o source)
-        then Model.remove acc o.Model.id
-        else acc)
-      target (Model.objects target)
+        let partnered =
+          match key_of target_side c o with
+          | Some k -> Hashtbl.mem source_idx k
+          | None -> false
+        in
+        if partnered then acc else Model.remove acc o.Model.id)
+      target
+      (Model.of_class target target_class)
   in
   (* 2. update or create a partner for each source object *)
+  let target_idx = partner_map target_side c target1 in
   List.fold_left
-    (fun acc (o : Model.obj) ->
-      match key_of source_side c o with
-      | None -> acc (* malformed source object: nothing to mirror *)
-      | Some k ->
-          let sync_onto (o' : Model.obj) : Model.obj =
-            List.fold_left2
-              (fun o' (ln, rn) v ->
-                let target_attr =
-                  match source_side with `Left -> rn | `Right -> ln
-                in
-                match v with
-                | Some v -> Model.set_attr o' target_attr v
-                | None -> o')
-              o' c.synced
-              (synced_values source_side c o)
-          in
-          let with_key (o' : Model.obj) : Model.obj =
-            List.fold_left2
-              (fun o' (ln, rn) v ->
-                let target_attr =
-                  match source_side with `Left -> rn | `Right -> ln
-                in
-                Model.set_attr o' target_attr v)
-              o' c.key k
-          in
-          (match partner source_side c o acc with
-          | Some existing -> Model.update acc (sync_onto existing)
-          | None ->
-              let fresh =
-                Metamodel.fresh_object target_mm ~cls:target_class
-                  ~id:(Model.next_id acc)
-              in
-              Model.add acc (sync_onto (with_key fresh))))
+    (mirror_object ~source_side c ~target_class ~target_mm target_idx)
     target1 source_objs
 
 let fwd (spec : spec) (left : Model.t) (right : Model.t) : Model.t =
@@ -183,6 +215,71 @@ let bwd (spec : spec) (left : Model.t) (right : Model.t) : Model.t =
     List.fold_left
       (fun left c -> restore_correspondence ~source_side:`Right spec c right left)
       left spec.correspondences
+
+(* ------------------------------------------------------------------ *)
+(* Incremental forward propagation                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [fwd_delta spec ~old_left left right]: propagate the edit script
+    [Diff.diff old_left left] through the correspondences instead of
+    re-restoring the whole right model.  Precondition: [(old_left,
+    right)] is consistent (the pair being incrementally maintained);
+    under it, single-object edit scripts produce a model equal to
+    [fwd spec left right] — the oracle property in
+    [test/test_mbx.ml].  Cost is one diff plus, per correspondence, one
+    partner-map build and O(edits) mirror steps. *)
+let fwd_delta (spec : spec) ~(old_left : Model.t) (left : Model.t)
+    (right : Model.t) : Model.t =
+  let edits = Diff.diff old_left left in
+  if edits = [] then right
+  else
+    List.fold_left
+      (fun right c ->
+        let target_idx = partner_map `Right c right in
+        let unmirror right (o : Model.obj) =
+          match key_of `Left c o with
+          | None -> right
+          | Some k -> (
+              match Hashtbl.find_opt target_idx k with
+              | None -> right
+              | Some p ->
+                  Hashtbl.remove target_idx k;
+                  Model.remove right p.Model.id)
+        in
+        let mirror =
+          mirror_object ~source_side:`Left c ~target_class:c.right_class
+            ~target_mm:spec.right_mm target_idx
+        in
+        List.fold_left
+          (fun right edit ->
+            match edit with
+            | Diff.Add_object o ->
+                if String.equal o.Model.cls c.left_class then mirror right o
+                else right
+            | Diff.Remove_object oid -> (
+                match Model.find old_left oid with
+                | Some o when String.equal o.Model.cls c.left_class ->
+                    unmirror right o
+                | _ -> right)
+            | Diff.Set_attr (oid, _, _) | Diff.Remove_attr (oid, _) -> (
+                (* attribute edits keep the class (class changes diff as
+                   remove + add) *)
+                match (Model.find old_left oid, Model.find left oid) with
+                | Some o_old, Some o_new
+                  when String.equal o_new.Model.cls c.left_class ->
+                    let keys_equal =
+                      match (key_of `Left c o_old, key_of `Left c o_new) with
+                      | Some k1, Some k2 -> equal_key k1 k2
+                      | None, None -> true
+                      | _ -> false
+                    in
+                    let right =
+                      if keys_equal then right else unmirror right o_old
+                    in
+                    mirror right o_new
+                | _ -> right))
+          right edits)
+      right spec.correspondences
 
 (** The induced algebraic bx (feed into {!Esm_core.Of_algebraic} /
     {!Esm_core.Concrete.of_algebraic} for the entangled state monad). *)

@@ -40,4 +40,12 @@ val fwd : spec -> Model.t -> Model.t -> Model.t
 val bwd : spec -> Model.t -> Model.t -> Model.t
 (** Symmetrically, repair the left model to match the right. *)
 
+val fwd_delta : spec -> old_left:Model.t -> Model.t -> Model.t -> Model.t
+(** [fwd_delta spec ~old_left left right]: incremental {!fwd} — the edit
+    script [Diff.diff old_left left] is propagated through indexed
+    partner maps instead of re-restoring the whole right model.
+    Precondition: [(old_left, right)] is consistent; under it,
+    single-object edit scripts produce a model equal to
+    [fwd spec left right] (property-tested oracle). *)
+
 val to_algbx : spec -> (Model.t, Model.t) Esm_algbx.Algbx.t

@@ -85,13 +85,26 @@ let of_objects (objects : obj list) : t =
 let empty : t = { objects = [] }
 let objects (m : t) : obj list = m.objects
 let size (m : t) : int = List.length m.objects
-let find (m : t) (id : oid) : obj option = List.find_opt (fun o -> o.id = id) m.objects
+let find (m : t) (id : oid) : obj option =
+  (* objects are sorted by id: stop as soon as we pass it *)
+  let rec go = function
+    | [] -> None
+    | o :: rest -> if o.id = id then Some o else if o.id > id then None else go rest
+  in
+  go m.objects
 
 let mem (m : t) (id : oid) : bool = Option.is_some (find m id)
 
 let add (m : t) (o : obj) : t =
-  if mem m o.id then errorf "add: object %d already present" o.id
-  else of_objects (o :: m.objects)
+  (* sorted insertion: no re-sort, duplicate check on the way *)
+  let rec go = function
+    | [] -> [ o ]
+    | o' :: rest ->
+        if o'.id = o.id then errorf "add: object %d already present" o.id
+        else if o'.id > o.id then o :: o' :: rest
+        else o' :: go rest
+  in
+  { objects = go m.objects }
 
 let remove (m : t) (id : oid) : t =
   { objects = List.filter (fun o -> o.id <> id) m.objects }
@@ -108,7 +121,13 @@ let classes (m : t) : string list =
   List.sort_uniq String.compare (List.map (fun o -> o.cls) m.objects)
 
 let next_id (m : t) : oid =
-  1 + List.fold_left (fun acc o -> max acc o.id) 0 m.objects
+  (* sorted by id: the last object carries the maximum *)
+  let rec last = function
+    | [] -> 0
+    | [ o ] -> o.id
+    | _ :: rest -> last rest
+  in
+  1 + last m.objects
 
 let equal (m1 : t) (m2 : t) : bool =
   List.length m1.objects = List.length m2.objects

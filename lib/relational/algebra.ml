@@ -1,44 +1,59 @@
 (** Relational algebra over {!Table}: selection, projection, renaming,
-    set operations, cartesian product and natural join. *)
+    set operations, cartesian product and natural join.
+
+    The operators lean on {!Table}'s sorted-array representation:
+    selections run compiled predicates ({!Pred.compile}), the set
+    operations are linear merges, renaming shares the row storage
+    outright, and join builds a hash index over the smaller side.
+    Operators that construct rows in canonical order hand them to
+    {!Table.of_sorted_array_unchecked} to skip renormalisation. *)
 
 let select (p : Pred.t) (t : Table.t) : Table.t =
-  Table.filter (Pred.eval (Table.schema t) p) t
+  Table.filter (Pred.compile (Table.schema t) p) t
+
+(* Column positions for a projection, resolved once. *)
+let projection_indices (schema : Schema.t) (columns : string list) : int array =
+  Array.of_list (List.map (Schema.index schema) columns)
+
+let project_row (indices : int array) (r : Row.t) : Row.t =
+  Array.map (fun i -> r.(i)) indices
 
 let project (columns : string list) (t : Table.t) : Table.t =
-  let schema' = Schema.project (Table.schema t) columns in
-  Table.of_rows schema'
-    (List.map (Row.project (Table.schema t) columns) (Table.rows t))
+  let schema = Table.schema t in
+  let schema' = Schema.project schema columns in
+  let indices = projection_indices schema columns in
+  (* Projection of conforming rows conforms by construction, but can
+     introduce duplicates and break the sort order: renormalise only. *)
+  let projected =
+    List.sort_uniq Row.compare
+      (Array.to_list (Array.map (project_row indices) (Table.row_array t)))
+  in
+  Table.of_sorted_array_unchecked schema' (Array.of_list projected)
 
 let rename (mapping : (string * string) list) (t : Table.t) : Table.t =
-  Table.of_rows (Schema.rename (Table.schema t) mapping) (Table.rows t)
+  (* Renaming changes no row values, so the sorted array is shared. *)
+  Table.of_sorted_array_unchecked
+    (Schema.rename (Table.schema t) mapping)
+    (Table.row_array t)
 
-let check_same_schema op t1 t2 =
-  if not (Schema.equal (Table.schema t1) (Table.schema t2)) then
-    Table.errorf "%s: schema mismatch: %s vs %s" op
-      (Schema.to_string (Table.schema t1))
-      (Schema.to_string (Table.schema t2))
-
-let union (t1 : Table.t) (t2 : Table.t) : Table.t =
-  check_same_schema "union" t1 t2;
-  Table.of_rows (Table.schema t1) (Table.rows t1 @ Table.rows t2)
-
-let diff (t1 : Table.t) (t2 : Table.t) : Table.t =
-  check_same_schema "diff" t1 t2;
-  Table.filter (fun r -> not (Table.mem t2 r)) t1
-
-let inter (t1 : Table.t) (t2 : Table.t) : Table.t =
-  check_same_schema "inter" t1 t2;
-  Table.filter (Table.mem t2) t1
+let union = Table.union
+let diff = Table.diff
+let inter = Table.inter
 
 let product (t1 : Table.t) (t2 : Table.t) : Table.t =
   let schema' = Schema.concat (Table.schema t1) (Table.schema t2) in
-  Table.of_rows schema'
-    (List.concat_map
-       (fun r1 -> List.map (Row.concat r1) (Table.rows t2))
-       (Table.rows t1))
+  let r1 = Table.row_array t1 and r2 = Table.row_array t2 in
+  let n1 = Array.length r1 and n2 = Array.length r2 in
+  (* Major order by t1's sorted rows, minor by t2's: the concatenated
+     rows come out sorted and distinct. *)
+  let out =
+    Array.init (n1 * n2) (fun i -> Row.concat r1.(i / n2) r2.(i mod n2))
+  in
+  Table.of_sorted_array_unchecked schema' out
 
 (** Natural join: match rows agreeing on all shared columns; the result
-    schema is [t1]'s columns followed by [t2]'s non-shared columns. *)
+    schema is [t1]'s columns followed by [t2]'s non-shared columns.
+    Hash join: index [t2] by the shared-column key, probe from [t1]. *)
 let join (t1 : Table.t) (t2 : Table.t) : Table.t =
   let s1 = Table.schema t1 and s2 = Table.schema t2 in
   let shared = Schema.shared s1 s2 in
@@ -52,18 +67,27 @@ let join (t1 : Table.t) (t2 : Table.t) : Table.t =
       (Schema.columns s1
       @ List.map (fun n -> (n, Schema.ty_of s2 n)) s2_rest)
   in
-  let key schema row = List.map (Row.get schema row) shared in
-  Table.of_rows schema'
-    (List.concat_map
-       (fun r1 ->
-         let k1 = key s1 r1 in
-         List.filter_map
-           (fun r2 ->
-             if List.for_all2 Value.equal k1 (key s2 r2) then
-               Some (Row.concat r1 (Row.project s2 s2_rest r2))
-             else None)
-           (Table.rows t2))
-       (Table.rows t1))
+  let key1 = List.map (Schema.index s1) shared in
+  let key2 = List.map (Schema.index s2) shared in
+  let rest2 = projection_indices s2 s2_rest in
+  let by_key = Hashtbl.create (max 16 (Table.cardinality t2)) in
+  Table.iter
+    (fun r2 ->
+      let k = Table.key_of_row key2 r2 in
+      Hashtbl.replace by_key k (r2 :: Option.value ~default:[] (Hashtbl.find_opt by_key k)))
+    t2;
+  let out = ref [] in
+  Table.iter
+    (fun r1 ->
+      match Hashtbl.find_opt by_key (Table.key_of_row key1 r1) with
+      | None -> ()
+      | Some matches ->
+          List.iter
+            (fun r2 -> out := Row.concat r1 (project_row rest2 r2) :: !out)
+            matches)
+    t1;
+  Table.of_sorted_array_unchecked schema'
+    (Array.of_list (List.sort_uniq Row.compare !out))
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
@@ -92,11 +116,12 @@ let rec eval_aggregate (schema : Schema.t) (rows : Row.t list) :
     aggregate -> Value.t = function
   | Count -> Value.Int (List.length rows)
   | Sum c ->
+      let i = Schema.index schema c in
       Value.Int
         (List.fold_left
            (fun acc r ->
-             match Row.get schema r c with
-             | Value.Int i -> acc + i
+             match r.(i) with
+             | Value.Int n -> acc + n
              | v ->
                  Table.errorf "sum: non-integer value %s" (Value.to_string v))
            0 rows)
@@ -106,19 +131,15 @@ let rec eval_aggregate (schema : Schema.t) (rows : Row.t list) :
       | _, Value.Int total -> Value.Int (total / List.length rows)
       | _, v -> v)
   | Min c ->
+      let i = Schema.index schema c in
       List.fold_left
-        (fun acc r ->
-          let v = Row.get schema r c in
-          if Value.compare v acc < 0 then v else acc)
-        (Row.get schema (List.hd rows) c)
-        rows
+        (fun acc r -> if Value.compare r.(i) acc < 0 then r.(i) else acc)
+        (List.hd rows).(i) rows
   | Max c ->
+      let i = Schema.index schema c in
       List.fold_left
-        (fun acc r ->
-          let v = Row.get schema r c in
-          if Value.compare v acc > 0 then v else acc)
-        (Row.get schema (List.hd rows) c)
-        rows
+        (fun acc r -> if Value.compare r.(i) acc > 0 then r.(i) else acc)
+        (List.hd rows).(i) rows
 
 (** [group_by ~keys ~aggs t]: one output row per distinct key tuple,
     carrying the key columns followed by one column per named aggregate.
@@ -131,13 +152,14 @@ let group_by ~(keys : string list) ~(aggs : (string * aggregate) list)
       (List.map (fun k -> (k, Schema.ty_of schema k)) keys
       @ List.map (fun (n, agg) -> (n, aggregate_ty schema agg)) aggs)
   in
+  let key_indices = List.map (Schema.index schema) keys in
   let groups = Hashtbl.create 16 in
-  List.iter
+  Table.iter
     (fun r ->
-      let key = List.map (Row.get schema r) keys in
+      let key = Table.key_of_row key_indices r in
       let existing = Option.value ~default:[] (Hashtbl.find_opt groups key) in
       Hashtbl.replace groups key (r :: existing))
-    (Table.rows t);
+    t;
   let out_rows =
     Hashtbl.fold
       (fun key rows acc ->
@@ -152,13 +174,12 @@ let group_by ~(keys : string list) ~(aggs : (string * aggregate) list)
     sets; use this for ordered presentation). *)
 let sort_rows ~(by : string list) ?(desc = false) (t : Table.t) : Row.t list =
   let schema = Table.schema t in
+  let by_indices = List.map (Schema.index schema) by in
   let cmp r1 r2 =
     let c =
       List.fold_left
-        (fun acc col ->
-          if acc <> 0 then acc
-          else Value.compare (Row.get schema r1 col) (Row.get schema r2 col))
-        0 by
+        (fun acc i -> if acc <> 0 then acc else Value.compare r1.(i) r2.(i))
+        0 by_indices
     in
     if desc then -c else c
   in

@@ -35,15 +35,23 @@ let apply (table : Table.t) (stmt : t) : Table.t =
   let schema = Table.schema table in
   match stmt with
   | Insert r -> Table.insert table r
-  | Delete p -> Table.filter (fun r -> not (Pred.eval schema p r)) table
+  | Delete p ->
+      let matches = Pred.compile schema p in
+      Table.filter (fun r -> not (matches r)) table
   | Update (p, assigns) ->
+      let matches = Pred.compile schema p in
+      let compiled =
+        List.map
+          (fun (c, e) -> (Schema.index schema c, Pred.compile_expr schema e))
+          assigns
+      in
       Table.map schema
         (fun r ->
-          if Pred.eval schema p r then
-            List.fold_left
-              (fun r' (c, e) ->
-                Row.set schema r' c (Pred.eval_expr schema r e))
-              r assigns
+          if matches r then (
+            (* assignments read the pre-update row [r] *)
+            let r' = Array.copy r in
+            List.iter (fun (i, f) -> r'.(i) <- f r) compiled;
+            r')
           else r)
         table
 
@@ -56,3 +64,44 @@ let through (lens : (Table.t, Table.t) Esm_lens.Lens.t) (stmt : t)
     (source : Table.t) : Table.t =
   let view = Esm_lens.Lens.get lens source in
   Esm_lens.Lens.put lens source (apply view stmt)
+
+(** The row deltas a statement induces on a table:
+    [apply table stmt = Row_delta.apply_all table (delta table stmt)].
+    Removals precede additions, so an update that permutes rows (e.g. a
+    swap) still lands on the right set. *)
+let delta (table : Table.t) (stmt : t) : Row_delta.t list =
+  let schema = Table.schema table in
+  match stmt with
+  | Insert r -> if Table.mem table r then [] else [ Row_delta.Add r ]
+  | Delete p ->
+      let matches = Pred.compile schema p in
+      Table.fold
+        (fun acc r -> if matches r then Row_delta.Remove r :: acc else acc)
+        [] table
+  | Update (p, assigns) ->
+      let matches = Pred.compile schema p in
+      let compiled =
+        List.map
+          (fun (c, e) -> (Schema.index schema c, Pred.compile_expr schema e))
+          assigns
+      in
+      let removes = ref [] and adds = ref [] in
+      Table.iter
+        (fun r ->
+          if matches r then begin
+            let r' = Array.copy r in
+            List.iter (fun (i, f) -> r'.(i) <- f r) compiled;
+            if not (Row.equal r r') then begin
+              removes := Row_delta.Remove r :: !removes;
+              adds := Row_delta.Add r' :: !adds
+            end
+          end)
+        table;
+      List.rev_append !removes (List.rev !adds)
+
+(** Delta-propagating [through]: compute the statement's deltas on the
+    view and push them through {!Rlens.put_delta} instead of replacing
+    the whole view. *)
+let through_delta (dl : Rlens.dlens) (stmt : t) (source : Table.t) : Table.t =
+  let view = Esm_lens.Lens.get dl.Rlens.lens source in
+  Rlens.put_delta dl source (delta view stmt)

@@ -19,3 +19,12 @@ val through :
   (Table.t, Table.t) Esm_lens.Lens.t -> t -> Table.t -> Table.t
 (** Run the statement on the lens's view of the source, then put the
     updated view back. *)
+
+val delta : Table.t -> t -> Row_delta.t list
+(** The row deltas the statement induces on the table:
+    [apply table stmt] equals [Row_delta.apply_all table (delta table
+    stmt)].  Removals precede additions. *)
+
+val through_delta : Rlens.dlens -> t -> Table.t -> Table.t
+(** Delta-propagating {!through}: the statement's view deltas are pushed
+    through {!Rlens.put_delta} instead of replacing the whole view. *)

@@ -30,6 +30,44 @@ let rec eval (schema : Schema.t) (p : t) (row : Row.t) : bool =
   | Or (p1, p2) -> eval schema p1 row || eval schema p2 row
   | Not p -> not (eval schema p row)
 
+(* ------------------------------------------------------------------ *)
+(* Compilation: resolve column positions once, evaluate many times     *)
+(* ------------------------------------------------------------------ *)
+
+let compile_expr (schema : Schema.t) (e : expr) : Row.t -> Value.t =
+  match e with
+  | Col name ->
+      let i = Schema.index schema name in
+      fun r -> r.(i)
+  | Lit v -> fun _ -> v
+
+(** Compile a predicate against a schema: every column reference is
+    resolved to its row position once, so per-row evaluation does no
+    name lookups.  [eval schema p r = compile schema p r] for conforming
+    rows; the compiled form is what the selection hot paths (algebra,
+    select lens, DML) run. *)
+let rec compile (schema : Schema.t) (p : t) : Row.t -> bool =
+  match p with
+  | Const b -> fun _ -> b
+  | Eq (e1, e2) ->
+      let f1 = compile_expr schema e1 and f2 = compile_expr schema e2 in
+      fun r -> Value.equal (f1 r) (f2 r)
+  | Lt (e1, e2) ->
+      let f1 = compile_expr schema e1 and f2 = compile_expr schema e2 in
+      fun r -> Value.compare (f1 r) (f2 r) < 0
+  | Le (e1, e2) ->
+      let f1 = compile_expr schema e1 and f2 = compile_expr schema e2 in
+      fun r -> Value.compare (f1 r) (f2 r) <= 0
+  | And (p1, p2) ->
+      let f1 = compile schema p1 and f2 = compile schema p2 in
+      fun r -> f1 r && f2 r
+  | Or (p1, p2) ->
+      let f1 = compile schema p1 and f2 = compile schema p2 in
+      fun r -> f1 r || f2 r
+  | Not p ->
+      let f = compile schema p in
+      fun r -> not (f r)
+
 let rec columns_used : t -> string list = function
   | Const _ -> []
   | Eq (e1, e2) | Lt (e1, e2) | Le (e1, e2) ->

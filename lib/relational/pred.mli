@@ -15,6 +15,16 @@ type t =
 val eval_expr : Schema.t -> Row.t -> expr -> Value.t
 val eval : Schema.t -> t -> Row.t -> bool
 
+val compile_expr : Schema.t -> expr -> Row.t -> Value.t
+(** Resolve the column position once; the returned closure does no name
+    lookup per row. *)
+
+val compile : Schema.t -> t -> Row.t -> bool
+(** Compile a predicate against a schema: column references are resolved
+    to row positions once, so per-row evaluation does no name lookups.
+    Agrees with {!eval} on conforming rows; used by the selection hot
+    paths (algebra, select lens, DML). *)
+
 val columns_used : t -> string list
 (** Column names referenced (with duplicates). *)
 

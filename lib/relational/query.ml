@@ -395,3 +395,59 @@ let to_lens ~(schema : Schema.t) ~(key : string list) (q : t) :
 let lens_of_string ~schema ~key (input : string) :
     (Table.t, Table.t) Esm_lens.Lens.t =
   to_lens ~schema ~key (parse input)
+
+(** Compile a single-base pipeline into a delta-capable lens
+    ({!Rlens.dlens}): same supported stages and checks as {!to_lens},
+    but view edits can be pushed back incrementally with
+    {!Rlens.put_delta} / {!Dml.through_delta} instead of replacing the
+    whole view. *)
+let to_dlens ~(schema : Schema.t) ~(key : string list) (q : t) : Rlens.dlens =
+  let rec go : t -> Rlens.dlens * Schema.t * string list = function
+    | Base _ -> (Rlens.did, schema, key)
+    | Where (p, q) ->
+        let l, sch, key = go q in
+        List.iter
+          (fun c ->
+            if not (Schema.mem sch c) then
+              not_updatable "where: unknown column %s" c)
+          (Pred.columns_used p);
+        (Rlens.dcompose l (Rlens.dselect p), sch, key)
+    | Project (cols, q) ->
+        let l, sch, key = go q in
+        List.iter
+          (fun k ->
+            if not (List.mem k cols) then
+              not_updatable
+                "select: key column %s must be kept for the view to be \
+                 updatable"
+                k)
+          key;
+        ( Rlens.dcompose l (Rlens.dproject ~keep:cols ~key sch),
+          Schema.project sch cols,
+          key )
+    | Rename (mapping, q) ->
+        let l, sch, key = go q in
+        let rename_one n =
+          match List.assoc_opt n mapping with Some n' -> n' | None -> n
+        in
+        ( Rlens.dcompose l (Rlens.drename mapping),
+          Schema.rename sch mapping,
+          List.map rename_one key )
+    | Union _ -> not_updatable "union views are not updatable"
+    | Diff _ -> not_updatable "diff views are not updatable"
+    | Join _ ->
+        not_updatable
+          "join views over one base are not updatable (use Rlens.join on a \
+           pair of tables)"
+    | Product _ -> not_updatable "product views are not updatable"
+  in
+  let dl, _, _ = go q in
+  {
+    dl with
+    Rlens.lens =
+      Esm_lens.Lens.with_name ("view: " ^ to_string q) dl.Rlens.lens;
+  }
+
+(** Parse a view definition and compile it to a delta-capable lens. *)
+let dlens_of_string ~schema ~key (input : string) : Rlens.dlens =
+  to_dlens ~schema ~key (parse input)

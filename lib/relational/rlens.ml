@@ -15,8 +15,14 @@
       from the old source by key, falling back to per-type defaults.
     - {!rename} is an isomorphism, hence very well-behaved.
 
+    Alongside the whole-view lenses, the {!dlens} layer propagates
+    {!Row_delta} edit scripts: [put_delta] translates view deltas to
+    source deltas instead of rebuilding the source, which is the
+    incremental restoration path the benchmarks measure.
+
     The property suites in [test/test_rlens.ml] generate sources and views
-    inside those domains. *)
+    inside those domains; [test/test_row_delta.ml] checks [put_delta]
+    against the full [put] oracle. *)
 
 open Esm_lens
 
@@ -32,16 +38,74 @@ let select (p : Pred.t) : (Table.t, Table.t) Lens.t =
         Lens.shape_errorf "select lens: view schema %s differs from source %s"
           (Schema.to_string (Table.schema view))
           (Schema.to_string schema);
-      List.iter
+      let matches = Pred.compile schema p in
+      Table.iter
         (fun r ->
-          if not (Pred.eval schema p r) then
+          if not (matches r) then
             Lens.shape_errorf
               "select lens: view row %s violates the selection predicate"
               (Row.to_string r))
-        (Table.rows view);
-      let untouched = Table.filter (fun r -> not (Pred.eval schema p r)) source in
-      Algebra.union untouched view)
+        view;
+      let untouched = Table.filter (fun r -> not (matches r)) source in
+      Table.union untouched view)
     ()
+
+(* ------------------------------------------------------------------ *)
+(* Projection plans (shared by the full put and the delta path)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-source-column recipe: copy from the view row, or recover a
+   dropped value from the old source row with the same key (falling back
+   to the per-type default). *)
+type projection_plan = {
+  view_schema : Schema.t;
+  column_plan : [ `Kept of int | `Dropped of int * Value.t ] array;
+  view_key_indices : int list;
+  source_key_indices : int list;
+}
+
+let projection_plan ~(keep : string list) ~(key : string list)
+    (source_schema : Schema.t) : projection_plan =
+  if not (List.for_all (fun k -> List.mem k keep) key) then
+    Schema.errorf "project lens: key columns must be kept";
+  let view_schema = Schema.project source_schema keep in
+  let column_plan =
+    Array.of_list
+      (List.map
+         (fun (n, ty) ->
+           match List.find_index (fun k -> String.equal k n) keep with
+           | Some view_index -> `Kept view_index
+           | None ->
+               `Dropped (Schema.index source_schema n, Value.default_of_type ty))
+         (Schema.columns source_schema))
+  in
+  {
+    view_schema;
+    column_plan;
+    view_key_indices = List.map (Schema.index view_schema) key;
+    source_key_indices = List.map (Schema.index source_schema) key;
+  }
+
+(* Rebuild a source row from a view row, recovering dropped columns from
+   the source's memoized key index. *)
+let restore_row (plan : projection_plan)
+    (old_by_key : (Value.t list, Row.t) Hashtbl.t) (view_row : Row.t) : Row.t =
+  let k = Table.key_of_row plan.view_key_indices view_row in
+  let recovered = Hashtbl.find_opt old_by_key k in
+  Array.map
+    (function
+      | `Kept j -> view_row.(j)
+      | `Dropped (i, default) -> (
+          match recovered with
+          | Some old_row -> old_row.(i)
+          | None -> default))
+    plan.column_plan
+
+let check_view_schema what expected view =
+  if not (Schema.equal (Table.schema view) expected) then
+    Lens.shape_errorf "%s lens: view schema %s does not match %s" what
+      (Schema.to_string (Table.schema view))
+      (Schema.to_string expected)
 
 (** [project ~keep ~key source_schema]: the view keeps columns [keep] (in
     order); [key ⊆ keep] identifies rows.  [put] recovers each dropped
@@ -49,51 +113,20 @@ let select (p : Pred.t) : (Table.t, Table.t) Lens.t =
     the per-type default when the key is new. *)
 let project ~(keep : string list) ~(key : string list)
     (source_schema : Schema.t) : (Table.t, Table.t) Lens.t =
-  if not (List.for_all (fun k -> List.mem k keep) key) then
-    Schema.errorf "project lens: key columns must be kept";
-  let view_schema = Schema.project source_schema keep in
-  (* Per-source-column recipe: copy from the view row, or recover a
-     dropped value from the old source row with the same key (falling
-     back to the per-type default). *)
-  let column_plan =
-    List.map
-      (fun (n, ty) ->
-        match
-          List.find_index (fun k -> String.equal k n) keep
-        with
-        | Some view_index -> `Kept view_index
-        | None ->
-            `Dropped (Schema.index source_schema n, Value.default_of_type ty))
-      (Schema.columns source_schema)
-  in
-  let view_key_indices = List.map (Schema.index view_schema) key in
-  let source_key_indices = List.map (Schema.index source_schema) key in
+  let plan = projection_plan ~keep ~key source_schema in
   let put source view =
-    if not (Schema.equal (Table.schema view) view_schema) then
-      Lens.shape_errorf "project lens: view schema %s does not match %s"
-        (Schema.to_string (Table.schema view))
-        (Schema.to_string view_schema);
-    let old_by_key = Hashtbl.create (max 16 (Table.cardinality source)) in
-    List.iter
-      (fun r ->
-        Hashtbl.replace old_by_key
-          (List.map (fun i -> r.(i)) source_key_indices)
-          r)
-      (Table.rows source);
-    let restore view_row =
-      let k = List.map (fun i -> view_row.(i)) view_key_indices in
-      let recovered = Hashtbl.find_opt old_by_key k in
-      Row.of_list
-        (List.map
-           (function
-             | `Kept j -> view_row.(j)
-             | `Dropped (i, default) -> (
-                 match recovered with
-                 | Some old_row -> old_row.(i)
-                 | None -> default))
-           column_plan)
+    check_view_schema "project" plan.view_schema view;
+    (* The memoized key index on the source: built once per (table, key)
+       pair, shared across repeated puts against the same source. *)
+    let old_by_key = Table.key_index source plan.source_key_indices in
+    (* Restored rows conform by construction (values copied from
+       conforming rows or per-type defaults); only renormalise. *)
+    let restored =
+      List.sort_uniq Row.compare
+        (Array.to_list
+           (Array.map (restore_row plan old_by_key) (Table.row_array view)))
     in
-    Table.of_rows source_schema (List.map restore (Table.rows view))
+    Table.of_sorted_array_unchecked source_schema (Array.of_list restored)
   in
   Lens.v
     ~name:(Printf.sprintf "project [%s]" (String.concat "," keep))
@@ -151,38 +184,133 @@ let join ~(left : Schema.t) ~(right : Schema.t) :
       (Schema.columns left
       @ List.map (fun n -> (n, Schema.ty_of right n)) right_rest)
   in
-  let key_of schema row = List.map (Row.get schema row) shared in
+  let join_key_indices = List.map (Schema.index join_schema) shared in
+  let right_key_indices = List.map (Schema.index right) shared in
+  let left_of_view =
+    Array.of_list
+      (List.map (Schema.index join_schema) (Schema.column_names left))
+  in
+  let right_of_view =
+    Array.of_list
+      (List.map (Schema.index join_schema) (Schema.column_names right))
+  in
+  let reproject indices rows =
+    List.sort_uniq Row.compare
+      (Array.to_list
+         (Array.map (fun r -> Array.map (fun i -> r.(i)) indices) rows))
+  in
   let put (_l, r) view =
-    if not (Schema.equal (Table.schema view) join_schema) then
-      Lens.shape_errorf "join lens: view schema %s does not match %s"
-        (Schema.to_string (Table.schema view))
-        (Schema.to_string join_schema);
+    check_view_schema "join" join_schema view;
+    let view_rows = Table.row_array view in
     let new_left =
-      Table.of_rows left
-        (List.map
-           (Row.project join_schema (Schema.column_names left))
-           (Table.rows view))
+      Table.of_sorted_array_unchecked left
+        (Array.of_list (reproject left_of_view view_rows))
     in
-    let view_keys = List.map (key_of join_schema) (Table.rows view) in
+    let view_keys = Hashtbl.create (max 16 (Array.length view_rows)) in
+    Array.iter
+      (fun row ->
+        Hashtbl.replace view_keys (Table.key_of_row join_key_indices row) ())
+      view_rows;
     let untouched_right =
       Table.filter
         (fun row ->
-          not
-            (List.exists
-               (List.for_all2 Value.equal (key_of right row))
-               view_keys))
+          not (Hashtbl.mem view_keys (Table.key_of_row right_key_indices row)))
         r
     in
-    let new_right_rows =
-      List.map
-        (Row.project join_schema (Schema.column_names right))
-        (Table.rows view)
-    in
     let new_right =
-      Algebra.union untouched_right (Table.of_rows right new_right_rows)
+      Table.union untouched_right
+        (Table.of_sorted_array_unchecked right
+           (Array.of_list (reproject right_of_view view_rows)))
     in
     (new_left, new_right)
   in
   Lens.v ~name:"join"
     ~get:(fun (l, r) -> Algebra.join l r)
     ~put ()
+
+(* ------------------------------------------------------------------ *)
+(* Delta propagation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** A delta-capable lens: the whole-view lens plus a translation of view
+    deltas into source deltas.  [translate source view_deltas] assumes
+    the deltas describe an edit of [get lens source] (the current view);
+    under that precondition [put_delta] agrees with running the full
+    [put] on the edited view — the oracle property checked in
+    [test/test_row_delta.ml]. *)
+type dlens = {
+  lens : (Table.t, Table.t) Lens.t;
+  translate : Table.t -> Row_delta.t list -> Row_delta.t list;
+}
+
+let put_delta (l : dlens) (source : Table.t) (deltas : Row_delta.t list) :
+    Table.t =
+  Row_delta.apply_all source (l.translate source deltas)
+
+(** The identity dlens (a pipeline's base table). *)
+let did : dlens =
+  { lens = Lens.with_name "base" Lens.id; translate = (fun _ ds -> ds) }
+
+(** Delta select: additions must satisfy the predicate (as in the full
+    [put]); removals of rows outside the view are dropped — the full
+    [put] would not see them either, since they cannot occur in the
+    view. *)
+let dselect (p : Pred.t) : dlens =
+  let translate source deltas =
+    let matches = Pred.compile (Table.schema source) p in
+    List.filter_map
+      (function
+        | Row_delta.Add r ->
+            if not (matches r) then
+              Lens.shape_errorf
+                "select lens: delta row %s violates the selection predicate"
+                (Row.to_string r);
+            Some (Row_delta.Add r)
+        | Row_delta.Remove r ->
+            if matches r then Some (Row_delta.Remove r) else None)
+      deltas
+  in
+  { lens = select p; translate }
+
+(** Delta project: each view delta restores to a source delta through the
+    source's memoized key index — an added view row recovers its dropped
+    columns from the old row with the same key (defaults for fresh
+    keys); a removed view row removes its restored source row. *)
+let dproject ~(keep : string list) ~(key : string list)
+    (source_schema : Schema.t) : dlens =
+  let plan = projection_plan ~keep ~key source_schema in
+  let translate source deltas =
+    let old_by_key = Table.key_index source plan.source_key_indices in
+    let restore = restore_row plan old_by_key in
+    List.map
+      (function
+        | Row_delta.Add v ->
+            if not (Row.conforms plan.view_schema v) then
+              Lens.shape_errorf
+                "project lens: delta row %s does not conform to the view \
+                 schema %s"
+                (Row.to_string v)
+                (Schema.to_string plan.view_schema);
+            Row_delta.Add (restore v)
+        | Row_delta.Remove v -> Row_delta.Remove (restore v))
+      deltas
+  in
+  { lens = project ~keep ~key source_schema; translate }
+
+(** Delta rename: rows are untouched by renaming, so deltas pass through
+    unchanged. *)
+let drename (mapping : (string * string) list) : dlens =
+  { lens = rename mapping; translate = (fun _ ds -> ds) }
+
+(** [dcompose outer inner]: [outer] is closer to the source (same
+    orientation as {!Esm_lens.Lens.compose}).  View deltas are first
+    translated through [inner] against the intermediate view, then
+    through [outer] against the source. *)
+let dcompose (outer : dlens) (inner : dlens) : dlens =
+  {
+    lens = Lens.compose outer.lens inner.lens;
+    translate =
+      (fun source vds ->
+        outer.translate source
+          (inner.translate (Lens.get outer.lens source) vds));
+  }

@@ -36,3 +36,40 @@ val join :
     the right table by key, keeping unjoined right rows.  Well-behaved
     when the shared columns key the right table and every left row
     joins. *)
+
+(** {1 Delta propagation}
+
+    The incremental [put] path: a view edit described as a {!Row_delta}
+    list is translated into source deltas instead of rebuilding the
+    source table.  [translate source view_deltas] assumes the deltas
+    describe an edit of [get lens source]; under that precondition
+    [put_delta l s ds] is relationally equal to
+    [put l.lens s (Row_delta.apply_all (get l.lens s) ds)] — the oracle
+    property checked in [test/test_row_delta.ml]. *)
+
+type dlens = {
+  lens : (Table.t, Table.t) Esm_lens.Lens.t;
+  translate : Table.t -> Row_delta.t list -> Row_delta.t list;
+}
+
+val put_delta : dlens -> Table.t -> Row_delta.t list -> Table.t
+
+val did : dlens
+(** The identity dlens (a pipeline's base table). *)
+
+val dselect : Pred.t -> dlens
+(** Additions must satisfy the predicate ({!Esm_lens.Lens.Shape_error}
+    otherwise, as in the full [put]); removals of rows outside the view
+    are dropped as no-ops. *)
+
+val dproject : keep:string list -> key:string list -> Schema.t -> dlens
+(** View deltas restore to source deltas through the source's memoized
+    key index (dropped columns recovered by key, defaults for fresh
+    keys). *)
+
+val drename : (string * string) list -> dlens
+(** Rows are untouched by renaming; deltas pass through unchanged. *)
+
+val dcompose : dlens -> dlens -> dlens
+(** [dcompose outer inner] with [outer] closer to the source (same
+    orientation as {!Esm_lens.Lens.compose}). *)

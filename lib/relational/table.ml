@@ -1,58 +1,231 @@
-(** Tables with set semantics: rows are kept sorted and deduplicated, so
-    structural equality of tables is relational equality. *)
+(** Tables with set semantics: rows are kept in a sorted, deduplicated
+    array, so structural equality of tables is relational equality and
+    membership is a binary search.
+
+    Two performance structures live behind the pure interface:
+
+    - the sorted array itself gives O(log n) {!mem}/{!delete} and
+      O(n + m) merge-based set operations ({!union}/{!inter}/{!diff})
+      with no re-sort;
+    - a lazily-built, memoized {e key index} ({!key_index}) maps a key
+      tuple (values at a fixed list of column positions) to its row, so
+      key-directed lookups — the heart of the relational-lens [put]
+      directions and the delta-propagation path — are O(1) after the
+      first use.
+
+    Tables are immutable values; the index cache is invisible mutation
+    (build-once memoization), safe to share across readers. *)
 
 exception Table_error of string
 
 let errorf fmt = Format.kasprintf (fun s -> raise (Table_error s)) fmt
 
-type t = { schema : Schema.t; rows : Row.t list (* sorted, distinct *) }
+type t = {
+  schema : Schema.t;
+  rows : Row.t array; (* sorted by Row.compare, distinct *)
+  mutable key_indexes : (int list * (Value.t list, Row.t) Hashtbl.t) list;
+      (* memoized key-tuple indexes, keyed by the column positions *)
+}
 
-let normalise rows = List.sort_uniq Row.compare rows
+let make_sorted schema rows = { schema; rows; key_indexes = [] }
+
+let normalise rows = Array.of_list (List.sort_uniq Row.compare rows)
+
+let check_conforms what (schema : Schema.t) (r : Row.t) =
+  if not (Row.conforms schema r) then
+    errorf "%s: row %s does not conform to schema %s" what (Row.to_string r)
+      (Schema.to_string schema)
 
 let of_rows (schema : Schema.t) (rows : Row.t list) : t =
-  List.iter
-    (fun r ->
-      if not (Row.conforms schema r) then
-        errorf "row %s does not conform to schema %s" (Row.to_string r)
-          (Schema.to_string schema))
-    rows;
-  { schema; rows = normalise rows }
+  List.iter (check_conforms "of_rows" schema) rows;
+  make_sorted schema (normalise rows)
+
+(** Trusted constructor: [rows] must conform to [schema], be sorted by
+    {!Row.compare} and contain no duplicates; the array is owned by the
+    table afterwards.  Used by the algebra and the lens/delta hot paths
+    to skip re-validation and re-sorting. *)
+let of_sorted_array_unchecked (schema : Schema.t) (rows : Row.t array) : t =
+  make_sorted schema rows
 
 (** Build from value lists (convenience for examples and tests). *)
 let of_lists (schema : Schema.t) (rows : Value.t list list) : t =
   of_rows schema (List.map Row.of_list rows)
 
-let empty (schema : Schema.t) : t = { schema; rows = [] }
+let empty (schema : Schema.t) : t = make_sorted schema [||]
 let schema t = t.schema
-let rows t = t.rows
-let cardinality t = List.length t.rows
-let mem t r = List.exists (Row.equal r) t.rows
+let rows t = Array.to_list t.rows
+
+let row_array t = t.rows
+(* Callers must treat the returned array as read-only. *)
+
+let cardinality t = Array.length t.rows
+let iter f t = Array.iter f t.rows
+let fold f init t = Array.fold_left f init t.rows
+let for_all p t = Array.for_all p t.rows
+let exists p t = Array.exists p t.rows
+
+(* Binary search over the sorted row array: [Ok i] = found at [i],
+   [Error i] = absent, belongs at position [i]. *)
+let search (rows : Row.t array) (r : Row.t) : (int, int) result =
+  let rec go lo hi =
+    if lo >= hi then Error lo
+    else
+      let mid = (lo + hi) / 2 in
+      let c = Row.compare r rows.(mid) in
+      if c = 0 then Ok mid else if c < 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length rows)
+
+let mem t r = match search t.rows r with Ok _ -> true | Error _ -> false
 
 let insert t r =
-  if not (Row.conforms t.schema r) then
-    errorf "insert: row %s does not conform to schema %s" (Row.to_string r)
-      (Schema.to_string t.schema);
-  { t with rows = normalise (r :: t.rows) }
+  check_conforms "insert" t.schema r;
+  match search t.rows r with
+  | Ok _ -> t (* set semantics: already present *)
+  | Error i ->
+      let n = Array.length t.rows in
+      let rows = Array.make (n + 1) r in
+      Array.blit t.rows 0 rows 0 i;
+      Array.blit t.rows i rows (i + 1) (n - i);
+      make_sorted t.schema rows
 
-let delete t r = { t with rows = List.filter (fun x -> not (Row.equal x r)) t.rows }
+let delete t r =
+  match search t.rows r with
+  | Error _ -> t
+  | Ok i ->
+      let n = Array.length t.rows in
+      let rows = Array.make (n - 1) t.rows.(0) in
+      Array.blit t.rows 0 rows 0 i;
+      Array.blit t.rows (i + 1) rows i (n - i - 1);
+      make_sorted t.schema rows
 
-let filter (keep : Row.t -> bool) t = { t with rows = List.filter keep t.rows }
+let filter (keep : Row.t -> bool) t =
+  (* filtering preserves sortedness and distinctness *)
+  make_sorted t.schema
+    (Array.of_seq (Seq.filter keep (Array.to_seq t.rows)))
 
 (** Map a per-row transformation; the result is renormalised under the new
     schema. *)
 let map (schema' : Schema.t) (f : Row.t -> Row.t) t : t =
-  of_rows schema' (List.map f t.rows)
+  of_rows schema' (List.map f (rows t))
+
+(* ------------------------------------------------------------------ *)
+(* Merge-based set operations (both sides already sorted + distinct)   *)
+(* ------------------------------------------------------------------ *)
+
+let check_same_schema op t1 t2 =
+  if not (Schema.equal t1.schema t2.schema) then
+    errorf "%s: schema mismatch: %s vs %s" op
+      (Schema.to_string t1.schema)
+      (Schema.to_string t2.schema)
+
+let merge_walk ~(keep_left_only : bool) ~(keep_both : bool)
+    ~(keep_right_only : bool) (r1 : Row.t array) (r2 : Row.t array) :
+    Row.t array =
+  let n1 = Array.length r1 and n2 = Array.length r2 in
+  let out = ref [] and k = ref 0 in
+  let push r =
+    out := r :: !out;
+    incr k
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < n1 && !j < n2 do
+    let c = Row.compare r1.(!i) r2.(!j) in
+    if c < 0 then (
+      if keep_left_only then push r1.(!i);
+      incr i)
+    else if c > 0 then (
+      if keep_right_only then push r2.(!j);
+      incr j)
+    else (
+      if keep_both then push r1.(!i);
+      incr i;
+      incr j)
+  done;
+  if keep_left_only then
+    while !i < n1 do
+      push r1.(!i);
+      incr i
+    done;
+  if keep_right_only then
+    while !j < n2 do
+      push r2.(!j);
+      incr j
+    done;
+  let arr = Array.make !k (Row.of_list []) in
+  (* !out is in reverse order *)
+  List.iteri (fun idx r -> arr.(!k - 1 - idx) <- r) !out;
+  arr
+
+let union (t1 : t) (t2 : t) : t =
+  check_same_schema "union" t1 t2;
+  if Array.length t2.rows = 0 then t1
+  else if Array.length t1.rows = 0 then t2
+  else
+    make_sorted t1.schema
+      (merge_walk ~keep_left_only:true ~keep_both:true ~keep_right_only:true
+         t1.rows t2.rows)
+
+let inter (t1 : t) (t2 : t) : t =
+  check_same_schema "inter" t1 t2;
+  make_sorted t1.schema
+    (merge_walk ~keep_left_only:false ~keep_both:true ~keep_right_only:false
+       t1.rows t2.rows)
+
+let diff (t1 : t) (t2 : t) : t =
+  check_same_schema "diff" t1 t2;
+  if Array.length t2.rows = 0 then t1
+  else
+    make_sorted t1.schema
+      (merge_walk ~keep_left_only:true ~keep_both:false ~keep_right_only:false
+         t1.rows t2.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Key indexes                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let key_of_row (key : int list) (r : Row.t) : Value.t list =
+  List.map (fun i -> r.(i)) key
+
+(** The memoized index from key tuple (values at positions [key]) to
+    row.  Built on first use, O(n); later calls on the same table and
+    key are O(1).  If the key does not functionally determine the row,
+    later rows win (callers enforce their own FD preconditions). *)
+let key_index (t : t) (key : int list) : (Value.t list, Row.t) Hashtbl.t =
+  match List.assoc_opt key t.key_indexes with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create (max 16 (Array.length t.rows)) in
+      Array.iter (fun r -> Hashtbl.replace idx (key_of_row key r) r) t.rows;
+      t.key_indexes <- (key, idx) :: t.key_indexes;
+      idx
+
+let find_by_key (t : t) ~(key : int list) (k : Value.t list) : Row.t option =
+  Hashtbl.find_opt (key_index t key) k
+
+let mem_key (t : t) ~(key : int list) (k : Value.t list) : bool =
+  Hashtbl.mem (key_index t key) k
+
+(* ------------------------------------------------------------------ *)
+(* Equality and printing                                               *)
+(* ------------------------------------------------------------------ *)
 
 let equal t1 t2 =
-  Schema.equal t1.schema t2.schema
-  && List.length t1.rows = List.length t2.rows
-  && List.for_all2 Row.equal t1.rows t2.rows
+  t1 == t2
+  || Schema.equal t1.schema t2.schema
+     && (t1.rows == t2.rows
+        || Array.length t1.rows = Array.length t2.rows
+           && (let n = Array.length t1.rows in
+               let rec go i =
+                 i >= n || (Row.equal t1.rows.(i) t2.rows.(i) && go (i + 1))
+               in
+               go 0))
 
 let pp fmt t =
   let widths =
     List.mapi
       (fun i (n, _) ->
-        List.fold_left
+        Array.fold_left
           (fun w r -> max w (String.length (Value.to_string r.(i))))
           (String.length n) t.rows)
       (Schema.columns t.schema)
@@ -69,7 +242,7 @@ let pp fmt t =
           (fun (n, _) w -> " " ^ pad n w ^ " ")
           (Schema.columns t.schema) widths));
   Format.fprintf fmt "%s@\n" hline;
-  List.iter
+  Array.iter
     (fun r ->
       Format.fprintf fmt "|%s|@\n"
         (String.concat "|"

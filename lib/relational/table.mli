@@ -1,5 +1,9 @@
-(** Tables with set semantics: rows are kept sorted and deduplicated, so
-    structural equality of tables is relational equality. *)
+(** Tables with set semantics: rows are kept in a sorted, deduplicated
+    array, so structural equality of tables is relational equality,
+    membership is a binary search, and the set operations are linear
+    merges.  A lazily-built, memoized key index gives O(1) key-directed
+    row lookup — the substrate for the relational-lens [put] directions
+    and the delta-propagation path. *)
 
 exception Table_error of string
 
@@ -12,6 +16,12 @@ val of_rows : Schema.t -> Row.t list -> t
 (** Build a table; every row must conform to the schema (otherwise
     {!Table_error}); rows are deduplicated and sorted. *)
 
+val of_sorted_array_unchecked : Schema.t -> Row.t array -> t
+(** Trusted constructor: the rows must conform to the schema, be sorted
+    by {!Row.compare} and contain no duplicates; the array is owned by
+    the table afterwards.  For hot paths that preserve those invariants
+    by construction — misuse silently breaks relational equality. *)
+
 val of_lists : Schema.t -> Value.t list list -> t
 (** Convenience wrapper over {!of_rows}. *)
 
@@ -21,20 +31,63 @@ val schema : t -> Schema.t
 val rows : t -> Row.t list
 (** Rows in canonical (sorted) order. *)
 
+val row_array : t -> Row.t array
+(** The backing sorted array — treat as read-only; mutating it breaks
+    the table's invariants. *)
+
 val cardinality : t -> int
+val iter : (Row.t -> unit) -> t -> unit
+val fold : ('acc -> Row.t -> 'acc) -> 'acc -> t -> 'acc
+val for_all : (Row.t -> bool) -> t -> bool
+val exists : (Row.t -> bool) -> t -> bool
+
 val mem : t -> Row.t -> bool
+(** Binary search over the sorted rows: O(log n). *)
 
 val insert : t -> Row.t -> t
-(** Set insertion (idempotent); the row must conform to the schema. *)
+(** Set insertion (idempotent); the row must conform to the schema.
+    Binary search + array splice — no re-sort.  Inserting a present row
+    returns the table physically unchanged. *)
 
 val delete : t -> Row.t -> t
+(** Binary search + array splice; absent rows return the table
+    physically unchanged. *)
+
 val filter : (Row.t -> bool) -> t -> t
 
 val map : Schema.t -> (Row.t -> Row.t) -> t -> t
 (** Per-row transformation; the result is renormalised under the new
     schema. *)
 
+(** {1 Merge-based set operations}
+
+    All three require equal schemas ({!Table_error} otherwise) and run
+    in O(n + m) single merge passes over the sorted arrays. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+(** {1 Key indexes} *)
+
+val key_of_row : int list -> Row.t -> Value.t list
+(** The key tuple of a row at the given column positions. *)
+
+val key_index : t -> int list -> (Value.t list, Row.t) Hashtbl.t
+(** The memoized index from key tuple (values at the given column
+    positions) to row: built on first use in O(n), O(1) afterwards for
+    the same table and key.  Callers must treat the table as the owner
+    of the hashtable (read-only).  If the key does not functionally
+    determine rows, later rows win. *)
+
+val find_by_key : t -> key:int list -> Value.t list -> Row.t option
+(** Indexed key lookup (amortised O(1)). *)
+
+val mem_key : t -> key:int list -> Value.t list -> bool
+
 val equal : t -> t -> bool
+(** Relational equality; short-circuits on physically shared row
+    storage before falling back to the row-wise comparison. *)
 
 val pp : Format.formatter -> t -> unit
 (** ASCII-art rendering with padded columns. *)

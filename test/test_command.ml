@@ -179,4 +179,85 @@ let unit_tests =
         | _ -> Alcotest.fail "expected set_a 6");
   ]
 
-let suite = unit_tests @ Helpers.q prop_tests @ negative_tests
+(* ------------------------------------------------------------------ *)
+(* Pedigree-directed optimization (Esm_analysis.Optimize): the level is
+   picked from the packed bx, so the unsafe rewrites are unreachable.   *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_packed_tests =
+  let open Esm_analysis in
+  let entangling =
+    (* set_a 3; set_b 4; set_a 3 — the known-miscompilation shape *)
+    Command.Seq (Command.Set_a 3, Command.Seq (Command.Set_b 4, Command.Set_a 3))
+  in
+  let opt_packed packed c =
+    Optimize.optimize_packed packed ~eq_a:Int.equal ~eq_b:Int.equal c
+  in
+  [
+    test "level_for follows the pedigree lemmas" `Quick (fun () ->
+        let lvl = Alcotest.of_pp (fun fmt l ->
+            Format.pp_print_string fmt
+              (match l with
+              | `Any -> "any"
+              | `Overwriteable -> "overwriteable"
+              | `Commuting -> "commuting"))
+        in
+        check lvl "pair commutes" `Commuting
+          (Optimize.level_for (Fixtures.packed_pair ()));
+        check lvl "undoable parity overwrites" `Overwriteable
+          (Optimize.level_for (Fixtures.packed_parity_undoable ()));
+        check lvl "sticky parity floors" `Any
+          (Optimize.level_for (Fixtures.packed_parity_sticky ())));
+    test "commuting rewrite fires only where the pedigree commutes" `Quick
+      (fun () ->
+        (* on the pair bx the dead first set_a is deleted... *)
+        check Alcotest.int "pair: collapsed" 2
+          (Command.cost (opt_packed (Fixtures.packed_pair ()) entangling));
+        (* ...on parity the same program is untouched: the unsafe level
+           is unreachable through optimize_packed *)
+        check Alcotest.int "parity: kept" 3
+          (Command.cost
+             (opt_packed (Fixtures.packed_parity_undoable ()) entangling)));
+    test "the cap can only lower the level" `Quick (fun () ->
+        let ss = Command.Seq (Command.Set_a 1, Command.Set_a 2) in
+        check Alcotest.int "parity collapses (SS)" 1
+          (Command.cost (opt_packed (Fixtures.packed_parity_undoable ()) ss));
+        check Alcotest.int "capped at set-bx it is kept" 2
+          (Command.cost
+             (Optimize.optimize_packed ~cap:`Set_bx
+                (Fixtures.packed_parity_undoable ())
+                ~eq_a:Int.equal ~eq_b:Int.equal ss));
+        check Alcotest.int "a cap above the inferred level is a no-op" 1
+          (Command.cost
+             (Optimize.optimize_packed ~cap:`Commuting
+                (Fixtures.packed_parity_undoable ())
+                ~eq_a:Int.equal ~eq_b:Int.equal ss)));
+  ]
+
+let optimize_packed_prop_tests =
+  let open Esm_analysis in
+  [
+    QCheck.Test.make ~count:800
+      ~name:"optimize_packed preserves semantics on parity (auto level)"
+      (QCheck.pair gen_cmd Fixtures.gen_parity_consistent)
+      (fun (c, s) ->
+        let c' =
+          Optimize.optimize_packed
+            (Fixtures.packed_parity_undoable ())
+            ~eq_a:Int.equal ~eq_b:Int.equal c
+        in
+        Command.exec parity_bx c' s = Command.exec parity_bx c s);
+    QCheck.Test.make ~count:800
+      ~name:"optimize_packed preserves semantics on the pair bx (auto level)"
+      (QCheck.pair gen_cmd (QCheck.pair Helpers.small_int Helpers.small_int))
+      (fun (c, s) ->
+        let c' =
+          Optimize.optimize_packed (Fixtures.packed_pair ()) ~eq_a:Int.equal
+            ~eq_b:Int.equal c
+        in
+        Command.exec pair_bx c' s = Command.exec pair_bx c s);
+  ]
+
+let suite =
+  unit_tests @ Helpers.q prop_tests @ negative_tests @ optimize_packed_tests
+  @ Helpers.q optimize_packed_prop_tests

@@ -33,6 +33,7 @@ let () =
       ("certify", Test_certify.suite);
       ("config lens", Test_config_lens.suite);
       ("dml", Test_dml.suite);
+      ("row delta (incremental put)", Test_row_delta.suite);
       ("command optimizer", Test_command.suite);
       ("law inference", Test_law_infer.suite);
       ("lint", Test_lint.suite);

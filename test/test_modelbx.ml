@@ -294,9 +294,107 @@ let scenario_tests =
         check Alcotest.bool "consistent" true (Mbx.consistent spec m12 right));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* fwd_delta vs fwd: incremental propagation oracle                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A random one-object edit of a class model, keeping keys (names)
+   unique so the spec's precondition holds.  Returns the edited model
+   (equal to the original when no edit applies, e.g. removing from an
+   empty model). *)
+let gen_one_edit (m : Model.t) : Model.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let objs = Model.objects m in
+    let n = List.length objs in
+    let unused_names =
+      List.filter
+        (fun name ->
+          not
+            (List.exists
+               (fun o -> Model.attr o "name" = Some (Model.Vstr name))
+               objs))
+        (names_pool @ [ "Ledger"; "Receipt"; "Shipment" ])
+    in
+    let* k = int_bound 4 in
+    match k with
+    | 0 when unused_names <> [] ->
+        (* add a class with a fresh key *)
+        let* name = oneofl unused_names in
+        let* abstract = bool in
+        return
+          (Model.add m
+             (Model.obj ~id:(Model.next_id m) ~cls:"Class"
+                [
+                  ("name", Model.Vstr name);
+                  ("abstract", Model.Vbool abstract);
+                  ("doc", Model.Vstr "new");
+                ]))
+    | 1 when n > 0 ->
+        (* remove a class *)
+        let* i = int_bound (n - 1) in
+        return (Model.remove m (List.nth objs i).Model.id)
+    | 2 when n > 0 ->
+        (* flip a synced attribute *)
+        let* i = int_bound (n - 1) in
+        let o = List.nth objs i in
+        let flipped =
+          match Model.attr o "abstract" with
+          | Some (Model.Vbool b) -> Model.Vbool (not b)
+          | _ -> Model.Vbool true
+        in
+        return (Model.update m (Model.set_attr o "abstract" flipped))
+    | 3 when n > 0 ->
+        (* edit a private attribute (invisible to the correspondence) *)
+        let* i = int_bound (n - 1) in
+        let o = List.nth objs i in
+        return (Model.update m (Model.set_attr o "doc" (Model.Vstr "edited")))
+    | _ when n > 0 && unused_names <> [] ->
+        (* change a key: rename to a fresh name *)
+        let* i = int_bound (n - 1) in
+        let* name = oneofl unused_names in
+        let o = List.nth objs i in
+        return (Model.update m (Model.set_attr o "name" (Model.Vstr name)))
+    | _ -> return m)
+
+(* (old_left, right) consistent, plus an edited left model one object
+   edit away from old_left. *)
+let gen_delta_case : (Model.t * Model.t * Model.t) QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun (old_left, left, right) ->
+      Printf.sprintf "old_left:\n%s\nleft:\n%s\nright:\n%s"
+        (Model.to_string old_left) (Model.to_string left)
+        (Model.to_string right))
+    QCheck.Gen.(
+      let* old_left, right =
+        map
+          (fun (l, seed) -> (l, Mbx.fwd spec l seed))
+          (QCheck.gen gen_pair)
+      in
+      let* left = gen_one_edit old_left in
+      return (old_left, left, right))
+
+let fwd_delta_tests =
+  [
+    QCheck.Test.make ~count:300 ~name:"fwd_delta agrees with fwd on one-object edits"
+      gen_delta_case
+      (fun (old_left, left, right) ->
+        Model.equal
+          (Mbx.fwd_delta spec ~old_left left right)
+          (Mbx.fwd spec left right));
+    QCheck.Test.make ~count:200 ~name:"fwd_delta restores consistency"
+      gen_delta_case
+      (fun (old_left, left, right) ->
+        Mbx.consistent spec left (Mbx.fwd_delta spec ~old_left left right));
+    QCheck.Test.make ~count:200 ~name:"fwd_delta of no edit is the identity"
+      gen_consistent
+      (fun (left, right) ->
+        Mbx.fwd_delta spec ~old_left:left left right == right);
+  ]
+
 let _ = model_t
 
 let suite =
   model_tests @ metamodel_tests
-  @ Helpers.q (diff_tests @ algbx_law_tests @ set_bx_law_tests)
+  @ Helpers.q
+      (diff_tests @ algbx_law_tests @ set_bx_law_tests @ fwd_delta_tests)
   @ scenario_tests

@@ -1,0 +1,272 @@
+(** Oracle tests for the incremental relational path: {!Rlens.put_delta}
+    against the full [put], {!Dml.delta}/[through_delta] against
+    [apply]/[through], {!Row_delta.diff} round trips, and the {!Table}
+    index/merge primitives against list-based references. *)
+
+open Esm_relational
+open Esm_lens
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let schema = Workload.employees_schema
+let eng = Pred.(col "dept" = str "Engineering")
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_table : Table.t QCheck.arbitrary =
+  QCheck.make ~print:Table.to_string
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* size = int_bound 25 in
+      return (Workload.employees ~seed ~size))
+
+let gen_table_pair : (Table.t * Table.t) QCheck.arbitrary =
+  QCheck.pair gen_table gen_table
+
+(* A fresh employees row with a large id (absent from generated
+   tables), in the given department. *)
+let fresh_row ~id ~dept =
+  Row.of_list
+    [
+      Value.Int (10_000 + id);
+      Value.Str ("fresh" ^ string_of_int id);
+      Value.Str dept;
+      Value.Int 42_000;
+      Value.Str "fresh@x";
+    ]
+
+(* View deltas against [view]: adds of fresh in-domain rows (built by
+   [make_add]) and removes of present and absent view rows. *)
+let gen_deltas ~(make_add : int -> Row.t) (view : Table.t) :
+    Row_delta.t list QCheck.Gen.t =
+  QCheck.Gen.(
+    let rows = Table.rows view in
+    let n = List.length rows in
+    let* ops = list_size (int_bound 6) (int_bound 2) in
+    let pick_remove i =
+      if n = 0 then Row_delta.Add (make_add (900 + i))
+      else Row_delta.Remove (List.nth rows (i mod n))
+    in
+    return
+      (List.mapi
+         (fun i -> function
+           | 0 -> Row_delta.Add (make_add i)
+           | 1 -> pick_remove i
+           | _ ->
+               (* removing an absent row must be a no-op on both paths *)
+               Row_delta.Remove (make_add (500 + i)))
+         ops))
+
+(* Source table plus deltas against the dlens's view of it. *)
+let gen_source_and_deltas ~(make_add : int -> Row.t) (dl : Rlens.dlens) :
+    (Table.t * Row_delta.t list) QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun (t, ds) ->
+      Table.to_string t ^ "\ndeltas: "
+      ^ String.concat "; " (List.map Row_delta.to_string ds))
+    QCheck.Gen.(
+      let* source = QCheck.gen gen_table in
+      let* deltas = gen_deltas ~make_add (Lens.get dl.Rlens.lens source) in
+      return (source, deltas))
+
+(* The oracle: pushing deltas through [put_delta] lands on the same
+   table as applying them to the view and running the full [put]. *)
+let put_delta_oracle (dl : Rlens.dlens) (source, deltas) =
+  let view = Lens.get dl.Rlens.lens source in
+  let incremental = Rlens.put_delta dl source deltas in
+  let full = Lens.put dl.Rlens.lens source (Row_delta.apply_all view deltas) in
+  Table.equal incremental full
+
+(* ------------------------------------------------------------------ *)
+(* put_delta vs put                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let dl_select = Rlens.dselect eng
+
+let dl_project =
+  Rlens.dproject ~keep:[ "id"; "name"; "dept" ] ~key:[ "id" ] schema
+
+let dl_pipeline =
+  Query.dlens_of_string ~schema ~key:[ "id" ]
+    {|employees | where dept = "Engineering" | select id, name, dept | rename name as who|}
+
+let eng_add i = fresh_row ~id:i ~dept:"Engineering"
+
+let put_delta_tests =
+  [
+    QCheck.Test.make ~count:250 ~name:"select: put_delta agrees with put"
+      (gen_source_and_deltas ~make_add:eng_add dl_select)
+      (put_delta_oracle dl_select);
+    QCheck.Test.make ~count:250 ~name:"project: put_delta agrees with put"
+      (gen_source_and_deltas
+         ~make_add:(fun i ->
+           Row.project schema [ "id"; "name"; "dept" ] (eng_add i))
+         dl_project)
+      (put_delta_oracle dl_project);
+    QCheck.Test.make ~count:250
+      ~name:"where|select|rename pipeline: put_delta agrees with put"
+      (gen_source_and_deltas
+         ~make_add:(fun i ->
+           Row.project schema [ "id"; "name"; "dept" ] (eng_add i))
+         dl_pipeline)
+      (put_delta_oracle dl_pipeline);
+    QCheck.Test.make ~count:250 ~name:"put_delta with no deltas is a no-op"
+      gen_table
+      (fun t -> Table.equal (Rlens.put_delta dl_pipeline t []) t);
+  ]
+
+let put_delta_unit_tests =
+  [
+    test "select put_delta rejects predicate-violating adds" `Quick (fun () ->
+        let t = Workload.employees ~seed:1 ~size:5 in
+        match
+          Rlens.put_delta dl_select t
+            [ Row_delta.Add (fresh_row ~id:1 ~dept:"Sales") ]
+        with
+        | _ -> Alcotest.fail "expected Shape_error"
+        | exception Lens.Shape_error _ -> ());
+    test "select put_delta drops removes outside the view" `Quick (fun () ->
+        let t = Workload.employees ~seed:1 ~size:8 in
+        let sales_row =
+          List.find
+            (fun r -> not (Pred.eval schema eng r))
+            (Table.rows t)
+        in
+        let t' = Rlens.put_delta dl_select t [ Row_delta.Remove sales_row ] in
+        check Helpers.table "source untouched" t t');
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Dml.delta and through_delta                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_stmt : Dml.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let* k = int_bound 2 in
+    match k with
+    | 0 ->
+        let* i = int_bound 30 in
+        return (Dml.Insert (fresh_row ~id:i ~dept:"Engineering"))
+    | 1 ->
+        let* s = int_bound 120 in
+        return (Dml.Delete Pred.(col "salary" < int (40_000 + (s * 500))))
+    | _ ->
+        let* s = int_bound 120 in
+        return
+          (Dml.Update
+             ( Pred.(col "salary" < int (40_000 + (s * 500))),
+               [ ("name", Pred.Lit (Value.Str "renamed")) ] )))
+
+let gen_table_and_stmt : (Table.t * Dml.t) QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun (t, stmt) ->
+      Table.to_string t ^ "\n" ^ Format.asprintf "%a" Dml.pp stmt)
+    QCheck.Gen.(
+      let* t = QCheck.gen gen_table in
+      let* stmt = gen_stmt in
+      return (t, stmt))
+
+let dml_delta_tests =
+  [
+    QCheck.Test.make ~count:250 ~name:"Dml.delta reproduces Dml.apply"
+      gen_table_and_stmt
+      (fun (t, stmt) ->
+        Table.equal (Dml.apply t stmt)
+          (Row_delta.apply_all t (Dml.delta t stmt)));
+    QCheck.Test.make ~count:250
+      ~name:"through_delta agrees with through (select view)"
+      gen_table_and_stmt
+      (fun (t, stmt) ->
+        Table.equal
+          (Dml.through_delta dl_select stmt t)
+          (Dml.through dl_select.Rlens.lens stmt t));
+    QCheck.Test.make ~count:200 ~name:"swap update lands on the right set"
+      gen_table
+      (fun t ->
+        (* permuting a column through delta application must not lose
+           rows: removals precede additions *)
+        let stmt =
+          Dml.Update (Pred.Const true, [ ("salary", Pred.Lit (Value.Int 1)) ])
+        in
+        Table.equal (Dml.apply t stmt)
+          (Row_delta.apply_all t (Dml.delta t stmt)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Row_delta.diff                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let diff_tests =
+  [
+    QCheck.Test.make ~count:250 ~name:"diff/apply_all round trip"
+      gen_table_pair
+      (fun (t1, t2) -> Table.equal (Row_delta.apply_all t1 (Row_delta.diff t1 t2)) t2);
+    QCheck.Test.make ~count:200 ~name:"diff to self is empty" gen_table
+      (fun t -> Row_delta.diff t t = []);
+    QCheck.Test.make ~count:200 ~name:"diff size bounds the edit"
+      gen_table_pair
+      (fun (t1, t2) ->
+        List.length (Row_delta.diff t1 t2)
+        <= Table.cardinality t1 + Table.cardinality t2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table index and merge primitives vs list references                 *)
+(* ------------------------------------------------------------------ *)
+
+let rows_of t = Table.rows t
+let mem_list rows r = List.exists (Row.equal r) rows
+
+let table_primitive_tests =
+  [
+    QCheck.Test.make ~count:250 ~name:"mem agrees with a linear scan"
+      gen_table_pair
+      (fun (t1, t2) ->
+        List.for_all
+          (fun r -> Table.mem t1 r = mem_list (rows_of t1) r)
+          (rows_of t2 @ rows_of t1));
+    QCheck.Test.make ~count:250 ~name:"union/inter/diff agree with references"
+      gen_table_pair
+      (fun (t1, t2) ->
+        let reference f =
+          Table.of_rows schema
+            (List.filter f (rows_of t1 @ rows_of t2))
+        in
+        Table.equal (Table.union t1 t2) (Table.of_rows schema (rows_of t1 @ rows_of t2))
+        && Table.equal (Table.inter t1 t2)
+             (reference (fun r -> mem_list (rows_of t1) r && mem_list (rows_of t2) r))
+        && Table.equal (Table.diff t1 t2)
+             (Table.of_rows schema
+                (List.filter (fun r -> not (mem_list (rows_of t2) r)) (rows_of t1))))
+    ;
+    QCheck.Test.make ~count:250 ~name:"insert/delete vs of_rows"
+      gen_table
+      (fun t ->
+        let r = fresh_row ~id:7 ~dept:"Ops" in
+        let inserted = Table.insert t r in
+        let deleted = Table.delete inserted r in
+        Table.equal inserted (Table.of_rows schema (r :: rows_of t))
+        && Table.equal deleted t
+        && Table.equal (Table.insert inserted r) inserted
+        && Table.equal (Table.delete t r) t);
+    QCheck.Test.make ~count:250 ~name:"find_by_key agrees with a linear scan"
+      gen_table
+      (fun t ->
+        let key = [ Schema.index schema "id" ] in
+        List.for_all
+          (fun r ->
+            let k = Table.key_of_row key r in
+            match Table.find_by_key t ~key k with
+            | Some r' -> Row.equal r r'
+            | None -> false)
+          (rows_of t)
+        && Table.find_by_key t ~key [ Value.Int (-1) ] = None);
+  ]
+
+let suite =
+  Helpers.q
+    (put_delta_tests @ dml_delta_tests @ diff_tests @ table_primitive_tests)
+  @ put_delta_unit_tests
