@@ -431,6 +431,46 @@ let b8_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* B9: transactional (atomic) execution overhead                        *)
+(* ------------------------------------------------------------------ *)
+
+let b9_table = Workload.employees ~seed:42 ~size:512
+let b9_bx = Esm_core.Concrete.of_lens select_lens
+let b9_view = Esm_lens.Lens.get select_lens b9_table
+let b9_hardened = Esm_core.Atomic.harden b9_bx
+
+(* a view violating the selection predicate: the put fails and atomic
+   rolls back — the cost of the failure path *)
+let b9_bad_view =
+  Table.of_rows Workload.employees_schema
+    [
+      Row.of_list
+        [
+          Value.Int 1;
+          Value.Str "impostor";
+          Value.Str "Sales";
+          Value.Int 1;
+          Value.Str "x@x";
+        ];
+    ]
+
+let b9_tests =
+  [
+    Test.make ~name:"raw set_b (full put, n=512)"
+      (Staged.stage (fun () ->
+           b9_bx.Esm_core.Concrete.set_b b9_view b9_table));
+    Test.make ~name:"atomic set_b, commit path"
+      (Staged.stage (fun () ->
+           Esm_core.Atomic.set_b b9_bx b9_view b9_table));
+    Test.make ~name:"hardened set_b (harden wrapper)"
+      (Staged.stage (fun () ->
+           b9_hardened.Esm_core.Concrete.set_b b9_view b9_table));
+    Test.make ~name:"atomic set_b, rollback path"
+      (Staged.stage (fun () ->
+           Esm_core.Atomic.set_b b9_bx b9_bad_view b9_table));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -570,5 +610,10 @@ let () =
       "compiled view lens ~ handwritten; optimizer turns 32 redundant sets \
        into 1"
     b8_tests;
+  run_group ~id:"B9" ~header:"transactional (atomic) execution overhead"
+    ~expectation:
+      "commit path ~ raw full put (one exception frame); rollback path cheap \
+       (fails before rebuilding the view)"
+    b9_tests;
   if json then emit_json "BENCH_PR2.json";
   Fmt.pr "@.done.@."

@@ -55,6 +55,28 @@ let selftest () : string list =
   in
   if Lint.has_errors on_pair then
     fail "the same program on the commuting pair bx was wrongly rejected";
+  (* the atomicity rule: a writing pipeline over a fallible construction
+     warns; wrapping it in Atomic silences the warning *)
+  let fallible_ped =
+    Esm_core.Pedigree.Of_lens { name = "owner"; vwb = true }
+  in
+  (match
+     Lint.check_atomicity ~pedigree:fallible_ped ~has_sets:true
+       ~subject:"selftest"
+   with
+  | Some d when d.Lint.rule = Lint.Unprotected_fallible -> ()
+  | _ ->
+      fail
+        "a writing pipeline over a fallible lens did not get an \
+         unprotected-fallible warning");
+  (match
+     Lint.check_atomicity
+       ~pedigree:(Esm_core.Pedigree.Atomic fallible_ped)
+       ~has_sets:true ~subject:"selftest"
+   with
+  | None -> ()
+  | Some _ ->
+      fail "an atomic-wrapped pipeline was wrongly flagged as unprotected");
   List.rev !failures
 
 let () =
@@ -72,6 +94,19 @@ let () =
         + if a.Catalog.cross_check_ok then 0 else 1)
       0 audits
   in
+  let n_warnings =
+    List.fold_left
+      (fun n a ->
+        n
+        + List.length
+            (List.concat_map
+               (fun p ->
+                 List.filter
+                   (fun d -> d.Lint.severity = Lint.Warning)
+                   p.Catalog.diagnostics)
+               a.Catalog.pipelines))
+      0 audits
+  in
   if json then (
     let selftest_json =
       Printf.sprintf {|{"ok":%b,"failures":[%s]}|} (self_failures = [])
@@ -81,9 +116,10 @@ let () =
               self_failures))
     in
     print_string
-      (Printf.sprintf {|{"audits":%s,"selftest":%s,"errors":%d}|}
+      (Printf.sprintf
+         {|{"audits":%s,"selftest":%s,"errors":%d,"warnings":%d}|}
          (Catalog.audits_to_json audits)
-         selftest_json n_errors);
+         selftest_json n_errors n_warnings);
     print_newline ())
   else (
     Format.printf
@@ -106,6 +142,6 @@ let () =
             a.Catalog.label
             (Law_infer.to_string a.Catalog.inferred))
       audits;
-    Format.printf "@.%d catalog entries, %d error(s)@." (List.length audits)
-      n_errors);
+    Format.printf "@.%d catalog entries, %d error(s), %d warning(s)@."
+      (List.length audits) n_errors n_warnings);
   if self_failures <> [] then exit 2 else if n_errors > 0 then exit 1

@@ -561,6 +561,49 @@ let all () : entry list =
                         ) )) );
           ];
       };
+    Entry
+      {
+        label = "relational/engineering-roster-atomic";
+        description =
+          "the same where|select pipeline hardened with Atomic: failing \
+           sets roll back to the snapshot instead of raising";
+        packed =
+          Atomic.harden_packed
+            (Concrete.packed_of_lens ~vwb:false
+               ~init:(Rel.Workload.employees ~seed:3 ~size:8)
+               ~eq_state:Rel.Table.equal eng_view_lens);
+        values_a =
+          [
+            Rel.Workload.employees ~seed:1 ~size:6;
+            Rel.Workload.employees ~seed:7 ~size:10;
+            Rel.Workload.employees ~seed:2 ~size:0;
+          ];
+        values_b =
+          [
+            Rel.Workload.engineering_view ~seed:4 ~size:12;
+            Rel.Workload.engineering_view ~seed:9 ~size:20;
+            Rel.Workload.engineering_view ~seed:1 ~size:0;
+          ];
+        eq_a = Rel.Table.equal;
+        eq_b = Rel.Table.equal;
+        show_a = Rel.Table.to_string;
+        show_b = Rel.Table.to_string;
+        subjects =
+          [
+            (* same pipeline as roster-refresh; the atomic wrapper keeps
+               the level and silences unprotected-fallible *)
+            Cmd
+              ( "roster-refresh-atomic",
+                `Set_bx,
+                Command.(
+                  Seq
+                    ( Set_b (Rel.Workload.engineering_view ~seed:4 ~size:12),
+                      Seq
+                        ( Set_a (Rel.Workload.employees ~seed:7 ~size:10),
+                          Set_b (Rel.Workload.engineering_view ~seed:9 ~size:20)
+                        ) )) );
+          ];
+      };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -603,8 +646,10 @@ let audit_entry (Entry s : entry) : audit =
     match subj with
     | Cmd (subject, requested, cmd) ->
         let global =
-          Lint.check_level ~requested ~inferred ~subject
-          |> Option.to_list
+          Option.to_list (Lint.check_level ~requested ~inferred ~subject)
+          @ Option.to_list
+              (Lint.check_atomicity ~pedigree
+                 ~has_sets:(Lint.command_has_sets cmd) ~subject)
         in
         {
           subject;
@@ -616,8 +661,10 @@ let audit_entry (Entry s : entry) : audit =
         }
     | Prog (subject, requested, ops) ->
         let global =
-          Lint.check_level ~requested ~inferred ~subject
-          |> Option.to_list
+          Option.to_list (Lint.check_level ~requested ~inferred ~subject)
+          @ Option.to_list
+              (Lint.check_atomicity ~pedigree
+                 ~has_sets:(Lint.program_has_sets ops) ~subject)
         in
         {
           subject;

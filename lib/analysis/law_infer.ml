@@ -87,6 +87,7 @@ let rec level (p : Pedigree.t) : level =
   | Pedigree.Journalled _ -> `Set_bx
   | Pedigree.Effectful _ -> `Set_bx
   | Pedigree.Opaque _ -> `Set_bx
+  | Pedigree.Atomic p -> level p
 
 (** [level], with the applied lemma spelled out per node — the rationale
     `bxlint` prints next to each verdict. *)
@@ -140,10 +141,44 @@ let rec explain (p : Pedigree.t) : string =
   | Pedigree.Opaque { name } ->
       Printf.sprintf
         "opaque construction %s: only the set-bx laws may be assumed" name
+  | Pedigree.Atomic p ->
+      Printf.sprintf
+        "atomic wrapping is observationally the base bx on fault-free \
+         inputs, preserving the level (and adding rollback): %s"
+        (explain p)
 
 (** Infer the level of a packed bx from its recorded pedigree. *)
 let of_packed (p : ('a, 'b) Concrete.packed) : level =
   level (Concrete.pedigree p)
+
+(* ------------------------------------------------------------------ *)
+(* Fallibility and rollback protection                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Can a setter of a bx with this pedigree raise a bx error?  Lens,
+    algebraic and symmetric constructions route through partial
+    machinery (shape-checked [put]s, restorers, schema/metamodel
+    validation); only the total built-ins ([Pair], [Identity]) are
+    statically infallible.  [Atomic] absorbs failures into no-ops, so
+    nothing escapes it. *)
+let rec fallible (p : Pedigree.t) : bool =
+  match p with
+  | Pedigree.Pair | Pedigree.Identity -> false
+  | Pedigree.Atomic _ -> false
+  | Pedigree.Of_lens _ | Pedigree.Of_algebraic _ | Pedigree.Of_symmetric _
+  | Pedigree.Effectful _ | Pedigree.Opaque _ ->
+      true
+  | Pedigree.Compose (p1, p2) -> fallible p1 || fallible p2
+  | Pedigree.Flip p | Pedigree.Journalled p -> fallible p
+
+(** Is every failure inside this pedigree caught by an enclosing
+    [Atomic] wrapper (so a failing set rolls back instead of tearing the
+    entangled state)? *)
+let rec rollback_protected (p : Pedigree.t) : bool =
+  match p with
+  | Pedigree.Atomic _ -> true
+  | Pedigree.Flip p | Pedigree.Journalled p -> rollback_protected p
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Cross-check against sampling                                        *)

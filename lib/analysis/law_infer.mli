@@ -38,6 +38,17 @@ val explain : Pedigree.t -> string
 val of_packed : ('a, 'b) Concrete.packed -> level
 (** Infer from the packed bx's recorded pedigree. *)
 
+val fallible : Pedigree.t -> bool
+(** Can a setter of a bx with this pedigree raise a bx error?  True for
+    lens/algebraic/symmetric/opaque constructions (partial machinery
+    underneath), false for the total built-ins ([Pair], [Identity]) and
+    for anything already wrapped in [Atomic]. *)
+
+val rollback_protected : Pedigree.t -> bool
+(** Is the pedigree wrapped (at the top, possibly under [Flip] /
+    [Journalled]) in {!Esm_core.Atomic}'s hardening, so failing sets
+    roll back instead of tearing state? *)
+
 val consistent_with_observation :
   static:level -> observed:level option -> bool
 (** Cross-check a static claim against {!Esm_core.Certify.observed_level}:

@@ -47,6 +47,10 @@ type rule =
           commutation to reorder first *)
   | Level_mismatch
       (** the requested optimizer level exceeds the inferred law level *)
+  | Unprotected_fallible
+      (** a pipeline performing sets through a fallible construction with
+          no [atomic] wrapper: a mid-set failure can tear the entangled
+          state *)
 
 let rule_name = function
   | Dead_set s -> "dead-set-" ^ side_name s
@@ -54,6 +58,7 @@ let rule_name = function
   | Collapsible_set s -> "collapsible-set-" ^ side_name s
   | Reorder_collapse s -> "reorder-collapse-" ^ side_name s
   | Level_mismatch -> "level-mismatch"
+  | Unprotected_fallible -> "unprotected-fallible"
 
 type severity = Info | Warning | Error
 
@@ -113,6 +118,50 @@ let check_level ~(requested : Law_infer.level)
             (Law_infer.to_string requested)
             (Law_infer.to_string inferred);
       }
+
+(** The robustness precondition: a pipeline that performs sets through a
+    fallible construction ({!Law_infer.fallible}) without rollback
+    protection ({!Law_infer.rollback_protected}) risks a torn entangled
+    state on a mid-set failure.  Warning, not error — the pipeline is
+    law-correct on its fault-free domain; it is the partial domain that
+    is unprotected. *)
+let check_atomicity ~(pedigree : Pedigree.t) ~(has_sets : bool)
+    ~(subject : string) : diagnostic option =
+  if
+    has_sets
+    && Law_infer.fallible pedigree
+    && not (Law_infer.rollback_protected pedigree)
+  then
+    Some
+      {
+        rule = Unprotected_fallible;
+        severity = Warning;
+        requires = `Set_bx;
+        at = -1;
+        message =
+          Printf.sprintf
+            "%s: pipeline performs sets through fallible construction %s \
+             with no atomic wrapper; a mid-set failure can tear the \
+             entangled state (wrap with Atomic.harden_packed)"
+            subject
+            (Pedigree.to_string pedigree);
+      }
+  else None
+
+(** Does a command perform any state write ([Set_]/[Modify_], in any
+    branch)?  Atomicity only matters for pipelines that write. *)
+let rec command_has_sets : type a b. (a, b) Command.t -> bool = function
+  | Command.Skip -> false
+  | Command.Seq (c1, c2) -> command_has_sets c1 || command_has_sets c2
+  | Command.Set_a _ | Command.Set_b _ -> true
+  | Command.Modify_a _ | Command.Modify_b _ -> true
+  | Command.If_a (_, c1, c2) | Command.If_b (_, c1, c2) ->
+      command_has_sets c1 || command_has_sets c2
+
+let program_has_sets (ops : ('a, 'b) Program.op list) : bool =
+  List.exists
+    (function Program.Set_a _ | Program.Set_b _ -> true | _ -> false)
+    ops
 
 (* ------------------------------------------------------------------ *)
 (* The abstract domain                                                 *)

@@ -21,6 +21,8 @@ type rule =
           commutation *)
   | Level_mismatch
       (** requested optimizer level exceeds the inferred law level *)
+  | Unprotected_fallible
+      (** sets through a fallible construction with no [atomic] wrapper *)
 
 val rule_name : rule -> string
 
@@ -56,6 +58,21 @@ val check_level :
   diagnostic option
 (** The global precondition: [Some] error diagnostic iff the requested
     optimizer level strictly exceeds the inferred law level. *)
+
+val check_atomicity :
+  pedigree:Pedigree.t ->
+  has_sets:bool ->
+  subject:string ->
+  diagnostic option
+(** The robustness precondition: [Some] warning iff the pipeline writes
+    state ([has_sets]) through a fallible construction
+    ({!Law_infer.fallible}) that is not rollback-protected
+    ({!Law_infer.rollback_protected}). *)
+
+val command_has_sets : ('a, 'b) Command.t -> bool
+(** Does the command write state ([Set_]/[Modify_]) in any branch? *)
+
+val program_has_sets : ('a, 'b) Program.op list -> bool
 
 val lint_command :
   requested:Law_infer.level ->

@@ -1,0 +1,125 @@
+(** The typed bx error taxonomy: one structured error value for every
+    failure an entangled update can surface, replacing the stringly
+    exceptions ([Lens.Shape_error], [Table_error], [Model_error], …) at
+    the API boundary.
+
+    Subsystems keep their historical exception constructors for
+    compatibility, but route construction through {!raisef} and register
+    a {e classifier} ({!register_classifier}) so that {!of_exn} can
+    recover the structured payload — kind, operation name, detail — from
+    any bx exception, however it was raised.  {!Atomic} uses exactly
+    this recovery to decide which exceptions roll back a transaction and
+    which (genuine programming errors such as [Invalid_argument])
+    propagate untouched.
+
+    Two kinds are special to the robustness layer:
+
+    - [Fault] — an injected failure from the {!Chaos} harness;
+    - [Index] — a memoized-index self-check failure.
+
+    Both are {e degradable} ({!is_degradable}): the delta fast paths
+    ([Rlens.put_delta], [Mbx.fwd_delta]) treat them as "distrust the
+    incremental machinery and fall back to the full oracle", never as
+    user-facing errors. *)
+
+type kind =
+  | Shape  (** a partial lens applied outside its domain *)
+  | Table  (** relational table construction or set operations *)
+  | Schema  (** schema construction and column lookup *)
+  | Model  (** MDE model construction and object updates *)
+  | Metamodel  (** metamodel validation and fresh-object synthesis *)
+  | Parse  (** query-language lexing and parsing *)
+  | Fault  (** an injected failure ({!Chaos}) *)
+  | Index  (** a memoized-index self-check failure *)
+  | Other  (** a classified bx error of no more specific kind *)
+
+let kind_name = function
+  | Shape -> "shape"
+  | Table -> "table"
+  | Schema -> "schema"
+  | Model -> "model"
+  | Metamodel -> "metamodel"
+  | Parse -> "parse"
+  | Fault -> "fault"
+  | Index -> "index"
+  | Other -> "other"
+
+type t = {
+  kind : kind;
+  op : string;  (** the operation that failed, e.g. ["of_rows"] *)
+  detail : string;  (** human-readable description, offending value included *)
+}
+
+exception Bx_error of t
+
+let v kind ~op detail = { kind; op; detail }
+
+let message (e : t) : string =
+  if e.op = "" then e.detail else e.op ^ ": " ^ e.detail
+
+let pp fmt (e : t) =
+  Format.fprintf fmt "[%s] %s" (kind_name e.kind) (message e)
+
+let to_string (e : t) : string = Format.asprintf "%a" pp e
+
+(* Recover the (op, detail) structure from a legacy "op: detail"
+   message; messages with no "op: " prefix classify with an empty op. *)
+let of_message kind (msg : string) : t =
+  match String.index_opt msg ':' with
+  | Some i
+    when i > 0
+         && i + 1 < String.length msg
+         && msg.[i + 1] = ' '
+         && not (String.contains (String.sub msg 0 i) ' ') ->
+      {
+        kind;
+        op = String.sub msg 0 i;
+        detail = String.sub msg (i + 2) (String.length msg - i - 2);
+      }
+  | _ -> { kind; op = ""; detail = msg }
+
+let raise_error kind ~op fmt =
+  Format.kasprintf (fun detail -> raise (Bx_error (v kind ~op detail))) fmt
+
+(** [raisef kind ~wrap fmt] formats the message and raises [wrap msg] —
+    the legacy exception constructor — keeping old [with Table_error _]
+    handlers working while {!of_exn} (via the subsystem's registered
+    classifier) recovers the structured form. *)
+let raisef kind ?wrap fmt =
+  Format.kasprintf
+    (fun msg ->
+      match wrap with
+      | Some w -> raise (w msg)
+      | None -> raise (Bx_error (of_message kind msg)))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let classifiers : (exn -> t option) list ref = ref []
+
+let register_classifier (f : exn -> t option) : unit =
+  classifiers := f :: !classifiers
+
+(** Recover the structured error behind any bx exception; [None] for
+    exceptions that are not bx errors (those must propagate through
+    {!Atomic} untouched). *)
+let of_exn (exn : exn) : t option =
+  match exn with
+  | Bx_error e -> Some e
+  | Esm_lens.Lens.Shape_error msg -> Some (of_message Shape msg)
+  | _ -> List.find_map (fun f -> f exn) !classifiers
+
+let is_bx_exn (exn : exn) : bool = Option.is_some (of_exn exn)
+
+let is_fault (e : t) : bool = e.kind = Fault
+
+(** Degradable errors signal broken {e acceleration} machinery (an
+    injected fault, a corrupt memoized index) rather than an invalid
+    update; fast paths respond by falling back to the full oracle. *)
+let is_degradable (e : t) : bool =
+  match e.kind with Fault | Index -> true | _ -> false
+
+let degradable_exn (exn : exn) : bool =
+  match of_exn exn with Some e -> is_degradable e | None -> false

@@ -1,0 +1,75 @@
+(** The typed bx error taxonomy (see [docs/ROBUSTNESS.md]).
+
+    A structured error — kind, operation name, detail — behind every
+    failure an entangled update can surface.  Subsystems keep their
+    historical string exceptions as thin wrappers for compatibility but
+    build them through {!raisef} and register a classifier, so {!of_exn}
+    recovers the structure from any bx exception and {!Atomic} can
+    distinguish bx failures (roll back) from programming errors
+    (propagate). *)
+
+type kind =
+  | Shape  (** a partial lens applied outside its domain *)
+  | Table  (** relational table construction or set operations *)
+  | Schema  (** schema construction and column lookup *)
+  | Model  (** MDE model construction and object updates *)
+  | Metamodel  (** metamodel validation and fresh-object synthesis *)
+  | Parse  (** query-language lexing and parsing *)
+  | Fault  (** an injected failure ({!Chaos}) *)
+  | Index  (** a memoized-index self-check failure *)
+  | Other  (** a classified bx error of no more specific kind *)
+
+val kind_name : kind -> string
+
+type t = {
+  kind : kind;
+  op : string;  (** the operation that failed, e.g. ["of_rows"] *)
+  detail : string;  (** human-readable description, offending value included *)
+}
+
+exception Bx_error of t
+
+val v : kind -> op:string -> string -> t
+val message : t -> string
+(** ["op: detail"] (or just the detail when the op is unknown). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_message : kind -> string -> t
+(** Recover the [(op, detail)] structure from a legacy ["op: detail"]
+    message. *)
+
+val raise_error :
+  kind -> op:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Bx_error} with an explicit operation name. *)
+
+val raisef :
+  kind ->
+  ?wrap:(string -> exn) ->
+  ('a, Format.formatter, unit, 'b) format4 ->
+  'a
+(** Format the message and raise [wrap msg] — the subsystem's legacy
+    exception constructor — or {!Bx_error} when no wrapper is given.
+    The wrapped form stays classifiable through the subsystem's
+    registered classifier. *)
+
+val register_classifier : (exn -> t option) -> unit
+(** Hook a legacy exception into {!of_exn}.  Called once at module
+    initialisation by each subsystem that keeps a compatibility
+    exception (e.g. [Table_error]). *)
+
+val of_exn : exn -> t option
+(** The structured error behind any bx exception; [None] for exceptions
+    that are not bx errors. *)
+
+val is_bx_exn : exn -> bool
+
+val is_fault : t -> bool
+
+val is_degradable : t -> bool
+(** [Fault] and [Index]: broken acceleration machinery rather than an
+    invalid update — fast paths respond by falling back to the full
+    oracle instead of failing the operation. *)
+
+val degradable_exn : exn -> bool

@@ -50,6 +50,12 @@ type t =
   | Opaque of { name : string }
       (** Unknown construction — e.g. a hand-rolled record.  Nothing
           beyond the basic set-bx laws may be assumed. *)
+  | Atomic of t
+      (** {!Atomic.harden_packed}: each setter runs as its own
+          transaction, rolling back to the snapshot on any bx failure.
+          On fault-free inputs the wrapper is observationally the base
+          bx, so the law level is the base level; what it adds is
+          rollback protection for the partial domain. *)
 
 let rec pp fmt = function
   | Of_lens { name; vwb } ->
@@ -65,6 +71,7 @@ let rec pp fmt = function
   | Journalled p -> Format.fprintf fmt "journalled(%a)" pp p
   | Effectful { name } -> Format.fprintf fmt "effectful[%s]" name
   | Opaque { name } -> Format.fprintf fmt "opaque[%s]" name
+  | Atomic p -> Format.fprintf fmt "atomic(%a)" pp p
 
 let to_string (p : t) : string = Format.asprintf "%a" pp p
 

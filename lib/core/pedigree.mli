@@ -29,6 +29,10 @@ type t =
       (** §4: change-triggered I/O destroys (SS). *)
   | Opaque of { name : string }
       (** Unknown construction; assume only the basic set-bx laws. *)
+  | Atomic of t
+      (** {!Atomic.harden_packed}: setters run transactionally with
+          snapshot-rollback; law level is the base level (on fault-free
+          inputs the wrapper is observationally the base bx). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

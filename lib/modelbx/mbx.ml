@@ -65,6 +65,7 @@ let synced_values (side : [ `Left | `Right ]) (c : correspondence)
    unique per side by the spec's precondition. *)
 let partner_map (side : [ `Left | `Right ]) (c : correspondence)
     (m : Model.t) : (Model.value list, Model.obj) Hashtbl.t =
+  Esm_core.Chaos.point "mbx.partner_map";
   let cls = match side with `Left -> c.left_class | `Right -> c.right_class in
   let objs = Model.of_class m cls in
   let idx = Hashtbl.create (max 16 (List.length objs)) in
@@ -228,8 +229,9 @@ let bwd (spec : spec) (left : Model.t) (right : Model.t) : Model.t =
     [fwd spec left right] — the oracle property in
     [test/test_mbx.ml].  Cost is one diff plus, per correspondence, one
     partner-map build and O(edits) mirror steps. *)
-let fwd_delta (spec : spec) ~(old_left : Model.t) (left : Model.t)
+let fwd_delta_fast (spec : spec) ~(old_left : Model.t) (left : Model.t)
     (right : Model.t) : Model.t =
+  Esm_core.Chaos.point "mbx.fwd_delta";
   let edits = Diff.diff old_left left in
   if edits = [] then right
   else
@@ -280,6 +282,19 @@ let fwd_delta (spec : spec) ~(old_left : Model.t) (left : Model.t)
                 | _ -> right))
           right edits)
       right spec.correspondences
+
+let fwd_delta (spec : spec) ~(old_left : Model.t) (left : Model.t)
+    (right : Model.t) : Model.t =
+  match fwd_delta_fast spec ~old_left left right with
+  | result -> result
+  | exception e when Esm_core.Error.degradable_exn e ->
+      (* Graceful degradation: a fault inside the incremental mirror
+         (diff application, partner-map build) means its intermediate
+         state cannot be trusted; recompute with the full restoration
+         oracle, injection suppressed so recovery cannot be faulted.
+         Genuine model/metamodel errors still raise. *)
+      Esm_core.Chaos.note_fallback "mbx.fwd_delta";
+      Esm_core.Chaos.protected (fun () -> fwd spec left right)
 
 (** The induced algebraic bx (feed into {!Esm_core.Of_algebraic} /
     {!Esm_core.Concrete.of_algebraic} for the entangled state monad). *)

@@ -46,6 +46,9 @@ val fwd_delta : spec -> old_left:Model.t -> Model.t -> Model.t -> Model.t
     partner maps instead of re-restoring the whole right model.
     Precondition: [(old_left, right)] is consistent; under it,
     single-object edit scripts produce a model equal to
-    [fwd spec left right] (property-tested oracle). *)
+    [fwd spec left right] (property-tested oracle).  On a degradable
+    failure ({!Esm_core.Error.is_degradable}: an injected fault in the
+    incremental mirror) the answer is recomputed with the full {!fwd}
+    oracle instead of raising. *)
 
 val to_algbx : spec -> (Model.t, Model.t) Esm_algbx.Algbx.t

@@ -22,7 +22,16 @@ type t = { class_defs : class_def list }
 
 exception Metamodel_error of string
 
-let errorf fmt = Format.kasprintf (fun s -> raise (Metamodel_error s)) fmt
+let errorf fmt =
+  Esm_core.Error.raisef Esm_core.Error.Metamodel
+    ~wrap:(fun m -> Metamodel_error m)
+    fmt
+
+let () =
+  Esm_core.Error.register_classifier (function
+    | Metamodel_error m ->
+        Some (Esm_core.Error.of_message Esm_core.Error.Metamodel m)
+    | _ -> None)
 
 let v (class_defs : class_def list) : t =
   let names = List.map (fun c -> c.cls_name) class_defs in

@@ -69,7 +69,15 @@ type t = { objects : obj list (* sorted by id, unique *) }
 
 exception Model_error of string
 
-let errorf fmt = Format.kasprintf (fun s -> raise (Model_error s)) fmt
+let errorf fmt =
+  Esm_core.Error.raisef Esm_core.Error.Model
+    ~wrap:(fun m -> Model_error m)
+    fmt
+
+let () =
+  Esm_core.Error.register_classifier (function
+    | Model_error m -> Some (Esm_core.Error.of_message Esm_core.Error.Model m)
+    | _ -> None)
 
 let of_objects (objects : obj list) : t =
   let sorted = List.sort (fun o1 o2 -> Int.compare o1.id o2.id) objects in

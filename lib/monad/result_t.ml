@@ -1,0 +1,38 @@
+(** The error (result) monad transformer: [ResultT E M A = M (A, E) result].
+
+    Composing this over the entangled state monad gives the transactional
+    shape [S -> ((A, E) result * S)] that {!Esm_core.Atomic} runs with
+    snapshot-rollback; the transformer itself is backend-agnostic, mirroring
+    {!State_t} over an arbitrary inner monad. *)
+
+module Make
+    (E : sig
+      type t
+    end)
+    (M : Monad_intf.MONAD) =
+struct
+  type error = E.t
+  type 'a inner = 'a M.t
+
+  include Extend.Make (struct
+    type 'a t = ('a, E.t) result M.t
+
+    let return a = M.return (Ok a)
+
+    let bind ma f =
+      M.bind ma (function Error e -> M.return (Error e) | Ok a -> f a)
+  end)
+
+  let fail (e : error) : 'a t = M.return (Error e)
+  let lift (ma : 'a M.t) : 'a t = M.bind ma (fun a -> M.return (Ok a))
+
+  let catch (ma : 'a t) (handler : error -> 'a t) : 'a t =
+    M.bind ma (function Error e -> handler e | Ok _ as ok -> M.return ok)
+
+  let map_error (f : error -> error) (ma : 'a t) : 'a t =
+    M.bind ma (function
+      | Error e -> M.return (Error (f e))
+      | Ok _ as ok -> M.return ok)
+
+  let run (ma : 'a t) : ('a, error) result M.t = ma
+end

@@ -37,7 +37,15 @@ type t =
 
 exception Parse_error of string
 
-let parse_errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+let parse_errorf fmt =
+  Esm_core.Error.raisef Esm_core.Error.Parse
+    ~wrap:(fun m -> Parse_error m)
+    fmt
+
+let () =
+  Esm_core.Error.register_classifier (function
+    | Parse_error m -> Some (Esm_core.Error.of_message Esm_core.Error.Parse m)
+    | _ -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation                                                          *)
@@ -328,7 +336,16 @@ let run (env : string -> Table.t) (input : string) : Table.t =
 
 exception Not_updatable of string
 
-let not_updatable fmt = Format.kasprintf (fun s -> raise (Not_updatable s)) fmt
+let not_updatable fmt =
+  Esm_core.Error.raisef Esm_core.Error.Other
+    ~wrap:(fun m -> Not_updatable m)
+    fmt
+
+let () =
+  Esm_core.Error.register_classifier (function
+    | Not_updatable m ->
+        Some (Esm_core.Error.of_message Esm_core.Error.Other m)
+    | _ -> None)
 
 (** Compile a single-base pipeline query into a relational lens from the
     base table to the view — the view-update problem, end to end: parse a

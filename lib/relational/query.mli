@@ -1,0 +1,107 @@
+(** A small pipeline query language over the relational substrate:
+    parser, evaluator, pretty-printer, and the compilers from view
+    definitions to (delta-capable) relational lenses.
+
+    {v
+    employees | where dept = "Engineering" and salary < 70000
+              | select id, name
+              | rename name as who
+    employees join depts
+    (a union b) | where x <= 3
+    v}
+
+    Grammar (pipelines bind tighter than the infix set operators, which
+    associate to the left):
+
+    {v
+    query := term (("union" | "diff" | "join" | "product") term)*
+    term  := atom ("|" stage)*
+    atom  := IDENT | "(" query ")"
+    stage := "where" pred
+           | "select" IDENT ("," IDENT)*
+           | "rename" IDENT "as" IDENT ("," IDENT "as" IDENT)*
+    pred  := conj ("or" conj)* ; conj := neg ("and" neg)*
+    neg   := "not" neg | "(" pred ")" | expr ("=" | "<=" | "<") expr
+    expr  := IDENT | INT | STRING | "true" | "false"
+    v} *)
+
+(** Query syntax.  Kept concrete: the demo, the tests and the examples
+    pattern-match and build queries directly. *)
+type t =
+  | Base of string
+  | Where of Pred.t * t
+  | Project of string list * t
+  | Rename of (string * string) list * t
+  | Union of t * t
+  | Diff of t * t
+  | Join of t * t
+  | Product of t * t
+
+exception Parse_error of string
+(** Lexing/parsing failure; classified as {!Esm_core.Error.Parse} by
+    {!Esm_core.Error.of_exn}. *)
+
+(** {1 Evaluation} *)
+
+val eval : (string -> Table.t) -> t -> Table.t
+(** Evaluate against an environment of named base tables. *)
+
+val bases : t -> string list
+(** Base tables referenced by the query, left to right (with
+    duplicates). *)
+
+val run : (string -> Table.t) -> string -> Table.t
+(** Parse and evaluate in one step. *)
+
+(** {1 Printing and parsing}
+
+    [parse] and [pp]/[to_string] round-trip: printing uses the same
+    surface syntax the parser accepts. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_term : Format.formatter -> t -> unit
+(** Like {!pp} but parenthesising set operations, as required in
+    pipeline-stage position. *)
+
+val pp_pred : Format.formatter -> Pred.t -> unit
+val pp_expr : Format.formatter -> Pred.expr -> unit
+val to_string : t -> string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input (including trailing tokens). *)
+
+(** {1 Updatable views}
+
+    Compile a single-base pipeline into a relational lens from the base
+    table to the view.  Supported stages: [where] (select lens),
+    [select] (project lens — the key columns must be kept), [rename]
+    (iso).  Set operations are not updatable and raise
+    {!Not_updatable}. *)
+
+exception Not_updatable of string
+
+val to_lens :
+  schema:Schema.t ->
+  key:string list ->
+  t ->
+  (Table.t, Table.t) Esm_lens.Lens.t
+(** [schema] is the base-table schema, [key] the columns identifying
+    rows (used by project's [put] to restore dropped values; renamed
+    along with everything else by [rename] stages).
+    @raise Not_updatable on unsupported stages or key-dropping selects. *)
+
+val lens_of_string :
+  schema:Schema.t ->
+  key:string list ->
+  string ->
+  (Table.t, Table.t) Esm_lens.Lens.t
+(** Parse a view definition and compile it in one step. *)
+
+val to_dlens : schema:Schema.t -> key:string list -> t -> Rlens.dlens
+(** Like {!to_lens}, but delta-capable: view edits can be pushed back
+    incrementally with {!Rlens.put_delta} instead of replacing the whole
+    view. *)
+
+val dlens_of_string :
+  schema:Schema.t -> key:string list -> string -> Rlens.dlens
+(** Parse a view definition and compile it to a delta-capable lens. *)

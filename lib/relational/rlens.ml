@@ -33,6 +33,7 @@ let select (p : Pred.t) : (Table.t, Table.t) Lens.t =
     ~name:(Format.asprintf "select %a" Pred.pp p)
     ~get:(Algebra.select p)
     ~put:(fun source view ->
+      Esm_core.Chaos.point "rlens.select.put";
       let schema = Table.schema source in
       if not (Schema.equal schema (Table.schema view)) then
         Lens.shape_errorf "select lens: view schema %s differs from source %s"
@@ -115,6 +116,7 @@ let project ~(keep : string list) ~(key : string list)
     (source_schema : Schema.t) : (Table.t, Table.t) Lens.t =
   let plan = projection_plan ~keep ~key source_schema in
   let put source view =
+    Esm_core.Chaos.point "rlens.project.put";
     check_view_schema "project" plan.view_schema view;
     (* The memoized key index on the source: built once per (table, key)
        pair, shared across repeated puts against the same source. *)
@@ -245,7 +247,20 @@ type dlens = {
 
 let put_delta (l : dlens) (source : Table.t) (deltas : Row_delta.t list) :
     Table.t =
-  Row_delta.apply_all source (l.translate source deltas)
+  match Row_delta.apply_all source (l.translate source deltas) with
+  | result -> result
+  | exception e when Esm_core.Error.degradable_exn e ->
+      (* Graceful degradation: an injected fault or a failed index
+         self-check means the incremental machinery cannot be trusted —
+         distrust the memo, then compute the answer with the full put
+         oracle (under [protected] so the recovery path cannot itself be
+         faulted).  Genuine shape errors are NOT caught: they mean the
+         deltas are invalid and must surface to the caller. *)
+      Esm_core.Chaos.note_fallback "rlens.put_delta";
+      ignore (Table.revalidate_indexes source);
+      Esm_core.Chaos.protected (fun () ->
+          let view = Lens.get l.lens source in
+          Lens.put l.lens source (Row_delta.apply_all view deltas))
 
 (** The identity dlens (a pipeline's base table). *)
 let did : dlens =
@@ -257,6 +272,7 @@ let did : dlens =
     view. *)
 let dselect (p : Pred.t) : dlens =
   let translate source deltas =
+    Esm_core.Chaos.point "rlens.dselect.translate";
     let matches = Pred.compile (Table.schema source) p in
     List.filter_map
       (function
@@ -280,7 +296,11 @@ let dproject ~(keep : string list) ~(key : string list)
     (source_schema : Schema.t) : dlens =
   let plan = projection_plan ~keep ~key source_schema in
   let translate source deltas =
-    let old_by_key = Table.key_index source plan.source_key_indices in
+    Esm_core.Chaos.point "rlens.dproject.translate";
+    (* The checked variant: a corrupt memo raises [Index], which
+       [put_delta] turns into a full-put fallback instead of silently
+       restoring from stale bindings. *)
+    let old_by_key = Table.key_index_checked source plan.source_key_indices in
     let restore = restore_row plan old_by_key in
     List.map
       (function

@@ -53,6 +53,12 @@ type dlens = {
 }
 
 val put_delta : dlens -> Table.t -> Row_delta.t list -> Table.t
+(** Apply view deltas through the translated source deltas.  On a
+    {e degradable} failure ({!Esm_core.Error.is_degradable}: an injected
+    fault or an index self-check failure) the source's memoized indexes
+    are revalidated and the answer is recomputed with the full
+    [get]/[put] oracle — graceful degradation rather than error.
+    Genuine shape errors still raise. *)
 
 val did : dlens
 (** The identity dlens (a pipeline's base table). *)

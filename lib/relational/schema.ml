@@ -2,7 +2,16 @@
 
 exception Schema_error of string
 
-let errorf fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
+let errorf fmt =
+  Esm_core.Error.raisef Esm_core.Error.Schema
+    ~wrap:(fun m -> Schema_error m)
+    fmt
+
+let () =
+  Esm_core.Error.register_classifier (function
+    | Schema_error m ->
+        Some (Esm_core.Error.of_message Esm_core.Error.Schema m)
+    | _ -> None)
 
 type t = { columns : (string * Value.ty) list }
 

@@ -18,7 +18,15 @@
 
 exception Table_error of string
 
-let errorf fmt = Format.kasprintf (fun s -> raise (Table_error s)) fmt
+let errorf fmt =
+  Esm_core.Error.raisef Esm_core.Error.Table
+    ~wrap:(fun m -> Table_error m)
+    fmt
+
+let () =
+  Esm_core.Error.register_classifier (function
+    | Table_error m -> Some (Esm_core.Error.of_message Esm_core.Error.Table m)
+    | _ -> None)
 
 type t = {
   schema : Schema.t;
@@ -195,10 +203,77 @@ let key_index (t : t) (key : int list) : (Value.t list, Row.t) Hashtbl.t =
   match List.assoc_opt key t.key_indexes with
   | Some idx -> idx
   | None ->
+      Esm_core.Chaos.point "table.key_index";
       let idx = Hashtbl.create (max 16 (Array.length t.rows)) in
       Array.iter (fun r -> Hashtbl.replace idx (key_of_row key r) r) t.rows;
       t.key_indexes <- (key, idx) :: t.key_indexes;
       idx
+
+(** Forget every memoized index (they rebuild on next use).  The table
+    value itself is untouched. *)
+let drop_indexes (t : t) : unit = t.key_indexes <- []
+
+(** Full consistency check of every memoized index against the rows:
+    every row's key tuple must be present, and every binding must map a
+    key [k] to a member row whose key is [k].  (When the key does not
+    functionally determine rows, several rows share a key and the index
+    legitimately holds just one of them — membership, not identity, is
+    the invariant.)  O(n) per index. *)
+let validate_indexes (t : t) : bool =
+  let row_mem r =
+    let rec bsearch lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        let c = Row.compare r t.rows.(mid) in
+        if c = 0 then true
+        else if c < 0 then bsearch lo mid
+        else bsearch (mid + 1) hi
+    in
+    bsearch 0 (Array.length t.rows)
+  in
+  let index_ok (key, idx) =
+    Array.for_all (fun r -> Hashtbl.mem idx (key_of_row key r)) t.rows
+    && Hashtbl.fold
+         (fun k r ok -> ok && row_mem r && key_of_row key r = k)
+         idx true
+  in
+  List.for_all index_ok t.key_indexes
+
+(** Distrust-and-check the memo after a failed transaction: if any
+    memoized index fails {!validate_indexes}, drop them all (to be
+    rebuilt lazily from the rows).  Returns [true] iff the memo was
+    healthy. *)
+let revalidate_indexes (t : t) : bool =
+  if validate_indexes t then true
+  else begin
+    drop_indexes t;
+    false
+  end
+
+(** {!key_index} plus an O(1) self-check on the memo — the cheap sanity
+    gate the delta fast paths use before trusting a cached index.  A
+    corrupt memo raises an {!Esm_core.Error.Index} error, which the fast
+    paths treat as "fall back to the full oracle". *)
+let key_index_checked (t : t) (key : int list) :
+    (Value.t list, Row.t) Hashtbl.t =
+  let idx = key_index t key in
+  let n = Array.length t.rows in
+  let plausible =
+    Hashtbl.length idx <= n
+    && (n = 0 || Hashtbl.length idx > 0)
+    && (n = 0
+       ||
+       let r0 = t.rows.(0) in
+       match Hashtbl.find_opt idx (key_of_row key r0) with
+       | Some r -> key_of_row key r = key_of_row key r0
+       | None -> false)
+  in
+  if plausible then idx
+  else
+    Esm_core.Error.raise_error Esm_core.Error.Index ~op:"table.key_index"
+      "memoized index failed its self-check (%d bindings over %d rows)"
+      (Hashtbl.length idx) n
 
 let find_by_key (t : t) ~(key : int list) (k : Value.t list) : Row.t option =
   Hashtbl.find_opt (key_index t key) k

@@ -80,6 +80,25 @@ val key_index : t -> int list -> (Value.t list, Row.t) Hashtbl.t
     of the hashtable (read-only).  If the key does not functionally
     determine rows, later rows win. *)
 
+val key_index_checked : t -> int list -> (Value.t list, Row.t) Hashtbl.t
+(** {!key_index} plus an O(1) self-check of the memo — the gate the
+    delta fast paths use before trusting a cached index.
+    @raise Esm_core.Error.Bx_error
+      (kind [Index]) when the memo fails its check; fast paths treat
+      this as "fall back to the full oracle". *)
+
+val drop_indexes : t -> unit
+(** Forget every memoized index (they rebuild lazily on next use). *)
+
+val validate_indexes : t -> bool
+(** Full O(n)-per-index consistency check of the memo against the
+    rows. *)
+
+val revalidate_indexes : t -> bool
+(** Validate-and-rebuild policy after a failed transaction: [true] iff
+    the memo was healthy; otherwise the indexes are dropped (rebuilt
+    lazily) and [false] is returned. *)
+
 val find_by_key : t -> key:int list -> Value.t list -> Row.t option
 (** Indexed key lookup (amortised O(1)). *)
 

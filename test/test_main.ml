@@ -38,4 +38,5 @@ let () =
       ("law inference", Test_law_infer.suite);
       ("lint", Test_lint.suite);
       ("integration", Test_integration.suite);
+      ("chaos (atomic + fault injection)", Test_atomic.suite);
     ]
