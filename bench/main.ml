@@ -471,6 +471,71 @@ let b9_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* B10: sync engine — batched delta commits and replay recovery        *)
+(* ------------------------------------------------------------------ *)
+
+module Sync = Esm_sync
+
+let b10_table = Workload.employees ~seed:7 ~size:4096
+
+let b10_store ?(snapshot_every = 1024) () :
+    (Table.t, Table.t, Row_delta.t, Row_delta.t) Sync.Store.t =
+  Sync.Store.of_packed ~name:"bench" ~snapshot_every
+    ~apply_da:Row_delta.apply_all ~apply_db:Row_delta.apply_all
+    (Esm_core.Concrete.packed_of_lens ~vwb:false ~init:b10_table
+       ~eq_state:Table.equal select_lens)
+
+(* a 64-edit burst on the B (engineering) view: 32 fresh hires and 32
+   departures *)
+let b10_burst : Row_delta.t list =
+  let eng_rows =
+    Table.rows (Esm_lens.Lens.get select_lens b10_table)
+  in
+  List.init 32 (fun i ->
+      Row_delta.Add
+        (Row.of_list
+           [
+             Value.Int (100_000 + i);
+             Value.Str ("hire" ^ string_of_int i);
+             Value.Str "Engineering";
+             Value.Int 60_000;
+             Value.Str "hire@example.com";
+           ]))
+  @ List.map (fun r -> Row_delta.Remove r) (List.filteri (fun i _ -> i < 32) eng_rows)
+
+let b10_commit store op =
+  match Sync.Store.commit ~session:"bench" store op with
+  | Ok _ -> ()
+  | Error e -> failwith (Esm_core.Error.message e)
+
+(* a store with 8 committed bursts and only the version-0 snapshot, so
+   crash+recover replays all 8 entries *)
+let b10_replay_store =
+  let store = b10_store () in
+  for _ = 1 to 8 do
+    b10_commit store (Sync.Store.Batch_b b10_burst)
+  done;
+  store
+
+let b10_tests =
+  [
+    Test.make ~name:"batched commit (64-delta burst, n=4096)"
+      (Staged.stage (fun () ->
+           let store = b10_store () in
+           b10_commit store (Sync.Store.Batch_b b10_burst)));
+    Test.make ~name:"one-at-a-time (64 commits, n=4096)"
+      (Staged.stage (fun () ->
+           let store = b10_store () in
+           List.iter
+             (fun d -> b10_commit store (Sync.Store.Batch_b [ d ]))
+             b10_burst));
+    Test.make ~name:"replay recovery (8 bursts, n=4096)"
+      (Staged.stage (fun () ->
+           Sync.Store.crash b10_replay_store;
+           Sync.Store.recover b10_replay_store));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -615,5 +680,11 @@ let () =
       "commit path ~ raw full put (one exception frame); rollback path cheap \
        (fails before rebuilding the view)"
     b9_tests;
+  run_group ~id:"B10" ~header:"sync engine: batched deltas + replay recovery"
+    ~expectation:
+      "the batched 64-edit burst is one view rebuild and one oplog record — \
+       at least 5x over 64 one-at-a-time commits; replay recovery ~ 8 \
+       batched commits"
+    b10_tests;
   if json then emit_json "BENCH_PR2.json";
   Fmt.pr "@.done.@."

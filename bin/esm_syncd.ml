@@ -1,0 +1,259 @@
+(* esm_syncd: the sync engine driver — a deterministic in-process
+   "daemon" serving concurrent sessions against a replicated relational
+   store (Esm_sync over the employees where|select lens).
+
+   Two modes:
+
+     esm_syncd --script FILE
+       Replay a wire-protocol script: each non-empty, non-# line is
+       "@<session> <request>" in the grammar of Esm_sync.Wire; lines
+       are processed in order (the script IS the schedule, so runs are
+       reproducible), and each request/response pair is printed.
+       Exit 2 on malformed script lines.
+
+     esm_syncd --soak [--seed N] [--ops N] [--sessions N]
+       Run a seeded random multi-session workload and check the sync
+       engine's three invariants:
+         recovery    crash+replay reproduces the exact pre-crash views;
+         batching    a batched delta commit equals the same deltas
+                     committed one at a time (oracle replay);
+         convergence every session pulls to the store head.
+       Exit 1 on any violation.
+
+   Both modes honour CHAOS_SEED (and optional CHAOS_RATE): fault
+   injection at the sync chaos sites (append/replay/rebase) plus the
+   library-wide ones, with the injection/fallback counts reported. *)
+
+open Esm_core
+open Esm_relational
+open Esm_sync
+
+let default_store ~seed ~size () : Wire.rstore =
+  let lens =
+    Query.lens_of_string ~schema:Workload.employees_schema ~key:[ "id" ]
+      {|employees | where dept = "Engineering" | select id, name, dept|}
+  in
+  let packed =
+    Concrete.packed_of_lens ~vwb:false
+      ~init:(Workload.employees ~seed ~size)
+      ~eq_state:Table.equal lens
+  in
+  Store.of_packed ~name:"employees" ~snapshot_every:8
+    ~apply_da:Row_delta.apply_all ~apply_db:Row_delta.apply_all packed
+
+(* ------------------------------------------------------------------ *)
+(* Script mode                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_script (path : string) : int =
+  let srv = Wire.serve (default_store ~seed:11 ~size:24 ()) in
+  let ic = open_in path in
+  let bad = ref false in
+  (try
+     let lineno = ref 0 in
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let line = String.trim line in
+       if line <> "" && line.[0] <> '#' then
+         if line.[0] <> '@' then (
+           Printf.printf "!! line %d: expected '@<session> <request>'\n"
+             !lineno;
+           bad := true)
+         else
+           let body = String.sub line 1 (String.length line - 1) in
+           let session, req =
+             match String.index_opt body ' ' with
+             | None -> (body, "")
+             | Some i ->
+                 ( String.sub body 0 i,
+                   String.trim
+                     (String.sub body (i + 1) (String.length body - i - 1)) )
+           in
+           Printf.printf "@%s> %s\n" session req;
+           match Wire.handle_line srv ~session req with
+           | resp -> Printf.printf "@%s< %s\n" session resp
+           | exception Error.Bx_error e when e.Error.kind = Error.Parse ->
+               Printf.printf "!! line %d: %s\n" !lineno (Error.message e);
+               bad := true
+     done
+   with End_of_file -> close_in ic);
+  if !bad then 2 else 0
+
+(* ------------------------------------------------------------------ *)
+(* Soak mode                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let soak ~seed ~ops:n_ops ~sessions:n_sessions () : int =
+  let store = default_store ~seed ~size:48 () in
+  let r = Workload.rng ~seed in
+  let sessions =
+    List.init n_sessions (fun i ->
+        let side = if i mod 2 = 0 then `A else `B in
+        Session.bind store ~name:(Printf.sprintf "s%d" (i + 1)) ~side)
+  in
+  let violations = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let fresh_id = ref 100_000 in
+  let new_row side =
+    incr fresh_id;
+    let name =
+      Workload.pick r [ "nu"; "xi"; "pi"; "rho" ] ^ string_of_int !fresh_id
+    in
+    match side with
+    | `A ->
+        Row.of_list
+          [
+            Value.Int !fresh_id;
+            Value.Str name;
+            Value.Str (Workload.pick r [ "Engineering"; "Sales"; "Ops" ]);
+            Value.Int (40_000 + (500 * Workload.int r 100));
+            Value.Str (name ^ "@example.com");
+          ]
+    | `B ->
+        (* view rows must satisfy the lens predicate to be puttable *)
+        Row.of_list
+          [ Value.Int !fresh_id; Value.Str name; Value.Str "Engineering" ]
+  in
+  let random_deltas (sess : Wire.rsession) =
+    let view = match Session.view sess with `A t | `B t -> t in
+    let rows = Table.rows view in
+    let n = 1 + Workload.int r 4 in
+    List.init n (fun _ ->
+        if rows = [] || Workload.int r 3 = 0 then
+          Row_delta.Add (new_row (Session.side sess))
+        else Row_delta.Remove (Workload.pick r rows))
+  in
+  let commits = ref 0 and failures = ref 0 and recoveries = ref 0 in
+  let crash_every = max 5 (n_ops / 8) in
+  for i = 1 to n_ops do
+    let sess = Workload.pick r sessions in
+    let op =
+      match Session.side sess with
+      | `A -> Store.Batch_a (random_deltas sess)
+      | `B -> Store.Batch_b (random_deltas sess)
+    in
+    (match Session.submit_rebase sess op with
+    | Ok _ -> incr commits
+    | Error e when e.Error.kind = Error.Conflict ->
+        (* submit_rebase pulled to head first; a conflict here means the
+           optimistic check is broken *)
+        fail "op %d: conflict after rebase: %s" i (Error.message e)
+    | Error _ ->
+        (* a failing put (or injected fault) rolls back and appends
+           nothing — legitimate under chaos, checked by recovery below *)
+        incr failures);
+    if i mod crash_every = 0 then (
+      (* recovery invariant: crash + replay = the uncrashed store *)
+      let va = Store.view_a store and vb = Store.view_b store in
+      let v = Store.version store in
+      Store.crash store;
+      Store.recover store;
+      incr recoveries;
+      if Store.version store <> v then
+        fail "op %d: recovery stopped at version %d, expected %d" i
+          (Store.version store) v;
+      if not (Table.equal (Store.view_a store) va) then
+        fail "op %d: recovered A view differs from pre-crash" i;
+      if not (Table.equal (Store.view_b store) vb) then
+        fail "op %d: recovered B view differs from pre-crash" i)
+  done;
+  (* batching invariant: replaying the oplog with every batch split
+     into one-at-a-time delta commits lands on the same views *)
+  Chaos.protected (fun () ->
+      let oracle = default_store ~seed ~size:48 () in
+      let commit session op =
+        match Store.commit ~session oracle op with
+        | Ok _ -> ()
+        | Error e -> fail "oracle replay commit failed: %s" (Error.message e)
+      in
+      List.iter
+        (fun (e : _ Oplog.entry) ->
+          match e.Oplog.op with
+          | Store.Batch_a ds ->
+              List.iter (fun d -> commit e.Oplog.session (Store.Batch_a [ d ])) ds
+          | Store.Batch_b ds ->
+              List.iter (fun d -> commit e.Oplog.session (Store.Batch_b [ d ])) ds
+          | op -> commit e.Oplog.session op)
+        (Store.entries_since store 0);
+      if not (Table.equal (Store.view_a oracle) (Store.view_a store)) then
+        fail "batched A view differs from one-at-a-time oracle";
+      if not (Table.equal (Store.view_b oracle) (Store.view_b store)) then
+        fail "batched B view differs from one-at-a-time oracle");
+  (* convergence invariant: every session pulls to the store head *)
+  List.iter
+    (fun sess ->
+      ignore (Session.pull sess);
+      if Session.base sess <> Store.version store then
+        fail "session %s converged at %d, store head is %d"
+          (Session.name sess) (Session.base sess) (Store.version store))
+    sessions;
+  Printf.printf
+    "soak: seed=%d ops=%d sessions=%d commits=%d failed=%d recoveries=%d \
+     head=%d\n"
+    seed n_ops n_sessions !commits !failures !recoveries
+    (Store.version store);
+  match !violations with
+  | [] ->
+      print_endline "soak: all invariants hold";
+      0
+  | vs ->
+      List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev vs);
+      1
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_env_chaos (f : unit -> int) : int =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None -> f ()
+  | Some s ->
+      let seed =
+        match int_of_string_opt s with
+        | Some n -> n
+        | None ->
+            prerr_endline "esm_syncd: CHAOS_SEED must be an integer";
+            exit 2
+      in
+      let rate =
+        match Sys.getenv_opt "CHAOS_RATE" with
+        | Some r -> float_of_string r
+        | None -> 0.05
+      in
+      let c = Chaos.make ~rate ~seed () in
+      let code = Chaos.with_chaos c f in
+      Printf.printf "chaos: seed=%d rate=%g injected=%d fallbacks=%d\n" seed
+        rate (Chaos.injected c) (Chaos.fallbacks c);
+      code
+
+let () =
+  let script = ref "" in
+  let do_soak = ref false in
+  let seed = ref 42 in
+  let ops = ref 200 in
+  let sessions = ref 4 in
+  let specs =
+    [
+      ("--script", Arg.Set_string script, "FILE replay a wire-protocol script");
+      ("--soak", Arg.Set do_soak, " run the random multi-session soak");
+      ("--seed", Arg.Set_int seed, "N soak workload seed (default 42)");
+      ("--ops", Arg.Set_int ops, "N soak operation count (default 200)");
+      ( "--sessions",
+        Arg.Set_int sessions,
+        "N soak session count (default 4)" );
+    ]
+  in
+  let usage = "esm_syncd (--script FILE | --soak) [options]" in
+  Arg.parse specs (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let code =
+    if !script <> "" then with_env_chaos (fun () -> run_script !script)
+    else if !do_soak then
+      with_env_chaos (soak ~seed:!seed ~ops:!ops ~sessions:!sessions)
+    else (
+      prerr_endline usage;
+      2)
+  in
+  exit code

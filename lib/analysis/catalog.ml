@@ -16,6 +16,9 @@ type ('a, 'b) subject =
       (** a command pipeline and the optimizer level it is compiled at *)
   | Prog of string * Law_infer.level * ('a, 'b) Program.op list
       (** a first-order op script and the level its rewriter assumes *)
+  | Puts of string * Law_infer.level * ('a, 'b) Lint.put_op list
+      (** a put-presentation session script (the language sync sessions
+          speak) and the level its rewriter assumes *)
 
 type ('a, 'b) scenario = {
   label : string;
@@ -604,6 +607,79 @@ let all () : entry list =
                         ) )) );
           ];
       };
+    Entry
+      {
+        label = "sync/replicated-roster";
+        description =
+          "the where|select roster served by an Esm_sync store: commits \
+           are transactional behind the oplog, so replication keeps the \
+           lens level and silences unprotected-fallible";
+        packed =
+          Concrete.with_pedigree
+            (Pedigree.Replicated
+               (Pedigree.Of_lens { name = "employees|where|select"; vwb = false }))
+            (Concrete.packed_of_lens ~vwb:false
+               ~init:(Rel.Workload.employees ~seed:3 ~size:8)
+               ~eq_state:Rel.Table.equal eng_view_lens);
+        values_a =
+          [
+            Rel.Workload.employees ~seed:1 ~size:6;
+            Rel.Workload.employees ~seed:7 ~size:10;
+            Rel.Workload.employees ~seed:2 ~size:0;
+          ];
+        values_b =
+          [
+            Rel.Workload.engineering_view ~seed:4 ~size:12;
+            Rel.Workload.engineering_view ~seed:9 ~size:20;
+            Rel.Workload.engineering_view ~seed:1 ~size:0;
+          ];
+        eq_a = Rel.Table.equal;
+        eq_b = Rel.Table.equal;
+        show_a = Rel.Table.to_string;
+        show_b = Rel.Table.to_string;
+        subjects =
+          [
+            (* a B-side session: push the view, re-read the propagated
+               source (foldable — the put returned it), push again *)
+            Puts
+              ( "roster-session",
+                `Set_bx,
+                Lint.
+                  [
+                    Put_ba (Rel.Workload.engineering_view ~seed:4 ~size:12);
+                    Pget_a;
+                    Put_ba (Rel.Workload.engineering_view ~seed:9 ~size:20);
+                  ] );
+          ];
+      };
+    Entry
+      {
+        label = "sync/replicated-pair";
+        description =
+          "the independent pair bx behind a replicated store: sessions on \
+           opposite views genuinely commute, so the put rewriter may run \
+           at the top level";
+        packed =
+          Concrete.with_pedigree
+            (Pedigree.Replicated Pedigree.Pair)
+            (Concrete.packed_pair ~init:(0, 0) ~eq_state:eq_int_pair ());
+        values_a = int_values;
+        values_b = int_values;
+        eq_a = Int.equal;
+        eq_b = Int.equal;
+        show_a = string_of_int;
+        show_b = string_of_int;
+        subjects =
+          [
+            (* two sessions' interleaved puts: the same-direction collapse
+               across the opposite-direction put needs commutation, which
+               the pair pedigree supplies *)
+            Puts
+              ( "interleaved-sessions",
+                `Commuting,
+                Lint.[ Put_ab 1; Put_ba 2; Put_ab 1; Pget_b ] );
+          ];
+      };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -673,6 +749,21 @@ let audit_entry (Entry s : entry) : audit =
             global
             @ Lint.lint_program ~requested ~inferred ~eq_a:s.eq_a
                 ~eq_b:s.eq_b ops;
+        }
+    | Puts (subject, requested, ops) ->
+        let global =
+          Option.to_list (Lint.check_level ~requested ~inferred ~subject)
+          @ Option.to_list
+              (Lint.check_atomicity ~pedigree
+                 ~has_sets:(Lint.puts_have_sets ops) ~subject)
+        in
+        {
+          subject;
+          requested;
+          diagnostics =
+            global
+            @ Lint.lint_puts ~requested ~inferred ~eq_a:s.eq_a ~eq_b:s.eq_b
+                ops;
         }
   in
   {

@@ -7,6 +7,8 @@ open Esm_core
 type ('a, 'b) subject =
   | Cmd of string * Law_infer.level * ('a, 'b) Command.t
   | Prog of string * Law_infer.level * ('a, 'b) Program.op list
+  | Puts of string * Law_infer.level * ('a, 'b) Lint.put_op list
+      (** a put-presentation session script (what sync sessions speak) *)
 
 type ('a, 'b) scenario = {
   label : string;

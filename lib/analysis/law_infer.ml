@@ -88,6 +88,7 @@ let rec level (p : Pedigree.t) : level =
   | Pedigree.Effectful _ -> `Set_bx
   | Pedigree.Opaque _ -> `Set_bx
   | Pedigree.Atomic p -> level p
+  | Pedigree.Replicated p -> level p
 
 (** [level], with the applied lemma spelled out per node — the rationale
     `bxlint` prints next to each verdict. *)
@@ -146,6 +147,12 @@ let rec explain (p : Pedigree.t) : string =
         "atomic wrapping is observationally the base bx on fault-free \
          inputs, preserving the level (and adding rollback): %s"
         (explain p)
+  | Pedigree.Replicated p ->
+      Printf.sprintf
+        "a replicated store serves the base bx behind a versioned oplog; \
+         commits are transactional, so the level is preserved (and \
+         rollback added): %s"
+        (explain p)
 
 (** Infer the level of a packed bx from its recorded pedigree. *)
 let of_packed (p : ('a, 'b) Concrete.packed) : level =
@@ -164,7 +171,7 @@ let of_packed (p : ('a, 'b) Concrete.packed) : level =
 let rec fallible (p : Pedigree.t) : bool =
   match p with
   | Pedigree.Pair | Pedigree.Identity -> false
-  | Pedigree.Atomic _ -> false
+  | Pedigree.Atomic _ | Pedigree.Replicated _ -> false
   | Pedigree.Of_lens _ | Pedigree.Of_algebraic _ | Pedigree.Of_symmetric _
   | Pedigree.Effectful _ | Pedigree.Opaque _ ->
       true
@@ -176,7 +183,7 @@ let rec fallible (p : Pedigree.t) : bool =
     entangled state)? *)
 let rec rollback_protected (p : Pedigree.t) : bool =
   match p with
-  | Pedigree.Atomic _ -> true
+  | Pedigree.Atomic _ | Pedigree.Replicated _ -> true
   | Pedigree.Flip p | Pedigree.Journalled p -> rollback_protected p
   | _ -> false
 

@@ -45,6 +45,12 @@ type rule =
   | Reorder_collapse of side
       (** a same-side collapse across opposite-side writes — requires
           commutation to reorder first *)
+  | Dead_put of side
+      (** put presentation, (GP) analogue of (GS): putting the
+          statically-known current view is a state no-op *)
+  | Collapsible_put of side
+      (** put presentation, (PP) analogue of (SS): an unobserved put
+          overwritten by a later same-direction put *)
   | Level_mismatch
       (** the requested optimizer level exceeds the inferred law level *)
   | Unprotected_fallible
@@ -57,6 +63,8 @@ let rule_name = function
   | Foldable_read s -> "foldable-read-" ^ side_name s
   | Collapsible_set s -> "collapsible-set-" ^ side_name s
   | Reorder_collapse s -> "reorder-collapse-" ^ side_name s
+  | Dead_put s -> "dead-put-" ^ side_name s
+  | Collapsible_put s -> "collapsible-put-" ^ side_name s
   | Level_mismatch -> "level-mismatch"
   | Unprotected_fallible -> "unprotected-fallible"
 
@@ -491,6 +499,158 @@ let lint_program (type a b) ~(requested : Law_infer.level)
             })
   in
   let _ = List.fold_left (fun (st, i) op -> (step st i op, i + 1)) (top, 0) ops in
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Put-presentation lint                                               *)
+(* ------------------------------------------------------------------ *)
+
+type ('a, 'b) put_op =
+  | Pget_a
+  | Pget_b
+  | Put_ab of 'a  (** push the A view; the updated B view is returned *)
+  | Put_ba of 'b  (** push the B view; the updated A view is returned *)
+
+let puts_have_sets (ops : ('a, 'b) put_op list) : bool =
+  List.exists (function Put_ab _ | Put_ba _ -> true | _ -> false) ops
+
+(** The abstract state for the put presentation.  Beyond the two
+    knowledge copies of the set lint, a put {e returns} the propagated
+    opposite view to the caller, so [ret_a]/[ret_b] track "the current
+    value of this view was handed back by the most recent put" — a
+    following get re-reads a value the caller already holds and is
+    foldable at [`Set_bx] even though the value is not statically
+    known. *)
+type ('a, 'b) pst = {
+  pplain : ('a, 'b) Command.knowledge;
+  pcomm : ('a, 'b) Command.knowledge;
+  ret_a : bool;
+  ret_b : bool;
+  pend_ab : pending option;  (** an unobserved [Put_ab] *)
+  pend_ba : pending option;  (** an unobserved [Put_ba] *)
+}
+
+let ptop =
+  {
+    pplain = Command.nothing;
+    pcomm = Command.nothing;
+    ret_a = false;
+    ret_b = false;
+    pend_ab = None;
+    pend_ba = None;
+  }
+
+let lint_puts (type a b) ~(requested : Law_infer.level)
+    ~(inferred : Law_infer.level) ~(eq_a : a -> a -> bool)
+    ~(eq_b : b -> b -> bool) (ops : (a, b) put_op list) : diagnostic list =
+  let diags = ref [] in
+  let emit rule requires at message =
+    let severity = decide_severity ~requested ~inferred ~requires in
+    diags := { rule; severity; requires; at; message } :: !diags
+  in
+  let collapse_pending side (p : pending option) (i : int) =
+    let dir = match side with A -> "ab" | B -> "ba" in
+    match p with
+    | Some { at; crossed = false } ->
+        emit (Collapsible_put side) `Overwriteable at
+          (Printf.sprintf
+             "put_%s at op %d is overwritten by the put_%s at op %d before \
+              either view is read; (PP) collapses them"
+             dir at dir i)
+    | Some { at; crossed = true } ->
+        emit (Reorder_collapse side) `Commuting at
+          (Printf.sprintf
+             "put_%s at op %d is overwritten by the put_%s at op %d across \
+              opposite-direction puts; collapsing requires commutation"
+             dir at dir i)
+    | None -> ()
+  in
+  let step (st : (a, b) pst) (i : int) (op : (a, b) put_op) : (a, b) pst =
+    match op with
+    | Pget_a ->
+        (match (st.pplain.Command.known_a, st.pcomm.Command.known_a) with
+        | Some _, _ ->
+            emit (Foldable_read A) `Set_bx i
+              "get_a returns a statically-known view; (PG) folds it"
+        | None, _ when st.ret_a ->
+            emit (Foldable_read A) `Set_bx i
+              "get_a re-reads the A view the preceding put_ba returned; \
+               (PG) folds it to the returned value"
+        | None, Some _ ->
+            emit (Foldable_read A) `Commuting i
+              "get_a returns a view known only across opposite-direction \
+               puts; folding it requires commutation"
+        | None, None -> ());
+        (* any put writes both views, so reading either view observes the
+           most recent put in each direction *)
+        { st with pend_ab = None; pend_ba = None }
+    | Pget_b ->
+        (match (st.pplain.Command.known_b, st.pcomm.Command.known_b) with
+        | Some _, _ ->
+            emit (Foldable_read B) `Set_bx i
+              "get_b returns a statically-known view; (PG) folds it"
+        | None, _ when st.ret_b ->
+            emit (Foldable_read B) `Set_bx i
+              "get_b re-reads the B view the preceding put_ab returned; \
+               (PG) folds it to the returned value"
+        | None, Some _ ->
+            emit (Foldable_read B) `Commuting i
+              "get_b returns a view known only across opposite-direction \
+               puts; folding it requires commutation"
+        | None, None -> ());
+        { st with pend_ab = None; pend_ba = None }
+    | Put_ab v -> (
+        match (st.pplain.Command.known_a, st.pcomm.Command.known_a) with
+        | Some v0, _ when eq_a v v0 ->
+            emit (Dead_put A) `Set_bx i
+              "put_ab of the already-current A view is a state no-op; \
+               (GP) replaces it with get_b";
+            (* deleting the put still hands the caller the current B
+               view (via get_b), so the return stays available *)
+            { st with ret_b = true }
+        | plain_known, comm_known ->
+            (match (plain_known, comm_known) with
+            | _, Some v0 when eq_a v v0 ->
+                emit (Dead_put A) `Commuting i
+                  "put_ab of a view current before the opposite-direction \
+                   put(s); deleting it requires commutation"
+            | _ -> ());
+            collapse_pending A st.pend_ab i;
+            {
+              pplain = { Command.known_a = Some v; known_b = None };
+              pcomm = { st.pcomm with Command.known_a = Some v };
+              ret_a = false;
+              ret_b = true;
+              pend_ab = Some { at = i; crossed = false };
+              pend_ba = cross st.pend_ba;
+            })
+    | Put_ba v -> (
+        match (st.pplain.Command.known_b, st.pcomm.Command.known_b) with
+        | Some v0, _ when eq_b v v0 ->
+            emit (Dead_put B) `Set_bx i
+              "put_ba of the already-current B view is a state no-op; \
+               (GP) replaces it with get_a";
+            { st with ret_a = true }
+        | plain_known, comm_known ->
+            (match (plain_known, comm_known) with
+            | _, Some v0 when eq_b v v0 ->
+                emit (Dead_put B) `Commuting i
+                  "put_ba of a view current before the opposite-direction \
+                   put(s); deleting it requires commutation"
+            | _ -> ());
+            collapse_pending B st.pend_ba i;
+            {
+              pplain = { Command.known_a = None; known_b = Some v };
+              pcomm = { st.pcomm with Command.known_b = Some v };
+              ret_a = true;
+              ret_b = false;
+              pend_ab = cross st.pend_ab;
+              pend_ba = Some { at = i; crossed = false };
+            })
+  in
+  let _ =
+    List.fold_left (fun (st, i) op -> (step st i op, i + 1)) (ptop, 0) ops
+  in
   List.rev !diags
 
 (* ------------------------------------------------------------------ *)

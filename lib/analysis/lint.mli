@@ -19,6 +19,12 @@ type rule =
   | Reorder_collapse of side
       (** same-side collapse across opposite-side writes — needs
           commutation *)
+  | Dead_put of side
+      (** put presentation, (GP) analogue of (GS): putting the current
+          view is a state no-op *)
+  | Collapsible_put of side
+      (** put presentation, (PP) analogue of (SS): an unobserved put
+          overwritten by a later same-direction put *)
   | Level_mismatch
       (** requested optimizer level exceeds the inferred law level *)
   | Unprotected_fallible
@@ -93,6 +99,34 @@ val lint_program :
   ('a, 'b) Program.op list ->
   diagnostic list
 (** The same analysis over the first-order get/set op language. *)
+
+(** {1 Put-presentation lint}
+
+    The first-order script language of the paper's {e put} presentation:
+    a put pushes one view and returns the propagated opposite view, so
+    sync sessions ([Esm_sync.Session]) speak exactly this language. *)
+
+type ('a, 'b) put_op =
+  | Pget_a
+  | Pget_b
+  | Put_ab of 'a  (** push the A view; the updated B view is returned *)
+  | Put_ba of 'b  (** push the B view; the updated A view is returned *)
+
+val puts_have_sets : ('a, 'b) put_op list -> bool
+(** Does the script write state (either put direction)? *)
+
+val lint_puts :
+  requested:Law_infer.level ->
+  inferred:Law_infer.level ->
+  eq_a:('a -> 'a -> bool) ->
+  eq_b:('b -> 'b -> bool) ->
+  ('a, 'b) put_op list ->
+  diagnostic list
+(** The abstract interpretation over put scripts: dead puts ((GP)),
+    foldable gets after puts — including [get_a] after [put_ba], whose
+    value the put {e returned} to the caller — ((PG)), (PP) collapses of
+    unobserved same-direction puts, and commutation-requiring collapses
+    across opposite-direction puts. *)
 
 val json_escape : string -> string
 val diagnostic_to_json : diagnostic -> string

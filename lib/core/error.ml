@@ -31,6 +31,9 @@ type kind =
   | Parse  (** query-language lexing and parsing *)
   | Fault  (** an injected failure ({!Chaos}) *)
   | Index  (** a memoized-index self-check failure *)
+  | Conflict
+      (** an optimistic version check failed: a concurrent session
+          committed first ([Esm_sync]) *)
   | Other  (** a classified bx error of no more specific kind *)
 
 let kind_name = function
@@ -42,6 +45,7 @@ let kind_name = function
   | Parse -> "parse"
   | Fault -> "fault"
   | Index -> "index"
+  | Conflict -> "conflict"
   | Other -> "other"
 
 type t = {

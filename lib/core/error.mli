@@ -17,6 +17,11 @@ type kind =
   | Parse  (** query-language lexing and parsing *)
   | Fault  (** an injected failure ({!Chaos}) *)
   | Index  (** a memoized-index self-check failure *)
+  | Conflict
+      (** an optimistic version check failed: a concurrent session
+          committed against the same base first ([Esm_sync]); losers
+          rebase (pull the winning entries and replay through the bx)
+          and retry *)
   | Other  (** a classified bx error of no more specific kind *)
 
 val kind_name : kind -> string

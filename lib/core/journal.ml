@@ -42,18 +42,23 @@ let journalled ~(eq_a : 'a -> 'a -> bool) ~(eq_b : 'b -> 'b -> bool)
       (fun a st ->
         if eq_a (t.Concrete.get_a st.current) a then st
         else
-          {
-            current = t.Concrete.set_a a st.current;
-            log = Edited_a a :: st.log;
-          });
+          let current = t.Concrete.set_a a st.current in
+          (* Journal only updates that took effect: a hardened inner bx
+             ({!Atomic.harden}) rolls a failing set back to the snapshot,
+             and by (SG) an effective set leaves [get_a = a] — so a
+             post-set mismatch means the update never happened and must
+             not leave a phantom entry in the log. *)
+          if eq_a (t.Concrete.get_a current) a then
+            { current; log = Edited_a a :: st.log }
+          else { current; log = st.log });
     set_b =
       (fun b st ->
         if eq_b (t.Concrete.get_b st.current) b then st
         else
-          {
-            current = t.Concrete.set_b b st.current;
-            log = Edited_b b :: st.log;
-          });
+          let current = t.Concrete.set_b b st.current in
+          if eq_b (t.Concrete.get_b current) b then
+            { current; log = Edited_b b :: st.log }
+          else { current; log = st.log });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -93,17 +98,20 @@ module Undo = struct
         (fun a st ->
           if eq_a (t.Concrete.get_a st.current) a then st
           else
-            {
-              current = t.Concrete.set_a a st.current;
-              past = st.current :: st.past;
-            });
+            let current = t.Concrete.set_a a st.current in
+            (* As in {!journalled}: only checkpoint updates that took
+               effect, so a rolled-back inner set leaves no phantom
+               checkpoint for {!undo} to restore. *)
+            if eq_a (t.Concrete.get_a current) a then
+              { current; past = st.current :: st.past }
+            else { current; past = st.past });
       set_b =
         (fun b st ->
           if eq_b (t.Concrete.get_b st.current) b then st
           else
-            {
-              current = t.Concrete.set_b b st.current;
-              past = st.current :: st.past;
-            });
+            let current = t.Concrete.set_b b st.current in
+            if eq_b (t.Concrete.get_b current) b then
+              { current; past = st.current :: st.past }
+            else { current; past = st.past });
     }
 end

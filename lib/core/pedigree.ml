@@ -56,6 +56,11 @@ type t =
           On fault-free inputs the wrapper is observationally the base
           bx, so the law level is the base level; what it adds is
           rollback protection for the partial domain. *)
+  | Replicated of t
+      (** [Esm_sync.Store]: the base bx served behind a versioned oplog
+          with snapshot/replay recovery.  Commits are transactional
+          (failed applications append nothing), so replication preserves
+          the base law level and adds rollback protection. *)
 
 let rec pp fmt = function
   | Of_lens { name; vwb } ->
@@ -72,6 +77,7 @@ let rec pp fmt = function
   | Effectful { name } -> Format.fprintf fmt "effectful[%s]" name
   | Opaque { name } -> Format.fprintf fmt "opaque[%s]" name
   | Atomic p -> Format.fprintf fmt "atomic(%a)" pp p
+  | Replicated p -> Format.fprintf fmt "replicated(%a)" pp p
 
 let to_string (p : t) : string = Format.asprintf "%a" pp p
 

@@ -33,6 +33,10 @@ type t =
       (** {!Atomic.harden_packed}: setters run transactionally with
           snapshot-rollback; law level is the base level (on fault-free
           inputs the wrapper is observationally the base bx). *)
+  | Replicated of t
+      (** [Esm_sync.Store]: the base bx behind a versioned oplog with
+          snapshot/replay recovery; commits are transactional, so the
+          base law level is preserved and rollback protection added. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

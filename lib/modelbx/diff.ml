@@ -93,5 +93,83 @@ let apply_edit (m : Model.t) : edit -> Model.t = function
 let apply (m : Model.t) (edits : edit list) : Model.t =
   List.fold_left apply_edit m edits
 
+(** Collapse a burst of edits before applying them — the batched commit
+    path of [Esm_sync]: a coalesced script touches each surviving
+    (object, attribute) once, so one sync commit does one pass of work
+    however chatty the session was.
+
+    Two conservative rules, each sound on any model where the original
+    script applies without error (the equivalence
+    [apply m (coalesce es) = apply m es] is property-tested in
+    [test/test_modelbx.ml]):
+
+    - an attribute write ([Set_attr]/[Remove_attr]) superseded by a
+      later write to the same (object, attribute) is dropped, provided
+      no object-level edit on that object sits between them (an
+      [Add_object]/[Remove_object] re-anchors what the write means);
+    - an [Add_object] whose {e next} object-level edit on that id is a
+      [Remove_object] is dropped together with that remove and the
+      attribute edits on the id between them: the add succeeded, so the
+      id was absent before, and the remove restores exactly that. *)
+let coalesce (edits : edit list) : edit list =
+  let arr = Array.of_list edits in
+  let n = Array.length arr in
+  let live = Array.make n true in
+  let is_obj_op_on id = function
+    | Add_object o -> o.Model.id = id
+    | Remove_object id' -> id' = id
+    | Set_attr _ | Remove_attr _ -> false
+  in
+  let attr_target = function
+    | Set_attr (id, a, _) | Remove_attr (id, a) -> Some (id, a)
+    | Add_object _ | Remove_object _ -> None
+  in
+  (* rule 1: superseded attribute writes *)
+  for i = 0 to n - 1 do
+    match attr_target arr.(i) with
+    | None -> ()
+    | Some (id, a) ->
+        let j = ref (i + 1) in
+        let blocked = ref false in
+        let superseded = ref false in
+        while (not !blocked) && (not !superseded) && !j < n do
+          (if is_obj_op_on id arr.(!j) then blocked := true
+           else
+             match attr_target arr.(!j) with
+             | Some (id', a') when id' = id && String.equal a a' ->
+                 superseded := true
+             | _ -> ());
+          incr j
+        done;
+        if !superseded then live.(i) <- false
+  done;
+  (* rule 2: add cancelled by the next object-level edit being a remove *)
+  for i = 0 to n - 1 do
+    match arr.(i) with
+    | Add_object o when live.(i) -> (
+        let id = o.Model.id in
+        let j = ref (i + 1) in
+        let found = ref (-1) in
+        while !found < 0 && !j < n do
+          if is_obj_op_on id arr.(!j) then found := !j;
+          incr j
+        done;
+        match !found with
+        | j when j >= 0 -> (
+            match arr.(j) with
+            | Remove_object _ ->
+                live.(i) <- false;
+                live.(j) <- false;
+                for k = i + 1 to j - 1 do
+                  match attr_target arr.(k) with
+                  | Some (id', _) when id' = id -> live.(k) <- false
+                  | _ -> ()
+                done
+            | _ -> ())
+        | _ -> ())
+    | _ -> ()
+  done;
+  List.filteri (fun i _ -> live.(i)) (Array.to_list arr)
+
 (** Number of edits — a crude model distance. *)
 let distance (m1 : Model.t) (m2 : Model.t) : int = List.length (diff m1 m2)

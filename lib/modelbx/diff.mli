@@ -17,5 +17,15 @@ val diff : Model.t -> Model.t -> edit list
 val apply_edit : Model.t -> edit -> Model.t
 val apply : Model.t -> edit list -> Model.t
 
+val coalesce : edit list -> edit list
+(** Collapse a burst of edits: attribute writes superseded by a later
+    write to the same (object, attribute) with no intervening
+    object-level edit on that object are dropped, and an [Add_object]
+    whose next object-level edit on that id is a [Remove_object] is
+    dropped together with the remove and the attribute edits on the id
+    between them.  On any model where [edits] applies without error,
+    [apply m (coalesce edits) = apply m edits] — the batched-commit
+    equivalence [Esm_sync] relies on. *)
+
 val distance : Model.t -> Model.t -> int
 (** Length of {!diff} — a crude model distance. *)

@@ -173,8 +173,20 @@ let drop (column : string) ~(key : string list) (schema : Schema.t) :
     the standard functional-dependency conditions for relational join
     lenses.  [put] raises {!Esm_lens.Lens.Shape_error} if the view schema
     does not match the join schema. *)
-let join ~(left : Schema.t) ~(right : Schema.t) :
-    (Table.t * Table.t, Table.t) Lens.t =
+(* The computed pieces of a natural join, shared by the whole-view lens
+   and the delta translation. *)
+type join_plan = {
+  join_schema : Schema.t;
+  join_key_indices : int list;  (** shared columns in the view *)
+  left_key_indices : int list;  (** shared columns in the left table *)
+  right_key_indices : int list;  (** shared columns in the right table *)
+  left_of_view : int array;  (** view positions of the left columns *)
+  right_of_view : int array;  (** view positions of the right columns *)
+  right_rest_of_right : int array;
+      (** right positions of the non-shared right columns *)
+}
+
+let join_plan ~(left : Schema.t) ~(right : Schema.t) : join_plan =
   let shared = Schema.shared left right in
   let right_rest =
     List.filter
@@ -186,16 +198,29 @@ let join ~(left : Schema.t) ~(right : Schema.t) :
       (Schema.columns left
       @ List.map (fun n -> (n, Schema.ty_of right n)) right_rest)
   in
-  let join_key_indices = List.map (Schema.index join_schema) shared in
-  let right_key_indices = List.map (Schema.index right) shared in
-  let left_of_view =
-    Array.of_list
-      (List.map (Schema.index join_schema) (Schema.column_names left))
-  in
-  let right_of_view =
-    Array.of_list
-      (List.map (Schema.index join_schema) (Schema.column_names right))
-  in
+  {
+    join_schema;
+    join_key_indices = List.map (Schema.index join_schema) shared;
+    left_key_indices = List.map (Schema.index left) shared;
+    right_key_indices = List.map (Schema.index right) shared;
+    left_of_view =
+      Array.of_list
+        (List.map (Schema.index join_schema) (Schema.column_names left));
+    right_of_view =
+      Array.of_list
+        (List.map (Schema.index join_schema) (Schema.column_names right));
+    right_rest_of_right =
+      Array.of_list (List.map (Schema.index right) right_rest);
+  }
+
+let join ~(left : Schema.t) ~(right : Schema.t) :
+    (Table.t * Table.t, Table.t) Lens.t =
+  let plan = join_plan ~left ~right in
+  let join_schema = plan.join_schema in
+  let join_key_indices = plan.join_key_indices in
+  let right_key_indices = plan.right_key_indices in
+  let left_of_view = plan.left_of_view in
+  let right_of_view = plan.right_of_view in
   let reproject indices rows =
     List.sort_uniq Row.compare
       (Array.to_list
@@ -334,3 +359,157 @@ let dcompose (outer : dlens) (inner : dlens) : dlens =
         outer.translate source
           (inner.translate (Lens.get outer.lens source) vds));
   }
+
+(* ------------------------------------------------------------------ *)
+(* Delta join                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** A delta-capable join: the whole-view {!join} lens plus a translation
+    of view deltas into (left, right) source delta pairs.  The source is
+    a table {e pair}, so the join does not fit the single-table {!dlens}
+    shape. *)
+type djoin = {
+  jlens : (Table.t * Table.t, Table.t) Esm_lens.Lens.t;
+  jtranslate :
+    Table.t * Table.t ->
+    Row_delta.t list ->
+    Row_delta.t list * Row_delta.t list;
+}
+
+let djoin ~(left : Schema.t) ~(right : Schema.t) : djoin =
+  let plan = join_plan ~left ~right in
+  let proj indices (r : Row.t) = Array.map (fun i -> r.(i)) indices in
+  let jtranslate ((l, r) : Table.t * Table.t) (deltas : Row_delta.t list) :
+      Row_delta.t list * Row_delta.t list =
+    Esm_core.Chaos.point "rlens.djoin.translate";
+    (* The checked memo: a corrupt index raises [Index] and
+       [put_delta_join] degrades to the full put. *)
+    let right_by_key = Table.key_index_checked r plan.right_key_indices in
+    (* Left rows grouped by shared key — the view rows for a key are
+       exactly these joined against the key's (unique) right partner. *)
+    let left_by_key : (Value.t list, Row.t list) Hashtbl.t =
+      Hashtbl.create (max 16 (Table.cardinality l))
+    in
+    Table.iter
+      (fun row ->
+        let k = Table.key_of_row plan.left_key_indices row in
+        Hashtbl.replace left_by_key k
+          (row :: Option.value ~default:[] (Hashtbl.find_opt left_by_key k)))
+      l;
+    let join_row lrow rho =
+      Array.append lrow (proj plan.right_rest_of_right rho)
+    in
+    (* Current view rows per touched key, materialised lazily; local to
+       this translation so the table-owned memo is never mutated. *)
+    let vcur : (Value.t list, Row.t list) Hashtbl.t = Hashtbl.create 16 in
+    let view_rows k =
+      match Hashtbl.find_opt vcur k with
+      | Some rows -> rows
+      | None ->
+          let rows =
+            match Hashtbl.find_opt right_by_key k with
+            | None -> []
+            | Some rho ->
+                List.map
+                  (fun lrow -> join_row lrow rho)
+                  (Option.value ~default:[] (Hashtbl.find_opt left_by_key k))
+          in
+          Hashtbl.replace vcur k rows;
+          rows
+    in
+    let check v =
+      if not (Row.conforms plan.join_schema v) then
+        Lens.shape_errorf
+          "join lens: delta row %s does not conform to the join schema %s"
+          (Row.to_string v)
+          (Schema.to_string plan.join_schema)
+    in
+    let dl = ref [] in
+    let touched = ref [] in
+    List.iter
+      (fun d ->
+        match d with
+        | Row_delta.Add v ->
+            check v;
+            let k = Table.key_of_row plan.join_key_indices v in
+            let rows = view_rows k in
+            if not (List.exists (fun w -> Row.compare w v = 0) rows) then (
+              Hashtbl.replace vcur k (v :: rows);
+              touched := k :: !touched;
+              (* set semantics make this a no-op if the left row is
+                 already present (another view row shares it) *)
+              dl := Row_delta.Add (proj plan.left_of_view v) :: !dl)
+        | Row_delta.Remove v ->
+            check v;
+            let k = Table.key_of_row plan.join_key_indices v in
+            let rows = view_rows k in
+            if List.exists (fun w -> Row.compare w v = 0) rows then (
+              let rows' =
+                List.filter (fun w -> Row.compare w v <> 0) rows
+              in
+              Hashtbl.replace vcur k rows';
+              touched := k :: !touched;
+              let lam = proj plan.left_of_view v in
+              (* only drop the left row if no remaining view row still
+                 projects to it (possible mid-burst, before the
+                 key-determines-right-row invariant is restored) *)
+              if
+                not
+                  (List.exists
+                     (fun w ->
+                       Row.compare (proj plan.left_of_view w) lam = 0)
+                     rows')
+              then dl := Row_delta.Remove lam :: !dl))
+      deltas;
+    (* Right deltas, per touched key, from the initial-vs-final view:
+       a key present in the final view dictates its right rows (the
+       view's right projections); a key absent from the final view keeps
+       the original right row untouched (it is merely unjoined). *)
+    let dr = ref [] in
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun k ->
+        if not (Hashtbl.mem seen k) then (
+          Hashtbl.replace seen k ();
+          let orig = Hashtbl.find_opt right_by_key k in
+          let final_rows = view_rows k in
+          let final_rhos =
+            List.sort_uniq Row.compare
+              (List.map (proj plan.right_of_view) final_rows)
+          in
+          let wanted =
+            if final_rows = [] then Option.to_list orig else final_rhos
+          in
+          (match orig with
+          | Some rho
+            when not
+                   (List.exists (fun w -> Row.compare w rho = 0) wanted) ->
+              dr := Row_delta.Remove rho :: !dr
+          | _ -> ());
+          List.iter
+            (fun rho ->
+              match orig with
+              | Some rho0 when Row.compare rho0 rho = 0 -> ()
+              | _ -> dr := Row_delta.Add rho :: !dr)
+            wanted))
+      (List.rev !touched);
+    (List.rev !dl, List.rev !dr)
+  in
+  { jlens = join ~left ~right; jtranslate }
+
+let put_delta_join (j : djoin) ((l, r) : Table.t * Table.t)
+    (deltas : Row_delta.t list) : Table.t * Table.t =
+  match
+    let dl, dr = j.jtranslate (l, r) deltas in
+    (Row_delta.apply_all l dl, Row_delta.apply_all r dr)
+  with
+  | result -> result
+  | exception e when Esm_core.Error.degradable_exn e ->
+      (* Same degradation policy as {!put_delta}: distrust the memoized
+         indexes, then recompute with the full join put oracle. *)
+      Esm_core.Chaos.note_fallback "rlens.put_delta_join";
+      ignore (Table.revalidate_indexes l);
+      ignore (Table.revalidate_indexes r);
+      Esm_core.Chaos.protected (fun () ->
+          let view = Lens.get j.jlens (l, r) in
+          Lens.put j.jlens (l, r) (Row_delta.apply_all view deltas))

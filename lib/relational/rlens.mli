@@ -79,3 +79,34 @@ val drename : (string * string) list -> dlens
 val dcompose : dlens -> dlens -> dlens
 (** [dcompose outer inner] with [outer] closer to the source (same
     orientation as {!Esm_lens.Lens.compose}). *)
+
+(** {1 Delta join}
+
+    The incremental path for joined views: the source is a table pair,
+    so the join does not fit the single-table {!dlens} shape. *)
+
+type djoin = {
+  jlens : (Table.t * Table.t, Table.t) Esm_lens.Lens.t;
+  jtranslate :
+    Table.t * Table.t ->
+    Row_delta.t list ->
+    Row_delta.t list * Row_delta.t list;
+}
+
+val djoin : left:Schema.t -> right:Schema.t -> djoin
+(** Translate view deltas over the natural join into (left, right)
+    source delta pairs.  A removed view row drops its left projection
+    (the right row is kept — either still dictated by surviving view
+    rows with the same key, or merely unjoined); an added view row adds
+    its left projection and updates the key's right row to the view's
+    right projection.  [jtranslate (l, r) ds] assumes the deltas
+    describe an edit of [get (join ...) (l, r)]; under that precondition
+    {!put_delta_join} agrees with the full [put] on the edited view —
+    the oracle property checked in [test/test_row_delta.ml]. *)
+
+val put_delta_join :
+  djoin -> Table.t * Table.t -> Row_delta.t list -> Table.t * Table.t
+(** Apply view deltas through the translated source delta pairs, with
+    the same graceful degradation as {!put_delta}: on a degradable
+    failure both tables' memoized indexes are revalidated and the answer
+    is recomputed with the full join [get]/[put] oracle. *)

@@ -1,0 +1,58 @@
+(** The versioned append-only operation log behind a replicated store.
+
+    Versions are assigned densely: the [n]-th committed operation has
+    version [n], version [0] is the initial state.  Periodic snapshots
+    pin (version, state) pairs so crash recovery replays a bounded
+    suffix instead of the whole history.  States in this library are
+    immutable values, so a snapshot is just a retained binding — there
+    is no copying cost, only the decision of {e which} versions stay
+    reachable. *)
+
+type 'op entry = { version : int; session : string; op : 'op }
+
+type ('op, 's) t = {
+  mutable entries : 'op entry list;  (** newest first *)
+  mutable snapshots : (int * 's) list;  (** newest first; [(0, init)] seed *)
+  snapshot_every : int;
+}
+
+let create ?(snapshot_every = 8) ~(init : 's) () : ('op, 's) t =
+  if snapshot_every <= 0 then
+    invalid_arg "Oplog.create: snapshot_every must be positive";
+  { entries = []; snapshots = [ (0, init) ]; snapshot_every }
+
+let head_version (t : ('op, 's) t) : int =
+  match t.entries with [] -> 0 | e :: _ -> e.version
+
+let length (t : ('op, 's) t) : int = List.length t.entries
+
+(** Append the next operation; the new head version is returned. *)
+let append (t : ('op, 's) t) ~(session : string) (op : 'op) : int =
+  let version = head_version t + 1 in
+  t.entries <- { version; session; op } :: t.entries;
+  version
+
+(** Entries with versions strictly above [v], oldest first — the replay
+    (or rebase) suffix. *)
+let entries_since (t : ('op, 's) t) (v : int) : 'op entry list =
+  let rec take acc = function
+    | e :: rest when e.version > v -> take (e :: acc) rest
+    | _ -> acc
+  in
+  take [] t.entries
+
+let snapshot_due (t : ('op, 's) t) : bool =
+  head_version t mod t.snapshot_every = 0
+
+let record_snapshot (t : ('op, 's) t) (version : int) (state : 's) : unit =
+  t.snapshots <- (version, state) :: t.snapshots
+
+(** The most recent snapshot — where a crashed store wakes up. *)
+let latest_snapshot (t : ('op, 's) t) : int * 's =
+  match t.snapshots with
+  | s :: _ -> s
+  | [] -> assert false (* [(0, init)] is seeded at creation *)
+
+let sessions (t : ('op, 's) t) : string list =
+  List.sort_uniq String.compare
+    (List.rev_map (fun e -> e.session) t.entries)

@@ -1,0 +1,37 @@
+(** The versioned append-only operation log behind a replicated store
+    (see [docs/SYNC.md]).
+
+    Versions are dense: the [n]-th committed operation has version [n];
+    version [0] is the initial state.  Snapshots pin (version, state)
+    pairs — states are immutable values, so a snapshot is a retained
+    binding, and crash recovery replays only the suffix after the most
+    recent one. *)
+
+type 'op entry = { version : int; session : string; op : 'op }
+
+type ('op, 's) t
+
+val create : ?snapshot_every:int -> init:'s -> unit -> ('op, 's) t
+(** An empty log whose version-0 snapshot is [init].  [snapshot_every]
+    (default 8, must be positive) is the snapshot period in commits. *)
+
+val head_version : ('op, 's) t -> int
+val length : ('op, 's) t -> int
+
+val append : ('op, 's) t -> session:string -> 'op -> int
+(** Append the next operation; returns the new head version. *)
+
+val entries_since : ('op, 's) t -> int -> 'op entry list
+(** Entries with versions strictly above the argument, oldest first —
+    the replay (or rebase) suffix. *)
+
+val snapshot_due : ('op, 's) t -> bool
+(** Is the head version a multiple of the snapshot period? *)
+
+val record_snapshot : ('op, 's) t -> int -> 's -> unit
+
+val latest_snapshot : ('op, 's) t -> int * 's
+(** The most recent snapshot — where a crashed store wakes up. *)
+
+val sessions : ('op, 's) t -> string list
+(** The distinct session names appearing in the log, sorted. *)

@@ -1,0 +1,197 @@
+(** The replicated store: any packed bx served behind a versioned
+    append-only {!Oplog}, with transactional commits, optimistic version
+    checks, periodic snapshots and crash recovery by replay.
+
+    The paper's set-bx operations {e are} the session protocol — a
+    client holding one view issues sets against shared hidden state —
+    and the store is the piece that makes many such clients safe: every
+    commit runs through {!Esm_core.Atomic.run}, so a failing update
+    rolls back to the snapshot and appends {e nothing}; a stale
+    [?expect] version is refused with a typed
+    {!Esm_core.Error.Conflict}; and because states are immutable values,
+    snapshots are free and recovery is a deterministic fold of the
+    oplog suffix.
+
+    Batched deltas close the ROADMAP "batch/transactional delta
+    application" item: a burst of {!Esm_relational.Row_delta} edits (or
+    {!Esm_modelbx.Diff} edits) coalesces into {e one} materialised view,
+    one set through the bx — one index rebuild — and one oplog record,
+    instead of one commit per edit.
+
+    Chaos sites: ["sync.oplog.append"] (a commit aborts whole, keeping
+    state and oplog agreeing), ["sync.store.replay"] (recovery absorbs
+    the fault and replays anyway, retrying faulted entries under
+    {!Esm_core.Chaos.protected} — each entry committed once already, so
+    replay must not invent new failures). *)
+
+open Esm_core
+
+type ('a, 'b, 'da, 'db) op =
+  | Set_a of 'a
+  | Set_b of 'b
+  | Batch_a of 'da list
+      (** coalesce the burst into one A view, one set, one record *)
+  | Batch_b of 'db list
+  | Exec of ('a, 'b) Command.t
+
+let op_kind = function
+  | Set_a _ -> "set_a"
+  | Set_b _ -> "set_b"
+  | Batch_a _ -> "batch_a"
+  | Batch_b _ -> "batch_b"
+  | Exec _ -> "exec"
+
+type ('a, 'b, 'da, 'db) t =
+  | Store : {
+      name : string;
+      bx : ('a, 'b, 's) Concrete.set_bx;
+      eq_state : 's -> 's -> bool;
+      pedigree : Pedigree.t;
+      apply_da : ('a -> 'da list -> 'a) option;
+          (** materialise a burst of A-side deltas against the A view *)
+      apply_db : ('b -> 'db list -> 'b) option;
+      log : (('a, 'b, 'da, 'db) op, 's) Oplog.t;
+      mutable state : 's;
+      mutable version : int;  (** the version [state] is at *)
+    }
+      -> ('a, 'b, 'da, 'db) t
+
+let of_packed ?(name = "store") ?snapshot_every ?apply_da ?apply_db
+    (Concrete.Packed repr : ('a, 'b) Concrete.packed) :
+    ('a, 'b, 'da, 'db) t =
+  Store
+    {
+      name;
+      bx = repr.Concrete.bx;
+      eq_state = repr.Concrete.eq_state;
+      pedigree = Pedigree.Replicated repr.Concrete.pedigree;
+      apply_da;
+      apply_db;
+      log = Oplog.create ?snapshot_every ~init:repr.Concrete.init ();
+      state = repr.Concrete.init;
+      version = 0;
+    }
+
+let name (Store s) = s.name
+let pedigree (Store s) = s.pedigree
+let version (Store s) = s.version
+let head_version (Store s) = Oplog.head_version s.log
+let view_a (Store s) = s.bx.Concrete.get_a s.state
+let view_b (Store s) = s.bx.Concrete.get_b s.state
+let entries_since (Store s) v = Oplog.entries_since s.log v
+let log_sessions (Store s) = Oplog.sessions s.log
+
+(* The single-op state transition; raises bx errors, which the commit
+   and replay paths turn into rollback / protected retry. *)
+let apply_op :
+    type s.
+    bx:('a, 'b, s) Concrete.set_bx ->
+    apply_da:('a -> 'da list -> 'a) option ->
+    apply_db:('b -> 'db list -> 'b) option ->
+    ('a, 'b, 'da, 'db) op ->
+    s ->
+    s =
+ fun ~bx ~apply_da ~apply_db op st ->
+  match op with
+  | Set_a a -> bx.Concrete.set_a a st
+  | Set_b b -> bx.Concrete.set_b b st
+  | Batch_a ds -> (
+      match apply_da with
+      | None ->
+          Error.raise_error Error.Other ~op:"commit"
+            "store has no A-side delta applier (pass ~apply_da)"
+      | Some f -> bx.Concrete.set_a (f (bx.Concrete.get_a st) ds) st)
+  | Batch_b ds -> (
+      match apply_db with
+      | None ->
+          Error.raise_error Error.Other ~op:"commit"
+            "store has no B-side delta applier (pass ~apply_db)"
+      | Some f -> bx.Concrete.set_b (f (bx.Concrete.get_b st) ds) st)
+  | Exec c -> Command.exec bx c st
+
+let commit ?expect ~(session : string) (Store s : ('a, 'b, 'da, 'db) t)
+    (op : ('a, 'b, 'da, 'db) op) : (int, Error.t) result =
+  if s.version <> Oplog.head_version s.log then
+    Error
+      (Error.v Error.Other ~op:"commit"
+         (Printf.sprintf
+            "store %s is at version %d with oplog head %d: crashed state, \
+             recover before committing"
+            s.name s.version (Oplog.head_version s.log)))
+  else
+    match expect with
+    | Some v when v <> s.version ->
+        (* the oplog is the conflict evidence: someone committed the
+           versions between the session's base and the head *)
+        let winners =
+          Oplog.entries_since s.log v
+          |> List.map (fun (e : _ Oplog.entry) -> e.Oplog.session)
+          |> List.sort_uniq String.compare
+        in
+        Error
+          (Error.v Error.Conflict ~op:"commit"
+             (Printf.sprintf
+                "session %s expected version %d but store %s is at %d \
+                 (concurrent commits by: %s)"
+                session v s.name s.version
+                (String.concat ", " winners)))
+    | _ -> (
+        (* transactional apply: roll back to the snapshot (the input
+           state — states are immutable) on any bx failure, including
+           an injected fault at the append site; nothing is appended and
+           the store is observably untouched *)
+        let result, state' =
+          Atomic.run
+            (fun st ->
+              let st =
+                apply_op ~bx:s.bx ~apply_da:s.apply_da ~apply_db:s.apply_db
+                  op st
+              in
+              Chaos.point "sync.oplog.append";
+              ((), st))
+            s.state
+        in
+        match result with
+        | Error e -> Error e
+        | Ok () ->
+            s.state <- state';
+            let version = Oplog.append s.log ~session op in
+            s.version <- version;
+            if Oplog.snapshot_due s.log then
+              Oplog.record_snapshot s.log version state';
+            Ok version)
+
+(** Simulate a crash: the volatile state is lost; what survives is the
+    oplog and its snapshots.  The store wakes up at the most recent
+    snapshot with the suffix still un-replayed (commits are refused
+    until {!recover}). *)
+let crash (Store s : ('a, 'b, 'da, 'db) t) : unit =
+  let version, snap = Oplog.latest_snapshot s.log in
+  s.state <- snap;
+  s.version <- version
+
+(** Recovery by replay: fold the oplog suffix after the snapshot back
+    into the state.  Every replayed entry committed successfully once,
+    so replay is deterministic — a degradable failure (an injected
+    fault, a distrusted index) is absorbed by retrying that entry under
+    {!Esm_core.Chaos.protected}; genuine programming errors still
+    propagate. *)
+let recover (Store s : ('a, 'b, 'da, 'db) t) : unit =
+  (try Chaos.point "sync.store.replay"
+   with exn when Error.degradable_exn exn ->
+     Chaos.note_fallback "sync.store.replay");
+  List.iter
+    (fun (e : _ Oplog.entry) ->
+      let apply st =
+        apply_op ~bx:s.bx ~apply_da:s.apply_da ~apply_db:s.apply_db
+          e.Oplog.op st
+      in
+      let next =
+        try apply s.state
+        with exn when Error.degradable_exn exn ->
+          Chaos.note_fallback "sync.store.replay";
+          Chaos.protected (fun () -> apply s.state)
+      in
+      s.state <- next;
+      s.version <- e.Oplog.version)
+    (Oplog.entries_since s.log s.version)

@@ -1,0 +1,77 @@
+(** A replicated store: a packed bx served behind a versioned
+    append-only {!Oplog} with transactional commits, optimistic version
+    checks, periodic snapshots and crash recovery by replay (see
+    [docs/SYNC.md]).
+
+    Chaos sites: ["sync.oplog.append"] (commit aborts whole),
+    ["sync.store.replay"] (recovery absorbs the fault). *)
+
+open Esm_core
+
+type ('a, 'b, 'da, 'db) op =
+  | Set_a of 'a  (** overwrite the A view through the bx *)
+  | Set_b of 'b
+  | Batch_a of 'da list
+      (** a coalesced burst of A-side deltas: one materialised view,
+          one set through the bx, one oplog record *)
+  | Batch_b of 'db list
+  | Exec of ('a, 'b) Command.t
+
+val op_kind : ('a, 'b, 'da, 'db) op -> string
+
+type ('a, 'b, 'da, 'db) t
+
+val of_packed :
+  ?name:string ->
+  ?snapshot_every:int ->
+  ?apply_da:('a -> 'da list -> 'a) ->
+  ?apply_db:('b -> 'db list -> 'b) ->
+  ('a, 'b) Concrete.packed ->
+  ('a, 'b, 'da, 'db) t
+(** Serve a packed bx as a replicated store.  The pedigree is recorded
+    as [Pedigree.Replicated] of the base pedigree.  [apply_da] /
+    [apply_db] materialise delta bursts for [Batch_a] / [Batch_b]
+    (omitting them makes batch commits fail with a typed error). *)
+
+val name : ('a, 'b, 'da, 'db) t -> string
+val pedigree : ('a, 'b, 'da, 'db) t -> Pedigree.t
+
+val version : ('a, 'b, 'da, 'db) t -> int
+(** The version the in-memory state is at.  Behind {!head_version}
+    exactly when the store has crashed and not yet recovered. *)
+
+val head_version : ('a, 'b, 'da, 'db) t -> int
+val view_a : ('a, 'b, 'da, 'db) t -> 'a
+val view_b : ('a, 'b, 'da, 'db) t -> 'b
+
+val entries_since :
+  ('a, 'b, 'da, 'db) t -> int -> ('a, 'b, 'da, 'db) op Oplog.entry list
+(** The oplog suffix strictly above a version, oldest first — what a
+    session pulls to rebase. *)
+
+val log_sessions : ('a, 'b, 'da, 'db) t -> string list
+
+val commit :
+  ?expect:int ->
+  session:string ->
+  ('a, 'b, 'da, 'db) t ->
+  ('a, 'b, 'da, 'db) op ->
+  (int, Error.t) result
+(** Commit one operation, returning the new version.  [?expect] is the
+    optimistic version check: if another session committed since, the
+    result is an [Error.Conflict] naming the winners and nothing is
+    applied.  The application itself runs under {!Esm_core.Atomic.run} —
+    a failing update rolls back and appends nothing.  A crashed store
+    ({!version} behind {!head_version}) refuses commits until
+    {!recover}. *)
+
+val crash : ('a, 'b, 'da, 'db) t -> unit
+(** Simulate a crash: volatile state resets to the latest snapshot; the
+    oplog survives.  Commits are refused until {!recover}. *)
+
+val recover : ('a, 'b, 'da, 'db) t -> unit
+(** Recovery by replay: fold the oplog suffix after the snapshot back
+    into the state.  Degradable failures (injected faults, distrusted
+    indexes) are absorbed by retrying under
+    {!Esm_core.Chaos.protected} — every replayed entry committed
+    successfully once, so recovery reproduces the pre-crash state. *)

@@ -66,6 +66,54 @@ let unit_tests =
           (journalled.Concrete.get_b st mod 2 = 0));
   ]
 
+(* Regression: the journal must witness only edits that actually took
+   effect in the inner bx.  A hardened (Atomic) inner bx swallows
+   failing sets by returning the state unchanged; the old journalling
+   code logged the edit anyway — a phantom entry describing an update
+   that never happened, breaking undo and state equality. *)
+let phantom_tests =
+  let failing : (int, int, int * int) Concrete.set_bx =
+    {
+      base with
+      Concrete.name = "failing";
+      set_a =
+        (fun a st ->
+          if a < 0 then
+            Error.raise_error Error.Shape ~op:"set_a" "negative update %d" a
+          else base.Concrete.set_a a st);
+    }
+  in
+  let hardened = Journal.journalled ~eq_a:Int.equal ~eq_b:Int.equal
+      (Atomic.harden failing)
+  in
+  let open Alcotest in
+  [
+    test_case "swallowed failures leave no phantom journal entry" `Quick
+      (fun () ->
+        let st = Journal.initial (0, 0) in
+        let st' = hardened.Concrete.set_a (-3) st in
+        check int "no phantom entry" 0 (List.length (Journal.history st'));
+        check bool "state unchanged" true (eq_state st st'));
+    test_case "effective edits through the hardened bx still record" `Quick
+      (fun () ->
+        let st = hardened.Concrete.set_a 6 (Journal.initial (0, 0)) in
+        check int "one entry" 1 (List.length (Journal.history st)));
+    test_case "undo never snapshots a swallowed failure" `Quick (fun () ->
+        let undoable =
+          Journal.Undo.wrap ~eq_a:Int.equal ~eq_b:Int.equal
+            (Atomic.harden failing)
+        in
+        let st = Journal.Undo.initial (0, 0) in
+        let st = undoable.Concrete.set_a 6 st in
+        let st = undoable.Concrete.set_a (-3) st (* swallowed *) in
+        match Journal.Undo.undo st with
+        | Some st' ->
+            (* one undo steps over the effective edit, not the phantom *)
+            check int "back to the initial a" 0
+              (undoable.Concrete.get_a st')
+        | None -> Alcotest.fail "expected one undoable step");
+  ]
+
 (* Wrappers stack: an effectful (trace-printing) bx OVER a journalled
    bx — two layers of witness structure, still lawful. *)
 module Stacked = Esm_core.Effectful.Make (struct
@@ -110,6 +158,6 @@ let stacked_unit_tests =
   ]
 
 let suite =
-  unit_tests @ stacked_unit_tests
+  unit_tests @ phantom_tests @ stacked_unit_tests
   @ Helpers.q (law_tests @ stacked_tests)
   @ negative_tests

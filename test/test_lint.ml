@@ -20,6 +20,9 @@ let lint_cmd ?(requested = `Commuting) ?(inferred = `Commuting) cmd =
 let lint_ops ?(requested = `Commuting) ?(inferred = `Commuting) ops =
   Lint.lint_program ~requested ~inferred ~eq_a:Int.equal ~eq_b:Int.equal ops
 
+let lint_puts ?(requested = `Commuting) ?(inferred = `Commuting) ops =
+  Lint.lint_puts ~requested ~inferred ~eq_a:Int.equal ~eq_b:Int.equal ops
+
 let has rule ds = List.exists (fun d -> d.Lint.rule = rule) ds
 
 let requires_of rule ds =
@@ -195,6 +198,61 @@ let suite =
         check Alcotest.bool "no errors" false (Lint.has_errors ds);
         check Alcotest.bool "still reports the (sound) rewrites" true
           (has (Lint.Dead_set Lint.A) ds));
+    (* ------------------- put-presentation lint -------------------- *)
+    test "dead-put fires on re-putting the current view" `Quick (fun () ->
+        let ds = lint_puts [ Lint.Put_ab 3; Lint.Put_ab 3 ] in
+        check Alcotest.bool "fires" true (has (Lint.Dead_put Lint.A) ds);
+        check (Alcotest.list level) "requires only set-bx" [ `Set_bx ]
+          (requires_of (Lint.Dead_put Lint.A) ds);
+        let ds = lint_puts [ Lint.Put_ba 2; Lint.Put_ba 2 ] in
+        check Alcotest.bool "b direction too" true
+          (has (Lint.Dead_put Lint.B) ds));
+    test "dead-put across an opposite put requires commutation" `Quick
+      (fun () ->
+        let ds = lint_puts [ Lint.Put_ab 3; Lint.Put_ba 2; Lint.Put_ab 3 ] in
+        check (Alcotest.list level) "commuting-level dead put" [ `Commuting ]
+          (requires_of (Lint.Dead_put Lint.A) ds));
+    test "a get after a put re-reads the returned view ((PG))" `Quick
+      (fun () ->
+        let ds = lint_puts [ Lint.Put_ab 3; Lint.Pget_b ] in
+        check (Alcotest.list level) "foldable at set-bx" [ `Set_bx ]
+          (requires_of (Lint.Foldable_read Lint.B) ds);
+        let ds = lint_puts [ Lint.Put_ba 2; Lint.Pget_a ] in
+        check (Alcotest.list level) "other direction" [ `Set_bx ]
+          (requires_of (Lint.Foldable_read Lint.A) ds));
+    test "unobserved same-direction puts collapse ((PP))" `Quick (fun () ->
+        let ds = lint_puts [ Lint.Put_ab 3; Lint.Put_ab 4 ] in
+        check (Alcotest.list level) "overwriteable collapse"
+          [ `Overwriteable ]
+          (requires_of (Lint.Collapsible_put Lint.A) ds));
+    test "an intervening read saves the first put" `Quick (fun () ->
+        let ds = lint_puts [ Lint.Put_ab 3; Lint.Pget_b; Lint.Put_ab 4 ] in
+        check Alcotest.bool "no collapse" false
+          (has (Lint.Collapsible_put Lint.A) ds));
+    test "a collapse across opposite puts requires commutation" `Quick
+      (fun () ->
+        let ds = lint_puts [ Lint.Put_ab 3; Lint.Put_ba 2; Lint.Put_ab 4 ] in
+        check Alcotest.bool "reorder-collapse, not (PP)" true
+          (has (Lint.Reorder_collapse Lint.A) ds
+          && not (has (Lint.Collapsible_put Lint.A) ds));
+        check (Alcotest.list level) "commuting required" [ `Commuting ]
+          (requires_of (Lint.Reorder_collapse Lint.A) ds));
+    test "put-lint severity follows the level lattice" `Quick (fun () ->
+        (* (PP) on a set-bx-only pedigree: requested high = error,
+           requested low = the rewrite is off, info only *)
+        let prog = [ Lint.Put_ab 3; Lint.Put_ab 4 ] in
+        check Alcotest.bool "fires unsound: error" true
+          (Lint.has_errors
+             (lint_puts ~requested:`Overwriteable ~inferred:`Set_bx prog));
+        check Alcotest.bool "off at set-bx: no error" false
+          (Lint.has_errors
+             (lint_puts ~requested:`Set_bx ~inferred:`Set_bx prog)));
+    test "puts_have_sets distinguishes readers from writers" `Quick
+      (fun () ->
+        check Alcotest.bool "gets only" false
+          (Lint.puts_have_sets [ Lint.Pget_a; Lint.Pget_b ]);
+        check Alcotest.bool "a put writes" true
+          (Lint.puts_have_sets [ Lint.Pget_a; Lint.Put_ba 2 ]));
   ]
   @ Helpers.q
       [

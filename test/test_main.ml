@@ -39,4 +39,5 @@ let () =
       ("lint", Test_lint.suite);
       ("integration", Test_integration.suite);
       ("chaos (atomic + fault injection)", Test_atomic.suite);
+      ("sync (replicated store)", Test_sync.suite);
     ]

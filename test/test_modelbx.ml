@@ -159,6 +159,59 @@ let diff_tests =
     QCheck.Test.make ~count:300 ~name:"distance is symmetric in emptiness"
       gen_class_model
       (fun m -> (Diff.distance m m = 0) && Diff.distance Model.empty m = Model.size m);
+    (* The batched-commit equivalence Esm_sync relies on: coalescing a
+       valid burst never changes its effect, and never grows it.  A
+       chained diff (m1 -> m2 -> m3) yields bursts with genuine
+       supersessions and add/remove cancellations. *)
+    QCheck.Test.make ~count:300 ~name:"coalesce preserves apply on bursts"
+      (QCheck.triple gen_class_model gen_class_model gen_class_model)
+      (fun (m1, m2, m3) ->
+        let burst = Diff.diff m1 m2 @ Diff.diff m2 m3 in
+        Model.equal (Diff.apply m1 (Diff.coalesce burst)) (Diff.apply m1 burst)
+        && List.length (Diff.coalesce burst) <= List.length burst);
+  ]
+
+let coalesce_unit_tests =
+  let open Alcotest in
+  [
+    test_case "coalesce drops a superseded attribute write" `Quick (fun () ->
+        let es =
+          [
+            Diff.Set_attr (1, "name", Model.Vstr "x");
+            Diff.Set_attr (1, "doc", Model.Vstr "keep");
+            Diff.Set_attr (1, "name", Model.Vstr "y");
+          ]
+        in
+        (match Diff.coalesce es with
+        | [ Diff.Set_attr (1, "doc", _); Diff.Set_attr (1, "name", Model.Vstr "y") ] -> ()
+        | es' -> failf "unexpected coalesce of length %d" (List.length es'));
+        ());
+    test_case "coalesce cancels an add against its remove" `Quick (fun () ->
+        let o = Model.obj ~id:7 ~cls:"Class" [ ("name", Model.Vstr "tmp") ] in
+        let es =
+          [
+            Diff.Add_object o;
+            Diff.Set_attr (7, "doc", Model.Vstr "ephemeral");
+            Diff.Remove_object 7;
+            Diff.Set_attr (1, "name", Model.Vstr "z");
+          ]
+        in
+        match Diff.coalesce es with
+        | [ Diff.Set_attr (1, "name", Model.Vstr "z") ] -> ()
+        | es' -> failf "unexpected coalesce of length %d" (List.length es'));
+    test_case "an object-level edit blocks attribute supersession" `Quick
+      (fun () ->
+        let o = Model.obj ~id:1 ~cls:"Class" [ ("name", Model.Vstr "n") ] in
+        let es =
+          [
+            Diff.Set_attr (1, "name", Model.Vstr "x");
+            Diff.Remove_object 1;
+            Diff.Add_object o;
+            Diff.Set_attr (1, "name", Model.Vstr "y");
+          ]
+        in
+        check int "nothing dropped" (List.length es)
+          (List.length (Diff.coalesce es)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -394,7 +447,7 @@ let fwd_delta_tests =
 let _ = model_t
 
 let suite =
-  model_tests @ metamodel_tests
+  model_tests @ metamodel_tests @ coalesce_unit_tests
   @ Helpers.q
       (diff_tests @ algbx_law_tests @ set_bx_law_tests @ fwd_delta_tests)
   @ scenario_tests

@@ -1,0 +1,539 @@
+(** Sync suite: the replicated store end to end.
+
+    - {!Esm_sync.Oplog}: dense versioning, suffix reads, snapshots;
+    - {!Esm_sync.Store}: transactional commits (a failing update
+      appends nothing), optimistic conflicts, batched delta bursts as
+      one oplog record, crash + replay recovery;
+    - {!Esm_sync.Session}: side enforcement, pull/rebase;
+    - {!Esm_sync.Wire}: codec roundtrips and the in-process server;
+    - chaos properties: recovery reproduces the uncrashed store, a
+      batched commit equals one-at-a-time commits, and sessions
+      converge under fixed fault seeds.
+
+    Like the chaos suite, the base seed comes from [CHAOS_SEED] when
+    set, and each property case derives its own instance seed. *)
+
+open Esm_core
+open Esm_sync
+module Rel = Esm_relational
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+let chaos_seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 42)
+  | None -> 42
+
+let next_case = ref 0
+
+let case_chaos ~rate () =
+  incr next_case;
+  Chaos.make ~rate ~seed:(chaos_seed + (1000 * !next_case)) ()
+
+(* ------------------------------------------------------------------ *)
+(* The store under test: employees behind a where|select lens          *)
+(* ------------------------------------------------------------------ *)
+
+let eng_lens =
+  Rel.Query.lens_of_string ~schema:Rel.Workload.employees_schema
+    ~key:[ "id" ]
+    {|employees | where dept = "Engineering" | select id, name, dept|}
+
+let make_store ?(seed = 11) ?(size = 24) ?(snapshot_every = 4) () :
+    Wire.rstore =
+  Store.of_packed ~name:"employees" ~snapshot_every
+    ~apply_da:Rel.Row_delta.apply_all ~apply_db:Rel.Row_delta.apply_all
+    (Concrete.packed_of_lens ~vwb:false
+       ~init:(Rel.Workload.employees ~seed ~size)
+       ~eq_state:Rel.Table.equal eng_lens)
+
+let view_row i name =
+  Rel.Row.of_list
+    [ Rel.Value.Int i; Rel.Value.Str name; Rel.Value.Str "Engineering" ]
+
+let base_row i name dept =
+  Rel.Row.of_list
+    [
+      Rel.Value.Int i;
+      Rel.Value.Str name;
+      Rel.Value.Str dept;
+      Rel.Value.Int 50_000;
+      Rel.Value.Str (name ^ "@example.com");
+    ]
+
+let kind_of = function
+  | Ok _ -> None
+  | Error (e : Error.t) -> Some e.Error.kind
+
+(* ------------------------------------------------------------------ *)
+(* Oplog                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let oplog_tests =
+  [
+    test "versions are dense and suffix reads are ordered" `Quick (fun () ->
+        let log = Oplog.create ~snapshot_every:2 ~init:"s0" () in
+        check Alcotest.int "empty head" 0 (Oplog.head_version log);
+        let v1 = Oplog.append log ~session:"x" "op1" in
+        let v2 = Oplog.append log ~session:"y" "op2" in
+        let v3 = Oplog.append log ~session:"x" "op3" in
+        check Alcotest.(list int) "dense" [ 1; 2; 3 ] [ v1; v2; v3 ];
+        check
+          Alcotest.(list string)
+          "suffix oldest first" [ "op2"; "op3" ]
+          (List.map
+             (fun (e : _ Oplog.entry) -> e.Oplog.op)
+             (Oplog.entries_since log 1));
+        check
+          Alcotest.(list string)
+          "sessions sorted" [ "x"; "y" ] (Oplog.sessions log));
+    test "snapshots seed at version 0 and record on period" `Quick (fun () ->
+        let log = Oplog.create ~snapshot_every:2 ~init:"s0" () in
+        check Alcotest.(pair int string) "seed" (0, "s0")
+          (Oplog.latest_snapshot log);
+        ignore (Oplog.append log ~session:"x" "op1");
+        check Alcotest.bool "not due at 1" false (Oplog.snapshot_due log);
+        ignore (Oplog.append log ~session:"x" "op2");
+        check Alcotest.bool "due at 2" true (Oplog.snapshot_due log);
+        Oplog.record_snapshot log 2 "s2";
+        check Alcotest.(pair int string) "latest" (2, "s2")
+          (Oplog.latest_snapshot log));
+    test "create rejects a non-positive snapshot period" `Quick (fun () ->
+        match Oplog.create ~snapshot_every:0 ~init:() () with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Store: commits, conflicts, transactionality                         *)
+(* ------------------------------------------------------------------ *)
+
+let store_tests =
+  [
+    test "commit advances the version and both views" `Quick (fun () ->
+        let store = make_store () in
+        let d = Rel.Row_delta.Add (view_row 9001 "nina") in
+        (match Store.commit ~session:"b1" store (Store.Batch_b [ d ]) with
+        | Ok v -> check Alcotest.int "version 1" 1 v
+        | Error e -> Alcotest.failf "commit failed: %s" (Error.message e));
+        check Alcotest.bool "row in B view" true
+          (List.exists
+             (Rel.Row.equal (view_row 9001 "nina"))
+             (Rel.Table.rows (Store.view_b store)));
+        check Alcotest.bool "row propagated to A view" true
+          (List.exists
+             (fun r -> List.hd (Rel.Row.to_list r) = Rel.Value.Int 9001)
+             (Rel.Table.rows (Store.view_a store))));
+    test "stale optimistic check yields Conflict naming the winner" `Quick
+      (fun () ->
+        let store = make_store () in
+        let s1 = Session.bind store ~name:"s1" ~side:`B in
+        let s2 = Session.bind store ~name:"s2" ~side:`B in
+        (match
+           Session.submit s1
+             (Store.Batch_b [ Rel.Row_delta.Add (view_row 9001 "nina") ])
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "s1 failed: %s" (Error.message e));
+        let res =
+          Session.submit s2
+            (Store.Batch_b [ Rel.Row_delta.Add (view_row 9002 "omar") ])
+        in
+        check Alcotest.bool "Conflict kind" true
+          (kind_of res = Some Error.Conflict);
+        (match res with
+        | Error e ->
+            check Alcotest.bool "names the winner" true
+              (let detail = Error.message e in
+               let rec contains i =
+                 i + 2 <= String.length detail
+                 && (String.sub detail i 2 = "s1" || contains (i + 1))
+               in
+               contains 0)
+        | Ok _ -> assert false);
+        check Alcotest.int "loser appended nothing" 1 (Store.version store);
+        (* the loser rebases: pull the winning entries, resubmit on top *)
+        match
+          Session.submit_rebase s2
+            (Store.Batch_b [ Rel.Row_delta.Add (view_row 9002 "omar") ])
+        with
+        | Ok (v, rebased) ->
+            check Alcotest.int "rebased to 2" 2 v;
+            check Alcotest.int "saw one winning entry" 1 (List.length rebased);
+            check Alcotest.bool "both rows present" true
+              (let rows = Rel.Table.rows (Store.view_b store) in
+               List.exists (Rel.Row.equal (view_row 9001 "nina")) rows
+               && List.exists (Rel.Row.equal (view_row 9002 "omar")) rows)
+        | Error e -> Alcotest.failf "rebase failed: %s" (Error.message e));
+    test "a failing update rolls back and appends nothing" `Quick (fun () ->
+        let store = make_store () in
+        let before = Store.view_b store in
+        (* a view row outside the lens predicate is not puttable *)
+        let bad =
+          Rel.Row.of_list
+            [
+              Rel.Value.Int 9003;
+              Rel.Value.Str "zoe";
+              Rel.Value.Str "Sales";
+            ]
+        in
+        let res =
+          Store.commit ~session:"b1" store
+            (Store.Batch_b [ Rel.Row_delta.Add bad ])
+        in
+        check Alcotest.bool "typed error" true (Result.is_error res);
+        check Alcotest.int "version unchanged" 0 (Store.version store);
+        check Alcotest.int "oplog empty" 0
+          (List.length (Store.entries_since store 0));
+        check Alcotest.bool "view unchanged" true
+          (Rel.Table.equal before (Store.view_b store)));
+    test "a batched burst is one oplog record" `Quick (fun () ->
+        let store = make_store () in
+        let ds =
+          [
+            Rel.Row_delta.Add (view_row 9001 "nina");
+            Rel.Row_delta.Add (view_row 9002 "omar");
+            Rel.Row_delta.Remove (view_row 9001 "nina");
+          ]
+        in
+        (match Store.commit ~session:"b1" store (Store.Batch_b ds) with
+        | Ok v -> check Alcotest.int "one version" 1 v
+        | Error e -> Alcotest.failf "commit failed: %s" (Error.message e));
+        check Alcotest.int "one entry" 1
+          (List.length (Store.entries_since store 0));
+        check Alcotest.bool "net effect applied" true
+          (let rows = Rel.Table.rows (Store.view_b store) in
+           List.exists (Rel.Row.equal (view_row 9002 "omar")) rows
+           && not (List.exists (Rel.Row.equal (view_row 9001 "nina")) rows)));
+    test "missing delta applier is a typed error, not a crash" `Quick
+      (fun () ->
+        let store : Wire.rstore =
+          Store.of_packed ~name:"no-applier"
+            (Concrete.packed_of_lens ~vwb:false
+               ~init:(Rel.Workload.employees ~seed:3 ~size:4)
+               ~eq_state:Rel.Table.equal eng_lens)
+        in
+        let res =
+          Store.commit ~session:"b1" store
+            (Store.Batch_b [ Rel.Row_delta.Add (view_row 9001 "nina") ])
+        in
+        check Alcotest.bool "Other kind" true (kind_of res = Some Error.Other));
+    test "crashed store refuses commits until recover" `Quick (fun () ->
+        let store = make_store ~snapshot_every:4 () in
+        for i = 1 to 5 do
+          match
+            Store.commit ~session:"b1" store
+              (Store.Batch_b [ Rel.Row_delta.Add (view_row (9000 + i) "r") ])
+          with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "commit %d failed: %s" i (Error.message e)
+        done;
+        let va = Store.view_a store and vb = Store.view_b store in
+        Store.crash store;
+        check Alcotest.int "woke at snapshot 4" 4 (Store.version store);
+        check Alcotest.int "oplog head still 5" 5 (Store.head_version store);
+        let refused =
+          Store.commit ~session:"b1" store
+            (Store.Batch_b [ Rel.Row_delta.Add (view_row 9999 "late") ])
+        in
+        check Alcotest.bool "refused" true
+          (kind_of refused = Some Error.Other);
+        Store.recover store;
+        check Alcotest.int "caught up" 5 (Store.version store);
+        check Alcotest.bool "A view reproduced" true
+          (Rel.Table.equal va (Store.view_a store));
+        check Alcotest.bool "B view reproduced" true
+          (Rel.Table.equal vb (Store.view_b store)));
+    test "replicated pedigree preserves the base law level" `Quick (fun () ->
+        let store = make_store () in
+        (match Store.pedigree store with
+        | Pedigree.Replicated _ -> ()
+        | p -> Alcotest.failf "unexpected pedigree %s" (Pedigree.to_string p));
+        check Alcotest.bool "level preserved" true
+          (Esm_analysis.Law_infer.level (Store.pedigree store)
+          = Esm_analysis.Law_infer.level (Pedigree.Of_lens { name = "x"; vwb = false }));
+        check Alcotest.bool "rollback protected" true
+          (Esm_analysis.Law_infer.rollback_protected (Store.pedigree store));
+        check Alcotest.bool "not fallible" true
+          (not (Esm_analysis.Law_infer.fallible (Store.pedigree store))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Session: side enforcement                                           *)
+(* ------------------------------------------------------------------ *)
+
+let session_tests =
+  [
+    test "an op against the unbound side is a protocol error" `Quick
+      (fun () ->
+        let store = make_store () in
+        let sa = Session.bind store ~name:"a1" ~side:`A in
+        let res =
+          Session.submit sa
+            (Store.Batch_b [ Rel.Row_delta.Add (view_row 9001 "nina") ])
+        in
+        check Alcotest.bool "Other kind" true (kind_of res = Some Error.Other);
+        check Alcotest.int "store untouched" 0 (Store.version store));
+    test "pull returns the suffix and advances the base" `Quick (fun () ->
+        let store = make_store () in
+        let sa = Session.bind store ~name:"a1" ~side:`A in
+        let sb = Session.bind store ~name:"b1" ~side:`B in
+        (match
+           Session.submit sb
+             (Store.Batch_b [ Rel.Row_delta.Add (view_row 9001 "nina") ])
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "submit failed: %s" (Error.message e));
+        check Alcotest.int "behind" 0 (Session.base sa);
+        let entries = Session.pull sa in
+        check Alcotest.int "one entry" 1 (List.length entries);
+        check Alcotest.int "caught up" 1 (Session.base sa);
+        check Alcotest.int "idempotent" 0 (List.length (Session.pull sa)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Strings exercising every delimiter and escape the codec handles. *)
+let gen_nasty_string : string QCheck.Gen.t =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'z'; '"'; '\\'; ','; ';'; ' '; '+' ])
+      (int_bound 8))
+
+let gen_wire_row : Rel.Row.t QCheck.arbitrary =
+  QCheck.make ~print:Rel.Row.to_string
+    QCheck.Gen.(
+      let* n = int_range 1 4 in
+      let* vs =
+        flatten_l
+          (List.init n (fun _ ->
+               oneof
+                 [
+                   map (fun i -> Rel.Value.Int i) small_signed_int;
+                   map (fun b -> Rel.Value.Bool b) bool;
+                   map (fun s -> Rel.Value.Str s) gen_nasty_string;
+                 ]))
+      in
+      return (Rel.Row.of_list vs))
+
+let wire_property_tests =
+  [
+    QCheck.Test.make ~count:500 ~name:"wire row codec roundtrips" gen_wire_row
+      (fun r -> Rel.Row.equal (Wire.parse_row (Wire.render_row r)) r);
+    QCheck.Test.make ~count:500 ~name:"wire request codec roundtrips"
+      (QCheck.make
+         ~print:(fun r -> Wire.render_request r)
+         QCheck.Gen.(
+           let* rows = list_size (int_bound 3) (QCheck.gen gen_wire_row) in
+           oneofl
+             [
+               Wire.Hello ("sess", `A);
+               Wire.Hello ("sess", `B);
+               Wire.Get;
+               Wire.Set rows;
+               Wire.Batch
+                 (List.map (fun r -> Rel.Row_delta.Add r) rows
+                 @ List.map (fun r -> Rel.Row_delta.Remove r) rows);
+               Wire.Pull;
+               Wire.Crash;
+               Wire.Recover;
+               Wire.Bye;
+             ]))
+      (fun req -> Wire.parse_request (Wire.render_request req) = req);
+  ]
+
+let wire_unit_tests =
+  [
+    test "response codec roundtrips" `Quick (fun () ->
+        List.iter
+          (fun resp ->
+            check Alcotest.bool
+              (Wire.render_response resp)
+              true
+              (Wire.parse_response (Wire.render_response resp) = resp))
+          [
+            Wire.Resp_ok 7;
+            Wire.Resp_conflict (3, "s1 got there first");
+            Wire.Resp_error (Error.Conflict, "stale base");
+            Wire.Resp_error (Error.Shape, "bad view");
+            Wire.Resp_view (2, [ view_row 1 {|quo"te|}; view_row 2 "b;c" ]);
+            Wire.Resp_update (5, 2);
+          ]);
+    test "malformed input raises a typed Parse error" `Quick (fun () ->
+        List.iter
+          (fun line ->
+            match Wire.parse_request line with
+            | _ -> Alcotest.failf "accepted %S" line
+            | exception Error.Bx_error e ->
+                check Alcotest.bool line true (e.Error.kind = Error.Parse))
+          [ "frobnicate"; "hello x"; "hello x c"; "batch ~1, 2"; "" ]);
+    test "server turns bx failures into error responses" `Quick (fun () ->
+        let srv = Wire.serve (make_store ()) in
+        (match Wire.handle srv ~session:"b1" (Wire.Hello ("b1", `B)) with
+        | Wire.Resp_ok 0 -> ()
+        | r -> Alcotest.failf "hello: %s" (Wire.render_response r));
+        (* predicate-violating put comes back as an error response *)
+        (match
+           Wire.handle srv ~session:"b1"
+             (Wire.Batch
+                [
+                  Rel.Row_delta.Add
+                    (Rel.Row.of_list
+                       [
+                         Rel.Value.Int 1;
+                         Rel.Value.Str "zoe";
+                         Rel.Value.Str "Sales";
+                       ]);
+                ])
+         with
+        | Wire.Resp_error (_, _) -> ()
+        | r -> Alcotest.failf "bad batch: %s" (Wire.render_response r));
+        (* an unbound session is an error, not an exception *)
+        match Wire.handle srv ~session:"ghost" Wire.Get with
+        | Wire.Resp_error (_, _) -> ()
+        | r -> Alcotest.failf "ghost: %s" (Wire.render_response r));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Chaos properties                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fresh = ref 100_000
+
+let random_deltas r (sess : Wire.rsession) =
+  let view =
+    Chaos.protected (fun () ->
+        match Session.view sess with `A t | `B t -> t)
+  in
+  let rows = Rel.Table.rows view in
+  let n = 1 + Rel.Workload.int r 3 in
+  List.init n (fun _ ->
+      if rows = [] || Rel.Workload.int r 3 = 0 then (
+        incr fresh;
+        match Session.side sess with
+        | `A ->
+            Rel.Row_delta.Add
+              (base_row !fresh
+                 ("w" ^ string_of_int !fresh)
+                 (Rel.Workload.pick r [ "Engineering"; "Sales"; "Ops" ]))
+        | `B ->
+            Rel.Row_delta.Add (view_row !fresh ("w" ^ string_of_int !fresh)))
+      else Rel.Row_delta.Remove (Rel.Workload.pick r rows))
+
+let run_workload r store ~ops =
+  let sa = Session.bind store ~name:"a1" ~side:`A in
+  let sb = Session.bind store ~name:"b1" ~side:`B in
+  for _ = 1 to ops do
+    let sess = if Rel.Workload.int r 2 = 0 then sa else sb in
+    let ds = random_deltas r sess in
+    let op =
+      match Session.side sess with
+      | `A -> Store.Batch_a ds
+      | `B -> Store.Batch_b ds
+    in
+    (* failures (injected faults, FD violations) roll back — allowed *)
+    ignore (Session.submit_rebase sess op)
+  done
+
+let recovery_prop seed =
+  let c = case_chaos ~rate:0.2 () in
+  Chaos.with_chaos c (fun () ->
+      let store = make_store ~snapshot_every:3 () in
+      let r = Rel.Workload.rng ~seed in
+      run_workload r store ~ops:10;
+      let va, vb, v =
+        Chaos.protected (fun () ->
+            (Store.view_a store, Store.view_b store, Store.version store))
+      in
+      Store.crash store;
+      Store.recover store;
+      Chaos.protected (fun () ->
+          Store.version store = v
+          && Rel.Table.equal (Store.view_a store) va
+          && Rel.Table.equal (Store.view_b store) vb))
+
+let batch_oracle_prop seed =
+  let c = case_chaos ~rate:0.2 () in
+  let store = make_store () in
+  let oracle = make_store () in
+  let r = Rel.Workload.rng ~seed in
+  let sb = Session.bind store ~name:"b1" ~side:`B in
+  let ds = random_deltas r sb in
+  let res =
+    Chaos.with_chaos c (fun () ->
+        Store.commit ~session:"b1" store (Store.Batch_b ds))
+  in
+  match res with
+  | Error _ ->
+      (* transactional: the failed batch left no trace *)
+      Store.version store = 0
+      && Rel.Table.equal (Store.view_b store) (Store.view_b oracle)
+  | Ok _ ->
+      List.iter
+        (fun d ->
+          match Store.commit ~session:"b1" oracle (Store.Batch_b [ d ]) with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.failf "one-at-a-time oracle failed: %s"
+                (Error.message e))
+        ds;
+      Rel.Table.equal (Store.view_a store) (Store.view_a oracle)
+      && Rel.Table.equal (Store.view_b store) (Store.view_b oracle)
+
+let chaos_property_tests =
+  [
+    QCheck.Test.make ~count:60
+      ~name:"recovery under chaos reproduces the uncrashed store"
+      QCheck.small_nat recovery_prop;
+    QCheck.Test.make ~count:60
+      ~name:"a batched commit equals one-at-a-time commits"
+      QCheck.small_nat batch_oracle_prop;
+  ]
+
+(* Convergence under two fixed fault seeds: after a chaotic multi-session
+   workload with a crash in the middle, every session pulls to the store
+   head. *)
+let convergence_case fault_seed =
+  test
+    (Printf.sprintf "sessions converge under chaos seed %d" fault_seed)
+    `Quick
+    (fun () ->
+      let c = Chaos.make ~rate:0.1 ~seed:fault_seed () in
+      Chaos.with_chaos c (fun () ->
+          let store = make_store ~snapshot_every:4 () in
+          let sessions =
+            List.init 4 (fun i ->
+                Session.bind store
+                  ~name:(Printf.sprintf "s%d" (i + 1))
+                  ~side:(if i mod 2 = 0 then `A else `B))
+          in
+          let r = Rel.Workload.rng ~seed:fault_seed in
+          for i = 1 to 30 do
+            let sess = Rel.Workload.pick r sessions in
+            let ds = random_deltas r sess in
+            let op =
+              match Session.side sess with
+              | `A -> Store.Batch_a ds
+              | `B -> Store.Batch_b ds
+            in
+            ignore (Session.submit_rebase sess op);
+            if i = 15 then (
+              Store.crash store;
+              Store.recover store)
+          done;
+          List.iter
+            (fun sess ->
+              ignore (Session.pull sess);
+              check Alcotest.int
+                (Session.name sess ^ " at head")
+                (Store.version store) (Session.base sess))
+            sessions))
+
+let convergence_tests = [ convergence_case 1; convergence_case 20140328 ]
+
+let suite =
+  oplog_tests @ store_tests @ session_tests @ wire_unit_tests
+  @ convergence_tests
+  @ Helpers.q (wire_property_tests @ chaos_property_tests)
