@@ -536,6 +536,97 @@ let b10_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* B11: durable log — fsync policy cost and reopen recovery            *)
+(* ------------------------------------------------------------------ *)
+
+let b11_codec =
+  let schema_b = Table.schema (Esm_lens.Lens.get select_lens b10_table) in
+  Sync.Wire.durable_op_codec ~schema_a:Workload.employees_schema ~schema_b
+
+let rec b11_rm path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun e -> b11_rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+
+let b11_dir name =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) ("esm-bench-" ^ name) in
+  b11_rm d;
+  d
+
+let b11_store ?(snapshot_every = 64) ?(size = 4096) ~fsync ~dir () :
+    (Table.t, Table.t, Row_delta.t, Row_delta.t) Sync.Store.t =
+  let init = Workload.employees ~seed:7 ~size in
+  Sync.Store.of_packed ~name:"bench" ~snapshot_every
+    ~apply_da:Row_delta.apply_all ~apply_db:Row_delta.apply_all
+    ~persist:(Sync.Store.persist ~fsync ~dir b11_codec)
+    (Esm_core.Concrete.packed_of_lens ~vwb:false ~init ~eq_state:Table.equal
+       select_lens)
+
+(* one net-zero commit: add a fresh engineering row and remove it in the
+   same batch, so every run costs the same whatever came before *)
+let b11_net_zero =
+  let row =
+    Row.of_list
+      [
+        Value.Int 999_999;
+        Value.Str "b11";
+        Value.Str "Engineering";
+        Value.Int 60_000;
+        Value.Str "b11@example.com";
+      ]
+  in
+  Sync.Store.Batch_b [ Row_delta.Add row; Row_delta.Remove row ]
+
+let b11_policy_tests =
+  List.map
+    (fun fsync ->
+      let dir = b11_dir ("fsync-" ^ Sync.Durable_log.fsync_name fsync) in
+      let store = b11_store ~fsync ~dir () in
+      Test.make
+        ~name:
+          (Printf.sprintf "commit fsync=%-8s (n=4096)"
+             (Sync.Durable_log.fsync_name fsync))
+        (Staged.stage (fun () -> b10_commit store b11_net_zero)))
+    Sync.Durable_log.
+      [ Fsync_never; Fsync_every 64; Fsync_every 8; Fsync_always ]
+
+(* reopen recovery vs snapshot cadence: a 127-commit log at n=512 —
+   cadence 8 leaves a 7-entry suffix after the version-120 snapshot,
+   cadence 64 a 63-entry suffix, cadence 100000 replays all 127 *)
+let b11_reopen_tests =
+  List.map
+    (fun snapshot_every ->
+      let dir = b11_dir (Printf.sprintf "reopen-%d" snapshot_every) in
+      let store =
+        b11_store ~snapshot_every ~size:512 ~fsync:Sync.Durable_log.Fsync_never
+          ~dir ()
+      in
+      for _ = 1 to 127 do
+        b10_commit store b11_net_zero
+      done;
+      Sync.Store.close store;
+      Test.make
+        ~name:
+          (Printf.sprintf "reopen 127 commits, snapshot_every=%-6d (n=512)"
+             snapshot_every)
+        (Staged.stage (fun () ->
+             match
+               Sync.Store.reopen ~name:"bench" ~snapshot_every
+                 ~apply_da:Row_delta.apply_all ~apply_db:Row_delta.apply_all
+                 ~codec:b11_codec ~dir
+                 (Esm_core.Concrete.packed_of_lens ~vwb:false
+                    ~init:(Workload.employees ~seed:7 ~size:512)
+                    ~eq_state:Table.equal select_lens)
+             with
+             | Ok store -> Sync.Store.close store
+             | Error e -> failwith (Esm_core.Error.message e))))
+    [ 8; 64; 100_000 ]
+
+let b11_tests = b11_policy_tests @ b11_reopen_tests
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -686,5 +777,11 @@ let () =
        at least 5x over 64 one-at-a-time commits; replay recovery ~ 8 \
        batched commits"
     b10_tests;
+  run_group ~id:"B11" ~header:"durable log: fsync policy + reopen recovery"
+    ~expectation:
+      "batched fsync (every 64) within 3x of no fsync; per-commit fsync pays \
+       the full device-flush latency; reopen cost tracks the replay suffix \
+       length, so denser snapshot cadences reopen faster"
+    b11_tests;
   if json then emit_json "BENCH_PR2.json";
   Fmt.pr "@.done.@."

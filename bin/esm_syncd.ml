@@ -2,7 +2,7 @@
    "daemon" serving concurrent sessions against a replicated relational
    store (Esm_sync over the employees where|select lens).
 
-   Two modes:
+   Modes:
 
      esm_syncd --script FILE
        Replay a wire-protocol script: each non-empty, non-# line is
@@ -12,34 +12,69 @@
        Exit 2 on malformed script lines.
 
      esm_syncd --soak [--seed N] [--ops N] [--sessions N]
+              [--dir D] [--kill-at N]
        Run a seeded random multi-session workload and check the sync
        engine's three invariants:
          recovery    crash+replay reproduces the exact pre-crash views;
          batching    a batched delta commit equals the same deltas
                      committed one at a time (oracle replay);
          convergence every session pulls to the store head.
-       Exit 1 on any violation.
+       Exit 1 on any violation.  With --dir the store persists its
+       oplog to D (write-ahead, Fsync_every 8); with --kill-at N the
+       process hard-exits (status 130, no flushing, mid-record when N
+       lands there) after the Nth durable write syscall — the
+       crash-injection half of the durability story.
 
-   Both modes honour CHAOS_SEED (and optional CHAOS_RATE): fault
-   injection at the sync chaos sites (append/replay/rebase) plus the
-   library-wide ones, with the injection/fallback counts reported. *)
+     esm_syncd --check-dir D [--seed N] [--ops N] [--sessions N]
+       The recovery half: rerun the identical soak (same seed, same
+       CHAOS_SEED schedule — chaos visits are counted per site, so the
+       uncrashed rerun performs the same commit sequence) into a
+       scratch directory D.oracle, then reopen the killed log in D
+       *outside* chaos and diff the recovered store against the
+       oracle's prefix at the recovered version.  Exit 1 on any
+       divergence or on unrecoverable corruption.
+
+   All modes honour CHAOS_SEED (and optional CHAOS_RATE): fault
+   injection at the sync chaos sites (append/replay/rebase/durable
+   write) plus the library-wide ones, with the injection/fallback
+   counts reported. *)
 
 open Esm_core
 open Esm_relational
 open Esm_sync
 
-let default_store ~seed ~size () : Wire.rstore =
-  let lens =
-    Query.lens_of_string ~schema:Workload.employees_schema ~key:[ "id" ]
-      {|employees | where dept = "Engineering" | select id, name, dept|}
+let eng_lens =
+  Query.lens_of_string ~schema:Workload.employees_schema ~key:[ "id" ]
+    {|employees | where dept = "Engineering" | select id, name, dept|}
+
+let default_codec =
+  let schema_b =
+    Table.schema (Esm_lens.Lens.get eng_lens (Workload.employees ~seed:1 ~size:1))
   in
-  let packed =
-    Concrete.packed_of_lens ~vwb:false
-      ~init:(Workload.employees ~seed ~size)
-      ~eq_state:Table.equal lens
+  Wire.durable_op_codec ~schema_a:Workload.employees_schema ~schema_b
+
+let default_packed ~seed ~size =
+  Concrete.packed_of_lens ~vwb:false
+    ~init:(Workload.employees ~seed ~size)
+    ~eq_state:Table.equal eng_lens
+
+let default_store ?dir ~seed ~size () : Wire.rstore =
+  let persist =
+    Option.map
+      (fun dir ->
+        Store.persist ~fsync:(Durable_log.Fsync_every 8) ~dir default_codec)
+      dir
   in
   Store.of_packed ~name:"employees" ~snapshot_every:8
-    ~apply_da:Row_delta.apply_all ~apply_db:Row_delta.apply_all packed
+    ~apply_da:Row_delta.apply_all ~apply_db:Row_delta.apply_all ?persist
+    (default_packed ~seed ~size)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
 
 (* ------------------------------------------------------------------ *)
 (* Script mode                                                         *)
@@ -84,8 +119,9 @@ let run_script (path : string) : int =
 (* Soak mode                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let soak ~seed ~ops:n_ops ~sessions:n_sessions () : int =
-  let store = default_store ~seed ~size:48 () in
+let soak ?dir ?(quiet = false) ~seed ~ops:n_ops ~sessions:n_sessions () :
+    int * Wire.rstore =
+  let store = default_store ?dir ~seed ~size:48 () in
   let r = Workload.rng ~seed in
   let sessions =
     List.init n_sessions (fun i ->
@@ -190,24 +226,27 @@ let soak ~seed ~ops:n_ops ~sessions:n_sessions () : int =
         fail "session %s converged at %d, store head is %d"
           (Session.name sess) (Session.base sess) (Store.version store))
     sessions;
-  Printf.printf
-    "soak: seed=%d ops=%d sessions=%d commits=%d failed=%d recoveries=%d \
-     head=%d\n"
-    seed n_ops n_sessions !commits !failures !recoveries
-    (Store.version store);
+  if not quiet then
+    Printf.printf
+      "soak: seed=%d ops=%d sessions=%d commits=%d failed=%d recoveries=%d \
+       head=%d%s\n"
+      seed n_ops n_sessions !commits !failures !recoveries
+      (Store.version store)
+      (match dir with None -> "" | Some d -> " dir=" ^ d);
   match !violations with
   | [] ->
-      print_endline "soak: all invariants hold";
-      0
+      if not quiet then print_endline "soak: all invariants hold";
+      (0, store)
   | vs ->
       List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev vs);
-      1
+      (1, store)
 
 (* ------------------------------------------------------------------ *)
-(* Entry point                                                         *)
+(* Check mode: reopen a (possibly killed) persisted soak and diff it   *)
+(* against an uncrashed oracle rerun                                   *)
 (* ------------------------------------------------------------------ *)
 
-let with_env_chaos (f : unit -> int) : int =
+let with_env_chaos (f : unit -> 'a) : 'a =
   match Sys.getenv_opt "CHAOS_SEED" with
   | None -> f ()
   | Some s ->
@@ -224,10 +263,84 @@ let with_env_chaos (f : unit -> int) : int =
         | None -> 0.05
       in
       let c = Chaos.make ~rate ~seed () in
-      let code = Chaos.with_chaos c f in
+      let out = Chaos.with_chaos c f in
       Printf.printf "chaos: seed=%d rate=%g injected=%d fallbacks=%d\n" seed
         rate (Chaos.injected c) (Chaos.fallbacks c);
-      code
+      out
+
+let check ~seed ~ops ~sessions (dir : string) : int =
+  (* The oracle: the same soak, uncrashed, persisted into a scratch
+     directory.  Chaos schedules are deterministic per (seed, site,
+     visit), and persistence itself visits sync.durable.write, so the
+     rerun must persist too — only then does its commit sequence match
+     the killed run's prefix exactly. *)
+  let scratch = dir ^ ".oracle" in
+  rm_rf scratch;
+  let ocode, oracle =
+    with_env_chaos (fun () -> soak ~quiet:true ~dir:scratch ~seed ~ops ~sessions ())
+  in
+  Store.close oracle;
+  if ocode <> 0 then (
+    Printf.printf "check: oracle rerun violated soak invariants\n";
+    1)
+  else
+    (* Reopen and diff OUTSIDE chaos: recovery of a valid log must
+       succeed unconditionally, and extra chaos visits here would
+       desynchronise nothing but still inject spurious faults. *)
+    match
+      Store.reopen ~name:"employees" ~snapshot_every:8
+        ~apply_da:Row_delta.apply_all ~apply_db:Row_delta.apply_all
+        ~codec:default_codec ~dir
+        (default_packed ~seed ~size:48)
+    with
+    | Error e ->
+        Printf.printf "check: reopen of %s failed: %s\n" dir (Error.message e);
+        1
+    | Ok recovered ->
+        let h = Store.head_version recovered in
+        let oh = Store.head_version oracle in
+        let bad = ref [] in
+        let fail fmt =
+          Printf.ksprintf (fun s -> bad := s :: !bad) fmt
+        in
+        if h > oh then
+          fail "recovered head %d is beyond the oracle head %d" h oh
+        else begin
+          (* replay the oracle's first h commits into a fresh in-memory
+             store: the recovered views must match that prefix exactly *)
+          let reference = default_store ~seed ~size:48 () in
+          List.iter
+            (fun (e : _ Oplog.entry) ->
+              if e.Oplog.version <= h then
+                match
+                  Store.commit ~session:e.Oplog.session reference e.Oplog.op
+                with
+                | Ok _ -> ()
+                | Error er ->
+                    fail "oracle prefix replay failed at %d: %s"
+                      e.Oplog.version (Error.message er))
+            (Store.entries_since oracle 0);
+          if Store.version reference <> h then
+            fail "oracle prefix stops at %d, recovered head is %d"
+              (Store.version reference) h;
+          if not (Table.equal (Store.view_a reference) (Store.view_a recovered))
+          then fail "recovered A view diverges from the oracle prefix";
+          if not (Table.equal (Store.view_b reference) (Store.view_b recovered))
+          then fail "recovered B view diverges from the oracle prefix"
+        end;
+        Store.close recovered;
+        Printf.printf "check: dir=%s recovered=%d oracle=%d\n" dir h oh;
+        (match !bad with
+        | [] ->
+            print_endline "check: recovered store matches the oracle prefix";
+            0
+        | vs ->
+            List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev vs);
+            1)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
 
 let () =
   let script = ref "" in
@@ -235,6 +348,9 @@ let () =
   let seed = ref 42 in
   let ops = ref 200 in
   let sessions = ref 4 in
+  let dir = ref "" in
+  let kill_at = ref 0 in
+  let check_dir = ref "" in
   let specs =
     [
       ("--script", Arg.Set_string script, "FILE replay a wire-protocol script");
@@ -244,14 +360,39 @@ let () =
       ( "--sessions",
         Arg.Set_int sessions,
         "N soak session count (default 4)" );
+      ( "--dir",
+        Arg.Set_string dir,
+        "D persist the soak store's oplog to directory D" );
+      ( "--kill-at",
+        Arg.Set_int kill_at,
+        "N hard-exit (status 130) after the Nth durable write syscall" );
+      ( "--check-dir",
+        Arg.Set_string check_dir,
+        "D reopen a killed log in D and diff against an uncrashed rerun" );
     ]
   in
-  let usage = "esm_syncd (--script FILE | --soak) [options]" in
+  let usage = "esm_syncd (--script FILE | --soak | --check-dir D) [options]" in
   Arg.parse specs (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let code =
     if !script <> "" then with_env_chaos (fun () -> run_script !script)
-    else if !do_soak then
-      with_env_chaos (soak ~seed:!seed ~ops:!ops ~sessions:!sessions)
+    else if !check_dir <> "" then
+      check ~seed:!seed ~ops:!ops ~sessions:!sessions !check_dir
+    else if !do_soak then begin
+      if !kill_at > 0 then begin
+        if !dir = "" then (
+          prerr_endline "esm_syncd: --kill-at requires --dir";
+          exit 2);
+        Durable_log.set_kill_at (Some !kill_at)
+      end;
+      let code, store =
+        with_env_chaos
+          (soak
+             ?dir:(if !dir = "" then None else Some !dir)
+             ~seed:!seed ~ops:!ops ~sessions:!sessions)
+      in
+      Store.close store;
+      code
+    end
     else (
       prerr_endline usage;
       2)

@@ -34,6 +34,9 @@ type kind =
   | Conflict
       (** an optimistic version check failed: a concurrent session
           committed first ([Esm_sync]) *)
+  | Corrupt
+      (** an on-disk log failed validation beyond what crash recovery
+          may repair ([Esm_sync.Durable_log]) *)
   | Other  (** a classified bx error of no more specific kind *)
 
 let kind_name = function
@@ -46,6 +49,7 @@ let kind_name = function
   | Fault -> "fault"
   | Index -> "index"
   | Conflict -> "conflict"
+  | Corrupt -> "corrupt"
   | Other -> "other"
 
 type t = {

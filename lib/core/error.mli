@@ -22,6 +22,12 @@ type kind =
           committed against the same base first ([Esm_sync]); losers
           rebase (pull the winning entries and replay through the bx)
           and retry *)
+  | Corrupt
+      (** an on-disk oplog failed validation beyond what crash recovery
+          may repair — bad magic or format version, a mid-file checksum
+          mismatch, a version gap ([Esm_sync.Durable_log]).  A torn
+          {e tail} is {e not} [Corrupt]: that is the artifact an honest
+          crash leaves, and recovery truncates it silently. *)
   | Other  (** a classified bx error of no more specific kind *)
 
 val kind_name : kind -> string

@@ -1,0 +1,356 @@
+(** The durable on-disk oplog format (see [docs/SYNC.md], "Durability").
+
+    Framing only: payloads are opaque strings, encoded by the store
+    through a {!Store.op_codec}.  Layout of [dir]:
+
+    {v
+    log.bin       "ESMLOG" | version (1) | '\n'     8-byte header
+                  'E' | len (4 LE) | crc32 (4 LE) | payload   ...repeated
+    snapshot.bin  same header, one 'S' record, replaced atomically
+    v}
+
+    Entry payloads are [<version> <len>:<session> <op>] so any session
+    name round-trips; snapshot payloads are [<version> <view>].
+
+    The reader ({!load}) tolerates exactly what a crash produces — a
+    torn final record (truncate), a duplicated tail after a re-append
+    (dedup), a missing or broken snapshot file (ignore; the log holds
+    the full history) — and classifies everything else as a typed
+    {!Esm_core.Error.Corrupt}.  A corrupted {e length} field that makes
+    a record overrun the file is indistinguishable from a torn tail
+    without trailing markers, and is treated as one (prefix recovery);
+    every other in-place mutation is caught by the CRC.
+
+    Chaos site: ["sync.durable.write"] before each record write.  An
+    injected fault in {!append_entry} restores the pre-append file
+    length so the commit aborts whole; in {!write_snapshot} it is
+    returned for the store to absorb (the log suffices for recovery). *)
+
+open Esm_core
+
+let magic = "ESMLOG"
+let format_version = 1
+let header_len = 8
+let record_header_len = 9 (* tag + length + crc *)
+
+let log_file dir = Filename.concat dir "log.bin"
+let snapshot_file dir = Filename.concat dir "snapshot.bin"
+
+let header () =
+  let b = Bytes.create header_len in
+  Bytes.blit_string magic 0 b 0 6;
+  Bytes.set b 6 (Char.chr format_version);
+  Bytes.set b 7 '\n';
+  Bytes.to_string b
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3), table-driven                                    *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 (s : string) : int32 =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Fsync policy                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type fsync_policy = Fsync_always | Fsync_every of int | Fsync_never
+
+let fsync_name = function
+  | Fsync_always -> "always"
+  | Fsync_every n -> Printf.sprintf "every-%d" n
+  | Fsync_never -> "never"
+
+(* ------------------------------------------------------------------ *)
+(* The kill switch (--kill-at): hard process death mid-write            *)
+(* ------------------------------------------------------------------ *)
+
+let writes = ref 0
+let kill_at : int option ref = ref None
+let kill_exit : (unit -> unit) ref = ref (fun () -> Unix._exit 130)
+
+let set_kill_at ?exit n =
+  (match exit with Some f -> kill_exit := f | None -> ());
+  kill_at := Option.map (fun n -> !writes + n) n
+
+let writes_performed () = !writes
+
+(* One counted record-write syscall; the kill switch fires *after* the
+   bytes reached the kernel, so a kill between the two halves of a
+   record leaves a torn tail for recovery to truncate. *)
+let write_counted (fd : Unix.file_descr) (b : Bytes.t) : unit =
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0;
+  incr writes;
+  match !kill_at with Some k when !writes >= k -> !kill_exit () | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let record_header (tag : char) (payload : string) : Bytes.t =
+  let b = Bytes.create record_header_len in
+  Bytes.set b 0 tag;
+  Bytes.set_int32_le b 1 (Int32.of_int (String.length payload));
+  Bytes.set_int32_le b 5 (crc32 payload);
+  b
+
+let entry_payload ~version ~session ~payload =
+  Printf.sprintf "%d %d:%s %s" version (String.length session) session payload
+
+(* [<version> <len>:<session> <rest>]; raises [Failure] on malformed
+   input (the reader maps it to [Corrupt]). *)
+let parse_entry_payload (s : string) : int * string * string =
+  let sp1 = String.index s ' ' in
+  let version = int_of_string (String.sub s 0 sp1) in
+  let colon = String.index_from s (sp1 + 1) ':' in
+  let slen = int_of_string (String.sub s (sp1 + 1) (colon - sp1 - 1)) in
+  if slen < 0 || colon + 1 + slen + 1 > String.length s then
+    failwith "bad session length";
+  let session = String.sub s (colon + 1) slen in
+  if s.[colon + 1 + slen] <> ' ' then failwith "missing separator";
+  let rest_off = colon + 2 + slen in
+  (version, session, String.sub s rest_off (String.length s - rest_off))
+
+let snapshot_payload ~version ~payload =
+  Printf.sprintf "%d %s" version payload
+
+let parse_snapshot_payload (s : string) : int * string =
+  let sp = String.index s ' ' in
+  (int_of_string (String.sub s 0 sp), String.sub s (sp + 1) (String.length s - sp - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  dir : string;
+  fd : Unix.file_descr;
+  fsync : fsync_policy;
+  mutable pos : int;  (** current end of [log.bin] *)
+  mutable unsynced : int;  (** records appended since the last fsync *)
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir ~fsync () : writer =
+  mkdir_p dir;
+  if Sys.file_exists (snapshot_file dir) then Sys.remove (snapshot_file dir);
+  let fd =
+    Unix.openfile (log_file dir) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  write_counted fd (Bytes.of_string (header ()));
+  { dir; fd; fsync; pos = header_len; unsynced = 0 }
+
+let open_append ~dir ~fsync ~valid : writer =
+  let fd = Unix.openfile (log_file dir) [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd valid;
+  ignore (Unix.lseek fd valid Unix.SEEK_SET);
+  { dir; fd; fsync; pos = valid; unsynced = 0 }
+
+let sync (w : writer) : unit =
+  Unix.fsync w.fd;
+  w.unsynced <- 0
+
+let policy_sync (w : writer) : unit =
+  w.unsynced <- w.unsynced + 1;
+  match w.fsync with
+  | Fsync_always -> sync w
+  | Fsync_every n -> if w.unsynced >= n then sync w
+  | Fsync_never -> ()
+
+let append_entry (w : writer) ~version ~session ~payload :
+    (unit, Error.t) result =
+  let before = w.pos in
+  try
+    Chaos.point "sync.durable.write";
+    let body = entry_payload ~version ~session ~payload in
+    write_counted w.fd (record_header 'E' body);
+    write_counted w.fd (Bytes.of_string body);
+    w.pos <- before + record_header_len + String.length body;
+    policy_sync w;
+    Ok ()
+  with exn when Error.is_bx_exn exn ->
+    (* restore the pre-append length: the commit aborts whole and the
+       file keeps agreeing with the in-memory store *)
+    Unix.ftruncate w.fd before;
+    ignore (Unix.lseek w.fd before Unix.SEEK_SET);
+    w.pos <- before;
+    (match Error.of_exn exn with Some e -> Error e | None -> raise exn)
+
+let write_snapshot (w : writer) ~version ~payload : (unit, Error.t) result =
+  try
+    Chaos.point "sync.durable.write";
+    let body = snapshot_payload ~version ~payload in
+    let tmp = snapshot_file w.dir ^ ".tmp" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    let b = Buffer.create (String.length body + 32) in
+    Buffer.add_string b (header ());
+    Buffer.add_bytes b (record_header 'S' body);
+    Buffer.add_string b body;
+    write_counted fd (Buffer.to_bytes b);
+    Unix.fsync fd;
+    Unix.close fd;
+    Sys.rename tmp (snapshot_file w.dir);
+    Ok ()
+  with exn when Error.is_bx_exn exn -> (
+    match Error.of_exn exn with Some e -> Error e | None -> raise exn)
+
+let close (w : writer) : unit =
+  sync w;
+  Unix.close w.fd
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type raw_entry = { version : int; session : string; payload : string }
+
+type recovered = {
+  entries : raw_entry list;
+  snapshot : (int * string) option;
+  valid_bytes : int;
+  torn_bytes : int;
+  duplicates : int;
+}
+
+let corrupt ~file fmt =
+  Format.kasprintf (fun detail -> Error (Error.v Error.Corrupt ~op:file detail)) fmt
+
+let read_file (path : string) : string option =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  end
+
+(* One record at [off]: [`Record (tag, payload, next_off)], [`Torn]
+   when the remaining bytes cannot hold it, or [`Bad reason] for
+   in-place corruption the CRC or framing catches. *)
+let read_record (s : string) (off : int) =
+  let len = String.length s in
+  if off + record_header_len > len then `Torn
+  else
+    let tag = s.[off] in
+    let plen = Int32.to_int (String.get_int32_le s (off + 1)) in
+    let crc = String.get_int32_le s (off + 5) in
+    if tag <> 'E' && tag <> 'S' then `Bad "unknown record tag"
+    else if plen < 0 then `Bad "negative record length"
+    else if off + record_header_len + plen > len then `Torn
+    else
+      let payload = String.sub s (off + record_header_len) plen in
+      if crc32 payload <> crc then `Bad "checksum mismatch"
+      else `Record (tag, payload, off + record_header_len + plen)
+
+let check_header ~file (s : string) =
+  if String.length s < header_len then corrupt ~file "missing header"
+  else if String.sub s 0 6 <> magic then corrupt ~file "bad magic"
+  else if Char.code s.[6] <> format_version then
+    corrupt ~file "unsupported format version %d (supported: %d)"
+      (Char.code s.[6]) format_version
+  else Ok ()
+
+(* The snapshot file is an optimisation: when missing or invalid in any
+   way, recovery falls back to replaying the log from the initial
+   state, so every defect here degrades to [None]. *)
+let load_snapshot (dir : string) : (int * string) option =
+  match read_file (snapshot_file dir) with
+  | None -> None
+  | Some s -> (
+      match check_header ~file:"snapshot.bin" s with
+      | Error _ -> None
+      | Ok () -> (
+          match read_record s header_len with
+          | `Record ('S', payload, _) -> (
+              match parse_snapshot_payload payload with
+              | v, p when v >= 0 -> Some (v, p)
+              | _ -> None
+              | exception _ -> None)
+          | _ -> None))
+
+let load ~dir : (recovered, Error.t) result =
+  let file = "log.bin" in
+  match read_file (log_file dir) with
+  | None -> corrupt ~file "no log in %s" dir
+  | Some s -> (
+      match check_header ~file s with
+      | Error _ as e -> e
+      | Ok () ->
+          let len = String.length s in
+          let rec scan off head acc dups =
+            if off = len then
+              Ok
+                {
+                  entries = List.rev acc;
+                  snapshot = load_snapshot dir;
+                  valid_bytes = off;
+                  torn_bytes = 0;
+                  duplicates = dups;
+                }
+            else
+              match read_record s off with
+              | `Torn ->
+                  Ok
+                    {
+                      entries = List.rev acc;
+                      snapshot = load_snapshot dir;
+                      valid_bytes = off;
+                      torn_bytes = len - off;
+                      duplicates = dups;
+                    }
+              | `Bad reason -> corrupt ~file "%s at offset %d" reason off
+              | `Record ('S', _, _) ->
+                  corrupt ~file "snapshot record inside the log at offset %d"
+                    off
+              | `Record (_, payload, next) -> (
+                  match parse_entry_payload payload with
+                  | exception _ ->
+                      corrupt ~file "undecodable entry at offset %d" off
+                  | version, session, op_payload ->
+                      if version <= head then
+                        (* a duplicated tail after a re-append: the
+                           entry was already read at its first
+                           occurrence *)
+                        scan next head acc (dups + 1)
+                      else if version = head + 1 then
+                        scan next version
+                          ({ version; session; payload = op_payload } :: acc)
+                          dups
+                      else
+                        corrupt ~file
+                          "version gap at offset %d: %d follows %d" off
+                          version head)
+          in
+          scan header_len 0 [] 0)

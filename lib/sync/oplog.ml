@@ -33,7 +33,12 @@ let append (t : ('op, 's) t) ~(session : string) (op : 'op) : int =
   version
 
 (** Entries with versions strictly above [v], oldest first — the replay
-    (or rebase) suffix. *)
+    (or rebase) suffix.  Total for every integer [v]: above head it is
+    [[]], at or below 0 it is the whole log (snapshots never evict
+    entries).  The early exit at the first version [<= v] matches the
+    list-filter reference precisely because [append] keeps the
+    newest-first list strictly decreasing — see the contract note in
+    the interface. *)
 let entries_since (t : ('op, 's) t) (v : int) : 'op entry list =
   let rec take acc = function
     | e :: rest when e.version > v -> take (e :: acc) rest

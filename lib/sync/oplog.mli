@@ -23,7 +23,22 @@ val append : ('op, 's) t -> session:string -> 'op -> int
 
 val entries_since : ('op, 's) t -> int -> 'op entry list
 (** Entries with versions strictly above the argument, oldest first —
-    the replay (or rebase) suffix. *)
+    the replay (or rebase) suffix.
+
+    Contract (property-tested against a list-filter reference in
+    [test_durable_log.ml]): total for {e every} integer argument, not
+    just versions in [0, head].  [v >= head_version] (including far
+    above head) yields [[]]; [v <= 0] (including far below the latest
+    snapshot version — snapshots never evict entries, the log retains
+    the full history) yields every entry; and for any [v],
+    [entries_since v] equals [List.filter (fun e -> e.version > v)] of
+    the whole log, oldest first.  The implementation stops scanning at
+    the first version [<= v], which is equivalent to the filter only
+    because {!append} keeps versions strictly decreasing newest-first —
+    code that reconstructs logs by other means (e.g. durable-log
+    replay) must preserve that invariant, which is why
+    [Store.reopen] re-appends through {!append} after deduplicating
+    the disk entries. *)
 
 val snapshot_due : ('op, 's) t -> bool
 (** Is the head version a multiple of the snapshot period? *)

@@ -22,7 +22,17 @@
     state and oplog agreeing), ["sync.store.replay"] (recovery absorbs
     the fault and replays anyway, retrying faulted entries under
     {!Esm_core.Chaos.protected} — each entry committed once already, so
-    replay must not invent new failures). *)
+    replay must not invent new failures), and ["sync.durable.write"]
+    inside {!Durable_log} (an entry-write fault aborts the commit whole;
+    a snapshot-write fault is absorbed — the log holds the full
+    history).
+
+    Persistence ([?persist] / {!reopen}) follows a write-ahead
+    discipline: the entry record reaches the on-disk log {e before} the
+    in-memory state and oplog advance, so after a process death the disk
+    holds a (possibly longer, never divergent) prefix of the committed
+    history and {!reopen} reconstructs a store at some committed
+    version — never a partial commit. *)
 
 open Esm_core
 
@@ -41,6 +51,31 @@ let op_kind = function
   | Batch_b _ -> "batch_b"
   | Exec _ -> "exec"
 
+(** How operations and A views serialise for the durable log: payloads
+    are opaque strings at the {!Durable_log} framing layer, so a store
+    over any substrate persists once it has a codec
+    ({!Wire.durable_op_codec} covers relational stores).  Snapshots
+    store the {e A view}; reopening reconstructs the snapshot state as
+    [set_a a init], which is exact whenever the A view determines the
+    state — in particular for every lens-packed store, where the state
+    {e is} the A side. *)
+type ('a, 'b, 'da, 'db) op_codec = {
+  encode_op : ('a, 'b, 'da, 'db) op -> string;
+  decode_op : string -> ('a, 'b, 'da, 'db) op;
+  encode_a : 'a -> string;
+  decode_a : string -> 'a;
+}
+
+type ('a, 'b, 'da, 'db) persist = {
+  dir : string;
+  fsync : Durable_log.fsync_policy;
+  codec : ('a, 'b, 'da, 'db) op_codec;
+}
+
+let persist ?(fsync = Durable_log.Fsync_every 8) ~(dir : string)
+    (codec : ('a, 'b, 'da, 'db) op_codec) : ('a, 'b, 'da, 'db) persist =
+  { dir; fsync; codec }
+
 type ('a, 'b, 'da, 'db) t =
   | Store : {
       name : string;
@@ -51,14 +86,21 @@ type ('a, 'b, 'da, 'db) t =
           (** materialise a burst of A-side deltas against the A view *)
       apply_db : ('b -> 'db list -> 'b) option;
       log : (('a, 'b, 'da, 'db) op, 's) Oplog.t;
+      durable : (('a, 'b, 'da, 'db) op_codec * Durable_log.writer) option;
       mutable state : 's;
       mutable version : int;  (** the version [state] is at *)
     }
       -> ('a, 'b, 'da, 'db) t
 
-let of_packed ?(name = "store") ?snapshot_every ?apply_da ?apply_db
+let of_packed ?(name = "store") ?snapshot_every ?apply_da ?apply_db ?persist
     (Concrete.Packed repr : ('a, 'b) Concrete.packed) :
     ('a, 'b, 'da, 'db) t =
+  let durable =
+    match persist with
+    | None -> None
+    | Some { dir; fsync; codec } ->
+        Some (codec, Durable_log.create ~dir ~fsync ())
+  in
   Store
     {
       name;
@@ -68,11 +110,20 @@ let of_packed ?(name = "store") ?snapshot_every ?apply_da ?apply_db
       apply_da;
       apply_db;
       log = Oplog.create ?snapshot_every ~init:repr.Concrete.init ();
+      durable;
       state = repr.Concrete.init;
       version = 0;
     }
 
 let name (Store s) = s.name
+let persisted (Store s) = Option.is_some s.durable
+
+let flush (Store s) =
+  match s.durable with None -> () | Some (_, w) -> Durable_log.sync w
+
+let close (Store s) =
+  match s.durable with None -> () | Some (_, w) -> Durable_log.close w
+
 let pedigree (Store s) = s.pedigree
 let version (Store s) = s.version
 let head_version (Store s) = Oplog.head_version s.log
@@ -153,13 +204,53 @@ let commit ?expect ~(session : string) (Store s : ('a, 'b, 'da, 'db) t)
         in
         match result with
         | Error e -> Error e
-        | Ok () ->
-            s.state <- state';
-            let version = Oplog.append s.log ~session op in
-            s.version <- version;
-            if Oplog.snapshot_due s.log then
-              Oplog.record_snapshot s.log version state';
-            Ok version)
+        | Ok () -> (
+            (* write-ahead: the durable entry record must reach the log
+               before the in-memory commit becomes visible.  An append
+               failure (an injected fault at [sync.durable.write], a
+               non-serialisable op) aborts the commit whole — the file
+               was restored to its pre-append length, nothing here
+               mutated. *)
+            let version = s.version + 1 in
+            let persisted =
+              match s.durable with
+              | None -> Ok ()
+              | Some (codec, w) -> (
+                  match codec.encode_op op with
+                  | exception exn when Error.is_bx_exn exn -> (
+                      match Error.of_exn exn with
+                      | Some e -> Error e
+                      | None -> raise exn)
+                  | payload ->
+                      Durable_log.append_entry w ~version ~session ~payload)
+            in
+            match persisted with
+            | Error e -> Error e
+            | Ok () ->
+                s.state <- state';
+                let v' = Oplog.append s.log ~session op in
+                assert (v' = version);
+                s.version <- version;
+                if Oplog.snapshot_due s.log then begin
+                  Oplog.record_snapshot s.log version state';
+                  (* a snapshot-write failure only lengthens future
+                     replays — the log holds the full history, so it is
+                     absorbed, not surfaced *)
+                  match s.durable with
+                  | None -> ()
+                  | Some (codec, w) -> (
+                      match
+                        let payload =
+                          codec.encode_a (s.bx.Concrete.get_a state')
+                        in
+                        Durable_log.write_snapshot w ~version ~payload
+                      with
+                      | Ok () -> ()
+                      | Error _ -> Chaos.note_fallback "sync.durable.write"
+                      | exception exn when Error.is_bx_exn exn ->
+                          Chaos.note_fallback "sync.durable.write")
+                end;
+                Ok version))
 
 (** Simulate a crash: the volatile state is lost; what survives is the
     oplog and its snapshots.  The store wakes up at the most recent
@@ -195,3 +286,105 @@ let recover (Store s : ('a, 'b, 'da, 'db) t) : unit =
       s.state <- next;
       s.version <- e.Oplog.version)
     (Oplog.entries_since s.log s.version)
+
+(* Reconstruct a snapshot state from its recorded A view: [set_a a
+   init].  Exact whenever the A view determines the state (every
+   lens-packed store, where the state is the A side); a degradable fault
+   retries under [protected] like any replay step. *)
+let s_of_snapshot :
+    type s. bx:('a, 'b, s) Concrete.set_bx -> init:s -> 'a -> s =
+ fun ~bx ~init a ->
+  try bx.Concrete.set_a a init
+  with exn when Error.degradable_exn exn ->
+    Chaos.note_fallback "sync.store.replay";
+    Chaos.protected (fun () -> bx.Concrete.set_a a init)
+
+(** Reopen a persisted store from [dir]: the latest valid snapshot plus
+    the validated log suffix, with a torn tail truncated before the
+    writer resumes appending.  The packed bx supplies what the disk does
+    not: the code, the initial state, the equality — the disk supplies
+    the history. *)
+let reopen ?(name = "store") ?snapshot_every ?apply_da ?apply_db
+    ?(fsync = Durable_log.Fsync_every 8)
+    ~(codec : ('a, 'b, 'da, 'db) op_codec) ~(dir : string)
+    (Concrete.Packed repr : ('a, 'b) Concrete.packed) :
+    (('a, 'b, 'da, 'db) t, Error.t) result =
+  match Durable_log.load ~dir with
+  | Error e -> Error e
+  | Ok { Durable_log.entries; snapshot; valid_bytes; _ } -> (
+      (* an undecodable op behind a valid checksum means the payload
+         codec changed under the format version byte — corruption, not
+         a torn tail *)
+      match
+        List.map
+          (fun (re : Durable_log.raw_entry) ->
+            (re.Durable_log.version, re.Durable_log.session,
+             codec.decode_op re.Durable_log.payload))
+          entries
+      with
+      | exception exn when Error.is_bx_exn exn ->
+          let detail =
+            match Error.of_exn exn with
+            | Some e -> Error.message e
+            | None -> Printexc.to_string exn
+          in
+          Error
+            (Error.v Error.Corrupt ~op:"reopen"
+               ("undecodable entry payload: " ^ detail))
+      | decoded -> (
+          let log = Oplog.create ?snapshot_every ~init:repr.Concrete.init () in
+          List.iter
+            (fun (v, session, op) ->
+              let v' = Oplog.append log ~session op in
+              if v' <> v then
+                (* unreachable: [Durable_log.load] validated density *)
+                Error.raise_error Error.Corrupt ~op:"reopen"
+                  "log entries are not dense at version %d" v)
+            decoded;
+          let head = Oplog.head_version log in
+          (* where replay starts: the snapshot state when one is usable
+             (present, decodable, not ahead of a truncated log), the
+             initial state otherwise — the log holds the full history,
+             so a missing or broken snapshot only lengthens replay *)
+          let start, state0 =
+            match snapshot with
+            | Some (v, payload) when v > 0 && v <= head -> (
+                match
+                  let a = codec.decode_a payload in
+                  s_of_snapshot ~bx:repr.Concrete.bx ~init:repr.Concrete.init a
+                with
+                | st -> (v, st)
+                | exception exn when Error.is_bx_exn exn ->
+                    Chaos.note_fallback "sync.store.replay";
+                    (0, repr.Concrete.init))
+            | _ -> (0, repr.Concrete.init)
+          in
+          if start > 0 then Oplog.record_snapshot log start state0;
+          let writer = Durable_log.open_append ~dir ~fsync ~valid:valid_bytes in
+          let store =
+            Store
+              {
+                name;
+                bx = repr.Concrete.bx;
+                eq_state = repr.Concrete.eq_state;
+                pedigree = Pedigree.Replicated repr.Concrete.pedigree;
+                apply_da;
+                apply_db;
+                log;
+                durable = Some (codec, writer);
+                state = state0;
+                version = start;
+              }
+          in
+          match recover store with
+          | () -> Ok store
+          | exception exn when Error.is_bx_exn exn ->
+              Durable_log.close writer;
+              let detail =
+                match Error.of_exn exn with
+                | Some e -> Error.message e
+                | None -> Printexc.to_string exn
+              in
+              Error
+                (Error.v Error.Corrupt ~op:"reopen"
+                   ("replay failed: " ^ detail))))

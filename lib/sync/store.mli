@@ -4,7 +4,9 @@
     [docs/SYNC.md]).
 
     Chaos sites: ["sync.oplog.append"] (commit aborts whole),
-    ["sync.store.replay"] (recovery absorbs the fault). *)
+    ["sync.store.replay"] (recovery absorbs the fault),
+    ["sync.durable.write"] (an entry-write fault aborts the commit; a
+    snapshot-write fault is absorbed). *)
 
 open Esm_core
 
@@ -19,6 +21,33 @@ type ('a, 'b, 'da, 'db) op =
 
 val op_kind : ('a, 'b, 'da, 'db) op -> string
 
+type ('a, 'b, 'da, 'db) op_codec = {
+  encode_op : ('a, 'b, 'da, 'db) op -> string;
+  decode_op : string -> ('a, 'b, 'da, 'db) op;
+  encode_a : 'a -> string;
+  decode_a : string -> 'a;
+}
+(** How operations and A views serialise for the durable log
+    ({!Durable_log} frames the payloads; {!Wire.durable_op_codec} builds
+    the codec for relational stores).  Snapshots record the A view and
+    {!reopen} reconstructs the state as [set_a a init] — exact whenever
+    the A view determines the state, in particular for every lens-packed
+    store.  [encode_op] may raise a typed error for non-serialisable
+    operations ([Exec] programs contain functions); such a commit then
+    fails whole on a persisted store. *)
+
+type ('a, 'b, 'da, 'db) persist
+
+val persist :
+  ?fsync:Durable_log.fsync_policy ->
+  dir:string ->
+  ('a, 'b, 'da, 'db) op_codec ->
+  ('a, 'b, 'da, 'db) persist
+(** Persistence configuration for {!of_packed}: append each committed
+    entry (and periodic snapshots, at the store's [snapshot_every]
+    cadence) to an on-disk log in [dir] under the given fsync policy
+    (default [Fsync_every 8] — see [docs/SYNC.md] for the trade-off). *)
+
 type ('a, 'b, 'da, 'db) t
 
 val of_packed :
@@ -26,14 +55,53 @@ val of_packed :
   ?snapshot_every:int ->
   ?apply_da:('a -> 'da list -> 'a) ->
   ?apply_db:('b -> 'db list -> 'b) ->
+  ?persist:('a, 'b, 'da, 'db) persist ->
   ('a, 'b) Concrete.packed ->
   ('a, 'b, 'da, 'db) t
 (** Serve a packed bx as a replicated store.  The pedigree is recorded
     as [Pedigree.Replicated] of the base pedigree.  [apply_da] /
     [apply_db] materialise delta bursts for [Batch_a] / [Batch_b]
-    (omitting them makes batch commits fail with a typed error). *)
+    (omitting them makes batch commits fail with a typed error).
+    [persist] starts a {e fresh} durable log in its directory (any
+    existing log there is truncated — resuming one is {!reopen}'s job)
+    and every commit then follows the write-ahead discipline: entry
+    record on disk first, in-memory state second. *)
+
+val reopen :
+  ?name:string ->
+  ?snapshot_every:int ->
+  ?apply_da:('a -> 'da list -> 'a) ->
+  ?apply_db:('b -> 'db list -> 'b) ->
+  ?fsync:Durable_log.fsync_policy ->
+  codec:('a, 'b, 'da, 'db) op_codec ->
+  dir:string ->
+  ('a, 'b) Concrete.packed ->
+  (('a, 'b, 'da, 'db) t, Error.t) result
+(** Reconstruct a persisted store from [dir]: the latest valid snapshot
+    plus the validated log suffix.  Tolerates exactly the artifacts a
+    real crash produces — a torn final record (truncated before the
+    writer resumes), a duplicated tail after a re-append (deduplicated),
+    a missing or invalid snapshot file (full replay from the packed
+    initial state) — and classifies unrecoverable damage as a typed
+    {!Esm_core.Error.Corrupt}: bad magic or format version, a mid-file
+    checksum mismatch, a version gap, an undecodable entry payload.  The
+    reconstructed store is always at {e some} committed version with
+    {!version} = {!head_version} — never a partial commit. *)
 
 val name : ('a, 'b, 'da, 'db) t -> string
+
+val persisted : ('a, 'b, 'da, 'db) t -> bool
+(** Is this store backed by a durable log? *)
+
+val flush : ('a, 'b, 'da, 'db) t -> unit
+(** Force an fsync of the durable log now, whatever the policy (no-op on
+    an in-memory store). *)
+
+val close : ('a, 'b, 'da, 'db) t -> unit
+(** Fsync and close the durable log's file descriptor (no-op on an
+    in-memory store).  Further commits on a persisted store are
+    undefined after [close]; reopen with {!reopen}. *)
+
 val pedigree : ('a, 'b, 'da, 'db) t -> Pedigree.t
 
 val version : ('a, 'b, 'da, 'db) t -> int

@@ -220,6 +220,7 @@ let kind_of_name = function
   | "fault" -> Error.Fault
   | "index" -> Error.Index
   | "conflict" -> Error.Conflict
+  | "corrupt" -> Error.Corrupt
   | "other" -> Error.Other
   | k -> parse_error "unknown error kind %S" k
 
@@ -246,6 +247,42 @@ let parse_response (line : string) : response =
       | [ v; n ] -> Resp_update (parse_int_word line v, parse_int_word line n)
       | _ -> parse_error "expected 'update <version> <n>', got %S" line)
   | _ -> parse_error "unknown response %S" line
+
+(* {1 Durable-log payload codec} *)
+
+(* The durable log frames opaque payloads (Durable_log); this codec
+   fills them in for relational stores by reusing the row/delta wire
+   grammar: [set_a <rows>], [set_b <rows>], [batch_a <deltas>],
+   [batch_b <deltas>], and the bare A view rows for snapshots.  [Exec]
+   programs contain functions and do not serialise — encoding one is a
+   typed error, which fails the commit whole on a persisted store. *)
+let durable_op_codec ~(schema_a : Schema.t) ~(schema_b : Schema.t) :
+    (Table.t, Table.t, Row_delta.t, Row_delta.t) Store.op_codec =
+  let table_of schema rows = Table.of_rows schema rows in
+  {
+    Store.encode_op =
+      (fun op ->
+        match op with
+        | Store.Set_a t -> String.trim ("set_a " ^ render_rows (Table.rows t))
+        | Store.Set_b t -> String.trim ("set_b " ^ render_rows (Table.rows t))
+        | Store.Batch_a ds -> String.trim ("batch_a " ^ render_deltas ds)
+        | Store.Batch_b ds -> String.trim ("batch_b " ^ render_deltas ds)
+        | Store.Exec _ ->
+            Error.raise_error Error.Other ~op:"durable"
+              "Exec ops are not serialisable (programs contain functions); \
+               commit the resulting sets instead");
+    decode_op =
+      (fun s ->
+        let word, rest = cut_word s in
+        match word with
+        | "set_a" -> Store.Set_a (table_of schema_a (parse_rows rest))
+        | "set_b" -> Store.Set_b (table_of schema_b (parse_rows rest))
+        | "batch_a" -> Store.Batch_a (parse_deltas rest)
+        | "batch_b" -> Store.Batch_b (parse_deltas rest)
+        | _ -> parse_error "unknown durable op %S" s);
+    encode_a = (fun t -> render_rows (Table.rows t));
+    decode_a = (fun s -> table_of schema_a (parse_rows s));
+  }
 
 (* {1 The in-process server} *)
 

@@ -42,6 +42,19 @@ val parse_request : string -> request
 val render_response : response -> string
 val parse_response : string -> response
 
+(** {1 Durable-log payload codec} *)
+
+val durable_op_codec :
+  schema_a:Schema.t ->
+  schema_b:Schema.t ->
+  (Table.t, Table.t, Row_delta.t, Row_delta.t) Store.op_codec
+(** The {!Store.op_codec} for relational stores, reusing the row/delta
+    wire grammar for durable-log payloads ([set_a <rows>],
+    [batch_b +<row> ; -<row>], …).  [schema_a] / [schema_b] rebuild
+    tables on decode (the on-disk payload carries rows, not schemas).
+    Encoding an [Exec] op raises a typed error — programs contain
+    functions and do not serialise. *)
+
 (** {1 Server} *)
 
 type server

@@ -40,4 +40,5 @@ let () =
       ("integration", Test_integration.suite);
       ("chaos (atomic + fault injection)", Test_atomic.suite);
       ("sync (replicated store)", Test_sync.suite);
+      ("durable log", Test_durable_log.suite);
     ]
