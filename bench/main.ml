@@ -627,6 +627,63 @@ let b11_reopen_tests =
 let b11_tests = b11_policy_tests @ b11_reopen_tests
 
 (* ------------------------------------------------------------------ *)
+(* B12: law inference unlocking the optimizer on a compiled plan        *)
+(* ------------------------------------------------------------------ *)
+
+(* A compiled relational pipeline (where id <= 4, key-preserving) whose
+   pedigree the analysis resolves to `Overwriteable.  Before pedigreed
+   compilation this bx was Opaque: the optimizer had to run at the `Any
+   floor, where none of the (SS) collapses below fire.  The workload is
+   16 redundant whole-view publishes — each one a full relational put on
+   the n=512 source table. *)
+let b12_dlens =
+  Esm_relational.Query.to_dlens ~schema:Workload.employees_schema
+    ~key:[ "id" ]
+    (Esm_relational.Query.parse "employees | where id <= 4")
+
+let b12_table = Workload.employees ~seed:42 ~size:512
+
+let b12_packed = Rlens.packed_of_dlens ~init:b12_table b12_dlens
+let b12_bx = Esm_core.Concrete.of_lens b12_dlens.Rlens.lens
+let b12_view1 = Esm_lens.Lens.get b12_dlens.Rlens.lens b12_table
+let b12_view2 = Algebra.select Pred.(col "id" <= int 3) b12_view1
+
+let b12_cmd =
+  let rec build n acc =
+    if n = 0 then acc
+    else
+      build (n - 1)
+        (Esm_core.Command.Seq
+           ( Esm_core.Command.Set_b b12_view1,
+             Esm_core.Command.Seq (Esm_core.Command.Set_b b12_view2, acc) ))
+  in
+  build 8 Esm_core.Command.Skip
+
+let b12_inferred = Esm_analysis.Law_infer.of_packed b12_packed
+
+let b12_opaque_floor =
+  (* what the optimizer could do before the pedigree existed *)
+  Esm_core.Command.optimize ~eq_a:Table.equal ~eq_b:Table.equal b12_cmd
+
+let b12_at_inferred =
+  Esm_core.Command.optimize_at
+    (Esm_analysis.Law_infer.to_command_level b12_inferred)
+    ~eq_a:Table.equal ~eq_b:Table.equal b12_cmd
+
+let b12_tests =
+  [
+    Test.make ~name:"plan command: exec raw (16 view sets, n=512)"
+      (Staged.stage (fun () ->
+           Esm_core.Command.exec b12_bx b12_cmd b12_table));
+    Test.make ~name:"plan command: exec at opaque floor"
+      (Staged.stage (fun () ->
+           Esm_core.Command.exec b12_bx b12_opaque_floor b12_table));
+    Test.make ~name:"plan command: exec at inferred level"
+      (Staged.stage (fun () ->
+           Esm_core.Command.exec b12_bx b12_at_inferred b12_table));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -777,6 +834,13 @@ let () =
        at least 5x over 64 one-at-a-time commits; replay recovery ~ 8 \
        batched commits"
     b10_tests;
+  run_group ~id:"B12"
+    ~header:"law inference unlocking the optimizer on a compiled plan"
+    ~expectation:
+      "at the pre-pedigree opaque floor the 16 redundant view publishes \
+       all execute; at the inferred (overwriteable) level (SS) collapses \
+       them to one put — an order of magnitude"
+    b12_tests;
   run_group ~id:"B11" ~header:"durable log: fsync policy + reopen recovery"
     ~expectation:
       "batched fsync (every 64) within 3x of no fsync; per-commit fsync pays \

@@ -16,12 +16,56 @@
    statically rejected, and that the same program on the genuinely
    commuting pair bx is statically accepted.
 
-   Exit codes: 0 clean; 1 error-severity diagnostics or cross-check
-   failure; 2 self-test failure (analyzer bug).
+   Compiled query plans additionally get (a) an abstract-domain plan
+   lint (Lint.lint_plan: dead/implied where stages, trivial stages,
+   schema violations, FD-less joins) and (b) a provenance gate: a plan
+   whose pedigree contains an Opaque node lost its provenance somewhere
+   in compilation, which defeats the whole static analysis — that is an
+   error unless the entry label is listed in .bxlint-allow-opaque.
+
+   Exit codes: 0 clean; 1 error-severity diagnostics, cross-check
+   failure, or opaque-plan gate failure; 2 self-test failure (analyzer
+   bug).
 
    Usage: bxlint [--json]  *)
 
 open Esm_analysis
+
+(* The opaque-plan allowlist: one catalog label per line; blank lines
+   and #-comments ignored.  Searched in the working directory. *)
+let allowlist_file = ".bxlint-allow-opaque"
+
+let read_allowlist () : string list =
+  match open_in allowlist_file with
+  | exception Sys_error _ -> []
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+        | line -> (
+            match String.trim line with
+            | "" -> go acc
+            | l when l.[0] = '#' -> go acc
+            | l -> go (l :: acc))
+      in
+      go []
+
+(* The provenance gate: every audited entry that carries a compiled
+   query plan must have an Opaque-free pedigree, or an explicit
+   allowlist entry.  Returns the offending labels. *)
+let opaque_gate (audits : Catalog.audit list) : string list =
+  let allowed = read_allowlist () in
+  List.filter_map
+    (fun (a : Catalog.audit) ->
+      if
+        a.Catalog.plan_query <> None
+        && Esm_core.Pedigree.has_opaque a.Catalog.pedigree
+        && not (List.mem a.Catalog.label allowed)
+      then Some a.Catalog.label
+      else None)
+    audits
 
 let selftest () : string list =
   let failures = ref [] in
@@ -83,28 +127,28 @@ let () =
   let json = Array.exists (fun a -> a = "--json") Sys.argv in
   let audits = Catalog.audit_all () in
   let self_failures = selftest () in
+  let opaque_plans = opaque_gate audits in
+  let audit_diags (a : Catalog.audit) =
+    List.concat_map (fun p -> p.Catalog.diagnostics) a.Catalog.pipelines
+    @ a.Catalog.plan_diagnostics
+  in
   let n_errors =
     List.fold_left
       (fun n a ->
         n
-        + List.length
-            (List.concat_map
-               (fun p -> List.filter Lint.is_error p.Catalog.diagnostics)
-               a.Catalog.pipelines)
+        + List.length (List.filter Lint.is_error (audit_diags a))
         + if a.Catalog.cross_check_ok then 0 else 1)
       0 audits
+    + List.length opaque_plans
   in
   let n_warnings =
     List.fold_left
       (fun n a ->
         n
         + List.length
-            (List.concat_map
-               (fun p ->
-                 List.filter
-                   (fun d -> d.Lint.severity = Lint.Warning)
-                   p.Catalog.diagnostics)
-               a.Catalog.pipelines))
+            (List.filter
+               (fun d -> d.Lint.severity = Lint.Warning)
+               (audit_diags a)))
       0 audits
   in
   if json then (
@@ -117,9 +161,14 @@ let () =
     in
     print_string
       (Printf.sprintf
-         {|{"audits":%s,"selftest":%s,"errors":%d,"warnings":%d}|}
+         {|{"schema_version":2,"audits":%s,"selftest":%s,"opaque_plans":[%s],"errors":%d,"warnings":%d}|}
          (Catalog.audits_to_json audits)
-         selftest_json n_errors n_warnings);
+         selftest_json
+         (String.concat ","
+            (List.map
+               (fun l -> "\"" ^ Lint.json_escape l ^ "\"")
+               opaque_plans))
+         n_errors n_warnings);
     print_newline ())
   else (
     Format.printf
@@ -142,6 +191,13 @@ let () =
             a.Catalog.label
             (Law_infer.to_string a.Catalog.inferred))
       audits;
+    List.iter
+      (fun l ->
+        Format.printf
+          "PROVENANCE: %s: compiled plan has an opaque pedigree node (not \
+           allowlisted in %s)@."
+          l allowlist_file)
+      opaque_plans;
     Format.printf "@.%d catalog entries, %d error(s), %d warning(s)@."
       (List.length audits) n_errors n_warnings);
   if self_failures <> [] then exit 2 else if n_errors > 0 then exit 1

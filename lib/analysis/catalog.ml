@@ -10,6 +10,7 @@
     wrong, and the audit reports it loudly. *)
 
 open Esm_core
+module Rel = Esm_relational
 
 type ('a, 'b) subject =
   | Cmd of string * Law_infer.level * ('a, 'b) Command.t
@@ -19,6 +20,14 @@ type ('a, 'b) subject =
   | Puts of string * Law_infer.level * ('a, 'b) Lint.put_op list
       (** a put-presentation session script (the language sync sessions
           speak) and the level its rewriter assumes *)
+
+type query_plan = {
+  plan_schema : Rel.Schema.t;
+  plan_key : string list;
+  plan_query : Rel.Query.t;
+}
+(** The relational query plan an entry compiled from, when there is one:
+    the subject {!Lint.lint_plan} audits with the abstract domains. *)
 
 type ('a, 'b) scenario = {
   label : string;
@@ -31,6 +40,7 @@ type ('a, 'b) scenario = {
   show_a : 'a -> string;
   show_b : 'b -> string;
   subjects : ('a, 'b) subject list;
+  plan : query_plan option;
 }
 
 type entry = Entry : ('a, 'b) scenario -> entry
@@ -181,15 +191,80 @@ let table_model names =
        names)
 
 (** The compiled engineering-roster pipeline of [examples/view_update.ml]:
-    a select+project relational lens over the employees table.  Only wb —
-    project's [put] loses hidden columns of rows absent from the
-    intermediate view, so (PutPut) is unclaimed. *)
-module Rel = Esm_relational
+    a select+project relational lens over the employees table.  The
+    pedigree is the per-combinator {!Rel.Query.pedigree} of the plan: the
+    non-key select keeps the undo law, the lossy project drops to set-bx,
+    and the meet is set-bx — the same level the old [Of_lens { vwb =
+    false }] claim gave, now derived combinator by combinator. *)
+let eng_query : Rel.Query.t =
+  Rel.Query.parse
+    {|employees | where dept = "Engineering" | select id, name, dept|}
 
 let eng_view_lens : (Rel.Table.t, Rel.Table.t) Esm_lens.Lens.t =
-  Rel.Query.lens_of_string ~schema:Rel.Workload.employees_schema
-    ~key:[ "id" ]
-    {|employees | where dept = "Engineering" | select id, name, dept|}
+  Rel.Query.to_lens ~schema:Rel.Workload.employees_schema ~key:[ "id" ]
+    eng_query
+
+let eng_pedigree : Pedigree.t =
+  Rel.Query.pedigree ~schema:Rel.Workload.employees_schema ~key:[ "id" ]
+    eng_query
+
+(* ---- compiled delta pipelines and sample tables for the relational
+   entries ----------------------------------------------------------- *)
+
+let eng_dlens : Rel.Rlens.dlens =
+  Rel.Query.to_dlens ~schema:Rel.Workload.employees_schema ~key:[ "id" ]
+    eng_query
+
+(** A key-preserving slice: the predicate reads only the key column, so
+    the select lemma yields [`Overwriteable]. *)
+let slice_query : Rel.Query.t = Rel.Query.parse {|employees | where id <= 4|}
+
+let slice_dlens : Rel.Rlens.dlens =
+  Rel.Query.to_dlens ~schema:Rel.Workload.employees_schema ~key:[ "id" ]
+    slice_query
+
+(** Views of [where id <= 4]: any table whose rows all satisfy the
+    predicate works (the select put validates them). *)
+let id_slice_view tbl = Rel.Algebra.select Rel.Pred.(col "id" <= int 4) tbl
+
+(** A pure column renaming: a schema iso, [`Overwriteable] by the rename
+    lemma. *)
+let contact_query : Rel.Query.t =
+  Rel.Query.parse {|employees | rename email as contact|}
+
+let contact_dlens : Rel.Rlens.dlens =
+  Rel.Query.to_dlens ~schema:Rel.Workload.employees_schema ~key:[ "id" ]
+    contact_query
+
+let contact_view tbl = Esm_lens.Lens.get contact_dlens.Rel.Rlens.lens tbl
+
+let staff_schema : Rel.Schema.t =
+  Rel.Schema.make [ ("id", Rel.Value.Tint); ("name", Rel.Value.Tstr) ]
+
+let comp_schema : Rel.Schema.t =
+  Rel.Schema.make [ ("id", Rel.Value.Tint); ("salary", Rel.Value.Tint) ]
+
+let staff names =
+  Rel.Table.of_lists staff_schema
+    (List.mapi (fun i n -> [ Rel.Value.Int (i + 1); Rel.Value.Str n ]) names)
+
+let comp salaries =
+  Rel.Table.of_lists comp_schema
+    (List.mapi
+       (fun i s -> [ Rel.Value.Int (i + 1); Rel.Value.Int s ])
+       salaries)
+
+let staff_comp_view rows =
+  Rel.Table.of_lists
+    (Rel.Schema.make
+       [
+         ("id", Rel.Value.Tint);
+         ("name", Rel.Value.Tstr);
+         ("salary", Rel.Value.Tint);
+       ])
+    (List.map
+       (fun (i, n, s) -> [ Rel.Value.Int i; Rel.Value.Str n; Rel.Value.Int s ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* The entries                                                         *)
@@ -224,6 +299,7 @@ let all () : entry list =
                 `Commuting,
                 Program.[ Set_a 1; Set_b 2; Get_a; Get_b ] );
           ];
+        plan = None;
       };
     Entry
       {
@@ -258,6 +334,7 @@ let all () : entry list =
                 `Overwriteable,
                 Program.[ Set_a 3; Get_b; Set_b 10; Get_a ] );
           ];
+        plan = None;
       };
     Entry
       {
@@ -281,6 +358,7 @@ let all () : entry list =
                 Command.(Seq (Set_a 4, If_a ((fun x -> x > 0), Set_b 2, Set_b 1)))
               );
           ];
+        plan = None;
       };
     Entry
       {
@@ -309,6 +387,7 @@ let all () : entry list =
                 `Overwriteable,
                 Command.(Seq (Set_b "grace", Set_b "barbara")) );
           ];
+        plan = None;
       };
     Entry
       {
@@ -338,6 +417,7 @@ let all () : entry list =
                     Get_a;
                   ] );
           ];
+        plan = None;
       };
     Entry
       {
@@ -357,6 +437,7 @@ let all () : entry list =
             Prog
               ("mirror-write", `Set_bx, Program.[ Set_a 1; Get_b; Set_b 7 ]);
           ];
+        plan = None;
       };
     Entry
       {
@@ -390,6 +471,7 @@ let all () : entry list =
                 `Set_bx,
                 Program.[ Set_a 3; Set_a 3; Get_b; Set_b 10 ] );
           ];
+        plan = None;
       };
     Entry
       {
@@ -414,6 +496,7 @@ let all () : entry list =
                 Command.(Seq (Set_a 5, Seq (Set_b 6, Modify_a (fun x -> x))))
               );
           ];
+        plan = None;
       };
     Entry
       {
@@ -438,6 +521,7 @@ let all () : entry list =
             Prog
               ("chained-sync", `Set_bx, Program.[ Set_a 2; Get_b; Set_b 103 ]);
           ];
+        plan = None;
       };
     Entry
       {
@@ -479,6 +563,7 @@ let all () : entry list =
                       Set_b (links_view [ ("edbt", "https://edbt.org") ]) ))
               );
           ];
+        plan = None;
       };
     Entry
       {
@@ -522,17 +607,20 @@ let all () : entry list =
                     Get_a;
                   ] );
           ];
+        plan = None;
       };
     Entry
       {
         label = "relational/engineering-roster";
         description =
           "compiled where|select pipeline over employees \
-           (examples/view_update.ml, Lemma 4; wb only)";
+           (examples/view_update.ml; per-combinator plan pedigree, meet \
+           is set-bx)";
         packed =
-          Concrete.packed_of_lens ~vwb:false
-            ~init:(Rel.Workload.employees ~seed:3 ~size:8)
-            ~eq_state:Rel.Table.equal eng_view_lens;
+          Concrete.with_pedigree eng_pedigree
+            (Concrete.packed_of_lens ~vwb:false
+               ~init:(Rel.Workload.employees ~seed:3 ~size:8)
+               ~eq_state:Rel.Table.equal eng_view_lens);
         values_a =
           [
             Rel.Workload.employees ~seed:1 ~size:6;
@@ -563,6 +651,13 @@ let all () : entry list =
                           Set_b (Rel.Workload.engineering_view ~seed:9 ~size:20)
                         ) )) );
           ];
+        plan =
+          Some
+            {
+              plan_schema = Rel.Workload.employees_schema;
+              plan_key = [ "id" ];
+              plan_query = eng_query;
+            };
       };
     Entry
       {
@@ -606,6 +701,7 @@ let all () : entry list =
                           Set_b (Rel.Workload.engineering_view ~seed:9 ~size:20)
                         ) )) );
           ];
+        plan = None;
       };
     Entry
       {
@@ -651,6 +747,7 @@ let all () : entry list =
                     Put_ba (Rel.Workload.engineering_view ~seed:9 ~size:20);
                   ] );
           ];
+        plan = None;
       };
     Entry
       {
@@ -679,6 +776,224 @@ let all () : entry list =
                 `Commuting,
                 Lint.[ Put_ab 1; Put_ba 2; Put_ab 1; Pget_b ] );
           ];
+        plan = None;
+      };
+    Entry
+      {
+        label = "relational/keyed-slice";
+        description =
+          "delta-compiled where-on-key slice: the predicate reads only \
+           the key column, so the select lemma gives (PutPut) — \
+           overwriteable";
+        packed =
+          Rel.Rlens.packed_of_dlens
+            ~init:(Rel.Workload.employees ~seed:3 ~size:8)
+            slice_dlens;
+        values_a =
+          [
+            Rel.Workload.employees ~seed:1 ~size:6;
+            Rel.Workload.employees ~seed:7 ~size:10;
+            Rel.Workload.employees ~seed:2 ~size:0;
+          ];
+        values_b =
+          [
+            id_slice_view (Rel.Workload.employees ~seed:4 ~size:12);
+            id_slice_view (Rel.Workload.employees ~seed:9 ~size:7);
+            id_slice_view (Rel.Workload.employees ~seed:1 ~size:0);
+          ];
+        eq_a = Rel.Table.equal;
+        eq_b = Rel.Table.equal;
+        show_a = Rel.Table.to_string;
+        show_b = Rel.Table.to_string;
+        subjects =
+          [
+            (* key-preserving select justifies (SS): the republished
+               slice collapses soundly *)
+            Cmd
+              ( "slice-republish",
+                `Overwriteable,
+                Command.(
+                  Seq
+                    ( Set_b (id_slice_view (Rel.Workload.employees ~seed:4 ~size:12)),
+                      Set_b (id_slice_view (Rel.Workload.employees ~seed:9 ~size:7))
+                    )) );
+          ];
+        plan =
+          Some
+            {
+              plan_schema = Rel.Workload.employees_schema;
+              plan_key = [ "id" ];
+              plan_query = slice_query;
+            };
+      };
+    Entry
+      {
+        label = "relational/eng-roster-delta";
+        description =
+          "the engineering roster compiled to a delta pipeline: view \
+           edits propagate through put_delta, and Delta_of keeps the \
+           plan's set-bx meet";
+        packed =
+          Rel.Rlens.packed_of_dlens
+            ~init:(Rel.Workload.employees ~seed:3 ~size:8)
+            eng_dlens;
+        values_a =
+          [
+            Rel.Workload.employees ~seed:1 ~size:6;
+            Rel.Workload.employees ~seed:7 ~size:10;
+            Rel.Workload.employees ~seed:2 ~size:0;
+          ];
+        values_b =
+          [
+            Rel.Workload.engineering_view ~seed:4 ~size:12;
+            Rel.Workload.engineering_view ~seed:9 ~size:20;
+            Rel.Workload.engineering_view ~seed:1 ~size:0;
+          ];
+        eq_a = Rel.Table.equal;
+        eq_b = Rel.Table.equal;
+        show_a = Rel.Table.to_string;
+        show_b = Rel.Table.to_string;
+        subjects =
+          [
+            Prog
+              ( "delta-sync",
+                `Set_bx,
+                Program.
+                  [
+                    Set_b (Rel.Workload.engineering_view ~seed:4 ~size:12);
+                    Get_a;
+                  ] );
+          ];
+        plan =
+          Some
+            {
+              plan_schema = Rel.Workload.employees_schema;
+              plan_key = [ "id" ];
+              plan_query = eng_query;
+            };
+      };
+    Entry
+      {
+        label = "relational/contact-rename";
+        description =
+          "delta-compiled column rename: a schema iso, overwriteable by \
+           the rename lemma (never commuting)";
+        packed =
+          Rel.Rlens.packed_of_dlens
+            ~init:(Rel.Workload.employees ~seed:3 ~size:8)
+            contact_dlens;
+        values_a =
+          [
+            Rel.Workload.employees ~seed:1 ~size:6;
+            Rel.Workload.employees ~seed:7 ~size:10;
+            Rel.Workload.employees ~seed:2 ~size:0;
+          ];
+        values_b =
+          [
+            contact_view (Rel.Workload.employees ~seed:4 ~size:5);
+            contact_view (Rel.Workload.employees ~seed:9 ~size:9);
+            contact_view (Rel.Workload.employees ~seed:1 ~size:0);
+          ];
+        eq_a = Rel.Table.equal;
+        eq_b = Rel.Table.equal;
+        show_a = Rel.Table.to_string;
+        show_b = Rel.Table.to_string;
+        subjects =
+          [
+            (* publish, overwrite, publish the original again: the
+               trailing pair cancels under the undo law alone *)
+            Cmd
+              ( "edit-undo",
+                `Undoable,
+                Command.(
+                  Seq
+                    ( Set_b (contact_view (Rel.Workload.employees ~seed:4 ~size:5)),
+                      Seq
+                        ( Set_b (contact_view (Rel.Workload.employees ~seed:9 ~size:9)),
+                          Set_b (contact_view (Rel.Workload.employees ~seed:4 ~size:5))
+                        ) )) );
+          ];
+        plan =
+          Some
+            {
+              plan_schema = Rel.Workload.employees_schema;
+              plan_key = [ "id" ];
+              plan_query = contact_query;
+            };
+      };
+    Entry
+      {
+        label = "relational/staff-comp-join";
+        description =
+          "join lens over staff and compensation with the FD id -> \
+           salary proven on the right: the join lemma restores the undo \
+           law.  Samples keep a fixed key universe (ids 1-3, no dangling \
+           rows) — the FD conditions the lemma assumes";
+        packed =
+          Concrete.with_pedigree
+            (Rel.Rlens.join_pedigree
+               ~right_fds:
+                 [ { Rel.Fd.determinant = [ "id" ]; dependent = [ "salary" ] } ]
+               ~left:staff_schema ~right:comp_schema ())
+            (Concrete.packed_of_lens ~vwb:false
+               ~init:(staff [ "ada"; "grace"; "alan" ], comp [ 100; 200; 300 ])
+               ~eq_state:(fun (l1, r1) (l2, r2) ->
+                 Rel.Table.equal l1 l2 && Rel.Table.equal r1 r2)
+               (Rel.Rlens.join ~left:staff_schema ~right:comp_schema));
+        values_a =
+          [
+            (staff [ "ada"; "grace"; "alan" ], comp [ 100; 200; 300 ]);
+            (staff [ "barbara"; "carol"; "dan" ], comp [ 150; 250; 350 ]);
+          ];
+        values_b =
+          [
+            staff_comp_view
+              [ (1, "ada", 120); (2, "grace", 220); (3, "alan", 320) ];
+            staff_comp_view
+              [ (1, "barbara", 100); (2, "carol", 200); (3, "dan", 300) ];
+          ];
+        eq_a =
+          (fun (l1, r1) (l2, r2) ->
+            Rel.Table.equal l1 l2 && Rel.Table.equal r1 r2);
+        eq_b = Rel.Table.equal;
+        show_a =
+          (fun (l, r) ->
+            Printf.sprintf "(%s, %s)" (Rel.Table.to_string l)
+              (Rel.Table.to_string r));
+        show_b = Rel.Table.to_string;
+        subjects =
+          [
+            (* rebalance then revert: the trailing pair cancels at the
+               undo level the FD-proven join supplies; the middle (SS)
+               collapse stays out of reach *)
+            Cmd
+              ( "rebalance-undo",
+                `Undoable,
+                Command.(
+                  Seq
+                    ( Set_b
+                        (staff_comp_view
+                           [ (1, "ada", 120); (2, "grace", 220); (3, "alan", 320) ]),
+                      Seq
+                        ( Set_b
+                            (staff_comp_view
+                               [
+                                 (1, "barbara", 100);
+                                 (2, "carol", 200);
+                                 (3, "dan", 300);
+                               ]),
+                          Set_b
+                            (staff_comp_view
+                               [ (1, "ada", 120); (2, "grace", 220); (3, "alan", 320) ])
+                        ) )) );
+          ];
+        plan =
+          Some
+            {
+              plan_schema = staff_schema;
+              plan_key = [ "id" ];
+              plan_query = Rel.Query.Join (Rel.Query.Base "staff", Rel.Query.Base "comp");
+            };
       };
   ]
 
@@ -705,6 +1020,11 @@ type audit = {
           claim) is wrong — surfaced loudly by `bxlint` *)
   certify : Certify.report;
   pipelines : pipeline_result list;
+  plan_query : string option;
+      (** surface syntax of the compiled plan, when the scenario has one *)
+  plan_diagnostics : Lint.diagnostic list;
+      (** {!Lint.lint_plan} over that plan; empty when [plan_query] is
+          [None] *)
 }
 
 let audit_entry (Entry s : entry) : audit =
@@ -776,6 +1096,15 @@ let audit_entry (Entry s : entry) : audit =
     cross_check_ok;
     certify;
     pipelines = List.map lint_subject s.subjects;
+    plan_query =
+      Option.map
+        (fun (p : query_plan) -> Rel.Query.to_string p.plan_query)
+        s.plan;
+    plan_diagnostics =
+      (match s.plan with
+      | None -> []
+      | Some p ->
+          Lint.lint_plan ~schema:p.plan_schema ~key:p.plan_key p.plan_query);
   }
 
 let audit_all () : audit list = List.map audit_entry (all ())
@@ -783,6 +1112,7 @@ let audit_all () : audit list = List.map audit_entry (all ())
 let audit_has_errors (a : audit) : bool =
   (not a.cross_check_ok)
   || List.exists (fun p -> Lint.has_errors p.diagnostics) a.pipelines
+  || Lint.has_errors a.plan_diagnostics
 
 (* ------------------------------------------------------------------ *)
 (* The known miscompilation (the dynamic counterexample of
@@ -826,7 +1156,16 @@ let pp_audit fmt (a : audit) =
         List.iter
           (fun d -> Format.fprintf fmt "    %a@." Lint.pp_diagnostic d)
           p.diagnostics)
-    a.pipelines
+    a.pipelines;
+  match a.plan_query with
+  | None -> ()
+  | Some q ->
+      Format.fprintf fmt "  plan %s:@." q;
+      if a.plan_diagnostics = [] then Format.fprintf fmt "    (clean)@."
+      else
+        List.iter
+          (fun d -> Format.fprintf fmt "    %a@." Lint.pp_diagnostic d)
+          a.plan_diagnostics
 
 let audit_to_json (a : audit) : string =
   let pipelines =
@@ -839,7 +1178,7 @@ let audit_to_json (a : audit) : string =
       a.pipelines
   in
   Printf.sprintf
-    {|{"label":"%s","pedigree":"%s","inferred":"%s","sampled":%s,"cross_check_ok":%b,"pipelines":[%s]}|}
+    {|{"label":"%s","pedigree":"%s","inferred":"%s","sampled":%s,"cross_check_ok":%b,"pipelines":[%s],"plan":%s,"plan_diagnostics":%s}|}
     (Lint.json_escape a.label)
     (Lint.json_escape (Pedigree.to_string a.pedigree))
     (Law_infer.to_string a.inferred)
@@ -848,6 +1187,10 @@ let audit_to_json (a : audit) : string =
     | None -> "null")
     a.cross_check_ok
     (String.concat "," pipelines)
+    (match a.plan_query with
+    | Some q -> Printf.sprintf "\"%s\"" (Lint.json_escape q)
+    | None -> "null")
+    (Lint.diagnostics_to_json a.plan_diagnostics)
 
 let audits_to_json (audits : audit list) : string =
   "[" ^ String.concat "," (List.map audit_to_json audits) ^ "]"

@@ -10,6 +10,14 @@ type ('a, 'b) subject =
   | Puts of string * Law_infer.level * ('a, 'b) Lint.put_op list
       (** a put-presentation session script (what sync sessions speak) *)
 
+type query_plan = {
+  plan_schema : Esm_relational.Schema.t;
+  plan_key : string list;
+  plan_query : Esm_relational.Query.t;
+}
+(** The relational source a scenario's bx was compiled from, when there
+    is one; `bxlint` runs {!Lint.lint_plan} over it. *)
+
 type ('a, 'b) scenario = {
   label : string;
   description : string;
@@ -21,6 +29,7 @@ type ('a, 'b) scenario = {
   show_a : 'a -> string;
   show_b : 'b -> string;
   subjects : ('a, 'b) subject list;
+  plan : query_plan option;
 }
 
 type entry = Entry : ('a, 'b) scenario -> entry
@@ -50,6 +59,11 @@ type audit = {
           claim is wrong *)
   certify : Certify.report;
   pipelines : pipeline_result list;
+  plan_query : string option;
+      (** surface syntax of the compiled plan, when the scenario has one *)
+  plan_diagnostics : Lint.diagnostic list;
+      (** {!Lint.lint_plan} over that plan; empty when [plan_query] is
+          [None] *)
 }
 
 val audit_entry : entry -> audit

@@ -2,14 +2,19 @@
     ({!Esm_core.Pedigree}) to the strongest law level the paper's lemmas
     guarantee — no sampling involved.
 
-    The level lattice is the total order
+    The level lattice is the total order (after Nakano's chart of the
+    territory between well-behaved and very well-behaved)
 
-    {v `Set_bx  ⊑  `Overwriteable  ⊑  `Commuting v}
+    {v `Set_bx  ⊑  `Undoable  ⊑  `Overwriteable  ⊑  `Commuting v}
 
-    mirroring {!Esm_core.Command.level} ([`Any]/[`Overwriteable]/
-    [`Commuting]): every packed instance satisfies the set-bx laws
-    (GG)/(GS)/(SG); overwriteable instances additionally satisfy (SS);
-    commuting instances additionally satisfy the §3.4 independence law
+    mirroring {!Esm_core.Command.level} ([`Any]/[`Undoable]/
+    [`Overwriteable]/[`Commuting]): every packed instance satisfies the
+    set-bx laws (GG)/(GS)/(SG); undoable instances additionally satisfy
+    the undo law [set_a (get_a s) (set_a v s) = s] (writing back the
+    original value cancels an intervening set — implied by (SS) together
+    with (GS), but strictly weaker, as the relational lenses show);
+    overwriteable instances additionally satisfy (SS); commuting
+    instances additionally satisfy the §3.4 independence law
     [set_a a >> set_b b = set_b b >> set_a a] (and (SS), which follows
     from commutation together with (GS)/(SG) in the instances at hand —
     the optimizer's [`Commuting] level assumes both).
@@ -35,16 +40,43 @@
     - Journalling and effectful wrappers record every effective update
       observably, so they force the level back down to [`Set_bx]
       regardless of the base.
-    - [Opaque] is the bottom: only the set-bx laws may be assumed. *)
+    - [Opaque] is the bottom: only the set-bx laws may be assumed.
+
+    The relational/delta combinators get per-combinator lemmas (checked
+    by the catalog's sampling cross-checks):
+
+    - Select: the put validates every view row against the predicate, so
+      the untouched complement is exactly the non-matching source rows
+      and a second put of the same shape erases the first — the undo law
+      holds.  When the predicate reads only key columns, view membership
+      is decided by the key alone, no view row can collide with a hidden
+      row, and (PutPut) holds: overwriteable.
+    - Project: a lossy projection restores dropped columns from the
+      {e old} source by key, so two puts remember the first and even the
+      undo law fails on deleted-then-restored rows — set-bx only.  A
+      lossless projection is a column-order iso: overwriteable.
+    - Rename: a schema iso, hence a very well-behaved lens:
+      overwriteable (never commuting — side A overwrites the whole
+      source).
+    - Join: the put redistributes view rows across two sources and keeps
+      right-rows for keys absent from the view, so nothing beyond set-bx
+      holds in general; when the FD analysis proves the view key
+      functionally determines the joined source rows, re-putting the
+      original view reassembles exactly the original sources — undoable.
+    - Dcompose: full-put semantics is lens composition — the meet.
+    - Delta_of: the delta path agrees with the base full-put lens (the
+      oracle the chaos suite enforces) — the base level.
+    - Plan: a compiled query is its body pipeline — the body's level. *)
 
 open Esm_core
 
-type level = [ `Set_bx | `Overwriteable | `Commuting ]
+type level = [ `Set_bx | `Undoable | `Overwriteable | `Commuting ]
 
 let rank : level -> int = function
   | `Set_bx -> 0
-  | `Overwriteable -> 1
-  | `Commuting -> 2
+  | `Undoable -> 1
+  | `Overwriteable -> 2
+  | `Commuting -> 3
 
 let compare (l1 : level) (l2 : level) : int = Int.compare (rank l1) (rank l2)
 let leq (l1 : level) (l2 : level) : bool = rank l1 <= rank l2
@@ -52,6 +84,7 @@ let meet (l1 : level) (l2 : level) : level = if leq l1 l2 then l1 else l2
 
 let to_string : level -> string = function
   | `Set_bx -> "set-bx"
+  | `Undoable -> "undoable"
   | `Overwriteable -> "overwriteable"
   | `Commuting -> "commuting"
 
@@ -61,12 +94,14 @@ let pp fmt (l : level) = Format.pp_print_string fmt (to_string l)
     the always-sound rewrites. *)
 let to_command_level : level -> Command.level = function
   | `Set_bx -> `Any
+  | `Undoable -> `Undoable
   | `Overwriteable -> `Overwriteable
   | `Commuting -> `Commuting
 
 (** The law level an optimizer level {e requires} of its target bx. *)
 let of_command_level : Command.level -> level = function
   | `Any -> `Set_bx
+  | `Undoable -> `Undoable
   | `Overwriteable -> `Overwriteable
   | `Commuting -> `Commuting
 
@@ -89,6 +124,15 @@ let rec level (p : Pedigree.t) : level =
   | Pedigree.Opaque _ -> `Set_bx
   | Pedigree.Atomic p -> level p
   | Pedigree.Replicated p -> level p
+  | Pedigree.Select { key_preserving; _ } ->
+      if key_preserving then `Overwriteable else `Undoable
+  | Pedigree.Project { lossless; _ } ->
+      if lossless then `Overwriteable else `Set_bx
+  | Pedigree.Rename _ -> `Overwriteable
+  | Pedigree.Join { fd_proven; _ } -> if fd_proven then `Undoable else `Set_bx
+  | Pedigree.Dcompose (p1, p2) -> meet (level p1) (level p2)
+  | Pedigree.Delta_of p -> level p
+  | Pedigree.Plan { body; _ } -> level body
 
 (** [level], with the applied lemma spelled out per node — the rationale
     `bxlint` prints next to each verdict. *)
@@ -153,6 +197,66 @@ let rec explain (p : Pedigree.t) : string =
          commits are transactional, so the level is preserved (and \
          rollback added): %s"
         (explain p)
+  | Pedigree.Select { pred; key_preserving } ->
+      if key_preserving then
+        Printf.sprintf
+          "select lemma: predicate (%s) reads only key columns, so view \
+           membership is decided by the key, no view row collides with a \
+           hidden row, and (PutPut) holds — overwriteable"
+          pred
+      else
+        Printf.sprintf
+          "select lemma: the put validates every view row against (%s), so \
+           re-putting the original view erases an intervening put (undo \
+           law); (PutPut) is not claimed because a view row may collide \
+           with a hidden non-matching row's key"
+          pred
+  | Pedigree.Project { keep; lossless; _ } ->
+      if lossless then
+        Printf.sprintf
+          "project lemma: keeping every source column (%s) is a \
+           column-order iso, a very well-behaved lens — overwriteable"
+          (String.concat "," keep)
+      else
+        Printf.sprintf
+          "project lemma: dropped columns are restored from the old source \
+           by key, so two puts remember the first and deleted rows lose \
+           their hidden columns — only the set-bx laws hold (keep: %s)"
+          (String.concat "," keep)
+  | Pedigree.Rename mapping ->
+      Printf.sprintf
+        "rename lemma: %s is a schema iso, a very well-behaved lens — \
+         overwriteable, never commuting"
+        (String.concat ","
+           (List.map (fun (o, n) -> o ^ "->" ^ n) mapping))
+  | Pedigree.Join { on; fd_proven } ->
+      if fd_proven then
+        Printf.sprintf
+          "join lemma: FD analysis proves the view key functionally \
+           determines the joined rows over (%s), so re-putting the \
+           original view reassembles the original sources — undoable"
+          (String.concat "," on)
+      else
+        Printf.sprintf
+          "join lemma: the put redistributes rows across both sources \
+           (shared columns: %s) with no FD proof, so only the set-bx laws \
+           hold"
+          (String.concat "," on)
+  | Pedigree.Dcompose (p1, p2) ->
+      Printf.sprintf
+        "delta-lens composition has lens composition as its full-put \
+         semantics, so it takes the meet: %s ⊓ %s = %s; [%s] [%s]"
+        (at p1) (at p2)
+        (to_string (level p))
+        (explain p1) (explain p2)
+  | Pedigree.Delta_of p ->
+      Printf.sprintf
+        "delta propagation agrees with the base full-put lens (the chaos \
+         suite's oracle), preserving the level: %s"
+        (explain p)
+  | Pedigree.Plan { query; body } ->
+      Printf.sprintf "compiled plan ⟨%s⟩ is its body pipeline: %s" query
+        (explain body)
 
 (** Infer the level of a packed bx from its recorded pedigree. *)
 let of_packed (p : ('a, 'b) Concrete.packed) : level =
@@ -175,8 +279,15 @@ let rec fallible (p : Pedigree.t) : bool =
   | Pedigree.Of_lens _ | Pedigree.Of_algebraic _ | Pedigree.Of_symmetric _
   | Pedigree.Effectful _ | Pedigree.Opaque _ ->
       true
-  | Pedigree.Compose (p1, p2) -> fallible p1 || fallible p2
-  | Pedigree.Flip p | Pedigree.Journalled p -> fallible p
+  (* the relational lenses validate rows, keys and schemas in put, so
+     every one of them can raise a bx error on bad inputs *)
+  | Pedigree.Select _ | Pedigree.Project _ | Pedigree.Rename _
+  | Pedigree.Join _ ->
+      true
+  | Pedigree.Compose (p1, p2) | Pedigree.Dcompose (p1, p2) ->
+      fallible p1 || fallible p2
+  | Pedigree.Flip p | Pedigree.Journalled p | Pedigree.Delta_of p -> fallible p
+  | Pedigree.Plan { body; _ } -> fallible body
 
 (** Is every failure inside this pedigree caught by an enclosing
     [Atomic] wrapper (so a failing set rolls back instead of tearing the
@@ -184,7 +295,8 @@ let rec fallible (p : Pedigree.t) : bool =
 let rec rollback_protected (p : Pedigree.t) : bool =
   match p with
   | Pedigree.Atomic _ | Pedigree.Replicated _ -> true
-  | Pedigree.Flip p | Pedigree.Journalled p -> rollback_protected p
+  | Pedigree.Flip p | Pedigree.Journalled p | Pedigree.Plan { body = p; _ } ->
+      rollback_protected p
   | _ -> false
 
 (* ------------------------------------------------------------------ *)

@@ -9,9 +9,10 @@
 open Esm_core
 
 (** The law-level lattice, a total order: every instance satisfies the
-    set-bx laws; [`Overwriteable] adds (SS); [`Commuting] adds §3.4
-    commutation. *)
-type level = [ `Set_bx | `Overwriteable | `Commuting ]
+    set-bx laws; [`Undoable] adds the undo law
+    [set (get s) (set v s) = s]; [`Overwriteable] adds (SS); [`Commuting]
+    adds §3.4 commutation. *)
+type level = [ `Set_bx | `Undoable | `Overwriteable | `Commuting ]
 
 val rank : level -> int
 val compare : level -> level -> int
@@ -30,7 +31,11 @@ val level : Pedigree.t -> level
 (** The paper's lemmas, replayed: Lemma 4 (wb lens ⇒ set-bx, vwb ⇒
     overwriteable), Lemma 5 (undoable ⇒ overwriteable), Lemma 6 (set-bx
     only), §3.4 pair ⇒ commuting, composition takes the meet, journalled
-    / effectful wrappers force [`Set_bx]. *)
+    / effectful wrappers force [`Set_bx] — plus the per-combinator
+    relational lemmas: key-preserving select ⇒ overwriteable (else
+    undoable), lossless project / rename ⇒ overwriteable (lossy project
+    ⇒ set-bx), FD-proven join ⇒ undoable (else set-bx), delta
+    composition takes the meet, [Delta_of]/[Plan] preserve the base. *)
 
 val explain : Pedigree.t -> string
 (** [level] with the applied lemma spelled out per pedigree node. *)
@@ -40,9 +45,10 @@ val of_packed : ('a, 'b) Concrete.packed -> level
 
 val fallible : Pedigree.t -> bool
 (** Can a setter of a bx with this pedigree raise a bx error?  True for
-    lens/algebraic/symmetric/opaque constructions (partial machinery
-    underneath), false for the total built-ins ([Pair], [Identity]) and
-    for anything already wrapped in [Atomic]. *)
+    lens/algebraic/symmetric/opaque constructions and the relational
+    lenses (partial machinery underneath: row validation, key checks,
+    schema checks), false for the total built-ins ([Pair], [Identity])
+    and for anything already wrapped in [Atomic]. *)
 
 val rollback_protected : Pedigree.t -> bool
 (** Is the pedigree wrapped (at the top, possibly under [Flip] /

@@ -42,6 +42,10 @@ type rule =
           statically known *)
   | Collapsible_set of side
       (** (SS): an unread set overwritten by a later same-side set *)
+  | Undo_cancel of side
+      (** undo law: an unread set overwritten by a same-side set
+          restoring the value current {e before} it — the pair cancels
+          to a no-op at [`Undoable], one point below the (SS) collapse *)
   | Reorder_collapse of side
       (** a same-side collapse across opposite-side writes — requires
           commutation to reorder first *)
@@ -57,16 +61,41 @@ type rule =
       (** a pipeline performing sets through a fallible construction with
           no [atomic] wrapper: a mid-set failure can tear the entangled
           state *)
+  | Dead_where
+      (** plan: a [where] stage statically false under the facts
+          accumulated from earlier stages — the view is provably empty *)
+  | Foldable_where
+      (** plan: a [where] stage implied by the facts accumulated from
+          earlier stages — the filter is the identity and folds away *)
+  | Foldable_stage
+      (** plan: a structurally trivial stage (project of every column,
+          identity rename) that folds away *)
+  | Unknown_column
+      (** plan: a stage references a column absent from the schema at
+          that point — compilation will fail *)
+  | Dropped_key
+      (** plan: a project drops a key column, so the pipeline is not
+          updatable *)
+  | Unproven_join
+      (** plan: a join with no functional-dependency evidence — compiles
+          to set-bx only (see the join lemma in {!Law_infer}) *)
 
 let rule_name = function
   | Dead_set s -> "dead-set-" ^ side_name s
   | Foldable_read s -> "foldable-read-" ^ side_name s
   | Collapsible_set s -> "collapsible-set-" ^ side_name s
+  | Undo_cancel s -> "undo-cancel-" ^ side_name s
   | Reorder_collapse s -> "reorder-collapse-" ^ side_name s
   | Dead_put s -> "dead-put-" ^ side_name s
   | Collapsible_put s -> "collapsible-put-" ^ side_name s
   | Level_mismatch -> "level-mismatch"
   | Unprotected_fallible -> "unprotected-fallible"
+  | Dead_where -> "dead-where"
+  | Foldable_where -> "foldable-where"
+  | Foldable_stage -> "foldable-stage"
+  | Unknown_column -> "unknown-column"
+  | Dropped_key -> "dropped-key"
+  | Unproven_join -> "unproven-join"
 
 type severity = Info | Warning | Error
 
@@ -175,20 +204,23 @@ let program_has_sets (ops : ('a, 'b) Program.op list) : bool =
 (* The abstract domain                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(** A pending (not yet read) same-side set: its op index, and whether the
-    opposite side has been written since. *)
-type pending = { at : int; crossed : bool }
+(** A pending (not yet read) same-side set: its op index, whether the
+    opposite side has been written since, and the value that was
+    statically known {e before} it (when a later same-side set restores
+    exactly that value, the pair cancels under the undo law — one lattice
+    point below the (SS) collapse). *)
+type 'v pending = { at : int; crossed : bool; prev : 'v option }
 
 type ('a, 'b) st = {
   plain : ('a, 'b) Command.knowledge;  (** sound for any lawful set-bx *)
   comm : ('a, 'b) Command.knowledge;  (** valid only under commutation *)
-  pend_a : pending option;
-  pend_b : pending option;
+  pend_a : 'a pending option;
+  pend_b : 'b pending option;
 }
 
 let top = { plain = Command.nothing; comm = Command.nothing; pend_a = None; pend_b = None }
 
-let cross (p : pending option) : pending option =
+let cross (p : 'v pending option) : 'v pending option =
   Option.map (fun p -> { p with crossed = true }) p
 
 (* ------------------------------------------------------------------ *)
@@ -210,13 +242,19 @@ let lint_command (type a b) ~(requested : Law_infer.level)
      shared by [Set_] and the fold-through of [Modify_]. *)
   let set_a_transfer (st : (a, b) st) (i : int) (v : a) : (a, b) st =
     (match st.pend_a with
-    | Some { at; crossed = false } ->
+    | Some { at; crossed = false; prev = Some v0 } when eq_a v v0 ->
+        emit (Undo_cancel A) `Undoable at
+          (Printf.sprintf
+             "set_a at op %d is undone by the set_a at op %d restoring the \
+              value current before it; the undo law cancels the pair"
+             at i)
+    | Some { at; crossed = false; _ } ->
         emit (Collapsible_set A) `Overwriteable at
           (Printf.sprintf
              "set_a at op %d is overwritten by the set_a at op %d before \
               being read; (SS) collapses them"
              at i)
-    | Some { at; crossed = true } ->
+    | Some { at; crossed = true; _ } ->
         emit (Reorder_collapse A) `Commuting at
           (Printf.sprintf
              "set_a at op %d is overwritten by the set_a at op %d, but the \
@@ -227,19 +265,25 @@ let lint_command (type a b) ~(requested : Law_infer.level)
     {
       plain = { Command.known_a = Some v; known_b = None };
       comm = { st.comm with Command.known_a = Some v };
-      pend_a = Some { at = i; crossed = false };
+      pend_a = Some { at = i; crossed = false; prev = st.plain.Command.known_a };
       pend_b = cross st.pend_b;
     }
   in
   let set_b_transfer (st : (a, b) st) (i : int) (v : b) : (a, b) st =
     (match st.pend_b with
-    | Some { at; crossed = false } ->
+    | Some { at; crossed = false; prev = Some v0 } when eq_b v v0 ->
+        emit (Undo_cancel B) `Undoable at
+          (Printf.sprintf
+             "set_b at op %d is undone by the set_b at op %d restoring the \
+              value current before it; the undo law cancels the pair"
+             at i)
+    | Some { at; crossed = false; _ } ->
         emit (Collapsible_set B) `Overwriteable at
           (Printf.sprintf
              "set_b at op %d is overwritten by the set_b at op %d before \
               being read; (SS) collapses them"
              at i)
-    | Some { at; crossed = true } ->
+    | Some { at; crossed = true; _ } ->
         emit (Reorder_collapse B) `Commuting at
           (Printf.sprintf
              "set_b at op %d is overwritten by the set_b at op %d, but the \
@@ -251,7 +295,7 @@ let lint_command (type a b) ~(requested : Law_infer.level)
       plain = { Command.known_a = None; known_b = Some v };
       comm = { st.comm with Command.known_b = Some v };
       pend_a = cross st.pend_a;
-      pend_b = Some { at = i; crossed = false };
+      pend_b = Some { at = i; crossed = false; prev = st.plain.Command.known_b };
     }
   in
   (* Pre-order walk; [i] is the index of the next operation. *)
@@ -417,15 +461,21 @@ let lint_program (type a b) ~(requested : Law_infer.level)
     let severity = decide_severity ~requested ~inferred ~requires in
     diags := { rule; severity; requires; at; message } :: !diags
   in
-  let collapse_pending side (p : pending option) (i : int) =
+  let collapse_pending side ~undo (p : _ pending option) (i : int) =
     match p with
-    | Some { at; crossed = false } ->
+    | Some { at; crossed = false; _ } when undo ->
+        emit (Undo_cancel side) `Undoable at
+          (Printf.sprintf
+             "set_%s at op %d is undone by the set_%s at op %d restoring \
+              the value current before it; the undo law cancels the pair"
+             (side_name side) at (side_name side) i)
+    | Some { at; crossed = false; _ } ->
         emit (Collapsible_set side) `Overwriteable at
           (Printf.sprintf
              "set_%s at op %d is overwritten by the set_%s at op %d before \
               being read; (SS) collapses them"
              (side_name side) at (side_name side) i)
-    | Some { at; crossed = true } ->
+    | Some { at; crossed = true; _ } ->
         emit (Reorder_collapse side) `Commuting at
           (Printf.sprintf
              "set_%s at op %d is overwritten by the set_%s at op %d across \
@@ -470,11 +520,17 @@ let lint_program (type a b) ~(requested : Law_infer.level)
                   "set_a of a value current before the opposite-side \
                    set(s); deleting it requires commutation"
             | _ -> ());
-            collapse_pending A st.pend_a i;
+            collapse_pending A
+              ~undo:
+                (match st.pend_a with
+                | Some { prev = Some v0; _ } -> eq_a v v0
+                | _ -> false)
+              st.pend_a i;
             {
               plain = { Command.known_a = Some v; known_b = None };
               comm = { st.comm with Command.known_a = Some v };
-              pend_a = Some { at = i; crossed = false };
+              pend_a =
+                Some { at = i; crossed = false; prev = st.plain.Command.known_a };
               pend_b = cross st.pend_b;
             })
     | Program.Set_b v -> (
@@ -490,12 +546,18 @@ let lint_program (type a b) ~(requested : Law_infer.level)
                   "set_b of a value current before the opposite-side \
                    set(s); deleting it requires commutation"
             | _ -> ());
-            collapse_pending B st.pend_b i;
+            collapse_pending B
+              ~undo:
+                (match st.pend_b with
+                | Some { prev = Some v0; _ } -> eq_b v v0
+                | _ -> false)
+              st.pend_b i;
             {
               plain = { Command.known_a = None; known_b = Some v };
               comm = { st.comm with Command.known_b = Some v };
               pend_a = cross st.pend_a;
-              pend_b = Some { at = i; crossed = false };
+              pend_b =
+                Some { at = i; crossed = false; prev = st.plain.Command.known_b };
             })
   in
   let _ = List.fold_left (fun (st, i) op -> (step st i op, i + 1)) (top, 0) ops in
@@ -526,8 +588,8 @@ type ('a, 'b) pst = {
   pcomm : ('a, 'b) Command.knowledge;
   ret_a : bool;
   ret_b : bool;
-  pend_ab : pending option;  (** an unobserved [Put_ab] *)
-  pend_ba : pending option;  (** an unobserved [Put_ba] *)
+  pend_ab : 'a pending option;  (** an unobserved [Put_ab] *)
+  pend_ba : 'b pending option;  (** an unobserved [Put_ba] *)
 }
 
 let ptop =
@@ -548,16 +610,16 @@ let lint_puts (type a b) ~(requested : Law_infer.level)
     let severity = decide_severity ~requested ~inferred ~requires in
     diags := { rule; severity; requires; at; message } :: !diags
   in
-  let collapse_pending side (p : pending option) (i : int) =
+  let collapse_pending side (p : _ pending option) (i : int) =
     let dir = match side with A -> "ab" | B -> "ba" in
     match p with
-    | Some { at; crossed = false } ->
+    | Some { at; crossed = false; _ } ->
         emit (Collapsible_put side) `Overwriteable at
           (Printf.sprintf
              "put_%s at op %d is overwritten by the put_%s at op %d before \
               either view is read; (PP) collapses them"
              dir at dir i)
-    | Some { at; crossed = true } ->
+    | Some { at; crossed = true; _ } ->
         emit (Reorder_collapse side) `Commuting at
           (Printf.sprintf
              "put_%s at op %d is overwritten by the put_%s at op %d across \
@@ -621,7 +683,7 @@ let lint_puts (type a b) ~(requested : Law_infer.level)
               pcomm = { st.pcomm with Command.known_a = Some v };
               ret_a = false;
               ret_b = true;
-              pend_ab = Some { at = i; crossed = false };
+              pend_ab = Some { at = i; crossed = false; prev = None };
               pend_ba = cross st.pend_ba;
             })
     | Put_ba v -> (
@@ -645,12 +707,299 @@ let lint_puts (type a b) ~(requested : Law_infer.level)
               ret_a = true;
               ret_b = false;
               pend_ab = cross st.pend_ab;
-              pend_ba = Some { at = i; crossed = false };
+              pend_ba = Some { at = i; crossed = false; prev = None };
             })
   in
   let _ =
     List.fold_left (fun (st, i) op -> (step st i op, i + 1)) (ptop, 0) ops
   in
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Plan lint: abstract domains over relational query pipelines         *)
+(* ------------------------------------------------------------------ *)
+
+module Rq = Esm_relational.Query
+module Rp = Esm_relational.Pred
+module Rs = Esm_relational.Schema
+module Rv = Esm_relational.Value
+
+(** The value-interval domain: an inclusive integer range with optional
+    bounds.  [Known] literals embed as singletons. *)
+type interval = { lo : int option; hi : int option }
+
+let ival_meet (i1 : interval) (i2 : interval) : interval =
+  let omax a b =
+    match (a, b) with
+    | Some x, Some y -> Some (max x y)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  let omin a b =
+    match (a, b) with
+    | Some x, Some y -> Some (min x y)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  { lo = omax i1.lo i2.lo; hi = omin i1.hi i2.hi }
+
+let ival_empty { lo; hi } =
+  match (lo, hi) with Some l, Some h -> l > h | _ -> false
+
+let ival_singleton { lo; hi } =
+  match (lo, hi) with Some l, Some h when l = h -> Some l | _ -> None
+
+(** What the accumulated [where] stages prove about a column: pinned to a
+    literal, or confined to an integer interval. *)
+type fact = Feq of Rv.t | Fint of interval
+
+type facts = (string * fact) list
+
+(** The abstract value of a predicate expression under [facts]. *)
+type abs = Known of Rv.t | Ranged of interval | Anything
+
+let abs_of_expr (facts : facts) : Rp.expr -> abs = function
+  | Rp.Lit v -> Known v
+  | Rp.Col c -> (
+      match List.assoc_opt c facts with
+      | Some (Feq v) -> Known v
+      | Some (Fint iv) -> Ranged iv
+      | None -> Anything)
+
+let as_interval = function
+  | Known (Rv.Int n) -> Some { lo = Some n; hi = Some n }
+  | Ranged iv -> Some iv
+  | _ -> None
+
+(** Three-valued equality: [Some b] when the facts decide it. *)
+let abs_eq (a : abs) (b : abs) : bool option =
+  match (a, b) with
+  | Known x, Known y -> Some (Rv.equal x y)
+  | _ -> (
+      match (as_interval a, as_interval b) with
+      | Some i1, Some i2 ->
+          if ival_empty (ival_meet i1 i2) then Some false
+          else (
+            match (ival_singleton i1, ival_singleton i2) with
+            | Some x, Some y -> Some (x = y)
+            | _ -> None)
+      | _ -> None)
+
+(** Three-valued comparison ([strict] for [<], else [<=]). *)
+let abs_cmp ~strict (a : abs) (b : abs) : bool option =
+  match (a, b) with
+  | Known x, Known y ->
+      let c = Rv.compare x y in
+      Some (if strict then c < 0 else c <= 0)
+  | _ -> (
+      match (as_interval a, as_interval b) with
+      | Some i1, Some i2 -> (
+          match (i1.hi, i2.lo) with
+          | Some h1, Some l2 when if strict then h1 < l2 else h1 <= l2 ->
+              Some true
+          | _ -> (
+              match (i1.lo, i2.hi) with
+              | Some l1, Some h2 when if strict then l1 >= h2 else l1 > h2 ->
+                  Some false
+              | _ -> None))
+      | _ -> None)
+
+(** Three-valued predicate evaluation under the accumulated facts: the
+    predicate-implication half of the domain.  [Some true] means the
+    facts imply the predicate (it filters nothing); [Some false] means
+    they contradict it (it filters everything). *)
+let rec abs_pred (facts : facts) : Rp.t -> bool option = function
+  | Rp.Const b -> Some b
+  | Rp.Eq (e1, e2) -> abs_eq (abs_of_expr facts e1) (abs_of_expr facts e2)
+  | Rp.Lt (e1, e2) ->
+      abs_cmp ~strict:true (abs_of_expr facts e1) (abs_of_expr facts e2)
+  | Rp.Le (e1, e2) ->
+      abs_cmp ~strict:false (abs_of_expr facts e1) (abs_of_expr facts e2)
+  | Rp.And (p1, p2) -> (
+      match (abs_pred facts p1, abs_pred facts p2) with
+      | Some false, _ | _, Some false -> Some false
+      | Some true, Some true -> Some true
+      | _ -> None)
+  | Rp.Or (p1, p2) -> (
+      match (abs_pred facts p1, abs_pred facts p2) with
+      | Some true, _ | _, Some true -> Some true
+      | Some false, Some false -> Some false
+      | _ -> None)
+  | Rp.Not p -> Option.map not (abs_pred facts p)
+
+let rec conjuncts : Rp.t -> Rp.t list = function
+  | Rp.And (p1, p2) -> conjuncts p1 @ conjuncts p2
+  | p -> [ p ]
+
+let add_fact (facts : facts) (c : string) (f : fact) : facts =
+  let f' =
+    match (List.assoc_opt c facts, f) with
+    | None, f | Some (Fint _), (Feq _ as f) -> f
+    | Some (Feq v), _ -> Feq v (* an equality is already the strongest *)
+    | Some (Fint i1), Fint i2 -> Fint (ival_meet i1 i2)
+  in
+  (c, f') :: List.remove_assoc c facts
+
+(** Absorb one conjunct of a surviving [where] into the fact base.
+    Disjunctions and negations are skipped (sound: facts only shrink the
+    concretisation). *)
+let assimilate_atom (facts : facts) : Rp.t -> facts = function
+  | Rp.Eq (Rp.Col c, Rp.Lit v) | Rp.Eq (Rp.Lit v, Rp.Col c) ->
+      add_fact facts c (Feq v)
+  | Rp.Le (Rp.Col c, Rp.Lit (Rv.Int n)) ->
+      add_fact facts c (Fint { lo = None; hi = Some n })
+  | Rp.Lt (Rp.Col c, Rp.Lit (Rv.Int n)) ->
+      add_fact facts c (Fint { lo = None; hi = Some (n - 1) })
+  | Rp.Le (Rp.Lit (Rv.Int n), Rp.Col c) ->
+      add_fact facts c (Fint { lo = Some n; hi = None })
+  | Rp.Lt (Rp.Lit (Rv.Int n), Rp.Col c) ->
+      add_fact facts c (Fint { lo = Some (n + 1); hi = None })
+  | _ -> facts
+
+(** The abstract state threaded through a plan walk: the schema at this
+    point ([None] once a set operation or join makes it unknown), the key
+    columns under their current names, and the accumulated facts. *)
+type plan_state = {
+  pschema : Rs.t option;
+  pkey : string list;
+  pfacts : facts;
+}
+
+let lint_plan ~(schema : Rs.t) ~(key : string list) (q : Rq.t) :
+    diagnostic list =
+  let diags = ref [] in
+  let emit rule severity requires at message =
+    diags := { rule; severity; requires; at; message } :: !diags
+  in
+  let check_columns (st : plan_state) (i : int) (stage : string)
+      (cols : string list) =
+    match st.pschema with
+    | None -> ()
+    | Some sch ->
+        List.iter
+          (fun c ->
+            if not (Rs.mem sch c) then
+              emit Unknown_column Error `Set_bx i
+                (Printf.sprintf
+                   "%s references column %S absent from the schema at this \
+                    stage (%s)"
+                   stage c (Rs.to_string sch)))
+          (List.sort_uniq String.compare cols)
+  in
+  (* [i] is the pipeline-order index of the next stage (base tables
+     included), matching evaluation order. *)
+  let rec go (i : int) (q : Rq.t) : int * plan_state =
+    match q with
+    | Rq.Base _ -> (i + 1, { pschema = Some schema; pkey = key; pfacts = [] })
+    | Rq.Where (p, q') -> (
+        let i, st = go i q' in
+        check_columns st i "where" (Rp.columns_used p);
+        match abs_pred st.pfacts p with
+        | Some true ->
+            emit Foldable_where Info `Set_bx i
+              (Format.asprintf
+                 "where %a is implied by earlier stages; the filter is the \
+                  identity and folds away"
+                 Rp.pp p);
+            (i + 1, st)
+        | Some false ->
+            emit Dead_where Warning `Set_bx i
+              (Format.asprintf
+                 "where %a is statically false under the facts accumulated \
+                  from earlier stages; the view is provably empty"
+                 Rp.pp p);
+            (i + 1, st)
+        | None ->
+            (* assimilate conjunct by conjunct, checking each against the
+               facts gathered so far — catches contradictions between
+               conjuncts of a single clause (a = 1 and a = 2) *)
+            let dead = ref false in
+            let pfacts =
+              List.fold_left
+                (fun facts cj ->
+                  if !dead then facts
+                  else
+                    match abs_pred facts cj with
+                    | Some false ->
+                        dead := true;
+                        facts
+                    | _ -> assimilate_atom facts cj)
+                st.pfacts (conjuncts p)
+            in
+            if !dead then
+              emit Dead_where Warning `Set_bx i
+                (Format.asprintf
+                   "where %a contains contradictory conjuncts; the view is \
+                    provably empty"
+                   Rp.pp p);
+            (i + 1, { st with pfacts }))
+    | Rq.Project (cols, q') -> (
+        let i, st = go i q' in
+        check_columns st i "select" cols;
+        match st.pschema with
+        | None -> (i + 1, st)
+        | Some sch ->
+            if List.exists (fun c -> not (Rs.mem sch c)) cols then
+              (* unknown columns already reported; the downstream schema
+                 is unknowable *)
+              (i + 1, { st with pschema = None; pfacts = [] })
+            else begin
+              let dropped =
+                List.filter (fun k -> not (List.mem k cols)) st.pkey
+              in
+              if dropped <> [] then
+                emit Dropped_key Error `Set_bx i
+                  (Printf.sprintf
+                     "select drops key column(s) %s; the projection is not \
+                      updatable"
+                     (String.concat ", " dropped));
+              if
+                List.for_all (fun c -> List.mem c cols) (Rs.column_names sch)
+              then
+                emit Foldable_stage Info `Set_bx i
+                  "select keeps every column; the stage folds away";
+              let pschema = try Some (Rs.project sch cols) with _ -> None in
+              ( i + 1,
+                {
+                  st with
+                  pschema;
+                  pfacts =
+                    List.filter (fun (c, _) -> List.mem c cols) st.pfacts;
+                } )
+            end)
+    | Rq.Rename (mapping, q') -> (
+        let i, st = go i q' in
+        check_columns st i "rename" (List.map fst mapping);
+        if List.for_all (fun (o, n) -> String.equal o n) mapping then
+          emit Foldable_stage Info `Set_bx i
+            "rename maps every column to itself; the stage folds away";
+        match st.pschema with
+        | Some sch when List.for_all (fun (o, _) -> Rs.mem sch o) mapping ->
+            let ren c =
+              match List.assoc_opt c mapping with Some n -> n | None -> c
+            in
+            let pschema = try Some (Rs.rename sch mapping) with _ -> None in
+            ( i + 1,
+              {
+                pschema;
+                pkey = List.map ren st.pkey;
+                pfacts = List.map (fun (c, f) -> (ren c, f)) st.pfacts;
+              } )
+        | _ -> (i + 1, { st with pschema = None; pfacts = [] }))
+    | Rq.Join (q1, q2) ->
+        let i, _ = go i q1 in
+        let i, _ = go i q2 in
+        emit Unproven_join Info `Undoable i
+          "join carries no functional-dependency evidence; it compiles to \
+           set-bx unless FDs prove the view keys determine the right-hand \
+           rows (the join lemma)";
+        (i + 1, { pschema = None; pkey = key; pfacts = [] })
+    | Rq.Union (q1, q2) | Rq.Diff (q1, q2) | Rq.Product (q1, q2) ->
+        let i, _ = go i q1 in
+        let i, _ = go i q2 in
+        (i + 1, { pschema = None; pkey = key; pfacts = [] })
+  in
+  let _ = go 0 q in
   List.rev !diags
 
 (* ------------------------------------------------------------------ *)

@@ -16,6 +16,10 @@ type rule =
   | Foldable_read of side  (** (SG): a read whose value is known *)
   | Collapsible_set of side
       (** (SS): an unread set overwritten by a later same-side set *)
+  | Undo_cancel of side
+      (** undo law: an unread set overwritten by a same-side set
+          restoring the value current before it — the pair cancels at
+          [`Undoable], one lattice point below the (SS) collapse *)
   | Reorder_collapse of side
       (** same-side collapse across opposite-side writes — needs
           commutation *)
@@ -29,6 +33,18 @@ type rule =
       (** requested optimizer level exceeds the inferred law level *)
   | Unprotected_fallible
       (** sets through a fallible construction with no [atomic] wrapper *)
+  | Dead_where
+      (** plan: a [where] stage statically false under accumulated facts *)
+  | Foldable_where
+      (** plan: a [where] stage implied by accumulated facts *)
+  | Foldable_stage
+      (** plan: a structurally trivial stage (project of every column,
+          identity rename) *)
+  | Unknown_column  (** plan: a stage references an absent column *)
+  | Dropped_key
+      (** plan: a project drops a key column — not updatable *)
+  | Unproven_join
+      (** plan: a join with no functional-dependency evidence *)
 
 val rule_name : rule -> string
 
@@ -127,6 +143,29 @@ val lint_puts :
     value the put {e returned} to the caller — ((PG)), (PP) collapses of
     unobserved same-direction puts, and commutation-requiring collapses
     across opposite-direction puts. *)
+
+(** {1 Plan lint}
+
+    Abstract interpretation over relational query plans
+    ({!Esm_relational.Query.t}) with two domains: {e value intervals}
+    (inclusive integer ranges per column, plus pinned literals) and
+    {e predicate implication} (three-valued evaluation of each [where]
+    against the facts the earlier stages accumulated).  A [where] is a
+    plan-level [If_] guard: statically decided guards fold
+    ([Foldable_where]) or kill the view ([Dead_where]); trivial stages
+    fold ([Foldable_stage]); schema violations ([Unknown_column],
+    [Dropped_key]) are errors; FD-less joins are flagged
+    ([Unproven_join]).  Severities here are intrinsic to the rule — a
+    plan has no requested/inferred optimizer levels. *)
+
+val lint_plan :
+  schema:Esm_relational.Schema.t ->
+  key:string list ->
+  Esm_relational.Query.t ->
+  diagnostic list
+(** [lint_plan ~schema ~key q] walks [q] in pipeline order ([at] indexes
+    stages in evaluation order, base tables included) with [schema] and
+    [key] describing the base table. *)
 
 val json_escape : string -> string
 val diagnostic_to_json : diagnostic -> string

@@ -112,6 +112,32 @@ let certify (type a b) ?(walk_length = 5) ?(walks = 40)
           (fun ((_, v), v') -> "set_b " ^ show_b v ^ "; set_b " ^ show_b v')
           (with_values values_b (with_values values_b states))
       in
+      let undo_a =
+        first_failure
+          (fun (s, v) ->
+            eq_s
+              (bx.Concrete.set_a (bx.Concrete.get_a s)
+                 (bx.Concrete.set_a v s))
+              s)
+          (fun (s, v) ->
+            "set_a " ^ show_a v ^ "; set_a "
+            ^ show_a (bx.Concrete.get_a s)
+            ^ " (undo)")
+          (with_values values_a states)
+      in
+      let undo_b =
+        first_failure
+          (fun (s, v) ->
+            eq_s
+              (bx.Concrete.set_b (bx.Concrete.get_b s)
+                 (bx.Concrete.set_b v s))
+              s)
+          (fun (s, v) ->
+            "set_b " ^ show_b v ^ "; set_b "
+            ^ show_b (bx.Concrete.get_b s)
+            ^ " (undo)")
+          (with_values values_b states)
+      in
       let commute =
         first_failure
           (fun ((s, va), vb) ->
@@ -132,6 +158,8 @@ let certify (type a b) ?(walk_length = 5) ?(walks = 40)
             verdict "GS_b" gs_b;
             verdict "SG_a" sg_a;
             verdict "SG_b" sg_b;
+            verdict "UNDO_a" undo_a;
+            verdict "UNDO_b" undo_b;
             verdict "SS_a" ss_a;
             verdict "SS_b" ss_b;
             verdict "commute" commute;
@@ -151,19 +179,23 @@ let well_behaved (r : report) : bool =
 
 (** The highest law level this sampling report is consistent with:
     [None] if a required set-bx law was violated, otherwise the strongest
-    of [`Set_bx] ⊑ [`Overwriteable] ⊑ [`Commuting] whose extra laws all
-    held on the samples.  Because sampling can only {e falsify} laws, a
-    static level claimed by {!Esm_analysis.Law_infer} is refuted exactly
-    when it is strictly above this observation — the cross-check `bxlint`
-    performs on every catalog entry. *)
+    of [`Set_bx] ⊑ [`Undoable] ⊑ [`Overwriteable] ⊑ [`Commuting] whose
+    extra laws all held on the samples ([`Undoable]'s distinguishing law
+    is [set_a (get_a s) (set_a v s) = s], the UNDO verdicts).  Because
+    sampling can only {e falsify} laws, a static level claimed by
+    {!Esm_analysis.Law_infer} is refuted exactly when it is strictly
+    above this observation — the cross-check `bxlint` performs on every
+    catalog entry. *)
 let observed_level (r : report) :
-    [ `Set_bx | `Overwriteable | `Commuting ] option =
+    [ `Set_bx | `Undoable | `Overwriteable | `Commuting ] option =
   if not (well_behaved r) then None
   else
     let holds law =
       List.exists (fun v -> String.equal v.law law && v.holds) r.verdicts
     in
     let ss = holds "SS_a" && holds "SS_b" in
+    let undo = holds "UNDO_a" && holds "UNDO_b" in
     if ss && holds "commute" then Some `Commuting
     else if ss then Some `Overwriteable
+    else if undo then Some `Undoable
     else Some `Set_bx

@@ -14,12 +14,14 @@ val well_behaved : report -> bool
 (** The required set-bx laws (GS/SG on both sides) hold; (SS) and
     commutation are informative extras a set-bx may legitimately fail. *)
 
-val observed_level : report -> [ `Set_bx | `Overwriteable | `Commuting ] option
+val observed_level :
+  report -> [ `Set_bx | `Undoable | `Overwriteable | `Commuting ] option
 (** The highest law level the sampled evidence is consistent with
-    ([None] if a required law failed).  Sampling only falsifies, so a
-    statically inferred level is refuted iff strictly above this — the
-    cross-check hook used by `bxlint` against
-    {!Esm_analysis.Law_infer.level}. *)
+    ([None] if a required law failed).  [`Undoable]'s distinguishing law
+    is [set (get s) (set v s) = s], sampled as the UNDO_a/UNDO_b
+    verdicts.  Sampling only falsifies, so a statically inferred level
+    is refuted iff strictly above this — the cross-check hook used by
+    `bxlint` against {!Esm_analysis.Law_infer.level}. *)
 
 val pp_report : Format.formatter -> report -> unit
 
@@ -34,6 +36,6 @@ val certify :
   show_b:('b -> string) ->
   ('a, 'b) Concrete.packed ->
   report
-(** Check (GS), (SG) per side plus the informative (SS) per side and
-    §3.4 commutation, on states reached by deterministic pseudo-random
-    walks from the packed initial state. *)
+(** Check (GS), (SG) per side plus the informative UNDO and (SS) per
+    side and §3.4 commutation, on states reached by deterministic
+    pseudo-random walks from the packed initial state. *)

@@ -68,13 +68,23 @@ let nothing = { known_a = None; known_b = None }
 
 (** How much may be assumed about the instance:
     - [`Any] — only the set-bx laws (GS/SG/GG);
+    - [`Undoable] — additionally the undo law
+      [set_a (get_a s) (set_a v s) = s]: writing back the original value
+      cancels an intervening same-side set;
     - [`Overwriteable] — additionally (SS);
     - [`Commuting] — additionally §3.4 commutation ([set_a]/[set_b]
       independent); UNSOUND on entangled instances. *)
-type level = [ `Any | `Overwriteable | `Commuting ]
+type level = [ `Any | `Undoable | `Overwriteable | `Commuting ]
+
+let level_rank : level -> int = function
+  | `Any -> 0
+  | `Undoable -> 1
+  | `Overwriteable -> 2
+  | `Commuting -> 3
 
 let optimize_at (type a b) (level : level) ~(eq_a : a -> a -> bool)
     ~(eq_b : b -> b -> bool) (cmd : (a, b) t) : (a, b) t =
+  let at_least l = level_rank level >= level_rank l in
   let merge_known eq k1 k2 =
     match (k1, k2) with
     | Some x, Some y when eq x y -> Some x
@@ -83,18 +93,36 @@ let optimize_at (type a b) (level : level) ~(eq_a : a -> a -> bool)
   let seq c1 c2 =
     match (c1, c2) with
     | Skip, c | c, Skip -> c
-    | Set_a _, Set_a _ when level <> `Any -> c2 (* (SS) *)
-    | Set_b _, Set_b _ when level <> `Any -> c2
+    | Set_a _, Set_a _ when at_least `Overwriteable -> c2 (* (SS) *)
+    | Set_b _, Set_b _ when at_least `Overwriteable -> c2
     | _ -> Seq (c1, c2)
   in
   (* Returns the optimized command and the post-knowledge. *)
   let rec go (k : (a, b) knowledge) : (a, b) t -> (a, b) t * (a, b) knowledge
       = function
     | Skip -> (Skip, k)
-    | Seq (c1, c2) ->
+    | Seq (c1, c2) -> (
         let c1', k1 = go k c1 in
         let c2', k2 = go k1 c2 in
-        (seq c1' c2', k2)
+        (* Undo cancellation: [set_a v; set_a a0] where [a0] is the
+           statically-known pre-value of A is exactly the undo law's
+           left-hand side, so the pair restores the pre-state.  (At
+           [`Overwriteable] the same collapse follows from (SS) then
+           (GS).)  Post-knowledge is the untouched pre-knowledge [k]. *)
+        match (c1', c2') with
+        | Set_a _, Set_a a0
+          when at_least `Undoable
+               && (match k.known_a with
+                  | Some a' -> eq_a a' a0
+                  | None -> false) ->
+            (Skip, k)
+        | Set_b _, Set_b b0
+          when at_least `Undoable
+               && (match k.known_b with
+                  | Some b' -> eq_b b' b0
+                  | None -> false) ->
+            (Skip, k)
+        | _ -> (seq c1' c2', k2))
     | Set_a a -> (
         match k.known_a with
         | Some a0 when eq_a a a0 ->
@@ -168,6 +196,10 @@ let optimize_at (type a b) (level : level) ~(eq_a : a -> a -> bool)
 (** Sound for every set-bx (uses only GS/SG and Skip elimination). *)
 let optimize ~eq_a ~eq_b cmd = optimize_at `Any ~eq_a ~eq_b cmd
 
+(** Additionally cancels [set; set-back-the-original] pairs via the undo
+    law; sound for undoable (and stronger) instances. *)
+let optimize_undoable ~eq_a ~eq_b cmd = optimize_at `Undoable ~eq_a ~eq_b cmd
+
 (** Additionally collapses adjacent same-side sets; sound exactly for
     overwriteable instances. *)
 let optimize_overwriteable ~eq_a ~eq_b cmd =
@@ -182,5 +214,3 @@ let optimize_overwriteable ~eq_a ~eq_b cmd =
     for this level. *)
 let optimize_unsafe_commuting ~eq_a ~eq_b cmd =
   optimize_at `Commuting ~eq_a ~eq_b cmd
-
-let optimize_commuting = optimize_unsafe_commuting

@@ -29,7 +29,11 @@ val nothing : ('a, 'b) knowledge
     element, also used by the {!Esm_analysis.Lint} abstract
     interpreter. *)
 
-type level = [ `Any | `Overwriteable | `Commuting ]
+type level = [ `Any | `Undoable | `Overwriteable | `Commuting ]
+
+val level_rank : level -> int
+(** Position in the total order
+    [`Any < `Undoable < `Overwriteable < `Commuting] (0–3). *)
 
 val optimize_at :
   level ->
@@ -41,6 +45,12 @@ val optimize_at :
 val optimize :
   eq_a:('a -> 'a -> bool) -> eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) t
 (** Sound for every set-bx. *)
+
+val optimize_undoable :
+  eq_a:('a -> 'a -> bool) -> eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) t
+(** Additionally cancels [set_a v; set_a a0] pairs where [a0] is the
+    statically-known pre-value (the undo law
+    [set_a (get_a s) (set_a v s) = s]); sound for undoable instances. *)
 
 val optimize_overwriteable :
   eq_a:('a -> 'a -> bool) -> eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) t
@@ -56,11 +66,3 @@ val optimize_unsafe_commuting :
     p) = `Commuting].  `bxlint` checks this precondition over the example
     catalog and rejects programs optimized at a level above what their
     bx's pedigree justifies. *)
-
-val optimize_commuting :
-  eq_a:('a -> 'a -> bool) -> eq_b:('b -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) t
-[@@deprecated
-  "the name hides the commutation precondition; use \
-   optimize_unsafe_commuting, and check Esm_analysis.Law_infer.level = \
-   `Commuting first"]
-(** Rename-safe alias of {!optimize_unsafe_commuting}. *)

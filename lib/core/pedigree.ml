@@ -61,6 +61,44 @@ type t =
           with snapshot/replay recovery.  Commits are transactional
           (failed applications append nothing), so replication preserves
           the base law level and adds rollback protection. *)
+  | Select of { pred : string; key_preserving : bool }
+      (** Relational selection lens [Rlens.select].  [pred] is the
+          rendered predicate; [key_preserving] claims the predicate only
+          reads key columns, so membership in the view is decided by the
+          key alone and put-put overwrites compose ((PutPut) holds).
+          Without the claim, the put still validates every view row
+          against the predicate — a second put of the same shape erases
+          the first, so the undo law survives even where (PutPut) may
+          not. *)
+  | Project of { keep : string list; key : string list; lossless : bool }
+      (** Relational projection lens [Rlens.project].  [lossless] claims
+          the projection keeps every source column (an iso up to column
+          order), giving a very well-behaved lens.  A lossy projection
+          restores dropped columns from the {e old} source by key, so two
+          puts remember the first — (PutPut) and the undo law both
+          fail. *)
+  | Rename of (string * string) list
+      (** Relational column renaming [Rlens.rename]: a schema iso, hence
+          a very well-behaved lens (overwriteable, never commuting). *)
+  | Join of { on : string list; fd_proven : bool }
+      (** Relational join lens [Rlens.join] on shared columns [on].
+          [fd_proven] claims an FD analysis showed the view key
+          functionally determines the joined source rows, which restores
+          the undo law; otherwise nothing beyond set-bx is claimed
+          because put reshuffles rows across both sources. *)
+  | Dcompose of t * t
+      (** Delta-lens composition [Rlens.dcompose] (outer first): the
+          full-put semantics is lens composition, so laws are the meet of
+          the components'. *)
+  | Delta_of of t
+      (** A delta-propagating execution path ([Rlens.put_delta],
+          [Dml.through_delta], [Delta_lens.to_lens]) whose translation
+          agrees with the underlying full-put lens — the oracle the
+          chaos suite checks.  Law level is the base level. *)
+  | Plan of { query : string; body : t }
+      (** A compiled query plan ([Query.to_lens] / [Query.to_dlens]):
+          [query] is the surface syntax, [body] the pedigree of the lens
+          pipeline it compiled to.  Law level is the body's. *)
 
 let rec pp fmt = function
   | Of_lens { name; vwb } ->
@@ -78,7 +116,33 @@ let rec pp fmt = function
   | Opaque { name } -> Format.fprintf fmt "opaque[%s]" name
   | Atomic p -> Format.fprintf fmt "atomic(%a)" pp p
   | Replicated p -> Format.fprintf fmt "replicated(%a)" pp p
+  | Select { pred; key_preserving } ->
+      Format.fprintf fmt "select[%s%s]" pred
+        (if key_preserving then ",key" else "")
+  | Project { keep; key = _; lossless } ->
+      Format.fprintf fmt "project[%s%s]"
+        (String.concat "," keep)
+        (if lossless then ",lossless" else "")
+  | Rename mapping ->
+      Format.fprintf fmt "rename[%s]"
+        (String.concat ","
+           (List.map (fun (o, n) -> o ^ "->" ^ n) mapping))
+  | Join { on; fd_proven } ->
+      Format.fprintf fmt "join[%s%s]" (String.concat "," on)
+        (if fd_proven then ",fd" else "")
+  | Dcompose (p, q) -> Format.fprintf fmt "(%a ;d %a)" pp p pp q
+  | Delta_of p -> Format.fprintf fmt "delta(%a)" pp p
+  | Plan { query; body } -> Format.fprintf fmt "plan[%s](%a)" query pp body
 
 let to_string (p : t) : string = Format.asprintf "%a" pp p
 
 let opaque (name : string) : t = Opaque { name }
+
+let rec has_opaque : t -> bool = function
+  | Opaque _ -> true
+  | Of_lens _ | Of_algebraic _ | Of_symmetric _ | Pair | Identity
+  | Effectful _ | Select _ | Project _ | Rename _ | Join _ ->
+      false
+  | Compose (p, q) | Dcompose (p, q) -> has_opaque p || has_opaque q
+  | Flip p | Journalled p | Atomic p | Replicated p | Delta_of p -> has_opaque p
+  | Plan { body; _ } -> has_opaque body

@@ -37,9 +37,34 @@ type t =
       (** [Esm_sync.Store]: the base bx behind a versioned oplog with
           snapshot/replay recovery; commits are transactional, so the
           base law level is preserved and rollback protection added. *)
+  | Select of { pred : string; key_preserving : bool }
+      (** [Rlens.select]; [key_preserving] claims the predicate reads
+          only key columns, which restores (PutPut). *)
+  | Project of { keep : string list; key : string list; lossless : bool }
+      (** [Rlens.project]; [lossless] claims all source columns are
+          kept (an iso).  Lossy projections restore dropped columns from
+          the old source, so only the plain set-bx laws are claimed. *)
+  | Rename of (string * string) list
+      (** [Rlens.rename]: a schema iso — very well-behaved. *)
+  | Join of { on : string list; fd_proven : bool }
+      (** [Rlens.join] on shared columns [on]; [fd_proven] claims the
+          view key functionally determines the joined rows (undo law). *)
+  | Dcompose of t * t
+      (** [Rlens.dcompose] (outer first); laws are the meet. *)
+  | Delta_of of t
+      (** A delta-propagation path that agrees with the base full-put
+          lens; law level is the base level. *)
+  | Plan of { query : string; body : t }
+      (** A compiled [Query] plan; [query] is the surface syntax, law
+          level is the body's. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
 val opaque : string -> t
 (** [opaque name] — the pedigree of a bx of unknown construction. *)
+
+val has_opaque : t -> bool
+(** Does any node of the pedigree tree record an unknown construction?
+    Used by the `bxlint` catalog gate: a compiled query plan whose
+    pedigree contains [Opaque] lost its provenance somewhere. *)

@@ -21,6 +21,27 @@
     The laws are property-checked in [test/test_delta_lens.ml] for the
     list-edit and model-edit instances. *)
 
+(** Construction provenance for delta lenses.  [Esm_lens] sits {e below}
+    [Esm_core] in the dependency order, so it cannot name
+    {!Esm_core.Pedigree.t} itself; instead each constructor records one
+    of these local descriptors, and packing sites above (the analysis
+    catalog, {!Esm_relational.Rlens.packed_of_dlens}-style helpers)
+    translate them into [Pedigree.Delta_of] claims. *)
+type provenance =
+  | Of_state_lens of { name : string }
+      (** {!Of_lens}: absolute deltas over a state-based lens — the
+          delta behaviour is exactly the lens's [put], so the packed
+          pedigree is [Delta_of (Of_lens ...)] with the lens's own law
+          claims. *)
+  | List_mapped of { name : string }
+      (** {!List_map}: positional edits translated element-wise through
+          the element lens.  Functorial, but the induced state-based
+          lens carries no (PutPut)-style claim. *)
+
+let provenance_to_string = function
+  | Of_state_lens { name } -> "delta_of_lens[" ^ name ^ "]"
+  | List_mapped { name } -> "delta_list_map[" ^ name ^ "]"
+
 (** A monoid of deltas acting on a state set. *)
 module type ACTION = sig
   type state
@@ -135,6 +156,9 @@ end) : sig
 
   val get : X.s -> X.v
   val dput : X.s -> View.delta -> Src.delta
+
+  val provenance : provenance
+  (** [Of_state_lens] over the embedded lens's name. *)
 end = struct
   module Src = Absolute (struct
     type t = X.s
@@ -152,6 +176,8 @@ end = struct
 
   let dput (s : X.s) (dv : X.v option) : X.s option =
     match dv with None -> None | Some v -> Some (Lens.put X.lens s v)
+
+  let provenance = Of_state_lens { name = X.lens.Lens.name }
 end
 
 (** Forget deltas: a delta lens over absolute deltas is exactly a
@@ -212,4 +238,6 @@ struct
         (xs, []) dv
     in
     List.rev rev
+
+  let provenance = List_mapped { name = X.lens.Lens.name }
 end

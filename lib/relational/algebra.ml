@@ -184,3 +184,58 @@ let sort_rows ~(by : string list) ?(desc = false) (t : Table.t) : Row.t list =
     if desc then -c else c
   in
   List.sort cmp (Table.rows t)
+
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Pedigrees for the algebra's operators.  Each read-only operator here
+    is the [get] side of (at most) one updatable relational lens, and a
+    bx built over such a pipeline may claim exactly that lens's
+    pedigree; {!Rlens} re-exports these at its lens constructors and
+    {!Query} composes them into [Plan] nodes.  Operators with no
+    updatable counterpart (the set operations, grouping, sorting) are
+    {!opaque_pedigree}: nothing beyond the basic set-bx laws may ever be
+    claimed of a bx built over them. *)
+
+let select_pedigree ?key (p : Pred.t) : Esm_core.Pedigree.t =
+  let key_preserving =
+    match key with
+    | None -> false
+    | Some key ->
+        List.for_all (fun c -> List.mem c key) (Pred.columns_used p)
+  in
+  Esm_core.Pedigree.Select
+    { pred = Format.asprintf "%a" Pred.pp p; key_preserving }
+
+let project_pedigree ~(keep : string list) ~(key : string list)
+    (source_schema : Schema.t) : Esm_core.Pedigree.t =
+  let lossless =
+    List.for_all
+      (fun c -> List.mem c keep)
+      (Schema.column_names source_schema)
+  in
+  Esm_core.Pedigree.Project { keep; key; lossless }
+
+let rename_pedigree (mapping : (string * string) list) : Esm_core.Pedigree.t =
+  Esm_core.Pedigree.Rename mapping
+
+let join_pedigree ?(right_fds : Fd.t list = []) ~(left : Schema.t)
+    ~(right : Schema.t) () : Esm_core.Pedigree.t =
+  let shared = Schema.shared left right in
+  let right_rest =
+    List.filter
+      (fun n -> not (List.mem n shared))
+      (Schema.column_names right)
+  in
+  let fd_proven =
+    List.exists
+      (fun (fd : Fd.t) ->
+        List.for_all (fun c -> List.mem c shared) fd.Fd.determinant
+        && List.for_all (fun c -> List.mem c fd.Fd.dependent) right_rest)
+      right_fds
+  in
+  Esm_core.Pedigree.Join { on = shared; fd_proven }
+
+let opaque_pedigree (operator : string) : Esm_core.Pedigree.t =
+  Esm_core.Pedigree.opaque ("algebra." ^ operator)

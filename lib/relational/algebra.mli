@@ -37,3 +37,35 @@ val group_by :
 val sort_rows : by:string list -> ?desc:bool -> Table.t -> Row.t list
 (** Rows sorted by the given columns, for ordered presentation (tables
     themselves are canonical sets). *)
+
+(** {1 Provenance}
+
+    Each read-only operator is the [get] side of (at most) one updatable
+    relational lens; these are the lemma-backed
+    {!Esm_core.Pedigree} claims a bx built over such a pipeline may
+    make.  {!Rlens} re-exports them at its lens constructors; {!Query}
+    composes them into [Plan] nodes. *)
+
+val select_pedigree : ?key:string list -> Pred.t -> Esm_core.Pedigree.t
+(** [Select { pred; key_preserving }]; key-preserving iff [key] is given
+    and the predicate reads only key columns. *)
+
+val project_pedigree :
+  keep:string list -> key:string list -> Schema.t -> Esm_core.Pedigree.t
+(** [Project { keep; key; lossless }]; lossless iff every source column
+    is kept. *)
+
+val rename_pedigree : (string * string) list -> Esm_core.Pedigree.t
+
+val join_pedigree :
+  ?right_fds:Fd.t list ->
+  left:Schema.t ->
+  right:Schema.t ->
+  unit ->
+  Esm_core.Pedigree.t
+(** [Join { on; fd_proven }]; proven iff a declared right-table FD shows
+    the shared columns determine the rest of the right row. *)
+
+val opaque_pedigree : string -> Esm_core.Pedigree.t
+(** For operators with no updatable counterpart (set operations,
+    grouping, sorting): nothing beyond the set-bx laws. *)

@@ -413,6 +413,41 @@ let lens_of_string ~schema ~key (input : string) :
     (Table.t, Table.t) Esm_lens.Lens.t =
   to_lens ~schema ~key (parse input)
 
+(** The pedigree {!to_lens} compilation produces: a [Plan] node over the
+    composed combinator pedigrees, mirroring the compilation walk.
+    Total — shapes {!to_lens} rejects get an [Opaque] body instead of
+    raising, so audits can always render a provenance. *)
+let pedigree ~(schema : Schema.t) ~(key : string list) (q : t) :
+    Esm_core.Pedigree.t =
+  let compose p1 p2 =
+    match (p1, p2) with
+    | Esm_core.Pedigree.Identity, p | p, Esm_core.Pedigree.Identity -> p
+    | p1, p2 -> Esm_core.Pedigree.Compose (p1, p2)
+  in
+  let rec go : t -> Esm_core.Pedigree.t * Schema.t * string list = function
+    | Base _ -> (Esm_core.Pedigree.Identity, schema, key)
+    | Where (p, q) ->
+        let pe, sch, key = go q in
+        (compose pe (Rlens.select_pedigree ~key p), sch, key)
+    | Project (cols, q) ->
+        let pe, sch, key = go q in
+        ( compose pe (Rlens.project_pedigree ~keep:cols ~key sch),
+          Schema.project sch cols,
+          key )
+    | Rename (mapping, q) ->
+        let pe, sch, key = go q in
+        let rename_one n =
+          match List.assoc_opt n mapping with Some n' -> n' | None -> n
+        in
+        ( compose pe (Rlens.rename_pedigree mapping),
+          Schema.rename sch mapping,
+          List.map rename_one key )
+    | (Union _ | Diff _ | Join _ | Product _) as q ->
+        (Esm_core.Pedigree.opaque (to_string q), schema, key)
+  in
+  let body, _, _ = go q in
+  Esm_core.Pedigree.Plan { query = to_string q; body }
+
 (** Compile a single-base pipeline into a delta-capable lens
     ({!Rlens.dlens}): same supported stages and checks as {!to_lens},
     but view edits can be pushed back incrementally with
@@ -428,7 +463,7 @@ let to_dlens ~(schema : Schema.t) ~(key : string list) (q : t) : Rlens.dlens =
             if not (Schema.mem sch c) then
               not_updatable "where: unknown column %s" c)
           (Pred.columns_used p);
-        (Rlens.dcompose l (Rlens.dselect p), sch, key)
+        (Rlens.dcompose l (Rlens.dselect ~key p), sch, key)
     | Project (cols, q) ->
         let l, sch, key = go q in
         List.iter
@@ -463,6 +498,9 @@ let to_dlens ~(schema : Schema.t) ~(key : string list) (q : t) : Rlens.dlens =
     dl with
     Rlens.lens =
       Esm_lens.Lens.with_name ("view: " ^ to_string q) dl.Rlens.lens;
+    Rlens.pedigree =
+      Esm_core.Pedigree.Plan
+        { query = to_string q; body = dl.Rlens.pedigree };
   }
 
 (** Parse a view definition and compile it to a delta-capable lens. *)

@@ -97,10 +97,17 @@ val lens_of_string :
   (Table.t, Table.t) Esm_lens.Lens.t
 (** Parse a view definition and compile it in one step. *)
 
+val pedigree : schema:Schema.t -> key:string list -> t -> Esm_core.Pedigree.t
+(** The {!Esm_core.Pedigree.Plan} provenance {!to_lens} compilation
+    produces: the composed per-combinator pedigrees under a [Plan] node
+    carrying the query's surface syntax.  Total — shapes {!to_lens}
+    rejects get an [Opaque] body instead of raising. *)
+
 val to_dlens : schema:Schema.t -> key:string list -> t -> Rlens.dlens
 (** Like {!to_lens}, but delta-capable: view edits can be pushed back
     incrementally with {!Rlens.put_delta} instead of replacing the whole
-    view. *)
+    view.  The result's [pedigree] is a [Plan] node over the combinator
+    pipeline. *)
 
 val dlens_of_string :
   schema:Schema.t -> key:string list -> string -> Rlens.dlens

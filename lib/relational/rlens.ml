@@ -26,6 +26,36 @@
 
 open Esm_lens
 
+(* ------------------------------------------------------------------ *)
+(* Pedigrees for the relational combinators                            *)
+(* ------------------------------------------------------------------ *)
+
+(** The {!Esm_core.Pedigree} of a select lens over [p].  [key] (when
+    known) enables the key-preservation analysis: a predicate reading
+    only key columns decides view membership by the key alone, which is
+    the condition for the select lens to keep (PutPut). *)
+let select_pedigree ?key (p : Pred.t) : Esm_core.Pedigree.t =
+  Algebra.select_pedigree ?key p
+
+(** The pedigree of a project lens: lossless iff every source column is
+    kept (a column-order iso). *)
+let project_pedigree ~(keep : string list) ~(key : string list)
+    (source_schema : Schema.t) : Esm_core.Pedigree.t =
+  Algebra.project_pedigree ~keep ~key source_schema
+
+let rename_pedigree = Algebra.rename_pedigree
+
+(** The pedigree of a join lens.  [right_fds] are functional dependencies
+    declared (or {!Fd.not_refuted_by}-checked) on the right table; the
+    join's undo law is claimed only when some declared FD proves the
+    shared columns determine the rest of the right row — i.e. the shared
+    columns key the right table, so a view key picks exactly one right
+    partner.  (As with the [join] put itself, the claim additionally
+    assumes no dangling left rows.) *)
+let join_pedigree ?right_fds ~(left : Schema.t) ~(right : Schema.t) () :
+    Esm_core.Pedigree.t =
+  Algebra.join_pedigree ?right_fds ~left ~right ()
+
 (** [select p]: the view is the subtable satisfying [p].  [put] keeps the
     non-matching source rows and replaces the matching ones by the view. *)
 let select (p : Pred.t) : (Table.t, Table.t) Lens.t =
@@ -268,6 +298,10 @@ let join ~(left : Schema.t) ~(right : Schema.t) :
 type dlens = {
   lens : (Table.t, Table.t) Lens.t;
   translate : Table.t -> Row_delta.t list -> Row_delta.t list;
+  pedigree : Esm_core.Pedigree.t;
+      (** How this pipeline was constructed, combinator by combinator —
+          the input to {!Esm_analysis.Law_infer}'s per-combinator
+          lemmas. *)
 }
 
 let put_delta (l : dlens) (source : Table.t) (deltas : Row_delta.t list) :
@@ -289,13 +323,18 @@ let put_delta (l : dlens) (source : Table.t) (deltas : Row_delta.t list) :
 
 (** The identity dlens (a pipeline's base table). *)
 let did : dlens =
-  { lens = Lens.with_name "base" Lens.id; translate = (fun _ ds -> ds) }
+  {
+    lens = Lens.with_name "base" Lens.id;
+    translate = (fun _ ds -> ds);
+    pedigree = Esm_core.Pedigree.Identity;
+  }
 
 (** Delta select: additions must satisfy the predicate (as in the full
     [put]); removals of rows outside the view are dropped — the full
     [put] would not see them either, since they cannot occur in the
-    view. *)
-let dselect (p : Pred.t) : dlens =
+    view.  [key] (when known) feeds {!select_pedigree}'s
+    key-preservation analysis. *)
+let dselect ?key (p : Pred.t) : dlens =
   let translate source deltas =
     Esm_core.Chaos.point "rlens.dselect.translate";
     let matches = Pred.compile (Table.schema source) p in
@@ -311,7 +350,7 @@ let dselect (p : Pred.t) : dlens =
             if matches r then Some (Row_delta.Remove r) else None)
       deltas
   in
-  { lens = select p; translate }
+  { lens = select p; translate; pedigree = select_pedigree ?key p }
 
 (** Delta project: each view delta restores to a source delta through the
     source's memoized key index — an added view row recovers its dropped
@@ -340,12 +379,20 @@ let dproject ~(keep : string list) ~(key : string list)
         | Row_delta.Remove v -> Row_delta.Remove (restore v))
       deltas
   in
-  { lens = project ~keep ~key source_schema; translate }
+  {
+    lens = project ~keep ~key source_schema;
+    translate;
+    pedigree = project_pedigree ~keep ~key source_schema;
+  }
 
 (** Delta rename: rows are untouched by renaming, so deltas pass through
     unchanged. *)
 let drename (mapping : (string * string) list) : dlens =
-  { lens = rename mapping; translate = (fun _ ds -> ds) }
+  {
+    lens = rename mapping;
+    translate = (fun _ ds -> ds);
+    pedigree = rename_pedigree mapping;
+  }
 
 (** [dcompose outer inner]: [outer] is closer to the source (same
     orientation as {!Esm_lens.Lens.compose}).  View deltas are first
@@ -358,7 +405,53 @@ let dcompose (outer : dlens) (inner : dlens) : dlens =
       (fun source vds ->
         outer.translate source
           (inner.translate (Lens.get outer.lens source) vds));
+    pedigree =
+      (* composing with the identity base adds nothing to the
+         provenance, so keep pipelines flat *)
+      (match (outer.pedigree, inner.pedigree) with
+      | Esm_core.Pedigree.Identity, p | p, Esm_core.Pedigree.Identity -> p
+      | po, pi -> Esm_core.Pedigree.Dcompose (po, pi));
   }
+
+(** Pack a delta pipeline as a pedigreed entangled state monad: the A
+    side is the source table, the B side the view.  With [delta] (the
+    default), [set_b] actually executes the incremental path — the new
+    view is diffed against the current one and pushed through
+    {!put_delta} — and the pedigree records {!Esm_core.Pedigree.Delta_of}
+    over the combinator pipeline; with [~delta:false] the plain full-put
+    lens is packed under the pipeline pedigree. *)
+let packed_of_dlens ?(delta = true) ~(init : Table.t) (dl : dlens) :
+    (Table.t, Table.t) Esm_core.Concrete.packed =
+  let module C = Esm_core.Concrete in
+  let base = C.of_lens dl.lens in
+  let bx =
+    if not delta then base
+    else
+      {
+        base with
+        C.set_b =
+          (fun view source ->
+            let cur = Lens.get dl.lens source in
+            (* removals precede additions, as in [Dml.delta] *)
+            let removes =
+              Table.fold
+                (fun acc r ->
+                  if Table.mem view r then acc else Row_delta.Remove r :: acc)
+                [] cur
+            in
+            let adds =
+              Table.fold
+                (fun acc r ->
+                  if Table.mem cur r then acc else Row_delta.Add r :: acc)
+                [] view
+            in
+            put_delta dl source (List.rev_append removes (List.rev adds)));
+      }
+  in
+  C.pack_pedigreed
+    ~pedigree:
+      (if delta then Esm_core.Pedigree.Delta_of dl.pedigree else dl.pedigree)
+    ~bx ~init ~eq_state:Table.equal
 
 (* ------------------------------------------------------------------ *)
 (* Delta join                                                          *)
@@ -374,9 +467,13 @@ type djoin = {
     Table.t * Table.t ->
     Row_delta.t list ->
     Row_delta.t list * Row_delta.t list;
+  jpedigree : Esm_core.Pedigree.t;
+      (** {!join_pedigree} of the two schemas and any declared right-side
+          FDs. *)
 }
 
-let djoin ~(left : Schema.t) ~(right : Schema.t) : djoin =
+let djoin ?(right_fds : Fd.t list = []) ~(left : Schema.t)
+    ~(right : Schema.t) () : djoin =
   let plan = join_plan ~left ~right in
   let proj indices (r : Row.t) = Array.map (fun i -> r.(i)) indices in
   let jtranslate ((l, r) : Table.t * Table.t) (deltas : Row_delta.t list) :
@@ -495,7 +592,12 @@ let djoin ~(left : Schema.t) ~(right : Schema.t) : djoin =
       (List.rev !touched);
     (List.rev !dl, List.rev !dr)
   in
-  { jlens = join ~left ~right; jtranslate }
+  {
+    jlens = join ~left ~right;
+    jtranslate;
+    jpedigree =
+      Esm_core.Pedigree.Delta_of (join_pedigree ~right_fds ~left ~right ());
+  }
 
 let put_delta_join (j : djoin) ((l, r) : Table.t * Table.t)
     (deltas : Row_delta.t list) : Table.t * Table.t =

@@ -7,6 +7,36 @@
     documented per lens; the property suites in [test/test_rlens.ml]
     generate sources and views inside those domains. *)
 
+(** {1 Combinator pedigrees}
+
+    Construction provenance for the relational layer, feeding
+    {!Esm_analysis.Law_infer}'s per-combinator lemmas.  Each lens
+    constructor has a companion pedigree so both the whole-view and the
+    delta pipelines carry lemma-backed provenance instead of
+    [Opaque]. *)
+
+val select_pedigree : ?key:string list -> Pred.t -> Esm_core.Pedigree.t
+(** [Select { pred; key_preserving }]; [key_preserving] holds when [key]
+    is supplied and the predicate reads only key columns (view
+    membership decided by the key ⇒ (PutPut) is kept). *)
+
+val project_pedigree :
+  keep:string list -> key:string list -> Schema.t -> Esm_core.Pedigree.t
+(** [Project { keep; key; lossless }]; lossless iff every source column
+    is kept. *)
+
+val rename_pedigree : (string * string) list -> Esm_core.Pedigree.t
+
+val join_pedigree :
+  ?right_fds:Fd.t list ->
+  left:Schema.t ->
+  right:Schema.t ->
+  unit ->
+  Esm_core.Pedigree.t
+(** [Join { on; fd_proven }]; the undo law is claimed only when a
+    declared right-table FD proves the shared columns determine the rest
+    of the right row. *)
+
 val select : Pred.t -> (Table.t, Table.t) Esm_lens.Lens.t
 (** The view is the subtable satisfying the predicate.  [put] keeps the
     non-matching source rows and replaces the matching ones by the view;
@@ -50,6 +80,8 @@ val join :
 type dlens = {
   lens : (Table.t, Table.t) Esm_lens.Lens.t;
   translate : Table.t -> Row_delta.t list -> Row_delta.t list;
+  pedigree : Esm_core.Pedigree.t;
+      (** Combinator-by-combinator provenance of the pipeline. *)
 }
 
 val put_delta : dlens -> Table.t -> Row_delta.t list -> Table.t
@@ -63,10 +95,11 @@ val put_delta : dlens -> Table.t -> Row_delta.t list -> Table.t
 val did : dlens
 (** The identity dlens (a pipeline's base table). *)
 
-val dselect : Pred.t -> dlens
+val dselect : ?key:string list -> Pred.t -> dlens
 (** Additions must satisfy the predicate ({!Esm_lens.Lens.Shape_error}
     otherwise, as in the full [put]); removals of rows outside the view
-    are dropped as no-ops. *)
+    are dropped as no-ops.  [key] feeds {!select_pedigree}'s
+    key-preservation analysis. *)
 
 val dproject : keep:string list -> key:string list -> Schema.t -> dlens
 (** View deltas restore to source deltas through the source's memoized
@@ -78,7 +111,16 @@ val drename : (string * string) list -> dlens
 
 val dcompose : dlens -> dlens -> dlens
 (** [dcompose outer inner] with [outer] closer to the source (same
-    orientation as {!Esm_lens.Lens.compose}). *)
+    orientation as {!Esm_lens.Lens.compose}).  Pedigrees compose with
+    {!Esm_core.Pedigree.Dcompose} (identity bases are flattened away). *)
+
+val packed_of_dlens :
+  ?delta:bool -> init:Table.t -> dlens -> (Table.t, Table.t) Esm_core.Concrete.packed
+(** Pack the pipeline as a pedigreed entangled state monad (A = source
+    table, B = view).  With [delta] (default), [set_b] diffs the new
+    view against the current one and runs {!put_delta} — the packed
+    pedigree is [Delta_of] the pipeline's; with [~delta:false] the plain
+    full-put lens is packed. *)
 
 (** {1 Delta join}
 
@@ -91,9 +133,12 @@ type djoin = {
     Table.t * Table.t ->
     Row_delta.t list ->
     Row_delta.t list * Row_delta.t list;
+  jpedigree : Esm_core.Pedigree.t;
+      (** [Delta_of] over {!join_pedigree} of the two schemas and any
+          declared right-side FDs. *)
 }
 
-val djoin : left:Schema.t -> right:Schema.t -> djoin
+val djoin : ?right_fds:Fd.t list -> left:Schema.t -> right:Schema.t -> unit -> djoin
 (** Translate view deltas over the natural join into (left, right)
     source delta pairs.  A removed view row drops its left projection
     (the right row is kept — either still dictated by surviving view

@@ -197,8 +197,9 @@ let optimize_packed_tests =
     test "level_for follows the pedigree lemmas" `Quick (fun () ->
         let lvl = Alcotest.of_pp (fun fmt l ->
             Format.pp_print_string fmt
-              (match l with
+              (match (l : Command.level) with
               | `Any -> "any"
+              | `Undoable -> "undoable"
               | `Overwriteable -> "overwriteable"
               | `Commuting -> "commuting"))
         in

@@ -171,7 +171,7 @@ let suite =
              ~static:(Law_infer.of_packed packed)
              ~observed:(Certify.observed_level report)));
     test "lattice: meet is the minimum of the total order" `Quick (fun () ->
-        let all = [ `Set_bx; `Overwriteable; `Commuting ] in
+        let all = [ `Set_bx; `Undoable; `Overwriteable; `Commuting ] in
         List.iter
           (fun l1 ->
             List.iter
@@ -186,7 +186,15 @@ let suite =
         check level "commuting is top" `Commuting
           (Law_infer.meet `Commuting `Commuting);
         check level "set-bx is bottom" `Set_bx
-          (Law_infer.meet `Set_bx `Commuting));
+          (Law_infer.meet `Set_bx `Commuting);
+        check level "undoable sits below overwriteable" `Undoable
+          (Law_infer.meet `Undoable `Overwriteable);
+        check Alcotest.bool "set-bx ⊑ undoable ⊑ overwriteable ⊑ commuting"
+          true
+          (Law_infer.leq `Set_bx `Undoable
+          && Law_infer.leq `Undoable `Overwriteable
+          && Law_infer.leq `Overwriteable `Commuting
+          && not (Law_infer.leq `Overwriteable `Undoable)));
     test "wrappers and unknowns floor the level" `Quick (fun () ->
         let parity =
           Pedigree.Of_algebraic { name = "parity"; undoable = true }
@@ -207,7 +215,135 @@ let suite =
           (fun l ->
             check level "of o to = id" l
               (Law_infer.of_command_level (Law_infer.to_command_level l)))
-          [ `Set_bx; `Overwriteable; `Commuting ]);
+          [ `Set_bx; `Undoable; `Overwriteable; `Commuting ]);
+    test "relational lemma table" `Quick (fun () ->
+        let open Pedigree in
+        check level "key-preserving select is overwriteable" `Overwriteable
+          (Law_infer.level
+             (Select { pred = "id <= 4"; key_preserving = true }));
+        check level "general select keeps only the undo law" `Undoable
+          (Law_infer.level
+             (Select { pred = "dept = e"; key_preserving = false }));
+        check level "lossless project is overwriteable" `Overwriteable
+          (Law_infer.level
+             (Project
+                { keep = [ "id"; "name" ]; key = [ "id" ]; lossless = true }));
+        check level "lossy project is set-bx" `Set_bx
+          (Law_infer.level
+             (Project { keep = [ "id" ]; key = [ "id" ]; lossless = false }));
+        check level "rename is overwriteable" `Overwriteable
+          (Law_infer.level (Rename [ ("email", "contact") ]));
+        check level "fd-proven join is undoable" `Undoable
+          (Law_infer.level (Join { on = [ "id" ]; fd_proven = true }));
+        check level "unproven join is set-bx" `Set_bx
+          (Law_infer.level (Join { on = [ "id" ]; fd_proven = false }));
+        check level "dcompose takes the meet" `Undoable
+          (Law_infer.level
+             (Dcompose
+                ( Select { pred = "p"; key_preserving = false },
+                  Rename [ ("a", "b") ] )));
+        check level "delta_of passes the base level through" `Undoable
+          (Law_infer.level (Delta_of (Join { on = [ "id" ]; fd_proven = true })));
+        check level "plan passes the body level through" `Overwriteable
+          (Law_infer.level (Plan { query = "q"; body = Rename [ ("a", "b") ] })));
+    test "fallibility and rollback protection follow the pedigree" `Quick
+      (fun () ->
+        let open Pedigree in
+        let owner = Of_lens { name = "owner"; vwb = true } in
+        let parity = Of_algebraic { name = "parity"; undoable = true } in
+        check Alcotest.bool "replicated commits are transactional" false
+          (Law_infer.fallible (Replicated parity));
+        check Alcotest.bool "replicated is rollback-protected" true
+          (Law_infer.rollback_protected (Replicated parity));
+        check Alcotest.bool "atomic over a flipped fallible base is sealed"
+          false
+          (Law_infer.fallible (Atomic (Flip owner)));
+        check Alcotest.bool "atomic (flip _) is rollback-protected" true
+          (Law_infer.rollback_protected (Atomic (Flip owner)));
+        check Alcotest.bool "flip alone protects nothing" false
+          (Law_infer.rollback_protected (Flip owner));
+        (* the relational lenses validate rows, keys and schemas in put *)
+        List.iter
+          (fun (lbl, p) ->
+            check Alcotest.bool (lbl ^ " is fallible") true
+              (Law_infer.fallible p))
+          [
+            ("select", Select { pred = "p"; key_preserving = true });
+            ( "project",
+              Project { keep = [ "id" ]; key = [ "id" ]; lossless = false } );
+            ("rename", Rename [ ("a", "b") ]);
+            ("join", Join { on = [ "id" ]; fd_proven = true });
+            ( "dcompose",
+              Dcompose
+                ( Rename [ ("a", "b") ],
+                  Select { pred = "p"; key_preserving = false } ) );
+            ("delta_of", Delta_of (Rename [ ("a", "b") ]));
+            ("plan", Plan { query = "q"; body = Rename [ ("a", "b") ] });
+          ];
+        check Alcotest.bool "plan passes protection through" true
+          (Law_infer.rollback_protected
+             (Plan { query = "q"; body = Atomic (Rename [ ("a", "b") ]) }));
+        check Alcotest.bool "atomic seals a fallible plan" false
+          (Law_infer.fallible
+             (Atomic
+                (Plan
+                   { query = "q"; body = Join { on = [ "id" ]; fd_proven = false } }))));
+    test "inferred-infallible bx never raise under fault-free chaos" `Quick
+      (fun () ->
+        (* the chaos harness installed with fault-free schedules (rate 0)
+           must be invisible: every catalog bx whose pedigree infers
+           infallible sweeps all sample pairs without raising *)
+        List.iter
+          (fun seed ->
+            let chaos = Chaos.make ~rate:0.0 ~seed () in
+            Chaos.with_chaos chaos (fun () ->
+                List.iter
+                  (fun (Catalog.Entry s) ->
+                    let ped = Concrete.pedigree s.Catalog.packed in
+                    if not (Law_infer.fallible ped) then
+                      let (Concrete.Packed r) = s.Catalog.packed in
+                      let bx = r.Concrete.bx in
+                      List.iter
+                        (fun a ->
+                          List.iter
+                            (fun b ->
+                              let st =
+                                bx.Concrete.set_a a
+                                  (bx.Concrete.set_b b r.Concrete.init)
+                              in
+                              ignore (bx.Concrete.get_a st);
+                              ignore (bx.Concrete.get_b st))
+                            s.Catalog.values_b)
+                        s.Catalog.values_a)
+                  (Catalog.all ()));
+            check Alcotest.int
+              (Printf.sprintf "seed %d injected nothing" seed)
+              0 (Chaos.injected chaos))
+          [ 1; 7; 42 ]);
+    test "compiled catalog plans keep their provenance" `Quick (fun () ->
+        let with_plans =
+          List.filter
+            (fun (Catalog.Entry s) -> s.Catalog.plan <> None)
+            (Catalog.all ())
+        in
+        check Alcotest.bool "the catalog carries compiled plans" true
+          (List.length with_plans >= 4);
+        List.iter
+          (fun (Catalog.Entry s) ->
+            let ped = Concrete.pedigree s.Catalog.packed in
+            check Alcotest.bool
+              (s.Catalog.label ^ ": pedigree is opaque-free")
+              false
+              (Pedigree.has_opaque ped);
+            (* the inferred level has a lemma chain behind it: explain
+               must cite a construction, not the opaque fallback *)
+            let rationale = Law_infer.explain ped in
+            check Alcotest.bool
+              (s.Catalog.label ^ ": rationale is lemma-backed")
+              false
+              (String.length rationale >= 7
+              && String.sub rationale 0 7 = "unknown"))
+          with_plans);
     test "the example catalog audits clean" `Quick (fun () ->
         let audits = Catalog.audit_all () in
         check Alcotest.bool "catalog is non-trivial" true

@@ -253,6 +253,174 @@ let suite =
           (Lint.puts_have_sets [ Lint.Pget_a; Lint.Pget_b ]);
         check Alcotest.bool "a put writes" true
           (Lint.puts_have_sets [ Lint.Pget_a; Lint.Put_ba 2 ]));
+    (* -------------------- undo-law cancellations ------------------ *)
+    test "undo-cancel fires when a set restores the pre-value" `Quick
+      (fun () ->
+        let ds = lint_cmd Command.(Seq (Set_a 1, Seq (Set_a 2, Set_a 1))) in
+        check (Alcotest.list level) "requires only the undo law"
+          [ `Undoable ]
+          (requires_of (Lint.Undo_cancel Lint.A) ds);
+        (match
+           List.find_opt (fun d -> d.Lint.rule = Lint.Undo_cancel Lint.A) ds
+         with
+        | Some d -> check Alcotest.int "flags the undone set" 1 d.Lint.at
+        | None -> Alcotest.fail "undo-cancel missing");
+        let ds = lint_ops Program.[ Set_b 1; Set_b 2; Set_b 1 ] in
+        check Alcotest.bool "b side, op language" true
+          (has (Lint.Undo_cancel Lint.B) ds));
+    test "undo-cancel is silent when the restore misses" `Quick (fun () ->
+        let ds = lint_cmd Command.(Seq (Set_a 1, Seq (Set_a 2, Set_a 3))) in
+        check Alcotest.bool "different value: plain (SS) only" false
+          (has (Lint.Undo_cancel Lint.A) ds);
+        check Alcotest.bool "(SS) still reported" true
+          (has (Lint.Collapsible_set Lint.A) ds);
+        (* no knowledge of the pre-value: nothing to cancel against *)
+        let ds = lint_cmd Command.(Seq (Set_a 2, Set_a 1)) in
+        check Alcotest.bool "unknown pre-value" false
+          (has (Lint.Undo_cancel Lint.A) ds));
+    test "undo-cancel is silent when the overwritten set was read" `Quick
+      (fun () ->
+        let ds = lint_ops Program.[ Set_a 1; Set_a 2; Get_a; Set_a 1 ] in
+        check Alcotest.bool "read makes the set live" false
+          (has (Lint.Undo_cancel Lint.A) ds));
+    test "an undo across an opposite-side write needs commutation" `Quick
+      (fun () ->
+        let ds = lint_ops Program.[ Set_a 1; Set_a 2; Set_b 5; Set_a 1 ] in
+        check Alcotest.bool "reorder-collapse, not undo-cancel" true
+          (has (Lint.Reorder_collapse Lint.A) ds
+          && not (has (Lint.Undo_cancel Lint.A) ds)));
+    test "undo-cancel matches the optimizer's undo peephole dynamically"
+      `Quick (fun () ->
+        let cmd = Command.(Seq (Set_a 1, Seq (Set_a 2, Set_a 1))) in
+        let opt =
+          Command.optimize_undoable ~eq_a:Int.equal ~eq_b:Int.equal cmd
+        in
+        let bx = Concrete.of_algebraic Fixtures.parity_undoable in
+        List.iter
+          (fun s0 ->
+            check Alcotest.bool "undoable bx: peephole is sound" true
+              (Command.exec bx opt s0 = Command.exec bx cmd s0))
+          [ (0, 0); (1, 1); (4, 2) ];
+        (* ...and at the requested `Undoable level against a set-bx-only
+           pedigree the same cancellation is an error: the sticky parity
+           restorer genuinely violates the undo law *)
+        let ds = lint_cmd ~requested:`Undoable ~inferred:`Set_bx cmd in
+        check Alcotest.bool "firing above the inferred level is an error"
+          true
+          (List.exists
+             (fun d ->
+               Lint.is_error d && d.Lint.rule = Lint.Undo_cancel Lint.A)
+             ds);
+        let sticky = Concrete.of_algebraic Fixtures.parity_sticky in
+        check Alcotest.bool "and it is a real dynamic miscompilation" true
+          (List.exists
+             (fun s0 ->
+               Command.exec sticky
+                 (Command.optimize_undoable ~eq_a:Int.equal ~eq_b:Int.equal
+                    cmd)
+                 s0
+               <> Command.exec sticky cmd s0)
+             [ (0, 0); (1, 1); (4, 2) ]));
+    (* ------------------------- plan lint -------------------------- *)
+    test "plan: an implied where folds, a contradicted one is dead" `Quick
+      (fun () ->
+        let module Rq = Esm_relational.Query in
+        let module Rp = Esm_relational.Pred in
+        let schema = Esm_relational.Workload.employees_schema in
+        let lint_plan = Lint.lint_plan ~schema ~key:[ "id" ] in
+        let le c n = Rp.(col c <= int n) in
+        (* id <= 4 then id <= 6: the outer filter is implied *)
+        let ds =
+          lint_plan (Rq.Where (le "id" 6, Rq.Where (le "id" 4, Rq.Base "t")))
+        in
+        check Alcotest.bool "implied where folds" true
+          (has Lint.Foldable_where ds);
+        check Alcotest.bool "no dead where" false (has Lint.Dead_where ds);
+        (* id <= 2 then id = 5: contradiction *)
+        let ds =
+          lint_plan
+            (Rq.Where
+               ( Rp.(col "id" = int 5),
+                 Rq.Where (le "id" 2, Rq.Base "t") ))
+        in
+        check Alcotest.bool "contradicted where is dead" true
+          (has Lint.Dead_where ds);
+        (* contradictory conjuncts inside one clause *)
+        let ds =
+          lint_plan
+            (Rq.Where
+               ( Rp.(col "id" = int 1 && col "id" = int 2),
+                 Rq.Base "t" ))
+        in
+        check Alcotest.bool "intra-clause contradiction" true
+          (has Lint.Dead_where ds);
+        (* a genuinely undecided filter is silent *)
+        let ds = lint_plan (Rq.Where (le "id" 4, Rq.Base "t")) in
+        check Alcotest.bool "undecided filter is silent" false
+          (has Lint.Dead_where ds || has Lint.Foldable_where ds));
+    test "plan: trivial stages fold, schema violations are errors" `Quick
+      (fun () ->
+        let module Rq = Esm_relational.Query in
+        let schema = Esm_relational.Workload.employees_schema in
+        let lint_plan = Lint.lint_plan ~schema ~key:[ "id" ] in
+        let all_cols = Esm_relational.Schema.column_names schema in
+        let ds = lint_plan (Rq.Project (all_cols, Rq.Base "t")) in
+        check Alcotest.bool "select of every column folds" true
+          (has Lint.Foldable_stage ds);
+        let ds = lint_plan (Rq.Rename ([ ("id", "id") ], Rq.Base "t")) in
+        check Alcotest.bool "identity rename folds" true
+          (has Lint.Foldable_stage ds);
+        let ds =
+          lint_plan
+            (Rq.Where (Esm_relational.Pred.(col "wages" = int 1), Rq.Base "t"))
+        in
+        check Alcotest.bool "unknown column is an error" true
+          (has Lint.Unknown_column ds && Lint.has_errors ds);
+        let ds = lint_plan (Rq.Project ([ "name"; "dept" ], Rq.Base "t")) in
+        check Alcotest.bool "dropping the key is an error" true
+          (has Lint.Dropped_key ds && Lint.has_errors ds);
+        (* a key-keeping projection of a strict subset is clean *)
+        let ds = lint_plan (Rq.Project ([ "id"; "name" ], Rq.Base "t")) in
+        check Alcotest.bool "key-keeping projection is clean" true (ds = []));
+    test "plan: renames carry facts and keys; joins are flagged" `Quick
+      (fun () ->
+        let module Rq = Esm_relational.Query in
+        let module Rp = Esm_relational.Pred in
+        let schema = Esm_relational.Workload.employees_schema in
+        let lint_plan = Lint.lint_plan ~schema ~key:[ "id" ] in
+        (* the fact about id survives the rename to eid *)
+        let ds =
+          lint_plan
+            (Rq.Where
+               ( Rp.(col "eid" <= int 6),
+                 Rq.Rename
+                   ( [ ("id", "eid") ],
+                     Rq.Where (Rp.(col "id" <= int 4), Rq.Base "t") ) ))
+        in
+        check Alcotest.bool "fact follows the rename" true
+          (has Lint.Foldable_where ds);
+        (* dropping the renamed key is still caught *)
+        let ds =
+          lint_plan
+            (Rq.Project
+               ([ "name" ], Rq.Rename ([ ("id", "eid") ], Rq.Base "t")))
+        in
+        check Alcotest.bool "renamed key still tracked" true
+          (has Lint.Dropped_key ds);
+        let ds = lint_plan (Rq.Join (Rq.Base "l", Rq.Base "r")) in
+        check (Alcotest.list level) "join flagged at the undo level"
+          [ `Undoable ]
+          (requires_of Lint.Unproven_join ds);
+        check Alcotest.bool "but only as info" false (Lint.has_errors ds));
+    test "plan: every compiled catalog plan lints without errors" `Quick
+      (fun () ->
+        List.iter
+          (fun a ->
+            check Alcotest.bool
+              (a.Catalog.label ^ ": plan diagnostics are error-free")
+              false
+              (Lint.has_errors a.Catalog.plan_diagnostics))
+          (Catalog.audit_all ()));
   ]
   @ Helpers.q
       [
@@ -275,6 +443,24 @@ let suite =
             Command.exec bx
               (Command.optimize_unsafe_commuting ~eq_a:Int.equal
                  ~eq_b:Int.equal c)
+              s
+            = Command.exec bx c s);
+        (* The same teeth at the new intermediate lattice point: if the
+           lint reports NO errors for a command at `Undoable against a
+           set-bx-only pedigree, then the undo-cancelling optimizer is
+           semantics-preserving even on the sticky parity bx — whose
+           restorer genuinely violates the undo law. *)
+        QCheck.Test.make ~count:800
+          ~name:"lint-clean at `Undoable implies optimize_undoable is safe"
+          (QCheck.pair Test_command.gen_cmd Fixtures.gen_parity_consistent)
+          (fun (c, s) ->
+            let ds = lint_cmd ~requested:`Undoable ~inferred:`Set_bx c in
+            Lint.has_errors ds
+            ||
+            let bx = Concrete.of_algebraic Fixtures.parity_sticky in
+            Command.exec bx
+              (Command.optimize_at `Undoable ~eq_a:Int.equal ~eq_b:Int.equal
+                 c)
               s
             = Command.exec bx c s);
         (* Running the optimizer at (or below) the inferred level never

@@ -250,7 +250,7 @@ let join_law_tests =
 (* Delta-capable join (djoin)                                          *)
 (* ------------------------------------------------------------------ *)
 
-let dj = Rlens.djoin ~left:people_schema ~right:salary_schema
+let dj = Rlens.djoin ~left:people_schema ~right:salary_schema ()
 
 (* The full-put oracle: apply the deltas to the materialised view, push
    the whole edited view back. *)
