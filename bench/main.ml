@@ -684,6 +684,69 @@ let b12_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* B13: incremental recomputation — the memoized poll/view hot paths   *)
+(* ------------------------------------------------------------------ *)
+
+(* A store warmed past one committed burst, with every cache populated:
+   the steady state a polling client observes between edits. *)
+let b13_store =
+  let store = b10_store () in
+  b10_commit store (Sync.Store.Batch_b b10_burst);
+  ignore (Sync.Store.view_a store);
+  ignore (Sync.Store.view_b store);
+  store
+
+let b13_session =
+  let sess = Sync.Session.bind b13_store ~name:"b13" ~side:`B in
+  ignore (Sync.Session.pull sess);
+  sess
+
+let b13_query =
+  Esm_relational.Query.parse
+    "employees | where dept = \"Engineering\" | select id, name, dept"
+
+let b13_dlens =
+  Esm_relational.Query.to_dlens ~schema:Workload.employees_schema
+    ~key:[ "id" ] b13_query
+
+let b13_table = Workload.employees ~seed:9 ~size:4096
+
+let () =
+  (* warm the table-hash accumulator and the dlens view cache *)
+  ignore (Table.hash b13_table);
+  ignore (Rlens.get_memo b13_dlens b13_table)
+
+let b13_tests =
+  [
+    Test.make ~name:"store view read, uncached (n=4096)"
+      (Staged.stage (fun () -> Sync.Store.view_b_uncached b13_store));
+    Test.make ~name:"store view read, memoized hit (n=4096)"
+      (Staged.stage (fun () -> Sync.Store.view_b b13_store));
+    Test.make ~name:"session poll, unchanged store"
+      (Staged.stage (fun () -> Sync.Session.pull b13_session));
+    Test.make ~name:"rlens view, uncached get (n=4096)"
+      (Staged.stage (fun () ->
+           Esm_lens.Lens.get b13_dlens.Rlens.lens b13_table));
+    Test.make ~name:"rlens view, memoized hit (n=4096)"
+      (Staged.stage (fun () -> Rlens.get_memo b13_dlens b13_table));
+    Test.make ~name:"plan compile, uncached (3-stage query)"
+      (Staged.stage (fun () ->
+           Esm_relational.Query.to_dlens_uncached
+             ~schema:Workload.employees_schema ~key:[ "id" ] b13_query));
+    Test.make ~name:"plan compile, memoized hit"
+      (Staged.stage (fun () ->
+           Esm_relational.Query.to_dlens ~schema:Workload.employees_schema
+             ~key:[ "id" ] b13_query));
+    Test.make ~name:"table hash, rebuilt (n=4096)"
+      (Staged.stage (fun () ->
+           Table.hash
+             (Table.of_sorted_array_unchecked (Table.schema b13_table)
+                (Table.row_array b13_table))));
+    Test.make ~name:"table hash, cached (n=4096)"
+      (Staged.stage (fun () -> Table.hash b13_table));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -756,10 +819,48 @@ let pre_pr_baseline =
     ("B8/handwritten view lens put (n=512)", 129060.2);
   ]
 
+(* ns/run measured at the parent commit of PR 7 (same machine and
+   harness, before the incremental recomputation layer) for the write
+   paths that work touches — the ≤10% overhead budget of EXPERIMENTS.md
+   B13 is judged against these.  The B13 read-path experiments have no
+   pre-PR equivalent: the caches did not exist. *)
+let pre_pr7_baseline =
+  [
+    ("B4/select.get n=0064", 2034.1);
+    ("B4/select.put n=0064", 5223.8);
+    ("B4/select.put_delta n=0064", 898.4);
+    ("B4/project.put n=0064", 12249.8);
+    ("B4/project.put_delta n=0064", 1065.1);
+    ("B4/select.get n=0512", 12544.5);
+    ("B4/select.put n=0512", 41377.6);
+    ("B4/select.put_delta n=0512", 3754.4);
+    ("B4/project.put n=0512", 118858.4);
+    ("B4/project.put_delta n=0512", 18191.4);
+    ("B4/select.get n=4096", 90677.7);
+    ("B4/select.put n=4096", 253475.5);
+    ("B4/select.put_delta n=4096", 27115.9);
+    ("B4/project.put n=4096", 1278051.1);
+    ("B4/project.put_delta n=4096", 30971.5);
+    ("B8/compiled view lens put (n=512)", 63602.4);
+    ("B8/handwritten view lens put (n=512)", 68521.3);
+    ("B9/raw set_b (full put, n=512)", 40406.3);
+    ("B9/atomic set_b, commit path", 41983.6);
+    ("B10/batched commit (64-delta burst, n=4096)", 716021.3);
+    ("B10/one-at-a-time (64 commits, n=4096)", 23121548.3);
+    ("B10/replay recovery (8 bursts, n=4096)", 3097056.4);
+    ("B11/commit fsync=never (n=4096)", 807757.9);
+    ("B11/commit fsync=every-64 (n=4096)", 812821.3);
+    ("B11/commit fsync=every-8 (n=4096)", 1763272.2);
+    ("B11/commit fsync=always (n=4096)", 1137925.0);
+    ("B12/plan command: exec raw (16 view sets, n=512)", 346205.7);
+    ("B12/plan command: exec at opaque floor", 376891.0);
+    ("B12/plan command: exec at inferred level", 36982.7);
+  ]
+
 let json_number ns =
   if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns
 
-let emit_json path =
+let emit_json ~pr ~baseline path =
   let buf = Buffer.create 4096 in
   let obj entries =
     String.concat ",\n"
@@ -768,11 +869,11 @@ let emit_json path =
          entries)
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"pr\": 2,\n";
+  Buffer.add_string buf (Printf.sprintf "  \"pr\": %d,\n" pr);
   Buffer.add_string buf
     "  \"unit\": \"ns/run\",\n  \"keys\": \"experiment id (group/test)\",\n";
   Buffer.add_string buf "  \"baseline_pre_pr\": {\n";
-  Buffer.add_string buf (obj pre_pr_baseline);
+  Buffer.add_string buf (obj baseline);
   Buffer.add_string buf "\n  },\n";
   Buffer.add_string buf "  \"current\": {\n";
   Buffer.add_string buf (obj (List.rev !all_results));
@@ -847,5 +948,15 @@ let () =
        the full device-flush latency; reopen cost tracks the replay suffix \
        length, so denser snapshot cadences reopen faster"
     b11_tests;
-  if json then emit_json "BENCH_PR2.json";
+  run_group ~id:"B13"
+    ~header:"incremental recomputation: memoized poll/view hot paths"
+    ~expectation:
+      "memoized store view reads, rlens view hits and unchanged-store polls \
+       are near-zero-cost (>=50x under the uncached read at n=4096); a plan \
+       cache hit dodges the parse-free recompile; the table hash is O(1) \
+       once the accumulator is warm"
+    b13_tests;
+  if json then (
+    emit_json ~pr:2 ~baseline:pre_pr_baseline "BENCH_PR2.json";
+    emit_json ~pr:7 ~baseline:pre_pr7_baseline "BENCH_PR7.json");
   Fmt.pr "@.done.@."

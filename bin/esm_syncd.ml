@@ -181,6 +181,12 @@ let soak ?dir ?(quiet = false) ~seed ~ops:n_ops ~sessions:n_sessions () :
         (* a failing put (or injected fault) rolls back and appends
            nothing — legitimate under chaos, checked by recovery below *)
         incr failures);
+    (* the poll traffic: the session that just synced re-polls (the
+       overwhelmingly common "nothing changed" case — must hit the
+       short-circuit), and a random bystander polls too (hit or miss
+       depending on whether it saw the commit) *)
+    ignore (Session.pull sess);
+    ignore (Session.pull (Workload.pick r sessions));
     if i mod crash_every = 0 then (
       (* recovery invariant: crash + replay = the uncrashed store *)
       let va = Store.view_a store and vb = Store.view_b store in
@@ -226,13 +232,24 @@ let soak ?dir ?(quiet = false) ~seed ~ops:n_ops ~sessions:n_sessions () :
         fail "session %s converged at %d, store head is %d"
           (Session.name sess) (Session.base sess) (Store.version store))
     sessions;
-  if not quiet then
+  if not quiet then begin
     Printf.printf
       "soak: seed=%d ops=%d sessions=%d commits=%d failed=%d recoveries=%d \
        head=%d%s\n"
       seed n_ops n_sessions !commits !failures !recoveries
       (Store.version store)
       (match dir with None -> "" | Some d -> " dir=" ^ d);
+    (* the incremental layer's poll statistics: the CI soak asserts a
+       nonzero hit count (--require-poll-hits), so the caches are
+       provably exercised, not silently bypassed *)
+    let ph, pm = Esm_incr.Stats.counts "session.poll" in
+    let vh, vm = Esm_incr.Stats.counts "store.view" in
+    let rate h m = if h + m = 0 then 0.0 else 100.0 *. float h /. float (h + m) in
+    Printf.printf
+      "poll: hits=%d misses=%d hit-rate=%.1f%%  store-view: hits=%d \
+       misses=%d hit-rate=%.1f%%\n"
+      ph pm (rate ph pm) vh vm (rate vh vm)
+  end;
   match !violations with
   | [] ->
       if not quiet then print_endline "soak: all invariants hold";
@@ -351,6 +368,7 @@ let () =
   let dir = ref "" in
   let kill_at = ref 0 in
   let check_dir = ref "" in
+  let require_poll_hits = ref false in
   let specs =
     [
       ("--script", Arg.Set_string script, "FILE replay a wire-protocol script");
@@ -369,6 +387,9 @@ let () =
       ( "--check-dir",
         Arg.Set_string check_dir,
         "D reopen a killed log in D and diff against an uncrashed rerun" );
+      ( "--require-poll-hits",
+        Arg.Set require_poll_hits,
+        " exit 1 if the soak recorded zero session.poll cache hits" );
     ]
   in
   let usage = "esm_syncd (--script FILE | --soak | --check-dir D) [options]" in
@@ -391,7 +412,14 @@ let () =
              ~seed:!seed ~ops:!ops ~sessions:!sessions)
       in
       Store.close store;
-      code
+      let poll_hits, _ = Esm_incr.Stats.counts "session.poll" in
+      if !require_poll_hits && poll_hits = 0 then begin
+        print_endline
+          "VIOLATION: --require-poll-hits: the soak recorded zero \
+           session.poll cache hits (the memoized poll path was bypassed)";
+        max code 1
+      end
+      else code
     end
     else (
       prerr_endline usage;

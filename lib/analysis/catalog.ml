@@ -215,6 +215,18 @@ let eng_dlens : Rel.Rlens.dlens =
   Rel.Query.to_dlens ~schema:Rel.Workload.employees_schema ~key:[ "id" ]
     eng_query
 
+(** The same compilation through the plan cache a second time — by
+    construction a cache {e hit} (the [eng_dlens] compile above warmed
+    the cache).  The "relational/memoized-plan" entry audits this
+    dlens: a hit returns the cached plan with its full [Pedigree.Plan]
+    provenance intact, so the inferred law level must be identical to
+    the cold compile's — memoization can never launder law levels
+    (cross-checked against {!Rel.Query.to_dlens_uncached} in
+    [test/test_incr.ml]). *)
+let eng_dlens_memo_hit : Rel.Rlens.dlens =
+  Rel.Query.to_dlens ~schema:Rel.Workload.employees_schema ~key:[ "id" ]
+    eng_query
+
 (** A key-preserving slice: the predicate reads only the key column, so
     the select lemma yields [`Overwriteable]. *)
 let slice_query : Rel.Query.t = Rel.Query.parse {|employees | where id <= 4|}
@@ -993,6 +1005,53 @@ let all () : entry list =
               plan_schema = staff_schema;
               plan_key = [ "id" ];
               plan_query = Rel.Query.Join (Rel.Query.Base "staff", Rel.Query.Base "comp");
+            };
+      };
+    Entry
+      {
+        label = "relational/memoized-plan";
+        description =
+          "the engineering roster compiled through the plan cache (a \
+           memo hit): the cached dlens carries the same Plan pedigree \
+           as its cold-compile twin, so a cache hit reports the same \
+           inferred law level — memoization never launders law levels";
+        packed =
+          Rel.Rlens.packed_of_dlens
+            ~init:(Rel.Workload.employees ~seed:3 ~size:8)
+            eng_dlens_memo_hit;
+        values_a =
+          [
+            Rel.Workload.employees ~seed:1 ~size:6;
+            Rel.Workload.employees ~seed:7 ~size:10;
+            Rel.Workload.employees ~seed:2 ~size:0;
+          ];
+        values_b =
+          [
+            Rel.Workload.engineering_view ~seed:4 ~size:12;
+            Rel.Workload.engineering_view ~seed:9 ~size:20;
+            Rel.Workload.engineering_view ~seed:1 ~size:0;
+          ];
+        eq_a = Rel.Table.equal;
+        eq_b = Rel.Table.equal;
+        show_a = Rel.Table.to_string;
+        show_b = Rel.Table.to_string;
+        subjects =
+          [
+            Prog
+              ( "memoized-delta-sync",
+                `Set_bx,
+                Program.
+                  [
+                    Set_b (Rel.Workload.engineering_view ~seed:4 ~size:12);
+                    Get_a;
+                  ] );
+          ];
+        plan =
+          Some
+            {
+              plan_schema = Rel.Workload.employees_schema;
+              plan_key = [ "id" ];
+              plan_query = eng_query;
             };
       };
   ]

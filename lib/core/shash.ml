@@ -1,0 +1,24 @@
+(* Structural hashing + the cached-hash trust gate; see shash.mli. *)
+
+let site = "incr.hash"
+
+let combine (h1 : int) (h2 : int) : int =
+  (* FNV-style mix: multiply by a large odd constant, xor the next
+     word; order-dependent, cheap, good enough for rejection hashing *)
+  ((h1 * 0x01000193) lxor h2) land max_int
+
+let of_value (v : 'a) : int =
+  (* the default (10, 100) limits would silently ignore columns of
+     wide rows; 64/1024 covers every realistic row and schema while
+     still bounding pathological values *)
+  Hashtbl.hash_param 64 1024 v
+
+let trusted ~(cached : int option) ~(recompute : unit -> int) : int =
+  match cached with
+  | None -> recompute ()
+  | Some h -> (
+      match Chaos.point site with
+      | () -> h
+      | exception exn when Error.degradable_exn exn ->
+          Chaos.note_fallback site;
+          Chaos.protected recompute)

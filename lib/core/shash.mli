@@ -1,0 +1,35 @@
+(** Structural hashing for the incremental recomputation layer (see
+    [docs/PERFORMANCE.md], "Incremental recomputation").
+
+    A cached structural hash buys O(1) {e rejection}: two values whose
+    hashes differ are certainly different, so a memo can skip comparing
+    (or recomputing) them.  Hash {e equality} proves nothing — every
+    cache that accepts on matching hashes must verify with a real
+    equality before trusting the hit.
+
+    Cached hashes are performance state, not truth: the chaos site
+    {!site} ["incr.hash"] models a corrupted cache, and {!trusted} is
+    the one gate through which cached hashes are read — an injected
+    fault there degrades to recomputing the hash from the underlying
+    value (under {!Chaos.protected}), mirroring the delta-path
+    degradation policy.  A corrupted hash can therefore cost a spurious
+    recomputation, never a wrong answer. *)
+
+val site : string
+(** The chaos site guarding every cached-hash read: ["incr.hash"]. *)
+
+val combine : int -> int -> int
+(** Mix two hashes, order-dependently. *)
+
+val of_value : 'a -> int
+(** Structural hash of an immutable value
+    ({!Hashtbl.hash_param} with widened meaningful/total node limits, so
+    rows of realistic width hash on their full contents). *)
+
+val trusted : cached:int option -> recompute:(unit -> int) -> int
+(** Read a cached hash through the {!site} chaos gate.  [None] always
+    recomputes.  [Some h] visits the site and returns [h] — unless an
+    injected degradable fault fires, in which case the fallback is
+    recorded and [recompute] runs under {!Chaos.protected} (the
+    recovery may not itself be faulted).  [recompute] is expected to
+    rebuild from the ground truth and re-cache. *)

@@ -1,0 +1,88 @@
+(* Memoized computation nodes with backdating; see memo.mli. *)
+
+type 'a t = {
+  name : string;
+  compute : unit -> 'a;
+  m_hash : 'a -> int;
+  m_equal : ('a -> 'a -> bool) option;
+  deps : (unit -> int) list;
+  mutable dep_versions : int array;  (* [||] = never ran *)
+  mutable cached : 'a option;
+  mutable cached_hash : int;
+  mutable version : int;
+}
+
+let create ?equal ~name ~hash ~deps compute =
+  {
+    name;
+    compute;
+    m_hash = hash;
+    m_equal = equal;
+    deps;
+    dep_versions = [||];
+    cached = None;
+    cached_hash = 0;
+    version = 0;
+  }
+
+let version t = t.version
+
+let current_deps t = Array.of_list (List.map (fun f -> f ()) t.deps)
+
+let recompute (t : 'a t) (vs : int array) : 'a =
+  Stats.miss t.name;
+  let v = t.compute () in
+  let h = t.m_hash v in
+  t.dep_versions <- vs;
+  match t.cached with
+  | Some old
+    when t.cached_hash = h
+         && (match t.m_equal with Some eq -> eq old v | None -> true) ->
+      (* backdating: the recomputation round-tripped to the same value,
+         so keep the old value (physically shared downstream) and the
+         old version — downstream memos see no change *)
+      Stats.backdate t.name;
+      old
+  | _ ->
+      t.cached <- Some v;
+      t.cached_hash <- h;
+      t.version <- t.version + 1;
+      v
+
+let rec force (t : 'a t) : 'a =
+  let vs = current_deps t in
+  let unchanged =
+    Array.length t.dep_versions = Array.length vs
+    &&
+    let n = Array.length vs in
+    let rec go i = i >= n || (vs.(i) = t.dep_versions.(i) && go (i + 1)) in
+    go 0
+  in
+  match t.cached with
+  | Some v when unchanged -> (
+      (* the hit path trusts cached bookkeeping — gate it through the
+         incr.hash chaos site, degrading to a full recomputation *)
+      match Esm_core.Chaos.point Esm_core.Shash.site with
+      | () ->
+          Stats.hit t.name;
+          v
+      | exception exn when Esm_core.Error.degradable_exn exn ->
+          Esm_core.Chaos.note_fallback Esm_core.Shash.site;
+          Esm_core.Chaos.protected (fun () -> recompute t vs))
+  | _ -> recompute t vs
+
+and dep t () =
+  (* pull-based dirtiness propagation: bring this memo up to date
+     before reporting its version, so a downstream force sees the
+     version a backdated recomputation kept (and skips), or the bumped
+     one a real change produced (and re-runs) *)
+  ignore (force t);
+  t.version
+
+let poison t =
+  (* flip the cached hash (disables backdating for the next run) and
+     desynchronise the recorded dependency versions (forces a
+     recomputation) — the worst a corrupted cache can do here is spend
+     work, by construction of [force]'s hit condition *)
+  t.cached_hash <- t.cached_hash lxor 0x5A5A5A5A;
+  t.dep_versions <- Array.map (fun v -> lnot v) t.dep_versions

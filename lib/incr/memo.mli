@@ -1,0 +1,56 @@
+(** A memoized computation node: re-runs only when an upstream changed,
+    with {e backdating} — a recomputation whose result is structurally
+    identical to the cached value does not dirty downstream memos.
+
+    Change detection is by upstream {e version}: a memo records the
+    version of every dependency (a {!Signal.dep} or another memo's
+    {!dep}) at its last run, and {!force} is a cache hit when all of
+    them are unchanged.  After a recomputation, the new value's
+    structural hash is compared to the cached one (then verified with
+    [equal] when supplied): a match keeps the {e old} value and the
+    {e old} version — downstream sees nothing.
+
+    The cached bookkeeping is read through the ["incr.hash"] chaos gate
+    ({!Esm_core.Shash.site}): an injected fault on the hit path
+    distrusts the cache and recomputes in full under
+    {!Esm_core.Chaos.protected}, so a corrupted cache costs a spurious
+    recomputation, never a stale value — the same degradation contract
+    as {!Esm_relational.Rlens.put_delta}.  {!poison} corrupts the
+    bookkeeping on purpose, for tests of exactly that property. *)
+
+type 'a t
+
+val create :
+  ?equal:('a -> 'a -> bool) ->
+  name:string ->
+  hash:('a -> int) ->
+  deps:(unit -> int) list ->
+  (unit -> 'a) ->
+  'a t
+(** A memo over [compute], re-run whenever any of [deps] reports a new
+    version.  [name] keys the {!Stats} counter.  [compute] must not
+    keep private mutable state across runs (it is re-run at
+    unpredictable times) and should read its inputs from the
+    dependencies' current values. *)
+
+val force : 'a t -> 'a
+(** The current value: the cached one when every dependency version is
+    unchanged (a {!Stats.hit}), a recomputation otherwise (a
+    {!Stats.miss}, plus a {!Stats.backdate} when the result turned out
+    identical and downstream is not dirtied). *)
+
+val version : 'a t -> int
+(** Bumped only by recomputations that produced a structurally new
+    value — the signal downstream memos subscribe to. *)
+
+val dep : 'a t -> unit -> int
+(** Register this memo as a dependency of a downstream memo.  The
+    thunk {!force}s this memo first (pull-based propagation), so a
+    downstream's dependency check observes the version an up-to-date
+    run kept or bumped — a backdated recomputation upstream therefore
+    reads as "unchanged" downstream. *)
+
+val poison : 'a t -> unit
+(** Corrupt the cached hash and dependency-version bookkeeping (test
+    hook).  A poisoned memo must degrade to recomputation — observable
+    as extra misses, never as a stale {!force} result. *)

@@ -1,0 +1,30 @@
+(* Versioned input cells with backdating; see signal.mli. *)
+
+type 'a t = {
+  s_hash : 'a -> int;
+  s_equal : ('a -> 'a -> bool) option;
+  mutable value : 'a;
+  mutable vhash : int;
+  mutable version : int;
+}
+
+let create ?equal ~hash v =
+  { s_hash = hash; s_equal = equal; value = v; vhash = hash v; version = 1 }
+
+let get t = t.value
+let version t = t.version
+let hash t = t.vhash
+
+let set t v =
+  let h = t.s_hash v in
+  let same =
+    h = t.vhash
+    && match t.s_equal with Some eq -> eq t.value v | None -> true
+  in
+  if not same then begin
+    t.value <- v;
+    t.vhash <- h;
+    t.version <- t.version + 1
+  end
+
+let dep t () = t.version

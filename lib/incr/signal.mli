@@ -1,0 +1,35 @@
+(** A versioned input cell — the root of a [Signal → Memo → Memo]
+    pipeline (after the two-memo incremental parser pipeline in
+    SNIPPETS.md).
+
+    A signal holds a value, its structural hash, and a version number.
+    {!set} {e backdates}: writing a value that hashes (and, when an
+    equality is supplied, compares) equal to the current one keeps the
+    old value {e and the old version}, so downstream memos keyed on
+    {!version} see no change and skip their recomputation. *)
+
+type 'a t
+
+val create : ?equal:('a -> 'a -> bool) -> hash:('a -> int) -> 'a -> 'a t
+(** A signal at version 1.  [hash] must be a structural hash of the
+    value ({!Esm_core.Shash.of_value} when in doubt); [equal] makes
+    backdating exact — without it, matching hashes alone are trusted,
+    which is fine for rejection-quality hashes over small values but
+    admits collisions in principle. *)
+
+val get : 'a t -> 'a
+val version : 'a t -> int
+(** Bumped by every {!set} that actually changed the value. *)
+
+val hash : 'a t -> int
+(** The cached structural hash of the current value (O(1)). *)
+
+val set : 'a t -> 'a -> unit
+(** Write a new value.  If it is structurally identical to the current
+    one (hash fast-path, then [equal] when supplied) the signal is
+    backdated: value and version are untouched.  Otherwise value, hash
+    and version all advance. *)
+
+val dep : 'a t -> unit -> int
+(** The version thunk a downstream {!Memo.t} registers as a
+    dependency. *)

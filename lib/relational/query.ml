@@ -452,8 +452,10 @@ let pedigree ~(schema : Schema.t) ~(key : string list) (q : t) :
     ({!Rlens.dlens}): same supported stages and checks as {!to_lens},
     but view edits can be pushed back incrementally with
     {!Rlens.put_delta} / {!Dml.through_delta} instead of replacing the
-    whole view. *)
-let to_dlens ~(schema : Schema.t) ~(key : string list) (q : t) : Rlens.dlens =
+    whole view.  This is the cold compiler; {!to_dlens} routes through
+    the plan cache. *)
+let to_dlens_uncached ~(schema : Schema.t) ~(key : string list) (q : t) :
+    Rlens.dlens =
   let rec go : t -> Rlens.dlens * Schema.t * string list = function
     | Base _ -> (Rlens.did, schema, key)
     | Where (p, q) ->
@@ -502,6 +504,45 @@ let to_dlens ~(schema : Schema.t) ~(key : string list) (q : t) : Rlens.dlens =
       Esm_core.Pedigree.Plan
         { query = to_string q; body = dl.Rlens.pedigree };
   }
+
+(* ------------------------------------------------------------------ *)
+(* The plan cache                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Compiled plans are pure closures over (query, schema, key) — the
+   printer is deterministic and [parse ∘ pp] round-trips, so the
+   printed forms are a faithful cache key.  The cached dlens carries
+   its full [Pedigree.Plan] provenance, so a cache hit reports exactly
+   the law level of its cold-compile twin — memoization can never
+   launder law levels (regression-tested in test/test_incr.ml and the
+   "relational/memoized-plan" catalog entry). *)
+let plan_cache : (string * string * string, Rlens.dlens) Hashtbl.t =
+  Hashtbl.create 64
+
+(* One workload compiles a handful of plans; the bound only guards
+   against adversarial churn.  Eviction is wholesale — simplicity over
+   LRU bookkeeping at this size. *)
+let plan_cache_bound = 512
+
+let clear_plan_cache () = Hashtbl.reset plan_cache
+
+(** {!to_dlens_uncached} through the plan cache, keyed by the printed
+    query, the schema, and the key columns.  Reports to the
+    ["query.plan"] {!Esm_incr.Stats} counter.  Uncompilable shapes
+    raise before anything is cached. *)
+let to_dlens ~(schema : Schema.t) ~(key : string list) (q : t) : Rlens.dlens =
+  let k = (to_string q, Schema.to_string schema, String.concat "," key) in
+  match Hashtbl.find_opt plan_cache k with
+  | Some dl ->
+      Esm_incr.Stats.hit "query.plan";
+      dl
+  | None ->
+      Esm_incr.Stats.miss "query.plan";
+      let dl = to_dlens_uncached ~schema ~key q in
+      if Hashtbl.length plan_cache >= plan_cache_bound then
+        Hashtbl.reset plan_cache;
+      Hashtbl.replace plan_cache k dl;
+      dl
 
 (** Parse a view definition and compile it to a delta-capable lens. *)
 let dlens_of_string ~schema ~key (input : string) : Rlens.dlens =

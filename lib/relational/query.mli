@@ -107,7 +107,22 @@ val to_dlens : schema:Schema.t -> key:string list -> t -> Rlens.dlens
 (** Like {!to_lens}, but delta-capable: view edits can be pushed back
     incrementally with {!Rlens.put_delta} instead of replacing the whole
     view.  The result's [pedigree] is a [Plan] node over the combinator
-    pipeline. *)
+    pipeline.
+
+    Memoized: compilation is pure in (query, schema, key) — the printed
+    forms key a process-wide plan cache, so repeated compilations of
+    the same view are O(1) hits (the ["query.plan"] {!Esm_incr.Stats}
+    counter).  A cached plan carries its full pedigree; a hit reports
+    exactly the law level of a cold compile. *)
+
+val to_dlens_uncached : schema:Schema.t -> key:string list -> t -> Rlens.dlens
+(** The cold compiler behind {!to_dlens}, bypassing the plan cache —
+    the reference for cache-transparency tests (law-level parity of a
+    memo hit vs a fresh compile). *)
+
+val clear_plan_cache : unit -> unit
+(** Drop every cached plan (they recompile on next use).  For tests
+    that need a guaranteed cold compile through {!to_dlens} itself. *)
 
 val dlens_of_string :
   schema:Schema.t -> key:string list -> string -> Rlens.dlens

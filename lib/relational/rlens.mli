@@ -82,7 +82,19 @@ type dlens = {
   translate : Table.t -> Row_delta.t list -> Row_delta.t list;
   pedigree : Esm_core.Pedigree.t;
       (** Combinator-by-combinator provenance of the pipeline. *)
+  mutable view_cache : (Table.t * Table.t) option;
+      (** {!get_memo}'s single-entry (source, view) cache — benign
+          mutation, owned by the dlens. *)
 }
+
+val get_memo : dlens -> Table.t -> Table.t
+(** Memoized [Lens.get]: returns the cached view when the source is
+    unchanged — O(1) on a physical witness match, structural hash
+    rejection plus {!Table.equal} verification otherwise (a hash match
+    is never trusted unverified).  An injected fault at the
+    ["incr.hash"] chaos site bypasses the cache and rematerializes in
+    full, so a corrupted cache costs work, never staleness.  Reports to
+    the ["rlens.view"] {!Esm_incr.Stats} counter. *)
 
 val put_delta : dlens -> Table.t -> Row_delta.t list -> Table.t
 (** Apply view deltas through the translated source deltas.  On a

@@ -33,9 +33,15 @@ type t = {
   rows : Row.t array; (* sorted by Row.compare, distinct *)
   mutable key_indexes : (int list * (Value.t list, Row.t) Hashtbl.t) list;
       (* memoized key-tuple indexes, keyed by the column positions *)
+  mutable hash_acc : int option;
+      (* memoized xor of per-row structural hashes — [None] until first
+         use, maintained incrementally across insert/delete (xor is
+         history-independent, so order does not matter), rebuilt from
+         the rows through the incr.hash chaos gate like the key-index
+         memo is rebuilt by the validate-and-rebuild policy *)
 }
 
-let make_sorted schema rows = { schema; rows; key_indexes = [] }
+let make_sorted schema rows = { schema; rows; key_indexes = []; hash_acc = None }
 
 let normalise rows = Array.of_list (List.sort_uniq Row.compare rows)
 
@@ -86,6 +92,21 @@ let search (rows : Row.t array) (r : Row.t) : (int, int) result =
 
 let mem t r = match search t.rows r with Ok _ -> true | Error _ -> false
 
+(* The per-row structural hash feeding the table hash: must be the one
+   function everywhere — the incremental xor maintenance and the
+   ground-truth rebuild have to agree bit for bit. *)
+let row_hash (r : Row.t) : int = Esm_core.Shash.of_value r
+
+(* Carry a parent's memoized hash accumulator across a one-row edit:
+   xor'ing the touched row's hash in (insert) or out (delete) is exact
+   because the accumulator is order-independent.  A parent without a
+   memoized hash passes nothing on (lazy, like the key indexes). *)
+let inherit_hash (parent : t) (child : t) (r : Row.t) : t =
+  (match parent.hash_acc with
+  | Some acc -> child.hash_acc <- Some (acc lxor row_hash r)
+  | None -> ());
+  child
+
 let insert t r =
   check_conforms "insert" t.schema r;
   match search t.rows r with
@@ -95,7 +116,7 @@ let insert t r =
       let rows = Array.make (n + 1) r in
       Array.blit t.rows 0 rows 0 i;
       Array.blit t.rows i rows (i + 1) (n - i);
-      make_sorted t.schema rows
+      inherit_hash t (make_sorted t.schema rows) r
 
 let delete t r =
   match search t.rows r with
@@ -105,7 +126,7 @@ let delete t r =
       let rows = Array.make (n - 1) t.rows.(0) in
       Array.blit t.rows 0 rows 0 i;
       Array.blit t.rows (i + 1) rows i (n - i - 1);
-      make_sorted t.schema rows
+      inherit_hash t (make_sorted t.schema rows) r
 
 let filter (keep : Row.t -> bool) t =
   (* filtering preserves sortedness and distinctness *)
@@ -282,14 +303,50 @@ let mem_key (t : t) ~(key : int list) (k : Value.t list) : bool =
   Hashtbl.mem (key_index t key) k
 
 (* ------------------------------------------------------------------ *)
-(* Equality and printing                                               *)
+(* Structural hash, equality and printing                              *)
 (* ------------------------------------------------------------------ *)
+
+(* The memoized accumulator, read through the incr.hash chaos gate: an
+   injected fault distrusts the cache and rebuilds from the rows (under
+   [protected]), re-caching the ground truth — the same
+   invalidate-and-rebuild policy as {!revalidate_indexes}. *)
+let hash_acc (t : t) : int =
+  Esm_core.Shash.trusted ~cached:t.hash_acc ~recompute:(fun () ->
+      let acc = Array.fold_left (fun h r -> h lxor row_hash r) 0 t.rows in
+      t.hash_acc <- Some acc;
+      acc)
+
+(** The structural hash: O(1) once memoized (and maintained across
+    {!insert}/{!delete}), O(n) to build.  Equal tables hash equal;
+    unequal hashes certify unequal tables — the rejection direction the
+    caches rely on.  Hash equality proves nothing and must be verified
+    with {!equal}. *)
+let hash (t : t) : int =
+  Esm_core.Shash.combine
+    (Esm_core.Shash.of_value (Schema.columns t.schema))
+    (Esm_core.Shash.combine (Array.length t.rows) (hash_acc t))
+
+(* O(1) certain-inequality: when both sides already memoized their
+   accumulator and the accumulators differ, the row sets differ.  The
+   rejection trusts cached hashes, so it too passes through the
+   incr.hash gate — a fault there just declines to reject (degrading to
+   the row-wise comparison), never answers wrongly. *)
+let hashes_reject (t1 : t) (t2 : t) : bool =
+  match (t1.hash_acc, t2.hash_acc) with
+  | Some h1, Some h2 when h1 <> h2 -> (
+      match Esm_core.Chaos.point Esm_core.Shash.site with
+      | () -> true
+      | exception exn when Esm_core.Error.degradable_exn exn ->
+          Esm_core.Chaos.note_fallback Esm_core.Shash.site;
+          false)
+  | _ -> false
 
 let equal t1 t2 =
   t1 == t2
   || Schema.equal t1.schema t2.schema
      && (t1.rows == t2.rows
         || Array.length t1.rows = Array.length t2.rows
+           && (not (hashes_reject t1 t2))
            && (let n = Array.length t1.rows in
                let rec go i =
                  i >= n || (Row.equal t1.rows.(i) t2.rows.(i) && go (i + 1))

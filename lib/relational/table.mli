@@ -104,9 +104,28 @@ val find_by_key : t -> key:int list -> Value.t list -> Row.t option
 
 val mem_key : t -> key:int list -> Value.t list -> bool
 
+(** {1 Structural hash}
+
+    The substrate of the incremental recomputation layer (see
+    [docs/PERFORMANCE.md], "Incremental recomputation"): an O(1)
+    memoized hash whose {e inequality} certifies table inequality, used
+    by the view/plan caches for fast rejection.  The accumulator is the
+    xor of per-row structural hashes — history-independent, so
+    {!insert}/{!delete} maintain it in O(1) from the parent's; other
+    constructors leave it to be rebuilt lazily.  Cached reads pass
+    through the ["incr.hash"] chaos gate ({!Esm_core.Shash.site}): an
+    injected fault rebuilds from the rows, mirroring the key-index
+    validate-and-rebuild policy. *)
+
+val hash : t -> int
+(** O(1) once memoized (first call is O(n)).  Equal tables hash equal;
+    distinct hashes certify distinct tables; matching hashes must be
+    verified with {!equal}. *)
+
 val equal : t -> t -> bool
 (** Relational equality; short-circuits on physically shared row
-    storage before falling back to the row-wise comparison. *)
+    storage, then on memoized structural hashes that certify
+    inequality, before falling back to the row-wise comparison. *)
 
 val pp : Format.formatter -> t -> unit
 (** ASCII-art rendering with padded columns. *)

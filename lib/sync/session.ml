@@ -73,9 +73,18 @@ let submit (t : ('a, 'b, 'da, 'db) t) (op : ('a, 'b, 'da, 'db) Store.op) :
 
 let pull (t : ('a, 'b, 'da, 'db) t) :
     ('a, 'b, 'da, 'db) Store.op Oplog.entry list =
-  let entries = Store.entries_since t.store t.base in
-  t.base <- Store.version t.store;
-  entries
+  (* the overwhelmingly common poll: nothing committed since this
+     session's base — answer [] without touching the oplog at all *)
+  if t.base = Store.version t.store then begin
+    Esm_incr.Stats.hit "session.poll";
+    []
+  end
+  else begin
+    Esm_incr.Stats.miss "session.poll";
+    let entries = Store.entries_since t.store t.base in
+    t.base <- Store.version t.store;
+    entries
+  end
 
 let submit_rebase (t : ('a, 'b, 'da, 'db) t)
     (op : ('a, 'b, 'da, 'db) Store.op) :

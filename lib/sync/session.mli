@@ -44,7 +44,10 @@ val submit :
 val pull : ('a, 'b, 'da, 'db) t -> ('a, 'b, 'da, 'db) Store.op Oplog.entry list
 (** The oplog suffix committed since this session's base (oldest
     first), advancing the base to the store head — how a session
-    receives rebased updates. *)
+    receives rebased updates.  Polling an unchanged store ({!base} =
+    store version) short-circuits to [[]] without touching the oplog;
+    hit/miss counts report to the ["session.poll"] {!Esm_incr.Stats}
+    counter. *)
 
 val submit_rebase :
   ('a, 'b, 'da, 'db) t ->

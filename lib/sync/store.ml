@@ -35,6 +35,7 @@
     version — never a partial commit. *)
 
 open Esm_core
+module Stats = Esm_incr.Stats
 
 type ('a, 'b, 'da, 'db) op =
   | Set_a of 'a
@@ -89,6 +90,11 @@ type ('a, 'b, 'da, 'db) t =
       durable : (('a, 'b, 'da, 'db) op_codec * Durable_log.writer) option;
       mutable state : 's;
       mutable version : int;  (** the version [state] is at *)
+      mutable view_cache_a : (int * 'a) option;
+          (** last materialised A view, keyed by the version it was
+              read at — sound because the state at a committed version
+              is deterministic (replay reproduces it exactly) *)
+      mutable view_cache_b : (int * 'b) option;
     }
       -> ('a, 'b, 'da, 'db) t
 
@@ -113,6 +119,8 @@ let of_packed ?(name = "store") ?snapshot_every ?apply_da ?apply_db ?persist
       durable;
       state = repr.Concrete.init;
       version = 0;
+      view_cache_a = None;
+      view_cache_b = None;
     }
 
 let name (Store s) = s.name
@@ -127,8 +135,46 @@ let close (Store s) =
 let pedigree (Store s) = s.pedigree
 let version (Store s) = s.version
 let head_version (Store s) = Oplog.head_version s.log
-let view_a (Store s) = s.bx.Concrete.get_a s.state
-let view_b (Store s) = s.bx.Concrete.get_b s.state
+let view_a_uncached (Store s) = s.bx.Concrete.get_a s.state
+let view_b_uncached (Store s) = s.bx.Concrete.get_b s.state
+
+(* The memoized view-read path: a poll of an unchanged store returns
+   the cached materialization in O(1).  The hit path trusts cached
+   bookkeeping, so it passes through the incr.hash chaos gate — an
+   injected fault bypasses the cache and rematerializes under
+   [protected] (a corrupted cache costs work, never a stale view). *)
+let cached_view (type v) ~(version : int) ~(read : unit -> (int * v) option)
+    ~(write : (int * v) option -> unit) ~(materialise : unit -> v) : v =
+  let recompute () =
+    let v = materialise () in
+    write (Some (version, v));
+    v
+  in
+  match read () with
+  | Some (at, v) when at = version -> (
+      match Chaos.point Shash.site with
+      | () ->
+          Stats.hit "store.view";
+          v
+      | exception exn when Error.degradable_exn exn ->
+          Chaos.note_fallback Shash.site;
+          Stats.miss "store.view";
+          Chaos.protected recompute)
+  | _ ->
+      Stats.miss "store.view";
+      recompute ()
+
+let view_a (Store s) =
+  cached_view ~version:s.version
+    ~read:(fun () -> s.view_cache_a)
+    ~write:(fun c -> s.view_cache_a <- c)
+    ~materialise:(fun () -> s.bx.Concrete.get_a s.state)
+
+let view_b (Store s) =
+  cached_view ~version:s.version
+    ~read:(fun () -> s.view_cache_b)
+    ~write:(fun c -> s.view_cache_b <- c)
+    ~materialise:(fun () -> s.bx.Concrete.get_b s.state)
 let entries_since (Store s) v = Oplog.entries_since s.log v
 let log_sessions (Store s) = Oplog.sessions s.log
 
@@ -259,7 +305,10 @@ let commit ?expect ~(session : string) (Store s : ('a, 'b, 'da, 'db) t)
 let crash (Store s : ('a, 'b, 'da, 'db) t) : unit =
   let version, snap = Oplog.latest_snapshot s.log in
   s.state <- snap;
-  s.version <- version
+  s.version <- version;
+  (* volatile caches die with the process they model *)
+  s.view_cache_a <- None;
+  s.view_cache_b <- None
 
 (** Recovery by replay: fold the oplog suffix after the snapshot back
     into the state.  Every replayed entry committed successfully once,
@@ -374,6 +423,8 @@ let reopen ?(name = "store") ?snapshot_every ?apply_da ?apply_db
                 durable = Some (codec, writer);
                 state = state0;
                 version = start;
+                view_cache_a = None;
+                view_cache_b = None;
               }
           in
           match recover store with

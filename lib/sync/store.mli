@@ -109,8 +109,25 @@ val version : ('a, 'b, 'da, 'db) t -> int
     exactly when the store has crashed and not yet recovered. *)
 
 val head_version : ('a, 'b, 'da, 'db) t -> int
+
 val view_a : ('a, 'b, 'da, 'db) t -> 'a
+(** The A view, through a version-keyed single-entry cache: reading an
+    unchanged store returns the last materialization in O(1) — the
+    common "nothing changed" poll.  Sound because the state at a
+    committed version is deterministic (recovery replays to it
+    exactly); the cache is dropped on {!crash} and read through the
+    ["incr.hash"] chaos gate (an injected fault rematerializes in full,
+    never serves stale).  Reports to the ["store.view"]
+    {!Esm_incr.Stats} counter. *)
+
 val view_b : ('a, 'b, 'da, 'db) t -> 'b
+
+val view_a_uncached : ('a, 'b, 'da, 'db) t -> 'a
+(** Materialise the A view from the state, bypassing the cache — the
+    reference for cache-transparency oracles and the bench's
+    unmemoized baseline. *)
+
+val view_b_uncached : ('a, 'b, 'da, 'db) t -> 'b
 
 val entries_since :
   ('a, 'b, 'da, 'db) t -> int -> ('a, 'b, 'da, 'db) op Oplog.entry list

@@ -41,4 +41,5 @@ let () =
       ("chaos (atomic + fault injection)", Test_atomic.suite);
       ("sync (replicated store)", Test_sync.suite);
       ("durable log", Test_durable_log.suite);
+      ("incr (reactive recomputation)", Test_incr.suite);
     ]
