@@ -4,6 +4,37 @@
 
    Modes:
 
+     esm_syncd --listen ADDR [--dir D]
+       A real daemon: serve the store over length-framed wire messages
+       on a Unix-domain ("unix:PATH") or TCP ("HOST:PORT", ":PORT")
+       socket, multiplexing every connection over one select loop.
+       SIGTERM/SIGINT request a clean drain: stop accepting, flush
+       queued responses, print the transport stats, exit 0.
+
+     esm_syncd --connect ADDR [--sessions N] [--ops N] [--seed N]
+       The matching client driver: bind N remote sessions (names are
+       pid-unique, so several --connect processes can share a server),
+       round-robin a seeded workload of batch commits, pulls, views and
+       pings across them with full retry/idempotency, then pull each
+       session to the head and report convergence.  Exit 1 if any
+       session failed or did not converge.
+
+     esm_syncd --soak --chaos-net [--seed N] [--ops N] [--sessions N]
+              [--require-converged]
+       Run the remote-session workload through the deterministic chaos
+       network (sites net.drop/dup/reorder/truncate/delay/halfopen,
+       driven by CHAOS_SEED like every other site) against the real
+       server core, and check the transport's own invariants:
+         no-lost/no-dup  the store head equals the number of commits
+                         the clients got (or resolved) an ack for —
+                         retries across half-open connections are
+                         deduplicated server-side, never double-applied,
+                         and every acked commit is really in the log;
+         convergence     after the net heals, every session pulls to
+                         the store head (enforced when
+                         --require-converged is given).
+       Exit 1 on any violation.
+
      esm_syncd --script FILE
        Replay a wire-protocol script: each non-empty, non-# line is
        "@<session> <request>" in the grammar of Esm_sync.Wire; lines
@@ -356,6 +387,313 @@ let check ~seed ~ops ~sessions (dir : string) : int =
             1)
 
 (* ------------------------------------------------------------------ *)
+(* Listen mode: the real daemon                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_listen ?dir (addr_s : string) : int =
+  match Transport.addr_of_string addr_s with
+  | Error e ->
+      Printf.eprintf "esm_syncd: %s\n" (Error.message e);
+      2
+  | Ok addr ->
+      let store = default_store ?dir ~seed:11 ~size:48 () in
+      let srv = Transport.Server.listen addr (Wire.serve store) in
+      Printf.printf "esm_syncd: listening on %s\n%!"
+        (Transport.string_of_addr (Transport.Server.addr srv));
+      let stop _ = Transport.Server.request_shutdown srv in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Transport.Server.run srv;
+      let st = Transport.Core.stats (Transport.Server.core srv) in
+      Printf.printf
+        "esm_syncd: drained and stopped (requests=%d executed=%d \
+         dedup-hits=%d stale=%d overloads=%d reaped=%d head=%d)\n%!"
+        st.Transport.Core.requests st.executed st.dedup_hits st.stale
+        st.overloads st.reaped (Store.version store);
+      Store.close store;
+      0
+
+(* ------------------------------------------------------------------ *)
+(* The remote workload shared by --connect and --soak --chaos-net      *)
+(* ------------------------------------------------------------------ *)
+
+(* One seeded client workload over a set of remote sessions, with the
+   at-most-once accounting the chaos-net soak asserts:
+
+     applied          submits acked [ok] — in the oplog exactly once;
+     rejected         submits answered with a definite error/conflict —
+                      rolled back, not in the oplog;
+     in-doubt         submits that failed transiently: the [resolve]
+                      callback (chaos soak: heal the net, resend the
+                      same envelope id) settles each one into one of
+                      the two buckets above, or counts it unresolved.
+
+   The no-lost/no-dup invariant is then exact: the store head — one
+   oplog entry per applied commit — must equal [applied]. *)
+type remote_stats = {
+  mutable applied : int;
+  mutable rejected : int;
+  mutable resolved_applied : int;
+  mutable resolved_rejected : int;
+  mutable unresolved : int;
+  mutable read_failures : int;
+}
+
+let remote_workload ~seed ~ops:n_ops
+    ~(resolve :
+       Transport.Remote_session.t -> (Wire.response, Error.t) result option)
+    (sessions : Transport.Remote_session.t list) : remote_stats =
+  let module R = Transport.Remote_session in
+  let r = Workload.rng ~seed in
+  let stats =
+    {
+      applied = 0;
+      rejected = 0;
+      resolved_applied = 0;
+      resolved_rejected = 0;
+      unresolved = 0;
+      read_failures = 0;
+    }
+  in
+  (* row ids unique across concurrent client processes *)
+  let fresh_id = ref (Unix.getpid () * 1_000_000) in
+  let new_row side =
+    incr fresh_id;
+    let name = Workload.pick r [ "nu"; "xi"; "pi"; "rho" ] ^ string_of_int !fresh_id in
+    match side with
+    | `A ->
+        Row.of_list
+          [
+            Value.Int !fresh_id;
+            Value.Str name;
+            Value.Str (Workload.pick r [ "Engineering"; "Sales"; "Ops" ]);
+            Value.Int (40_000 + (500 * Workload.int r 100));
+            Value.Str (name ^ "@example.com");
+          ]
+    | `B ->
+        Row.of_list
+          [ Value.Int !fresh_id; Value.Str name; Value.Str "Engineering" ]
+  in
+  let seen : (string, Row.t list) Hashtbl.t = Hashtbl.create 16 in
+  let sessions = Array.of_list sessions in
+  for i = 1 to n_ops do
+    let s = sessions.(Workload.int r (Array.length sessions)) in
+    (* reads refresh the removal pool; read failures are harmless to the
+       accounting (Get/Pull/Ping never touch the oplog) *)
+    if i mod 5 = 0 then begin
+      match R.view s with
+      | Ok (_, rows) -> Hashtbl.replace seen (R.name s) rows
+      | Error _ -> stats.read_failures <- stats.read_failures + 1
+    end;
+    if i mod 11 = 0 then
+      (match R.ping s with
+      | Ok () -> ()
+      | Error _ -> stats.read_failures <- stats.read_failures + 1);
+    let adds =
+      List.init (1 + Workload.int r 3) (fun _ ->
+          Row_delta.Add (new_row (R.side s)))
+    in
+    let deltas =
+      match Hashtbl.find_opt seen (R.name s) with
+      | Some (_ :: _ as rows) when Workload.int r 3 = 0 ->
+          Row_delta.Remove (Workload.pick r rows) :: adds
+      | _ -> adds
+    in
+    (match R.submit s (`Batch deltas) with
+    | Ok _ -> stats.applied <- stats.applied + 1
+    | Error e when Error.is_transient e -> (
+        (* outcome unknown: the last envelope id may or may not have
+           committed.  Settle it now — by dedup the resend can never
+           double-apply, so the answer is authoritative. *)
+        match resolve s with
+        | None -> stats.unresolved <- stats.unresolved + 1
+        | Some (Ok (Wire.Resp_ok _)) ->
+            stats.resolved_applied <- stats.resolved_applied + 1
+        | Some (Ok _) ->
+            stats.resolved_rejected <- stats.resolved_rejected + 1
+        | Some (Error _) -> stats.unresolved <- stats.unresolved + 1)
+    | Error _ -> stats.rejected <- stats.rejected + 1);
+    if Workload.int r 4 = 0 then
+      match R.pull s with
+      | Ok _ -> ()
+      | Error _ -> stats.read_failures <- stats.read_failures + 1
+  done;
+  stats
+
+let report_convergence ~label (store : Wire.rstore)
+    (sessions : Transport.Remote_session.t list) : int =
+  let module R = Transport.Remote_session in
+  let head = Store.version store in
+  let converged =
+    List.fold_left
+      (fun n s ->
+        match R.pull s with
+        | Ok (v, _) when v = head -> n + 1
+        | Ok (v, _) ->
+            Printf.printf "%s: session %s stopped at %d, head is %d\n" label
+              (R.name s) v head;
+            n
+        | Error e ->
+            Printf.printf "%s: session %s final pull failed: %s\n" label
+              (R.name s) (Error.message e);
+            n)
+      0 sessions
+  in
+  Printf.printf "%s: converged=%d/%d head=%d\n" label converged
+    (List.length sessions) head;
+  if converged = List.length sessions then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* Connect mode: the real-socket client driver                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_connect ~seed ~ops ~sessions:n_sessions (addr_s : string) : int =
+  let module R = Transport.Remote_session in
+  match Transport.addr_of_string addr_s with
+  | Error e ->
+      Printf.eprintf "esm_syncd: %s\n" (Error.message e);
+      2
+  | Ok addr -> (
+      let pid = Unix.getpid () in
+      let policy = { (Retry.default ~seed ()) with Retry.attempt_timeout = 5.0 } in
+      let bind_one i =
+        let name = Printf.sprintf "c%d-%d" pid (i + 1) in
+        let side = if i mod 2 = 0 then `A else `B in
+        R.bind ~policy (R.tcp_endpoint addr) ~name ~side
+      in
+      let rec bind_all acc i =
+        if i = n_sessions then Ok (List.rev acc)
+        else
+          match bind_one i with
+          | Ok s -> bind_all (s :: acc) (i + 1)
+          | Error e ->
+              List.iter R.close acc;
+              Error (i, e)
+      in
+      match bind_all [] 0 with
+      | Error (i, e) ->
+          Printf.eprintf "connect: bind of session %d failed: %s\n" (i + 1)
+            (Error.message e);
+          1
+      | Ok sessions ->
+          let stats =
+            remote_workload ~seed ~ops ~resolve:(fun s -> Some (R.resolve s))
+              sessions
+          in
+          (* a perfect network: every submit must have a definite
+             outcome and every session must reach at least the head we
+             observe — other client processes may still be committing,
+             so later pulls can legitimately land past it *)
+          let head =
+            match R.pull (List.hd sessions) with
+            | Ok (v, _) -> v
+            | Error _ -> -1
+          in
+          let converged =
+            List.fold_left
+              (fun n s ->
+                match R.pull s with Ok (v, _) when v >= head -> n + 1 | _ -> n)
+              0 sessions
+          in
+          Printf.printf
+            "connect: pid=%d sessions=%d ops=%d applied=%d rejected=%d \
+             resolved=%d/%d unresolved=%d read-failures=%d head=%d \
+             converged=%d/%d\n"
+            pid n_sessions ops stats.applied stats.rejected
+            stats.resolved_applied
+            (stats.resolved_applied + stats.resolved_rejected)
+            stats.unresolved stats.read_failures head converged n_sessions;
+          List.iter (fun s -> ignore (R.bye s); R.close s) sessions;
+          if converged = n_sessions && stats.unresolved = 0 && head >= 0 then 0
+          else 1)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-net soak: the same workload through the deterministic         *)
+(* fault-injecting network, with exact no-lost/no-dup accounting       *)
+(* ------------------------------------------------------------------ *)
+
+let net_soak ~seed ~ops ~sessions:n_sessions ~require_converged () : int =
+  let module R = Transport.Remote_session in
+  let store = default_store ~seed ~size:48 () in
+  let net = Transport.Chaos_net.create (Wire.serve store) in
+  let clock = Transport.Chaos_net.clock net in
+  let policy =
+    {
+      (Retry.default ~seed ()) with
+      Retry.max_attempts = 8;
+      base_delay = 0.02;
+      attempt_timeout = 0.5;
+      deadline = 60.0;
+    }
+  in
+  (* bind on a quiet net: the interesting chaos is on the data ops *)
+  let sessions =
+    Chaos.protected (fun () ->
+        List.init n_sessions (fun i ->
+            let name = Printf.sprintf "n%d" (i + 1) in
+            let side = if i mod 2 = 0 then `A else `B in
+            match
+              R.bind ~policy ~clock (Transport.Chaos_net.endpoint net) ~name
+                ~side
+            with
+            | Ok s -> s
+            | Error e ->
+                Printf.eprintf "net-soak: bind %s failed: %s\n" name
+                  (Error.message e);
+                exit 1))
+  in
+  (* settling an in-doubt commit = the net heals, the client resends the
+     same envelope id, the dedup window answers truthfully *)
+  let resolve s =
+    Transport.Chaos_net.drain net;
+    Some (Chaos.protected (fun () -> R.resolve s))
+  in
+  let stats = remote_workload ~seed ~ops ~resolve sessions in
+  Transport.Chaos_net.drain net;
+  let violations = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  (* no-lost/no-dup: one oplog entry per acked commit, nothing else *)
+  let acked = stats.applied + stats.resolved_applied in
+  let head = Store.version store in
+  if stats.unresolved > 0 then
+    fail "%d submit(s) could not be settled even on a healed network"
+      stats.unresolved
+  else if head <> acked then
+    fail
+      "store head %d <> %d acked commits — %s"
+      head acked
+      (if head > acked then "a retry double-applied" else "an acked commit was lost");
+  (* convergence: on the healed net every session pulls to the head *)
+  let conv_code =
+    Chaos.protected (fun () -> report_convergence ~label:"net-soak" store sessions)
+  in
+  if require_converged && conv_code <> 0 then
+    fail "--require-converged: not all sessions reached the head";
+  let n = Transport.Chaos_net.stats net in
+  let c = Transport.Core.stats (Transport.Chaos_net.core net) in
+  Printf.printf
+    "net-soak: seed=%d ops=%d sessions=%d applied=%d rejected=%d \
+     resolved=%d+%d unresolved=%d head=%d\n"
+    seed ops n_sessions stats.applied stats.rejected stats.resolved_applied
+    stats.resolved_rejected stats.unresolved head;
+  Printf.printf
+    "net: dropped=%d duped=%d reordered=%d truncated=%d delayed=%d \
+     halfopen=%d  core: requests=%d executed=%d dedup-hits=%d stale=%d \
+     overloads=%d\n"
+    n.Transport.Chaos_net.dropped n.duped n.reordered n.truncated n.delayed
+    n.half_opened c.Transport.Core.requests c.executed c.dedup_hits c.stale
+    c.overloads;
+  match !violations with
+  | [] ->
+      print_endline "net-soak: no lost commits, no duplicated commits";
+      0
+  | vs ->
+      List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev vs);
+      1
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -369,8 +707,24 @@ let () =
   let kill_at = ref 0 in
   let check_dir = ref "" in
   let require_poll_hits = ref false in
+  let listen = ref "" in
+  let connect = ref "" in
+  let chaos_net = ref false in
+  let require_converged = ref false in
   let specs =
     [
+      ( "--listen",
+        Arg.Set_string listen,
+        "ADDR serve the store on unix:PATH, HOST:PORT or :PORT" );
+      ( "--connect",
+        Arg.Set_string connect,
+        "ADDR drive remote sessions against a --listen daemon" );
+      ( "--chaos-net",
+        Arg.Set chaos_net,
+        " with --soak: run the workload through the chaos network" );
+      ( "--require-converged",
+        Arg.Set require_converged,
+        " with --chaos-net: exit 1 unless every session reaches the head" );
       ("--script", Arg.Set_string script, "FILE replay a wire-protocol script");
       ("--soak", Arg.Set do_soak, " run the random multi-session soak");
       ("--seed", Arg.Set_int seed, "N soak workload seed (default 42)");
@@ -392,10 +746,21 @@ let () =
         " exit 1 if the soak recorded zero session.poll cache hits" );
     ]
   in
-  let usage = "esm_syncd (--script FILE | --soak | --check-dir D) [options]" in
+  let usage =
+    "esm_syncd (--listen ADDR | --connect ADDR | --script FILE | --soak \
+     [--chaos-net] | --check-dir D) [options]"
+  in
   Arg.parse specs (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let code =
-    if !script <> "" then with_env_chaos (fun () -> run_script !script)
+    if !listen <> "" then
+      run_listen ?dir:(if !dir = "" then None else Some !dir) !listen
+    else if !connect <> "" then
+      run_connect ~seed:!seed ~ops:!ops ~sessions:!sessions !connect
+    else if !do_soak && !chaos_net then
+      with_env_chaos
+        (net_soak ~seed:!seed ~ops:!ops ~sessions:!sessions
+           ~require_converged:!require_converged)
+    else if !script <> "" then with_env_chaos (fun () -> run_script !script)
     else if !check_dir <> "" then
       check ~seed:!seed ~ops:!ops ~sessions:!sessions !check_dir
     else if !do_soak then begin

@@ -55,6 +55,26 @@ let protected (f : unit -> 'a) : 'a =
 
 let active () : t option = if !suppressed > 0 then None else !current
 
+(* When set, only the listed sites (by exact name or prefix) inject;
+   other sites neither fire nor advance their visit counters, so a
+   filtered schedule at the enabled sites matches the unfiltered one. *)
+let only_sites : string list option ref = ref None
+
+let at_sites (sites : string list) (f : unit -> 'a) : 'a =
+  let prev = !only_sites in
+  only_sites := Some sites;
+  Fun.protect ~finally:(fun () -> only_sites := prev) f
+
+let site_enabled (site : string) : bool =
+  match !only_sites with
+  | None -> true
+  | Some l ->
+      List.exists
+        (fun p ->
+          String.length site >= String.length p
+          && String.sub site 0 (String.length p) = p)
+        l
+
 (* The per-(seed, site, visit) decision.  [Hashtbl.hash] hashes
    structurally with a fixed seed, so the schedule is stable across runs
    and machines. *)
@@ -64,6 +84,7 @@ let fires (t : t) (site : string) (visit : int) : bool =
 let point (site : string) : unit =
   match active () with
   | None -> ()
+  | Some _ when not (site_enabled site) -> ()
   | Some t ->
       let visit =
         match Hashtbl.find_opt t.counters site with Some n -> n | None -> 0

@@ -26,6 +26,14 @@ val protected : (unit -> 'a) -> 'a
 val active : unit -> t option
 (** The installed instance, unless injection is suspended. *)
 
+val at_sites : string list -> (unit -> 'a) -> 'a
+(** Run the thunk with injection restricted to the listed sites, matched
+    by exact name or prefix (["net."] enables every network site).
+    Filtered-out sites neither fire nor advance their visit counters, so
+    the schedule at the enabled sites is the same as it would be in an
+    unfiltered run.  Scoped and restored like {!with_chaos}; composes
+    with it in either order. *)
+
 val point : string -> unit
 (** A fault site.  No-op without an active instance; otherwise counts
     the visit and raises an injected {!Error.Fault} ({!Error.Bx_error})

@@ -37,6 +37,16 @@ type kind =
   | Corrupt
       (** an on-disk log failed validation beyond what crash recovery
           may repair ([Esm_sync.Durable_log]) *)
+  | Transport of [ `Transient | `Permanent ]
+      (** a network-layer failure ([Esm_sync.Transport]): a broken or
+          half-open connection, a mangled frame, a classified
+          [Unix.Unix_error].  The flag drives retry policy: [`Transient]
+          failures are worth a backoff-and-resend, [`Permanent] ones are
+          not *)
+  | Timeout  (** a per-request or retry-budget deadline expired *)
+  | Overload
+      (** the server shed this request: the connection's pending-response
+          queue exceeded its bound ([Esm_sync.Transport]) *)
   | Other  (** a classified bx error of no more specific kind *)
 
 let kind_name = function
@@ -50,6 +60,10 @@ let kind_name = function
   | Index -> "index"
   | Conflict -> "conflict"
   | Corrupt -> "corrupt"
+  | Transport `Transient -> "transport.transient"
+  | Transport `Permanent -> "transport.permanent"
+  | Timeout -> "timeout"
+  | Overload -> "overload"
   | Other -> "other"
 
 type t = {
@@ -105,6 +119,28 @@ let raisef kind ?wrap fmt =
 (* Classification                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* A [Unix_error] is transient exactly when the same call stands a
+   chance of succeeding after a reconnect or a short wait: the
+   interrupted/again family, and the peer-or-path failures a lossy
+   network produces.  Everything else — bad descriptors, permissions,
+   address misconfiguration — retrying cannot fix. *)
+let transient_unix_error : Unix.error -> bool = function
+  | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.EINPROGRESS
+  | Unix.EALREADY | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.ECONNREFUSED
+  | Unix.EPIPE | Unix.ETIMEDOUT | Unix.EHOSTUNREACH | Unix.EHOSTDOWN
+  | Unix.ENETDOWN | Unix.ENETUNREACH | Unix.ENETRESET | Unix.ENOBUFS ->
+      true
+  | _ -> false
+
+let of_unix_error (e : Unix.error) (fn : string) (arg : string) : t =
+  let flag = if transient_unix_error e then `Transient else `Permanent in
+  {
+    kind = Transport flag;
+    op = fn;
+    detail =
+      (Unix.error_message e ^ if arg = "" then "" else Printf.sprintf " (%s)" arg);
+  }
+
 let classifiers : (exn -> t option) list ref = ref []
 
 let register_classifier (f : exn -> t option) : unit =
@@ -117,6 +153,7 @@ let of_exn (exn : exn) : t option =
   match exn with
   | Bx_error e -> Some e
   | Esm_lens.Lens.Shape_error msg -> Some (of_message Shape msg)
+  | Unix.Unix_error (e, fn, arg) -> Some (of_unix_error e fn arg)
   | _ -> List.find_map (fun f -> f exn) !classifiers
 
 let is_bx_exn (exn : exn) : bool = Option.is_some (of_exn exn)
@@ -131,3 +168,24 @@ let is_degradable (e : t) : bool =
 
 let degradable_exn (exn : exn) : bool =
   match of_exn exn with Some e -> is_degradable e | None -> false
+
+(** Transient errors are worth a backoff-and-resend of the {e same}
+    request: the network broke ([Transport `Transient]), the answer
+    never came ([Timeout]), or the server shed the request unexecuted
+    ([Overload]). *)
+let is_transient (e : t) : bool =
+  match e.kind with
+  | Transport `Transient | Timeout | Overload -> true
+  | _ -> false
+
+(** Retryable extends transient with the failures where {e re-executing}
+    the operation can succeed: an optimistic-concurrency [Conflict]
+    (rebase and go again) and an injected [Fault] (the chaos schedule
+    moves on at the next visit).  Retry loops distinguish the two
+    classes by what the server saw — a transient failure retries under
+    the same idempotency key, a retryable execution failure needs a
+    fresh one ([Esm_sync.Transport.Remote_session]). *)
+let retryable (e : t) : bool =
+  match e.kind with
+  | Conflict | Fault -> true
+  | _ -> is_transient e

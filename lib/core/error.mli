@@ -28,6 +28,19 @@ type kind =
           mismatch, a version gap ([Esm_sync.Durable_log]).  A torn
           {e tail} is {e not} [Corrupt]: that is the artifact an honest
           crash leaves, and recovery truncates it silently. *)
+  | Transport of [ `Transient | `Permanent ]
+      (** a network-layer failure ([Esm_sync.Transport]): a broken or
+          half-open connection, a mangled frame, a classified
+          [Unix.Unix_error].  The flag makes retry policy type-driven:
+          [`Transient] failures (connection reset, timeout family,
+          unreachable peer) are worth a backoff-and-resend, [`Permanent]
+          ones (bad descriptor, permissions, misconfigured address) are
+          not. *)
+  | Timeout  (** a per-request or retry-budget deadline expired *)
+  | Overload
+      (** the server shed this request unexecuted: the connection's
+          pending-response queue exceeded its bound
+          ([Esm_sync.Transport]) — back off and resend *)
   | Other  (** a classified bx error of no more specific kind *)
 
 val kind_name : kind -> string
@@ -84,3 +97,23 @@ val is_degradable : t -> bool
     oracle instead of failing the operation. *)
 
 val degradable_exn : exn -> bool
+
+val of_unix_error : Unix.error -> string -> string -> t
+(** Classify a [Unix.Unix_error (err, fn, arg)] payload into a
+    [Transport] error whose transient/permanent flag is decided by the
+    errno (the interrupted/again family and peer-or-path failures are
+    transient; descriptor, permission and address errors are
+    permanent).  {!of_exn} applies this to raw [Unix.Unix_error]
+    exceptions, so socket code needs no string matching to build a
+    retry policy. *)
+
+val is_transient : t -> bool
+(** [Transport `Transient], [Timeout] and [Overload]: the request may
+    never have executed — resend the {e same} request (same idempotency
+    key) after a backoff. *)
+
+val retryable : t -> bool
+(** {!is_transient} plus [Conflict] and [Fault]: failures where
+    retrying can succeed, though for these the server definitely
+    executed (and rejected) the request, so a retry must re-execute
+    under a {e fresh} idempotency key. *)

@@ -1,0 +1,85 @@
+(** Bounded retry with exponential backoff and seed-deterministic
+    jitter.
+
+    The jitter factor for a given [(seed, key, attempt)] comes from
+    [Hashtbl.hash] exactly like the {!Esm_core.Chaos} fault schedule
+    comes from [(seed, site, visit)] — structural hashing with a fixed
+    seed, so the delay sequence of a retry loop is reproducible across
+    runs and machines.  That determinism is what lets the chaos-net
+    soak assert byte-identical convergence behaviour per seed, and what
+    keeps a thundering herd from synchronising: distinct keys (one per
+    session) jitter apart. *)
+
+open Esm_core
+
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  multiplier : float;
+  jitter : float;
+  seed : int;
+  attempt_timeout : float;
+  deadline : float;
+}
+
+let default ?(seed = 0) () : policy =
+  {
+    max_attempts = 6;
+    base_delay = 0.025;
+    max_delay = 1.0;
+    multiplier = 2.0;
+    jitter = 0.5;
+    seed;
+    attempt_timeout = 1.0;
+    deadline = 30.0;
+  }
+
+let delay (p : policy) ~(key : string) ~(attempt : int) : float =
+  let attempt = max 1 attempt in
+  let raw = p.base_delay *. (p.multiplier ** float_of_int (attempt - 1)) in
+  let capped = Float.min raw p.max_delay in
+  (* deterministic factor in [1 - jitter, 1 + jitter] *)
+  let h = Hashtbl.hash (p.seed, key, attempt) mod 1_000_000 in
+  let unit = float_of_int h /. 1_000_000.0 in
+  capped *. (1.0 -. p.jitter +. (2.0 *. p.jitter *. unit))
+
+type clock = { now : unit -> float; sleep : float -> unit }
+
+let system_clock : clock = { now = Unix.gettimeofday; sleep = Unix.sleepf }
+
+let manual_clock ?(start = 0.0) () : clock =
+  let t = ref start in
+  { now = (fun () -> !t); sleep = (fun d -> t := !t +. Float.max 0.0 d) }
+
+let timeout_error ~key ~attempt ~spent : Error.t =
+  Error.v Error.Timeout ~op:"retry"
+    (Printf.sprintf "%s: deadline exceeded after %d attempt%s (%.3fs)" key
+       attempt
+       (if attempt = 1 then "" else "s")
+       spent)
+
+let run ~(policy : policy) ~(clock : clock) ~(key : string)
+    ~(retryable : Error.t -> bool)
+    (f : attempt:int -> ('a, Error.t) result) : ('a, Error.t) result =
+  let start = clock.now () in
+  let over () = clock.now () -. start > policy.deadline in
+  let rec go attempt =
+    if over () then
+      Error (timeout_error ~key ~attempt ~spent:(clock.now () -. start))
+    else
+      match f ~attempt with
+      | Ok _ as ok -> ok
+      | Error e when (not (retryable e)) || attempt >= policy.max_attempts ->
+          Error e
+      | Error _ ->
+          let d = delay policy ~key ~attempt in
+          if clock.now () +. d -. start > policy.deadline then
+            Error
+              (timeout_error ~key ~attempt ~spent:(clock.now () -. start))
+          else begin
+            clock.sleep d;
+            go (attempt + 1)
+          end
+  in
+  go 1

@@ -1,0 +1,62 @@
+(** Bounded, deterministic retry with exponential backoff and
+    seed-keyed jitter (see [docs/SYNC.md], "Transport, retries, and
+    overload").
+
+    Everything time-shaped goes through a {!clock}, so the whole policy
+    — attempt bounds, per-attempt timeouts, the overall deadline, the
+    jittered sleeps — is testable against a manual clock without a
+    single real wait; and the jitter is derived from
+    [(seed, key, attempt)] the same way {!Esm_core.Chaos} derives its
+    fault schedule, so a fixed seed replays the exact same delays. *)
+
+open Esm_core
+
+type policy = {
+  max_attempts : int;  (** total tries per request, including the first *)
+  base_delay : float;  (** seconds before the first retry *)
+  max_delay : float;  (** backoff growth cap *)
+  multiplier : float;  (** exponential growth factor *)
+  jitter : float;
+      (** jitter fraction in [[0, 1]]: each delay is scaled by a
+          deterministic factor in [[1 - jitter, 1 + jitter]] *)
+  seed : int;  (** keys the jitter schedule *)
+  attempt_timeout : float;  (** per-attempt response deadline, seconds *)
+  deadline : float;  (** overall budget per request, seconds *)
+}
+
+val default : ?seed:int -> unit -> policy
+(** 6 attempts, 25 ms base doubling to a 1 s cap, 50% jitter, 1 s
+    per-attempt timeout, 30 s overall deadline. *)
+
+val delay : policy -> key:string -> attempt:int -> float
+(** The backoff before retry [attempt] (1-based): [base_delay *
+    multiplier^(attempt-1)] capped at [max_delay], scaled by the
+    deterministic jitter factor for [(seed, key, attempt)].  Pure: the
+    same policy, key and attempt always yield the same delay. *)
+
+type clock = {
+  now : unit -> float;  (** seconds, monotonic enough for deadlines *)
+  sleep : float -> unit;
+}
+
+val system_clock : clock
+(** [Unix.gettimeofday] / [Unix.sleepf]. *)
+
+val manual_clock : ?start:float -> unit -> clock
+(** A fake clock for tests and the in-process chaos net: [now] reads a
+    counter that only [sleep] advances — sleeping is free and
+    deterministic. *)
+
+val run :
+  policy:policy ->
+  clock:clock ->
+  key:string ->
+  retryable:(Error.t -> bool) ->
+  (attempt:int -> ('a, Error.t) result) ->
+  ('a, Error.t) result
+(** Run [f ~attempt] for [attempt = 1, 2, …] until it succeeds, fails
+    non-retryably, exhausts [max_attempts] (the last error is
+    returned), or blows the overall [deadline] (a typed
+    {!Esm_core.Error.Timeout} is returned — checked both before each
+    attempt and before each backoff sleep).  Between attempts, sleeps
+    {!delay} on the given clock. *)

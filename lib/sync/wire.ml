@@ -40,6 +40,7 @@ type request =
   | Set of Row.t list
   | Batch of Row_delta.t list
   | Pull
+  | Ping
   | Crash
   | Recover
   | Bye
@@ -50,6 +51,7 @@ type response =
   | Resp_error of Error.kind * string
   | Resp_view of int * Row.t list
   | Resp_update of int * int
+  | Resp_pong
 
 (* {1 Lexing helpers} *)
 
@@ -178,6 +180,7 @@ let render_request = function
   | Set rows -> String.trim ("set " ^ render_rows rows)
   | Batch ds -> String.trim ("batch " ^ render_deltas ds)
   | Pull -> "pull"
+  | Ping -> "ping"
   | Crash -> "crash"
   | Recover -> "recover"
   | Bye -> "bye"
@@ -194,6 +197,7 @@ let parse_request (line : string) : request =
   | "set" -> Set (parse_rows rest)
   | "batch" -> Batch (parse_deltas rest)
   | "pull" -> Pull
+  | "ping" -> Ping
   | "crash" -> Crash
   | "recover" -> Recover
   | "bye" -> Bye
@@ -209,6 +213,7 @@ let render_response = function
   | Resp_view (v, rows) ->
       String.trim (Printf.sprintf "view %d %s" v (render_rows rows))
   | Resp_update (v, n) -> Printf.sprintf "update %d %d" v n
+  | Resp_pong -> "pong"
 
 let kind_of_name = function
   | "shape" -> Error.Shape
@@ -221,6 +226,10 @@ let kind_of_name = function
   | "index" -> Error.Index
   | "conflict" -> Error.Conflict
   | "corrupt" -> Error.Corrupt
+  | "transport.transient" -> Error.Transport `Transient
+  | "transport.permanent" -> Error.Transport `Permanent
+  | "timeout" -> Error.Timeout
+  | "overload" -> Error.Overload
   | "other" -> Error.Other
   | k -> parse_error "unknown error kind %S" k
 
@@ -246,6 +255,7 @@ let parse_response (line : string) : response =
       match String.split_on_char ' ' rest with
       | [ v; n ] -> Resp_update (parse_int_word line v, parse_int_word line n)
       | _ -> parse_error "expected 'update <version> <n>', got %S" line)
+  | "pong" -> Resp_pong
   | _ -> parse_error "unknown response %S" line
 
 (* {1 Durable-log payload codec} *)
@@ -294,6 +304,14 @@ type server = {
 let serve (store : rstore) : server =
   { store; sessions = Hashtbl.create 8 }
 
+let store (srv : server) : rstore = srv.store
+
+let session_names (srv : server) : string list =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) srv.sessions [])
+
+let drop_session (srv : server) (name : string) : unit =
+  Hashtbl.remove srv.sessions name
+
 let session_of (srv : server) (name : string) : rsession =
   match Hashtbl.find_opt srv.sessions name with
   | Some s -> s
@@ -320,6 +338,7 @@ let handle (srv : server) ~(session : string) (req : request) : response =
         let s = Session.bind srv.store ~name ~side in
         Hashtbl.replace srv.sessions name s;
         Resp_ok (Session.base s)
+    | Ping -> Resp_pong
     | Bye ->
         Hashtbl.remove srv.sessions session;
         Resp_ok (Store.version srv.store)

@@ -18,6 +18,7 @@ type request =
   | Set of Row.t list  (** replace the bound view *)
   | Batch of Row_delta.t list  (** commit a coalesced delta burst *)
   | Pull  (** receive entries committed since base *)
+  | Ping  (** transport heartbeat — keeps an idle session off the reaper *)
   | Crash  (** simulate a server crash *)
   | Recover  (** replay the oplog suffix *)
   | Bye
@@ -28,6 +29,7 @@ type response =
   | Resp_error of Error.kind * string  (** [error <kind> <message>] *)
   | Resp_view of int * Row.t list  (** [view <version> <rows>] *)
   | Resp_update of int * int  (** [update <version> <n-entries>] *)
+  | Resp_pong  (** [pong] *)
 
 (** {1 Codec} *)
 
@@ -60,6 +62,15 @@ val durable_op_codec :
 type server
 
 val serve : rstore -> server
+val store : server -> rstore
+
+val session_names : server -> string list
+(** The sessions currently bound (sorted) — what the transport layer's
+    dead-session reaper walks. *)
+
+val drop_session : server -> string -> unit
+(** Unbind a session without a [Bye] round-trip — the reaper's path for
+    sessions whose client went dark. *)
 
 val handle : server -> session:string -> request -> response
 (** Process one request on behalf of a named session ([Hello] binds the

@@ -40,6 +40,7 @@ let () =
       ("integration", Test_integration.suite);
       ("chaos (atomic + fault injection)", Test_atomic.suite);
       ("sync (replicated store)", Test_sync.suite);
+      ("transport (real net + chaos net)", Test_transport.suite);
       ("durable log", Test_durable_log.suite);
       ("incr (reactive recomputation)", Test_incr.suite);
     ]

@@ -337,6 +337,7 @@ let wire_property_tests =
                  (List.map (fun r -> Rel.Row_delta.Add r) rows
                  @ List.map (fun r -> Rel.Row_delta.Remove r) rows);
                Wire.Pull;
+               Wire.Ping;
                Wire.Crash;
                Wire.Recover;
                Wire.Bye;
@@ -358,8 +359,13 @@ let wire_unit_tests =
             Wire.Resp_conflict (3, "s1 got there first");
             Wire.Resp_error (Error.Conflict, "stale base");
             Wire.Resp_error (Error.Shape, "bad view");
+            Wire.Resp_error (Error.Transport `Transient, "conn reset");
+            Wire.Resp_error (Error.Transport `Permanent, "bad frame");
+            Wire.Resp_error (Error.Timeout, "no response");
+            Wire.Resp_error (Error.Overload, "queue full");
             Wire.Resp_view (2, [ view_row 1 {|quo"te|}; view_row 2 "b;c" ]);
             Wire.Resp_update (5, 2);
+            Wire.Resp_pong;
           ]);
     test "malformed input raises a typed Parse error" `Quick (fun () ->
         List.iter
