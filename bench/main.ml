@@ -892,6 +892,89 @@ let b14_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* B15: the ESMQL front-end — compiled plans vs hand-built dlenses     *)
+(* ------------------------------------------------------------------ *)
+
+(* What the query front-end costs: (a) a gate-passed compiled view must
+   put_delta at parity with the same pipeline hand-built from the dlens
+   combinators — compilation through the surface syntax adds no per-put
+   tax; (b) the runtime-validated fallback pays the full get/put oracle
+   plus the PutGet re-check, which is the price of an unjustified level
+   request; (c) parse + schema check + law inference + gate is a
+   compile-time cost, paid once per script, not per put. *)
+
+let b15_table = Workload.employees ~seed:42 ~size:512
+
+let b15_bases : Esm_ql.Check.base list =
+  [
+    {
+      Esm_ql.Check.bname = "employees";
+      bschema = Workload.employees_schema;
+      bkey = [ "id" ];
+      binit = b15_table;
+    };
+  ]
+
+let b15_source =
+  "view eng = employees | where dept = \"Engineering\" | select id, name, \
+   dept;"
+
+let b15_compile ~mode src : Esm_ql.Check.cview =
+  match Esm_ql.Parser.parse src with
+  | Error e -> failwith (Esm_core.Error.message e)
+  | Ok script -> (
+      match Esm_ql.Check.compile ~mode ~bases:b15_bases script with
+      | Ok c -> List.hd c.Esm_ql.Check.views
+      | Error e -> failwith (Esm_core.Error.message e))
+
+(* the honest request: raw delta path *)
+let b15_compiled = b15_compile ~mode:Esm_ql.Ast.Strict b15_source
+
+(* the downgraded request: runtime-validated path *)
+let b15_validated =
+  b15_compile ~mode:Esm_ql.Ast.Fallback
+    ("expect level = commuting;\n" ^ b15_source)
+
+(* the same pipeline, hand-built from the combinators *)
+let b15_hand : Rlens.dlens =
+  Rlens.dcompose
+    (Rlens.dselect ~key:[ "id" ] Pred.(col "dept" = str "Engineering"))
+    (Rlens.dproject
+       ~keep:[ "id"; "name"; "dept" ]
+       ~key:[ "id" ] Workload.employees_schema)
+
+let b15_row =
+  Row.of_list [ Value.Int 777_777; Value.Str "b15"; Value.Str "Engineering" ]
+
+(* net-zero on the view, so run N costs the same as run 1 *)
+let b15_burst = [ Row_delta.Add b15_row; Row_delta.Remove b15_row ]
+
+let b15_tests =
+  [
+    Test.make ~name:"hand-built dlens put_delta (n=512)"
+      (Staged.stage (fun () ->
+           ignore (Rlens.put_delta b15_hand b15_table b15_burst)));
+    Test.make ~name:"compiled query put_delta (n=512)"
+      (Staged.stage (fun () ->
+           ignore
+             (Rlens.put_delta b15_compiled.Esm_ql.Check.dlens b15_table
+                b15_burst)));
+    Test.make ~name:"validated fallback put_delta (n=512)"
+      (Staged.stage (fun () ->
+           ignore
+             (Rlens.put_delta b15_validated.Esm_ql.Check.dlens b15_table
+                b15_burst)));
+    Test.make ~name:"parse + compile + gate, strict pass"
+      (Staged.stage (fun () ->
+           ignore (b15_compile ~mode:Esm_ql.Ast.Strict b15_source)));
+    Test.make ~name:"parse + compile + gate, fallback downgrade"
+      (Staged.stage (fun () ->
+           ignore
+             (b15_compile ~mode:Esm_ql.Ast.Fallback
+                ("expect level = commuting;\n" ^ b15_source))));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1005,6 +1088,18 @@ let pre_pr7_baseline =
 (* Pre-PR8 there was no transport: the only way to submit was the
    in-process session path.  B14's remote round-trips are judged against
    these committed PR7 numbers for the same commit machinery. *)
+(* Pre-PR9 there was no query front-end: the only way to run these
+   pipelines was to hand-build the dlens (B4's put_delta paths, B8's
+   compiled view lens).  B15's parity and overhead claims are judged
+   against these committed PR8 numbers for the same machinery. *)
+let pre_pr9_baseline =
+  [
+    ("B4/select.put_delta n=0512", 3889.3);
+    ("B4/project.put_delta n=0512", 7544.6);
+    ("B8/compiled view lens put (n=512)", 79447.1);
+    ("B8/handwritten view lens put (n=512)", 87032.0);
+  ]
+
 let pre_pr8_baseline =
   [
     ("B10/batched commit (64-delta burst, n=4096)", 702939.6);
@@ -1120,8 +1215,17 @@ let () =
        (retries with deterministic backoff, never corruption); one batched \
        round-trip beats two unbatched ones at every drop rate"
     b14_tests;
+  run_group ~id:"B15"
+    ~header:"ESMQL front-end: compiled plans vs hand-built dlenses"
+    ~expectation:
+      "gate-passed compiled put_delta at parity with the hand-built \
+       combinator pipeline; the validated fallback pays the full get/put \
+       oracle (orders over the delta path); parse+compile+gate is a \
+       once-per-script cost"
+    b15_tests;
   if json then (
     emit_json ~pr:2 ~baseline:pre_pr_baseline "BENCH_PR2.json";
     emit_json ~pr:7 ~baseline:pre_pr7_baseline "BENCH_PR7.json";
-    emit_json ~pr:8 ~baseline:pre_pr8_baseline "BENCH_PR8.json");
+    emit_json ~pr:8 ~baseline:pre_pr8_baseline "BENCH_PR8.json";
+    emit_json ~pr:9 ~baseline:pre_pr9_baseline "BENCH_PR9.json");
   Fmt.pr "@.done.@."

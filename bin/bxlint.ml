@@ -125,6 +125,9 @@ let selftest () : string list =
 
 let () =
   let json = Array.exists (fun a -> a = "--json") Sys.argv in
+  (* bring the ESMQL-derived scenarios (strict pass + validated
+     fallback) under the same audit, cross-check and opaque-plan gate *)
+  Esm_ql.Audit.register_catalog ();
   let audits = Catalog.audit_all () in
   let self_failures = selftest () in
   let opaque_plans = opaque_gate audits in
@@ -161,7 +164,7 @@ let () =
     in
     print_string
       (Printf.sprintf
-         {|{"schema_version":2,"audits":%s,"selftest":%s,"opaque_plans":[%s],"errors":%d,"warnings":%d}|}
+         {|{"schema_version":3,"audits":%s,"selftest":%s,"opaque_plans":[%s],"errors":%d,"warnings":%d}|}
          (Catalog.audits_to_json audits)
          selftest_json
          (String.concat ","

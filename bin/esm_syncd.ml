@@ -42,6 +42,11 @@
        reproducible), and each request/response pair is printed.
        Exit 2 on malformed script lines.
 
+       A FILE ending in .esmql is instead parsed as an ESMQL script
+       (see docs/QUERY.md), compiled through the law-level gate and
+       executed against the daemon's default store.  Exit 2 on a
+       parse/compile rejection, 1 on a failed execution step.
+
      esm_syncd --soak [--seed N] [--ops N] [--sessions N]
               [--dir D] [--kill-at N]
        Run a seeded random multi-session workload and check the sync
@@ -111,7 +116,46 @@ let rec rm_rf path =
 (* Script mode                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* An .esmql script runs through the query front-end against the same
+   default employees store the wire scripts exercise: parse, gate
+   (strict unless the script says otherwise), execute on the store
+   backend.  Parse/compile rejections exit 2 like malformed wire
+   lines; a failed execution step exits 1. *)
+let run_esmql_script (path : string) : int =
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let bases =
+    [
+      {
+        Esm_ql.Check.bname = "employees";
+        bschema = Workload.employees_schema;
+        bkey = [ "id" ];
+        binit = Workload.employees ~seed:11 ~size:24;
+      };
+    ]
+  in
+  match Esm_ql.Parser.parse (read_file path) with
+  | Error e ->
+      Printf.printf "!! %s\n" (Esm_core.Error.message e);
+      2
+  | Ok script -> (
+      match Esm_ql.Check.compile ~bases script with
+      | Error e ->
+          Printf.printf "!! %s\n" (Esm_core.Error.message e);
+          2
+      | Ok compiled ->
+          let trace = Esm_ql.Exec.run ~kind:Esm_ql.Backend.Store compiled in
+          Format.printf "%a@." Esm_ql.Exec.pp trace;
+          if trace.Esm_ql.Exec.ok then 0 else 1)
+
 let run_script (path : string) : int =
+  if Filename.check_suffix path ".esmql" then run_esmql_script path
+  else
   let srv = Wire.serve (default_store ~seed:11 ~size:24 ()) in
   let ic = open_in path in
   let bad = ref false in

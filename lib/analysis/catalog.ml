@@ -25,9 +25,13 @@ type query_plan = {
   plan_schema : Rel.Schema.t;
   plan_key : string list;
   plan_query : Rel.Query.t;
+  plan_requested : Law_infer.level option;
 }
 (** The relational query plan an entry compiled from, when there is one:
-    the subject {!Lint.lint_plan} audits with the abstract domains. *)
+    the subject {!Lint.lint_plan} audits with the abstract domains.
+    [plan_requested] is the law level the plan's author asked the
+    optimizer for (ESMQL [expect level=…] pragmas) — [None] for plans
+    with no surface-level request. *)
 
 type ('a, 'b) scenario = {
   label : string;
@@ -282,7 +286,7 @@ let staff_comp_view rows =
 (* The entries                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let all () : entry list =
+let builtin () : entry list =
   [
     Entry
       {
@@ -669,6 +673,7 @@ let all () : entry list =
               plan_schema = Rel.Workload.employees_schema;
               plan_key = [ "id" ];
               plan_query = eng_query;
+              plan_requested = None;
             };
       };
     Entry
@@ -836,6 +841,7 @@ let all () : entry list =
               plan_schema = Rel.Workload.employees_schema;
               plan_key = [ "id" ];
               plan_query = slice_query;
+              plan_requested = None;
             };
       };
     Entry
@@ -882,6 +888,7 @@ let all () : entry list =
               plan_schema = Rel.Workload.employees_schema;
               plan_key = [ "id" ];
               plan_query = eng_query;
+              plan_requested = None;
             };
       };
     Entry
@@ -931,6 +938,7 @@ let all () : entry list =
               plan_schema = Rel.Workload.employees_schema;
               plan_key = [ "id" ];
               plan_query = contact_query;
+              plan_requested = None;
             };
       };
     Entry
@@ -1005,6 +1013,7 @@ let all () : entry list =
               plan_schema = staff_schema;
               plan_key = [ "id" ];
               plan_query = Rel.Query.Join (Rel.Query.Base "staff", Rel.Query.Base "comp");
+              plan_requested = None;
             };
       };
     Entry
@@ -1052,9 +1061,23 @@ let all () : entry list =
               plan_schema = Rel.Workload.employees_schema;
               plan_key = [ "id" ];
               plan_query = eng_query;
+              plan_requested = None;
             };
       };
   ]
+
+(* Upper layers (the ESMQL front-end lives above esm_analysis) register
+   their query-derived scenarios here so the same audit/gate machinery
+   covers them.  Registration is by label: re-registering a label
+   replaces the previous entry, so callers can be idempotent without
+   coordinating. *)
+let registered : entry list ref = ref []
+
+let register (e : entry) =
+  registered :=
+    e :: List.filter (fun e' -> entry_label e' <> entry_label e) !registered
+
+let all () : entry list = builtin () @ List.rev !registered
 
 (* ------------------------------------------------------------------ *)
 (* Auditing                                                            *)
@@ -1081,6 +1104,12 @@ type audit = {
   pipelines : pipeline_result list;
   plan_query : string option;
       (** surface syntax of the compiled plan, when the scenario has one *)
+  plan_requested : Law_infer.level option;
+      (** the law level the plan's author asked for, when the plan came
+          from a surface request ([expect level=…]) *)
+  plan_inferred : Law_infer.level option;
+      (** {!Law_infer.level} of the plan's own {!Rel.Query.pedigree} —
+          what the compile-time gate compares [plan_requested] against *)
   plan_diagnostics : Lint.diagnostic list;
       (** {!Lint.lint_plan} over that plan; empty when [plan_query] is
           [None] *)
@@ -1159,6 +1188,14 @@ let audit_entry (Entry s : entry) : audit =
       Option.map
         (fun (p : query_plan) -> Rel.Query.to_string p.plan_query)
         s.plan;
+    plan_requested = Option.bind s.plan (fun p -> p.plan_requested);
+    plan_inferred =
+      Option.map
+        (fun (p : query_plan) ->
+          Law_infer.level
+            (Rel.Query.pedigree ~schema:p.plan_schema ~key:p.plan_key
+               p.plan_query))
+        s.plan;
     plan_diagnostics =
       (match s.plan with
       | None -> []
@@ -1236,19 +1273,22 @@ let audit_to_json (a : audit) : string =
           (Lint.diagnostics_to_json p.diagnostics))
       a.pipelines
   in
+  let opt_level = function
+    | Some l -> Printf.sprintf "\"%s\"" (Law_infer.to_string l)
+    | None -> "null"
+  in
   Printf.sprintf
-    {|{"label":"%s","pedigree":"%s","inferred":"%s","sampled":%s,"cross_check_ok":%b,"pipelines":[%s],"plan":%s,"plan_diagnostics":%s}|}
+    {|{"label":"%s","pedigree":"%s","inferred":"%s","sampled":%s,"cross_check_ok":%b,"pipelines":[%s],"plan":%s,"plan_requested":%s,"plan_inferred":%s,"plan_diagnostics":%s}|}
     (Lint.json_escape a.label)
     (Lint.json_escape (Pedigree.to_string a.pedigree))
     (Law_infer.to_string a.inferred)
-    (match a.observed with
-    | Some l -> Printf.sprintf "\"%s\"" (Law_infer.to_string l)
-    | None -> "null")
-    a.cross_check_ok
+    (opt_level a.observed) a.cross_check_ok
     (String.concat "," pipelines)
     (match a.plan_query with
     | Some q -> Printf.sprintf "\"%s\"" (Lint.json_escape q)
     | None -> "null")
+    (opt_level a.plan_requested)
+    (opt_level a.plan_inferred)
     (Lint.diagnostics_to_json a.plan_diagnostics)
 
 let audits_to_json (audits : audit list) : string =

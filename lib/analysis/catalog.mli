@@ -14,6 +14,9 @@ type query_plan = {
   plan_schema : Esm_relational.Schema.t;
   plan_key : string list;
   plan_query : Esm_relational.Query.t;
+  plan_requested : Law_infer.level option;
+      (** the law level the plan's author asked the optimizer for
+          (ESMQL [expect level=…]); [None] when nothing was requested *)
 }
 (** The relational source a scenario's bx was compiled from, when there
     is one; `bxlint` runs {!Lint.lint_plan} over it. *)
@@ -37,7 +40,13 @@ type entry = Entry : ('a, 'b) scenario -> entry
 val entry_label : entry -> string
 
 val all : unit -> entry list
-(** Every registered scenario. *)
+(** Every scenario: the built-in corpus plus anything {!register}ed. *)
+
+val register : entry -> unit
+(** Add a scenario to {!all} (upper layers — the ESMQL front-end —
+    contribute their query-derived bx this way, so `bxlint`'s gates
+    cover them).  Registering a label twice replaces the first entry,
+    making repeated registration idempotent. *)
 
 (** {1 Auditing} *)
 
@@ -61,6 +70,11 @@ type audit = {
   pipelines : pipeline_result list;
   plan_query : string option;
       (** surface syntax of the compiled plan, when the scenario has one *)
+  plan_requested : Law_infer.level option;
+      (** the surface-requested law level, for query-derived entries *)
+  plan_inferred : Law_infer.level option;
+      (** {!Law_infer.level} of the plan's own pedigree — what the
+          compile-time gate compared [plan_requested] against *)
   plan_diagnostics : Lint.diagnostic list;
       (** {!Lint.lint_plan} over that plan; empty when [plan_query] is
           [None] *)

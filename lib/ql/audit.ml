@@ -1,0 +1,120 @@
+open Esm_core
+open Esm_analysis
+module Rel = Esm_relational
+
+let strict_label = "esmql/key-slice-strict"
+let fallback_label = "esmql/roster-fallback"
+let labels = [ strict_label; fallback_label ]
+
+(* A key-preserving select: the predicate reads only the key column, so
+   the inferred level is `Overwriteable and the `Overwriteable request
+   passes the gate as asked. *)
+let strict_source = {|employees | where 0 <= id|}
+
+(* The engineering roster: the lossy project drops the meet to `Set_bx,
+   so the `Commuting request is downgraded — the registered bx is the
+   runtime-validated fallback artifact itself. *)
+let fallback_source =
+  {|employees | where dept = "Engineering" | select id, name, dept|}
+
+let base () : Check.base =
+  {
+    Check.bname = "employees";
+    bschema = Rel.Workload.employees_schema;
+    bkey = [ "id" ];
+    binit = Rel.Workload.employees ~seed:3 ~size:8;
+  }
+
+let compile_view ~mode ~requested name source : Check.cview =
+  let q = Rel.Query.parse source in
+  match
+    Check.compile ~mode ~bases:[ base () ]
+      [ Ast.Expect requested; Ast.View (name, q) ]
+  with
+  | Ok c -> List.hd c.Check.views
+  | Error e -> raise (Error.Bx_error e)
+
+(* The level the view actually executes at: what its pipelines may be
+   linted against without a Level_mismatch error. *)
+let effective (cv : Check.cview) : Law_infer.level =
+  if cv.Check.downgraded then cv.Check.inferred else cv.Check.requested
+
+let entry_of_view ~label ~description ~values_b (cv : Check.cview) :
+    Catalog.entry =
+  let level = effective cv in
+  let session name views : (Rel.Table.t, Rel.Table.t) Catalog.subject =
+    Catalog.Puts
+      ( name,
+        level,
+        Lint.Pget_b
+        :: List.concat_map (fun v -> [ Lint.Put_ba v; Lint.Pget_a ]) views )
+  in
+  Catalog.Entry
+    {
+      Catalog.label;
+      description;
+      packed =
+        Rel.Rlens.packed_of_dlens ~init:cv.Check.base.Check.binit
+          cv.Check.dlens;
+      values_a =
+        [
+          Rel.Workload.employees ~seed:1 ~size:6;
+          Rel.Workload.employees ~seed:7 ~size:10;
+          Rel.Workload.employees ~seed:2 ~size:0;
+        ];
+      values_b;
+      eq_a = Rel.Table.equal;
+      eq_b = Rel.Table.equal;
+      show_a = Rel.Table.to_string;
+      show_b = Rel.Table.to_string;
+      subjects = [ session "esmql session" (List.filteri (fun i _ -> i < 2) values_b) ];
+      plan =
+        Some
+          {
+            Catalog.plan_schema = cv.Check.base.Check.bschema;
+            plan_key = cv.Check.base.Check.bkey;
+            plan_query = cv.Check.query;
+            plan_requested = Some cv.Check.requested;
+          };
+    }
+
+let registered = ref false
+
+let register_catalog () =
+  if not !registered then begin
+    registered := true;
+    let strict_cv =
+      compile_view ~mode:Ast.Strict ~requested:`Overwriteable "key_slice"
+        strict_source
+    in
+    Catalog.register
+      (entry_of_view ~label:strict_label
+         ~description:
+           "ESMQL strict-mode view: key-preserving select over employees, \
+            `Overwriteable requested and inferred — the gate passes the \
+            plan as asked"
+         ~values_b:
+           [
+             Rel.Workload.employees ~seed:4 ~size:6;
+             Rel.Workload.employees ~seed:9 ~size:10;
+             Rel.Workload.employees ~seed:1 ~size:0;
+           ]
+         strict_cv);
+    let fallback_cv =
+      compile_view ~mode:Ast.Fallback ~requested:`Commuting "eng_roster"
+        fallback_source
+    in
+    Catalog.register
+      (entry_of_view ~label:fallback_label
+         ~description:
+           "ESMQL fallback-mode view: `Commuting requested over a lossy \
+            project (inferred set-bx) — downgraded to runtime-validated \
+            execution; the packed bx is the validated fallback artifact"
+         ~values_b:
+           [
+             Rel.Workload.engineering_view ~seed:4 ~size:12;
+             Rel.Workload.engineering_view ~seed:9 ~size:20;
+             Rel.Workload.engineering_view ~seed:1 ~size:0;
+           ]
+         fallback_cv)
+  end

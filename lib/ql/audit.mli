@@ -1,0 +1,25 @@
+(** Catalog registration for ESMQL-derived bx: the representative
+    compiled queries — one strict (gate passed as asked), one fallback
+    (gate downgraded to runtime-validated execution) — packaged as
+    {!Esm_analysis.Catalog} scenarios, so `bxlint`'s audit, sampling
+    cross-check and opaque-plan gate cover plans born from the query
+    front-end, with the per-entry requested-vs-inferred levels in the
+    JSON report (schema_version 3). *)
+
+val register_catalog : unit -> unit
+(** Compile the two scenarios and {!Esm_analysis.Catalog.register}
+    them.  Idempotent (registration is keyed by label). *)
+
+val labels : string list
+(** The labels [register_catalog] contributes, for tests and docs. *)
+
+val strict_label : string
+val fallback_label : string
+
+val strict_source : string
+(** Surface syntax of the strict scenario's view: a key-preserving
+    select, inferred [`Overwriteable]. *)
+
+val fallback_source : string
+(** Surface syntax of the fallback scenario's view: a lossy project,
+    inferred [`Set_bx], downgraded from a [`Commuting] request. *)

@@ -1,0 +1,52 @@
+(** Pluggable execution backends for compiled ESMQL views: one
+    signature, three implementations, identical observable behaviour
+    (the cross-backend differential property in [test/test_ql.ml]).
+
+    - [Mem] — the compiled dlens over an in-process source table
+      ({!Esm_relational.Rlens.put_delta} directly);
+    - [Store] — a replicated {!Esm_sync.Store} serving the packed
+      pipeline, edits submitted through a B-side {!Esm_sync.Session}
+      with rebase; optionally durable ([?dir]);
+    - [Remote] — the same store behind {!Esm_sync.Wire.serve} and the
+      deterministic {!Esm_sync.Transport.Chaos_net}, driven by a
+      retrying {!Esm_sync.Transport.Remote_session} — so the [net.*]
+      chaos sites exercise the full loss/retry/dedup machinery while
+      the other two backends stay fault-free.
+
+    Every operation returns a typed result; bx failures (shape errors,
+    validation failures, conflicts) never escape as exceptions. *)
+
+open Esm_core
+open Esm_relational
+
+module type S = sig
+  type t
+
+  val label : t -> string
+  val version : t -> int
+  (** Backend-local commit counter (store/remote versions; a plain
+      counter for [Mem]) — not part of the differential contract. *)
+
+  val view : t -> (Table.t, Error.t) result
+  val put : t -> Row.t list -> (int, Error.t) result
+  val batch : t -> Row_delta.t list -> (int, Error.t) result
+  val close : t -> unit
+end
+
+type t = B : (module S with type t = 'a) * 'a -> t
+
+type kind = Mem | Store | Remote
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+val make : ?dir:string -> kind -> Check.cview -> t
+(** Instantiate a backend for one compiled view.  [dir] makes the
+    [Store] backend durable (ignored by the others). *)
+
+val label : t -> string
+val version : t -> int
+val view : t -> (Table.t, Error.t) result
+val put : t -> Row.t list -> (int, Error.t) result
+val batch : t -> Row_delta.t list -> (int, Error.t) result
+val close : t -> unit

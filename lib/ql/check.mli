@@ -1,0 +1,75 @@
+(** The ESMQL compile-time gate: typed AST → schema/key-checked,
+    law-levelled, executable plans.
+
+    Each [view] statement compiles through the existing machinery —
+    {!Esm_relational.Query.to_dlens} for the delta-capable plan,
+    {!Esm_analysis.Lint.lint_plan} for schema/key diagnostics,
+    {!Esm_analysis.Law_infer.of_packed} for the inferred law level —
+    and is then gated against the level the preceding
+    [expect level = …] pragma requested:
+
+    - requested ≤ inferred: the plan runs as compiled (the fast delta
+      path), in either mode;
+    - requested > inferred, [Strict] mode: the script is rejected with
+      the {!Esm_analysis.Lint.check_level} diagnostic;
+    - requested > inferred, [Fallback] mode: the view is downgraded to
+      {e runtime-validated} execution — every put runs through the full
+      get/put oracle and re-checks (PutGet) on the result, raising a
+      typed error instead of silently propagating a law violation.
+
+    Plan-lint errors ([Unknown_column], [Dropped_key]) reject in both
+    modes: no runtime validation makes an ill-schemed plan executable. *)
+
+open Esm_core
+open Esm_analysis
+open Esm_relational
+
+type base = {
+  bname : string;
+  bschema : Schema.t;
+  bkey : string list;
+  binit : Table.t;
+}
+(** A named base table the script's queries may draw from. *)
+
+type cview = {
+  vname : string;
+  query : Query.t;
+  base : base;
+  view_schema : Schema.t;  (** schema of the view [query] produces *)
+  view_key : string list;  (** the key columns, renamed along the plan *)
+  raw_dlens : Rlens.dlens;  (** the plan exactly as compiled *)
+  dlens : Rlens.dlens;
+      (** what executes: [raw_dlens], or its validated wrapper when
+          [downgraded] *)
+  inferred : Law_infer.level;
+  requested : Law_infer.level;
+  mode : Ast.mode;
+  downgraded : bool;
+  lint : Lint.diagnostic list;  (** {!Lint.lint_plan} output (no errors) *)
+}
+
+type item =
+  | I_view of cview
+  | I_get of cview
+  | I_put of cview * Row.t list
+  | I_delta of cview * Row_delta.t list
+
+type compiled = { views : cview list; items : item list }
+(** [views] in definition order; [items] in statement order (every
+    reference resolved, every row checked against its view schema). *)
+
+val validated_dlens : Rlens.dlens -> Rlens.dlens
+(** The fallback wrapper: translate view deltas through the full
+    get/put oracle and re-check (PutGet) on the produced source,
+    raising a typed [Error] (kind [Other], op ["esmql.validate"]) on a
+    round-trip violation.  Pedigree and lens are unchanged — only the
+    delta path is replaced. *)
+
+val compile :
+  ?mode:Ast.mode -> bases:base list -> Ast.script -> (compiled, Error.t) result
+(** Compile a script against named base tables.  [mode] (default
+    [Strict]) seeds the mode; [mode …;] statements change it for
+    subsequent views.  Never raises: schema errors, unknown views or
+    bases, non-conforming rows and gate rejections all come back as
+    typed [Error]s. *)

@@ -1,0 +1,115 @@
+open Esm_core
+open Esm_analysis
+open Esm_relational
+
+type step =
+  | Defined of Check.cview
+  | Got of { vname : string; version : int; table : Table.t }
+  | Committed of { vname : string; version : int; op : string }
+  | Failed of { vname : string; op : string; err : Error.t }
+
+type trace = { steps : step list; ok : bool }
+
+let run ?dir ~(kind : Backend.kind) (c : Check.compiled) : trace =
+  let backends : (string * Backend.t) list ref = ref [] in
+  let backend (cv : Check.cview) = List.assoc cv.Check.vname !backends in
+  let step (item : Check.item) : step =
+    match item with
+    | Check.I_view cv ->
+        backends := (cv.Check.vname, Backend.make ?dir kind cv) :: !backends;
+        Defined cv
+    | Check.I_get cv -> (
+        let b = backend cv in
+        match Backend.view b with
+        | Ok table ->
+            Got { vname = cv.Check.vname; version = Backend.version b; table }
+        | Error err -> Failed { vname = cv.Check.vname; op = "get"; err })
+    | Check.I_put (cv, rows) -> (
+        let b = backend cv in
+        match Backend.put b rows with
+        | Ok version -> Committed { vname = cv.Check.vname; version; op = "put" }
+        | Error err -> Failed { vname = cv.Check.vname; op = "put"; err })
+    | Check.I_delta (cv, ds) -> (
+        let b = backend cv in
+        match Backend.batch b ds with
+        | Ok version ->
+            Committed { vname = cv.Check.vname; version; op = "delta" }
+        | Error err -> Failed { vname = cv.Check.vname; op = "delta"; err })
+  in
+  let close_all () = List.iter (fun (_, b) -> Backend.close b) !backends in
+  let steps =
+    match List.map step c.Check.items with
+    | steps ->
+        close_all ();
+        steps
+    | exception e ->
+        close_all ();
+        raise e
+  in
+  let ok =
+    not (List.exists (function Failed _ -> true | _ -> false) steps)
+  in
+  { steps; ok }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_step fmt = function
+  | Defined cv ->
+      Format.fprintf fmt "view %s: inferred %s, requested %s%s%s"
+        cv.Check.vname
+        (Law_infer.to_string cv.Check.inferred)
+        (Law_infer.to_string cv.Check.requested)
+        (if cv.Check.downgraded then " — downgraded (runtime-validated)"
+         else "")
+        (Printf.sprintf " [%s]" (Ast.mode_name cv.Check.mode))
+  | Got { vname; version; table } ->
+      Format.fprintf fmt "get %s @@v%d:@.%a" vname version Table.pp table
+  | Committed { vname; version; op } ->
+      Format.fprintf fmt "%s %s -> v%d" op vname version
+  | Failed { vname; op; err } ->
+      Format.fprintf fmt "%s %s FAILED: %s" op vname (Error.message err)
+
+let pp fmt (t : trace) =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_step fmt t.steps;
+  Format.fprintf fmt "@.%s@." (if t.ok then "ok" else "FAILED")
+
+let table_json (t : Table.t) =
+  let row_json r =
+    "["
+    ^ String.concat ","
+        (List.map
+           (fun v -> Printf.sprintf "\"%s\"" (Lint.json_escape (Value.to_string v)))
+           (Row.to_list r))
+    ^ "]"
+  in
+  "[" ^ String.concat "," (List.map row_json (Table.rows t)) ^ "]"
+
+let step_to_json = function
+  | Defined cv ->
+      Printf.sprintf
+        {|{"step":"view","view":"%s","inferred":"%s","requested":"%s","mode":"%s","downgraded":%b}|}
+        (Lint.json_escape cv.Check.vname)
+        (Law_infer.to_string cv.Check.inferred)
+        (Law_infer.to_string cv.Check.requested)
+        (Ast.mode_name cv.Check.mode)
+        cv.Check.downgraded
+  | Got { vname; version = _; table } ->
+      (* the version is backend-local (store commit counters vs a mem
+         counter) and deliberately left out: the JSON is what the
+         cross-backend differential diff compares *)
+      Printf.sprintf {|{"step":"get","view":"%s","rows":%s}|}
+        (Lint.json_escape vname) (table_json table)
+  | Committed { vname; version = _; op } ->
+      Printf.sprintf {|{"step":"%s","view":"%s","committed":true}|} op
+        (Lint.json_escape vname)
+  | Failed { vname; op; err } ->
+      Printf.sprintf {|{"step":"%s","view":"%s","error":"%s"}|} op
+        (Lint.json_escape vname)
+        (Lint.json_escape (Error.message err))
+
+let to_json ~backend (t : trace) =
+  Printf.sprintf {|{"backend":"%s","ok":%b,"steps":[%s]}|}
+    (Backend.kind_name backend) t.ok
+    (String.concat "," (List.map step_to_json t.steps))

@@ -1,0 +1,32 @@
+(** Run a compiled ESMQL script against one backend kind, one backend
+    instance per view, collecting a step-by-step outcome trace.
+
+    Failures are per-step: a failed put records its typed error and the
+    script continues (the store is unchanged — commits are atomic), so
+    a trace always covers every statement.  [ok] is false iff any step
+    failed. *)
+
+open Esm_core
+open Esm_relational
+
+type step =
+  | Defined of Check.cview
+  | Got of { vname : string; version : int; table : Table.t }
+  | Committed of { vname : string; version : int; op : string }
+      (** [op] is ["put"] or ["delta"] *)
+  | Failed of { vname : string; op : string; err : Error.t }
+
+type trace = { steps : step list; ok : bool }
+
+val run : ?dir:string -> kind:Backend.kind -> Check.compiled -> trace
+(** Execute every item; backends are created at their [view] statement
+    and all closed before returning (exceptions included). *)
+
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> trace -> unit
+
+val step_to_json : step -> string
+val to_json : backend:Backend.kind -> trace -> string
+(** [{"backend":…,"ok":…,"steps":[…]}]; tables render as sorted row
+    arrays of value strings, so equal views render equally — what the
+    CI differential diff compares across backends. *)

@@ -1,0 +1,168 @@
+open Esm_core
+open Esm_relational
+
+(* Local parse failure carrying a fully formatted positioned message;
+   converted to a typed [Error.t] at the [parse] boundary. *)
+exception Fail of string
+
+let failf fmt = Format.kasprintf (fun m -> raise (Fail m)) fmt
+
+type state = { mutable toks : Qlex.t list; eof : Qlex.pos }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t.Qlex.tok
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+let here st = match st.toks with [] -> st.eof | t :: _ -> t.Qlex.pos
+
+let got st =
+  match st.toks with
+  | [] -> "end of input"
+  | t :: _ -> Qlex.describe t.Qlex.tok
+
+let fail st what =
+  failf "%s: expected %s, got %s" (Qlex.pos_string (here st)) what (got st)
+
+let expect st tok what =
+  match peek st with Some t when t = tok -> advance st | _ -> fail st what
+
+let ident st what =
+  match peek st with
+  | Some (Qlex.Ident s) ->
+      advance st;
+      s
+  | _ -> fail st what
+
+let semi st = expect st Qlex.Semi "';'"
+
+let value st : Value.t =
+  match peek st with
+  | Some (Qlex.Int i) ->
+      advance st;
+      Value.Int i
+  | Some (Qlex.Str s) ->
+      advance st;
+      Value.Str s
+  | Some (Qlex.Ident "true") ->
+      advance st;
+      Value.Bool true
+  | Some (Qlex.Ident "false") ->
+      advance st;
+      Value.Bool false
+  | _ -> fail st "a literal (integer, string, true or false)"
+
+let row st : Row.t =
+  expect st Qlex.Lparen "'('";
+  let rec go acc =
+    let v = value st in
+    match peek st with
+    | Some Qlex.Comma ->
+        advance st;
+        go (v :: acc)
+    | _ ->
+        expect st Qlex.Rparen "')' or ','";
+        List.rev (v :: acc)
+  in
+  Row.of_list (go [])
+
+let rows st : Row.t list =
+  (* possibly empty, up to the terminating ';' *)
+  match peek st with
+  | Some Qlex.Semi -> []
+  | _ ->
+      let rec go acc =
+        let r = row st in
+        match peek st with
+        | Some Qlex.Comma ->
+            advance st;
+            go (r :: acc)
+        | _ -> List.rev (r :: acc)
+      in
+      go []
+
+let deltas st : Row_delta.t list =
+  let rec go acc =
+    match peek st with
+    | Some Qlex.Plus ->
+        advance st;
+        go (Row_delta.Add (row st) :: acc)
+    | Some Qlex.Minus ->
+        advance st;
+        go (Row_delta.Remove (row st) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let query st : Query.t =
+  let q, rest = Query.parse_prefix st.toks ~eof:st.eof in
+  st.toks <- rest;
+  q
+
+let stmt st : Ast.stmt =
+  match peek st with
+  | Some (Qlex.Ident "mode") ->
+      advance st;
+      let m =
+        match peek st with
+        | Some (Qlex.Ident s) when Ast.mode_of_string s <> None ->
+            advance st;
+            Option.get (Ast.mode_of_string s)
+        | _ -> fail st "'strict' or 'fallback'"
+      in
+      semi st;
+      Ast.Mode m
+  | Some (Qlex.Ident "expect") ->
+      advance st;
+      (match peek st with
+      | Some (Qlex.Ident "level") -> advance st
+      | _ -> fail st "'level'");
+      expect st Qlex.Eq "'='";
+      let l =
+        match peek st with
+        | Some (Qlex.Ident s) when Ast.level_of_string s <> None ->
+            advance st;
+            Option.get (Ast.level_of_string s)
+        | _ -> fail st "a law level (setbx, undoable, overwriteable or commuting)"
+      in
+      semi st;
+      Ast.Expect l
+  | Some (Qlex.Ident "view") ->
+      advance st;
+      let v = ident st "a view name" in
+      expect st Qlex.Eq "'='";
+      let q = query st in
+      semi st;
+      Ast.View (v, q)
+  | Some (Qlex.Ident "get") ->
+      advance st;
+      let v = ident st "a view name" in
+      semi st;
+      Ast.Get v
+  | Some (Qlex.Ident "put") ->
+      advance st;
+      let v = ident st "a view name" in
+      expect st Qlex.Eq "'='";
+      let rs = rows st in
+      semi st;
+      Ast.Put (v, rs)
+  | Some (Qlex.Ident "delta") ->
+      advance st;
+      let v = ident st "a view name" in
+      let ds = deltas st in
+      semi st;
+      Ast.Delta (v, ds)
+  | _ ->
+      fail st "a statement ('mode', 'expect', 'view', 'get', 'put' or 'delta')"
+
+let parse (input : string) : (Ast.script, Error.t) result =
+  match Qlex.tokenize input with
+  | Error { Qlex.at; what } ->
+      Error (Error.v Error.Parse ~op:"esmql.parse"
+               (Printf.sprintf "%s: %s" (Qlex.pos_string at) what))
+  | Ok (toks, eof) -> (
+      let st = { toks; eof } in
+      let rec go acc =
+        match peek st with None -> List.rev acc | Some _ -> go (stmt st :: acc)
+      in
+      try Ok (go [])
+      with
+      | Fail m -> Error (Error.v Error.Parse ~op:"esmql.parse" m)
+      | Query.Parse_error m -> Error (Error.v Error.Parse ~op:"esmql.parse" m))

@@ -1,0 +1,12 @@
+(** The ESMQL statement parser: {!Esm_relational.Qlex} tokens in, typed
+    {!Ast.script} out.  [view] bodies are parsed by
+    {!Esm_relational.Query.parse_prefix} — the same grammar, the same
+    positioned errors, one lexer.
+
+    Total: every failure (lexing included) is a typed
+    {!Esm_core.Error.t} of kind [Parse] whose message carries the
+    1-based line/column and the offending token — never an exception
+    escape.  The fuzz property in [test/test_ql.ml] drives this over
+    malformed input. *)
+
+val parse : string -> (Ast.script, Esm_core.Error.t) result

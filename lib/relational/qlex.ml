@@ -1,0 +1,111 @@
+(** The shared positioned lexer for the query surface syntax (see the
+    interface).  Deliberately exception-free: both parsers build their
+    own typed errors from the returned positions. *)
+
+type pos = { line : int; col : int }
+
+let pos_string p = Printf.sprintf "line %d, column %d" p.line p.col
+
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Pipe
+  | Lparen
+  | Rparen
+  | Comma
+  | Eq
+  | Lt
+  | Le
+  | Semi
+  | Plus
+  | Minus
+
+type t = { tok : token; pos : pos }
+
+let describe = function
+  | Ident s -> Printf.sprintf "'%s'" s
+  | Int i -> Printf.sprintf "integer %d" i
+  | Str _ -> "a string literal"
+  | Pipe -> "'|'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Eq -> "'='"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Semi -> "';'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+
+type error = { at : pos; what : string }
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || is_digit c || c = '_'
+
+let tokenize (input : string) : (t list * pos, error) result =
+  let n = String.length input in
+  (* [line]/[bol]: current line number and the offset of its first
+     character, so a column is [i - bol + 1]. *)
+  let rec go i line bol acc =
+    if i >= n then Ok (List.rev acc, { line; col = n - bol + 1 })
+    else
+      let pos = { line; col = i - bol + 1 } in
+      let one tok = go (i + 1) line bol ({ tok; pos } :: acc) in
+      match input.[i] with
+      | '\n' -> go (i + 1) (line + 1) (i + 1) acc
+      | ' ' | '\t' | '\r' -> go (i + 1) line bol acc
+      | '#' ->
+          (* comment to end of line — the ESMQL surface allows them and
+             they are harmless in pipeline expressions *)
+          let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+          go (skip i) line bol acc
+      | '|' -> one Pipe
+      | '(' -> one Lparen
+      | ')' -> one Rparen
+      | ',' -> one Comma
+      | ';' -> one Semi
+      | '+' -> one Plus
+      | '=' -> one Eq
+      | '<' ->
+          if i + 1 < n && input.[i + 1] = '=' then
+            go (i + 2) line bol ({ tok = Le; pos } :: acc)
+          else one Lt
+      | '"' ->
+          let rec scan j buf =
+            if j >= n then Error { at = pos; what = "unterminated string literal" }
+            else if input.[j] = '"' then Ok (j + 1, Buffer.contents buf)
+            else if input.[j] = '\n' then
+              Error { at = pos; what = "unterminated string literal" }
+            else begin
+              Buffer.add_char buf input.[j];
+              scan (j + 1) buf
+            end
+          in
+          (match scan (i + 1) (Buffer.create 8) with
+          | Error e -> Error e
+          | Ok (j, s) -> go j line bol ({ tok = Str s; pos } :: acc))
+      | '-' when i + 1 < n && is_digit input.[i + 1] ->
+          let rec scan j = if j < n && is_digit input.[j] then scan (j + 1) else j in
+          let j = scan (i + 1) in
+          int_token i j line bol pos acc
+      | '-' -> one Minus
+      | c when is_digit c ->
+          let rec scan j = if j < n && is_digit input.[j] then scan (j + 1) else j in
+          let j = scan i in
+          int_token i j line bol pos acc
+      | c when is_ident_char c ->
+          let rec scan j = if j < n && is_ident_char input.[j] then scan (j + 1) else j in
+          let j = scan i in
+          go j line bol ({ tok = Ident (String.sub input i (j - i)); pos } :: acc)
+      | c -> Error { at = pos; what = Printf.sprintf "unexpected character %C" c }
+  and int_token i j line bol pos acc =
+    match int_of_string_opt (String.sub input i (j - i)) with
+    | Some v -> go j line bol ({ tok = Int v; pos } :: acc)
+    | None -> Error { at = pos; what = "integer literal out of range" }
+  in
+  go 0 1 0 []

@@ -1,0 +1,41 @@
+(** The shared positioned lexer for the query surface syntax.
+
+    One token grammar serves both {!Query}'s pipeline expressions and the
+    ESMQL statement language ([Esm_ql]): every token carries the 1-based
+    line/column where it starts, so parse errors can point at the exact
+    offending input instead of failing bare.  Lexing failures are typed
+    values, never exceptions — the parsers decide how to raise. *)
+
+type pos = { line : int; col : int }  (** both 1-based *)
+
+val pos_string : pos -> string
+(** ["line L, column C"]. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string  (** double-quoted; no escape sequences (as printed) *)
+  | Pipe
+  | Lparen
+  | Rparen
+  | Comma
+  | Eq
+  | Lt
+  | Le
+  | Semi  (** [;] — ESMQL statement terminator *)
+  | Plus  (** [+] — ESMQL delta addition *)
+  | Minus  (** [-] not followed by a digit — ESMQL delta removal *)
+
+type t = { tok : token; pos : pos }
+
+val describe : token -> string
+(** A quotable rendering for error messages: [Ident "where"] is
+    ["'where'"], [Pipe] is ["'|'"], [Str s] is ["a string literal"], … *)
+
+type error = { at : pos; what : string }
+
+val tokenize : string -> (t list * pos, error) result
+(** Lex the whole input.  [Ok (tokens, eof)] carries the position just
+    past the final character — where "unexpected end of input" points.
+    [-42] lexes as [Int (-42)]; a [-] not followed by a digit is
+    {!Minus}. *)

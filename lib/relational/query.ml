@@ -113,141 +113,90 @@ and pp_expr fmt = function
 let to_string q = Format.asprintf "%a" pp q
 
 (* ------------------------------------------------------------------ *)
-(* Lexer                                                               *)
+(* Parser (recursive descent over the shared positioned token stream)  *)
 (* ------------------------------------------------------------------ *)
 
-type token =
-  | Tident of string
-  | Tint of int
-  | Tstring of string
-  | Tpipe
-  | Tlparen
-  | Trparen
-  | Tcomma
-  | Teq
-  | Tlt
-  | Tle
+(* The lexer lives in Qlex, shared with the ESMQL statement language —
+   one token grammar, two parsers.  Every failure names the position
+   (line, column) and the offending token. *)
 
-let is_ident_char c =
-  (c >= 'a' && c <= 'z')
-  || (c >= 'A' && c <= 'Z')
-  || (c >= '0' && c <= '9')
-  || c = '_'
-
-let lex (input : string) : token list =
-  let n = String.length input in
-  let rec go i acc =
-    if i >= n then List.rev acc
-    else
-      match input.[i] with
-      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
-      | '|' -> go (i + 1) (Tpipe :: acc)
-      | '(' -> go (i + 1) (Tlparen :: acc)
-      | ')' -> go (i + 1) (Trparen :: acc)
-      | ',' -> go (i + 1) (Tcomma :: acc)
-      | '=' -> go (i + 1) (Teq :: acc)
-      | '<' ->
-          if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Tle :: acc)
-          else go (i + 1) (Tlt :: acc)
-      | '"' ->
-          let rec scan j buf =
-            if j >= n then parse_errorf "unterminated string literal"
-            else if input.[j] = '"' then (j + 1, Buffer.contents buf)
-            else begin
-              Buffer.add_char buf input.[j];
-              scan (j + 1) buf
-            end
-          in
-          let j, s = scan (i + 1) (Buffer.create 8) in
-          go j (Tstring s :: acc)
-      | c when c = '-' || (c >= '0' && c <= '9') ->
-          let rec scan j =
-            if j < n && input.[j] >= '0' && input.[j] <= '9' then scan (j + 1)
-            else j
-          in
-          let j = scan (i + 1) in
-          go j (Tint (int_of_string (String.sub input i (j - i))) :: acc)
-      | c when is_ident_char c ->
-          let rec scan j = if j < n && is_ident_char input.[j] then scan (j + 1) else j in
-          let j = scan i in
-          go j (Tident (String.sub input i (j - i)) :: acc)
-      | c -> parse_errorf "unexpected character %C" c
-  in
-  go 0 []
-
-(* ------------------------------------------------------------------ *)
-(* Parser (recursive descent over the token list)                      *)
-(* ------------------------------------------------------------------ *)
-
-let parse (input : string) : t =
-  let tokens = ref (lex input) in
-  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+let parse_prefix (toks : Qlex.t list) ~(eof : Qlex.pos) : t * Qlex.t list =
+  let tokens = ref toks in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t.Qlex.tok in
   let advance () = match !tokens with [] -> () | _ :: rest -> tokens := rest in
+  let here () = match !tokens with [] -> eof | t :: _ -> t.Qlex.pos in
+  let got () =
+    match !tokens with
+    | [] -> "end of input"
+    | t :: _ -> Qlex.describe t.Qlex.tok
+  in
+  let fail what =
+    parse_errorf "%s: expected %s, got %s" (Qlex.pos_string (here ())) what
+      (got ())
+  in
   let expect t what =
-    match peek () with
-    | Some t' when t' = t -> advance ()
-    | _ -> parse_errorf "expected %s" what
+    match peek () with Some t' when t' = t -> advance () | _ -> fail what
   in
   let ident what =
     match peek () with
-    | Some (Tident s) ->
+    | Some (Qlex.Ident s) ->
         advance ();
         s
-    | _ -> parse_errorf "expected %s" what
+    | _ -> fail what
   in
   let parse_expr () : Pred.expr =
     match peek () with
-    | Some (Tint i) ->
+    | Some (Qlex.Int i) ->
         advance ();
         Pred.Lit (Value.Int i)
-    | Some (Tstring s) ->
+    | Some (Qlex.Str s) ->
         advance ();
         Pred.Lit (Value.Str s)
-    | Some (Tident "true") ->
+    | Some (Qlex.Ident "true") ->
         advance ();
         Pred.Lit (Value.Bool true)
-    | Some (Tident "false") ->
+    | Some (Qlex.Ident "false") ->
         advance ();
         Pred.Lit (Value.Bool false)
-    | Some (Tident c) ->
+    | Some (Qlex.Ident c) ->
         advance ();
         Pred.Col c
-    | _ -> parse_errorf "expected an expression"
+    | _ -> fail "an expression"
   in
   let rec parse_neg () : Pred.t =
     match peek () with
-    | Some (Tident "not") ->
+    | Some (Qlex.Ident "not") ->
         advance ();
         Pred.Not (parse_neg ())
-    | Some Tlparen ->
+    | Some Qlex.Lparen ->
         advance ();
         let p = parse_pred () in
-        expect Trparen "')'";
+        expect Qlex.Rparen "')'";
         p
     | _ -> (
         let e1 = parse_expr () in
         match peek () with
-        | Some Teq ->
+        | Some Qlex.Eq ->
             advance ();
             Pred.Eq (e1, parse_expr ())
-        | Some Tle ->
+        | Some Qlex.Le ->
             advance ();
             Pred.Le (e1, parse_expr ())
-        | Some Tlt ->
+        | Some Qlex.Lt ->
             advance ();
             Pred.Lt (e1, parse_expr ())
-        | _ -> parse_errorf "expected a comparison operator")
+        | _ -> fail "a comparison operator ('=', '<' or '<=')")
   and parse_conj () : Pred.t =
     let p = parse_neg () in
     match peek () with
-    | Some (Tident "and") ->
+    | Some (Qlex.Ident "and") ->
         advance ();
         Pred.And (p, parse_conj ())
     | _ -> p
   and parse_pred () : Pred.t =
     let p = parse_conj () in
     match peek () with
-    | Some (Tident "or") ->
+    | Some (Qlex.Ident "or") ->
         advance ();
         Pred.Or (p, parse_pred ())
     | _ -> p
@@ -256,7 +205,7 @@ let parse (input : string) : t =
     let rec go acc =
       let c = ident "a column name" in
       match peek () with
-      | Some Tcomma ->
+      | Some Qlex.Comma ->
           advance ();
           go (c :: acc)
       | _ -> List.rev (c :: acc)
@@ -266,12 +215,12 @@ let parse (input : string) : t =
   let parse_renames () : (string * string) list =
     let rec go acc =
       let a = ident "a column name" in
-      (match ident "'as'" with
-      | "as" -> ()
-      | _ -> parse_errorf "expected 'as'");
+      (match peek () with
+      | Some (Qlex.Ident "as") -> advance ()
+      | _ -> fail "'as'");
       let b = ident "a column name" in
       match peek () with
-      | Some Tcomma ->
+      | Some Qlex.Comma ->
           advance ();
           go ((a, b) :: acc)
       | _ -> List.rev ((a, b) :: acc)
@@ -283,7 +232,7 @@ let parse (input : string) : t =
     parse_ops q
   and parse_ops q =
     match peek () with
-    | Some (Tident (("union" | "diff" | "join" | "product") as op)) ->
+    | Some (Qlex.Ident (("union" | "diff" | "join" | "product") as op)) ->
         advance ();
         let rhs = parse_term () in
         let q' =
@@ -300,30 +249,49 @@ let parse (input : string) : t =
     parse_stages q
   and parse_stages q =
     match peek () with
-    | Some Tpipe -> (
+    | Some Qlex.Pipe -> (
         advance ();
-        match ident "a stage (where/select/rename)" with
-        | "where" -> parse_stages (Where (parse_pred (), q))
-        | "select" -> parse_stages (Project (parse_columns (), q))
-        | "rename" -> parse_stages (Rename (parse_renames (), q))
-        | s -> parse_errorf "unknown stage %S" s)
+        match peek () with
+        | Some (Qlex.Ident "where") ->
+            advance ();
+            parse_stages (Where (parse_pred (), q))
+        | Some (Qlex.Ident "select") ->
+            advance ();
+            parse_stages (Project (parse_columns (), q))
+        | Some (Qlex.Ident "rename") ->
+            advance ();
+            parse_stages (Rename (parse_renames (), q))
+        | _ -> fail "a stage ('where', 'select' or 'rename')")
     | _ -> q
   and parse_atom () : t =
     match peek () with
-    | Some Tlparen ->
+    | Some Qlex.Lparen ->
         advance ();
         let q = parse_query () in
-        expect Trparen "')'";
+        expect Qlex.Rparen "')'";
         q
-    | Some (Tident name) ->
+    | Some (Qlex.Ident name) ->
         advance ();
         Base name
-    | _ -> parse_errorf "expected a table name or '('"
+    | _ -> fail "a table name or '('"
   in
   let q = parse_query () in
-  (match peek () with
-  | None -> ()
-  | Some _ -> parse_errorf "trailing input after the query");
+  (q, !tokens)
+
+let tokenize (input : string) : Qlex.t list * Qlex.pos =
+  match Qlex.tokenize input with
+  | Ok (toks, eof) -> (toks, eof)
+  | Error { Qlex.at; what } ->
+      parse_errorf "%s: %s" (Qlex.pos_string at) what
+
+let parse (input : string) : t =
+  let toks, eof = tokenize input in
+  let q, rest = parse_prefix toks ~eof in
+  (match rest with
+  | [] -> ()
+  | { Qlex.tok; pos } :: _ ->
+      parse_errorf "%s: trailing input after the query (%s)"
+        (Qlex.pos_string pos) (Qlex.describe tok));
   q
 
 (** Parse and evaluate in one step. *)

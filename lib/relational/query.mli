@@ -68,7 +68,18 @@ val pp_expr : Format.formatter -> Pred.expr -> unit
 val to_string : t -> string
 
 val parse : string -> t
-(** @raise Parse_error on malformed input (including trailing tokens). *)
+(** @raise Parse_error on malformed input (including trailing tokens).
+    Messages carry the 1-based line/column and the offending token,
+    e.g. ["line 1, column 12: expected a stage ('where', 'select' or
+    'rename'), got integer 3"]. *)
+
+val parse_prefix : Qlex.t list -> eof:Qlex.pos -> t * Qlex.t list
+(** Parse the longest query expression at the head of a token stream,
+    returning it with the unconsumed suffix.  [eof] positions
+    end-of-input errors.  The ESMQL statement parser ([Esm_ql]) embeds
+    query expressions through this entry point so there is exactly one
+    grammar.
+    @raise Parse_error on malformed input. *)
 
 (** {1 Updatable views}
 

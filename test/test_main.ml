@@ -43,4 +43,6 @@ let () =
       ("transport (real net + chaos net)", Test_transport.suite);
       ("durable log", Test_durable_log.suite);
       ("incr (reactive recomputation)", Test_incr.suite);
+      (* last: registers into the shared catalog (see its header note) *)
+      ("esmql (law-checked query front-end)", Test_ql.suite);
     ]

@@ -1,0 +1,442 @@
+(** ESMQL front-end: parser round-trip and fuzz properties, the
+    compile-time law gate (strict reject / fallback downgrade), the
+    cross-backend differential — the same script gives the same answers
+    on mem, store and remote, chaos seeds included — and the catalog
+    registration of the ESMQL-derived scenarios.
+
+    NOTE: this suite registers entries into [Esm_analysis.Catalog] (as
+    bxlint does), so it must stay {e last} in [test_main.ml]: the
+    law-inference and lint suites iterate [Catalog.all ()] and expect
+    the builtin catalog. *)
+
+open Esm_core
+open Esm_analysis
+module Rel = Esm_relational
+module Ql = Esm_ql
+
+let check = Alcotest.check
+let test = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Shared environment: the employees base, as the esmql CLI seeds it    *)
+(* ------------------------------------------------------------------ *)
+
+let bases ?(seed = 42) ?(size = 60) () : Ql.Check.base list =
+  [
+    {
+      Ql.Check.bname = "employees";
+      bschema = Rel.Workload.employees_schema;
+      bkey = [ "id" ];
+      binit = Rel.Workload.employees ~seed ~size;
+    };
+  ]
+
+let compile ?(mode = Ql.Ast.Strict) src =
+  match Ql.Parser.parse src with
+  | Error e -> Error e
+  | Ok script -> Ql.Check.compile ~mode ~bases:(bases ()) script
+
+let compile_exn ?mode src =
+  match compile ?mode src with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "unexpected rejection: %s" (Error.message e)
+
+let reject ?mode src =
+  match compile ?mode src with
+  | Ok _ -> Alcotest.failf "script was wrongly accepted: %s" src
+  | Error e -> Error.message e
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let assert_contains ~what ~needle hay =
+  if not (contains ~needle hay) then
+    Alcotest.failf "%s: %S does not mention %S" what hay needle
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: units and positioned errors                                 *)
+(* ------------------------------------------------------------------ *)
+
+let demo_script =
+  {|# the engineering roster
+mode fallback;
+expect level = commuting;
+view eng = employees | where dept = "Engineering" | select id, name, dept;
+get eng;
+put eng = (1, "ada", "Engineering"), (2, "bob", "Engineering");
+delta eng + (7, "grace", "Engineering") - (1, "ada", "Engineering");
+|}
+
+let parse_tests =
+  [
+    test "a representative script parses" `Quick (fun () ->
+        match Ql.Parser.parse demo_script with
+        | Error e -> Alcotest.failf "parse failed: %s" (Error.message e)
+        | Ok s ->
+            check Alcotest.int "statement count" 6 (List.length s);
+            (match List.nth s 2 with
+            | Ql.Ast.View ("eng", _) -> ()
+            | _ -> Alcotest.fail "statement 2 is not the view");
+            (match List.nth s 5 with
+            | Ql.Ast.Delta ("eng", [ Rel.Row_delta.Add _; Rel.Row_delta.Remove _ ])
+              -> ()
+            | _ -> Alcotest.fail "statement 5 is not the two-edit delta"));
+    test "empty put parses as the empty view" `Quick (fun () ->
+        match Ql.Parser.parse "put v =;" with
+        | Ok [ Ql.Ast.Put ("v", []) ] -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    test "esmql errors carry line and column" `Quick (fun () ->
+        match Ql.Parser.parse "view v =\n  employees |;" with
+        | Ok _ -> Alcotest.fail "wrongly accepted"
+        | Error e ->
+            assert_contains ~what:"esmql error" ~needle:"line 2, column 14"
+              (Error.message e));
+    test "query errors carry line and column (shared lexer)" `Quick (fun () ->
+        match Rel.Query.parse "employees |" with
+        | _ -> Alcotest.fail "wrongly accepted"
+        | exception Rel.Query.Parse_error m ->
+            assert_contains ~what:"query error" ~needle:"line 1, column 12" m);
+    test "the offending token is named" `Quick (fun () ->
+        match Ql.Parser.parse "expect level = 3;" with
+        | Ok _ -> Alcotest.fail "wrongly accepted"
+        | Error e ->
+            assert_contains ~what:"esmql error" ~needle:"integer 3"
+              (Error.message e));
+    test "huge integer literals are a typed error, not Failure" `Quick
+      (fun () ->
+        match Ql.Parser.parse "put v = (99999999999999999999999999);" with
+        | Ok _ -> Alcotest.fail "wrongly accepted"
+        | Error e ->
+            assert_contains ~what:"esmql error" ~needle:"out of range"
+              (Error.message e));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties: print/parse round trip and the no-exception fuzz         *)
+(* ------------------------------------------------------------------ *)
+
+(* Strings the printer emits literally (no escapes): the round-trip
+   property quantifies over these; escaping itself is exercised by the
+   fuzz property below. *)
+let gen_name = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (1 -- 6))
+
+let gen_value : Rel.Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun i -> Rel.Value.Int i) (-1000 -- 1000);
+      map (fun s -> Rel.Value.Str s) gen_name;
+      map (fun b -> Rel.Value.Bool b) bool;
+    ]
+
+let gen_row : Rel.Row.t QCheck.Gen.t =
+  QCheck.Gen.(map Rel.Row.of_list (list_size (1 -- 4) gen_value))
+
+let gen_pred : Rel.Pred.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map (fun i -> Rel.Pred.(col "id" = int i)) small_nat;
+        map (fun i -> Rel.Pred.(col "salary" < int i)) small_nat;
+        map (fun s -> Rel.Pred.(col "dept" = str s)) gen_name;
+        return Rel.Pred.(col "id" <= int 5);
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (1, map2 (fun p q -> Rel.Pred.And (p, q)) (go (depth - 1)) atom);
+          (1, map2 (fun p q -> Rel.Pred.Or (p, q)) (go (depth - 1)) atom);
+          (1, map (fun p -> Rel.Pred.Not p) (go (depth - 1)));
+        ]
+  in
+  go 2
+
+let gen_query : Rel.Query.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then return (Rel.Query.Base "employees")
+    else
+      frequency
+        [
+          (2, return (Rel.Query.Base "employees"));
+          (2, map2 (fun p q -> Rel.Query.Where (p, q)) gen_pred (go (depth - 1)));
+          (1, map (fun q -> Rel.Query.Project ([ "id"; "name" ], q)) (go (depth - 1)));
+          (1, map (fun q -> Rel.Query.Rename ([ ("dept", "team") ], q)) (go (depth - 1)));
+          (1, map2 (fun a b -> Rel.Query.Union (a, b)) (go (depth - 1)) (go (depth - 1)));
+        ]
+  in
+  go 3
+
+let gen_stmt : Ql.Ast.stmt QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun m -> Ql.Ast.Mode m) (oneofl [ Ql.Ast.Strict; Ql.Ast.Fallback ]);
+      map (fun l -> Ql.Ast.Expect l)
+        (oneofl [ `Set_bx; `Undoable; `Overwriteable; `Commuting ]);
+      map2 (fun v q -> Ql.Ast.View (v, q)) gen_name gen_query;
+      map (fun v -> Ql.Ast.Get v) gen_name;
+      map2 (fun v rs -> Ql.Ast.Put (v, rs)) gen_name (list_size (0 -- 3) gen_row);
+      map2
+        (fun v ds -> Ql.Ast.Delta (v, ds))
+        gen_name
+        (list_size (0 -- 3)
+           (map2
+              (fun add r ->
+                if add then Rel.Row_delta.Add r else Rel.Row_delta.Remove r)
+              bool gen_row));
+    ]
+
+let gen_script : Ql.Ast.script QCheck.arbitrary =
+  QCheck.make ~print:Ql.Ast.to_string
+    QCheck.Gen.(list_size (0 -- 8) gen_stmt)
+
+(* Fuzz inputs: mutilated prints plus raw token soup — the parser must
+   answer with a typed result on all of them. *)
+let gen_garbage : string QCheck.arbitrary =
+  let open QCheck.Gen in
+  let soup =
+    string_size ~gen:(oneofl
+      [ 'v'; 'i'; 'e'; 'w'; 'p'; 'u'; 't'; ' '; '\n'; '('; ')'; ','; ';';
+        '='; '|'; '<'; '+'; '-'; '"'; '\\'; '#'; '0'; '9'; '\xce' ])
+      (0 -- 60)
+  in
+  let truncated =
+    map2
+      (fun s n ->
+        let s = Ql.Ast.to_string s in
+        String.sub s 0 (min n (String.length s)))
+      QCheck.Gen.(list_size (0 -- 4) gen_stmt)
+      (0 -- 80)
+  in
+  QCheck.make ~print:String.escaped (oneof [ soup; truncated ])
+
+let prop_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:500 ~name:"print then parse is the identity"
+        gen_script (fun s ->
+          match Ql.Parser.parse (Ql.Ast.to_string s) with
+          | Ok s' -> Ql.Ast.equal s s'
+          | Error e -> QCheck.Test.fail_reportf "rejected: %s" (Error.message e));
+      QCheck.Test.make ~count:1000
+        ~name:"fuzz: every input gets a typed result, never an exception"
+        gen_garbage (fun src ->
+          match Ql.Parser.parse src with
+          | Ok _ | Error _ -> true
+          | exception e ->
+              QCheck.Test.fail_reportf "exception escaped: %s"
+                (Printexc.to_string e));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The compile-time gate                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eng_view = "view eng = " ^ Ql.Audit.fallback_source ^ ";"
+let key_slice = "view ks = " ^ Ql.Audit.strict_source ^ ";"
+
+let gate_tests =
+  [
+    test "requested <= inferred passes as asked" `Quick (fun () ->
+        let c =
+          compile_exn ("expect level = overwriteable;\n" ^ key_slice)
+        in
+        let cv = List.hd c.Ql.Check.views in
+        check Alcotest.bool "not downgraded" false cv.Ql.Check.downgraded;
+        check Alcotest.string "inferred" "overwriteable"
+          (Law_infer.to_string cv.Ql.Check.inferred));
+    test "strict mode rejects commuting over a lossy project" `Quick
+      (fun () ->
+        let msg = reject ("expect level = commuting;\n" ^ eng_view) in
+        assert_contains ~what:"rejection" ~needle:"commuting" msg;
+        assert_contains ~what:"rejection" ~needle:"set-bx" msg;
+        assert_contains ~what:"rejection" ~needle:"strict" msg);
+    test "fallback mode downgrades the same script" `Quick (fun () ->
+        let c =
+          compile_exn ~mode:Ql.Ast.Fallback
+            ("expect level = commuting;\n" ^ eng_view)
+        in
+        let cv = List.hd c.Ql.Check.views in
+        check Alcotest.bool "downgraded" true cv.Ql.Check.downgraded;
+        check Alcotest.string "inferred" "set-bx"
+          (Law_infer.to_string cv.Ql.Check.inferred);
+        check Alcotest.string "requested" "commuting"
+          (Law_infer.to_string cv.Ql.Check.requested));
+    test "a mode statement flips the gate mid-script" `Quick (fun () ->
+        let c =
+          compile_exn
+            ("mode fallback;\nexpect level = commuting;\n" ^ eng_view)
+        in
+        check Alcotest.bool "downgraded" true
+          (List.hd c.Ql.Check.views).Ql.Check.downgraded);
+    test "plan-lint errors reject in both modes" `Quick (fun () ->
+        let bad = "view v = employees | select id, nope;" in
+        assert_contains ~what:"strict" ~needle:"nope" (reject bad);
+        assert_contains ~what:"fallback" ~needle:"nope"
+          (reject ~mode:Ql.Ast.Fallback bad));
+    test "dropping the key rejects in both modes" `Quick (fun () ->
+        let bad = "view v = employees | select name, dept;" in
+        let msg = reject ~mode:Ql.Ast.Fallback bad in
+        assert_contains ~what:"fallback" ~needle:"key" msg);
+    test "unknown views and bases are typed errors" `Quick (fun () ->
+        assert_contains ~what:"unknown view" ~needle:"no such view"
+          (reject "get nosuch;");
+        assert_contains ~what:"unknown base" ~needle:"nosuch"
+          (reject "view v = nosuch;"));
+    test "non-conforming put rows are typed errors" `Quick (fun () ->
+        let msg =
+          reject
+            (eng_view ^ "\nput eng = (1, 2);")
+        in
+        check Alcotest.bool "mentions the shape problem" true
+          (contains ~needle:"conform" msg || contains ~needle:"arity" msg
+          || contains ~needle:"row" msg));
+    test "the validated fallback preserves put semantics" `Quick (fun () ->
+        (* the same edits through the raw delta path (strict, honest
+           level) and the runtime-validated oracle path (fallback,
+           downgraded) must produce identical views *)
+        let script rest = eng_view ^ "\n" ^ rest in
+        let edits =
+          "put eng = (1, \"ada\", \"Engineering\"), (2, \"bob\", \
+           \"Engineering\");\ndelta eng + (9, \"grace\", \"Engineering\");\n\
+           get eng;"
+        in
+        let run mode pre =
+          let c = compile_exn ~mode (pre ^ script edits) in
+          let t = Ql.Exec.run ~kind:Ql.Backend.Mem c in
+          check Alcotest.bool "trace ok" true t.Ql.Exec.ok;
+          Ql.Exec.to_json ~backend:Ql.Backend.Mem t
+        in
+        let raw = run Ql.Ast.Strict "" in
+        let validated =
+          run Ql.Ast.Fallback "expect level = commuting;\n"
+        in
+        (* traces differ only in the view-definition step's gate fields *)
+        let tail s =
+          match String.index_opt s '[' with
+          | Some i -> String.sub s i (String.length s - i)
+          | None -> s
+        in
+        let strip s =
+          (* drop the Defined step (first element) from the steps array *)
+          match String.index_opt (tail s) '}' with
+          | Some i ->
+              let t = tail s in
+              String.sub t i (String.length t - i)
+          | None -> s
+        in
+        check Alcotest.string "same answers" (strip raw) (strip validated));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The cross-backend differential, chaos seeds included                 *)
+(* ------------------------------------------------------------------ *)
+
+let diff_script =
+  eng_view
+  ^ "\nget eng;\nput eng = (1, \"ada\", \"Engineering\"), (2, \"bob\", \
+     \"Engineering\");\ndelta eng + (7, \"grace\", \"Engineering\") - (1, \
+     \"ada\", \"Engineering\");\nget eng;"
+
+let run_backend ?chaos kind : string =
+  let c = compile_exn diff_script in
+  let go () = Ql.Exec.run ~kind c in
+  let trace =
+    match chaos with
+    | None -> go ()
+    | Some (seed, rate) ->
+        (* only the wire sees faults: the differential asserts that
+           retry + dedup + resolve heal the remote backend back to the
+           exact mem/store answers *)
+        Chaos.with_chaos
+          (Chaos.make ~rate ~seed ())
+          (fun () -> Chaos.at_sites [ "net." ] go)
+  in
+  check Alcotest.bool
+    (Ql.Backend.kind_name kind ^ " trace ok")
+    true trace.Ql.Exec.ok;
+  (* normalise the backend label so the traces compare byte-for-byte *)
+  Ql.Exec.to_json ~backend:Ql.Backend.Mem trace
+
+let differential_tests =
+  [
+    test "mem, store and remote give identical traces" `Quick (fun () ->
+        let mem = run_backend Ql.Backend.Mem in
+        check Alcotest.string "store = mem" mem (run_backend Ql.Backend.Store);
+        check Alcotest.string "remote = mem" mem (run_backend Ql.Backend.Remote));
+  ]
+  @ List.map
+      (fun seed ->
+        test
+          (Printf.sprintf "remote under net chaos = mem (seed %d)" seed)
+          `Slow
+          (fun () ->
+            let mem = run_backend Ql.Backend.Mem in
+            let remote =
+              run_backend ~chaos:(seed, 0.2) Ql.Backend.Remote
+            in
+            check Alcotest.string "remote = mem" mem remote;
+            (* ...and chaos scoped to net.* leaves store untouched too *)
+            let store =
+              run_backend ~chaos:(seed, 0.2) Ql.Backend.Store
+            in
+            check Alcotest.string "store = mem" mem store))
+      [ 1; 42; 20140328 ]
+
+(* ------------------------------------------------------------------ *)
+(* Catalog registration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let catalog_tests =
+  [
+    test "registration is idempotent and audits clean" `Quick (fun () ->
+        Ql.Audit.register_catalog ();
+        Ql.Audit.register_catalog ();
+        let entries =
+          List.filter
+            (fun e -> List.mem (Catalog.entry_label e) Ql.Audit.labels)
+            (Catalog.all ())
+        in
+        check Alcotest.int "one entry per label" 2 (List.length entries);
+        List.iter
+          (fun e ->
+            let a = Catalog.audit_entry e in
+            check Alcotest.bool
+              (a.Catalog.label ^ " audit error-free")
+              false
+              (Catalog.audit_has_errors a);
+            check Alcotest.bool
+              (a.Catalog.label ^ " cross-check ok")
+              true a.Catalog.cross_check_ok)
+          entries);
+    test "audits carry requested vs inferred plan levels" `Quick (fun () ->
+        Ql.Audit.register_catalog ();
+        let audit label =
+          Catalog.audit_entry
+            (List.find
+               (fun e -> Catalog.entry_label e = label)
+               (Catalog.all ()))
+        in
+        let strict = audit Ql.Audit.strict_label in
+        check Alcotest.(option string) "strict requested"
+          (Some "overwriteable")
+          (Option.map Law_infer.to_string strict.Catalog.plan_requested);
+        check Alcotest.(option string) "strict inferred" (Some "overwriteable")
+          (Option.map Law_infer.to_string strict.Catalog.plan_inferred);
+        let fb = audit Ql.Audit.fallback_label in
+        check Alcotest.(option string) "fallback requested" (Some "commuting")
+          (Option.map Law_infer.to_string fb.Catalog.plan_requested);
+        check Alcotest.(option string) "fallback inferred" (Some "set-bx")
+          (Option.map Law_infer.to_string fb.Catalog.plan_inferred));
+  ]
+
+let suite =
+  parse_tests @ prop_tests @ gate_tests @ differential_tests @ catalog_tests
