@@ -975,6 +975,137 @@ let b15_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* B16: sharded gossip catch-up + post-compaction reopen recovery      *)
+(* ------------------------------------------------------------------ *)
+
+let b16_shards = 2
+
+let b16_shard_of_row (row : Row.t) : int =
+  match Row.to_list row with
+  | Value.Int id :: _ -> ((id mod b16_shards) + b16_shards) mod b16_shards
+  | _ -> 0
+
+(* a 2-shard group over the n=512 workload, partitioned by id parity *)
+let b16_group () : Sync.Shard.Relational.rt =
+  let init = Workload.employees ~seed:7 ~size:512 in
+  let buckets = Array.make b16_shards [] in
+  List.iter
+    (fun r ->
+      let i = b16_shard_of_row r in
+      buckets.(i) <- r :: buckets.(i))
+    (Table.rows init);
+  let stores =
+    Array.init b16_shards (fun i ->
+        Sync.Store.of_packed
+          ~name:(Printf.sprintf "bench-%d" i)
+          ~snapshot_every:64 ~apply_da:Row_delta.apply_all
+          ~apply_db:Row_delta.apply_all
+          (Esm_core.Concrete.packed_of_lens ~vwb:false
+             ~init:
+               (Table.of_rows Workload.employees_schema (List.rev buckets.(i)))
+             ~eq_state:Table.equal select_lens))
+  in
+  Sync.Shard.make ~stores
+    ~route:
+      (Sync.Shard.Relational.route_op ~shards:b16_shards
+         ~shard_of_row:b16_shard_of_row)
+    ()
+
+(* 64 commits, every id even, so the whole suffix lands at shard 0 and
+   shard 1's replica is 64 entries behind *)
+let b16_fill g =
+  for i = 1 to 64 do
+    List.iter
+      (fun (_, r) ->
+        match r with
+        | Ok _ -> ()
+        | Error e -> failwith (Esm_core.Error.message e))
+      (Sync.Shard.submit g ~session:"bench"
+         (Sync.Store.Batch_a
+            [
+              Row_delta.Add
+                (Row.of_list
+                   [
+                     Value.Int (200_000 + (2 * i));
+                     Value.Str ("g" ^ string_of_int i);
+                     Value.Str "Engineering";
+                     Value.Int 60_000;
+                     Value.Str "gossip@example.com";
+                   ]);
+            ]))
+  done
+
+let b16_compact_shard0 g =
+  match Sync.Store.compact (Sync.Shard.store g 0) with
+  | Ok _ -> ()
+  | Error e -> failwith (Esm_core.Error.message e)
+
+(* already quiescent: the steady-state round ships nothing *)
+let b16_steady =
+  let g = b16_group () in
+  b16_fill g;
+  ignore (Sync.Shard.gossip_until_quiescent g);
+  g
+
+let b16_gossip_tests =
+  [
+    Test.make ~name:"setup floor: build + 64 commits, no gossip"
+      (Staged.stage (fun () ->
+           let g = b16_group () in
+           b16_fill g));
+    Test.make ~name:"gossip catch-up: 64-entry suffix (2 shards)"
+      (Staged.stage (fun () ->
+           let g = b16_group () in
+           b16_fill g;
+           Sync.Shard.gossip_round g));
+    Test.make ~name:"gossip catch-up: resync from compacted peer"
+      (Staged.stage (fun () ->
+           let g = b16_group () in
+           b16_fill g;
+           b16_compact_shard0 g;
+           Sync.Shard.gossip_round g));
+    Test.make ~name:"gossip steady-state round (in sync)"
+      (Staged.stage (fun () -> Sync.Shard.gossip_round b16_steady));
+  ]
+
+(* post-compaction reopen vs the unbounded log: the same 127-commit
+   history at n=512 (cadence 8); one dir compacted to its version-120
+   snapshot before closing, so reopen validates and dedups 7 records
+   instead of 127 while replaying the same 7-entry suffix *)
+let b16_reopen_tests =
+  List.map
+    (fun (label, compacted) ->
+      let dir = b11_dir ("b16-" ^ label) in
+      let store =
+        b11_store ~snapshot_every:8 ~size:512
+          ~fsync:Sync.Durable_log.Fsync_never ~dir ()
+      in
+      for _ = 1 to 127 do
+        b10_commit store b11_net_zero
+      done;
+      if compacted then (
+        match Sync.Store.compact store with
+        | Ok _ -> ()
+        | Error e -> failwith (Esm_core.Error.message e));
+      Sync.Store.close store;
+      Test.make
+        ~name:(Printf.sprintf "reopen 127 commits, %-9s log (n=512)" label)
+        (Staged.stage (fun () ->
+             match
+               Sync.Store.reopen ~name:"bench" ~snapshot_every:8
+                 ~apply_da:Row_delta.apply_all ~apply_db:Row_delta.apply_all
+                 ~codec:b11_codec ~dir
+                 (Esm_core.Concrete.packed_of_lens ~vwb:false
+                    ~init:(Workload.employees ~seed:7 ~size:512)
+                    ~eq_state:Table.equal select_lens)
+             with
+             | Ok store -> Sync.Store.close store
+             | Error e -> failwith (Esm_core.Error.message e))))
+    [ ("full", false); ("compacted", true) ]
+
+let b16_tests = b16_gossip_tests @ b16_reopen_tests
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1108,6 +1239,18 @@ let pre_pr8_baseline =
     ("B13/store view read, memoized hit (n=4096)", 740.7);
   ]
 
+(* Pre-PR10 there was no sharding and no compaction: a lagging replica
+   could only be rebuilt by the full replay/reopen machinery, and the
+   durable log grew without bound.  B16's gossip catch-up and bounded
+   reopen are judged against these committed PR9 numbers for that
+   machinery. *)
+let pre_pr10_baseline =
+  [
+    ("B10/replay recovery (8 bursts, n=4096)", 3025665.8);
+    ("B11/reopen 127 commits, snapshot_every=8 (n=512)", 3874763.6);
+    ("B11/reopen 127 commits, snapshot_every=100000 (n=512)", 6253273.1);
+  ]
+
 let json_number ns =
   if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns
 
@@ -1223,9 +1366,19 @@ let () =
        oracle (orders over the delta path); parse+compile+gate is a \
        once-per-script cost"
     b15_tests;
+  run_group ~id:"B16"
+    ~header:"sharded gossip catch-up + post-compaction reopen recovery"
+    ~expectation:
+      "one anti-entropy round ships the whole 64-entry suffix for a small \
+       constant over the setup floor; a compacted peer answers with a typed \
+       resync (snapshot + empty suffix) for about the same cost; the \
+       steady-state round is near-free; reopening a compacted log beats the \
+       full 127-record scan"
+    b16_tests;
   if json then (
     emit_json ~pr:2 ~baseline:pre_pr_baseline "BENCH_PR2.json";
     emit_json ~pr:7 ~baseline:pre_pr7_baseline "BENCH_PR7.json";
     emit_json ~pr:8 ~baseline:pre_pr8_baseline "BENCH_PR8.json";
-    emit_json ~pr:9 ~baseline:pre_pr9_baseline "BENCH_PR9.json");
+    emit_json ~pr:9 ~baseline:pre_pr9_baseline "BENCH_PR9.json";
+    emit_json ~pr:10 ~baseline:pre_pr10_baseline "BENCH_PR10.json");
   Fmt.pr "@.done.@."

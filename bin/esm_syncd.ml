@@ -61,14 +61,42 @@
        lands there) after the Nth durable write syscall — the
        crash-injection half of the durability story.
 
+     esm_syncd --soak --shards N [--gossip-every K] [--compact]
+              [--dir D] [--kill-at N]
+       The sharded soak: partition the store across N shards (row
+       ownership: id mod N), route every batch commit through the
+       group router, and run one anti-entropy gossip round every K ops
+       (injected faults drop edges; later rounds absorb them).  Checks
+       per-shard recovery, per-shard head = acked accounting, and —
+       after a fault-free quiesce — the cross-shard convergence
+       invariant (every shard reconstructs the authoritative union).
+       With --compact each shard periodically drops its oplog prefix
+       below its latest durable snapshot; with --dir the run ends with
+       an on-disk audit: no retained record at or below the horizon,
+       the log bounded by the snapshot cadence, and a reopen that
+       reaches the exact pre-close head.  --kill-at also ticks on the
+       compaction path's fault sites (tmp writes, fsync, rename, fd
+       switch-over), giving the torn-compaction crash matrix.
+
+     esm_syncd --soak --chaos-net --shards N [--gossip-every K]
+       The sharded chaos-net soak: one chaos network per shard,
+       sessions pinned round-robin (fresh row ids stay in the pinned
+       shard's residue class), gossip interleaved with the faulty
+       traffic, then heal, quiesce, and assert per-shard no-lost/no-dup
+       accounting plus cross-shard convergence.
+
      esm_syncd --check-dir D [--seed N] [--ops N] [--sessions N]
+              [--shards N [--compact]]
        The recovery half: rerun the identical soak (same seed, same
        CHAOS_SEED schedule — chaos visits are counted per site, so the
        uncrashed rerun performs the same commit sequence) into a
        scratch directory D.oracle, then reopen the killed log in D
        *outside* chaos and diff the recovered store against the
        oracle's prefix at the recovered version.  Exit 1 on any
-       divergence or on unrecoverable corruption.
+       divergence or on unrecoverable corruption.  With --shards the
+       oracle is the rerun's recorded per-version view history (a
+       from-zero oplog replay is impossible once compaction dropped
+       the prefix) and every killed shard directory is checked.
 
    All modes honour CHAOS_SEED (and optional CHAOS_RATE): fault
    injection at the sync chaos sites (append/replay/rebase/durable
@@ -111,6 +139,64 @@ let rec rm_rf path =
       Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
       Sys.rmdir path)
     else Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Sharded store helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Row ownership for the employees substrate: id mod shards.  Both the
+   A rows and the B view rows carry the id as their first column, and
+   the congruence is invertible — the sharded net soak generates each
+   session's fresh ids inside its own shard's residue class, so a
+   session's commits land exactly at its pinned shard. *)
+let shard_of_emp_row ~shards (row : Row.t) : int =
+  match Row.to_list row with
+  | Value.Int id :: _ -> ((id mod shards) + shards) mod shards
+  | _ -> 0
+
+let shard_dir dir i = Filename.concat dir (Printf.sprintf "shard-%d" i)
+
+(* Each shard's initial state is its own partition of the seed table:
+   the union of the partitions is the unsharded init, so the
+   authoritative (union) views line up with the single-store soak. *)
+let partition_init ~shards ~seed ~size : Table.t array =
+  let init = Workload.employees ~seed ~size in
+  let buckets = Array.make shards [] in
+  List.iter
+    (fun r ->
+      let i = shard_of_emp_row ~shards r in
+      buckets.(i) <- r :: buckets.(i))
+    (Table.rows init);
+  Array.map
+    (fun rows -> Table.of_rows Workload.employees_schema (List.rev rows))
+    buckets
+
+let shard_packed ~shards ~seed ~size i =
+  let parts = partition_init ~shards ~seed ~size in
+  Concrete.packed_of_lens ~vwb:false ~init:parts.(i) ~eq_state:Table.equal
+    eng_lens
+
+let shard_group ?dir ~seed ~size ~shards () : Shard.Relational.rt =
+  let stores =
+    Array.init shards (fun i ->
+        let persist =
+          Option.map
+            (fun d ->
+              Store.persist ~fsync:(Durable_log.Fsync_every 8)
+                ~dir:(shard_dir d i) default_codec)
+            dir
+        in
+        Store.of_packed
+          ~name:(Printf.sprintf "employees-%d" i)
+          ~snapshot_every:8 ~apply_da:Row_delta.apply_all
+          ~apply_db:Row_delta.apply_all ?persist
+          (shard_packed ~shards ~seed ~size i))
+  in
+  Shard.make ~stores
+    ~route:
+      (Shard.Relational.route_op ~shards
+         ~shard_of_row:(shard_of_emp_row ~shards))
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Script mode                                                         *)
@@ -334,6 +420,242 @@ let soak ?dir ?(quiet = false) ~seed ~ops:n_ops ~sessions:n_sessions () :
       (1, store)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded soak: N shards, routed commits, gossip replication,         *)
+(* snapshot-anchored compaction, per-shard crash/recovery              *)
+(* ------------------------------------------------------------------ *)
+
+(* Reopen one shard's killed/closed directory outside fault injection. *)
+let reopen_shard ~seed ~shards i (d : string) =
+  Store.reopen
+    ~name:(Printf.sprintf "employees-%d" i)
+    ~snapshot_every:8 ~apply_da:Row_delta.apply_all
+    ~apply_db:Row_delta.apply_all ~codec:default_codec ~dir:(shard_dir d i)
+    (shard_packed ~shards ~seed ~size:48 i)
+
+(* The sharded soak drives routed commits at the group, gossips every
+   [gossip_every] ops (faults drop edges; anti-entropy retries), and —
+   with [compact] — periodically compacts every shard's oplog to its
+   latest snapshot.  It records every committed version's views per
+   shard (the compaction-proof oracle [check_shards] replays against:
+   with the log prefix dropped, a from-zero replay is impossible by
+   design).  Stores are closed before returning; with a persisted
+   compacting run the on-disk audit then asserts the acceptance
+   criterion directly: no retained record below the latest snapshot
+   version, bounded log length, and a reopen that reaches the exact
+   pre-close head. *)
+let shard_soak ?dir ?(quiet = false) ~compact:do_compact ~seed ~ops:n_ops
+    ~sessions:n_sessions ~shards:n_shards ~gossip_every () :
+    int * (int, Table.t * Table.t) Hashtbl.t array =
+  let group = shard_group ?dir ~seed ~size:48 ~shards:n_shards () in
+  let stores = Array.init n_shards (Shard.store group) in
+  let r = Workload.rng ~seed in
+  let violations = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let histories = Array.init n_shards (fun _ -> Hashtbl.create 64) in
+  let record j =
+    Hashtbl.replace histories.(j)
+      (Store.version stores.(j))
+      (Store.view_a stores.(j), Store.view_b stores.(j))
+  in
+  Array.iteri (fun j _ -> record j) stores;
+  let acked = Array.make n_shards 0 in
+  let session_names =
+    List.init n_sessions (fun i -> Printf.sprintf "s%d" (i + 1))
+  in
+  let fresh_id = ref 100_000 in
+  let new_row side =
+    incr fresh_id;
+    let name =
+      Workload.pick r [ "nu"; "xi"; "pi"; "rho" ] ^ string_of_int !fresh_id
+    in
+    match side with
+    | `A ->
+        Row.of_list
+          [
+            Value.Int !fresh_id;
+            Value.Str name;
+            Value.Str (Workload.pick r [ "Engineering"; "Sales"; "Ops" ]);
+            Value.Int (40_000 + (500 * Workload.int r 100));
+            Value.Str (name ^ "@example.com");
+          ]
+    | `B ->
+        Row.of_list
+          [ Value.Int !fresh_id; Value.Str name; Value.Str "Engineering" ]
+  in
+  let random_deltas side =
+    (* removals draw from the authoritative union so a delta can target
+       any shard — the router, not the workload, decides ownership *)
+    let pool =
+      match side with
+      | `A -> Shard.Relational.authoritative_a group
+      | `B -> Shard.Relational.authoritative_b group
+    in
+    let rows = Table.rows pool in
+    let n = 1 + Workload.int r 4 in
+    List.init n (fun _ ->
+        if rows = [] || Workload.int r 3 = 0 then Row_delta.Add (new_row side)
+        else Row_delta.Remove (Workload.pick r rows))
+  in
+  let commits = ref 0 and failures = ref 0 and recoveries = ref 0 in
+  let compactions = ref 0 and compaction_errors = ref 0 in
+  let crash_every = max 5 (n_ops / 8) in
+  let compact_every = max 10 (n_ops / 8) in
+  for i = 1 to n_ops do
+    let session = Workload.pick r session_names in
+    let op =
+      if Workload.int r 2 = 0 then Store.Batch_a (random_deltas `A)
+      else Store.Batch_b (random_deltas `B)
+    in
+    List.iter
+      (fun (j, outcome) ->
+        match outcome with
+        | Ok _ ->
+            incr commits;
+            acked.(j) <- acked.(j) + 1;
+            record j
+        | Error _ ->
+            (* a failed part rolls back at its shard only; rows are
+               single-owner, so no row is left half-updated *)
+            incr failures)
+      (Shard.submit group ~session op);
+    if i mod gossip_every = 0 then Shard.gossip_round group;
+    if do_compact && i mod compact_every = 0 then
+      Array.iteri
+        (fun j res ->
+          match res with
+          | Ok 0 -> ()
+          | Ok _ ->
+              incr compactions;
+              if Store.horizon stores.(j) = 0 then
+                fail "op %d shard %d: compaction dropped entries, horizon 0"
+                  i j
+          | Error _ ->
+              (* an injected fault mid-compaction: the full log is
+                 still intact (write-ahead ordering), try again later *)
+              incr compaction_errors)
+        (Shard.compact group);
+    if i mod crash_every = 0 then
+      (* per-shard recovery invariant: crash + replay (which after a
+         compaction starts from the snapshot horizon) = uncrashed *)
+      Array.iteri
+        (fun j st ->
+          let va = Store.view_a st and vb = Store.view_b st in
+          let v = Store.version st in
+          Store.crash st;
+          Store.recover st;
+          incr recoveries;
+          if Store.version st <> v then
+            fail "op %d shard %d: recovery stopped at %d, expected %d" i j
+              (Store.version st) v;
+          if not (Table.equal (Store.view_a st) va) then
+            fail "op %d shard %d: recovered A view differs" i j;
+          if not (Table.equal (Store.view_b st) vb) then
+            fail "op %d shard %d: recovered B view differs" i j)
+        stores
+  done;
+  (* head accounting: every shard's head is exactly its acked commits *)
+  Array.iteri
+    (fun j st ->
+      if Store.version st <> acked.(j) then
+        fail "shard %d: head %d <> %d acked commits" j (Store.version st)
+          acked.(j))
+    stores;
+  (* final anti-entropy on a healed net, then the cross-shard invariant *)
+  Chaos.protected (fun () ->
+      if not (Shard.gossip_until_quiescent ~max_rounds:(8 * n_shards) group)
+      then fail "gossip did not quiesce on a fault-free net";
+      if not (Shard.Relational.converged group) then
+        fail "shards did not converge to the same entangled whole");
+  let heads = Shard.heads group in
+  let pre_close =
+    Array.map (fun st -> (Store.version st, Store.view_a st, Store.view_b st))
+      stores
+  in
+  (* a last fault-free compaction so the on-disk audit below sees the
+     tightest horizon the protocol can justify *)
+  if do_compact then
+    Chaos.protected (fun () ->
+        Array.iteri
+          (fun j res ->
+            match res with
+            | Ok _ -> ()
+            | Error e ->
+                fail "shard %d: fault-free compaction failed: %s" j
+                  (Error.message e))
+          (Shard.compact group));
+  Array.iter Store.close stores;
+  (match dir with
+  | Some d when do_compact ->
+      (* the acceptance criterion, on disk: below the latest snapshot
+         version the log holds nothing, the retained suffix is bounded
+         by the snapshot cadence, and recovery still reaches the exact
+         pre-close head *)
+      Array.iteri
+        (fun j (v, va, vb) ->
+          (match Durable_log.load ~dir:(shard_dir d j) with
+          | Error e ->
+              fail "shard %d: post-soak load failed: %s" j (Error.message e)
+          | Ok rec_ ->
+              let hz = rec_.Durable_log.horizon in
+              if v >= 8 && hz = 0 then
+                fail "shard %d: head %d but horizon still 0 after --compact"
+                  j v;
+              List.iter
+                (fun (e : Durable_log.raw_entry) ->
+                  if e.Durable_log.version <= hz then
+                    fail "shard %d: retained entry %d at or below horizon %d"
+                      j e.Durable_log.version hz)
+                rec_.Durable_log.entries;
+              let retained = List.length rec_.Durable_log.entries in
+              if retained > 8 then
+                fail
+                  "shard %d: %d entries retained — log not bounded by the \
+                   snapshot cadence"
+                  j retained;
+              (match rec_.Durable_log.snapshot with
+              | Some (sv, _) when sv >= hz -> ()
+              | Some (sv, _) ->
+                  fail "shard %d: snapshot %d below horizon %d" j sv hz
+              | None -> fail "shard %d: no snapshot behind horizon %d" j hz));
+          match Chaos.protected (fun () -> reopen_shard ~seed ~shards:n_shards j d) with
+          | Error e ->
+              fail "shard %d: reopen failed: %s" j (Error.message e)
+          | Ok st ->
+              if Store.version st <> v then
+                fail "shard %d: reopened at %d, pre-close head was %d" j
+                  (Store.version st) v;
+              if not (Table.equal (Store.view_a st) va) then
+                fail "shard %d: reopened A view differs from pre-close" j;
+              if not (Table.equal (Store.view_b st) vb) then
+                fail "shard %d: reopened B view differs from pre-close" j;
+              Store.close st)
+        pre_close
+  | _ -> ());
+  if not quiet then begin
+    let g = Shard.stats group in
+    Printf.printf
+      "shard-soak: seed=%d ops=%d sessions=%d shards=%d commits=%d failed=%d \
+       recoveries=%d compactions=%d(+%d absorbed) heads=[%s]%s\n"
+      seed n_ops n_sessions n_shards !commits !failures !recoveries
+      !compactions !compaction_errors
+      (String.concat ";" (Array.to_list (Array.map string_of_int heads)))
+      (match dir with None -> "" | Some d -> " dir=" ^ d);
+    Printf.printf
+      "gossip: rounds=%d shipped=%d resyncs=%d skipped-edges=%d\n"
+      g.Shard.rounds g.Shard.shipped g.Shard.resyncs g.Shard.skipped_edges
+  end;
+  match !violations with
+  | [] ->
+      if not quiet then
+        print_endline "shard-soak: all cross-shard invariants hold";
+      (0, histories)
+  | vs ->
+      List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev vs);
+      (1, histories)
+
+(* ------------------------------------------------------------------ *)
 (* Check mode: reopen a (possibly killed) persisted soak and diff it   *)
 (* against an uncrashed oracle rerun                                   *)
 (* ------------------------------------------------------------------ *)
@@ -430,6 +752,57 @@ let check ~seed ~ops ~sessions (dir : string) : int =
             List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev vs);
             1)
 
+(* The sharded recovery check.  The unsharded [check] replays the
+   oracle's oplog prefix from zero — impossible once compaction drops
+   the prefix, which is the point of the horizon.  So the sharded
+   oracle is the recorded per-version view history of an identical
+   uncrashed rerun (same seed, same chaos schedule): reopen each killed
+   shard outside chaos and the recovered (version, views) must appear
+   verbatim in that shard's history. *)
+let check_shards ~seed ~ops ~sessions ~shards ~gossip_every ~compact
+    (dir : string) : int =
+  let scratch = dir ^ ".oracle" in
+  rm_rf scratch;
+  let ocode, histories =
+    with_env_chaos (fun () ->
+        shard_soak ~quiet:true ~dir:scratch ~compact ~seed ~ops ~sessions
+          ~shards ~gossip_every ())
+  in
+  if ocode <> 0 then (
+    Printf.printf "check: sharded oracle rerun violated soak invariants\n";
+    1)
+  else begin
+    let bad = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+    for j = 0 to shards - 1 do
+      match reopen_shard ~seed ~shards j dir with
+      | Error e -> fail "shard %d: reopen of %s failed: %s" j dir (Error.message e)
+      | Ok st ->
+          let h = Store.version st in
+          (match Hashtbl.find_opt histories.(j) h with
+          | None ->
+              fail "shard %d: recovered head %d never committed in the oracle"
+                j h
+          | Some (va, vb) ->
+              if not (Table.equal (Store.view_a st) va) then
+                fail "shard %d: recovered A view diverges from the oracle at %d"
+                  j h;
+              if not (Table.equal (Store.view_b st) vb) then
+                fail "shard %d: recovered B view diverges from the oracle at %d"
+                  j h);
+          Printf.printf "check: shard=%d dir=%s recovered=%d\n" j
+            (shard_dir dir j) h;
+          Store.close st
+    done;
+    match !bad with
+    | [] ->
+        print_endline "check: every recovered shard matches the oracle history";
+        0
+    | vs ->
+        List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev vs);
+        1
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Listen mode: the real daemon                                        *)
 (* ------------------------------------------------------------------ *)
@@ -483,7 +856,12 @@ type remote_stats = {
   mutable read_failures : int;
 }
 
-let remote_workload ~seed ~ops:n_ops
+(* [next_id] overrides fresh-row id generation per session (the sharded
+   net soak keeps each session's ids in its shard's residue class);
+   [on_applied] fires once per acked commit (per-shard accounting);
+   [tick] fires after every op (the gossip cadence hook). *)
+let remote_workload ?next_id ?(on_applied = fun _ -> ())
+    ?(tick = fun _ -> ()) ~seed ~ops:n_ops
     ~(resolve :
        Transport.Remote_session.t -> (Wire.response, Error.t) result option)
     (sessions : Transport.Remote_session.t list) : remote_stats =
@@ -501,22 +879,28 @@ let remote_workload ~seed ~ops:n_ops
   in
   (* row ids unique across concurrent client processes *)
   let fresh_id = ref (Unix.getpid () * 1_000_000) in
-  let new_row side =
-    incr fresh_id;
-    let name = Workload.pick r [ "nu"; "xi"; "pi"; "rho" ] ^ string_of_int !fresh_id in
+  let gen_id s =
+    match next_id with
+    | Some f -> f s
+    | None ->
+        incr fresh_id;
+        !fresh_id
+  in
+  let new_row s side =
+    let id = gen_id s in
+    let name = Workload.pick r [ "nu"; "xi"; "pi"; "rho" ] ^ string_of_int id in
     match side with
     | `A ->
         Row.of_list
           [
-            Value.Int !fresh_id;
+            Value.Int id;
             Value.Str name;
             Value.Str (Workload.pick r [ "Engineering"; "Sales"; "Ops" ]);
             Value.Int (40_000 + (500 * Workload.int r 100));
             Value.Str (name ^ "@example.com");
           ]
     | `B ->
-        Row.of_list
-          [ Value.Int !fresh_id; Value.Str name; Value.Str "Engineering" ]
+        Row.of_list [ Value.Int id; Value.Str name; Value.Str "Engineering" ]
   in
   let seen : (string, Row.t list) Hashtbl.t = Hashtbl.create 16 in
   let sessions = Array.of_list sessions in
@@ -535,7 +919,7 @@ let remote_workload ~seed ~ops:n_ops
       | Error _ -> stats.read_failures <- stats.read_failures + 1);
     let adds =
       List.init (1 + Workload.int r 3) (fun _ ->
-          Row_delta.Add (new_row (R.side s)))
+          Row_delta.Add (new_row s (R.side s)))
     in
     let deltas =
       match Hashtbl.find_opt seen (R.name s) with
@@ -544,7 +928,9 @@ let remote_workload ~seed ~ops:n_ops
       | _ -> adds
     in
     (match R.submit s (`Batch deltas) with
-    | Ok _ -> stats.applied <- stats.applied + 1
+    | Ok _ ->
+        stats.applied <- stats.applied + 1;
+        on_applied s
     | Error e when Error.is_transient e -> (
         (* outcome unknown: the last envelope id may or may not have
            committed.  Settle it now — by dedup the resend can never
@@ -552,15 +938,17 @@ let remote_workload ~seed ~ops:n_ops
         match resolve s with
         | None -> stats.unresolved <- stats.unresolved + 1
         | Some (Ok (Wire.Resp_ok _)) ->
-            stats.resolved_applied <- stats.resolved_applied + 1
+            stats.resolved_applied <- stats.resolved_applied + 1;
+            on_applied s
         | Some (Ok _) ->
             stats.resolved_rejected <- stats.resolved_rejected + 1
         | Some (Error _) -> stats.unresolved <- stats.unresolved + 1)
     | Error _ -> stats.rejected <- stats.rejected + 1);
-    if Workload.int r 4 = 0 then
-      match R.pull s with
-      | Ok _ -> ()
-      | Error _ -> stats.read_failures <- stats.read_failures + 1
+    (if Workload.int r 4 = 0 then
+       match R.pull s with
+       | Ok _ -> ()
+       | Error _ -> stats.read_failures <- stats.read_failures + 1);
+    tick i
   done;
   stats
 
@@ -737,6 +1125,143 @@ let net_soak ~seed ~ops ~sessions:n_sessions ~require_converged () : int =
       List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev vs);
       1
 
+(* The sharded chaos-net soak: one chaos network per shard, sessions
+   pinned round-robin to shards (each generating fresh ids inside its
+   shard's residue class, so its commits land at its pinned store),
+   gossip every [gossip_every] ops while the nets are still faulty,
+   then heal, quiesce, and assert the cross-shard accounting: every
+   shard's head equals its acked commits, and every shard reconstructs
+   the authoritative union. *)
+let shard_net_soak ~seed ~ops ~sessions:n_sessions ~shards:n_shards
+    ~gossip_every ~require_converged () : int =
+  let module R = Transport.Remote_session in
+  let group = shard_group ~seed ~size:48 ~shards:n_shards () in
+  let stores = Array.init n_shards (Shard.store group) in
+  let nets =
+    Array.map (fun st -> Transport.Chaos_net.create (Wire.serve st)) stores
+  in
+  let policy =
+    {
+      (Retry.default ~seed ()) with
+      Retry.max_attempts = 8;
+      base_delay = 0.02;
+      attempt_timeout = 0.5;
+      deadline = 60.0;
+    }
+  in
+  let shard_of_name : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let sessions =
+    Chaos.protected (fun () ->
+        List.init n_sessions (fun k ->
+            let shard = k mod n_shards in
+            let name = Printf.sprintf "n%d" (k + 1) in
+            let side = if k mod 2 = 0 then `A else `B in
+            match
+              R.bind ~policy
+                ~clock:(Transport.Chaos_net.clock nets.(shard))
+                (Transport.Chaos_net.endpoint nets.(shard))
+                ~name ~side
+            with
+            | Ok s ->
+                Hashtbl.replace shard_of_name name shard;
+                s
+            | Error e ->
+                Printf.eprintf "shard-net-soak: bind %s failed: %s\n" name
+                  (Error.message e);
+                exit 1))
+  in
+  let drain_all () = Array.iter Transport.Chaos_net.drain nets in
+  let resolve s =
+    drain_all ();
+    Some (Chaos.protected (fun () -> R.resolve s))
+  in
+  let acked = Array.make n_shards 0 in
+  let on_applied s =
+    let j = Hashtbl.find shard_of_name (R.name s) in
+    acked.(j) <- acked.(j) + 1
+  in
+  let idc = ref 0 in
+  let next_id s =
+    (* unique and congruent: id mod shards = the session's pinned shard *)
+    incr idc;
+    let j = Hashtbl.find shard_of_name (R.name s) in
+    ((100_000 + !idc) * n_shards) + j
+  in
+  let tick i = if i mod gossip_every = 0 then Shard.gossip_round group in
+  let stats =
+    remote_workload ~next_id ~on_applied ~tick ~seed ~ops ~resolve sessions
+  in
+  drain_all ();
+  let violations = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  if stats.unresolved > 0 then
+    fail "%d submit(s) could not be settled even on a healed network"
+      stats.unresolved
+  else
+    (* no-lost/no-dup, per shard: sessions are pinned, so each shard's
+       head must equal exactly its own sessions' acked commits *)
+    Array.iteri
+      (fun j st ->
+        if Store.version st <> acked.(j) then
+          fail "shard %d: head %d <> %d acked commits — %s" j
+            (Store.version st) acked.(j)
+            (if Store.version st > acked.(j) then "a retry double-applied"
+             else "an acked commit was lost"))
+      stores;
+  (* heal, quiesce, and lift convergence to the cross-shard property *)
+  Chaos.protected (fun () ->
+      if not (Shard.gossip_until_quiescent ~max_rounds:(8 * n_shards) group)
+      then fail "gossip did not quiesce on the healed net";
+      if not (Shard.Relational.converged group) then
+        fail "shards did not converge to the same entangled whole");
+  let conv_code =
+    Chaos.protected (fun () ->
+        List.fold_left ( + ) 0
+          (List.init n_shards (fun j ->
+               let mine =
+                 List.filter
+                   (fun s -> Hashtbl.find shard_of_name (R.name s) = j)
+                   sessions
+               in
+               report_convergence
+                 ~label:(Printf.sprintf "shard-net-soak[%d]" j)
+                 stores.(j) mine)))
+  in
+  if require_converged && conv_code <> 0 then
+    fail "--require-converged: not all sessions reached their shard's head";
+  let g = Shard.stats group in
+  let sum f =
+    Array.fold_left (fun n net -> n + f (Transport.Chaos_net.stats net)) 0 nets
+  in
+  Printf.printf
+    "shard-net-soak: seed=%d ops=%d sessions=%d shards=%d applied=%d \
+     rejected=%d resolved=%d+%d unresolved=%d heads=[%s]\n"
+    seed ops n_sessions n_shards stats.applied stats.rejected
+    stats.resolved_applied stats.resolved_rejected stats.unresolved
+    (String.concat ";"
+       (Array.to_list (Array.map (fun st -> string_of_int (Store.version st)) stores)));
+  Printf.printf
+    "net: dropped=%d duped=%d reordered=%d truncated=%d delayed=%d \
+     halfopen=%d  gossip: rounds=%d shipped=%d resyncs=%d skipped-edges=%d\n"
+    (sum (fun n -> n.Transport.Chaos_net.dropped))
+    (sum (fun n -> n.Transport.Chaos_net.duped))
+    (sum (fun n -> n.Transport.Chaos_net.reordered))
+    (sum (fun n -> n.Transport.Chaos_net.truncated))
+    (sum (fun n -> n.Transport.Chaos_net.delayed))
+    (sum (fun n -> n.Transport.Chaos_net.half_opened))
+    g.Shard.rounds g.Shard.shipped g.Shard.resyncs g.Shard.skipped_edges;
+  match !violations with
+  | [] ->
+      print_endline
+        "shard-net-soak: no lost commits, no duplicated commits, all shards \
+         converged";
+      0
+  | vs ->
+      List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev vs);
+      1
+
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -755,6 +1280,9 @@ let () =
   let connect = ref "" in
   let chaos_net = ref false in
   let require_converged = ref false in
+  let shards = ref 0 in
+  let gossip_every = ref 25 in
+  let do_compact = ref false in
   let specs =
     [
       ( "--listen",
@@ -788,25 +1316,66 @@ let () =
       ( "--require-poll-hits",
         Arg.Set require_poll_hits,
         " exit 1 if the soak recorded zero session.poll cache hits" );
+      ( "--shards",
+        Arg.Set_int shards,
+        "N partition the soak store across N gossiping shards" );
+      ( "--gossip-every",
+        Arg.Set_int gossip_every,
+        "K run one anti-entropy gossip round every K ops (default 25)" );
+      ( "--compact",
+        Arg.Set do_compact,
+        " with --shards: periodically compact each shard's oplog to its \
+         latest durable snapshot" );
     ]
   in
   let usage =
     "esm_syncd (--listen ADDR | --connect ADDR | --script FILE | --soak \
-     [--chaos-net] | --check-dir D) [options]"
+     [--chaos-net] [--shards N] | --check-dir D) [options]"
   in
   Arg.parse specs (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !shards < 0 || !gossip_every <= 0 then (
+    prerr_endline "esm_syncd: --shards must be >= 0, --gossip-every >= 1";
+    exit 2);
+  if !do_compact && !shards = 0 then (
+    prerr_endline "esm_syncd: --compact requires --shards";
+    exit 2);
   let code =
     if !listen <> "" then
       run_listen ?dir:(if !dir = "" then None else Some !dir) !listen
     else if !connect <> "" then
       run_connect ~seed:!seed ~ops:!ops ~sessions:!sessions !connect
     else if !do_soak && !chaos_net then
-      with_env_chaos
-        (net_soak ~seed:!seed ~ops:!ops ~sessions:!sessions
-           ~require_converged:!require_converged)
+      with_env_chaos (fun () ->
+          if !shards > 0 then
+            shard_net_soak ~seed:!seed ~ops:!ops ~sessions:!sessions
+              ~shards:!shards ~gossip_every:!gossip_every
+              ~require_converged:!require_converged ()
+          else
+            net_soak ~seed:!seed ~ops:!ops ~sessions:!sessions
+              ~require_converged:!require_converged ())
     else if !script <> "" then with_env_chaos (fun () -> run_script !script)
     else if !check_dir <> "" then
-      check ~seed:!seed ~ops:!ops ~sessions:!sessions !check_dir
+      if !shards > 0 then
+        check_shards ~seed:!seed ~ops:!ops ~sessions:!sessions
+          ~shards:!shards ~gossip_every:!gossip_every ~compact:!do_compact
+          !check_dir
+      else check ~seed:!seed ~ops:!ops ~sessions:!sessions !check_dir
+    else if !do_soak && !shards > 0 then begin
+      if !kill_at > 0 then begin
+        if !dir = "" then (
+          prerr_endline "esm_syncd: --kill-at requires --dir";
+          exit 2);
+        Durable_log.set_kill_at (Some !kill_at)
+      end;
+      let code, _histories =
+        with_env_chaos
+          (shard_soak
+             ?dir:(if !dir = "" then None else Some !dir)
+             ~compact:!do_compact ~seed:!seed ~ops:!ops ~sessions:!sessions
+             ~shards:!shards ~gossip_every:!gossip_every)
+      in
+      code
+    end
     else if !do_soak then begin
       if !kill_at > 0 then begin
         if !dir = "" then (

@@ -4,10 +4,16 @@
    against one of the three backends:
 
      esmql [--backend mem|store|remote] [--mode strict|fallback]
-           [--check] [--json] [--seed N] [--size N] [--dir DIR] FILE...
+           [--check] [--json] [--seed N] [--size N] [--dir DIR]
+           [--base NAME=FILE]... FILE...
 
    The default environment is one base table, `employees`
    (Esm_relational.Workload, keyed by id), seeded deterministically.
+   Repeated --base NAME=FILE flags register extra base tables: FILE is
+   line-oriented (schema <col>:<ty>..., optional key <col>..., then
+   row lines in the wire row grammar), so one script can entangle
+   views over several independently-defined bases — see
+   examples/two_bases.esmql.
 
    Exit codes: 0 every file compiled (and, without --check, executed)
    cleanly; 1 a parse/compile rejection or a failed execution step;
@@ -63,6 +69,94 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+(* --base NAME=FILE: register an extra base table.  FILE is
+   line-oriented ('#' and blank lines ignored):
+
+     schema <col>:<int|str|bool>, <col>:<ty>, ...   (first, exactly once)
+     key <col>[, <col>...]                          (optional; default:
+                                                     the first column)
+     row <value>, <value>, ...                      (Wire row grammar)
+
+   Row values reuse the wire grammar (Esm_sync.Wire.parse_row), so the
+   same literals work in base files, wire scripts and ESMQL deltas. *)
+let parse_base_file ~(name : string) (path : string) : Ql.Check.base =
+  let fail lineno fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "esmql: --base %s: %s:%d: %s\n" name path lineno m;
+        exit 2)
+      fmt
+  in
+  let ty_of_string lineno = function
+    | "int" -> Rel.Value.Tint
+    | "str" -> Rel.Value.Tstr
+    | "bool" -> Rel.Value.Tbool
+    | t -> fail lineno "unknown column type %S (int, str or bool)" t
+  in
+  let schema = ref None and key = ref None and rows = ref [] in
+  let lines = String.split_on_char '\n' (read_file path) in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match String.index_opt line ' ' with
+        | None -> fail lineno "expected 'schema', 'key' or 'row' directive"
+        | Some sp -> (
+            let kw = String.sub line 0 sp in
+            let body =
+              String.trim
+                (String.sub line (sp + 1) (String.length line - sp - 1))
+            in
+            match kw with
+            | "schema" ->
+                if !schema <> None then fail lineno "duplicate schema line";
+                let cols =
+                  List.map
+                    (fun col ->
+                      match String.split_on_char ':' (String.trim col) with
+                      | [ n; t ] ->
+                          (String.trim n, ty_of_string lineno (String.trim t))
+                      | _ -> fail lineno "expected <col>:<ty> in %S" col)
+                    (String.split_on_char ',' body)
+                in
+                schema := Some (Rel.Schema.make cols)
+            | "key" ->
+                if !key <> None then fail lineno "duplicate key line";
+                key :=
+                  Some
+                    (List.map String.trim (String.split_on_char ',' body))
+            | "row" -> (
+                if !schema = None then fail lineno "row before schema";
+                match Esm_sync.Wire.parse_row body with
+                | r -> rows := r :: !rows
+                | exception Error.Bx_error e ->
+                    fail lineno "%s" (Error.message e))
+            | kw -> fail lineno "unknown directive %S" kw))
+    lines;
+  match !schema with
+  | None -> fail 0 "missing schema line"
+  | Some schema ->
+      let key =
+        match !key with
+        | Some k -> k
+        | None -> [ List.hd (Rel.Schema.column_names schema) ]
+      in
+      let binit =
+        try Rel.Table.of_rows schema (List.rev !rows)
+        with Error.Bx_error e -> fail 0 "%s" (Error.message e)
+      in
+      { Ql.Check.bname = name; bschema = schema; bkey = key; binit }
+
+let parse_base_spec (spec : string) : string * string =
+  match String.index_opt spec '=' with
+  | Some i when i > 0 ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+  | _ ->
+      prerr_endline "esmql: --base expects NAME=FILE";
+      exit 2
 
 let view_json (cv : Ql.Check.cview) =
   Printf.sprintf
@@ -138,6 +232,7 @@ let () =
   let seed = ref 42 in
   let size = ref 60 in
   let dir = ref "" in
+  let base_specs = ref [] in
   let files = ref [] in
   let specs =
     [
@@ -154,10 +249,15 @@ let () =
       ( "--dir",
         Arg.Set_string dir,
         "DIR durable-log directory (store backend only)" );
+      ( "--base",
+        Arg.String (fun s -> base_specs := s :: !base_specs),
+        "NAME=FILE register an extra base table (repeatable; FILE holds \
+         schema/key/row lines, see docs/QUERY.md)" );
     ]
   in
   let usage =
-    "esmql [--backend mem|store|remote] [--check] [--json] FILE.esmql..."
+    "esmql [--backend mem|store|remote] [--check] [--json] [--base \
+     NAME=FILE]... FILE.esmql..."
   in
   Arg.parse specs (fun f -> files := f :: !files) usage;
   let files = List.rev !files in
@@ -180,7 +280,26 @@ let () =
         exit 2
   in
   let dir = if !dir = "" then None else Some !dir in
-  let bases = bases ~seed:!seed ~size:!size in
+  let extra =
+    List.rev_map
+      (fun spec ->
+        let name, file = parse_base_spec spec in
+        parse_base_file ~name file)
+      !base_specs
+  in
+  let bases = bases ~seed:!seed ~size:!size @ extra in
+  let rec dup = function
+    | [] -> None
+    | (b : Ql.Check.base) :: rest ->
+        if List.exists (fun (b' : Ql.Check.base) -> b'.bname = b.bname) rest
+        then Some b.Ql.Check.bname
+        else dup rest
+  in
+  (match dup bases with
+  | Some n ->
+      Printf.eprintf "esmql: duplicate base table %S\n" n;
+      exit 2
+  | None -> ());
   let ok =
     (* no short-circuit: every file is processed and reported *)
     List.fold_left

@@ -5,9 +5,15 @@
 
     {v
     log.bin       "ESMLOG" | version (1) | '\n'     8-byte header
+                  'B' | len (4 LE) | crc32 (4 LE) | horizon   (compacted only)
                   'E' | len (4 LE) | crc32 (4 LE) | payload   ...repeated
     snapshot.bin  same header, one 'S' record, replaced atomically
     v}
+
+    A fresh log never contains a 'B' (base) record — {!compact} writes
+    it when rewriting the log to drop the prefix at or below the
+    snapshot horizon, so the golden fixtures for the fresh format stay
+    byte-stable within format version 1.
 
     Entry payloads are [<version> <len>:<session> <op>] so any session
     name round-trips; snapshot payloads are [<version> <view>].
@@ -35,6 +41,7 @@ let record_header_len = 9 (* tag + length + crc *)
 
 let log_file dir = Filename.concat dir "log.bin"
 let snapshot_file dir = Filename.concat dir "snapshot.bin"
+let compact_tmp dir = log_file dir ^ ".tmp"
 
 let header () =
   let b = Bytes.create header_len in
@@ -96,6 +103,14 @@ let set_kill_at ?exit n =
 
 let writes_performed () = !writes
 
+(* One tick of the --kill-at clock; {!compact} also ticks it at its
+   fsync / rename / switch-over stages so the crash matrix can land a
+   kill at every fault site of the compaction path, not just between
+   record writes. *)
+let kill_tick () =
+  incr writes;
+  match !kill_at with Some k when !writes >= k -> !kill_exit () | _ -> ()
+
 (* One counted record-write syscall; the kill switch fires *after* the
    bytes reached the kernel, so a kill between the two halves of a
    record leaves a torn tail for recovery to truncate. *)
@@ -105,8 +120,7 @@ let write_counted (fd : Unix.file_descr) (b : Bytes.t) : unit =
     if off < n then go (off + Unix.write fd b off (n - off))
   in
   go 0;
-  incr writes;
-  match !kill_at with Some k when !writes >= k -> !kill_exit () | _ -> ()
+  kill_tick ()
 
 (* ------------------------------------------------------------------ *)
 (* Records                                                             *)
@@ -149,7 +163,8 @@ let parse_snapshot_payload (s : string) : int * string =
 
 type writer = {
   dir : string;
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;
+      (** mutable: {!compact} switches to the rewritten [log.bin] *)
   fsync : fsync_policy;
   mutable pos : int;  (** current end of [log.bin] *)
   mutable unsynced : int;  (** records appended since the last fsync *)
@@ -161,8 +176,16 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* A [log.bin.tmp] left behind by a compaction that died before its
+   rename is garbage: the real log is intact, the rewrite restarts from
+   scratch.  Both writer entry points discard it. *)
+let remove_stale_tmp dir =
+  let tmp = compact_tmp dir in
+  if Sys.file_exists tmp then Sys.remove tmp
+
 let create ~dir ~fsync () : writer =
   mkdir_p dir;
+  remove_stale_tmp dir;
   if Sys.file_exists (snapshot_file dir) then Sys.remove (snapshot_file dir);
   let fd =
     Unix.openfile (log_file dir) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
@@ -172,6 +195,7 @@ let create ~dir ~fsync () : writer =
   { dir; fd; fsync; pos = header_len; unsynced = 0 }
 
 let open_append ~dir ~fsync ~valid : writer =
+  remove_stale_tmp dir;
   let fd = Unix.openfile (log_file dir) [ Unix.O_WRONLY ] 0o644 in
   Unix.ftruncate fd valid;
   ignore (Unix.lseek fd valid Unix.SEEK_SET);
@@ -225,6 +249,56 @@ let write_snapshot (w : writer) ~version ~payload : (unit, Error.t) result =
   with exn when Error.is_bx_exn exn -> (
     match Error.of_exn exn with Some e -> Error e | None -> raise exn)
 
+(* Snapshot-anchored compaction: rewrite [log.bin] as header, one 'B'
+   (base) record pinning the horizon, then the retained suffix — built
+   in [log.bin.tmp], fsynced, renamed over the old log (the same
+   atomicity discipline as [snapshot.bin]), and finally the writer's fd
+   switched to the new file.  The caller guarantees [snapshot.bin]
+   holds a snapshot at a version >= horizon before calling, otherwise
+   the dropped prefix would be unrecoverable.
+
+   Kill-switch fault sites, in order: each tmp record write (counted by
+   [write_counted] as usual), then one tick after the tmp fsync (tmp
+   durable, old log still current), one after the rename (old prefix
+   gone, writer still on the unlinked inode), and one after the fd
+   switch-over.  A kill at any of them leaves a directory [load]
+   recovers to the exact pre-kill head: either the old full log (plus a
+   stale tmp that the next open discards) or the new compacted one. *)
+let compact (w : writer) ~(horizon : int)
+    ~(entries : (int * string * string) list) : (unit, Error.t) result =
+  let tmp = compact_tmp w.dir in
+  try
+    Chaos.point "sync.durable.compact";
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    let write_record tag body =
+      write_counted fd (record_header tag body);
+      write_counted fd (Bytes.of_string body)
+    in
+    write_counted fd (Bytes.of_string (header ()));
+    write_record 'B' (string_of_int horizon);
+    List.iter
+      (fun (version, session, payload) ->
+        write_record 'E' (entry_payload ~version ~session ~payload))
+      entries;
+    Unix.fsync fd;
+    kill_tick ();
+    Unix.close fd;
+    Sys.rename tmp (log_file w.dir);
+    kill_tick ();
+    Unix.close w.fd;
+    let fd' = Unix.openfile (log_file w.dir) [ Unix.O_WRONLY ] 0o644 in
+    let pos = Unix.lseek fd' 0 Unix.SEEK_END in
+    w.fd <- fd';
+    w.pos <- pos;
+    w.unsynced <- 0;
+    kill_tick ();
+    Ok ()
+  with exn when Error.is_bx_exn exn ->
+    if Sys.file_exists tmp then Sys.remove tmp;
+    (match Error.of_exn exn with Some e -> Error e | None -> raise exn)
+
 let close (w : writer) : unit =
   sync w;
   Unix.close w.fd
@@ -241,6 +315,7 @@ type recovered = {
   valid_bytes : int;
   torn_bytes : int;
   duplicates : int;
+  horizon : int;
 }
 
 let corrupt ~file fmt =
@@ -266,7 +341,7 @@ let read_record (s : string) (off : int) =
     let tag = s.[off] in
     let plen = Int32.to_int (String.get_int32_le s (off + 1)) in
     let crc = String.get_int32_le s (off + 5) in
-    if tag <> 'E' && tag <> 'S' then `Bad "unknown record tag"
+    if tag <> 'E' && tag <> 'S' && tag <> 'B' then `Bad "unknown record tag"
     else if plen < 0 then `Bad "negative record length"
     else if off + record_header_len + plen > len then `Torn
     else
@@ -309,7 +384,7 @@ let load ~dir : (recovered, Error.t) result =
       | Error _ as e -> e
       | Ok () ->
           let len = String.length s in
-          let rec scan off head acc dups =
+          let rec scan off head horizon acc dups =
             if off = len then
               Ok
                 {
@@ -318,6 +393,7 @@ let load ~dir : (recovered, Error.t) result =
                   valid_bytes = off;
                   torn_bytes = 0;
                   duplicates = dups;
+                  horizon;
                 }
             else
               match read_record s off with
@@ -329,11 +405,26 @@ let load ~dir : (recovered, Error.t) result =
                       valid_bytes = off;
                       torn_bytes = len - off;
                       duplicates = dups;
+                      horizon;
                     }
               | `Bad reason -> corrupt ~file "%s at offset %d" reason off
               | `Record ('S', _, _) ->
                   corrupt ~file "snapshot record inside the log at offset %d"
                     off
+              | `Record ('B', payload, next) -> (
+                  (* the base record a compaction pins its horizon with:
+                     only valid as the very first record — versions then
+                     run densely from horizon + 1 *)
+                  if off <> header_len then
+                    corrupt ~file "base record not at start (offset %d)" off
+                  else
+                    match int_of_string payload with
+                    | exception _ ->
+                        corrupt ~file "undecodable base record at offset %d"
+                          off
+                    | h when h < 0 ->
+                        corrupt ~file "negative horizon %d in base record" h
+                    | h -> scan next h h acc dups)
               | `Record (_, payload, next) -> (
                   match parse_entry_payload payload with
                   | exception _ ->
@@ -343,9 +434,9 @@ let load ~dir : (recovered, Error.t) result =
                         (* a duplicated tail after a re-append: the
                            entry was already read at its first
                            occurrence *)
-                        scan next head acc (dups + 1)
+                        scan next head horizon acc (dups + 1)
                       else if version = head + 1 then
-                        scan next version
+                        scan next version horizon
                           ({ version; session; payload = op_payload } :: acc)
                           dups
                       else
@@ -353,4 +444,4 @@ let load ~dir : (recovered, Error.t) result =
                           "version gap at offset %d: %d follows %d" off
                           version head)
           in
-          scan header_len 0 [] 0)
+          scan header_len 0 0 [] 0)

@@ -6,23 +6,34 @@
     suffix instead of the whole history.  States in this library are
     immutable values, so a snapshot is just a retained binding — there
     is no copying cost, only the decision of {e which} versions stay
-    reachable. *)
+    reachable.
+
+    Compaction introduces a {e horizon}: the version below which
+    entries have been dropped because their effects are already folded
+    into the retained snapshot at that version.  A log with horizon 0
+    retains full history and behaves exactly as before. *)
 
 type 'op entry = { version : int; session : string; op : 'op }
 
 type ('op, 's) t = {
   mutable entries : 'op entry list;  (** newest first *)
-  mutable snapshots : (int * 's) list;  (** newest first; [(0, init)] seed *)
+  mutable snapshots : (int * 's) list;
+      (** newest first; seeded [(horizon, init)] *)
+  mutable horizon : int;  (** entries with version <= horizon are gone *)
   snapshot_every : int;
 }
 
-let create ?(snapshot_every = 8) ~(init : 's) () : ('op, 's) t =
+let create ?(snapshot_every = 8) ?(horizon = 0) ~(init : 's) () :
+    ('op, 's) t =
   if snapshot_every <= 0 then
     invalid_arg "Oplog.create: snapshot_every must be positive";
-  { entries = []; snapshots = [ (0, init) ]; snapshot_every }
+  if horizon < 0 then invalid_arg "Oplog.create: horizon must be >= 0";
+  { entries = []; snapshots = [ (horizon, init) ]; horizon; snapshot_every }
+
+let horizon (t : ('op, 's) t) : int = t.horizon
 
 let head_version (t : ('op, 's) t) : int =
-  match t.entries with [] -> 0 | e :: _ -> e.version
+  match t.entries with [] -> t.horizon | e :: _ -> e.version
 
 let length (t : ('op, 's) t) : int = List.length t.entries
 
@@ -33,18 +44,38 @@ let append (t : ('op, 's) t) ~(session : string) (op : 'op) : int =
   version
 
 (** Entries with versions strictly above [v], oldest first — the replay
-    (or rebase) suffix.  Total for every integer [v]: above head it is
-    [[]], at or below 0 it is the whole log (snapshots never evict
-    entries).  The early exit at the first version [<= v] matches the
-    list-filter reference precisely because [append] keeps the
-    newest-first list strictly decreasing — see the contract note in
-    the interface. *)
+    (or rebase) suffix.  Total for every integer [v] {e at or above the
+    horizon} (and for any [v] when the horizon is 0): above head it is
+    [[]], at or below 0 it is the whole retained log.  Below a positive
+    horizon the suffix no longer exists — asking for it is a protocol
+    error surfaced as a typed [Error.Corrupt]; callers that can resync
+    should use {!read_since} instead.  The early exit at the first
+    version [<= v] matches the list-filter reference precisely because
+    [append] keeps the newest-first list strictly decreasing — see the
+    contract note in the interface. *)
 let entries_since (t : ('op, 's) t) (v : int) : 'op entry list =
-  let rec take acc = function
-    | e :: rest when e.version > v -> take (e :: acc) rest
-    | _ -> acc
-  in
-  take [] t.entries
+  if t.horizon > 0 && v < t.horizon then
+    Esm_core.Error.raise_error Corrupt ~op:"entries_since"
+      "version %d is below retained horizon %d: resync from snapshot" v
+      t.horizon
+  else
+    let rec take acc = function
+      | e :: rest when e.version > v -> take (e :: acc) rest
+      | _ -> acc
+    in
+    take [] t.entries
+
+(** The resync-aware read: either the replay suffix or, when [v] has
+    fallen below a positive horizon, the latest snapshot to restart
+    from.  Total for every integer [v]. *)
+let read_since (t : ('op, 's) t) (v : int) :
+    [ `Entries of 'op entry list | `Resync of int * 's ] =
+  if t.horizon > 0 && v < t.horizon then
+    (* resync from the *latest* snapshot — it covers the longest
+       prefix, so the caller replays the shortest suffix *)
+    let v', s' = match t.snapshots with x :: _ -> x | [] -> assert false in
+    `Resync (v', s')
+  else `Entries (entries_since t v)
 
 let snapshot_due (t : ('op, 's) t) : bool =
   head_version t mod t.snapshot_every = 0
@@ -56,7 +87,25 @@ let record_snapshot (t : ('op, 's) t) (version : int) (state : 's) : unit =
 let latest_snapshot (t : ('op, 's) t) : int * 's =
   match t.snapshots with
   | s :: _ -> s
-  | [] -> assert false (* [(0, init)] is seeded at creation *)
+  | [] -> assert false (* [(horizon, init)] is seeded at creation *)
+
+(** Drop every entry at or below the latest snapshot version, and every
+    older snapshot binding: after compaction the latest snapshot is the
+    new horizon — the exact prefix whose effects it already reflects.
+    Returns the number of entries dropped (0 when the snapshot is
+    already the horizon).  Idempotent. *)
+let compact (t : ('op, 's) t) : int =
+  let v, s = latest_snapshot t in
+  if v <= t.horizon then 0
+  else begin
+    let keep, dropped =
+      List.partition (fun e -> e.version > v) t.entries
+    in
+    t.entries <- keep;
+    t.snapshots <- [ (v, s) ];
+    t.horizon <- v;
+    List.length dropped
+  end
 
 let sessions (t : ('op, 's) t) : string list =
   List.sort_uniq String.compare

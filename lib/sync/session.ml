@@ -81,7 +81,17 @@ let pull (t : ('a, 'b, 'da, 'db) t) :
   end
   else begin
     Esm_incr.Stats.miss "session.poll";
-    let entries = Store.entries_since t.store t.base in
+    (* compaction may have dropped the suffix this session would have
+       pulled: the store's current view already reflects those entries
+       (that is what made them compactable), so the session resyncs by
+       skipping to the snapshot version and pulling what follows *)
+    let entries =
+      match Store.read_since t.store t.base with
+      | `Entries es -> es
+      | `Resync (v, _) ->
+          Esm_incr.Stats.miss "session.resync";
+          Store.entries_since t.store v
+    in
     t.base <- Store.version t.store;
     entries
   end

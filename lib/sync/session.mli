@@ -47,7 +47,10 @@ val pull : ('a, 'b, 'da, 'db) t -> ('a, 'b, 'da, 'db) Store.op Oplog.entry list
     receives rebased updates.  Polling an unchanged store ({!base} =
     store version) short-circuits to [[]] without touching the oplog;
     hit/miss counts report to the ["session.poll"] {!Esm_incr.Stats}
-    counter. *)
+    counter.  When compaction dropped the suffix below this session's
+    base, the pull skips to the retained horizon (the store view
+    already reflects the dropped entries) and returns what follows,
+    counting a ["session.resync"] miss. *)
 
 val submit_rebase :
   ('a, 'b, 'da, 'db) t ->

@@ -176,6 +176,13 @@ let view_b (Store s) =
     ~write:(fun c -> s.view_cache_b <- c)
     ~materialise:(fun () -> s.bx.Concrete.get_b s.state)
 let entries_since (Store s) v = Oplog.entries_since s.log v
+
+let read_since (Store s) v =
+  match Oplog.read_since s.log v with
+  | `Entries es -> `Entries es
+  | `Resync (hv, st) -> `Resync (hv, s.bx.Concrete.get_a st)
+
+let horizon (Store s) = Oplog.horizon s.log
 let log_sessions (Store s) = Oplog.sessions s.log
 
 (* The single-op state transition; raises bx errors, which the commit
@@ -348,6 +355,112 @@ let s_of_snapshot :
     Chaos.note_fallback "sync.store.replay";
     Chaos.protected (fun () -> bx.Concrete.set_a a init)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot-anchored compaction                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Drop the oplog prefix at or below the latest snapshot.  On a
+    persisted store the durable side moves first (write-ahead for
+    truncation, mirroring the commit discipline): the snapshot at the
+    anchor version is made durable, then [log.bin] is rewritten with a
+    base record and the retained suffix — only after both succeed does
+    the in-memory oplog drop its prefix.  A failure at any stage
+    (injected chaos, non-serialisable [Exec] in the retained suffix)
+    returns the typed error with nothing compacted. *)
+let compact (Store s : ('a, 'b, 'da, 'db) t) : (int, Error.t) result =
+  let v, snap = Oplog.latest_snapshot s.log in
+  if v <= Oplog.horizon s.log then Ok 0
+  else
+    let durable_done =
+      match s.durable with
+      | None -> Ok ()
+      | Some (codec, w) -> (
+          match
+            let payload = codec.encode_a (s.bx.Concrete.get_a snap) in
+            Durable_log.write_snapshot w ~version:v ~payload
+          with
+          | Error e -> Error e
+          | exception exn when Error.is_bx_exn exn -> (
+              match Error.of_exn exn with
+              | Some e -> Error e
+              | None -> raise exn)
+          | Ok () -> (
+              match
+                Oplog.entries_since s.log v
+                |> List.map (fun (e : _ Oplog.entry) ->
+                       ( e.Oplog.version,
+                         e.Oplog.session,
+                         codec.encode_op e.Oplog.op ))
+              with
+              | retained -> Durable_log.compact w ~horizon:v ~entries:retained
+              | exception exn when Error.is_bx_exn exn -> (
+                  match Error.of_exn exn with
+                  | Some e -> Error e
+                  | None -> raise exn)))
+    in
+    match durable_done with
+    | Error e -> Error e
+    | Ok () -> Ok (Oplog.compact s.log)
+
+(* ------------------------------------------------------------------ *)
+(* Followers: detached replicas fed by gossip                           *)
+(* ------------------------------------------------------------------ *)
+
+type ('a, 'b, 'da, 'db) follower =
+  | Follower : {
+      bx : ('a, 'b, 's) Concrete.set_bx;
+      apply_da : ('a -> 'da list -> 'a) option;
+      apply_db : ('b -> 'db list -> 'b) option;
+      mutable state : 's;
+      mutable version : int;
+    }
+      -> ('a, 'b, 'da, 'db) follower
+
+let follower (Store s : ('a, 'b, 'da, 'db) t) : ('a, 'b, 'da, 'db) follower =
+  Follower
+    {
+      bx = s.bx;
+      apply_da = s.apply_da;
+      apply_db = s.apply_db;
+      state = s.state;
+      version = s.version;
+    }
+
+let follower_version (Follower f) = f.version
+let follower_view_a (Follower f) = f.bx.Concrete.get_a f.state
+let follower_view_b (Follower f) = f.bx.Concrete.get_b f.state
+
+let follower_apply (Follower f : ('a, 'b, 'da, 'db) follower)
+    (e : ('a, 'b, 'da, 'db) op Oplog.entry) : unit =
+  if e.Oplog.version <> f.version + 1 then
+    Error.raise_error Error.Other ~op:"follower_apply"
+      "entry version %d does not follow replica version %d" e.Oplog.version
+      f.version
+  else begin
+    let apply st =
+      apply_op ~bx:f.bx ~apply_da:f.apply_da ~apply_db:f.apply_db e.Oplog.op
+        st
+    in
+    (* like {!recover}: every gossiped entry committed once at its home
+       shard, so replay is deterministic — degradable faults retry under
+       [protected] *)
+    let next =
+      try apply f.state
+      with exn when Error.degradable_exn exn ->
+        Chaos.note_fallback "sync.store.replay";
+        Chaos.protected (fun () -> apply f.state)
+    in
+    f.state <- next;
+    f.version <- e.Oplog.version
+  end
+
+let follower_resync (Follower f : ('a, 'b, 'da, 'db) follower)
+    ~(version : int) (a : 'a) : unit =
+  if version > f.version then begin
+    f.state <- s_of_snapshot ~bx:f.bx ~init:f.state a;
+    f.version <- version
+  end
+
 (** Reopen a persisted store from [dir]: the latest valid snapshot plus
     the validated log suffix, with a torn tail truncated before the
     writer resumes appending.  The packed bx supplies what the disk does
@@ -360,7 +473,7 @@ let reopen ?(name = "store") ?snapshot_every ?apply_da ?apply_db
     (('a, 'b, 'da, 'db) t, Error.t) result =
   match Durable_log.load ~dir with
   | Error e -> Error e
-  | Ok { Durable_log.entries; snapshot; valid_bytes; _ } -> (
+  | Ok { Durable_log.entries; snapshot; valid_bytes; horizon; _ } -> (
       (* an undecodable op behind a valid checksum means the payload
          codec changed under the format version byte — corruption, not
          a torn tail *)
@@ -381,34 +494,95 @@ let reopen ?(name = "store") ?snapshot_every ?apply_da ?apply_db
             (Error.v Error.Corrupt ~op:"reopen"
                ("undecodable entry payload: " ^ detail))
       | decoded -> (
-          let log = Oplog.create ?snapshot_every ~init:repr.Concrete.init () in
+          (* where the oplog restarts.  A full-history log (horizon 0)
+             replays from the snapshot state when one is usable
+             (present, decodable, not ahead of a truncated log) and the
+             initial state otherwise — a missing or broken snapshot only
+             lengthens replay.  A compacted log (horizon > 0) has {e no}
+             path back to the initial state: a usable snapshot at a
+             version >= horizon is mandatory, and its absence is
+             [Corrupt], not a silent full replay that would resurrect a
+             pre-compaction state. *)
+          let seeded =
+            if horizon > 0 then
+              match snapshot with
+              | None ->
+                  Error
+                    (Error.v Error.Corrupt ~op:"reopen"
+                       (Printf.sprintf
+                          "log compacted below version %d but snapshot.bin \
+                           is missing or invalid: below retained horizon, \
+                           cannot recover"
+                          horizon))
+              | Some (sv, _) when sv < horizon ->
+                  Error
+                    (Error.v Error.Corrupt ~op:"reopen"
+                       (Printf.sprintf
+                          "log compacted below version %d but the snapshot \
+                           is at older version %d: below retained horizon, \
+                           cannot recover"
+                          horizon sv))
+              | Some (sv, payload) -> (
+                  match
+                    let a = codec.decode_a payload in
+                    s_of_snapshot ~bx:repr.Concrete.bx
+                      ~init:repr.Concrete.init a
+                  with
+                  | st -> Ok (sv, sv, st)
+                  | exception exn when Error.is_bx_exn exn ->
+                      let detail =
+                        match Error.of_exn exn with
+                        | Some e -> Error.message e
+                        | None -> Printexc.to_string exn
+                      in
+                      Error
+                        (Error.v Error.Corrupt ~op:"reopen"
+                           (Printf.sprintf
+                              "log compacted below version %d and the \
+                               snapshot payload is undecodable (%s): below \
+                               retained horizon, cannot recover"
+                              horizon detail)))
+            else
+              let head =
+                match List.rev decoded with (v, _, _) :: _ -> v | [] -> 0
+              in
+              match snapshot with
+              | Some (v, payload) when v > 0 && v <= head -> (
+                  match
+                    let a = codec.decode_a payload in
+                    s_of_snapshot ~bx:repr.Concrete.bx
+                      ~init:repr.Concrete.init a
+                  with
+                  | st -> Ok (0, v, st)
+                  | exception exn when Error.is_bx_exn exn ->
+                      Chaos.note_fallback "sync.store.replay";
+                      Ok (0, 0, repr.Concrete.init))
+              | _ -> Ok (0, 0, repr.Concrete.init)
+          in
+          match seeded with
+          | Error e -> Error e
+          | Ok (oplog_horizon, start, state0) -> (
+          let log =
+            if oplog_horizon > 0 then
+              (* the seed snapshot [(start, state0)] doubles as the
+                 in-memory horizon: entries at or below it are already
+                 reflected in the snapshot state *)
+              Oplog.create ?snapshot_every ~horizon:oplog_horizon
+                ~init:state0 ()
+            else Oplog.create ?snapshot_every ~init:repr.Concrete.init ()
+          in
           List.iter
             (fun (v, session, op) ->
-              let v' = Oplog.append log ~session op in
-              if v' <> v then
-                (* unreachable: [Durable_log.load] validated density *)
-                Error.raise_error Error.Corrupt ~op:"reopen"
-                  "log entries are not dense at version %d" v)
+              if v > oplog_horizon then begin
+                let v' = Oplog.append log ~session op in
+                if v' <> v then
+                  (* unreachable: [Durable_log.load] validated density *)
+                  Error.raise_error Error.Corrupt ~op:"reopen"
+                    "log entries are not dense at version %d" v
+              end)
             decoded;
-          let head = Oplog.head_version log in
-          (* where replay starts: the snapshot state when one is usable
-             (present, decodable, not ahead of a truncated log), the
-             initial state otherwise — the log holds the full history,
-             so a missing or broken snapshot only lengthens replay *)
-          let start, state0 =
-            match snapshot with
-            | Some (v, payload) when v > 0 && v <= head -> (
-                match
-                  let a = codec.decode_a payload in
-                  s_of_snapshot ~bx:repr.Concrete.bx ~init:repr.Concrete.init a
-                with
-                | st -> (v, st)
-                | exception exn when Error.is_bx_exn exn ->
-                    Chaos.note_fallback "sync.store.replay";
-                    (0, repr.Concrete.init))
-            | _ -> (0, repr.Concrete.init)
-          in
-          if start > 0 then Oplog.record_snapshot log start state0;
+          if oplog_horizon = 0 && start > 0 then
+            Oplog.record_snapshot log start state0;
           let writer = Durable_log.open_append ~dir ~fsync ~valid:valid_bytes in
           let store =
             Store
@@ -438,4 +612,4 @@ let reopen ?(name = "store") ?snapshot_every ?apply_da ?apply_db
               in
               Error
                 (Error.v Error.Corrupt ~op:"reopen"
-                   ("replay failed: " ^ detail))))
+                   ("replay failed: " ^ detail)))))

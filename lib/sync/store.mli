@@ -86,7 +86,13 @@ val reopen :
     {!Esm_core.Error.Corrupt}: bad magic or format version, a mid-file
     checksum mismatch, a version gap, an undecodable entry payload.  The
     reconstructed store is always at {e some} committed version with
-    {!version} = {!head_version} — never a partial commit. *)
+    {!version} = {!head_version} — never a partial commit.
+
+    A compacted directory (the log opens with a base record at horizon
+    [h]) loses the full-replay fallback: recovery {e requires} a valid
+    snapshot at a version [>= h], and its absence — or an undecodable
+    snapshot payload — is [Corrupt] ("below retained horizon"), never a
+    silent resurrection of a pre-compaction state. *)
 
 val name : ('a, 'b, 'da, 'db) t -> string
 
@@ -132,7 +138,38 @@ val view_b_uncached : ('a, 'b, 'da, 'db) t -> 'b
 val entries_since :
   ('a, 'b, 'da, 'db) t -> int -> ('a, 'b, 'da, 'db) op Oplog.entry list
 (** The oplog suffix strictly above a version, oldest first — what a
-    session pulls to rebase. *)
+    session pulls to rebase.  Raises a typed [Error.Corrupt] when the
+    version has fallen below a positive compaction horizon (see
+    {!Oplog.entries_since}); use {!read_since} when resync is an
+    option. *)
+
+val read_since :
+  ('a, 'b, 'da, 'db) t ->
+  int ->
+  [ `Entries of ('a, 'b, 'da, 'db) op Oplog.entry list | `Resync of int * 'a ]
+(** The resync-aware read, total for every integer: the replay suffix
+    when the version is still servable, or [`Resync (version, a_view)]
+    — the latest snapshot's version and A view, from which a replica
+    restarts ({!follower_resync}) — when it has fallen below the
+    compaction horizon. *)
+
+val horizon : ('a, 'b, 'da, 'db) t -> int
+(** The oplog's compaction horizon; 0 until the first {!compact}. *)
+
+val compact : ('a, 'b, 'da, 'db) t -> (int, Error.t) result
+(** Snapshot-anchored compaction: drop the oplog prefix at or below the
+    latest snapshot, returning how many entries were dropped (0 when
+    the snapshot is already the horizon).  On a persisted store the
+    durable side moves first — the anchor snapshot is written to
+    [snapshot.bin], then [log.bin] is rewritten with a base record and
+    the retained suffix ({!Durable_log.compact}, tmp + fsync + rename)
+    — and only then does the in-memory oplog drop its prefix, so a
+    failure at any stage (an injected fault at ["sync.durable.write"]
+    or ["sync.durable.compact"], a non-serialisable [Exec] in the
+    retained suffix) leaves the full history intact and returns the
+    typed error.  {!head_version} and every view are unchanged:
+    compaction drops representations whose effects the snapshot already
+    reflects, never operations. *)
 
 val log_sessions : ('a, 'b, 'da, 'db) t -> string list
 
@@ -160,3 +197,36 @@ val recover : ('a, 'b, 'da, 'db) t -> unit
     indexes) are absorbed by retrying under
     {!Esm_core.Chaos.protected} — every replayed entry committed
     successfully once, so recovery reproduces the pre-crash state. *)
+
+(** {1 Followers}
+
+    A follower is a detached replica of a store's entangled state, fed
+    entry-by-entry from a peer's oplog — the receiving half of gossip
+    ({!Shard}).  It shares the bx code but owns its state and version;
+    it never commits, so it needs no oplog of its own. *)
+
+type ('a, 'b, 'da, 'db) follower
+
+val follower : ('a, 'b, 'da, 'db) t -> ('a, 'b, 'da, 'db) follower
+(** A replica forked at the store's current state and version.  Shards
+    fork followers of their peers at group construction (version 0), so
+    the follower's high-water mark is exactly what it has replayed. *)
+
+val follower_version : ('a, 'b, 'da, 'db) follower -> int
+val follower_view_a : ('a, 'b, 'da, 'db) follower -> 'a
+val follower_view_b : ('a, 'b, 'da, 'db) follower -> 'b
+
+val follower_apply :
+  ('a, 'b, 'da, 'db) follower -> ('a, 'b, 'da, 'db) op Oplog.entry -> unit
+(** Replay one gossiped entry; it must be at exactly
+    [follower_version + 1] (the gossip loop feeds a dense suffix).
+    Degradable faults retry under {!Esm_core.Chaos.protected}, like
+    {!recover} — every gossiped entry committed once at its home
+    shard. *)
+
+val follower_resync :
+  ('a, 'b, 'da, 'db) follower -> version:int -> 'a -> unit
+(** Restart the replica from a snapshot's A view at [version] — the
+    answer to a [`Resync] from {!read_since} when the follower's
+    high-water mark fell below the peer's compaction horizon.  A
+    no-op unless [version] is ahead of the replica. *)

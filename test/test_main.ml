@@ -42,6 +42,7 @@ let () =
       ("sync (replicated store)", Test_sync.suite);
       ("transport (real net + chaos net)", Test_transport.suite);
       ("durable log", Test_durable_log.suite);
+      ("shard (gossip + compaction)", Test_shard.suite);
       ("incr (reactive recomputation)", Test_incr.suite);
       (* last: registers into the shared catalog (see its header note) *)
       ("esmql (law-checked query front-end)", Test_ql.suite);
